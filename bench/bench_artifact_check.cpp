@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Artifact-appendix workflow (Appendix A.4), reproduced end to end:
+ *
+ *  Step 1 — functional verification ("python tests/test_llm.py --mode
+ *  hls_gqa"): run a miniature GQA model through the accelerator path
+ *  and verify the generated token ids match the reference exactly.
+ *
+ *  Step 2 — inference deployment ("python3 bench_suite.py hilos" /
+ *  "... xcache"): run the HILOS engine with ANS only and with the
+ *  X-cache optimisation, reporting the speedups over FLEX(SSD).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/random.h"
+#include "common/table.h"
+#include "core/hilos.h"
+#include "llm/transformer.h"
+
+using namespace hilos;
+
+namespace {
+
+bool
+step1FunctionalVerification()
+{
+    printBanner(std::cout,
+                "Step 1: HLS functional verification (GQA mode)");
+    LayerShape shape{64, 4, 2, 96, /*use_rope=*/true, 4096};
+    const std::size_t vocab = 128, batches = 2;
+    Rng a(11), b(11);
+    TransformerModel reference(shape, 3, vocab, batches, a, 8);
+    TransformerModel accel(shape, 3, vocab, batches, b, 8);
+
+    Rng prompt_rng(3);
+    std::vector<std::vector<std::uint32_t>> prompt(batches);
+    for (auto &seq : prompt)
+        for (int t = 0; t < 16; t++)
+            seq.push_back(static_cast<std::uint32_t>(
+                prompt_rng.uniformInt(0, vocab - 1)));
+    reference.prefill(prompt);
+    accel.prefill(prompt);
+
+    const auto expected = reference.generate(24, AttentionPath::Reference);
+    const auto got = accel.generate(24, AttentionPath::NearStorage);
+    const bool pass = expected == got;
+    std::printf("  generated %zu tokens/batch on the accelerator path; "
+                "token output %s the expected values\n",
+                expected.front().size(), pass ? "MATCHES" : "DIFFERS");
+    return pass;
+}
+
+void
+step2Deployment()
+{
+    printBanner(std::cout, "Step 2: LLM inference deployment");
+    SystemConfig sys = defaultSystem();
+    RunConfig run;
+    run.model = opt66b();
+    run.batch = 16;
+    run.context_len = 32768;
+    run.output_len = 64;
+
+    const RunResult base = makeEngine(EngineKind::FlexSsd, sys)->run(run);
+
+    TextTable table({"suite", "tokens/s", "vs FLEX(SSD)"});
+    HilosOptions ans;
+    ans.num_devices = 8;
+    ans.xcache = false;
+    const RunResult r_ans =
+        makeEngine(EngineKind::Hilos, sys, ans)->run(run);
+    table.row()
+        .cell("bench_suite hilos (ANS)")
+        .num(r_ans.decodeThroughput(), 4)
+        .ratio(normalizedThroughput(r_ans, base));
+
+    HilosOptions xc;
+    xc.num_devices = 8;
+    const RunResult r_xc = makeEngine(EngineKind::Hilos, sys, xc)->run(run);
+    table.row()
+        .cell("bench_suite xcache (+X-Cache)")
+        .num(r_xc.decodeThroughput(), 4)
+        .ratio(normalizedThroughput(r_xc, base));
+    table.print(std::cout);
+}
+
+}  // namespace
+
+int
+main()
+{
+    const bool pass = step1FunctionalVerification();
+    step2Deployment();
+    std::cout << "\nartifact check: "
+              << (pass ? "PASS (kernel executes without errors and "
+                         "tokens match)"
+                       : "FAIL")
+              << "\n";
+    return pass ? 0 : 1;
+}

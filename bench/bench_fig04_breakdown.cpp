@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 4(b)/(c): with naive attention-near-storage (no X-cache, no
+ * delayed writeback) the bottleneck shifts to the devices' internal
+ * storage I/O, and the host (CPU/GPU/DRAM) sits below 20% utilisation —
+ * the observation motivating cooperative X-cache.
+ */
+
+#include <iostream>
+
+#include "common/table.h"
+#include "core/hilos.h"
+
+using namespace hilos;
+
+int
+main()
+{
+    SystemConfig sys = defaultSystem();
+    RunConfig run;
+    run.model = opt175b();
+    run.batch = 16;
+    run.context_len = 32768;
+    run.output_len = 64;
+
+    HilosOptions opts;
+    opts.num_devices = 8;
+    opts.xcache = false;
+    opts.delayed_writeback = false;
+    auto ans = makeEngine(EngineKind::Hilos, sys, opts);
+    const RunResult r = ans->run(run);
+
+    printBanner(std::cout,
+                "Figure 4(b): decode latency breakdown with naive ANS "
+                "(OPT-175B, bs 16, 32K)");
+    TextTable bt({"stage", "seconds/step", "% of stage sum"});
+    const double total = r.breakdown.sum();
+    for (const auto &[name, t] : r.breakdown.stages()) {
+        bt.row().cell(name).num(t, 3).num(100.0 * t / total, 1);
+    }
+    bt.print(std::cout);
+    std::cout << "critical-path step time: "
+              << formatSeconds(r.decode_step_time) << "\n";
+
+    printBanner(std::cout,
+                "Figure 4(c): host-resource utilisation under ANS");
+    TextTable ut({"resource", "busy s/step", "utilisation %"});
+    ut.row().cell("GPU").num(r.busy.gpu, 3).num(
+        100.0 * r.busy.gpu / r.decode_step_time, 1);
+    ut.row().cell("CPU").num(r.busy.cpu, 3).num(
+        100.0 * r.busy.cpu / r.decode_step_time, 1);
+    ut.row().cell("DRAM").num(r.busy.dram, 3).num(
+        100.0 * r.busy.dram / r.decode_step_time, 1);
+    ut.row().cell("NSP internal I/O").num(r.busy.storage, 3).num(
+        100.0 * r.busy.storage / r.decode_step_time, 1);
+    ut.print(std::cout);
+
+    std::cout << "\nShape checks: internal storage I/O dominates the "
+                 "breakdown; host CPU/GPU/DRAM utilisation < 20% "
+                 "(paper Fig. 4).\n";
+    return 0;
+}

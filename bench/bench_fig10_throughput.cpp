@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Figure 10: end-to-end decoding throughput of HILOS (4/8/16 SmartSSDs)
+ * versus FLEX(SSD), FLEX(DRAM), FLEX(16 PCIe 3.0 SSDs) and
+ * DS+UVM(DRAM) across OPT model sizes and context lengths, normalised
+ * to FLEX(SSD).
+ *
+ * Paper shape targets: DS+UVM > 4x slower than FLEX(DRAM);
+ * FLEX(16 PCIe3 SSDs) at 0.64-0.94x of FLEX(SSD); HILOS(16) up to
+ * 7.86x over FLEX(SSD) (5.3-7.8x at long contexts); HILOS(4) 1.10-1.36x
+ * and HILOS(16) 1.88-2.49x over FLEX(DRAM) where the latter is feasible.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common/table.h"
+#include "core/hilos.h"
+
+using namespace hilos;
+
+namespace {
+
+std::string
+fmt(const RunResult &r, const RunResult &base)
+{
+    if (!r.feasible)
+        return "OOM";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2fx (%.3f t/s)",
+                  normalizedThroughput(r, base), r.decodeThroughput());
+    return buf;
+}
+
+}  // namespace
+
+int
+main()
+{
+    SystemConfig sys = defaultSystem();
+    const std::vector<ModelConfig> models = {opt30b(), opt66b(),
+                                             opt175b()};
+    const std::vector<std::uint64_t> contexts = {4096, 16384, 32768,
+                                                 65536, 131072};
+
+    printBanner(std::cout,
+                "Figure 10: decoding throughput normalized to FLEX(SSD)");
+    TextTable table({"model", "context", "FLEX(SSD)", "FLEX(DRAM)",
+                     "FLEX(16xP3)", "DS+UVM", "HILOS(4)", "HILOS(8)",
+                     "HILOS(16)"});
+
+    for (const auto &model : models) {
+        for (const auto s : contexts) {
+            RunConfig run;
+            run.model = model;
+            run.batch = 16;
+            run.context_len = s;
+            run.output_len = 64;
+
+            const RunResult base =
+                makeEngine(EngineKind::FlexSsd, sys)->run(run);
+            const RunResult dram =
+                makeEngine(EngineKind::FlexDram, sys)->run(run);
+            const RunResult raw =
+                makeEngine(EngineKind::FlexSmartSsdRaw, sys)->run(run);
+            const RunResult uvm =
+                makeEngine(EngineKind::DeepSpeedUvm, sys)->run(run);
+
+            table.row()
+                .cell(model.name)
+                .cell(std::to_string(s / 1024) + "K")
+                .cell("1.00x (" +
+                      std::to_string(base.decodeThroughput())
+                          .substr(0, 5) +
+                      " t/s)")
+                .cell(fmt(dram, base))
+                .cell(fmt(raw, base))
+                .cell(fmt(uvm, base));
+            for (unsigned n : {4u, 8u, 16u}) {
+                HilosOptions opts;
+                opts.num_devices = n;
+                const RunResult h =
+                    makeEngine(EngineKind::Hilos, sys, opts)->run(run);
+                table.cell(fmt(h, base));
+            }
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nShape checks (paper: DS+UVM >4x slower than "
+                 "FLEX(DRAM); FLEX(16xP3) 0.64-0.94x of FLEX(SSD);\n"
+                 "HILOS(16) up to ~7.9x over FLEX(SSD) at long "
+                 "context).\n";
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 12: model-architecture sensitivity.
+ *  (a) accelerator kernel KV throughput per d_group — all kernels well
+ *      above the ~3 GB/s internal P2P read rate, GQA slightly below
+ *      the d_group = 1 kernel in bytes/s;
+ *  (b) end-to-end decoding throughput on GQA (Qwen2.5-32B) and MoE
+ *      (Mixtral-8x7B, GLaM-143B) models across context lengths: HILOS
+ *      1.16-3.36x over the best baseline, the gap widening with
+ *      context.
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "accel/cycle_model.h"
+#include "common/table.h"
+#include "core/hilos.h"
+
+using namespace hilos;
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Figure 12(a): attention kernel throughput (32K "
+                "context, d = 128)");
+    TextTable kt({"kernel", "GFLOPS", "KV GB/s", "> 3.0 GB/s P2P?"});
+    const CycleModel cm{CycleModelConfig{}};
+    for (std::size_t dg : {1ul, 4ul, 5ul}) {
+        const double gf = cm.gflops(32768, 128, dg);
+        const double gbs = cm.kvBytesPerSec(32768, 128, dg) / 1e9;
+        kt.row()
+            .cell("d_group=" + std::to_string(dg))
+            .num(gf, 1)
+            .num(gbs, 2)
+            .cell(gbs > 3.0 ? "yes" : "NO");
+    }
+    kt.print(std::cout);
+
+    printBanner(std::cout,
+                "Figure 12(b): end-to-end decode throughput, GQA/MoE "
+                "models (bs 16)");
+    SystemConfig sys = defaultSystem();
+    HilosOptions opts;
+    opts.num_devices = 8;
+    TextTable et({"model", "context", "FLEX(SSD)", "FLEX(DRAM)",
+                  "HILOS(8)", "vs best baseline"});
+    for (const ModelConfig &model :
+         {qwen32b(), mixtral8x7b(), glam143b()}) {
+        for (std::uint64_t s : {16384ull, 65536ull, 131072ull}) {
+            RunConfig run;
+            run.model = model;
+            run.batch = 16;
+            run.context_len = s;
+            run.output_len = 64;
+            const RunResult ssd =
+                makeEngine(EngineKind::FlexSsd, sys)->run(run);
+            const RunResult dram =
+                makeEngine(EngineKind::FlexDram, sys)->run(run);
+            const RunResult hil =
+                makeEngine(EngineKind::Hilos, sys, opts)->run(run);
+            const double best_base = std::max(
+                ssd.decodeThroughput(), dram.decodeThroughput());
+            et.row()
+                .cell(model.name)
+                .cell(std::to_string(s / 1024) + "K")
+                .num(ssd.decodeThroughput(), 3)
+                .cell(dram.feasible
+                          ? std::to_string(dram.decodeThroughput())
+                                .substr(0, 5)
+                          : "OOM")
+                .num(hil.decodeThroughput(), 3)
+                .ratio(best_base > 0
+                           ? hil.decodeThroughput() / best_base
+                           : 0.0);
+        }
+    }
+    et.print(std::cout);
+    std::cout << "\nShape checks: kernels all exceed the 3 GB/s P2P "
+                 "feed; HILOS beats the best baseline by ~1.2-3.4x with "
+                 "the gap growing with context (paper Fig. 12).\n";
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 14: total execution-time breakdown by output length. Longer
+ * outputs amortise the fixed prefill cost, so HILOS's end-to-end
+ * speedup over FLEX(SSD) grows with the output length (up to ~6x in
+ * the paper).
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "common/table.h"
+#include "core/hilos.h"
+
+using namespace hilos;
+
+int
+main()
+{
+    SystemConfig sys = defaultSystem();
+    HilosOptions opts;
+    opts.num_devices = 16;
+
+    printBanner(std::cout,
+                "Figure 14: end-to-end time breakdown by output length "
+                "(bs 16)");
+    TextTable table({"model", "context", "output", "FLEX prefill",
+                     "FLEX decode", "HILOS prefill", "HILOS decode",
+                     "e2e speedup"});
+
+    for (const ModelConfig &model : {opt66b(), opt175b()}) {
+        for (std::uint64_t s : {16384ull, 65536ull}) {
+            for (std::uint64_t out : {16ull, 64ull, 256ull, 1024ull}) {
+                RunConfig run;
+                run.model = model;
+                run.batch = 16;
+                run.context_len = s;
+                run.output_len = out;
+                const RunResult base =
+                    makeEngine(EngineKind::FlexSsd, sys)->run(run);
+                const RunResult hil =
+                    makeEngine(EngineKind::Hilos, sys, opts)->run(run);
+                table.row()
+                    .cell(model.name)
+                    .cell(std::to_string(s / 1024) + "K")
+                    .cell(std::to_string(out))
+                    .cell(formatSeconds(base.prefill_time))
+                    .cell(formatSeconds(base.total_time -
+                                        base.prefill_time))
+                    .cell(formatSeconds(hil.prefill_time))
+                    .cell(formatSeconds(hil.total_time -
+                                        hil.prefill_time))
+                    .ratio(hil.endToEndThroughput(out) /
+                           base.endToEndThroughput(out));
+            }
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nShape check: the end-to-end speedup grows with "
+                 "output length as prefill amortises (paper: up to "
+                 "~6.1x).\n";
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the functional accelerator
+ * kernels (two-pass softmax, blocked GEMV with online transpose, the
+ * full attention kernel) and the reference implementations they are
+ * verified against. These measure the host-side functional models, not
+ * the FPGA — useful for keeping the simulator itself fast.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "accel/attention_kernel.h"
+#include "accel/gemv.h"
+#include "accel/softmax.h"
+#include "common/random.h"
+#include "llm/attention_ref.h"
+#include "llm/tensor.h"
+
+namespace {
+
+using namespace hilos;
+
+void
+BM_TwoPassSoftmax(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(1);
+    std::vector<float> base = rng.normalVector(n);
+    const TwoPassSoftmax sm;
+    const SoftmaxMask mask;
+    for (auto _ : state) {
+        std::vector<float> v = base;
+        sm.apply(v, mask);
+        benchmark::DoNotOptimize(v.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TwoPassSoftmax)->Arg(4096)->Arg(32768)->Arg(131072);
+
+void
+BM_ThreePassSoftmax(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(1);
+    std::vector<float> base = rng.normalVector(n);
+    const SoftmaxMask mask;
+    for (auto _ : state) {
+        std::vector<float> v = base;
+        threePassSoftmax(v, mask);
+        benchmark::DoNotOptimize(v.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ThreePassSoftmax)->Arg(4096)->Arg(32768);
+
+void
+BM_QkGemvOnlineTranspose(benchmark::State &state)
+{
+    const auto s = static_cast<std::size_t>(state.range(0));
+    const std::size_t d = 128;
+    Rng rng(2);
+    const Matrix q = Matrix::random(1, d, rng);
+    const Matrix k = Matrix::random(s, d, rng);
+    const std::vector<Half> qh = toHalf(q);
+    const std::vector<Half> kh = toHalf(k);
+    for (auto _ : state) {
+        auto scores = qkGemv(viewOf(qh, 1, d), viewOf(kh, s, d), 0.0883f);
+        benchmark::DoNotOptimize(scores.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(s * d));
+}
+BENCHMARK(BM_QkGemvOnlineTranspose)->Arg(4096)->Arg(16384);
+
+void
+BM_AttentionKernel(benchmark::State &state)
+{
+    const auto s = static_cast<std::size_t>(state.range(0));
+    const std::size_t d = 128;
+    const auto dg = static_cast<std::size_t>(state.range(1));
+    Rng rng(3);
+    const Matrix q = Matrix::random(dg, d, rng);
+    const Matrix k = Matrix::random(s, d, rng);
+    const Matrix v = Matrix::random(s, d, rng);
+    const std::vector<Half> qh = toHalf(q);
+    const std::vector<Half> kh = toHalf(k);
+    const std::vector<Half> vh = toHalf(v);
+    AttentionKernelConfig cfg;
+    cfg.d_group = dg;
+    const AttentionKernel kernel(cfg);
+    AttentionRequest req;
+    req.queries = viewOf(qh, dg, d);
+    req.keys = viewOf(kh, s, d);
+    req.values = viewOf(vh, s, d);
+    req.valid_len = s;
+    for (auto _ : state) {
+        AttentionResult r = kernel.run(req);
+        benchmark::DoNotOptimize(r.outputs.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(s));
+}
+BENCHMARK(BM_AttentionKernel)
+    ->Args({4096, 1})
+    ->Args({4096, 5})
+    ->Args({16384, 1});
+
+void
+BM_FlashAttentionRef(benchmark::State &state)
+{
+    const auto s = static_cast<std::size_t>(state.range(0));
+    const std::size_t d = 128;
+    Rng rng(4);
+    const Matrix q = Matrix::random(1, d, rng);
+    const Matrix k = Matrix::random(s, d, rng);
+    const Matrix v = Matrix::random(s, d, rng);
+    for (auto _ : state) {
+        Matrix out = flashAttention(q, k, v);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(s));
+}
+BENCHMARK(BM_FlashAttentionRef)->Arg(4096)->Arg(16384);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Accelerator design-space explorer: drive the functional attention
+ * kernel directly, verify it against the FP32 reference, and walk the
+ * d_group / sequence-length space with the cycle and resource models —
+ * the workflow §5.1's user-level design flow supports (validate
+ * functionally, then estimate performance before synthesis).
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "accel/attention_kernel.h"
+#include "accel/cycle_model.h"
+#include "accel/resource_model.h"
+#include "common/random.h"
+#include "common/table.h"
+#include "llm/attention_ref.h"
+#include "llm/tensor.h"
+
+using namespace hilos;
+
+int
+main()
+{
+    Rng rng(42);
+    const std::size_t d = 128;
+
+    printBanner(std::cout, "Step 1: functional verification vs FP32");
+    for (std::size_t dg : {1ul, 4ul, 5ul}) {
+        const std::size_t s = 2048;
+        const Matrix q = Matrix::random(dg, d, rng, 0.5f);
+        const Matrix k = Matrix::random(s, d, rng, 0.5f);
+        const Matrix v = Matrix::random(s, d, rng, 0.5f);
+        const std::vector<Half> qh = toHalf(q), kh = toHalf(k),
+                                vh = toHalf(v);
+        AttentionKernelConfig cfg;
+        cfg.d_group = dg;
+        const AttentionKernel kernel(cfg);
+        AttentionRequest req;
+        req.queries = viewOf(qh, dg, d);
+        req.keys = viewOf(kh, s, d);
+        req.values = viewOf(vh, s, d);
+        req.valid_len = s;
+        const AttentionResult res = kernel.run(req);
+        const Matrix expected = naiveAttention(
+            fromHalf(qh, dg, d), fromHalf(kh, s, d), fromHalf(vh, s, d));
+        double worst = 0;
+        for (std::size_t i = 0; i < res.outputs.size(); i++)
+            worst = std::max(
+                worst, static_cast<double>(std::fabs(
+                           res.outputs[i] - expected.data()[i])));
+        std::printf("  d_group=%zu: max |err| vs reference = %.2e %s\n",
+                    dg, worst, worst < 1e-3 ? "(PASS)" : "(FAIL)");
+    }
+
+    printBanner(std::cout,
+                "Step 2: performance estimation across the design space");
+    const CycleModel cm{CycleModelConfig{}};
+    TextTable pt({"d_group", "s=4K time", "s=32K time", "GFLOPS",
+                  "KV GB/s"});
+    for (std::size_t dg = 1; dg <= 6; dg++) {
+        pt.row()
+            .cell(std::to_string(dg))
+            .cell(formatSeconds(cm.kernelTime(4096, d, dg)))
+            .cell(formatSeconds(cm.kernelTime(32768, d, dg)))
+            .num(cm.gflops(32768, d, dg), 1)
+            .num(cm.kvBytesPerSec(32768, d, dg) / 1e9, 2);
+    }
+    pt.print(std::cout);
+
+    printBanner(std::cout, "Step 3: resource feasibility on the KU15P");
+    const ResourceModel rm;
+    TextTable rt({"d_group", "LUT %", "DSP %", "power W", "fits?",
+                  "softmax DSP share"});
+    for (std::size_t dg = 1; dg <= 6; dg++) {
+        const ResourceUtilization u = rm.utilization(dg);
+        rt.row()
+            .cell(std::to_string(dg))
+            .num(u.lut_pct, 1)
+            .num(u.dsp_pct, 1)
+            .num(rm.powerWatts(dg), 2)
+            .cell(u.fits() ? "yes" : "NO")
+            .num(100.0 * rm.softmaxDspShare(dg), 0);
+    }
+    rt.print(std::cout);
+    std::cout << "\nThe flow mirrors §5.1: functional checks gate the "
+                 "expensive synthesis; the estimator tracks hardware "
+                 "with r ~ 0.93.\n";
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Capacity planner: given a target model and an Azure-style request
+ * mix, choose the SmartSSD count that maximises tokens/s/$ and report
+ * the fleet's expected lifetime (serviceable requests against the PBW
+ * budget) — the deployment question §6.6 answers.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "common/table.h"
+#include "core/hilos.h"
+#include "llm/workload.h"
+#include "runtime/batcher.h"
+
+using namespace hilos;
+
+namespace {
+
+double
+requestNandBytes(const ModelConfig &m, const Request &req, double alpha,
+                 unsigned spill_interval)
+{
+    const double kv_tok =
+        static_cast<double>(m.kvBytesPerTokenPerLayer());
+    const double layers = static_cast<double>(m.layers);
+    const double prefill_scale = 1.0 - alpha / 2.0;
+    const double chunk = static_cast<double>(spill_interval) *
+                         static_cast<double>(2 * m.headDim() *
+                                             m.dtype_bytes);
+    const double wa = std::max(1.0, 4096.0 / chunk) *
+                      (1.0 + 1.9 / static_cast<double>(spill_interval));
+    return static_cast<double>(req.input_tokens) * kv_tok * layers *
+               prefill_scale +
+           static_cast<double>(req.output_tokens) * kv_tok * layers *
+               wa * prefill_scale;
+}
+
+}  // namespace
+
+int
+main()
+{
+    SystemConfig sys = defaultSystem();
+    const ModelConfig model = opt175b();
+    const Request req = makeRequest(RequestClass::Long);
+
+    printBanner(std::cout,
+                "Capacity planning: OPT-175B, Long requests "
+                "(I:8K/O:350), bs 16");
+
+    TextTable table({"SmartSSDs", "tokens/s", "price $", "tok/s/$ rank",
+                     "Mreq lifetime", "years @ 1 req/min"});
+    RunConfig run;
+    run.model = model;
+    run.batch = 16;
+    run.context_len = req.input_tokens;
+    run.output_len = req.output_tokens;
+
+    double best_ce = 0.0;
+    unsigned best_n = 0;
+    std::vector<std::tuple<unsigned, double, double, double>> rows;
+    for (unsigned n : {4u, 8u, 12u, 16u}) {
+        HilosOptions opts;
+        opts.num_devices = n;
+        const HilosEngine engine(sys, opts);
+        const RunResult r = engine.run(run);
+        const double price =
+            systemPriceUsd(sys, StorageKind::SmartSsds, n);
+        const double ce =
+            costEffectiveness(r.decodeThroughput(), price);
+        if (ce > best_ce) {
+            best_ce = ce;
+            best_n = n;
+        }
+        EnduranceInputs ein;
+        ein.devices = n;
+        ein.bytes_per_request =
+            requestNandBytes(model, req, engine.selectedAlpha(run),
+                             opts.spill_interval);
+        const double mreq = serviceableRequests(ein) / 1e6;
+        rows.emplace_back(n, r.decodeThroughput(), price, mreq);
+    }
+    for (const auto &[n, tput, price, mreq] : rows) {
+        // One request per minute: minutes -> years.
+        const double years = mreq * 1e6 / (60.0 * 24.0 * 365.0);
+        table.row()
+            .cell(std::to_string(n))
+            .num(tput, 3)
+            .num(price, 0)
+            .cell(n == best_n ? "BEST" : "")
+            .num(mreq, 2)
+            .num(years, 1);
+    }
+    table.print(std::cout);
+    std::cout << "\nRecommended fleet: " << best_n
+              << " SmartSSDs (max tokens/s/$ for this mix).\n";
+
+    // --- Mixed Azure-style queue drained through the batcher ---
+    printBanner(std::cout,
+                "Draining a mixed Azure-style queue (64 Small + 32 "
+                "Medium + 16 Long, OPT-66B)");
+    std::vector<Request> queue;
+    for (const auto &[cls, count] :
+         std::vector<std::pair<RequestClass, std::size_t>>{
+             {RequestClass::Small, 64},
+             {RequestClass::Medium, 32},
+             {RequestClass::Long, 16}}) {
+        const auto batch = makeBatch(cls, count);
+        queue.insert(queue.end(), batch.begin(), batch.end());
+    }
+    const OfflineBatcher batcher(16, 1024);
+    TextTable mix({"system", "makespan", "requests/hour",
+                   "gen tokens/s", "padding overhead"});
+    HilosOptions hopts;
+    hopts.num_devices = best_n;
+    const HilosEngine hil(sys, hopts);
+    const FlexGenEngine flex(sys, FlexTier::BaselineSsds);
+    for (const auto &[name, result] :
+         {std::pair<std::string, BatchPlanResult>{
+              "FLEX(SSD)", batcher.serve(flex, opt66b(), queue)},
+          {"HILOS(" + std::to_string(best_n) + ")",
+           batcher.serve(hil, opt66b(), queue)}}) {
+        mix.row()
+            .cell(name)
+            .cell(formatSeconds(result.makespan))
+            .num(result.requests_per_hour, 1)
+            .num(result.tokens_per_second, 3)
+            .num(100.0 * result.padding_overhead, 1);
+    }
+    mix.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * hilos_cli — run any engine/model/workload combination from the
+ * command line and print the full report: throughput, per-stage
+ * breakdown, interconnect traffic, energy, and cost-effectiveness.
+ *
+ *   hilos_cli --engine hilos --model OPT-66B --context 32768 \
+ *             --batch 16 --devices 8
+ *   hilos_cli --compare --model OPT-175B --context 131072
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "common/cli.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "core/hilos.h"
+#include "runtime/event_sim.h"
+#include "runtime/report.h"
+
+using namespace hilos;
+
+namespace {
+
+EngineKind
+engineByName(const std::string &name)
+{
+    if (name == "hilos")
+        return EngineKind::Hilos;
+    if (name == "flex-ssd")
+        return EngineKind::FlexSsd;
+    if (name == "flex-dram")
+        return EngineKind::FlexDram;
+    if (name == "flex-16p3")
+        return EngineKind::FlexSmartSsdRaw;
+    if (name == "ds-uvm")
+        return EngineKind::DeepSpeedUvm;
+    if (name == "vllm")
+        return EngineKind::VllmMultiGpu;
+    HILOS_FATAL("unknown engine '", name,
+                "' (hilos, flex-ssd, flex-dram, flex-16p3, ds-uvm, vllm)");
+}
+
+void
+printReport(const std::string &engine_name, const RunConfig &run,
+            const RunResult &r, double price)
+{
+    printBanner(std::cout, engine_name);
+    if (!r.feasible) {
+        std::cout << "infeasible: " << r.note << "\n";
+        return;
+    }
+    if (!r.note.empty())
+        std::cout << "note: " << r.note << "\n";
+    std::printf("effective batch      : %llu\n",
+                (unsigned long long)r.effective_batch);
+    std::printf("decode step          : %s\n",
+                formatSeconds(r.decode_step_time).c_str());
+    std::printf("decode throughput    : %.4f tokens/s\n",
+                r.decodeThroughput());
+    std::printf("prefill              : %s\n",
+                formatSeconds(r.prefill_time).c_str());
+    std::printf("end-to-end throughput: %.4f tokens/s\n",
+                r.endToEndThroughput(run.output_len));
+    std::printf("energy               : %.1f kJ (%.0f J/token)\n",
+                r.energy.total() / 1e3,
+                r.energy.total() /
+                    static_cast<double>(r.effective_batch *
+                                        run.output_len));
+    std::printf("cost-effectiveness   : %.3e tokens/s/$ ($%.0f)\n",
+                costEffectiveness(r.decodeThroughput(), price), price);
+
+    TextTable bt({"stage (per decode step)", "seconds", "%"});
+    const double total = r.breakdown.sum();
+    for (const auto &[name, t] : r.breakdown.stages()) {
+        if (t <= 0.0)
+            continue;
+        bt.row().cell(name).num(t, 3).num(100.0 * t / total, 1);
+    }
+    bt.print(std::cout);
+
+    std::printf("host interconnect    : %s read, %s written per step\n",
+                formatBytes(r.traffic.host_read_bytes).c_str(),
+                formatBytes(r.traffic.host_write_bytes).c_str());
+    std::printf("NSP-internal traffic : %s per step\n",
+                formatBytes(r.traffic.internal_bytes).c_str());
+}
+
+double
+priceFor(const std::string &engine, const SystemConfig &sys,
+         unsigned devices)
+{
+    if (engine == "hilos")
+        return systemPriceUsd(sys, StorageKind::SmartSsds, devices);
+    if (engine == "flex-dram" || engine == "ds-uvm")
+        return systemPriceUsd(sys, StorageKind::None, 0);
+    if (engine == "flex-16p3")
+        return systemPriceUsd(sys, StorageKind::SmartSsds, 16);
+    if (engine == "vllm")
+        return 2 * 28000.0;
+    return systemPriceUsd(sys, StorageKind::BaselineSsds,
+                          sys.num_baseline_ssds);
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("hilos_cli");
+    args.addOption("engine", "hilos",
+                   "engine: hilos, flex-ssd, flex-dram, flex-16p3, "
+                   "ds-uvm, vllm")
+        .addOption("model", "OPT-66B",
+                   "Table 2 model name (e.g. OPT-175B, Qwen2.5-32B)")
+        .addOption("batch", "16", "batch size")
+        .addOption("context", "32768", "prompt length in tokens")
+        .addOption("output", "64", "generated tokens")
+        .addOption("devices", "8", "SmartSSD count for HILOS (1..16)")
+        .addOption("alpha", "-1",
+                   "X-cache ratio override (-1 = scheduler-selected)")
+        .addOption("spill", "16", "delayed-writeback spill interval c")
+        .addOption("window", "0",
+                   "sliding attention window in tokens (0 = full)")
+        .addOption("gpu", "a100", "gpu: a100 or h100")
+        .addFlag("no-xcache", "disable cooperative X-cache")
+        .addFlag("no-writeback", "disable delayed KV writeback")
+        .addFlag("cxl", "model a CXL.mem-coherent accelerator (7.3)")
+        .addFlag("compare", "run every engine on the workload")
+        .addOption("report", "",
+                   "write a markdown evaluation report (headline grid) "
+                   "to this file")
+        .addOption("trace", "",
+                   "write a chrome://tracing JSON of one simulated "
+                   "decode step (HILOS only) to this file");
+
+    if (!args.parse(argc, argv) || args.helpRequested()) {
+        std::cout << args.usage();
+        if (!args.ok())
+            std::cerr << "error: " << args.error() << "\n";
+        return args.ok() ? 0 : 2;
+    }
+
+    SystemConfig sys =
+        args.get("gpu") == "h100" ? h100System() : defaultSystem();
+    RunConfig run;
+    run.model = modelByName(args.get("model"));
+    run.batch = static_cast<std::uint64_t>(args.getInt("batch"));
+    run.context_len = static_cast<std::uint64_t>(args.getInt("context"));
+    run.output_len = static_cast<std::uint64_t>(args.getInt("output"));
+
+    HilosOptions opts;
+    opts.num_devices = static_cast<unsigned>(args.getInt("devices"));
+    opts.xcache = !args.getFlag("no-xcache");
+    opts.delayed_writeback = !args.getFlag("no-writeback");
+    opts.alpha_override = args.getDouble("alpha");
+    opts.spill_interval =
+        static_cast<unsigned>(args.getInt("spill"));
+    opts.cxl_mode = args.getFlag("cxl");
+    opts.attention_window =
+        static_cast<std::uint64_t>(args.getInt("window"));
+    if (!args.ok()) {
+        std::cerr << "error: " << args.error() << "\n";
+        return 2;
+    }
+
+    const std::string report_path = args.get("report");
+    if (!report_path.empty()) {
+        const EvaluationReport rep =
+            runEvaluation(sys, ReportConfig{});
+        std::ofstream out(report_path);
+        if (!out) {
+            std::cerr << "error: cannot write " << report_path << "\n";
+            return 2;
+        }
+        out << rep.toMarkdown();
+        std::cout << "wrote evaluation report to " << report_path
+                  << " (peak speedup "
+                  << rep.max_speedup << "x)\n";
+        return 0;
+    }
+
+    if (args.getFlag("compare")) {
+        printBanner(std::cout, "engine comparison");
+        TextTable table({"engine", "tokens/s", "step", "energy kJ",
+                         "note"});
+        for (const auto &row :
+             compareEngines(sys, run, opts.num_devices)) {
+            table.row().cell(row.engine);
+            if (!row.result.feasible) {
+                table.cell("OOM").cell("").cell("").cell(
+                    row.result.note);
+                continue;
+            }
+            table.num(row.result.decodeThroughput(), 4)
+                .cell(formatSeconds(row.result.decode_step_time))
+                .num(row.result.energy.total() / 1e3, 1)
+                .cell(row.result.note);
+        }
+        table.print(std::cout);
+        return 0;
+    }
+
+    const std::string engine_name = args.get("engine");
+    auto engine = makeEngine(engineByName(engine_name), sys, opts);
+    const RunResult r = engine->run(run);
+    printReport(engine->name(), run, r,
+                priceFor(engine_name, sys, opts.num_devices));
+
+    const std::string trace_path = args.get("trace");
+    if (!trace_path.empty()) {
+        if (engine_name != "hilos") {
+            std::cerr << "error: --trace requires --engine hilos\n";
+            return 2;
+        }
+        TraceRecorder recorder;
+        const HilosEventSimulator sim(sys, opts);
+        sim.simulateDecodeStep(run, &recorder);
+        std::ofstream out(trace_path);
+        if (!out) {
+            std::cerr << "error: cannot write " << trace_path << "\n";
+            return 2;
+        }
+        recorder.writeChromeTrace(out);
+        std::cout << "\nwrote " << recorder.size()
+                  << " trace events to " << trace_path
+                  << " (open in chrome://tracing)\n";
+    }
+    return r.feasible ? 0 : 1;
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every paper table/figure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build -j"$(nproc)" --output-on-failure
+
+echo
+echo "=== regenerating every table and figure ==="
+for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    "$b"
+done

@@ -1,0 +1,119 @@
+#include "accel/attention_kernel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace hilos {
+
+AttentionKernel::AttentionKernel(const AttentionKernelConfig &cfg)
+    : cfg_(cfg), softmax_(cfg.block_tokens)
+{
+    HILOS_ASSERT(cfg_.block_tokens > 0 && cfg_.d_group > 0,
+                 "invalid kernel config");
+    HILOS_ASSERT(cfg_.burst_elems > 0, "invalid burst width");
+}
+
+std::size_t
+AttentionKernel::paddedLength(std::size_t s) const
+{
+    return static_cast<std::size_t>(
+        roundUp(static_cast<std::uint64_t>(s),
+                static_cast<std::uint64_t>(cfg_.burst_elems)));
+}
+
+AttentionResult
+AttentionKernel::run(const AttentionRequest &req) const
+{
+    const std::size_t d_group = cfg_.d_group;
+    const std::size_t s = req.keys.rows;
+    const std::size_t d = req.keys.cols;
+    const std::size_t n_buf = req.buffered_values.rows;
+
+    HILOS_ASSERT(req.queries.rows == d_group,
+                 "query rows must equal d_group: ", req.queries.rows,
+                 " vs ", d_group);
+    HILOS_ASSERT(req.queries.cols == d, "query/key dim mismatch");
+    HILOS_ASSERT(req.values.rows == s && req.values.cols == d,
+                 "key/value shape mismatch");
+    HILOS_ASSERT(req.valid_len <= s, "valid_len beyond stored context");
+    HILOS_ASSERT(req.partial_scores.size() == d_group * n_buf,
+                 "partial score shape mismatch: ",
+                 req.partial_scores.size(), " != ", d_group, "x", n_buf);
+    HILOS_ASSERT(n_buf == 0 || req.buffered_values.cols == d,
+                 "buffered value dim mismatch");
+    HILOS_ASSERT(req.valid_len + n_buf > 0, "empty attention context");
+    HILOS_ASSERT(req.window_start <= req.valid_len,
+                 "window start beyond valid context");
+    HILOS_ASSERT(req.window_start < req.valid_len || n_buf > 0,
+                 "sliding window empties the attention context");
+
+    const float scale =
+        req.scale != 0.0f ? req.scale
+                          : 1.0f / std::sqrt(static_cast<float>(d));
+
+    AttentionResult res;
+
+    // Unit 1: QK GEMV with online transpose over the stored context.
+    std::vector<float> stored_scores =
+        s > 0 ? qkGemv(req.queries, req.keys, scale, cfg_.block_tokens)
+              : std::vector<float>();
+
+    // Units 2+3: two-pass softmax over stored ++ buffered scores. The
+    // MASK module forces padding scores to the padding constant; the
+    // host-injected partial scores are always valid (§4.3).
+    const SoftmaxMask mask;  // defaults: everything valid, pad = -1e4
+    std::vector<float> stored_probs(d_group * s);
+    std::vector<float> buffered_probs(d_group * n_buf);
+    for (std::size_t g = 0; g < d_group; g++) {
+        std::vector<float> lane(s + n_buf);
+        for (std::size_t i = 0; i < s; i++) {
+            const bool in_window =
+                (i >= req.window_start || i < req.sink_tokens) &&
+                i < req.valid_len;
+            lane[i] = in_window ? stored_scores[g * s + i]
+                                : mask.padding_value;
+        }
+        for (std::size_t i = 0; i < n_buf; i++)
+            lane[s + i] = req.partial_scores[g * n_buf + i];
+        softmax_.apply(lane, mask);
+        for (std::size_t i = 0; i < s; i++)
+            stored_probs[g * s + i] = lane[i];
+        for (std::size_t i = 0; i < n_buf; i++)
+            buffered_probs[g * n_buf + i] = lane[s + i];
+    }
+
+    // Unit 4: score-V GEMV over stored values, plus the buffered tail
+    // streamed from the host staging buffer.
+    res.outputs.assign(d_group * d, 0.0f);
+    if (s > 0) {
+        std::vector<float> stored_out =
+            svGemv(stored_probs, d_group, req.values, cfg_.block_tokens);
+        for (std::size_t i = 0; i < res.outputs.size(); i++)
+            res.outputs[i] += stored_out[i];
+    }
+    if (n_buf > 0) {
+        std::vector<float> buf_out = svGemv(buffered_probs, d_group,
+                                            req.buffered_values,
+                                            cfg_.block_tokens);
+        for (std::size_t i = 0; i < res.outputs.size(); i++)
+            res.outputs[i] += buf_out[i];
+    }
+
+    // Observability counters.
+    const std::size_t s_pad = paddedLength(s);
+    res.blocks = ceilDiv(s_pad, cfg_.block_tokens);
+    res.kv_bytes = static_cast<std::uint64_t>(2) * s_pad * d * sizeof(Half);
+    const std::uint64_t qk_flops =
+        2ull * d_group * req.valid_len * d;
+    const std::uint64_t sv_flops =
+        2ull * d_group * (req.valid_len + n_buf) * d;
+    const std::uint64_t softmax_flops =
+        5ull * d_group * (req.valid_len + n_buf);
+    res.flops = qk_flops + sv_flops + softmax_flops;
+    return res;
+}
+
+}  // namespace hilos

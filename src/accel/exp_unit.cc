@@ -1,0 +1,69 @@
+#include "accel/exp_unit.h"
+
+#include <cmath>
+
+namespace hilos {
+
+namespace {
+
+// Degree-6 polynomial for 2^f on f in [-1/2, 1/2] (Taylor of 2^f; the
+// halved range keeps the truncation error near single-precision ulp,
+// matching the HLS math library's fixed-depth datapath).
+constexpr double kC0 = 1.0;
+constexpr double kC1 = 0.6931471805599453;
+constexpr double kC2 = 0.2402265069591007;
+constexpr double kC3 = 0.0555041086648216;
+constexpr double kC4 = 0.009618129107628477;
+constexpr double kC5 = 0.0013333558146428443;
+constexpr double kC6 = 0.00015403530393381608;
+
+constexpr float kLog2E = 1.44269504088896f;
+
+}  // namespace
+
+float
+hwExp(float x)
+{
+    // Saturation instead of Inf/NaN: the unit clamps its input range
+    // (softmax inputs are max-stabilised, so the range is generous).
+    if (x > 88.0f)
+        x = 88.0f;
+    if (x < -87.0f)
+        return 0.0f;  // below FP32 subnormal range after exp
+
+    // Range reduction: e^x = 2^(x * log2 e) = 2^i * 2^f with
+    // f in [-1/2, 1/2] (round-to-nearest integer exponent).
+    const float t = x * kLog2E;
+    const float fi = std::nearbyint(t);
+    const int i = static_cast<int>(fi);
+    const double f = static_cast<double>(t) - static_cast<double>(fi);
+
+    // Horner evaluation of 2^f — six multiply-adds, one DSP each,
+    // plus the range-reduction multiply (kExpUnitDsps total).
+    const double p =
+        kC0 +
+        f * (kC1 +
+             f * (kC2 + f * (kC3 + f * (kC4 + f * (kC5 + f * kC6)))));
+
+    return static_cast<float>(std::ldexp(p, i));
+}
+
+double
+hwExpMaxRelError(float lo, float hi, std::size_t samples)
+{
+    double worst = 0.0;
+    for (std::size_t k = 0; k < samples; k++) {
+        const float x =
+            lo + (hi - lo) * static_cast<float>(k) /
+                     static_cast<float>(samples - 1);
+        const double expect = std::exp(static_cast<double>(x));
+        if (expect == 0.0)
+            continue;
+        const double got = static_cast<double>(hwExp(x));
+        const double rel = std::fabs(got - expect) / expect;
+        worst = rel > worst ? rel : worst;
+    }
+    return worst;
+}
+
+}  // namespace hilos

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Hardware exponential unit.
+ *
+ * The softmax pipelines consume most of the design's DSPs on
+ * floating-point exponentials (Table 3, §7.2); on the FPGA these are
+ * not libm calls but a fixed-depth datapath: range reduction to
+ * 2^i * 2^f, an integer exponent path, and a low-degree polynomial for
+ * the fractional part — the structure the Vitis HLS math library maps
+ * to DSP slices. This module implements that datapath bit-for-bit in
+ * software so its accuracy can be characterised against std::exp and
+ * its DSP footprint justified in the resource model.
+ */
+
+#ifndef HILOS_ACCEL_EXP_UNIT_H_
+#define HILOS_ACCEL_EXP_UNIT_H_
+
+#include <cstddef>
+
+namespace hilos {
+
+/**
+ * Hardware-style exp(x): range-reduced base-2 evaluation with a
+ * degree-5 polynomial fraction path. Matches std::exp to ~1e-7
+ * relative over the softmax-relevant range and saturates cleanly
+ * outside it (no NaN/Inf datapath in the unit).
+ */
+float hwExp(float x);
+
+/**
+ * DSP slices one pipelined hwExp lane consumes (multipliers of the
+ * polynomial and the range-reduction product), used by the resource
+ * accounting.
+ */
+constexpr std::size_t kExpUnitDsps = 7;
+
+/**
+ * Maximum relative error of hwExp against std::exp over [lo, hi],
+ * sampled at `samples` points (test/characterisation helper).
+ */
+double hwExpMaxRelError(float lo, float hi, std::size_t samples);
+
+}  // namespace hilos
+
+#endif  // HILOS_ACCEL_EXP_UNIT_H_

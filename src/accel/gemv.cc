@@ -1,0 +1,101 @@
+#include "accel/gemv.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hilos {
+
+HalfMatrixView
+viewOf(const std::vector<Half> &buf, std::size_t rows, std::size_t cols)
+{
+    HILOS_ASSERT(buf.size() == rows * cols, "view shape mismatch: ",
+                 buf.size(), " != ", rows, "x", cols);
+    return HalfMatrixView{buf.data(), rows, cols};
+}
+
+void
+blockTranspose(const HalfMatrixView &src, std::size_t row0,
+               std::size_t col0, std::size_t n, std::size_t m,
+               std::vector<Half> &dst)
+{
+    HILOS_ASSERT(row0 + n <= src.rows && col0 + m <= src.cols,
+                 "block transpose out of range");
+    dst.resize(m * n);
+    for (std::size_t r = 0; r < n; r++) {
+        for (std::size_t c = 0; c < m; c++) {
+            dst[c * n + r] = src.at(row0 + r, col0 + c);
+        }
+    }
+}
+
+std::vector<float>
+qkGemv(const HalfMatrixView &queries, const HalfMatrixView &keys,
+       float scale, std::size_t block_tokens)
+{
+    HILOS_ASSERT(queries.cols == keys.cols,
+                 "query/key head dimension mismatch: ", queries.cols,
+                 " vs ", keys.cols);
+    HILOS_ASSERT(block_tokens > 0, "block size must be positive");
+
+    const std::size_t d_group = queries.rows;
+    const std::size_t s = keys.rows;
+    const std::size_t d = keys.cols;
+    std::vector<float> scores(d_group * s, 0.0f);
+    std::vector<Half> kt_buf;  // K^T-Buf, reused across blocks
+
+    for (std::size_t base = 0; base < s; base += block_tokens) {
+        const std::size_t n = std::min(block_tokens, s - base);
+        // The hardware transposes 128x128 tiles; the head dimension is
+        // tiled too when d > block_tokens.
+        for (std::size_t cbase = 0; cbase < d; cbase += block_tokens) {
+            const std::size_t m = std::min(block_tokens, d - cbase);
+            blockTranspose(keys, base, cbase, n, m, kt_buf);
+            // kt_buf is m x n: element (c, r) = K[base + r][cbase + c].
+            // MAC array: for each query lane, accumulate partial dots.
+            for (std::size_t g = 0; g < d_group; g++) {
+                for (std::size_t r = 0; r < n; r++) {
+                    float acc = 0.0f;  // FP32 accumulator per output
+                    for (std::size_t c = 0; c < m; c++) {
+                        acc += queries.at(g, cbase + c).toFloat() *
+                               kt_buf[c * n + r].toFloat();
+                    }
+                    scores[g * s + base + r] += acc;
+                }
+            }
+        }
+    }
+    for (auto &v : scores)
+        v *= scale;
+    return scores;
+}
+
+std::vector<float>
+svGemv(const std::vector<float> &probs, std::size_t d_group,
+       const HalfMatrixView &values, std::size_t block_tokens)
+{
+    const std::size_t s = values.rows;
+    const std::size_t d = values.cols;
+    HILOS_ASSERT(probs.size() == d_group * s,
+                 "probability shape mismatch: ", probs.size(), " != ",
+                 d_group, "x", s);
+
+    std::vector<float> out(d_group * d, 0.0f);
+    for (std::size_t base = 0; base < s; base += block_tokens) {
+        const std::size_t n = std::min(block_tokens, s - base);
+        // V rows stream block by block; every query lane in the group
+        // consumes the same broadcast V data (GQA sharing).
+        for (std::size_t r = 0; r < n; r++) {
+            const std::size_t row = base + r;
+            for (std::size_t g = 0; g < d_group; g++) {
+                const float p = probs[g * s + row];
+                for (std::size_t c = 0; c < d; c++) {
+                    out[g * d + c] += p * values.at(row, c).toFloat();
+                }
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace hilos

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Blocked GEMV units with online transpose (§4.4, Figure 7(d)/(e)).
+ *
+ * The key matrix is stored row-wise (append-friendly for KV writeback)
+ * but the query-key product needs K^T. Instead of storing a transposed
+ * copy (extra writes) the accelerator loads 128x128 blocks of K into an
+ * on-chip buffer, transposes locally, and streams the transposed block
+ * to the MAC array. The score-value product reads V row-wise directly.
+ *
+ * Functional model: FP16 operands, FP32 multiply-accumulate, matching
+ * the hardware's numerical behaviour. d_group query rows share one K/V
+ * stream (GQA broadcast).
+ */
+
+#ifndef HILOS_ACCEL_GEMV_H_
+#define HILOS_ACCEL_GEMV_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/half.h"
+
+namespace hilos {
+
+/** Read-only view of a row-major Half matrix. */
+struct HalfMatrixView {
+    const Half *data = nullptr;
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+
+    const Half &
+    at(std::size_t r, std::size_t c) const
+    {
+        return data[r * cols + c];
+    }
+};
+
+/** Make a view over a vector holding rows x cols halves. */
+HalfMatrixView viewOf(const std::vector<Half> &buf, std::size_t rows,
+                      std::size_t cols);
+
+/**
+ * Local block transpose: copy the [row0, row0+n) x [col0, col0+m) block
+ * of `src` into `dst` transposed (dst is m x n row-major). Mirrors the
+ * K-Buf -> K^T-Buf on-chip copy.
+ */
+void blockTranspose(const HalfMatrixView &src, std::size_t row0,
+                    std::size_t col0, std::size_t n, std::size_t m,
+                    std::vector<Half> &dst);
+
+/**
+ * Query-key GEMV with online transpose.
+ *
+ * @param queries d_group x d row-major query block (FP16)
+ * @param keys s x d row-major key matrix (FP16)
+ * @param scale 1/sqrt(d) applied to each score
+ * @param block_tokens hardware block height (default 128)
+ * @return d_group x s row-major scores (FP32)
+ *
+ * Functionally identical to direct dot products; the blocked loop order
+ * and the explicit transpose mirror the hardware so tests can assert
+ * the equivalence the design relies on.
+ */
+std::vector<float> qkGemv(const HalfMatrixView &queries,
+                          const HalfMatrixView &keys, float scale,
+                          std::size_t block_tokens = 128);
+
+/**
+ * Attention-score x value GEMV.
+ *
+ * @param probs d_group x s row-major attention probabilities (FP32)
+ * @param values s x d row-major value matrix (FP16)
+ * @param block_tokens hardware block height
+ * @return d_group x d row-major outputs (FP32)
+ */
+std::vector<float> svGemv(const std::vector<float> &probs,
+                          std::size_t d_group, const HalfMatrixView &values,
+                          std::size_t block_tokens = 128);
+
+}  // namespace hilos
+
+#endif  // HILOS_ACCEL_GEMV_H_

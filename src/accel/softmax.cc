@@ -1,0 +1,107 @@
+#include "accel/softmax.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace hilos {
+
+SoftmaxStats
+streamingUpdate(SoftmaxStats running, float block_max, float block_sum)
+{
+    // Algorithm 1, lines 5-9.
+    if (block_max > running.max) {
+        running.sum =
+            running.sum * std::exp(running.max - block_max) + block_sum;
+        running.max = block_max;
+    } else {
+        running.sum += block_sum * std::exp(block_max - running.max);
+    }
+    return running;
+}
+
+TwoPassSoftmax::TwoPassSoftmax(std::size_t block_elems)
+    : block_elems_(block_elems)
+{
+    HILOS_ASSERT(block_elems_ > 0, "block size must be positive");
+}
+
+SoftmaxStats
+TwoPassSoftmax::computeStats(const std::vector<float> &scores,
+                             const SoftmaxMask &mask) const
+{
+    SoftmaxStats running{-std::numeric_limits<float>::infinity(), 0.0f};
+
+    for (std::size_t base = 0; base < scores.size(); base += block_elems_) {
+        const std::size_t end =
+            std::min(scores.size(), base + block_elems_);
+        // MASK + local max reduction tree (line 3).
+        float m_b = -std::numeric_limits<float>::infinity();
+        for (std::size_t i = base; i < end; i++) {
+            const float v =
+                mask.valid(i) ? scores[i] : mask.padding_value;
+            m_b = std::max(m_b, v);
+        }
+        // Parallel exponentiation stabilised by the local max, then the
+        // adder tree (line 4).
+        float s_b = 0.0f;
+        for (std::size_t i = base; i < end; i++) {
+            const float v =
+                mask.valid(i) ? scores[i] : mask.padding_value;
+            s_b += std::exp(v - m_b);
+        }
+        running = streamingUpdate(running, m_b, s_b);
+    }
+    return running;
+}
+
+void
+TwoPassSoftmax::normalize(std::vector<float> &scores,
+                          const SoftmaxStats &stats,
+                          const SoftmaxMask &mask) const
+{
+    HILOS_ASSERT(stats.sum > 0.0f || scores.empty(),
+                 "softmax normalisation with zero denominator");
+    for (std::size_t i = 0; i < scores.size(); i++) {
+        const float v = mask.valid(i) ? scores[i] : mask.padding_value;
+        scores[i] = std::exp(v - stats.max) / stats.sum;
+    }
+}
+
+void
+TwoPassSoftmax::apply(std::vector<float> &scores,
+                      const SoftmaxMask &mask) const
+{
+    if (scores.empty())
+        return;
+    const SoftmaxStats stats = computeStats(scores, mask);
+    normalize(scores, stats, mask);
+}
+
+void
+threePassSoftmax(std::vector<float> &scores, const SoftmaxMask &mask)
+{
+    if (scores.empty())
+        return;
+    // Pass 1: global max.
+    float m = -std::numeric_limits<float>::infinity();
+    for (std::size_t i = 0; i < scores.size(); i++) {
+        const float v = mask.valid(i) ? scores[i] : mask.padding_value;
+        m = std::max(m, v);
+    }
+    // Pass 2: sum of exponentials.
+    float z = 0.0f;
+    for (std::size_t i = 0; i < scores.size(); i++) {
+        const float v = mask.valid(i) ? scores[i] : mask.padding_value;
+        z += std::exp(v - m);
+    }
+    // Pass 3: normalise.
+    for (std::size_t i = 0; i < scores.size(); i++) {
+        const float v = mask.valid(i) ? scores[i] : mask.padding_value;
+        scores[i] = std::exp(v - m) / z;
+    }
+}
+
+}  // namespace hilos

@@ -1,0 +1,27 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace hilos {
+
+std::vector<std::size_t>
+Rng::sampleIndices(std::size_t n, std::size_t k)
+{
+    HILOS_ASSERT(k <= n, "cannot sample ", k, " from ", n);
+    std::vector<std::size_t> idx(n);
+    std::iota(idx.begin(), idx.end(), 0);
+    // Partial Fisher-Yates: only the first k positions need shuffling.
+    for (std::size_t i = 0; i < k; i++) {
+        const auto j = static_cast<std::size_t>(
+            uniformInt(static_cast<std::int64_t>(i),
+                       static_cast<std::int64_t>(n - 1)));
+        std::swap(idx[i], idx[j]);
+    }
+    idx.resize(k);
+    return idx;
+}
+
+}  // namespace hilos

@@ -1,0 +1,158 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace hilos {
+
+void
+Summary::add(double x)
+{
+    n_++;
+    sum_ += x;
+    if (n_ == 1) {
+        mean_ = x;
+        min_ = x;
+        max_ = x;
+        m2_ = 0.0;
+        return;
+    }
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+Summary::reset()
+{
+    *this = Summary();
+}
+
+double
+Summary::variance() const
+{
+    return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double
+Summary::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0)
+{
+    HILOS_ASSERT(hi > lo && buckets > 0, "invalid histogram bounds");
+}
+
+void
+Histogram::add(double x)
+{
+    total_++;
+    if (x < lo_) {
+        underflow_++;
+    } else if (x >= hi_) {
+        overflow_++;
+    } else {
+        auto i = static_cast<std::size_t>((x - lo_) / width_);
+        i = std::min(i, counts_.size() - 1);  // guard fp edge at hi_
+        counts_[i]++;
+    }
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    underflow_ = overflow_ = total_ = 0;
+}
+
+double
+Histogram::bucketLow(std::size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+double
+Histogram::bucketHigh(std::size_t i) const
+{
+    return bucketLow(i) + width_;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    HILOS_ASSERT(q >= 0.0 && q <= 1.0, "quantile out of range: ", q);
+    if (total_ == 0)
+        return lo_;
+    const double target = q * static_cast<double>(total_);
+    double cum = static_cast<double>(underflow_);
+    if (cum >= target && underflow_ > 0)
+        return lo_;
+    for (std::size_t i = 0; i < counts_.size(); i++) {
+        const double next = cum + static_cast<double>(counts_[i]);
+        if (next >= target && counts_[i] > 0) {
+            const double frac =
+                (target - cum) / static_cast<double>(counts_[i]);
+            return bucketLow(i) + frac * width_;
+        }
+        cum = next;
+    }
+    return hi_;
+}
+
+std::string
+StatRegistry::report() const
+{
+    std::ostringstream oss;
+    for (const auto &[key, c] : counters_)
+        oss << name_ << "." << key << " = " << c.value() << "\n";
+    for (const auto &[key, s] : summaries_) {
+        oss << name_ << "." << key << " = mean " << s.mean() << " min "
+            << s.min() << " max " << s.max() << " n " << s.count() << "\n";
+    }
+    return oss.str();
+}
+
+void
+StatRegistry::reset()
+{
+    for (auto &[key, c] : counters_)
+        c.reset();
+    for (auto &[key, s] : summaries_)
+        s.reset();
+}
+
+double
+pearson(const std::vector<double> &x, const std::vector<double> &y)
+{
+    HILOS_ASSERT(x.size() == y.size() && x.size() >= 2,
+                 "pearson needs two equal-length series, got ", x.size(),
+                 " and ", y.size());
+    const auto n = static_cast<double>(x.size());
+    double sx = 0, sy = 0;
+    for (std::size_t i = 0; i < x.size(); i++) {
+        sx += x[i];
+        sy += y[i];
+    }
+    const double mx = sx / n, my = sy / n;
+    double sxy = 0, sxx = 0, syy = 0;
+    for (std::size_t i = 0; i < x.size(); i++) {
+        const double dx = x[i] - mx, dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace hilos

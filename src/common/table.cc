@@ -1,0 +1,118 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace hilos {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    HILOS_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+TextTable &
+TextTable::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+TextTable &
+TextTable::cell(const std::string &s)
+{
+    HILOS_ASSERT(!rows_.empty(), "call row() before cell()");
+    rows_.back().push_back(s);
+    return *this;
+}
+
+TextTable &
+TextTable::num(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return cell(oss.str());
+}
+
+TextTable &
+TextTable::ratio(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v << "x";
+    return cell(oss.str());
+}
+
+std::string
+TextTable::str() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); c++)
+        widths[c] = headers_[c].size();
+    for (const auto &r : rows_) {
+        for (std::size_t c = 0; c < r.size() && c < widths.size(); c++)
+            widths[c] = std::max(widths[c], r[c].size());
+    }
+
+    std::ostringstream oss;
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < widths.size(); c++) {
+            const std::string &v = c < cells.size() ? cells[c] : "";
+            oss << "| " << v << std::string(widths[c] - v.size() + 1, ' ');
+        }
+        oss << "|\n";
+    };
+    emit_row(headers_);
+    for (std::size_t c = 0; c < widths.size(); c++)
+        oss << "|" << std::string(widths[c] + 2, '-');
+    oss << "|\n";
+    for (const auto &r : rows_)
+        emit_row(r);
+    return oss.str();
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    os << str();
+}
+
+std::string
+formatBytes(double bytes)
+{
+    static const char *suffix[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+    int i = 0;
+    while (bytes >= 1024.0 && i < 5) {
+        bytes /= 1024.0;
+        i++;
+    }
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(bytes < 10 ? 2 : 1) << bytes
+        << " " << suffix[i];
+    return oss.str();
+}
+
+std::string
+formatSeconds(double s)
+{
+    std::ostringstream oss;
+    oss << std::fixed;
+    if (s < 1e-3)
+        oss << std::setprecision(2) << s * 1e6 << " us";
+    else if (s < 1.0)
+        oss << std::setprecision(2) << s * 1e3 << " ms";
+    else
+        oss << std::setprecision(3) << s << " s";
+    return oss.str();
+}
+
+void
+printBanner(std::ostream &os, const std::string &title)
+{
+    os << "\n=== " << title << " ===\n";
+}
+
+}  // namespace hilos

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harnesses to emit
+ * paper-style rows/series (one table or figure per bench binary).
+ */
+
+#ifndef HILOS_COMMON_TABLE_H_
+#define HILOS_COMMON_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hilos {
+
+/**
+ * Column-aligned text table. Cells are strings; numeric helpers format
+ * with a fixed precision. Rendered with a header rule, suitable for
+ * copy-paste into EXPERIMENTS.md.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Begin a new row. Cells are appended with cell()/num(). */
+    TextTable &row();
+
+    /** Append a string cell to the current row. */
+    TextTable &cell(const std::string &s);
+
+    /** Append a numeric cell with `precision` fractional digits. */
+    TextTable &num(double v, int precision = 2);
+
+    /** Append a "1.23x" style ratio cell. */
+    TextTable &ratio(double v, int precision = 2);
+
+    /** Render the whole table. */
+    std::string str() const;
+
+    /** Render to a stream. */
+    void print(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format bytes with a binary suffix ("3.84 TB" style uses decimal). */
+std::string formatBytes(double bytes);
+
+/** Format seconds adaptively (us/ms/s). */
+std::string formatSeconds(double s);
+
+/** Print a section banner used by bench binaries. */
+void printBanner(std::ostream &os, const std::string &title);
+
+}  // namespace hilos
+
+#endif  // HILOS_COMMON_TABLE_H_

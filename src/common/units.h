@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit helpers: byte sizes, time, bandwidth, and the conversion
+ * conventions used throughout the simulator.
+ *
+ * Conventions:
+ *  - sizes are `std::uint64_t` bytes,
+ *  - time is `double` seconds,
+ *  - bandwidth is `double` bytes per second,
+ *  - compute throughput is `double` FLOP/s,
+ *  - power is `double` watts, energy `double` joules.
+ *
+ * Storage-industry bandwidth figures (e.g. "6,900 MB/s") are decimal;
+ * capacities and page sizes are binary. Helpers exist for both.
+ */
+
+#ifndef HILOS_COMMON_UNITS_H_
+#define HILOS_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace hilos {
+
+/** Bytes per second. */
+using Bandwidth = double;
+/** Seconds. */
+using Seconds = double;
+/** FLOP per second. */
+using Flops = double;
+/** Watts. */
+using Watts = double;
+/** Joules. */
+using Joules = double;
+
+// Binary sizes (capacities, page/buffer sizes).
+constexpr std::uint64_t KiB = 1024ull;
+constexpr std::uint64_t MiB = 1024ull * KiB;
+constexpr std::uint64_t GiB = 1024ull * MiB;
+constexpr std::uint64_t TiB = 1024ull * GiB;
+
+// Decimal sizes (datasheet bandwidth and capacity figures).
+constexpr double KB = 1e3;
+constexpr double MB = 1e6;
+constexpr double GB = 1e9;
+constexpr double TB = 1e12;
+
+/** Decimal gigabytes-per-second to bytes-per-second. */
+constexpr Bandwidth
+gbps(double x)
+{
+    return x * GB;
+}
+
+/** Decimal megabytes-per-second to bytes-per-second. */
+constexpr Bandwidth
+mbps(double x)
+{
+    return x * MB;
+}
+
+/** TFLOPS to FLOP/s. */
+constexpr Flops
+tflops(double x)
+{
+    return x * 1e12;
+}
+
+/** GFLOPS to FLOP/s. */
+constexpr Flops
+gflops(double x)
+{
+    return x * 1e9;
+}
+
+/** Microseconds to seconds. */
+constexpr Seconds
+usec(double x)
+{
+    return x * 1e-6;
+}
+
+/** Milliseconds to seconds. */
+constexpr Seconds
+msec(double x)
+{
+    return x * 1e-3;
+}
+
+/** Integer ceiling division for positive integers. */
+constexpr std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round `a` up to the next multiple of `b` (b > 0). */
+constexpr std::uint64_t
+roundUp(std::uint64_t a, std::uint64_t b)
+{
+    return ceilDiv(a, b) * b;
+}
+
+}  // namespace hilos
+
+#endif  // HILOS_COMMON_UNITS_H_

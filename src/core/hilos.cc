@@ -1,0 +1,65 @@
+#include "core/hilos.h"
+
+#include "common/logging.h"
+
+namespace hilos {
+
+const char *
+versionString()
+{
+    return "1.0.0";
+}
+
+std::unique_ptr<InferenceEngine>
+makeEngine(EngineKind kind, const SystemConfig &sys,
+           const HilosOptions &hilos_opts)
+{
+    switch (kind) {
+      case EngineKind::FlexDram:
+        return std::make_unique<FlexGenEngine>(sys, FlexTier::HostDram);
+      case EngineKind::FlexSsd:
+        return std::make_unique<FlexGenEngine>(sys,
+                                               FlexTier::BaselineSsds);
+      case EngineKind::FlexSmartSsdRaw:
+        return std::make_unique<FlexGenEngine>(
+            sys, FlexTier::SmartSsdsNoFpga);
+      case EngineKind::DeepSpeedUvm:
+        return std::make_unique<DeepSpeedUvmEngine>(sys);
+      case EngineKind::VllmMultiGpu:
+        return std::make_unique<VllmMultiGpuEngine>(sys,
+                                                    VllmClusterConfig{});
+      case EngineKind::Hilos:
+        return std::make_unique<HilosEngine>(sys, hilos_opts);
+    }
+    HILOS_PANIC("unknown engine kind");
+}
+
+std::vector<EngineComparison>
+compareEngines(const SystemConfig &sys, const RunConfig &run,
+               unsigned smartssds)
+{
+    HilosOptions opts;
+    opts.num_devices = smartssds;
+    std::vector<EngineComparison> rows;
+    for (EngineKind kind :
+         {EngineKind::FlexSsd, EngineKind::FlexDram,
+          EngineKind::FlexSmartSsdRaw, EngineKind::DeepSpeedUvm,
+          EngineKind::Hilos}) {
+        auto engine = makeEngine(kind, sys, opts);
+        rows.push_back(EngineComparison{engine->name(), engine->run(run)});
+    }
+    return rows;
+}
+
+double
+normalizedThroughput(const RunResult &result,
+                     const RunResult &flex_ssd_baseline)
+{
+    const double base = flex_ssd_baseline.decodeThroughput();
+    const double mine = result.decodeThroughput();
+    if (base <= 0.0 || mine <= 0.0)
+        return 0.0;
+    return mine / base;
+}
+
+}  // namespace hilos

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * HILOS public facade.
+ *
+ * One include for downstream users: build a system description, pick an
+ * engine (HILOS or any baseline), run offline batched inference, and
+ * get timing / traffic / energy / cost reports. The functional
+ * accelerator, storage, and LLM substrates remain directly accessible
+ * through their own headers for users who need the lower layers.
+ *
+ * Quickstart:
+ * @code
+ *   hilos::SystemConfig sys = hilos::defaultSystem();
+ *   hilos::RunConfig run{hilos::opt66b(), 16, 32768, 64};
+ *   auto engine = hilos::makeEngine(hilos::EngineKind::Hilos, sys);
+ *   hilos::RunResult r = engine->run(run);
+ *   std::cout << r.decodeThroughput() << " tokens/s\n";
+ * @endcode
+ */
+
+#ifndef HILOS_CORE_HILOS_H_
+#define HILOS_CORE_HILOS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/version.h"
+#include "llm/model_config.h"
+#include "runtime/deepspeed_uvm.h"
+#include "runtime/engine.h"
+#include "runtime/flexgen.h"
+#include "runtime/hilos_engine.h"
+#include "runtime/system_config.h"
+#include "runtime/vllm_multigpu.h"
+
+namespace hilos {
+
+/** The systems evaluated in the paper. */
+enum class EngineKind {
+    FlexDram,         ///< FLEX(DRAM)
+    FlexSsd,          ///< FLEX(SSD)
+    FlexSmartSsdRaw,  ///< FLEX(16 PCIe 3.0 SSDs), FPGAs disabled
+    DeepSpeedUvm,     ///< DS+UVM(DRAM)
+    VllmMultiGpu,     ///< 2-node 8-GPU vLLM
+    Hilos,            ///< full HILOS
+};
+
+/**
+ * Engine factory. `hilos_opts` applies only to EngineKind::Hilos.
+ */
+std::unique_ptr<InferenceEngine> makeEngine(
+    EngineKind kind, const SystemConfig &sys,
+    const HilosOptions &hilos_opts = HilosOptions{});
+
+/** One row of a cross-engine comparison. */
+struct EngineComparison {
+    std::string engine;
+    RunResult result;
+};
+
+/**
+ * Run every paper system on one workload.
+ * @param smartssds SmartSSD count for the HILOS entry
+ */
+std::vector<EngineComparison> compareEngines(const SystemConfig &sys,
+                                             const RunConfig &run,
+                                             unsigned smartssds = 8);
+
+/**
+ * Throughput of `result` normalised to the FLEX(SSD) baseline on the
+ * same workload (the Fig. 10 presentation); 0 when either side is
+ * infeasible.
+ */
+double normalizedThroughput(const RunResult &result,
+                            const RunResult &flex_ssd_baseline);
+
+}  // namespace hilos
+
+#endif  // HILOS_CORE_HILOS_H_

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Library version.
+ */
+
+#ifndef HILOS_CORE_VERSION_H_
+#define HILOS_CORE_VERSION_H_
+
+namespace hilos {
+
+constexpr int kVersionMajor = 1;
+constexpr int kVersionMinor = 0;
+constexpr int kVersionPatch = 0;
+
+/** "major.minor.patch" string. */
+const char *versionString();
+
+}  // namespace hilos
+
+#endif  // HILOS_CORE_VERSION_H_

@@ -1,0 +1,62 @@
+#include "interconnect/pcie.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace hilos {
+
+Bandwidth
+pcieLaneRate(PcieGen gen)
+{
+    switch (gen) {
+      case PcieGen::Gen3:
+        return 0.985 * GB;  // 8 GT/s x 128/130
+      case PcieGen::Gen4:
+        return 1.969 * GB;
+      case PcieGen::Gen5:
+        return 3.938 * GB;
+    }
+    HILOS_PANIC("unknown PCIe generation");
+}
+
+Bandwidth
+pcieEffectiveBandwidth(PcieGen gen, unsigned lanes, double efficiency)
+{
+    HILOS_ASSERT(lanes >= 1 && lanes <= 16, "invalid lane count: ", lanes);
+    HILOS_ASSERT(efficiency > 0.0 && efficiency <= 1.0,
+                 "invalid efficiency: ", efficiency);
+    return pcieLaneRate(gen) * static_cast<double>(lanes) * efficiency;
+}
+
+std::string
+pcieLinkName(PcieGen gen, unsigned lanes)
+{
+    const char *g = gen == PcieGen::Gen3   ? "pcie3"
+                    : gen == PcieGen::Gen4 ? "pcie4"
+                                           : "pcie5";
+    return std::string(g) + "x" + std::to_string(lanes);
+}
+
+PcieLink::PcieLink(std::string name, PcieGen gen, unsigned lanes,
+                   double efficiency)
+    : gen_(gen), lanes_(lanes),
+      resource_(std::move(name),
+                pcieEffectiveBandwidth(gen, lanes, efficiency),
+                usec(1.0))  // DMA setup / doorbell latency
+{
+}
+
+Seconds
+PcieLink::transfer(Seconds start, std::uint64_t bytes)
+{
+    return resource_.transfer(start, bytes);
+}
+
+Seconds
+PcieLink::serviceTime(std::uint64_t bytes) const
+{
+    return resource_.serviceTime(bytes);
+}
+
+}  // namespace hilos

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * PCIe link model: generation/lane bandwidth table, protocol efficiency,
+ * and a link type that layers queueing on a BandwidthResource.
+ */
+
+#ifndef HILOS_INTERCONNECT_PCIE_H_
+#define HILOS_INTERCONNECT_PCIE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/units.h"
+#include "sim/bandwidth.h"
+
+namespace hilos {
+
+/** PCI Express generation. */
+enum class PcieGen {
+    Gen3,  ///< 8 GT/s, 128b/130b
+    Gen4,  ///< 16 GT/s
+    Gen5,  ///< 32 GT/s
+};
+
+/** Raw per-lane data rate (after line coding, before protocol). */
+Bandwidth pcieLaneRate(PcieGen gen);
+
+/**
+ * Effective payload bandwidth of a link: lanes x lane rate x protocol
+ * efficiency (TLP headers, flow control; ~0.85 for large payloads).
+ */
+Bandwidth pcieEffectiveBandwidth(PcieGen gen, unsigned lanes,
+                                 double efficiency = 0.85);
+
+/** Human-readable link name like "pcie4x16". */
+std::string pcieLinkName(PcieGen gen, unsigned lanes);
+
+/**
+ * A PCIe link with FIFO queueing and utilisation stats.
+ */
+class PcieLink
+{
+  public:
+    /**
+     * @param name reporting name
+     * @param gen PCIe generation
+     * @param lanes lane count (1..16)
+     * @param efficiency protocol efficiency in (0, 1]
+     */
+    PcieLink(std::string name, PcieGen gen, unsigned lanes,
+             double efficiency = 0.85);
+
+    /** Queue a transfer arriving at `start`; returns completion time. */
+    Seconds transfer(Seconds start, std::uint64_t bytes);
+
+    /** Idle-channel service time of `bytes`. */
+    Seconds serviceTime(std::uint64_t bytes) const;
+
+    Bandwidth bandwidth() const { return resource_.rate(); }
+    PcieGen gen() const { return gen_; }
+    unsigned lanes() const { return lanes_; }
+    const std::string &name() const { return resource_.name(); }
+    BandwidthResource &resource() { return resource_; }
+    const BandwidthResource &resource() const { return resource_; }
+
+    void reset() { resource_.reset(); }
+
+  private:
+    PcieGen gen_;
+    unsigned lanes_;
+    BandwidthResource resource_;
+};
+
+}  // namespace hilos
+
+#endif  // HILOS_INTERCONNECT_PCIE_H_

@@ -1,0 +1,144 @@
+#include "interconnect/topology.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hilos {
+
+Bandwidth
+PciePath::bandwidth() const
+{
+    HILOS_ASSERT(!links.empty(), "empty PCIe path");
+    Bandwidth best = links.front()->bandwidth();
+    for (const auto *l : links)
+        best = std::min(best, l->bandwidth());
+    return best;
+}
+
+Seconds
+PciePath::transfer(Seconds start, std::uint64_t bytes)
+{
+    HILOS_ASSERT(!links.empty(), "empty PCIe path");
+    Seconds done = start;
+    for (auto *l : links)
+        done = std::max(done, l->transfer(start, bytes));
+    return done;
+}
+
+Seconds
+PciePath::serviceTime(std::uint64_t bytes) const
+{
+    HILOS_ASSERT(!links.empty(), "empty PCIe path");
+    Seconds worst = 0.0;
+    for (const auto *l : links)
+        worst = std::max(worst, l->serviceTime(bytes));
+    return worst;
+}
+
+std::size_t
+PcieTopology::newLink(const std::string &name, PcieGen gen, unsigned lanes)
+{
+    links_.push_back(std::make_unique<PcieLink>(name, gen, lanes));
+    return links_.size() - 1;
+}
+
+std::size_t
+PcieTopology::addHostLink(const std::string &name, PcieGen gen,
+                          unsigned lanes)
+{
+    return newLink(name, gen, lanes);
+}
+
+std::size_t
+PcieTopology::addSwitch(const std::string &name, std::size_t uplink_idx)
+{
+    HILOS_ASSERT(uplink_idx < links_.size(), "bad uplink for switch ",
+                 name);
+    switches_.push_back(Switch{uplink_idx});
+    return switches_.size() - 1;
+}
+
+std::size_t
+PcieTopology::addSwitchPort(std::size_t switch_id, const std::string &name,
+                            PcieGen gen, unsigned lanes)
+{
+    HILOS_ASSERT(switch_id < switches_.size(), "bad switch id");
+    return newLink(name, gen, lanes);
+}
+
+std::size_t
+PcieTopology::addSwitchedDevice(std::size_t switch_id,
+                                std::size_t port_link_idx,
+                                const std::string &name, PcieGen gen,
+                                unsigned lanes)
+{
+    HILOS_ASSERT(switch_id < switches_.size(), "bad switch id");
+    HILOS_ASSERT(port_link_idx < links_.size(), "bad port link");
+    const std::size_t dev_link = newLink(name, gen, lanes);
+    devices_.push_back(SwitchedDevice{switch_id, port_link_idx, dev_link});
+    return devices_.size() - 1;
+}
+
+PciePath
+PcieTopology::hostPath(std::size_t idx)
+{
+    HILOS_ASSERT(idx < links_.size(), "bad host link index");
+    return PciePath{{links_[idx].get()}};
+}
+
+PciePath
+PcieTopology::switchedPath(std::size_t dev_id)
+{
+    HILOS_ASSERT(dev_id < devices_.size(), "bad device id");
+    const SwitchedDevice &d = devices_[dev_id];
+    const Switch &sw = switches_[d.switch_id];
+    return PciePath{{links_[sw.uplink].get(), links_[d.port_link].get(),
+                     links_[d.device_link].get()}};
+}
+
+void
+PcieTopology::reset()
+{
+    for (auto &l : links_)
+        l->reset();
+}
+
+std::unique_ptr<PcieTopology>
+buildConventionalTopology(unsigned ssds)
+{
+    auto topo = std::make_unique<PcieTopology>();
+    topo->addHostLink("gpu", PcieGen::Gen4, 16);
+    for (unsigned i = 0; i < ssds; i++) {
+        topo->addHostLink("ssd" + std::to_string(i), PcieGen::Gen4, 4);
+    }
+    return topo;
+}
+
+ChassisTopology
+buildChassisTopology(unsigned smartssds)
+{
+    HILOS_ASSERT(smartssds >= 1 && smartssds <= 16,
+                 "chassis supports 1..16 SmartSSDs, got ", smartssds);
+    ChassisTopology out;
+    out.fabric = std::make_unique<PcieTopology>();
+    out.gpu_link = out.fabric->addHostLink("gpu", PcieGen::Gen4, 16);
+    const std::size_t uplink =
+        out.fabric->addHostLink("chassis-uplink", PcieGen::Gen4, 16);
+    const std::size_t sw = out.fabric->addSwitch("falcon4109", uplink);
+
+    const unsigned ports = (smartssds + 1) / 2;
+    std::vector<std::size_t> port_links;
+    for (unsigned p = 0; p < ports; p++) {
+        port_links.push_back(out.fabric->addSwitchPort(
+            sw, "port" + std::to_string(p), PcieGen::Gen3, 8));
+    }
+    for (unsigned i = 0; i < smartssds; i++) {
+        const std::size_t port = port_links[i / 2];
+        out.smartssd_devices.push_back(out.fabric->addSwitchedDevice(
+            sw, port, "smartssd" + std::to_string(i), PcieGen::Gen3, 4));
+    }
+    return out;
+}
+
+}  // namespace hilos

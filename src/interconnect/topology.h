@@ -1,0 +1,131 @@
+/**
+ * @file
+ * PCIe topology: host root complex, expansion-chassis switch, and the
+ * device endpoints hanging off them (Figure 3 / §5.3 of the paper).
+ *
+ * Two canonical topologies:
+ *  - Conventional: GPU on a x16 gen4 host link; four SSDs each on a
+ *    dedicated x4 gen4 host link (16 host lanes total for storage).
+ *  - NSP chassis: an H3 Falcon 4109-style switch on a x16 gen4 uplink,
+ *    eight x8 downstream ports, two SmartSSDs (x4 gen3 each) per port.
+ *    Each SmartSSD additionally has an *internal* P2P path between its
+ *    SSD and FPGA that never touches the shared fabric.
+ */
+
+#ifndef HILOS_INTERCONNECT_TOPOLOGY_H_
+#define HILOS_INTERCONNECT_TOPOLOGY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "interconnect/pcie.h"
+
+namespace hilos {
+
+/** A path from host memory to a device: the ordered links it crosses. */
+struct PciePath {
+    std::vector<PcieLink *> links;
+
+    /** Min effective bandwidth along the path. */
+    Bandwidth bandwidth() const;
+
+    /**
+     * Queue a transfer of `bytes` across every link on the path starting
+     * at `start`; store-and-forward at switch granularity is ignored
+     * (cut-through), so completion is the max of the per-link finishes.
+     */
+    Seconds transfer(Seconds start, std::uint64_t bytes);
+
+    /** Idle-path service time. */
+    Seconds serviceTime(std::uint64_t bytes) const;
+};
+
+/**
+ * The PCIe fabric of one server.
+ */
+class PcieTopology
+{
+  public:
+    PcieTopology() = default;
+
+    /** Non-copyable (owns links referenced by paths). */
+    PcieTopology(const PcieTopology &) = delete;
+    PcieTopology &operator=(const PcieTopology &) = delete;
+
+    /** Add a root-port link directly off the host. @return link index */
+    std::size_t addHostLink(const std::string &name, PcieGen gen,
+                            unsigned lanes);
+
+    /**
+     * Add a switch behind host link `uplink_idx`; downstream devices
+     * attach with addSwitchedDevice.
+     * @return switch id
+     */
+    std::size_t addSwitch(const std::string &name, std::size_t uplink_idx);
+
+    /**
+     * Attach a device below switch `switch_id` through a port link and a
+     * device link (port links may be shared by passing the same
+     * port_link index returned from addSwitchPort).
+     */
+    std::size_t addSwitchPort(std::size_t switch_id, const std::string &name,
+                              PcieGen gen, unsigned lanes);
+    std::size_t addSwitchedDevice(std::size_t switch_id,
+                                  std::size_t port_link_idx,
+                                  const std::string &name, PcieGen gen,
+                                  unsigned lanes);
+
+    /** Path from host to a direct device on host link `idx`. */
+    PciePath hostPath(std::size_t idx);
+
+    /** Path from host to switched device `dev_id`. */
+    PciePath switchedPath(std::size_t dev_id);
+
+    /** Access a link by index for stats inspection. */
+    PcieLink &link(std::size_t idx) { return *links_.at(idx); }
+    std::size_t linkCount() const { return links_.size(); }
+
+    void reset();
+
+  private:
+    struct Switch {
+        std::size_t uplink;
+    };
+    struct SwitchedDevice {
+        std::size_t switch_id;
+        std::size_t port_link;
+        std::size_t device_link;
+    };
+
+    std::size_t newLink(const std::string &name, PcieGen gen,
+                        unsigned lanes);
+
+    std::vector<std::unique_ptr<PcieLink>> links_;
+    std::vector<Switch> switches_;
+    std::vector<SwitchedDevice> devices_;
+};
+
+/**
+ * Build the conventional baseline fabric: GPU x16 gen4 + `ssds` x4 gen4
+ * root ports. Link 0 is the GPU; links 1..ssds are the SSDs.
+ */
+std::unique_ptr<PcieTopology> buildConventionalTopology(unsigned ssds);
+
+/**
+ * Build the SmartSSD chassis fabric: GPU x16 gen4 (link 0), switch on a
+ * x16 gen4 uplink, ceil(n/2) x8 gen3 ports, two SmartSSDs (x4 gen3) per
+ * port. Returned device ids 0..n-1 map to SmartSSDs.
+ */
+struct ChassisTopology {
+    std::unique_ptr<PcieTopology> fabric;
+    std::size_t gpu_link = 0;
+    std::vector<std::size_t> smartssd_devices;
+};
+ChassisTopology buildChassisTopology(unsigned smartssds);
+
+}  // namespace hilos
+
+#endif  // HILOS_INTERCONNECT_TOPOLOGY_H_

@@ -1,0 +1,107 @@
+#include "llm/attention_ref.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace hilos {
+
+Matrix
+naiveAttention(const Matrix &queries, const Matrix &keys,
+               const Matrix &values, float scale)
+{
+    HILOS_ASSERT(queries.cols() == keys.cols(), "q/k dim mismatch");
+    HILOS_ASSERT(keys.rows() == values.rows() &&
+                     keys.cols() == values.cols(),
+                 "k/v shape mismatch");
+    const std::size_t g = queries.rows();
+    const std::size_t s = keys.rows();
+    const std::size_t d = keys.cols();
+    const float sc =
+        scale != 0.0f ? scale : 1.0f / std::sqrt(static_cast<float>(d));
+
+    Matrix out(g, d);
+    for (std::size_t q = 0; q < g; q++) {
+        // Scores.
+        std::vector<float> scores(s);
+        for (std::size_t i = 0; i < s; i++) {
+            float acc = 0.0f;
+            for (std::size_t c = 0; c < d; c++)
+                acc += queries.at(q, c) * keys.at(i, c);
+            scores[i] = acc * sc;
+        }
+        // Three-pass stable softmax.
+        float m = -std::numeric_limits<float>::infinity();
+        for (float v : scores)
+            m = std::max(m, v);
+        float z = 0.0f;
+        for (float v : scores)
+            z += std::exp(v - m);
+        // Weighted sum.
+        for (std::size_t i = 0; i < s; i++) {
+            const float p = std::exp(scores[i] - m) / z;
+            for (std::size_t c = 0; c < d; c++)
+                out.at(q, c) += p * values.at(i, c);
+        }
+    }
+    return out;
+}
+
+Matrix
+flashAttention(const Matrix &queries, const Matrix &keys,
+               const Matrix &values, float scale, std::size_t block_tokens)
+{
+    HILOS_ASSERT(queries.cols() == keys.cols(), "q/k dim mismatch");
+    HILOS_ASSERT(keys.rows() == values.rows() &&
+                     keys.cols() == values.cols(),
+                 "k/v shape mismatch");
+    HILOS_ASSERT(block_tokens > 0, "block size must be positive");
+    const std::size_t g = queries.rows();
+    const std::size_t s = keys.rows();
+    const std::size_t d = keys.cols();
+    const float sc =
+        scale != 0.0f ? scale : 1.0f / std::sqrt(static_cast<float>(d));
+
+    Matrix out(g, d);
+    for (std::size_t q = 0; q < g; q++) {
+        float m = -std::numeric_limits<float>::infinity();
+        float z = 0.0f;
+        std::vector<float> acc(d, 0.0f);
+
+        for (std::size_t base = 0; base < s; base += block_tokens) {
+            const std::size_t end = std::min(s, base + block_tokens);
+            // Block scores and local max.
+            std::vector<float> scores(end - base);
+            float m_b = -std::numeric_limits<float>::infinity();
+            for (std::size_t i = base; i < end; i++) {
+                float dot = 0.0f;
+                for (std::size_t c = 0; c < d; c++)
+                    dot += queries.at(q, c) * keys.at(i, c);
+                scores[i - base] = dot * sc;
+                m_b = std::max(m_b, scores[i - base]);
+            }
+            // Online rescale of the running state.
+            const float m_new = std::max(m, m_b);
+            const float alpha = std::exp(m - m_new);
+            z *= alpha;
+            for (auto &a : acc)
+                a *= alpha;
+            // Accumulate the block.
+            for (std::size_t i = base; i < end; i++) {
+                const float p = std::exp(scores[i - base] - m_new);
+                z += p;
+                for (std::size_t c = 0; c < d; c++)
+                    acc[c] += p * values.at(i, c);
+            }
+            m = m_new;
+        }
+        HILOS_ASSERT(z > 0.0f, "flash attention with empty context");
+        for (std::size_t c = 0; c < d; c++)
+            out.at(q, c) = acc[c] / z;
+    }
+    return out;
+}
+
+}  // namespace hilos

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reference attention implementations used as ground truth:
+ *  - `naiveAttention`: FP32, textbook three-pass softmax;
+ *  - `flashAttention`: FP32, single-pass online-softmax (the
+ *    FlashAttention recurrence the paper compares accuracy against).
+ *
+ * Both compute softmax(Q K^T / sqrt(d)) V for a block of d_group query
+ * vectors over an s x d context.
+ */
+
+#ifndef HILOS_LLM_ATTENTION_REF_H_
+#define HILOS_LLM_ATTENTION_REF_H_
+
+#include "llm/tensor.h"
+
+namespace hilos {
+
+/**
+ * Textbook attention: scores, stable three-pass softmax, weighted sum.
+ *
+ * @param queries g x d query block
+ * @param keys s x d keys
+ * @param values s x d values
+ * @param scale score scale; 0 means 1/sqrt(d)
+ * @return g x d outputs
+ */
+Matrix naiveAttention(const Matrix &queries, const Matrix &keys,
+                      const Matrix &values, float scale = 0.0f);
+
+/**
+ * FlashAttention-style streaming attention: one pass over K/V blocks
+ * with online (max, sum, accumulator) rescaling. Numerically equivalent
+ * to naiveAttention up to floating-point reassociation.
+ *
+ * @param block_tokens KV block height processed per step
+ */
+Matrix flashAttention(const Matrix &queries, const Matrix &keys,
+                      const Matrix &values, float scale = 0.0f,
+                      std::size_t block_tokens = 128);
+
+}  // namespace hilos
+
+#endif  // HILOS_LLM_ATTENTION_REF_H_

@@ -1,0 +1,249 @@
+#include "llm/model_config.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace hilos {
+
+std::uint64_t
+ModelConfig::headDim() const
+{
+    HILOS_ASSERT(heads > 0 && hidden % heads == 0,
+                 "hidden must divide evenly into heads");
+    return hidden / heads;
+}
+
+std::uint64_t
+ModelConfig::dGroup() const
+{
+    HILOS_ASSERT(kv_heads > 0 && heads % kv_heads == 0,
+                 "heads must divide evenly into kv_heads");
+    return heads / kv_heads;
+}
+
+std::uint64_t
+ModelConfig::attnWeightBytesPerLayer() const
+{
+    const std::uint64_t kv_dim = kv_heads * headDim();
+    const std::uint64_t params = hidden * hidden        // Wq
+                                 + hidden * kv_dim      // Wk
+                                 + hidden * kv_dim      // Wv
+                                 + hidden * hidden;     // Wo
+    return params * dtype_bytes;
+}
+
+std::uint64_t
+ModelConfig::mlpWeightBytesPerLayer() const
+{
+    const std::uint64_t proj_count = mlp_kind == MlpKind::Gated ? 3 : 2;
+    const std::uint64_t per_expert = proj_count * hidden * intermediate;
+    if (!isMoe())
+        return per_expert * dtype_bytes;
+    // MoE layers hold all experts; a moe_layer_fraction of layers are
+    // MoE, the rest dense. Report the per-layer average.
+    const double moe_bytes =
+        static_cast<double>(per_expert * experts * dtype_bytes);
+    const double dense_bytes =
+        static_cast<double>(per_expert * dtype_bytes);
+    return static_cast<std::uint64_t>(moe_layer_fraction * moe_bytes +
+                                      (1.0 - moe_layer_fraction) *
+                                          dense_bytes);
+}
+
+std::uint64_t
+ModelConfig::weightBytesPerLayer() const
+{
+    return attnWeightBytesPerLayer() + mlpWeightBytesPerLayer();
+}
+
+std::uint64_t
+ModelConfig::weightBytesTotal() const
+{
+    const std::uint64_t embeddings = vocab * hidden * dtype_bytes;
+    return layers * weightBytesPerLayer() + 2 * embeddings;
+}
+
+std::uint64_t
+ModelConfig::paramCount() const
+{
+    return weightBytesTotal() / dtype_bytes;
+}
+
+double
+ModelConfig::loadedWeightBytesPerLayer(std::uint64_t batch) const
+{
+    if (!isMoe())
+        return static_cast<double>(weightBytesPerLayer());
+    // Expected number of distinct experts activated by `batch` tokens,
+    // each routing to `active_experts` *distinct* experts:
+    //   E[distinct] = experts * (1 - (1 - active/experts)^batch),
+    // which is exactly `active_experts` at batch 1.
+    const double e = static_cast<double>(experts);
+    const double a = static_cast<double>(active_experts);
+    const double distinct =
+        e * (1.0 - std::pow(1.0 - a / e,
+                            static_cast<double>(batch)));
+    const std::uint64_t proj_count = mlp_kind == MlpKind::Gated ? 3 : 2;
+    const double per_expert = static_cast<double>(
+        proj_count * hidden * intermediate * dtype_bytes);
+    const double moe_layer =
+        static_cast<double>(attnWeightBytesPerLayer()) +
+        distinct * per_expert;
+    const double dense_layer =
+        static_cast<double>(attnWeightBytesPerLayer()) + per_expert;
+    return moe_layer_fraction * moe_layer +
+           (1.0 - moe_layer_fraction) * dense_layer;
+}
+
+std::uint64_t
+ModelConfig::kvBytesPerTokenPerLayer() const
+{
+    return 2 * kv_heads * headDim() * dtype_bytes;
+}
+
+double
+ModelConfig::kvBytesTotal(std::uint64_t batch, std::uint64_t seq) const
+{
+    return static_cast<double>(kvBytesPerTokenPerLayer()) *
+           static_cast<double>(layers) * static_cast<double>(batch) *
+           static_cast<double>(seq);
+}
+
+std::uint64_t
+ModelConfig::xBytesPerTokenPerLayer() const
+{
+    return hidden * dtype_bytes;
+}
+
+double
+ModelConfig::denseFlopsPerTokenPerLayer() const
+{
+    const double attn_proj =
+        2.0 * static_cast<double>(attnWeightBytesPerLayer() / dtype_bytes);
+    const std::uint64_t proj_count = mlp_kind == MlpKind::Gated ? 3 : 2;
+    const double per_expert =
+        2.0 * static_cast<double>(proj_count * hidden * intermediate);
+    const double active =
+        isMoe() ? static_cast<double>(active_experts) : 1.0;
+    const double mlp =
+        isMoe() ? moe_layer_fraction * active * per_expert +
+                      (1.0 - moe_layer_fraction) * per_expert
+                : per_expert;
+    return attn_proj + mlp;
+}
+
+double
+ModelConfig::attentionFlopsPerToken(std::uint64_t s) const
+{
+    // QK^T and PV over the context for every query head.
+    return 4.0 * static_cast<double>(heads) *
+           static_cast<double>(headDim()) * static_cast<double>(s);
+}
+
+ModelConfig
+opt30b()
+{
+    ModelConfig m;
+    m.name = "OPT-30B";
+    m.layers = 48;
+    m.hidden = 7168;
+    m.intermediate = 28672;
+    m.heads = 64;
+    m.kv_heads = 64;
+    return m;
+}
+
+ModelConfig
+opt66b()
+{
+    ModelConfig m;
+    m.name = "OPT-66B";
+    m.layers = 64;
+    m.hidden = 9216;
+    m.intermediate = 36864;
+    m.heads = 72;
+    m.kv_heads = 72;
+    return m;
+}
+
+ModelConfig
+opt175b()
+{
+    ModelConfig m;
+    m.name = "OPT-175B";
+    m.layers = 96;
+    m.hidden = 12288;
+    m.intermediate = 49152;
+    m.heads = 96;
+    m.kv_heads = 96;
+    return m;
+}
+
+ModelConfig
+qwen32b()
+{
+    ModelConfig m;
+    m.name = "Qwen2.5-32B";
+    m.layers = 64;
+    m.hidden = 5120;
+    m.intermediate = 27648;
+    m.heads = 40;
+    m.kv_heads = 8;
+    m.mlp_kind = MlpKind::Gated;
+    m.vocab = 152064;
+    return m;
+}
+
+ModelConfig
+mixtral8x7b()
+{
+    ModelConfig m;
+    m.name = "Mixtral-8x7B";
+    m.layers = 32;
+    m.hidden = 4096;
+    m.intermediate = 14336;
+    m.heads = 32;
+    m.kv_heads = 8;
+    m.mlp_kind = MlpKind::Gated;
+    m.experts = 8;
+    m.active_experts = 2;
+    m.vocab = 32000;
+    return m;
+}
+
+ModelConfig
+glam143b()
+{
+    ModelConfig m;
+    m.name = "GLaM-143B";
+    m.layers = 32;
+    m.hidden = 4096;
+    m.intermediate = 16384;
+    m.heads = 32;
+    m.kv_heads = 32;
+    m.experts = 64;
+    m.active_experts = 2;
+    m.moe_layer_fraction = 0.5;  // GLaM interleaves dense and MoE layers
+    m.vocab = 256000;
+    return m;
+}
+
+std::vector<ModelConfig>
+allModels()
+{
+    return {opt30b(), opt66b(), opt175b(), qwen32b(), mixtral8x7b(),
+            glam143b()};
+}
+
+ModelConfig
+modelByName(const std::string &name)
+{
+    for (const auto &m : allModels()) {
+        if (m.name == name)
+            return m;
+    }
+    HILOS_FATAL("unknown model: ", name);
+}
+
+}  // namespace hilos

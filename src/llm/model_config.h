@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Model configurations (Table 2) and derived size arithmetic: weight
+ * bytes per layer, KV-cache bytes per token, MoE active-expert loading,
+ * and the memory-footprint quantities behind Figure 2(a).
+ */
+
+#ifndef HILOS_LLM_MODEL_CONFIG_H_
+#define HILOS_LLM_MODEL_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hilos {
+
+/** Feed-forward block style. */
+enum class MlpKind {
+    Standard,  ///< two projections (OPT): 2 * h * i
+    Gated,     ///< gated SiLU (Qwen/Mixtral): 3 * h * i
+};
+
+/** One decoder-only transformer configuration (a Table 2 row). */
+struct ModelConfig {
+    std::string name;
+    std::uint64_t layers = 0;
+    std::uint64_t hidden = 0;        ///< model width h
+    std::uint64_t intermediate = 0;  ///< FFN width i
+    std::uint64_t heads = 0;         ///< query heads
+    std::uint64_t kv_heads = 0;      ///< KV heads (== heads for MHA)
+    MlpKind mlp_kind = MlpKind::Standard;
+    std::uint64_t experts = 0;        ///< 0 for dense models
+    std::uint64_t active_experts = 0; ///< experts activated per token
+    /** Fraction of layers that are MoE (GLaM interleaves dense/MoE). */
+    double moe_layer_fraction = 1.0;
+    std::uint64_t vocab = 50272;
+    std::uint64_t dtype_bytes = 2;  ///< FP16
+    std::uint64_t max_position = 131072;
+
+    /** Per-head dimension d = hidden / heads. */
+    std::uint64_t headDim() const;
+    /** Query heads per KV head (Table 2's d_group). */
+    std::uint64_t dGroup() const;
+    /** True for mixture-of-experts models. */
+    bool isMoe() const { return experts > 0; }
+
+    /** Attention weight bytes of one layer (Wq, Wk, Wv, Wo). */
+    std::uint64_t attnWeightBytesPerLayer() const;
+    /** FFN weight bytes of one layer (all experts for MoE). */
+    std::uint64_t mlpWeightBytesPerLayer() const;
+    /** Total weight bytes of one layer. */
+    std::uint64_t weightBytesPerLayer() const;
+    /** Total model weight bytes (layers + embeddings). */
+    std::uint64_t weightBytesTotal() const;
+    /** Approximate parameter count. */
+    std::uint64_t paramCount() const;
+
+    /**
+     * Weight bytes that must be staged per layer per decoding step for
+     * a batch of `batch` tokens. Dense models load everything; MoE
+     * models load the expected number of distinct activated experts.
+     */
+    double loadedWeightBytesPerLayer(std::uint64_t batch) const;
+
+    /** KV-cache bytes per token per layer (K and V, FP16). */
+    std::uint64_t kvBytesPerTokenPerLayer() const;
+    /** KV-cache bytes for `batch` sequences of `seq` tokens, all layers. */
+    double kvBytesTotal(std::uint64_t batch, std::uint64_t seq) const;
+    /** X-cache bytes per token per layer (pre-projection activation). */
+    std::uint64_t xBytesPerTokenPerLayer() const;
+
+    /**
+     * Decode-step FLOPs of one layer for one token (projections + MLP,
+     * excluding attention over the context, which scales with s).
+     */
+    double denseFlopsPerTokenPerLayer() const;
+    /** Attention FLOPs for one token attending to `s` context tokens. */
+    double attentionFlopsPerToken(std::uint64_t s) const;
+};
+
+/** OPT-30B (48 x 7168, MHA). */
+ModelConfig opt30b();
+/** OPT-66B (64 x 9216, MHA). */
+ModelConfig opt66b();
+/** OPT-175B (96 x 12288, MHA). */
+ModelConfig opt175b();
+/** Qwen2.5-32B (64 x 5120, GQA d_group = 5). */
+ModelConfig qwen32b();
+/** Mixtral-8x7B (32 x 4096, GQA d_group = 4, 8 experts / 2 active). */
+ModelConfig mixtral8x7b();
+/** GLaM-143B (32 x 4096, MHA, 64 experts / 2 active, alternating MoE). */
+ModelConfig glam143b();
+
+/** All Table 2 models in paper order. */
+std::vector<ModelConfig> allModels();
+
+/** Look up a model by Table 2 name; fatal on unknown names. */
+ModelConfig modelByName(const std::string &name);
+
+}  // namespace hilos
+
+#endif  // HILOS_LLM_MODEL_CONFIG_H_

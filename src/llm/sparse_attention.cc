@@ -1,0 +1,97 @@
+#include "llm/sparse_attention.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "llm/attention_ref.h"
+
+namespace hilos {
+
+SparseAttention::SparseAttention(const SparseAttentionConfig &cfg)
+    : cfg_(cfg)
+{
+    HILOS_ASSERT(cfg_.compression_ratio >= 1, "invalid compression ratio");
+    HILOS_ASSERT(cfg_.selection_bits >= 1 && cfg_.selection_bits <= 16,
+                 "invalid selection bits");
+}
+
+float
+SparseAttention::quantize(float v, float stddev) const
+{
+    const float clip = cfg_.clip_sigma * stddev;
+    const float clamped = std::clamp(v, -clip, clip);
+    const float levels =
+        static_cast<float>((1u << cfg_.selection_bits) - 1);
+    const float step = 2.0f * clip / levels;
+    if (step <= 0.0f)
+        return 0.0f;
+    // Snap to the grid, then re-clamp: the top rounding bucket must not
+    // escape the clip range.
+    return std::clamp(std::round(clamped / step) * step, -clip, clip);
+}
+
+SparseAttentionResult
+SparseAttention::run(const Matrix &queries, const Matrix &keys,
+                     const Matrix &values, float scale) const
+{
+    HILOS_ASSERT(queries.cols() == keys.cols(), "q/k dim mismatch");
+    HILOS_ASSERT(keys.rows() == values.rows(), "k/v shape mismatch");
+    const std::size_t g = queries.rows();
+    const std::size_t s = keys.rows();
+    const std::size_t d = keys.cols();
+
+    // Quantised key copy for the selection stage: the in-storage index
+    // stores keys in low precision to fit the resource budget.
+    float mean = 0.0f;
+    for (std::size_t i = 0; i < keys.size(); i++)
+        mean += keys.data()[i];
+    mean /= static_cast<float>(keys.size());
+    float var = 0.0f;
+    for (std::size_t i = 0; i < keys.size(); i++) {
+        const float dv = keys.data()[i] - mean;
+        var += dv * dv;
+    }
+    const float stddev =
+        std::sqrt(var / static_cast<float>(keys.size()));
+
+    // Approximate ranking scores summed across the query group (the
+    // group shares one retrieval decision, like a shared KV head).
+    std::vector<float> approx(s, 0.0f);
+    for (std::size_t i = 0; i < s; i++) {
+        for (std::size_t q = 0; q < g; q++) {
+            float dot = 0.0f;
+            for (std::size_t c = 0; c < d; c++)
+                dot += queries.at(q, c) * quantize(keys.at(i, c), stddev);
+            approx[i] += dot;
+        }
+    }
+
+    // Top-k selection.
+    const std::size_t keep =
+        std::max<std::size_t>(1, s / cfg_.compression_ratio);
+    std::vector<std::size_t> order(s);
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(order.begin(), order.begin() + keep, order.end(),
+                      [&](std::size_t a, std::size_t b) {
+                          return approx[a] > approx[b];
+                      });
+    std::vector<std::size_t> selected(order.begin(), order.begin() + keep);
+    std::sort(selected.begin(), selected.end());
+
+    // Exact attention over the retrieved subset.
+    Matrix sub_k(keep, d), sub_v(keep, d);
+    for (std::size_t i = 0; i < keep; i++) {
+        for (std::size_t c = 0; c < d; c++) {
+            sub_k.at(i, c) = keys.at(selected[i], c);
+            sub_v.at(i, c) = values.at(selected[i], c);
+        }
+    }
+    SparseAttentionResult res;
+    res.outputs = naiveAttention(queries, sub_k, sub_v, scale);
+    res.selected = std::move(selected);
+    return res;
+}
+
+}  // namespace hilos

@@ -1,0 +1,421 @@
+#include "llm/transformer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "llm/attention_ref.h"
+
+namespace hilos {
+
+LayerWeights
+LayerWeights::random(const LayerShape &shape, Rng &rng)
+{
+    const float scale_h =
+        1.0f / std::sqrt(static_cast<float>(shape.hidden));
+    const float scale_i =
+        1.0f / std::sqrt(static_cast<float>(shape.intermediate));
+    LayerWeights w;
+    w.wq = Matrix::random(shape.hidden, shape.hidden, rng, scale_h);
+    w.wk = Matrix::random(shape.hidden, shape.kvWidth(), rng, scale_h);
+    w.wv = Matrix::random(shape.hidden, shape.kvWidth(), rng, scale_h);
+    w.wo = Matrix::random(shape.hidden, shape.hidden, rng, scale_h);
+    w.w1 = Matrix::random(shape.hidden, shape.intermediate, rng, scale_h);
+    w.w2 = Matrix::random(shape.intermediate, shape.hidden, rng, scale_i);
+    return w;
+}
+
+TransformerLayer::TransformerLayer(const LayerShape &shape,
+                                   LayerWeights weights,
+                                   std::size_t batches,
+                                   std::size_t spill_interval)
+    : shape_(shape), weights_(std::move(weights)), batches_(batches),
+      ref_k_(batches * shape.kv_heads), ref_v_(batches * shape.kv_heads),
+      stored_(batches, shape.kv_heads, shape.headDim()),
+      wb_(batches * shape.kv_heads, shape.headDim(), spill_interval),
+      kernel_(AttentionKernelConfig{128, shape.dGroup(), 128, 32}),
+      xcache_(batches, shape.hidden)
+{
+    HILOS_ASSERT(shape_.hidden % shape_.heads == 0,
+                 "hidden must divide into heads");
+    HILOS_ASSERT(shape_.heads % shape_.kv_heads == 0,
+                 "heads must divide into kv_heads");
+    if (shape_.use_rope)
+        rope_.emplace(shape_.headDim(), shape_.max_pos);
+}
+
+void
+TransformerLayer::project(const Matrix &x, Matrix &q, Matrix &k,
+                          Matrix &v, std::size_t pos0) const
+{
+    q = x.matmul(weights_.wq);
+    k = x.matmul(weights_.wk);
+    v = x.matmul(weights_.wv);
+    if (rope_) {
+        const std::size_t d = shape_.headDim();
+        for (std::size_t b = 0; b < x.rows(); b++) {
+            for (std::size_t h = 0; h < shape_.heads; h++)
+                rope_->apply(q.row(b) + h * d, pos0);
+            for (std::size_t h = 0; h < shape_.kv_heads; h++)
+                rope_->apply(k.row(b) + h * d, pos0);
+        }
+    }
+}
+
+std::vector<float>
+TransformerLayer::attendReference(std::size_t b, const Matrix &q) const
+{
+    const std::size_t d = shape_.headDim();
+    const std::size_t g = shape_.dGroup();
+    const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+    std::vector<float> out(shape_.hidden, 0.0f);
+
+    for (std::size_t h = 0; h < shape_.kv_heads; h++) {
+        const auto &kbuf = ref_k_[b * shape_.kv_heads + h];
+        const auto &vbuf = ref_v_[b * shape_.kv_heads + h];
+        const std::size_t len = kbuf.size() / d;
+        Matrix keys(len, d), values(len, d);
+        std::copy(kbuf.begin(), kbuf.end(), keys.data());
+        std::copy(vbuf.begin(), vbuf.end(), values.data());
+        Matrix queries(g, d);
+        for (std::size_t gi = 0; gi < g; gi++) {
+            const std::size_t head = h * g + gi;
+            for (std::size_t c = 0; c < d; c++)
+                queries.at(gi, c) = q.at(b, head * d + c);
+        }
+        const Matrix res = naiveAttention(queries, keys, values, scale);
+        for (std::size_t gi = 0; gi < g; gi++) {
+            const std::size_t head = h * g + gi;
+            for (std::size_t c = 0; c < d; c++)
+                out[head * d + c] = res.at(gi, c);
+        }
+    }
+    return out;
+}
+
+std::vector<float>
+TransformerLayer::attendNearStorage(std::size_t b, const Matrix &q)
+{
+    const std::size_t d = shape_.headDim();
+    const std::size_t g = shape_.dGroup();
+    const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+    std::vector<float> out(shape_.hidden, 0.0f);
+
+    for (std::size_t h = 0; h < shape_.kv_heads; h++) {
+        const SliceId slice{static_cast<std::uint32_t>(b),
+                            static_cast<std::uint32_t>(h)};
+        const std::size_t wslice = b * shape_.kv_heads + h;
+
+        // Query block for this group, FP16 as the device receives it.
+        std::vector<Half> qh(g * d);
+        std::vector<float> qf(g * d);
+        for (std::size_t gi = 0; gi < g; gi++) {
+            const std::size_t head = h * g + gi;
+            for (std::size_t c = 0; c < d; c++) {
+                const float val = q.at(b, head * d + c);
+                qh[gi * d + c] = Half(val);
+                qf[gi * d + c] = Half(val).toFloat();
+            }
+        }
+
+        AttentionRequest req;
+        req.queries = viewOf(qh, g, d);
+        req.keys = stored_.keys(slice);
+        req.values = stored_.values(slice);
+        req.valid_len = stored_.length(slice);
+        req.scale = scale;
+        req.partial_scores = wb_.partialScores(wslice, qf, g, scale);
+        req.buffered_values = wb_.bufferedValues(wslice);
+        const AttentionResult res = kernel_.run(req);
+
+        for (std::size_t gi = 0; gi < g; gi++) {
+            const std::size_t head = h * g + gi;
+            for (std::size_t c = 0; c < d; c++)
+                out[head * d + c] = res.outputs[gi * d + c];
+        }
+    }
+    return out;
+}
+
+std::vector<float>
+TransformerLayer::attendXCache(std::size_t b, const Matrix &q) const
+{
+    const std::size_t d = shape_.headDim();
+    const std::size_t g = shape_.dGroup();
+    const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+
+    // Regenerate K and V from the stored pre-projection activations:
+    // X (s x hidden) times W_K / W_V, re-applying RoPE per historical
+    // position (§4.2; the rotation cache makes this cheap).
+    const HalfMatrixView xview = xcache_.activations(b);
+    const std::size_t len = xview.rows;
+    Matrix x(len, shape_.hidden);
+    for (std::size_t r = 0; r < len; r++)
+        for (std::size_t c = 0; c < shape_.hidden; c++)
+            x.at(r, c) = xview.at(r, c).toFloat();
+    Matrix k = x.matmul(weights_.wk);
+    const Matrix v = x.matmul(weights_.wv);
+    if (rope_) {
+        for (std::size_t r = 0; r < len; r++)
+            for (std::size_t h = 0; h < shape_.kv_heads; h++)
+                rope_->apply(k.row(r) + h * d, r);
+    }
+
+    std::vector<float> out(shape_.hidden, 0.0f);
+    for (std::size_t h = 0; h < shape_.kv_heads; h++) {
+        Matrix keys(len, d), values(len, d);
+        for (std::size_t r = 0; r < len; r++)
+            for (std::size_t c = 0; c < d; c++) {
+                keys.at(r, c) = k.at(r, h * d + c);
+                values.at(r, c) = v.at(r, h * d + c);
+            }
+        Matrix queries(g, d);
+        for (std::size_t gi = 0; gi < g; gi++) {
+            const std::size_t head = h * g + gi;
+            for (std::size_t c = 0; c < d; c++)
+                queries.at(gi, c) = q.at(b, head * d + c);
+        }
+        // The regenerated portion runs FlashAttention on the GPU.
+        const Matrix res = flashAttention(queries, keys, values, scale);
+        for (std::size_t gi = 0; gi < g; gi++) {
+            const std::size_t head = h * g + gi;
+            for (std::size_t c = 0; c < d; c++)
+                out[head * d + c] = res.at(gi, c);
+        }
+    }
+    return out;
+}
+
+Matrix
+TransformerLayer::finish(const Matrix &attn_out) const
+{
+    const Matrix proj = attn_out.matmul(weights_.wo);
+    Matrix h = proj.matmul(weights_.w1);
+    for (std::size_t i = 0; i < h.size(); i++)
+        h.data()[i] = std::max(0.0f, h.data()[i]);  // ReLU (OPT-style)
+    Matrix y = h.matmul(weights_.w2);
+    for (std::size_t i = 0; i < y.size(); i++)
+        y.data()[i] += proj.data()[i];  // residual
+    return y;
+}
+
+Matrix
+TransformerLayer::prefill(const Matrix &prompt, std::size_t tokens)
+{
+    HILOS_ASSERT(prompt.rows() == batches_ * tokens,
+                 "prompt layout must be batch-major (b*tokens rows)");
+    HILOS_ASSERT(prompt.cols() == shape_.hidden, "prompt width mismatch");
+    HILOS_ASSERT(positions_ == 0, "prefill on a non-empty layer");
+
+    const std::size_t d = shape_.headDim();
+    Matrix outputs(prompt.rows(), shape_.hidden);
+
+    for (std::size_t t = 0; t < tokens; t++) {
+        Matrix x(batches_, shape_.hidden);
+        for (std::size_t b = 0; b < batches_; b++)
+            for (std::size_t c = 0; c < shape_.hidden; c++)
+                x.at(b, c) = prompt.at(b * tokens + t, c);
+
+        Matrix q, k, v;
+        project(x, q, k, v, positions_);
+
+        for (std::size_t b = 0; b < batches_; b++) {
+            // X-cache: store the pre-projection activation.
+            std::vector<Half> xrow(shape_.hidden);
+            for (std::size_t c = 0; c < shape_.hidden; c++)
+                xrow[c] = Half(x.at(b, c));
+            xcache_.append(b, xrow.data());
+
+            for (std::size_t h = 0; h < shape_.kv_heads; h++) {
+                const SliceId slice{static_cast<std::uint32_t>(b),
+                                    static_cast<std::uint32_t>(h)};
+                std::vector<Half> kr(d), vr(d);
+                std::vector<float> kf(d), vf(d);
+                for (std::size_t c = 0; c < d; c++) {
+                    kf[c] = k.at(b, h * d + c);
+                    vf[c] = v.at(b, h * d + c);
+                    kr[c] = Half(kf[c]);
+                    vr[c] = Half(vf[c]);
+                }
+                // Prefill writes row-wise directly to storage (§4.3).
+                stored_.append(slice, kr.data(), vr.data());
+                auto &kbuf = ref_k_[b * shape_.kv_heads + h];
+                auto &vbuf = ref_v_[b * shape_.kv_heads + h];
+                kbuf.insert(kbuf.end(), kf.begin(), kf.end());
+                vbuf.insert(vbuf.end(), vf.begin(), vf.end());
+            }
+        }
+        positions_++;
+
+        // Prefill outputs via the reference path (FlashAttention in the
+        // real system; identical math).
+        Matrix attn(batches_, shape_.hidden);
+        for (std::size_t b = 0; b < batches_; b++) {
+            const std::vector<float> o = attendReference(b, q);
+            std::copy(o.begin(), o.end(), attn.row(b));
+        }
+        const Matrix y = finish(attn);
+        for (std::size_t b = 0; b < batches_; b++)
+            for (std::size_t c = 0; c < shape_.hidden; c++)
+                outputs.at(b * tokens + t, c) = y.at(b, c);
+    }
+    return outputs;
+}
+
+Matrix
+TransformerLayer::decode(const Matrix &x, AttentionPath path)
+{
+    HILOS_ASSERT(x.rows() == batches_ && x.cols() == shape_.hidden,
+                 "decode input must be batches x hidden");
+    const std::size_t d = shape_.headDim();
+
+    Matrix q, k, v;
+    project(x, q, k, v, positions_);
+
+    // Append the new token to every path's cache so paths stay
+    // interchangeable step to step.
+    for (std::size_t b = 0; b < batches_; b++) {
+        std::vector<Half> xrow(shape_.hidden);
+        for (std::size_t c = 0; c < shape_.hidden; c++)
+            xrow[c] = Half(x.at(b, c));
+        xcache_.append(b, xrow.data());
+
+        for (std::size_t h = 0; h < shape_.kv_heads; h++) {
+            const std::size_t wslice = b * shape_.kv_heads + h;
+            std::vector<Half> kr(d), vr(d);
+            std::vector<float> kf(d), vf(d);
+            for (std::size_t c = 0; c < d; c++) {
+                kf[c] = k.at(b, h * d + c);
+                vf[c] = v.at(b, h * d + c);
+                kr[c] = Half(kf[c]);
+                vr[c] = Half(vf[c]);
+            }
+            // Decode appends stage in host memory and spill to storage
+            // at the configured interval (§4.3).
+            wb_.append(wslice, kr.data(), vr.data());
+            auto &kbuf = ref_k_[wslice];
+            auto &vbuf = ref_v_[wslice];
+            kbuf.insert(kbuf.end(), kf.begin(), kf.end());
+            vbuf.insert(vbuf.end(), vf.begin(), vf.end());
+        }
+    }
+    // Commit any spilled chunks to the stored cache.
+    for (SpillChunk &chunk : wb_.takeSpills()) {
+        const std::size_t b = chunk.slice / shape_.kv_heads;
+        const std::size_t h = chunk.slice % shape_.kv_heads;
+        const SliceId slice{static_cast<std::uint32_t>(b),
+                            static_cast<std::uint32_t>(h)};
+        for (std::uint64_t e = 0; e < chunk.entries; e++) {
+            stored_.append(slice, chunk.k_data.data() + e * d,
+                           chunk.v_data.data() + e * d);
+        }
+    }
+    positions_++;
+
+    Matrix attn(batches_, shape_.hidden);
+    for (std::size_t b = 0; b < batches_; b++) {
+        std::vector<float> o;
+        switch (path) {
+          case AttentionPath::Reference:
+            o = attendReference(b, q);
+            break;
+          case AttentionPath::NearStorage:
+            o = attendNearStorage(b, q);
+            break;
+          case AttentionPath::XCache:
+            o = attendXCache(b, q);
+            break;
+        }
+        std::copy(o.begin(), o.end(), attn.row(b));
+    }
+    return finish(attn);
+}
+
+TransformerModel::TransformerModel(const LayerShape &shape,
+                                   std::size_t layers, std::size_t vocab,
+                                   std::size_t batches, Rng &rng,
+                                   std::size_t spill_interval)
+    : shape_(shape), vocab_(vocab), batches_(batches)
+{
+    HILOS_ASSERT(layers >= 1 && vocab >= 2, "invalid model shape");
+    const float scale =
+        1.0f / std::sqrt(static_cast<float>(shape.hidden));
+    embedding_ = Matrix::random(vocab, shape.hidden, rng, 1.0f);
+    head_ = Matrix::random(shape.hidden, vocab, rng, scale);
+    layers_.reserve(layers);
+    for (std::size_t l = 0; l < layers; l++) {
+        layers_.emplace_back(shape, LayerWeights::random(shape, rng),
+                             batches, spill_interval);
+    }
+    last_tokens_.assign(batches, 0);
+}
+
+Matrix
+TransformerModel::embed(const std::vector<std::uint32_t> &ids) const
+{
+    HILOS_ASSERT(ids.size() == batches_, "token batch size mismatch");
+    Matrix x(batches_, shape_.hidden);
+    for (std::size_t b = 0; b < batches_; b++) {
+        HILOS_ASSERT(ids[b] < vocab_, "token id beyond vocabulary");
+        for (std::size_t c = 0; c < shape_.hidden; c++)
+            x.at(b, c) = embedding_.at(ids[b], c);
+    }
+    return x;
+}
+
+void
+TransformerModel::prefill(
+    const std::vector<std::vector<std::uint32_t>> &prompt)
+{
+    HILOS_ASSERT(prompt.size() == batches_, "prompt batch mismatch");
+    const std::size_t tokens = prompt.front().size();
+    for (const auto &seq : prompt)
+        HILOS_ASSERT(seq.size() == tokens, "ragged prompt");
+
+    Matrix acts(batches_ * tokens, shape_.hidden);
+    for (std::size_t b = 0; b < batches_; b++)
+        for (std::size_t t = 0; t < tokens; t++) {
+            HILOS_ASSERT(prompt[b][t] < vocab_, "token id beyond vocab");
+            for (std::size_t c = 0; c < shape_.hidden; c++)
+                acts.at(b * tokens + t, c) =
+                    embedding_.at(prompt[b][t], c);
+        }
+    for (TransformerLayer &layer : layers_)
+        acts = layer.prefill(acts, tokens);
+    for (std::size_t b = 0; b < batches_; b++)
+        last_tokens_[b] = prompt[b].back();
+}
+
+std::vector<std::uint32_t>
+TransformerModel::decodeGreedy(AttentionPath path)
+{
+    Matrix x = embed(last_tokens_);
+    for (TransformerLayer &layer : layers_)
+        x = layer.decode(x, path);
+    const Matrix logits = x.matmul(head_);
+    std::vector<std::uint32_t> out(batches_);
+    for (std::size_t b = 0; b < batches_; b++) {
+        std::size_t best = 0;
+        for (std::size_t v = 1; v < vocab_; v++) {
+            if (logits.at(b, v) > logits.at(b, best))
+                best = v;
+        }
+        out[b] = static_cast<std::uint32_t>(best);
+    }
+    last_tokens_ = out;
+    return out;
+}
+
+std::vector<std::vector<std::uint32_t>>
+TransformerModel::generate(std::size_t n, AttentionPath path)
+{
+    std::vector<std::vector<std::uint32_t>> out(batches_);
+    for (std::size_t step = 0; step < n; step++) {
+        const auto toks = decodeGreedy(path);
+        for (std::size_t b = 0; b < batches_; b++)
+            out[b].push_back(toks[b]);
+    }
+    return out;
+}
+
+}  // namespace hilos

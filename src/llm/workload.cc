@@ -1,0 +1,154 @@
+#include "llm/workload.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace hilos {
+
+Request
+makeRequest(RequestClass cls)
+{
+    switch (cls) {
+      case RequestClass::Small:
+        return Request{cls, 256, 100};
+      case RequestClass::Medium:
+        return Request{cls, 1024, 350};
+      case RequestClass::Long:
+        return Request{cls, 8192, 350};
+    }
+    HILOS_PANIC("unknown request class");
+}
+
+std::string
+requestClassName(RequestClass cls)
+{
+    switch (cls) {
+      case RequestClass::Small:
+        return "Small(I:256/O:100)";
+      case RequestClass::Medium:
+        return "Medium(I:1K/O:350)";
+      case RequestClass::Long:
+        return "Long(I:8K/O:350)";
+    }
+    HILOS_PANIC("unknown request class");
+}
+
+std::vector<Request>
+makeBatch(RequestClass cls, std::size_t count)
+{
+    return std::vector<Request>(count, makeRequest(cls));
+}
+
+NeedleTask
+makeNeedleTask(const NeedleTaskConfig &cfg, Rng &rng)
+{
+    HILOS_ASSERT(cfg.needles <= cfg.head_dim,
+                 "needle count must fit the head dimension (one-hot ids)");
+    HILOS_ASSERT(cfg.needles < cfg.context_len,
+                 "more needles than context tokens");
+    const std::size_t s = cfg.context_len;
+    const std::size_t d = cfg.head_dim;
+
+    NeedleTask task;
+
+    // Shared query direction u (unit norm) plus small per-lane noise so
+    // GQA lanes agree on relevance.
+    std::vector<float> u = rng.normalVector(d);
+    float norm = 0.0f;
+    for (float v : u)
+        norm += v * v;
+    norm = std::sqrt(norm);
+    for (auto &v : u)
+        v /= norm;
+
+    task.queries = Matrix(cfg.d_group, d);
+    for (std::size_t g = 0; g < cfg.d_group; g++) {
+        for (std::size_t c = 0; c < d; c++) {
+            const float jitter =
+                g == 0 ? 0.0f
+                       : 0.05f * static_cast<float>(rng.normal());
+            task.queries.at(g, c) = u[c] + jitter;
+        }
+    }
+
+    // Distractor keys: per-component N(0, sigma) makes dot(u, k)
+    // distribute as N(0, sigma).
+    task.keys = Matrix::random(s, d, rng, cfg.noise_sigma);
+    // Distractor values: low-level noise, small enough that the
+    // aggregate mass of tens of thousands of irrelevant tokens stays
+    // below the weakest needle's contribution.
+    task.values = Matrix::random(s, d, rng, 0.001f);
+
+    // Plant needles: key aligned with u at the configured score margin,
+    // value one-hot on the needle's id dimension.
+    task.needles = rng.sampleIndices(s, cfg.needles);
+    std::sort(task.needles.begin(), task.needles.end());
+    for (std::size_t j = 0; j < task.needles.size(); j++) {
+        const std::size_t tok = task.needles[j];
+        for (std::size_t c = 0; c < d; c++) {
+            task.keys.at(tok, c) =
+                u[c] * cfg.needle_gain +
+                0.02f * static_cast<float>(rng.normal());
+            task.values.at(tok, c) = (c == j) ? 1.0f : 0.0f;
+        }
+    }
+    return task;
+}
+
+double
+retrievalF1(const std::vector<std::size_t> &truth,
+            const std::vector<std::size_t> &predicted)
+{
+    if (truth.empty() && predicted.empty())
+        return 1.0;
+    if (truth.empty() || predicted.empty())
+        return 0.0;
+    std::vector<std::size_t> t = truth, p = predicted;
+    std::sort(t.begin(), t.end());
+    std::sort(p.begin(), p.end());
+    std::vector<std::size_t> hit;
+    std::set_intersection(t.begin(), t.end(), p.begin(), p.end(),
+                          std::back_inserter(hit));
+    const double tp = static_cast<double>(hit.size());
+    const double precision = tp / static_cast<double>(p.size());
+    const double recall = tp / static_cast<double>(t.size());
+    if (precision + recall == 0.0)
+        return 0.0;
+    return 2.0 * precision * recall / (precision + recall);
+}
+
+std::vector<std::size_t>
+recoveredNeedles(const Matrix &output,
+                 const std::vector<std::size_t> &needles)
+{
+    HILOS_ASSERT(output.rows() >= 1, "empty attention output");
+    const std::size_t m = needles.size();
+    const std::size_t d = output.cols();
+    HILOS_ASSERT(m <= d, "needle ids exceed head dimension");
+
+    // Rank output dimensions of the primary query lane; the top-m dims
+    // are the model's retrieved ids.
+    std::vector<std::size_t> order(d);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return output.at(0, a) > output.at(0, b);
+                     });
+
+    std::vector<std::size_t> predicted;
+    for (std::size_t i = 0; i < m; i++) {
+        const std::size_t dim = order[i];
+        if (dim < m) {
+            predicted.push_back(needles[dim]);  // id dim -> token index
+        } else {
+            // A noise dimension outranked a needle: a retrieval miss
+            // surfaced as a false positive (unique non-truth token).
+            predicted.push_back(SIZE_MAX - dim);
+        }
+    }
+    return predicted;
+}
+
+}  // namespace hilos

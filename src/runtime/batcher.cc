@@ -1,0 +1,95 @@
+#include "runtime/batcher.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace hilos {
+
+OfflineBatcher::OfflineBatcher(std::uint64_t max_batch,
+                               std::uint64_t bucket_quantum)
+    : max_batch_(max_batch), bucket_quantum_(bucket_quantum)
+{
+    HILOS_ASSERT(max_batch_ >= 1, "batch capacity must be >= 1");
+    HILOS_ASSERT(bucket_quantum_ >= 1, "bucket quantum must be >= 1");
+}
+
+std::vector<ScheduledBatch>
+OfflineBatcher::plan(const std::vector<Request> &requests) const
+{
+    // Bucket by padded context length; keep per-bucket max output.
+    struct Bucket {
+        std::uint64_t count = 0;
+        std::uint64_t max_output = 0;
+    };
+    std::map<std::uint64_t, Bucket> buckets;
+    for (const Request &r : requests) {
+        const std::uint64_t padded =
+            roundUp(std::max<std::uint64_t>(r.input_tokens, 1),
+                    bucket_quantum_);
+        Bucket &b = buckets[padded];
+        b.count++;
+        b.max_output = std::max(b.max_output, r.output_tokens);
+    }
+
+    std::vector<ScheduledBatch> out;
+    for (const auto &[context, bucket] : buckets) {
+        std::uint64_t remaining = bucket.count;
+        while (remaining > 0) {
+            ScheduledBatch batch;
+            batch.context_len = context;
+            batch.output_len = bucket.max_output;
+            batch.count = std::min(remaining, max_batch_);
+            out.push_back(batch);
+            remaining -= batch.count;
+        }
+    }
+    return out;
+}
+
+BatchPlanResult
+OfflineBatcher::serve(const InferenceEngine &engine,
+                      const ModelConfig &model,
+                      const std::vector<Request> &requests) const
+{
+    HILOS_ASSERT(!requests.empty(), "nothing to serve");
+    BatchPlanResult res;
+    res.batches = plan(requests);
+
+    double real_prompt_tokens = 0;
+    for (const Request &r : requests)
+        real_prompt_tokens += static_cast<double>(r.input_tokens);
+    double padded_prompt_tokens = 0;
+    double generated = 0;
+
+    for (const ScheduledBatch &batch : res.batches) {
+        RunConfig run;
+        run.model = model;
+        run.batch = batch.count;
+        run.context_len = batch.context_len;
+        run.output_len = batch.output_len;
+        const RunResult r = engine.run(run);
+        HILOS_ASSERT(r.feasible, "batch infeasible on ", engine.name(),
+                     " at context ", batch.context_len);
+        // The engine may shrink the batch; the remainder re-queues as
+        // extra full passes of the same batch shape.
+        const std::uint64_t eff =
+            std::max<std::uint64_t>(r.effective_batch, 1);
+        const std::uint64_t passes = ceilDiv(batch.count, eff);
+        res.makespan += static_cast<double>(passes) * r.total_time;
+        padded_prompt_tokens += static_cast<double>(batch.count) *
+                                static_cast<double>(batch.context_len);
+        generated += static_cast<double>(batch.count) *
+                     static_cast<double>(batch.output_len);
+    }
+
+    res.requests_per_hour =
+        static_cast<double>(requests.size()) / res.makespan * 3600.0;
+    res.tokens_per_second = generated / res.makespan;
+    res.padding_overhead =
+        padded_prompt_tokens / real_prompt_tokens - 1.0;
+    return res;
+}
+
+}  // namespace hilos

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Shared per-layer cost primitives used by every inference engine:
+ * weight staging, GPU projection/MLP kernels, CPU attention, prefill
+ * compute, and memory-footprint arithmetic (Fig. 2(a)).
+ *
+ * All quantities are for one transformer layer of one decoding step
+ * unless stated otherwise; engines compose them (overlapped vs serial)
+ * according to their execution schedule.
+ */
+
+#ifndef HILOS_RUNTIME_COST_MODEL_H_
+#define HILOS_RUNTIME_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "device/cpu.h"
+#include "device/gpu.h"
+#include "llm/model_config.h"
+
+namespace hilos {
+
+/** Where model weights reside between uses. */
+enum class WeightHome {
+    HostDram,  ///< staged host DRAM -> GPU over PCIe each layer
+    Storage,   ///< streamed storage -> host -> GPU each layer
+};
+
+/**
+ * Weight placement policy from §6.1: weights live in host DRAM when
+ * they fit alongside a working margin; >100B-parameter models spill to
+ * storage.
+ */
+WeightHome chooseWeightHome(const ModelConfig &model,
+                            std::uint64_t dram_capacity);
+
+/**
+ * Time to stage one layer's weights to the GPU.
+ *
+ * @param pci_bw host->GPU link bandwidth
+ * @param storage_bw storage read bandwidth (used when home == Storage;
+ *        the slower of the two hops binds)
+ */
+Seconds weightLoadTime(const ModelConfig &model, std::uint64_t batch,
+                       WeightHome home, Bandwidth pci_bw,
+                       Bandwidth storage_bw);
+
+/** GPU time of the QKV projection for `batch` decode tokens. */
+Seconds qkvProjTime(const Gpu &gpu, const ModelConfig &model,
+                    std::uint64_t batch);
+
+/** GPU time of the MLP (+output projection) for `batch` decode tokens. */
+Seconds mlpTime(const Gpu &gpu, const ModelConfig &model,
+                std::uint64_t batch);
+
+/**
+ * CPU attention over the full KV cache of one layer: `batch` sequences
+ * of `context` tokens (the baselines' decode-attention placement).
+ */
+Seconds cpuAttentionTime(const Cpu &cpu, const ModelConfig &model,
+                         std::uint64_t batch, std::uint64_t context);
+
+/**
+ * GPU attention over one layer's KV held in device memory (vLLM-style
+ * or the X-cache regenerated portion); memory-bound.
+ */
+Seconds gpuAttentionTime(const Gpu &gpu, const ModelConfig &model,
+                         std::uint64_t batch, std::uint64_t context);
+
+/**
+ * GPU compute time of prefilling one layer: projections/MLP GEMMs over
+ * `context` tokens plus FlashAttention over the prompt.
+ */
+Seconds prefillComputeTime(const Gpu &gpu, const ModelConfig &model,
+                           std::uint64_t batch, std::uint64_t context);
+
+/** KV bytes of one layer's full cache (batch x context). */
+double kvLayerBytes(const ModelConfig &model, std::uint64_t batch,
+                    std::uint64_t context);
+
+/** New KV bytes appended per decode step for one layer. */
+double kvStepBytes(const ModelConfig &model, std::uint64_t batch);
+
+/** Memory-footprint summary behind Fig. 2(a). */
+struct MemoryFootprint {
+    double weights_bytes = 0;
+    double kv_bytes = 0;          ///< at full context + output
+    double activation_bytes = 0;  ///< peak decode activations
+    double total() const
+    {
+        return weights_bytes + kv_bytes + activation_bytes;
+    }
+};
+
+/** Footprint of a run at sequence length `total_seq`. */
+MemoryFootprint memoryFootprint(const ModelConfig &model,
+                                std::uint64_t batch,
+                                std::uint64_t total_seq);
+
+}  // namespace hilos
+
+#endif  // HILOS_RUNTIME_COST_MODEL_H_

@@ -1,0 +1,103 @@
+#include "runtime/deepspeed_uvm.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "runtime/cost_model.h"
+
+namespace hilos {
+
+DeepSpeedUvmEngine::DeepSpeedUvmEngine(const SystemConfig &sys)
+    : sys_(sys)
+{
+}
+
+RunResult
+DeepSpeedUvmEngine::run(const RunConfig &cfg) const
+{
+    const ModelConfig &m = cfg.model;
+    const Gpu gpu(sys_.gpu);
+    const Cpu cpu(sys_.cpu);
+    const std::uint64_t total_seq = cfg.context_len + cfg.output_len;
+
+    RunResult res;
+    const WeightHome home = chooseWeightHome(m, sys_.dram.capacity);
+    const double weight_bytes = static_cast<double>(m.weightBytesTotal());
+    const double resident =
+        (home == WeightHome::HostDram ? weight_bytes : 0.0) +
+        0.05 * static_cast<double>(sys_.dram.capacity);
+    res.effective_batch =
+        maxFittingBatch(m, cfg.batch, total_seq,
+                        static_cast<double>(sys_.dram.capacity), resident);
+    if (res.effective_batch == 0) {
+        res.feasible = false;
+        res.note = "host DRAM exhausted even at batch 1";
+        return res;
+    }
+    const std::uint64_t b = res.effective_batch;
+    const std::uint64_t s_mid = cfg.context_len + cfg.output_len / 2;
+    const double L = static_cast<double>(m.layers);
+
+    (void)cpu;
+    // UVM page faults throttle the migrated-page path.
+    const Bandwidth uvm_bw = sys_.host_pcie_bw / sys_.uvm_io_penalty;
+
+    // ZeRO-Inference stages weights with a pinned prefetch pipeline.
+    const Seconds weight = weightLoadTime(
+        m, b, home, sys_.host_pcie_bw * sys_.baseline_weight_efficiency,
+        sys_.dram.bandwidth);
+    const Seconds gpu_compute =
+        qkvProjTime(gpu, m, b) + mlpTime(gpu, m, b);
+    // Attention runs on the GPU: the whole KV cache of the layer is
+    // touched through UVM every step and migrates at the fault-
+    // amortised rate.
+    const double kv_bytes = kvLayerBytes(m, b, s_mid);
+    const Seconds kv_stream = kv_bytes / uvm_bw;
+    // Intermediate activations spill through UVM both directions each
+    // layer (the extension that keeps long-context decoding from
+    // OOMing GPU memory).
+    const double act_bytes =
+        2.0 * static_cast<double>(b) *
+        static_cast<double>(m.hidden + m.intermediate) *
+        static_cast<double>(m.dtype_bytes);
+    const Seconds act_uvm = act_bytes / uvm_bw;
+
+    const Seconds t_layer =
+        std::max({weight, kv_stream, gpu_compute}) + act_uvm;
+    res.decode_step_time = L * t_layer;
+
+    res.breakdown.add("load_weight", L * weight);
+    res.breakdown.add("kv_stream", L * kv_stream);
+    res.breakdown.add("gpu_compute", L * gpu_compute);
+    res.breakdown.add("uvm_activations", L * act_uvm);
+
+    const Seconds prefill_compute =
+        prefillComputeTime(gpu, m, b, cfg.context_len);
+    res.prefill_time =
+        L * (std::max(weight, prefill_compute) + act_uvm);
+    res.total_time = res.prefill_time +
+                     static_cast<double>(cfg.output_len) *
+                         res.decode_step_time;
+
+    res.traffic.host_read_bytes =
+        L * (m.loadedWeightBytesPerLayer(b) + kv_bytes +
+             act_bytes / 2.0);
+    res.traffic.host_write_bytes = L * act_bytes / 2.0;
+    res.traffic.attn_host_read_bytes = L * kv_bytes;
+    res.traffic.attn_host_write_bytes = L * kvStepBytes(m, b);
+
+    res.busy.gpu = L * gpu_compute;
+    res.busy.cpu = 0.05 * res.decode_step_time;  // UVM fault servicing
+    res.busy.dram = L * std::max(weight, kv_stream);
+
+    const double steps = static_cast<double>(cfg.output_len);
+    ComponentBusy run_busy;
+    run_busy.gpu = res.busy.gpu * steps + res.prefill_time * 0.9;
+    run_busy.cpu = res.busy.cpu * steps;
+    run_busy.dram = res.busy.dram * steps + res.prefill_time * 0.5;
+    res.energy = computeEnergy(sys_, StorageKind::None, 0, res.total_time,
+                               run_busy, 0.0);
+    return res;
+}
+
+}  // namespace hilos

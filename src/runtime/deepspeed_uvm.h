@@ -1,0 +1,35 @@
+/**
+ * @file
+ * DeepSpeed ZeRO-Inference extended with Unified Virtual Memory
+ * (DS+UVM(DRAM), §6.1): KV and activations live in host memory and the
+ * GPU touches them through UVM page faults, paying a large effective
+ * bandwidth penalty on every host-memory access (Fig. 10 shows >4x
+ * slowdown versus FLEX(DRAM)).
+ */
+
+#ifndef HILOS_RUNTIME_DEEPSPEED_UVM_H_
+#define HILOS_RUNTIME_DEEPSPEED_UVM_H_
+
+#include <string>
+
+#include "runtime/engine.h"
+#include "runtime/system_config.h"
+
+namespace hilos {
+
+/** DS+UVM(DRAM) baseline engine. */
+class DeepSpeedUvmEngine : public InferenceEngine
+{
+  public:
+    explicit DeepSpeedUvmEngine(const SystemConfig &sys);
+
+    std::string name() const override { return "DS+UVM(DRAM)"; }
+    RunResult run(const RunConfig &cfg) const override;
+
+  private:
+    SystemConfig sys_;
+};
+
+}  // namespace hilos
+
+#endif  // HILOS_RUNTIME_DEEPSPEED_UVM_H_

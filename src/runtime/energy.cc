@@ -1,0 +1,94 @@
+#include "runtime/energy.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hilos {
+
+namespace {
+
+Joules
+componentEnergy(Watts active, Watts idle, Seconds busy, Seconds wall)
+{
+    const Seconds clamped = std::min(busy, wall);
+    return active * clamped + idle * (wall - clamped);
+}
+
+}  // namespace
+
+EnergyBreakdown
+computeEnergy(const SystemConfig &sys, StorageKind kind, unsigned devices,
+              Seconds wall, const ComponentBusy &busy, Watts fpga_power)
+{
+    HILOS_ASSERT(wall >= 0.0, "negative wall time");
+    EnergyBreakdown e;
+    e.gpu = componentEnergy(sys.gpu.tdp, sys.gpu.idle_power, busy.gpu, wall);
+    e.cpu = componentEnergy(sys.cpu.tdp, sys.cpu.idle_power, busy.cpu, wall);
+    e.dram = componentEnergy(sys.dram.active_power, sys.dram.idle_power,
+                             busy.dram, wall);
+
+    switch (kind) {
+      case StorageKind::None:
+        e.storage = 0.0;
+        break;
+      case StorageKind::BaselineSsds: {
+        const auto &ssd = sys.baseline_ssd;
+        e.storage = static_cast<double>(devices) *
+                    componentEnergy(ssd.active_power, ssd.idle_power,
+                                    busy.storage, wall);
+        break;
+      }
+      case StorageKind::SmartSsds: {
+        const auto &sdev = sys.smartssd;
+        const Joules ssd_part =
+            componentEnergy(sdev.nand.active_power, sdev.nand.idle_power,
+                            busy.storage, wall);
+        const Joules fpga_part = componentEnergy(
+            std::max(fpga_power, sdev.fpga_idle_power),
+            sdev.fpga_idle_power, busy.fpga, wall);
+        e.storage = static_cast<double>(devices) * (ssd_part + fpga_part);
+        break;
+      }
+    }
+    return e;
+}
+
+double
+systemPriceUsd(const SystemConfig &sys, StorageKind kind, unsigned devices)
+{
+    double price = sys.prices.host_server_usd + sys.gpu.price_usd;
+    switch (kind) {
+      case StorageKind::None:
+        break;
+      case StorageKind::BaselineSsds:
+        price += devices * sys.prices.pcie4_ssd_usd;
+        break;
+      case StorageKind::SmartSsds:
+        price += sys.prices.pcie_expansion_usd +
+                 devices * sys.prices.smartssd_usd;
+        break;
+    }
+    return price;
+}
+
+double
+costEffectiveness(double tokens_per_sec, double price_usd)
+{
+    HILOS_ASSERT(price_usd > 0.0, "non-positive system price");
+    return tokens_per_sec / price_usd;
+}
+
+double
+serviceableRequests(const EnduranceInputs &in)
+{
+    HILOS_ASSERT(in.bytes_per_request > 0.0,
+                 "per-request write volume must be positive");
+    HILOS_ASSERT(in.write_amplification >= 1.0, "WA below 1");
+    const double fleet_endurance =
+        static_cast<double>(in.devices) * in.per_device_endurance_bytes;
+    return fleet_endurance /
+           (in.bytes_per_request * in.write_amplification);
+}
+
+}  // namespace hilos

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The inference-engine interface all systems implement (FLEX variants,
+ * DS+UVM, vLLM multi-GPU, HILOS) and the shared result types benches
+ * consume: per-stage breakdowns, interconnect-traffic counters, energy.
+ */
+
+#ifndef HILOS_RUNTIME_ENGINE_H_
+#define HILOS_RUNTIME_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+#include "llm/model_config.h"
+#include "runtime/energy.h"
+
+namespace hilos {
+
+/** One offline-inference run request. */
+struct RunConfig {
+    ModelConfig model;
+    std::uint64_t batch = 16;
+    std::uint64_t context_len = 32768;  ///< prompt tokens s
+    std::uint64_t output_len = 64;      ///< generated tokens n
+};
+
+/** Interconnect/storage traffic per decoding step (all layers). */
+struct TrafficCounters {
+    /** Bytes crossing the shared host interconnect, reads into compute. */
+    double host_read_bytes = 0;
+    /** Bytes crossing the shared host interconnect, writes out. */
+    double host_write_bytes = 0;
+    /** Attention-related subset of host reads (for the Eq. 3 ratio). */
+    double attn_host_read_bytes = 0;
+    /** Attention-related subset of host writes. */
+    double attn_host_write_bytes = 0;
+    /** Bytes moved on NSP-internal P2P paths (never on the host bus). */
+    double internal_bytes = 0;
+    /** Host bytes written toward NAND (endurance-relevant). */
+    double storage_write_bytes = 0;
+};
+
+/** Named per-decoding-step stage times (summed across layers). */
+class StageBreakdown
+{
+  public:
+    /** Add (or accumulate into) a named stage. */
+    void add(const std::string &name, Seconds t);
+
+    /** Seconds recorded for a stage (0 if absent). */
+    Seconds get(const std::string &name) const;
+
+    /** Sum of all stages (>= the critical-path step time with overlap). */
+    Seconds sum() const;
+
+    const std::vector<std::pair<std::string, Seconds>> &stages() const
+    {
+        return stages_;
+    }
+
+  private:
+    std::vector<std::pair<std::string, Seconds>> stages_;
+};
+
+/** Result of one engine run. */
+struct RunResult {
+    bool feasible = true;
+    std::string note;  ///< infeasibility reason or batch-shrink note
+
+    std::uint64_t effective_batch = 0;  ///< after capacity shrinking
+    Seconds prefill_time = 0;
+    Seconds decode_step_time = 0;  ///< one step across all layers
+    Seconds total_time = 0;        ///< prefill + output_len * decode step
+
+    /** Decoding throughput: batch / decode_step_time (the Fig. 10 metric). */
+    double decodeThroughput() const;
+    /** End-to-end generation throughput incl. prefill amortisation. */
+    double endToEndThroughput(std::uint64_t output_len) const;
+
+    StageBreakdown breakdown;  ///< per decode step
+    TrafficCounters traffic;   ///< per decode step
+    ComponentBusy busy;        ///< per decode step
+    EnergyBreakdown energy;    ///< whole run
+    double fpga_power_watts = 0;  ///< per-device, HILOS only
+};
+
+/**
+ * Abstract offline-inference engine.
+ */
+class InferenceEngine
+{
+  public:
+    virtual ~InferenceEngine() = default;
+
+    /** Display name used in bench tables. */
+    virtual std::string name() const = 0;
+
+    /** Model the full run analytically. */
+    virtual RunResult run(const RunConfig &cfg) const = 0;
+};
+
+/**
+ * Largest batch size (<= requested) whose KV cache plus resident bytes
+ * fit a capacity; 0 when even batch 1 does not fit.
+ */
+std::uint64_t maxFittingBatch(const ModelConfig &model,
+                              std::uint64_t requested_batch,
+                              std::uint64_t total_seq,
+                              double capacity_bytes,
+                              double resident_bytes);
+
+}  // namespace hilos
+
+#endif  // HILOS_RUNTIME_ENGINE_H_

@@ -1,0 +1,305 @@
+#include "runtime/event_sim.h"
+
+#include <algorithm>
+
+#include "accel/cycle_model.h"
+#include "common/logging.h"
+#include "runtime/cost_model.h"
+#include "runtime/writeback.h"
+
+namespace hilos {
+
+HilosEventSimulator::HilosEventSimulator(const SystemConfig &sys,
+                                         const HilosOptions &opts)
+    : sys_(sys), opts_(opts)
+{
+}
+
+EventSimResult
+HilosEventSimulator::simulateDecodeStep(const RunConfig &cfg,
+                                        TraceRecorder *trace) const
+{
+    auto note = [&](const std::string &track, const std::string &name,
+                    Seconds begin, Seconds end) {
+        if (trace != nullptr)
+            trace->record(track, name, begin, end);
+    };
+    const ModelConfig &m = cfg.model;
+    const Gpu gpu(sys_.gpu);
+    const unsigned N = opts_.num_devices;
+    const std::uint64_t b = cfg.batch;
+    const std::uint64_t s = cfg.context_len + cfg.output_len / 2;
+    const std::uint64_t d = m.headDim();
+    const std::uint64_t d_group = m.dGroup();
+    const std::uint64_t L = m.layers;
+
+    const HilosEngine analytic(sys_, opts_);
+    const double alpha = analytic.selectedAlpha(cfg);
+    const WeightHome home = chooseWeightHome(m, sys_.dram.capacity);
+
+    // --- Resources ---
+    BandwidthResource uplink("uplink", sys_.chassis_uplink_bw, usec(1));
+    BandwidthResource gds("gds", analytic.gdsBw(), usec(5));
+    BandwidthResource host_link("host-pcie", sys_.host_pcie_bw, usec(1));
+    std::vector<BandwidthResource> internal;
+    std::vector<BandwidthResource> fpga;
+    const CycleModel cm{CycleModelConfig{}};
+    const Bandwidth kernel_rate = cm.kvBytesPerSec(s, d, d_group);
+    for (unsigned i = 0; i < N; i++) {
+        internal.emplace_back("p2p" + std::to_string(i),
+                              sys_.smartssd.p2p_read_bw, usec(80));
+        fpga.emplace_back("fpga" + std::to_string(i), kernel_rate,
+                          usec(10));
+    }
+
+    // --- Static per-layer quantities ---
+    const double weight_bytes = m.loadedWeightBytesPerLayer(b);
+    const std::uint64_t slice_bytes = 2ull * s * d * m.dtype_bytes;
+    const std::uint64_t nsp_batches = static_cast<std::uint64_t>(
+        (1.0 - alpha) * static_cast<double>(b) + 0.5);
+    const std::uint64_t x_batches = b - nsp_batches;
+    const std::uint64_t slices = nsp_batches * m.kv_heads;
+    const std::uint64_t x_bytes =
+        s * m.hidden * m.dtype_bytes;  // per sequence per layer
+    const Seconds gpu_base =
+        qkvProjTime(gpu, m, b) + mlpTime(gpu, m, b);
+    const Seconds regen_per_seq =
+        2.0 * static_cast<double>(s) * static_cast<double>(m.hidden) *
+        static_cast<double>(m.kv_heads * d) /
+        (sys_.gpu.fp16_peak * sys_.gpu.gemm_efficiency);
+    const Seconds gpu_xattn_per_seq =
+        gpuAttentionTime(gpu, m, 1, s);
+    const double qkv_up_bytes =
+        static_cast<double>(b) *
+        (static_cast<double>(m.hidden) +
+         2.0 * static_cast<double>(m.kv_heads * d)) *
+        static_cast<double>(m.dtype_bytes);
+    const double out_ret_bytes =
+        static_cast<double>(b * m.hidden * m.dtype_bytes);
+
+    Seconds wb_crit = 0.0;
+    if (opts_.delayed_writeback) {
+        WritebackCostInputs win;
+        win.slices = b * m.kv_heads;
+        win.head_dim = d;
+        win.d_group = d_group;
+        win.spill_interval = opts_.spill_interval;
+        win.devices = N;
+        win.host_link_bw = sys_.chassis_uplink_bw;
+        win.device_write_bw = sys_.smartssd.p2p_write_bw;
+        win.xrt_sync_base = sys_.xrt_sync_base;
+        wb_crit = writebackCosts(win).criticalPath();
+    } else {
+        wb_crit = naiveWritebackTime(b * m.kv_heads, N,
+                                     2 * d * m.dtype_bytes,
+                                     sys_.smartssd.nand.write_latency,
+                                     usec(230));
+    }
+
+    // --- Simulate the layer pipeline ---
+    EventSimResult res;
+    res.layer_times.reserve(L);
+    Seconds prev_done = 0.0;
+    Seconds gpu_free = 0.0;
+    Seconds gpu_busy = 0.0;
+    std::vector<Seconds> weight_ready(L, 0.0);
+
+    // Layer 0's weights stage before the step begins (steady state).
+    weight_ready[0] = 0.0;
+
+    for (std::uint64_t l = 0; l < L; l++) {
+        const Seconds layer_start =
+            std::max(prev_done, weight_ready[l]);
+
+        // Prefetch the next layer's weights as soon as this layer
+        // starts (the Weights Prefetcher's double buffering).
+        if (l + 1 < L) {
+            BandwidthResource &wres =
+                home == WeightHome::Storage ? uplink : host_link;
+            weight_ready[l + 1] = wres.transfer(
+                layer_start, static_cast<std::uint64_t>(weight_bytes));
+            note(wres.name(), "weights/L" + std::to_string(l + 1),
+                 weight_ready[l + 1] -
+                     wres.serviceTime(
+                         static_cast<std::uint64_t>(weight_bytes)),
+                 weight_ready[l + 1]);
+        }
+
+        // QKV upload to the devices.
+        const Seconds qkv_done = uplink.transfer(
+            layer_start, static_cast<std::uint64_t>(qkv_up_bytes));
+        note("uplink", "qkv/L" + std::to_string(l),
+             qkv_done - uplink.serviceTime(
+                            static_cast<std::uint64_t>(qkv_up_bytes)),
+             qkv_done);
+
+        // NSP portion: slices stream through each device's internal
+        // path into its accelerator.
+        Seconds nsp_done = layer_start;
+        for (std::uint64_t sl = 0; sl < slices; sl++) {
+            const unsigned dev = static_cast<unsigned>(sl % N);
+            const Seconds read_done =
+                internal[dev].transfer(std::max(layer_start, qkv_done),
+                                       slice_bytes);
+            const Seconds kernel_done =
+                fpga[dev].transfer(read_done, slice_bytes);
+            note(internal[dev].name(),
+                 "read/L" + std::to_string(l) + "/s" +
+                     std::to_string(sl),
+                 read_done - internal[dev].serviceTime(slice_bytes),
+                 read_done);
+            note(fpga[dev].name(),
+                 "attn/L" + std::to_string(l) + "/s" +
+                     std::to_string(sl),
+                 kernel_done - fpga[dev].serviceTime(slice_bytes),
+                 kernel_done);
+            nsp_done = std::max(nsp_done, kernel_done);
+        }
+
+        // X-cache portion: per-sequence GDS load (also occupying the
+        // shared uplink), then GPU regeneration + attention.
+        Seconds x_done = layer_start;
+        for (std::uint64_t seq = 0; seq < x_batches; seq++) {
+            const Seconds loaded = gds.transfer(layer_start, x_bytes);
+            uplink.transfer(layer_start, x_bytes);
+            note("gds", "xload/L" + std::to_string(l),
+                 loaded - gds.serviceTime(x_bytes), loaded);
+            const Seconds gpu_begin = std::max(gpu_free, loaded);
+            gpu_free = gpu_begin + regen_per_seq + gpu_xattn_per_seq;
+            note("gpu", "regen/L" + std::to_string(l), gpu_begin,
+                 gpu_free);
+            gpu_busy += regen_per_seq + gpu_xattn_per_seq;
+            x_done = std::max(x_done, gpu_free);
+        }
+
+        // Host-side projections and MLP on the GPU.
+        const Seconds base_begin = std::max(gpu_free, layer_start);
+        gpu_free = base_begin + gpu_base;
+        note("gpu", "proj+mlp/L" + std::to_string(l), base_begin,
+             gpu_free);
+        gpu_busy += gpu_base;
+
+        const Seconds out_done = uplink.transfer(
+            std::max(nsp_done, x_done),
+            static_cast<std::uint64_t>(out_ret_bytes));
+        const Seconds layer_done =
+            std::max({out_done, gpu_free, qkv_done}) + wb_crit;
+
+        note("layers", "L" + std::to_string(l), layer_start,
+             layer_done);
+        res.layer_times.push_back(layer_done - layer_start);
+        prev_done = layer_done;
+    }
+
+    res.decode_step_time = prev_done;
+    res.mean_layer_time = prev_done / static_cast<double>(L);
+    res.uplink_utilization = uplink.utilization(prev_done);
+    res.gds_utilization = gds.utilization(prev_done);
+    res.gpu_utilization = std::min(1.0, gpu_busy / prev_done);
+    double internal_busy = 0.0;
+    for (const auto &r : internal)
+        internal_busy += r.utilization(prev_done);
+    res.internal_utilization = internal_busy / static_cast<double>(N);
+    return res;
+}
+
+Seconds
+HilosEventSimulator::simulatePrefill(const RunConfig &cfg,
+                                     std::size_t chunk_tokens,
+                                     TraceRecorder *trace) const
+{
+    HILOS_ASSERT(chunk_tokens >= 1, "chunk size must be >= 1");
+    const ModelConfig &m = cfg.model;
+    const Gpu gpu(sys_.gpu);
+    const unsigned N = opts_.num_devices;
+    const std::uint64_t b = cfg.batch;
+    const std::uint64_t s = cfg.context_len;
+    const std::uint64_t L = m.layers;
+
+    const HilosEngine analytic(sys_, opts_);
+    const double alpha = analytic.selectedAlpha(cfg);
+    const WeightHome home = chooseWeightHome(m, sys_.dram.capacity);
+
+    BandwidthResource uplink("uplink", sys_.chassis_uplink_bw, usec(1));
+    BandwidthResource host_link("host-pcie", sys_.host_pcie_bw, usec(1));
+    BandwidthResource device_write(
+        "device-write",
+        static_cast<double>(N) * sys_.smartssd.p2p_write_bw, usec(50));
+
+    const double weight_bytes = m.loadedWeightBytesPerLayer(b);
+    // Cache bytes per prompt token per layer across the batch: X for
+    // the alpha portion, K+V for the rest.
+    const double cache_tok =
+        static_cast<double>(b) *
+        (alpha * static_cast<double>(m.xBytesPerTokenPerLayer()) +
+         (1.0 - alpha) * 2.0 *
+             static_cast<double>(m.kv_heads * m.headDim() *
+                                 m.dtype_bytes));
+
+    const std::uint64_t chunks = ceilDiv(s, chunk_tokens);
+    Seconds prev_done = 0.0;
+    Seconds gpu_free = 0.0;
+    Seconds weight_ready = 0.0;
+
+    for (std::uint64_t l = 0; l < L; l++) {
+        const Seconds layer_start = std::max(prev_done, weight_ready);
+        // Prefetch the next layer's weights.
+        if (l + 1 < L) {
+            BandwidthResource &wres =
+                home == WeightHome::Storage ? uplink : host_link;
+            weight_ready = wres.transfer(
+                layer_start, static_cast<std::uint64_t>(weight_bytes));
+        }
+
+        Seconds layer_done = layer_start;
+        for (std::uint64_t c = 0; c < chunks; c++) {
+            const std::uint64_t tokens =
+                std::min<std::uint64_t>(chunk_tokens,
+                                        s - c * chunk_tokens);
+            // Chunk compute: GEMMs plus causal attention over the
+            // prefix processed so far (prefix midpoint of the chunk).
+            const double prefix = static_cast<double>(c * chunk_tokens) +
+                                  static_cast<double>(tokens) / 2.0;
+            const double gemm_flops =
+                static_cast<double>(b * tokens) *
+                m.denseFlopsPerTokenPerLayer();
+            const double attn_flops =
+                static_cast<double>(b * tokens) *
+                m.attentionFlopsPerToken(
+                    static_cast<std::uint64_t>(prefix));
+            const Seconds compute = gpu.kernelTime(
+                gemm_flops + attn_flops,
+                static_cast<double>(m.weightBytesPerLayer()) /
+                    static_cast<double>(chunks));
+            const Seconds compute_begin =
+                std::max(gpu_free, layer_start);
+            gpu_free = compute_begin + compute;
+            if (trace != nullptr) {
+                trace->record("gpu",
+                              "prefill/L" + std::to_string(l) + "/c" +
+                                  std::to_string(c),
+                              compute_begin, gpu_free);
+            }
+
+            // The chunk's cache writes ship to the devices and commit
+            // to NAND, overlapping the next chunk's compute.
+            const auto bytes = static_cast<std::uint64_t>(
+                cache_tok * static_cast<double>(tokens));
+            const Seconds shipped = uplink.transfer(gpu_free, bytes);
+            const Seconds committed =
+                device_write.transfer(shipped, bytes);
+            if (trace != nullptr) {
+                trace->record("device-write",
+                              "commit/L" + std::to_string(l) + "/c" +
+                                  std::to_string(c),
+                              committed - device_write.serviceTime(bytes),
+                              committed);
+            }
+            layer_done = std::max(layer_done, committed);
+        }
+        prev_done = std::max(layer_done, gpu_free);
+    }
+    return prev_done;
+}
+
+}  // namespace hilos

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Transfer-granularity simulation of a HILOS decoding step.
+ *
+ * The analytic engine (hilos_engine.*) composes closed-form stage times
+ * with max/sum rules; this simulator replays the same decoding step as
+ * individual slice-sized transfers over contended resources — the
+ * chassis uplink, the GDS path, each SmartSSD's internal P2P link and
+ * accelerator, and the GPU — with cross-layer weight prefetching. It
+ * exists to validate the analytic model (the two must agree within
+ * tens of percent; see bench_crossval_eventsim and the tests) and to
+ * expose per-resource utilisation at finer granularity.
+ */
+
+#ifndef HILOS_RUNTIME_EVENT_SIM_H_
+#define HILOS_RUNTIME_EVENT_SIM_H_
+
+#include <vector>
+
+#include "runtime/engine.h"
+#include "runtime/hilos_engine.h"
+#include "runtime/system_config.h"
+#include "sim/bandwidth.h"
+#include "sim/trace.h"
+
+namespace hilos {
+
+/** Per-resource outcome of one simulated decoding step. */
+struct EventSimResult {
+    Seconds decode_step_time = 0;
+    double uplink_utilization = 0;
+    double gds_utilization = 0;
+    double internal_utilization = 0;  ///< mean over devices
+    double gpu_utilization = 0;
+    Seconds mean_layer_time = 0;
+    std::vector<Seconds> layer_times;
+};
+
+/**
+ * Slice-level simulator of the HILOS decode pipeline.
+ */
+class HilosEventSimulator
+{
+  public:
+    HilosEventSimulator(const SystemConfig &sys, const HilosOptions &opts);
+
+    /**
+     * Simulate one full decoding step (all layers).
+     * @param trace optional recorder; when supplied every transfer and
+     *        compute interval lands on its own track (exportable to
+     *        chrome://tracing via TraceRecorder::writeChromeTrace)
+     */
+    EventSimResult simulateDecodeStep(const RunConfig &cfg,
+                                      TraceRecorder *trace = nullptr) const;
+
+    /**
+     * Simulate the prefill phase: the prompt processes in fixed token
+     * chunks; each chunk's FlashAttention compute overlaps the previous
+     * chunk's KV/X writes to the devices (the same batch-and-head
+     * partitioning as decode, §4.1).
+     * @return total prefill time
+     */
+    Seconds simulatePrefill(const RunConfig &cfg,
+                            std::size_t chunk_tokens = 4096,
+                            TraceRecorder *trace = nullptr) const;
+
+  private:
+    SystemConfig sys_;
+    HilosOptions opts_;
+};
+
+}  // namespace hilos
+
+#endif  // HILOS_RUNTIME_EVENT_SIM_H_

@@ -1,0 +1,232 @@
+#include "runtime/flexgen.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "runtime/cost_model.h"
+#include "storage/ssd.h"
+
+namespace hilos {
+
+FlexGenEngine::FlexGenEngine(const SystemConfig &sys, FlexTier tier)
+    : sys_(sys), tier_(tier)
+{
+}
+
+std::string
+FlexGenEngine::name() const
+{
+    switch (tier_) {
+      case FlexTier::HostDram:
+        return "FLEX(DRAM)";
+      case FlexTier::BaselineSsds:
+        return "FLEX(SSD)";
+      case FlexTier::SmartSsdsNoFpga:
+        return "FLEX(16 PCIe3.0 SSDs)";
+    }
+    HILOS_PANIC("unknown tier");
+}
+
+Bandwidth
+FlexGenEngine::storageReadBw() const
+{
+    switch (tier_) {
+      case FlexTier::HostDram:
+        return sys_.dram.bandwidth;
+      case FlexTier::BaselineSsds:
+        // Dedicated x4 gen4 host links per SSD; the drives bind.
+        return static_cast<double>(sys_.num_baseline_ssds) *
+               sys_.baseline_ssd.seq_read_bw;
+      case FlexTier::SmartSsdsNoFpga: {
+        // 16 PCIe 3.0 devices behind one x16 gen4 uplink: the shared
+        // chassis uplink saturates below the fleet's aggregate rate.
+        const Bandwidth fleet =
+            16.0 * sys_.smartssd.nand.seq_read_bw;
+        return std::min(fleet, sys_.chassis_uplink_bw);
+      }
+    }
+    HILOS_PANIC("unknown tier");
+}
+
+Bandwidth
+FlexGenEngine::storageWriteBw() const
+{
+    switch (tier_) {
+      case FlexTier::HostDram:
+        return sys_.dram.bandwidth;
+      case FlexTier::BaselineSsds:
+        return static_cast<double>(sys_.num_baseline_ssds) *
+               sys_.baseline_ssd.seq_write_bw;
+      case FlexTier::SmartSsdsNoFpga: {
+        const Bandwidth fleet =
+            16.0 * sys_.smartssd.nand.seq_write_bw;
+        return std::min(fleet, sys_.chassis_uplink_bw);
+      }
+    }
+    HILOS_PANIC("unknown tier");
+}
+
+RunResult
+FlexGenEngine::run(const RunConfig &cfg) const
+{
+    const ModelConfig &m = cfg.model;
+    const Gpu gpu(sys_.gpu);
+    const Cpu cpu(sys_.cpu);
+    const std::uint64_t total_seq = cfg.context_len + cfg.output_len;
+
+    RunResult res;
+    const WeightHome home =
+        chooseWeightHome(m, sys_.dram.capacity);
+    const double weight_bytes =
+        static_cast<double>(m.weightBytesTotal());
+
+    // Capacity: the DRAM tier must fit the whole KV cache (plus the
+    // weights when they are DRAM-resident) in host memory.
+    res.effective_batch = cfg.batch;
+    if (tier_ == FlexTier::HostDram) {
+        const double resident =
+            (home == WeightHome::HostDram ? weight_bytes : 0.0) +
+            0.08 * static_cast<double>(sys_.dram.capacity);
+        // Pinned, double-buffered KV allocations inflate the effective
+        // per-sequence footprint (dram_kv_overhead).
+        const double budget =
+            (static_cast<double>(sys_.dram.capacity) - resident) /
+            sys_.dram_kv_overhead;
+        res.effective_batch =
+            maxFittingBatch(m, cfg.batch, total_seq, budget, 0.0);
+        if (res.effective_batch == 0) {
+            res.feasible = false;
+            res.note = "host DRAM exhausted even at batch 1";
+            return res;
+        }
+        if (res.effective_batch < cfg.batch)
+            res.note = "batch shrunk to fit host DRAM";
+    }
+    const std::uint64_t b = res.effective_batch;
+    // Mid-generation context length drives decode-step costs.
+    const std::uint64_t s_mid = cfg.context_len + cfg.output_len / 2;
+
+    const bool on_ssd = tier_ != FlexTier::HostDram;
+    const Bandwidth read_bw = storageReadBw();
+    const Bandwidth write_bw = storageWriteBw();
+    // Host-managed KV reads run far below raw sequential bandwidth.
+    const Bandwidth kv_read_bw =
+        on_ssd ? read_bw * sys_.host_kv_io_efficiency : read_bw;
+    // Weight streaming (large sequential reads) stays near raw rate;
+    // the DRAM tier still owns the baseline SSD fleet for >100B models.
+    const Bandwidth weight_storage_bw =
+        on_ssd ? read_bw
+               : static_cast<double>(sys_.num_baseline_ssds) *
+                     sys_.baseline_ssd.seq_read_bw;
+
+    // --- Per-layer decode stages ---
+    const Seconds weight = weightLoadTime(
+        m, b, home, sys_.host_pcie_bw * sys_.baseline_weight_efficiency,
+        weight_storage_bw);
+    const Seconds gpu_compute =
+        qkvProjTime(gpu, m, b) + mlpTime(gpu, m, b);
+    const double kv_bytes = kvLayerBytes(m, b, s_mid);
+    // For >100B models the weights stream from the same SSD fleet the
+    // KV cache lives on: the reads serialise on the shared devices.
+    const Seconds fleet_weight =
+        (on_ssd && home == WeightHome::Storage)
+            ? m.loadedWeightBytesPerLayer(b) / read_bw
+            : 0.0;
+    const Seconds kv_io =
+        on_ssd ? kv_bytes / kv_read_bw + fleet_weight : 0.0;
+    const Seconds cpu_attn = cpuAttentionTime(cpu, m, b, s_mid);
+    // Activation round trip GPU <-> CPU for the offloaded attention.
+    const Seconds act_xfer =
+        2.0 * static_cast<double>(b * m.hidden * m.dtype_bytes) /
+        sys_.host_pcie_bw;
+    // New KV entries commit each step; on SSD tiers every (batch, head)
+    // entry is a 256 B sub-page write.
+    Seconds kv_write = 0.0;
+    if (on_ssd) {
+        const std::uint64_t devices =
+            tier_ == FlexTier::BaselineSsds ? sys_.num_baseline_ssds : 16;
+        const std::uint64_t slices = b * m.kv_heads;
+        const Ssd ssd(tier_ == FlexTier::BaselineSsds
+                          ? sys_.baseline_ssd
+                          : sys_.smartssd.nand);
+        kv_write = ssd.randomWriteTime(
+            ceilDiv(slices, devices),
+            2 * m.headDim() * m.dtype_bytes);
+    }
+
+    // FlexGen overlaps weight staging, KV I/O, CPU attention, and GPU
+    // compute across layers; the commit of new KV entries and the
+    // activation hop are serial.
+    const Seconds t_layer =
+        std::max({weight, kv_io, cpu_attn, gpu_compute}) + kv_write +
+        act_xfer;
+    res.decode_step_time = static_cast<double>(m.layers) * t_layer;
+
+    const double L = static_cast<double>(m.layers);
+    res.breakdown.add("load_weight", L * weight);
+    res.breakdown.add("kv_io", L * kv_io);
+    res.breakdown.add("cpu_attention", L * cpu_attn);
+    res.breakdown.add("gpu_compute", L * gpu_compute);
+    res.breakdown.add("kv_writeback", L * kv_write);
+    res.breakdown.add("activations", L * act_xfer);
+
+    // --- Prefill ---
+    const Seconds prefill_compute =
+        prefillComputeTime(gpu, m, b, cfg.context_len);
+    const double prefill_kv_bytes = kvLayerBytes(m, b, cfg.context_len);
+    const Seconds prefill_kv_write =
+        on_ssd ? prefill_kv_bytes / write_bw
+               : prefill_kv_bytes / sys_.dram.bandwidth;
+    res.prefill_time =
+        L * (std::max({weight, prefill_compute}) + prefill_kv_write);
+
+    res.total_time = res.prefill_time +
+                     static_cast<double>(cfg.output_len) *
+                         res.decode_step_time;
+
+    // --- Traffic (per decode step) ---
+    const double hidden_bytes =
+        static_cast<double>(m.hidden * m.dtype_bytes);
+    res.traffic.host_read_bytes =
+        L * (m.loadedWeightBytesPerLayer(b) + (on_ssd ? kv_bytes : 0.0) +
+             static_cast<double>(b) * hidden_bytes);
+    res.traffic.attn_host_read_bytes = on_ssd ? L * kv_bytes : 0.0;
+    res.traffic.host_write_bytes =
+        L * (kvStepBytes(m, b) + static_cast<double>(b) * hidden_bytes);
+    res.traffic.attn_host_write_bytes = L * kvStepBytes(m, b);
+    res.traffic.internal_bytes = 0.0;
+    res.traffic.storage_write_bytes = on_ssd ? L * kvStepBytes(m, b) : 0.0;
+
+    // --- Busy time per decode step ---
+    res.busy.gpu = L * gpu_compute;
+    // The CPU runs the offloaded attention and also drives the
+    // synchronous direct-I/O path (submission, memcpy staging).
+    res.busy.cpu = L * std::max(cpu_attn, 0.6 * kv_io);
+    res.busy.dram = L * std::max({cpu_attn, weight, kv_io});
+    res.busy.storage = on_ssd ? L * (kv_io + kv_write) : 0.0;
+    res.busy.fpga = 0.0;
+
+    // --- Energy over the whole run ---
+    StorageKind kind = StorageKind::None;
+    unsigned devices = 0;
+    if (tier_ == FlexTier::BaselineSsds) {
+        kind = StorageKind::BaselineSsds;
+        devices = sys_.num_baseline_ssds;
+    } else if (tier_ == FlexTier::SmartSsdsNoFpga) {
+        kind = StorageKind::SmartSsds;  // powered, FPGAs idle
+        devices = 16;
+    }
+    const double steps = static_cast<double>(cfg.output_len);
+    ComponentBusy run_busy;
+    run_busy.gpu = res.busy.gpu * steps + res.prefill_time * 0.9;
+    run_busy.cpu = res.busy.cpu * steps;
+    run_busy.dram = res.busy.dram * steps + res.prefill_time * 0.5;
+    run_busy.storage =
+        res.busy.storage * steps +
+        (on_ssd ? L * prefill_kv_write : 0.0);
+    res.energy = computeEnergy(sys_, kind, devices, res.total_time,
+                               run_busy, 0.0);
+    return res;
+}
+
+}  // namespace hilos

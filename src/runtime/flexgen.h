@@ -1,0 +1,51 @@
+/**
+ * @file
+ * FlexGen-style offloading-based batched inference baselines (§2.2,
+ * §6.1): KV cache on host DRAM, on a four-SSD RAID-0, or on the sixteen
+ * SmartSSD NVMe devices with their FPGAs disabled. Decode attention is
+ * offloaded to the CPU; weight staging overlaps with compute and I/O.
+ */
+
+#ifndef HILOS_RUNTIME_FLEXGEN_H_
+#define HILOS_RUNTIME_FLEXGEN_H_
+
+#include <string>
+
+#include "runtime/engine.h"
+#include "runtime/system_config.h"
+
+namespace hilos {
+
+/** Which tier holds the KV cache. */
+enum class FlexTier {
+    HostDram,         ///< FLEX(DRAM)
+    BaselineSsds,     ///< FLEX(SSD): 4 x PM9A3 RAID-0
+    SmartSsdsNoFpga,  ///< FLEX(16 PCIe 3.0 SSDs): FPGAs disabled
+};
+
+/**
+ * FlexGen baseline engine.
+ */
+class FlexGenEngine : public InferenceEngine
+{
+  public:
+    FlexGenEngine(const SystemConfig &sys, FlexTier tier);
+
+    std::string name() const override;
+    RunResult run(const RunConfig &cfg) const override;
+
+    /** Aggregate storage read bandwidth of this tier's fleet. */
+    Bandwidth storageReadBw() const;
+    /** Aggregate storage write bandwidth of this tier's fleet. */
+    Bandwidth storageWriteBw() const;
+
+    FlexTier tier() const { return tier_; }
+
+  private:
+    SystemConfig sys_;
+    FlexTier tier_;
+};
+
+}  // namespace hilos
+
+#endif  // HILOS_RUNTIME_FLEXGEN_H_

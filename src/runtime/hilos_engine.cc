@@ -1,0 +1,296 @@
+#include "runtime/hilos_engine.h"
+
+#include <algorithm>
+
+#include "accel/cycle_model.h"
+#include "accel/resource_model.h"
+#include "common/logging.h"
+#include "runtime/cost_model.h"
+#include "runtime/writeback.h"
+
+namespace hilos {
+
+HilosEngine::HilosEngine(const SystemConfig &sys, const HilosOptions &opts)
+    : sys_(sys), opts_(opts)
+{
+    HILOS_ASSERT(opts_.num_devices >= 1 && opts_.num_devices <= 16,
+                 "HILOS supports 1..16 SmartSSDs");
+    HILOS_ASSERT(opts_.spill_interval >= 1, "invalid spill interval");
+}
+
+std::string
+HilosEngine::name() const
+{
+    if (!opts_.xcache && !opts_.delayed_writeback)
+        return "ANS(" + std::to_string(opts_.num_devices) + ")";
+    if (!opts_.xcache)
+        return "ANS+WB(" + std::to_string(opts_.num_devices) + ")";
+    if (!opts_.delayed_writeback)
+        return "ANS+X(" + std::to_string(opts_.num_devices) + ")";
+    return "HILOS(" + std::to_string(opts_.num_devices) + " SmartSSDs)";
+}
+
+Bandwidth
+HilosEngine::internalReadBw() const
+{
+    return static_cast<double>(opts_.num_devices) *
+           sys_.smartssd.p2p_read_bw;
+}
+
+Bandwidth
+HilosEngine::gdsBw() const
+{
+    // GDS loads are software-limited well below the uplink; with few
+    // devices the source NAND read rate can bind instead.
+    return std::min(sys_.gds_effective_bw, internalReadBw());
+}
+
+double
+HilosEngine::selectedAlpha(const RunConfig &cfg) const
+{
+    if (!opts_.xcache)
+        return 0.0;
+    if (opts_.alpha_override >= 0.0)
+        return opts_.alpha_override;
+    const XCacheScheduler sched(internalReadBw(), gdsBw(),
+                                sys_.gpu.fp16_peak *
+                                    sys_.gpu.gemm_efficiency);
+    return sched.bestAlpha(cfg.batch,
+                           cfg.context_len + cfg.output_len / 2,
+                           cfg.model.hidden,
+                           cfg.model.kv_heads * cfg.model.headDim());
+}
+
+RunResult
+HilosEngine::run(const RunConfig &cfg) const
+{
+    const ModelConfig &m = cfg.model;
+    const Gpu gpu(sys_.gpu);
+    const Cpu cpu(sys_.cpu);
+    const unsigned N = opts_.num_devices;
+    const double L = static_cast<double>(m.layers);
+    const std::uint64_t total_seq = cfg.context_len + cfg.output_len;
+    const std::uint64_t d = m.headDim();
+    const std::uint64_t d_group = m.dGroup();
+
+    RunResult res;
+    res.effective_batch = cfg.batch;
+    const std::uint64_t b = cfg.batch;
+    std::uint64_t s_mid = cfg.context_len + cfg.output_len / 2;
+    // Sliding-window variants attend (and keep) only the window.
+    if (opts_.attention_window > 0)
+        s_mid = std::min(s_mid, opts_.attention_window);
+
+    // Capacity: fleet NAND must hold weights (if storage-resident) plus
+    // the full KV/X cache; always generous at <=16 x 3.84 TB but check.
+    const WeightHome home = chooseWeightHome(m, sys_.dram.capacity);
+    const double alpha = selectedAlpha(cfg);
+    const double kv_dim_bytes = static_cast<double>(
+        m.kv_heads * d * m.dtype_bytes);  // one K or V row per token
+    const double cache_bytes_per_tok_layer =
+        alpha * static_cast<double>(m.xBytesPerTokenPerLayer()) +
+        (1.0 - alpha) * 2.0 * kv_dim_bytes;
+    const double fleet_capacity =
+        static_cast<double>(N) *
+        static_cast<double>(sys_.smartssd.nand.capacity);
+    const std::uint64_t kept_seq =
+        opts_.attention_window > 0
+            ? std::min(total_seq, opts_.attention_window)
+            : total_seq;
+    const double cache_total = cache_bytes_per_tok_layer * L *
+                               static_cast<double>(b) *
+                               static_cast<double>(kept_seq);
+    const double weights_on_fleet =
+        home == WeightHome::Storage
+            ? static_cast<double>(m.weightBytesTotal())
+            : 0.0;
+    if (cache_total + weights_on_fleet > fleet_capacity) {
+        res.feasible = false;
+        res.note = "SmartSSD fleet capacity exceeded";
+        return res;
+    }
+
+    // --- Per-layer decode stages ---
+    const Bandwidth fleet_read = internalReadBw();
+    // Weights stripe across all installed SmartSSDs (16 in the chassis)
+    // even when only N of them run attention kernels.
+    const unsigned installed = std::max(sys_.installed_smartssds, N);
+    const Seconds weight = weightLoadTime(
+        m, b, home, sys_.host_pcie_bw,
+        std::min(sys_.chassis_uplink_bw,
+                 static_cast<double>(installed) *
+                     sys_.smartssd.nand.seq_read_bw));
+
+    // Host GPU work: projections and MLP (always), plus the X-cache
+    // portion's K/V regeneration and attention.
+    const Seconds gpu_base = qkvProjTime(gpu, m, b) + mlpTime(gpu, m, b);
+    const XCacheScheduler sched(fleet_read, gdsBw(),
+                                sys_.gpu.fp16_peak *
+                                    sys_.gpu.gemm_efficiency);
+    const XCacheTimes xt =
+        sched.times(alpha, b, s_mid, m.hidden, m.kv_heads * d);
+    const Seconds gpu_xattn =
+        alpha * gpuAttentionTime(gpu, m, b, s_mid);
+    const Seconds gpu_stage = gpu_base + xt.t_gpu + gpu_xattn;
+
+    // Query/key/value upload to the devices (the 6h-byte write of §4.1)
+    // and the attention-output return (the 2h-byte read).
+    const double qkv_up_bytes =
+        static_cast<double>(b) *
+        (static_cast<double>(m.hidden) + 2.0 * kv_dim_bytes /
+                                             m.dtype_bytes) *
+        static_cast<double>(m.dtype_bytes);
+    const double out_ret_bytes =
+        static_cast<double>(b * m.hidden * m.dtype_bytes);
+    const Seconds qkv_up = qkv_up_bytes / sys_.chassis_uplink_bw;
+    const Seconds out_ret = out_ret_bytes / sys_.chassis_uplink_bw;
+
+    // For >100B models the weights live on the SmartSSD NAND and their
+    // reads steal NAND bandwidth from the internal P2P feed.
+    const Seconds weight_nand =
+        home == WeightHome::Storage
+            ? m.loadedWeightBytesPerLayer(b) /
+                  (static_cast<double>(installed) *
+                   sys_.smartssd.nand.seq_read_bw)
+            : 0.0;
+
+    // NSP attention: internal NAND reads (the xt.t_ssd term) race the
+    // accelerator kernels; kernels consume from on-board DRAM far
+    // faster than the 3 GB/s P2P feed, so storage I/O binds (§4.1).
+    const CycleModelConfig cm_cfg;
+    const CycleModel cm(cm_cfg);
+    const double slices_total =
+        (1.0 - alpha) * static_cast<double>(b * m.kv_heads);
+    const double slices_per_dev =
+        slices_total / static_cast<double>(N);
+    const Seconds kernel_per_dev =
+        slices_per_dev * cm.kernelTime(s_mid, d, d_group);
+
+    // Delayed writeback / naive commit costs.
+    Seconds wb_critical = 0.0;
+    Seconds wb_spill = 0.0;
+    double wb_wa = 1.0;
+    double spill_bytes_step = 0.0;
+    if (opts_.delayed_writeback) {
+        WritebackCostInputs win;
+        win.slices = b * m.kv_heads;
+        win.head_dim = d;
+        win.d_group = d_group;
+        win.spill_interval = opts_.spill_interval;
+        win.devices = N;
+        win.host_link_bw = sys_.chassis_uplink_bw;
+        win.device_write_bw = sys_.smartssd.p2p_write_bw;
+        win.xrt_sync_base = sys_.xrt_sync_base;
+        win.cxl_coherent = opts_.cxl_mode;
+        const WritebackCosts wc = writebackCosts(win);
+        wb_critical = wc.criticalPath();
+        wb_spill = wc.spill_time;
+        wb_wa = wc.write_amplification;
+        spill_bytes_step = static_cast<double>(b * m.kv_heads) * 2.0 *
+                           static_cast<double>(d * m.dtype_bytes) * wb_wa;
+    } else {
+        // Naive: every 256 B KV entry commits via direct I/O before the
+        // attention can read it (Fig. 6(a)).
+        wb_critical = naiveWritebackTime(
+            b * m.kv_heads, N, 2 * d * m.dtype_bytes,
+            sys_.smartssd.nand.write_latency, usec(230));
+        wb_wa = static_cast<double>(sys_.smartssd.nand.page_bytes) /
+                static_cast<double>(2 * d * m.dtype_bytes);
+        spill_bytes_step = static_cast<double>(b * m.kv_heads) *
+                           static_cast<double>(
+                               sys_.smartssd.nand.page_bytes);
+    }
+
+    // Attention stage: internal reads, spills, kernels, X-cache loads
+    // and host recompute all pipeline; the slowest binds.
+    const Seconds attn_stage =
+        std::max({xt.t_ssd + wb_spill + weight_nand, xt.t_pci,
+                  kernel_per_dev, gpu_xattn + xt.t_gpu});
+
+    // Shared-uplink occupancy check: weights (when storage-resident),
+    // X loads, QKV uploads and returns all cross the chassis uplink.
+    const double uplink_bytes =
+        (home == WeightHome::Storage ? m.loadedWeightBytesPerLayer(b)
+                                     : 0.0) +
+        alpha * static_cast<double>(b) * static_cast<double>(s_mid) *
+            static_cast<double>(m.hidden) * 2.0 +
+        qkv_up_bytes + out_ret_bytes;
+    const Seconds uplink_time = uplink_bytes / sys_.chassis_uplink_bw;
+
+    const Seconds t_layer =
+        std::max({weight, attn_stage, gpu_stage, uplink_time}) + qkv_up +
+        out_ret + wb_critical;
+    res.decode_step_time = L * t_layer;
+
+    res.breakdown.add("load_weight", L * weight);
+    res.breakdown.add("gpu_compute", L * gpu_stage);
+    res.breakdown.add("internal_storage_io", L * (xt.t_ssd + wb_spill));
+    res.breakdown.add("nsp_kernel", L * kernel_per_dev);
+    res.breakdown.add("xcache_pci", L * xt.t_pci);
+    res.breakdown.add("qkv_upload", L * qkv_up);
+    res.breakdown.add("output_return", L * out_ret);
+    res.breakdown.add("writeback", L * wb_critical);
+
+    // --- Prefill ---
+    const Seconds prefill_compute =
+        prefillComputeTime(gpu, m, b, cfg.context_len);
+    const double prefill_cache_bytes =
+        cache_bytes_per_tok_layer * static_cast<double>(b) *
+        static_cast<double>(cfg.context_len);
+    const Bandwidth prefill_write_bw =
+        std::min(sys_.chassis_uplink_bw,
+                 static_cast<double>(N) * sys_.smartssd.p2p_write_bw);
+    const Seconds prefill_write = prefill_cache_bytes / prefill_write_bw;
+    res.prefill_time =
+        L * (std::max(weight, prefill_compute) + prefill_write);
+    res.total_time = res.prefill_time +
+                     static_cast<double>(cfg.output_len) *
+                         res.decode_step_time;
+
+    // --- Traffic per decode step ---
+    const double h_bytes =
+        static_cast<double>(m.hidden * m.dtype_bytes);
+    const double x_load_bytes = alpha * static_cast<double>(b) *
+                                static_cast<double>(s_mid) * h_bytes;
+    res.traffic.attn_host_read_bytes = L * (out_ret_bytes + x_load_bytes);
+    res.traffic.attn_host_write_bytes = L * qkv_up_bytes;
+    res.traffic.host_read_bytes =
+        L * (m.loadedWeightBytesPerLayer(b) + out_ret_bytes +
+             x_load_bytes);
+    res.traffic.host_write_bytes = L * qkv_up_bytes;
+    res.traffic.internal_bytes =
+        L * (1.0 - alpha) * 2.0 * static_cast<double>(b) *
+        static_cast<double>(s_mid) * kv_dim_bytes;
+    res.traffic.storage_write_bytes = L * spill_bytes_step;
+
+    // --- Busy time per decode step ---
+    res.busy.gpu = L * gpu_stage;
+    // CPU: partial-score precompute for buffered entries (tiny GEMV).
+    const double partial_flops =
+        static_cast<double>(b * m.heads) *
+        (static_cast<double>(opts_.spill_interval) / 2.0) *
+        static_cast<double>(d) * 2.0;
+    res.busy.cpu = L * cpu.computeTime(partial_flops) +
+                   0.02 * res.decode_step_time;  // orchestration
+    res.busy.dram = L * std::max(weight, xt.t_pci);
+    res.busy.storage = L * (xt.t_ssd + wb_spill);
+    res.busy.fpga = L * std::max(kernel_per_dev, xt.t_ssd);
+
+    const ResourceModel rm;
+    res.fpga_power_watts = rm.powerWatts(d_group);
+
+    const double steps = static_cast<double>(cfg.output_len);
+    ComponentBusy run_busy;
+    run_busy.gpu = res.busy.gpu * steps + res.prefill_time * 0.9;
+    run_busy.cpu = res.busy.cpu * steps;
+    run_busy.dram = res.busy.dram * steps + res.prefill_time * 0.3;
+    run_busy.storage =
+        res.busy.storage * steps + L * prefill_write;
+    run_busy.fpga = res.busy.fpga * steps;
+    res.energy = computeEnergy(sys_, StorageKind::SmartSsds, N,
+                               res.total_time, run_busy,
+                               res.fpga_power_watts);
+    return res;
+}
+
+}  // namespace hilos

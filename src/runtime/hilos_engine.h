@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The HILOS inference engine (§4): attention near storage on a fleet of
+ * SmartSSDs, optionally composed with cooperative X-cache (§4.2) and
+ * delayed KV cache writeback (§4.3). Flags expose the Fig. 15 ablation
+ * points (ANS, ANS+WB, ANS+X, full HILOS).
+ */
+
+#ifndef HILOS_RUNTIME_HILOS_ENGINE_H_
+#define HILOS_RUNTIME_HILOS_ENGINE_H_
+
+#include <string>
+
+#include "runtime/engine.h"
+#include "runtime/system_config.h"
+#include "runtime/xcache.h"
+
+namespace hilos {
+
+/** HILOS feature configuration. */
+struct HilosOptions {
+    unsigned num_devices = 8;        ///< SmartSSD count (4/8/16 in §6.3)
+    bool delayed_writeback = true;   ///< §4.3; false = naive commits
+    bool xcache = true;              ///< §4.2 cooperative X-cache
+    /** X-cache ratio; negative selects the scheduler's analytic alpha. */
+    double alpha_override = -1.0;
+    unsigned spill_interval = 16;    ///< writeback spill interval c
+    /**
+     * Model a CXL.mem-attached accelerator (§7.3): coherent access to
+     * the staging buffers removes the XRT DMA-orchestration overhead.
+     */
+    bool cxl_mode = false;
+    /**
+     * Sliding-window attention (§5.1 attention variants): each step
+     * attends only the most recent `attention_window` tokens (0 = full
+     * attention). Bounds KV reads and the cache footprint; the kernel
+     * honours it via AttentionRequest::window_start.
+     */
+    std::uint64_t attention_window = 0;
+};
+
+/**
+ * HILOS engine: analytic end-to-end model mirroring the real system's
+ * execution schedule.
+ */
+class HilosEngine : public InferenceEngine
+{
+  public:
+    HilosEngine(const SystemConfig &sys, const HilosOptions &opts);
+
+    std::string name() const override;
+    RunResult run(const RunConfig &cfg) const override;
+
+    /** Aggregate internal P2P read bandwidth of the fleet. */
+    Bandwidth internalReadBw() const;
+    /** Effective host-path (GDS) bandwidth for X-cache loads. */
+    Bandwidth gdsBw() const;
+
+    /** The scheduler-selected alpha for a given workload shape. */
+    double selectedAlpha(const RunConfig &cfg) const;
+
+    const HilosOptions &options() const { return opts_; }
+
+  private:
+    SystemConfig sys_;
+    HilosOptions opts_;
+};
+
+}  // namespace hilos
+
+#endif  // HILOS_RUNTIME_HILOS_ENGINE_H_

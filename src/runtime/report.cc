@@ -1,0 +1,121 @@
+#include "runtime/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+#include "core/hilos.h"
+
+namespace hilos {
+
+namespace {
+
+ReportEntry
+makeEntry(const std::string &model, std::uint64_t context,
+          const std::string &engine, const RunResult &r, double price,
+          double base_tput)
+{
+    ReportEntry e;
+    e.model = model;
+    e.context = context;
+    e.engine = engine;
+    e.feasible = r.feasible;
+    if (!r.feasible)
+        return e;
+    e.tokens_per_sec = r.decodeThroughput();
+    e.speedup_vs_flex_ssd =
+        base_tput > 0 ? e.tokens_per_sec / base_tput : 0.0;
+    e.energy_kj = r.energy.total() / 1e3;
+    e.cost_effectiveness = costEffectiveness(e.tokens_per_sec, price);
+    return e;
+}
+
+}  // namespace
+
+EvaluationReport
+runEvaluation(const SystemConfig &sys, const ReportConfig &cfg)
+{
+    HILOS_ASSERT(!cfg.models.empty() && !cfg.contexts.empty(),
+                 "empty report grid");
+    EvaluationReport report;
+
+    for (const std::string &model_name : cfg.models) {
+        const ModelConfig model = modelByName(model_name);
+        for (std::uint64_t context : cfg.contexts) {
+            RunConfig run;
+            run.model = model;
+            run.batch = cfg.batch;
+            run.context_len = context;
+            run.output_len = cfg.output_len;
+
+            const RunResult base =
+                makeEngine(EngineKind::FlexSsd, sys)->run(run);
+            const double base_tput = base.decodeThroughput();
+            const double base_price = systemPriceUsd(
+                sys, StorageKind::BaselineSsds, sys.num_baseline_ssds);
+            report.entries.push_back(makeEntry(model_name, context,
+                                               "FLEX(SSD)", base,
+                                               base_price, base_tput));
+
+            const RunResult dram =
+                makeEngine(EngineKind::FlexDram, sys)->run(run);
+            report.entries.push_back(
+                makeEntry(model_name, context, "FLEX(DRAM)", dram,
+                          systemPriceUsd(sys, StorageKind::None, 0),
+                          base_tput));
+
+            for (unsigned n : cfg.device_counts) {
+                HilosOptions opts;
+                opts.num_devices = n;
+                const RunResult hil =
+                    makeEngine(EngineKind::Hilos, sys, opts)->run(run);
+                ReportEntry e = makeEntry(
+                    model_name, context,
+                    "HILOS(" + std::to_string(n) + ")", hil,
+                    systemPriceUsd(sys, StorageKind::SmartSsds, n),
+                    base_tput);
+                report.entries.push_back(e);
+                if (e.feasible) {
+                    report.max_speedup = std::max(
+                        report.max_speedup, e.speedup_vs_flex_ssd);
+                    if (base.feasible && base.energy.total() > 0) {
+                        report.max_energy_saving = std::max(
+                            report.max_energy_saving,
+                            1.0 - hil.energy.total() /
+                                      base.energy.total());
+                    }
+                }
+            }
+        }
+    }
+    return report;
+}
+
+std::string
+EvaluationReport::toMarkdown() const
+{
+    std::ostringstream oss;
+    oss << "# HILOS evaluation report\n\n"
+        << "Peak HILOS speedup over FLEX(SSD): **"
+        << static_cast<int>(max_speedup * 100) / 100.0 << "x**; peak "
+        << "energy saving: **"
+        << static_cast<int>(max_energy_saving * 1000) / 10.0
+        << "%**.\n\n"
+        << "| model | context | engine | tokens/s | vs FLEX(SSD) | "
+           "energy kJ | tokens/s/$ |\n"
+        << "|---|---|---|---|---|---|---|\n";
+    for (const ReportEntry &e : entries) {
+        oss << "| " << e.model << " | " << e.context / 1024 << "K | "
+            << e.engine << " | ";
+        if (!e.feasible) {
+            oss << "OOM | - | - | - |\n";
+            continue;
+        }
+        oss << e.tokens_per_sec << " | " << e.speedup_vs_flex_ssd
+            << "x | " << e.energy_kj << " | " << e.cost_effectiveness
+            << " |\n";
+    }
+    return oss.str();
+}
+
+}  // namespace hilos

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Evaluation-report generation.
+ *
+ * Runs the headline evaluation grid programmatically and renders a
+ * markdown report (engine comparison, speedups vs FLEX(SSD), energy
+ * and cost-effectiveness) — the automation a downstream user points at
+ * their own configuration instead of re-deriving the paper's tables by
+ * hand.
+ */
+
+#ifndef HILOS_RUNTIME_REPORT_H_
+#define HILOS_RUNTIME_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/engine.h"
+#include "runtime/hilos_engine.h"
+#include "runtime/system_config.h"
+
+namespace hilos {
+
+/** What to sweep in the report. */
+struct ReportConfig {
+    std::vector<std::string> models = {"OPT-66B", "OPT-175B"};
+    std::vector<std::uint64_t> contexts = {16384, 65536};
+    std::uint64_t batch = 16;
+    std::uint64_t output_len = 64;
+    std::vector<unsigned> device_counts = {8, 16};
+};
+
+/** One evaluated grid point. */
+struct ReportEntry {
+    std::string model;
+    std::uint64_t context = 0;
+    std::string engine;
+    bool feasible = false;
+    double tokens_per_sec = 0;
+    double speedup_vs_flex_ssd = 0;
+    double energy_kj = 0;
+    double cost_effectiveness = 0;  ///< tokens/s/$
+};
+
+/** The evaluated grid plus aggregate headlines. */
+struct EvaluationReport {
+    std::vector<ReportEntry> entries;
+    double max_speedup = 0;       ///< best HILOS vs FLEX(SSD)
+    double max_energy_saving = 0; ///< 1 - (HILOS J / FLEX(SSD) J), best
+
+    /** Render as a markdown document. */
+    std::string toMarkdown() const;
+};
+
+/**
+ * Run the grid on a system configuration.
+ */
+EvaluationReport runEvaluation(const SystemConfig &sys,
+                               const ReportConfig &cfg);
+
+}  // namespace hilos
+
+#endif  // HILOS_RUNTIME_REPORT_H_

@@ -1,0 +1,35 @@
+#include "runtime/system_config.h"
+
+namespace hilos {
+
+SystemConfig::SystemConfig()
+    : gpu(a100Config()), cpu(xeon6342Config()), dram(hostDramConfig()),
+      baseline_ssd(pm9a3Config()), smartssd(smartSsdConfig())
+{
+}
+
+SystemConfig
+defaultSystem()
+{
+    return SystemConfig{};
+}
+
+SystemConfig
+h100System()
+{
+    SystemConfig cfg;
+    cfg.gpu = h100Config();
+    return cfg;
+}
+
+SystemConfig
+ispSystem(unsigned devices)
+{
+    SystemConfig cfg;
+    cfg.smartssd = ispDeviceConfig();
+    cfg.num_smartssds = devices;
+    cfg.installed_smartssds = devices;
+    return cfg;
+}
+
+}  // namespace hilos

@@ -1,0 +1,81 @@
+#include "runtime/writeback.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hilos {
+
+WritebackCosts
+writebackCosts(const WritebackCostInputs &in)
+{
+    HILOS_ASSERT(in.slices > 0 && in.devices > 0, "invalid inputs");
+    HILOS_ASSERT(in.spill_interval > 0, "invalid spill interval");
+
+    WritebackCosts out;
+    const double slices = static_cast<double>(in.slices);
+    const double d = static_cast<double>(in.head_dim);
+    const double dg = static_cast<double>(in.d_group);
+    const double c = static_cast<double>(in.spill_interval);
+
+    // Steady state: buffers average c/2 entries. Per step the host
+    // ships, per slice: the buffered V vectors (redundant until the
+    // spill) plus d_group partial-score scalars per buffered entry.
+    const double per_slice_bytes = (c / 2.0) * (d * 2.0 + dg * 4.0);
+    out.transfer_time = slices * per_slice_bytes / in.host_link_bw;
+
+    // XRT DMA orchestration (explicit migrate + wait per staged
+    // granule) scales with the chunk size: larger spill intervals stage
+    // more 4 KiB granules per step and pay proportionally more
+    // synchronisation (§7.3: throughput drops moving from 4 KiB to
+    // 16 KiB chunks). Devices sync concurrently, so the cost is per
+    // granule, not per device.
+    const double chunk_bytes = c * d * 2.0 * 2.0;  // K+V per slice
+    if (!in.cxl_coherent) {
+        const double granules = std::max(
+            1.0, chunk_bytes / static_cast<double>(in.page_bytes));
+        out.sync_time = in.xrt_sync_base * granules;
+
+        // Issuing the spill commands costs host time per spill
+        // operation; sub-page chunks additionally pay the
+        // read-modify-write path.
+        const bool page_aligned =
+            chunk_bytes >= static_cast<double>(in.page_bytes) &&
+            static_cast<std::uint64_t>(chunk_bytes) % in.page_bytes == 0;
+        const double spill_ops_per_device =
+            slices / (c * static_cast<double>(in.devices));
+        const Seconds per_op = page_aligned ? usec(30) : usec(100);
+        out.sync_time += spill_ops_per_device * per_op;
+    } else {
+        // CXL.mem: loads/stores land coherently; no migrate/wait and no
+        // per-spill submission path.
+        out.sync_time = 0.0;
+    }
+
+    // Spill: every c steps each slice writes c entries (K+V) padded to
+    // page granularity; amortised per step and spread over devices.
+    const double spill_bytes_per_slice = c * d * 2.0 * 2.0;
+    const double padded = std::max(
+        spill_bytes_per_slice, static_cast<double>(in.page_bytes));
+    out.write_amplification = padded / spill_bytes_per_slice;
+    const double per_step_bytes = slices * padded / c;
+    out.spill_time = per_step_bytes /
+                     (static_cast<double>(in.devices) * in.device_write_bw);
+    return out;
+}
+
+Seconds
+naiveWritebackTime(std::uint64_t slices, std::uint64_t devices,
+                   std::uint64_t entry_bytes, Seconds write_latency,
+                   Seconds rmw_penalty)
+{
+    HILOS_ASSERT(devices > 0, "invalid device count");
+    (void)entry_bytes;  // every sub-page entry pays a full page program
+    const double per_device =
+        static_cast<double>(ceilDiv(slices, devices));
+    // Direct I/O commits serialise per device: command latency plus the
+    // sub-page read-modify-write for each entry.
+    return per_device * (write_latency + rmw_penalty);
+}
+
+}  // namespace hilos

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Delayed KV cache writeback (§4.3): the Writeback Manager.
+ *
+ * Newly generated KV entries are staged in host-memory buffers instead
+ * of being committed to storage immediately. Per decoding step the CPU
+ * precomputes the partial QK^T scores for the buffered keys and ships
+ * only those scalars (plus the buffered V vectors) to the accelerator;
+ * buffers spill to storage in page-sized chunks every `spill_interval`
+ * steps. This keeps SSD writes off the critical path and removes the
+ * sub-page write penalty (a 256 B KV entry vs the 4 KiB page).
+ *
+ * The module has a functional side (actual buffers + partial-score
+ * computation feeding AttentionKernel) and an analytic side (per-step
+ * transfer/spill costs for the engines).
+ */
+
+#ifndef HILOS_RUNTIME_WRITEBACK_H_
+#define HILOS_RUNTIME_WRITEBACK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "llm/kv_staging.h"
+
+namespace hilos {
+
+/** Analytic per-step costs of the writeback scheme for the engines. */
+struct WritebackCosts {
+    /** Redundant V transfer + score upload per step (critical path). */
+    Seconds transfer_time = 0;
+    /** XRT DMA orchestration/sync overhead per step (critical path). */
+    Seconds sync_time = 0;
+    /** Amortised spill write time per step (off the critical path). */
+    Seconds spill_time = 0;
+    /** Effective write amplification of the spills. */
+    double write_amplification = 1.0;
+
+    Seconds criticalPath() const { return transfer_time + sync_time; }
+};
+
+/** Parameters of the analytic writeback cost model. */
+struct WritebackCostInputs {
+    std::uint64_t slices = 0;        ///< b x kv_heads across the fleet
+    std::uint64_t head_dim = 128;
+    std::uint64_t d_group = 1;
+    std::uint64_t spill_interval = 16;
+    std::uint64_t devices = 8;
+    Bandwidth host_link_bw = 22.0 * GB;   ///< host -> device path
+    Bandwidth device_write_bw = 2.1 * GB; ///< per-device NAND write
+    Seconds xrt_sync_base = msec(1.2);    ///< per 4 KiB granule per step
+    std::uint64_t page_bytes = 4096;
+    /**
+     * CXL.mem mode (§7.3): a coherent unified address space removes the
+     * explicit migrate-and-wait orchestration and the per-spill command
+     * issue; only the data movement itself remains.
+     */
+    bool cxl_coherent = false;
+};
+
+/**
+ * Analytic per-step writeback costs at steady state (buffers half full
+ * on average).
+ */
+WritebackCosts writebackCosts(const WritebackCostInputs &in);
+
+/**
+ * Per-step cost of the naive scheme (Fig. 6(a)): every new KV entry is
+ * committed via direct I/O before attention can proceed, paying
+ * sub-page read-modify-write latency on the critical path.
+ *
+ * @param entry_bytes one KV entry (K+V) in bytes
+ * @param write_latency per-command device latency
+ * @param rmw_penalty additional sub-page program time per entry
+ */
+Seconds naiveWritebackTime(std::uint64_t slices, std::uint64_t devices,
+                           std::uint64_t entry_bytes,
+                           Seconds write_latency, Seconds rmw_penalty);
+
+}  // namespace hilos
+
+#endif  // HILOS_RUNTIME_WRITEBACK_H_

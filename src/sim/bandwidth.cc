@@ -1,0 +1,54 @@
+#include "sim/bandwidth.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace hilos {
+
+BandwidthResource::BandwidthResource(std::string name, Bandwidth rate,
+                                     Seconds latency)
+    : name_(std::move(name)), rate_(rate), latency_(latency),
+      stats_(name_)
+{
+    HILOS_ASSERT(rate_ > 0.0, "bandwidth must be positive: ", rate_);
+    HILOS_ASSERT(latency_ >= 0.0, "latency must be non-negative");
+}
+
+Seconds
+BandwidthResource::serviceTime(std::uint64_t bytes) const
+{
+    return latency_ + static_cast<double>(bytes) / rate_;
+}
+
+Seconds
+BandwidthResource::transfer(Seconds start, std::uint64_t bytes)
+{
+    const Seconds begin = std::max(start, busy_until_);
+    const Seconds service = serviceTime(bytes);
+    busy_until_ = begin + service;
+    busy_time_ += service;
+    stats_.counter("bytes").add(static_cast<double>(bytes));
+    stats_.counter("transfers").increment();
+    stats_.summary("queue_delay").add(begin - start);
+    return busy_until_;
+}
+
+double
+BandwidthResource::utilization(Seconds horizon) const
+{
+    if (horizon <= 0.0)
+        return 0.0;
+    return std::min(1.0, busy_time_ / horizon);
+}
+
+void
+BandwidthResource::reset()
+{
+    busy_until_ = 0.0;
+    busy_time_ = 0.0;
+    stats_.reset();
+}
+
+}  // namespace hilos

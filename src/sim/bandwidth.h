@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Bandwidth-resource model.
+ *
+ * A BandwidthResource is a shared channel (a PCIe link, a flash channel,
+ * a DRAM interface) that serialises transfers at a fixed byte rate with
+ * an optional fixed per-request latency. Transfers issued while the
+ * channel is busy queue behind it — this is what creates the contention
+ * effects (host PCIe saturation) central to the paper's motivation.
+ */
+
+#ifndef HILOS_SIM_BANDWIDTH_H_
+#define HILOS_SIM_BANDWIDTH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.h"
+#include "common/units.h"
+
+namespace hilos {
+
+/**
+ * A serialised, fixed-rate channel.
+ *
+ * The model is analytic: `transfer(start, bytes)` returns the completion
+ * time assuming FIFO service, and advances the channel's busy horizon.
+ * Utilisation statistics accumulate so benches can report per-link
+ * occupancy (Fig. 4(c)).
+ */
+class BandwidthResource
+{
+  public:
+    /**
+     * @param name stat-reporting name
+     * @param rate channel bandwidth in bytes/second
+     * @param latency fixed per-request latency in seconds
+     */
+    BandwidthResource(std::string name, Bandwidth rate,
+                      Seconds latency = 0.0);
+
+    /**
+     * Issue a transfer of `bytes` that becomes ready at `start`.
+     * @return completion time (>= start + latency + bytes/rate).
+     */
+    Seconds transfer(Seconds start, std::uint64_t bytes);
+
+    /**
+     * Pure service time of `bytes` on an idle channel (no queueing).
+     */
+    Seconds serviceTime(std::uint64_t bytes) const;
+
+    /** Earliest time a new transfer could begin service. */
+    Seconds busyUntil() const { return busy_until_; }
+
+    /** Total bytes moved so far. */
+    double totalBytes() const { return stats_.counter("bytes").value(); }
+
+    /** Total time the channel spent busy. */
+    Seconds busyTime() const { return busy_time_; }
+
+    /** Fraction of [0, horizon] the channel was busy. */
+    double utilization(Seconds horizon) const;
+
+    /** Reset busy horizon and statistics. */
+    void reset();
+
+    Bandwidth rate() const { return rate_; }
+    Seconds latency() const { return latency_; }
+    const std::string &name() const { return name_; }
+    const StatRegistry &stats() const { return stats_; }
+
+  private:
+    std::string name_;
+    Bandwidth rate_;
+    Seconds latency_;
+    Seconds busy_until_ = 0.0;
+    Seconds busy_time_ = 0.0;
+    mutable StatRegistry stats_;
+};
+
+}  // namespace hilos
+
+#endif  // HILOS_SIM_BANDWIDTH_H_

@@ -1,0 +1,61 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace hilos {
+
+void
+EventQueue::scheduleAt(Seconds when, Callback fn)
+{
+    HILOS_ASSERT(when >= now_, "scheduling into the past: ", when, " < ",
+                 now_);
+    heap_.push(Entry{when, next_seq_++, std::move(fn)});
+}
+
+void
+EventQueue::scheduleAfter(Seconds delay, Callback fn)
+{
+    HILOS_ASSERT(delay >= 0.0, "negative delay: ", delay);
+    scheduleAt(now_ + delay, std::move(fn));
+}
+
+Seconds
+EventQueue::run()
+{
+    while (!heap_.empty()) {
+        // Copy out before pop: the callback may schedule new events.
+        Entry e = heap_.top();
+        heap_.pop();
+        now_ = e.when;
+        e.fn();
+    }
+    return now_;
+}
+
+Seconds
+EventQueue::runUntil(Seconds limit)
+{
+    while (!heap_.empty() && heap_.top().when <= limit) {
+        Entry e = heap_.top();
+        heap_.pop();
+        now_ = e.when;
+        e.fn();
+    }
+    if (now_ < limit && heap_.empty())
+        now_ = limit;
+    else if (now_ < limit)
+        now_ = limit;
+    return now_;
+}
+
+void
+EventQueue::reset()
+{
+    heap_ = {};
+    now_ = 0.0;
+    next_seq_ = 0;
+}
+
+}  // namespace hilos

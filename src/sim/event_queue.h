@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A minimal, deterministic event queue: events are (time, callback)
+ * pairs; ties break in insertion order so runs are reproducible. Used by
+ * the storage / interconnect models to simulate overlapped transfers and
+ * by the end-to-end engine simulations.
+ */
+
+#ifndef HILOS_SIM_EVENT_QUEUE_H_
+#define HILOS_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace hilos {
+
+/**
+ * Deterministic discrete-event queue over simulated seconds.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+
+    /** Current simulated time. */
+    Seconds now() const { return now_; }
+
+    /** Schedule `fn` at absolute time `when` (>= now). */
+    void scheduleAt(Seconds when, Callback fn);
+
+    /** Schedule `fn` at now() + delay (delay >= 0). */
+    void scheduleAfter(Seconds delay, Callback fn);
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /**
+     * Run events until the queue is empty.
+     * @return the time of the last executed event (now()).
+     */
+    Seconds run();
+
+    /**
+     * Run events with time <= `limit`; leaves later events queued and
+     * advances now() to min(limit, last event time).
+     */
+    Seconds runUntil(Seconds limit);
+
+    /** Drop all pending events and reset the clock to zero. */
+    void reset();
+
+  private:
+    struct Entry {
+        Seconds when;
+        std::uint64_t seq;
+        Callback fn;
+    };
+    struct Later {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Seconds now_ = 0.0;
+    std::uint64_t next_seq_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+};
+
+}  // namespace hilos
+
+#endif  // HILOS_SIM_EVENT_QUEUE_H_

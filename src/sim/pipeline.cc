@@ -1,0 +1,76 @@
+#include "sim/pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace hilos {
+
+void
+PipelineModel::addStage(std::string name, Seconds time)
+{
+    HILOS_ASSERT(time >= 0.0, "negative stage time for ", name);
+    stages_.push_back(Stage{std::move(name), time});
+}
+
+Seconds
+PipelineModel::bottleneck() const
+{
+    Seconds best = 0.0;
+    for (const auto &s : stages_)
+        best = std::max(best, s.time);
+    return best;
+}
+
+std::string
+PipelineModel::bottleneckName() const
+{
+    Seconds best = -1.0;
+    std::string name;
+    for (const auto &s : stages_) {
+        if (s.time > best) {
+            best = s.time;
+            name = s.name;
+        }
+    }
+    return name;
+}
+
+Seconds
+PipelineModel::latency() const
+{
+    Seconds total = 0.0;
+    for (const auto &s : stages_)
+        total += s.time;
+    return total;
+}
+
+Seconds
+PipelineModel::totalTime(std::uint64_t items) const
+{
+    if (items == 0 || stages_.empty())
+        return 0.0;
+    return latency() +
+           static_cast<double>(items - 1) * bottleneck();
+}
+
+Seconds
+overlapMax(std::initializer_list<Seconds> times)
+{
+    Seconds best = 0.0;
+    for (Seconds t : times)
+        best = std::max(best, t);
+    return best;
+}
+
+Seconds
+serialSum(std::initializer_list<Seconds> times)
+{
+    Seconds total = 0.0;
+    for (Seconds t : times)
+        total += t;
+    return total;
+}
+
+}  // namespace hilos

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Pipelined-stage timing helpers.
+ *
+ * The paper's cost models (§4.2) assume that per-layer stages (GPU
+ * recompute, SSD reads, PCIe transfers) are well pipelined and overlap,
+ * so effective time is the max of the stage times plus fill/drain terms.
+ * These helpers centralise that arithmetic so every engine composes
+ * stages the same way.
+ */
+
+#ifndef HILOS_SIM_PIPELINE_H_
+#define HILOS_SIM_PIPELINE_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace hilos {
+
+/** One named stage of a pipeline and its per-item service time. */
+struct Stage {
+    std::string name;
+    Seconds time;
+};
+
+/**
+ * Timing of a linear pipeline processing `items` identical items.
+ */
+class PipelineModel
+{
+  public:
+    PipelineModel() = default;
+
+    /** Append a stage. Zero-time stages are allowed and ignored. */
+    void addStage(std::string name, Seconds time);
+
+    /** The bottleneck stage time (max over stages); 0 if empty. */
+    Seconds bottleneck() const;
+
+    /** Name of the bottleneck stage; empty if no stages. */
+    std::string bottleneckName() const;
+
+    /** Sum of all stage times (the unpipelined latency of one item). */
+    Seconds latency() const;
+
+    /**
+     * Total time for `items` items with full overlap between stages:
+     * latency() + (items - 1) * bottleneck().
+     */
+    Seconds totalTime(std::uint64_t items) const;
+
+    /**
+     * Steady-state throughput-determining time per item; equals
+     * bottleneck() when items is large.
+     */
+    Seconds steadyStatePerItem() const { return bottleneck(); }
+
+    const std::vector<Stage> &stages() const { return stages_; }
+
+  private:
+    std::vector<Stage> stages_;
+};
+
+/**
+ * Effective time of a set of fully-overlapped concurrent activities:
+ * max of the inputs (the paper's T_effective = max(T_GPU, T_SSD, T_PCI)).
+ */
+Seconds overlapMax(std::initializer_list<Seconds> times);
+
+/** Serial composition: sum of the inputs. */
+Seconds serialSum(std::initializer_list<Seconds> times);
+
+}  // namespace hilos
+
+#endif  // HILOS_SIM_PIPELINE_H_

@@ -1,0 +1,68 @@
+#include "sim/trace.h"
+
+#include <map>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace hilos {
+
+void
+TraceRecorder::record(const std::string &track, const std::string &name,
+                      Seconds begin, Seconds end)
+{
+    HILOS_ASSERT(end >= begin, "trace interval ends before it begins: ",
+                 name);
+    events_.push_back(TraceEvent{track, name, begin, end});
+}
+
+std::vector<TraceEvent>
+TraceRecorder::track(const std::string &name) const
+{
+    std::vector<TraceEvent> out;
+    for (const TraceEvent &e : events_) {
+        if (e.track == name)
+            out.push_back(e);
+    }
+    return out;
+}
+
+Seconds
+TraceRecorder::busyTime(const std::string &track) const
+{
+    Seconds total = 0;
+    for (const TraceEvent &e : events_) {
+        if (e.track == track)
+            total += e.end - e.begin;
+    }
+    return total;
+}
+
+void
+TraceRecorder::writeChromeTrace(std::ostream &os) const
+{
+    // Stable tid per track, in order of first appearance.
+    std::map<std::string, int> tids;
+    for (const TraceEvent &e : events_) {
+        tids.emplace(e.track, static_cast<int>(tids.size()) + 1);
+    }
+
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const auto &[track, tid] : tids) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+           << tid << ",\"args\":{\"name\":\"" << track << "\"}}";
+    }
+    for (const TraceEvent &e : events_) {
+        os << ",{\"name\":\"" << e.name << "\",\"ph\":\"X\",\"pid\":1,"
+           << "\"tid\":" << tids.at(e.track) << ",\"ts\":"
+           << e.begin * 1e6 << ",\"dur\":" << (e.end - e.begin) * 1e6
+           << "}";
+    }
+    os << "]}";
+}
+
+}  // namespace hilos

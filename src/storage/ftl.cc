@@ -1,0 +1,326 @@
+#include "storage/ftl.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace hilos {
+
+std::uint64_t
+FtlConfig::logicalPages() const
+{
+    const auto physical = physicalPages();
+    const auto hidden = static_cast<std::uint64_t>(
+        overprovision * static_cast<double>(physical));
+    HILOS_ASSERT(hidden < physical, "overprovision too large");
+    return physical - hidden;
+}
+
+double
+FtlStats::writeAmplification() const
+{
+    if (host_writes_pages == 0)
+        return 1.0;
+    return static_cast<double>(nand_programs) /
+           static_cast<double>(host_writes_pages);
+}
+
+double
+FtlStats::writeAmplificationBytes(std::uint64_t page_bytes) const
+{
+    if (host_bytes_written == 0)
+        return 1.0;
+    return static_cast<double>(nand_programs * page_bytes) /
+           static_cast<double>(host_bytes_written);
+}
+
+Ftl::Ftl(const FtlConfig &cfg) : cfg_(cfg)
+{
+    HILOS_ASSERT(cfg_.blocks >= 4, "FTL needs at least 4 blocks");
+    HILOS_ASSERT(cfg_.gc_high_watermark > cfg_.gc_low_watermark,
+                 "GC watermarks inverted");
+    HILOS_ASSERT(cfg_.gc_low_watermark >= 1,
+                 "GC needs at least one spare block");
+    HILOS_ASSERT(cfg_.gc_high_watermark < cfg_.blocks,
+                 "GC high watermark exceeds block count");
+
+    map_.assign(cfg_.logicalPages(),
+                std::numeric_limits<std::uint64_t>::max());
+    blocks_.resize(cfg_.blocks);
+    for (auto &b : blocks_)
+        b.owner.assign(cfg_.pages_per_block, kUnmapped);
+    free_blocks_.reserve(cfg_.blocks);
+    for (std::uint64_t i = cfg_.blocks; i > 0; i--)
+        free_blocks_.push_back(static_cast<std::uint32_t>(i - 1));
+}
+
+std::uint64_t
+Ftl::freeBlocks() const
+{
+    return free_blocks_.size();
+}
+
+std::uint64_t
+Ftl::maxEraseCount() const
+{
+    std::uint64_t best = 0;
+    for (const auto &b : blocks_)
+        best = std::max(best, b.erase_count);
+    return best;
+}
+
+double
+Ftl::meanEraseCount() const
+{
+    std::uint64_t total = 0;
+    for (const auto &b : blocks_)
+        total += b.erase_count;
+    return static_cast<double>(total) / static_cast<double>(blocks_.size());
+}
+
+void
+Ftl::openNewBlock()
+{
+    HILOS_ASSERT(!free_blocks_.empty(), "FTL out of free blocks");
+    active_block_ = free_blocks_.back();
+    free_blocks_.pop_back();
+}
+
+std::uint64_t
+Ftl::allocSlot()
+{
+    if (!in_gc_ && free_blocks_.size() <= cfg_.gc_low_watermark)
+        garbageCollect();
+
+    if (active_block_ == kUnmapped ||
+        blocks_[active_block_].next_page >= cfg_.pages_per_block) {
+        openNewBlock();
+    }
+    Block &b = blocks_[active_block_];
+    const std::uint64_t slot =
+        static_cast<std::uint64_t>(active_block_) * cfg_.pages_per_block +
+        b.next_page;
+    b.next_page++;
+    return slot;
+}
+
+void
+Ftl::programPage(std::uint64_t lpn)
+{
+    // Invalidate any existing mapping.
+    const std::uint64_t old = map_[lpn];
+    if (old != std::numeric_limits<std::uint64_t>::max()) {
+        const auto blk = static_cast<std::uint32_t>(
+            old / cfg_.pages_per_block);
+        const auto page = static_cast<std::uint32_t>(
+            old % cfg_.pages_per_block);
+        HILOS_ASSERT(blocks_[blk].valid > 0, "double invalidate");
+        blocks_[blk].valid--;
+        blocks_[blk].owner[page] = kUnmapped;
+    } else {
+        mapped_count_++;
+    }
+
+    const std::uint64_t slot = allocSlot();
+    const auto blk = static_cast<std::uint32_t>(slot / cfg_.pages_per_block);
+    const auto page = static_cast<std::uint32_t>(slot % cfg_.pages_per_block);
+    blocks_[blk].owner[page] = static_cast<std::uint32_t>(lpn);
+    blocks_[blk].valid++;
+    map_[lpn] = slot;
+    stats_.nand_programs++;
+}
+
+void
+Ftl::garbageCollect()
+{
+    in_gc_ = true;
+    std::uint64_t min_erase = 0;
+    if (cfg_.gc_policy == GcPolicy::WearAware) {
+        min_erase = blocks_.front().erase_count;
+        for (const Block &b : blocks_)
+            min_erase = std::min(min_erase, b.erase_count);
+    }
+    while (free_blocks_.size() < cfg_.gc_high_watermark) {
+        // Victim selection: fewest valid pages (greedy), optionally
+        // penalised by wear above the fleet minimum (wear-aware).
+        std::uint32_t victim = kUnmapped;
+        std::uint32_t victim_valid = 0;
+        double best_score = 1e18;
+        for (std::uint32_t i = 0; i < blocks_.size(); i++) {
+            const Block &b = blocks_[i];
+            if (i == active_block_ || b.next_page == 0)
+                continue;  // active or free/open-empty block
+            if (b.next_page < cfg_.pages_per_block && b.valid > 0)
+                continue;  // still open for writes, skip
+            // Greedy on valid pages for both policies (picking fuller
+            // victims only multiplies relocation traffic); WearAware
+            // uses the wear delta purely as a tie-breaker so equally
+            // empty blocks rotate instead of ping-ponging.
+            double score = static_cast<double>(b.valid) * 1024.0;
+            if (cfg_.gc_policy == GcPolicy::WearAware) {
+                score += std::min<double>(
+                    1023.0, cfg_.wear_weight *
+                                static_cast<double>(b.erase_count -
+                                                    min_erase));
+            }
+            if (score < best_score) {
+                best_score = score;
+                victim = i;
+                victim_valid = b.valid;
+            }
+        }
+        if (victim == kUnmapped ||
+            victim_valid >= cfg_.pages_per_block) {
+            break;  // nothing reclaimable; avoid GC livelock
+        }
+
+        Block &v = blocks_[victim];
+        // Relocate valid pages.
+        for (std::uint32_t p = 0; p < cfg_.pages_per_block; p++) {
+            const std::uint32_t lpn = v.owner[p];
+            if (lpn == kUnmapped)
+                continue;
+            stats_.nand_reads++;
+            stats_.gc_moves++;
+            programPage(lpn);
+        }
+        // Erase and free.
+        v.next_page = 0;
+        v.valid = 0;
+        v.erase_count++;
+        std::fill(v.owner.begin(), v.owner.end(), kUnmapped);
+        stats_.gc_erases++;
+        free_blocks_.push_back(victim);
+    }
+    // Static levelling is rate-limited: migrating cold data costs a
+    // whole block of relocations, so it runs once per batch of erases.
+    if (cfg_.gc_policy == GcPolicy::WearAware &&
+        free_blocks_.size() >= cfg_.gc_high_watermark &&
+        stats_.gc_erases >= last_level_erases_ + 32) {
+        last_level_erases_ = stats_.gc_erases;
+        staticWearLevel();
+    }
+    in_gc_ = false;
+}
+
+void
+Ftl::staticWearLevel()
+{
+    // Cold data parks in blocks that never empty, so they never get
+    // erased and the hot pool absorbs all the wear. When the spread
+    // grows past the threshold, migrate the coldest (least-worn, still
+    // valid) block's contents; the freed block rejoins the hot rotation.
+    for (int round = 0; round < 2; round++) {
+        std::uint64_t max_erase = 0;
+        std::uint32_t coldest = kUnmapped;
+        std::uint64_t coldest_erase = ~0ull;
+        for (std::uint32_t i = 0; i < blocks_.size(); i++) {
+            const Block &b = blocks_[i];
+            max_erase = std::max(max_erase, b.erase_count);
+            if (i == active_block_ || b.next_page == 0 || b.valid == 0)
+                continue;
+            if (b.erase_count < coldest_erase) {
+                coldest_erase = b.erase_count;
+                coldest = i;
+            }
+        }
+        if (coldest == kUnmapped ||
+            max_erase - coldest_erase <= cfg_.wear_threshold) {
+            return;
+        }
+        Block &v = blocks_[coldest];
+        for (std::uint32_t p = 0; p < cfg_.pages_per_block; p++) {
+            const std::uint32_t lpn = v.owner[p];
+            if (lpn == kUnmapped)
+                continue;
+            stats_.nand_reads++;
+            stats_.gc_moves++;
+            programPage(lpn);
+        }
+        v.next_page = 0;
+        v.valid = 0;
+        v.erase_count++;
+        std::fill(v.owner.begin(), v.owner.end(), kUnmapped);
+        stats_.gc_erases++;
+        free_blocks_.push_back(coldest);
+        if (free_blocks_.size() < 3)
+            return;  // keep slack for regular writes
+    }
+}
+
+std::uint64_t
+Ftl::write(std::uint64_t addr, std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return 0;
+    const std::uint64_t page = cfg_.logical_page_bytes;
+    const std::uint64_t first = addr / page;
+    const std::uint64_t last = (addr + bytes - 1) / page;
+    HILOS_ASSERT(last < map_.size(), "write beyond logical capacity: page ",
+                 last, " >= ", map_.size());
+
+    const std::uint64_t programs_before = stats_.nand_programs;
+    stats_.host_bytes_written += bytes;
+    if (bytes < page)
+        stats_.host_subpage_writes++;
+
+    for (std::uint64_t lpn = first; lpn <= last; lpn++) {
+        stats_.host_writes_pages++;
+        const std::uint64_t lo = std::max(addr, lpn * page);
+        const std::uint64_t hi = std::min(addr + bytes, (lpn + 1) * page);
+        const bool partial = (hi - lo) < page;
+        if (partial &&
+            map_[lpn] != std::numeric_limits<std::uint64_t>::max()) {
+            stats_.nand_reads++;  // read-modify-write of live data
+        }
+        programPage(lpn);
+    }
+    return stats_.nand_programs - programs_before;
+}
+
+std::uint64_t
+Ftl::read(std::uint64_t addr, std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return 0;
+    const std::uint64_t page = cfg_.logical_page_bytes;
+    const std::uint64_t first = addr / page;
+    const std::uint64_t last = (addr + bytes - 1) / page;
+    HILOS_ASSERT(last < map_.size(), "read beyond logical capacity");
+
+    std::uint64_t reads = 0;
+    for (std::uint64_t lpn = first; lpn <= last; lpn++) {
+        if (map_[lpn] != std::numeric_limits<std::uint64_t>::max()) {
+            reads++;
+        }
+    }
+    stats_.nand_reads += reads;
+    return reads;
+}
+
+void
+Ftl::trim(std::uint64_t addr, std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return;
+    const std::uint64_t page = cfg_.logical_page_bytes;
+    // Only whole pages inside the range unmap.
+    const std::uint64_t first = ceilDiv(addr, page);
+    const std::uint64_t end = (addr + bytes) / page;
+    for (std::uint64_t lpn = first; lpn < end && lpn < map_.size(); lpn++) {
+        const std::uint64_t slot = map_[lpn];
+        if (slot == std::numeric_limits<std::uint64_t>::max())
+            continue;
+        const auto blk = static_cast<std::uint32_t>(
+            slot / cfg_.pages_per_block);
+        const auto pg = static_cast<std::uint32_t>(
+            slot % cfg_.pages_per_block);
+        blocks_[blk].valid--;
+        blocks_[blk].owner[pg] = kUnmapped;
+        map_[lpn] = std::numeric_limits<std::uint64_t>::max();
+        mapped_count_--;
+    }
+}
+
+}  // namespace hilos

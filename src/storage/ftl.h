@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Page-level flash translation layer.
+ *
+ * A functional FTL: logical pages map to physical (block, page) slots,
+ * writes are out-of-place, stale pages accumulate until a greedy
+ * garbage collector reclaims the emptiest blocks. The FTL is the source
+ * of truth for write amplification and wear (erase counts / bytes
+ * programmed), which drive the endurance analysis (Fig. 16b) and the
+ * sub-page-write penalty that motivates delayed KV writeback (§4.3).
+ */
+
+#ifndef HILOS_STORAGE_FTL_H_
+#define HILOS_STORAGE_FTL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace hilos {
+
+/** Garbage-collection victim-selection policy. */
+enum class GcPolicy {
+    /** Fewest valid pages wins (max immediate space reclaimed). */
+    Greedy,
+    /**
+     * Cost-benefit with wear awareness: prefers empty blocks but
+     * penalises already-worn blocks, narrowing the erase-count spread
+     * under skewed (hot/cold) workloads.
+     */
+    WearAware,
+};
+
+/** FTL configuration: geometry in logical pages plus GC policy knobs. */
+struct FtlConfig {
+    std::uint64_t logical_page_bytes = 4 * KiB;
+    std::uint64_t pages_per_block = 256;
+    std::uint64_t blocks = 1024;
+    /** Over-provisioning fraction of raw space hidden from the host. */
+    double overprovision = 0.07;
+    /** GC kicks in when free blocks drop below this count. */
+    std::uint64_t gc_low_watermark = 4;
+    /** GC reclaims until free blocks reach this count. */
+    std::uint64_t gc_high_watermark = 8;
+    GcPolicy gc_policy = GcPolicy::Greedy;
+    /** Wear weight for WearAware: valid-page-equivalents per erase. */
+    double wear_weight = 2.0;
+    /**
+     * WearAware static levelling triggers when the erase-count spread
+     * exceeds this: the coldest block's data migrates so the worn-least
+     * block rejoins the hot rotation.
+     */
+    std::uint64_t wear_threshold = 8;
+
+    /** Logical pages exported to the host. */
+    std::uint64_t logicalPages() const;
+    /** Total physical pages. */
+    std::uint64_t physicalPages() const { return blocks * pages_per_block; }
+};
+
+/** Cumulative FTL wear/traffic statistics. */
+struct FtlStats {
+    std::uint64_t host_writes_pages = 0;   ///< pages the host touched
+    std::uint64_t host_bytes_written = 0;  ///< bytes the host asked to write
+    std::uint64_t host_subpage_writes = 0; ///< writes smaller than a page
+    std::uint64_t nand_programs = 0;       ///< pages actually programmed
+    std::uint64_t nand_reads = 0;          ///< pages read (incl. GC + RMW)
+    std::uint64_t gc_erases = 0;           ///< blocks erased by GC
+    std::uint64_t gc_moves = 0;            ///< valid pages relocated by GC
+
+    /** Write amplification: NAND programs per host page written. */
+    double writeAmplification() const;
+
+    /**
+     * Byte-granular write amplification: NAND bytes programmed per host
+     * byte written. Captures the sub-page (256 B KV entry vs 4 KiB page)
+     * penalty that motivates delayed KV writeback.
+     */
+    double writeAmplificationBytes(std::uint64_t page_bytes) const;
+};
+
+/**
+ * Page-mapping FTL with greedy garbage collection.
+ *
+ * Not thread-safe; one FTL per simulated SSD.
+ */
+class Ftl
+{
+  public:
+    explicit Ftl(const FtlConfig &cfg);
+
+    /**
+     * Write `bytes` starting at logical byte address `addr`. Partial-page
+     * writes trigger read-modify-write of the enclosing page(s).
+     * @return number of NAND page programs incurred (including GC moves
+     *         triggered by this write).
+     */
+    std::uint64_t write(std::uint64_t addr, std::uint64_t bytes);
+
+    /**
+     * Read `bytes` at logical byte address `addr`.
+     * @return number of NAND page reads incurred. Unmapped pages read as
+     *         zero and cost nothing.
+     */
+    std::uint64_t read(std::uint64_t addr, std::uint64_t bytes);
+
+    /** Discard (TRIM) a logical byte range; unmaps whole pages inside. */
+    void trim(std::uint64_t addr, std::uint64_t bytes);
+
+    /** Number of currently free (erased, unwritten) blocks. */
+    std::uint64_t freeBlocks() const;
+
+    /** Number of mapped logical pages. */
+    std::uint64_t mappedPages() const { return mapped_count_; }
+
+    /** Max erase count over all blocks (wear peak). */
+    std::uint64_t maxEraseCount() const;
+    /** Mean erase count over all blocks. */
+    double meanEraseCount() const;
+
+    const FtlStats &stats() const { return stats_; }
+    const FtlConfig &config() const { return cfg_; }
+
+  private:
+    static constexpr std::uint32_t kUnmapped = 0xffffffffu;
+
+    struct Block {
+        std::uint32_t next_page = 0;   ///< next free page slot
+        std::uint32_t valid = 0;       ///< count of valid pages
+        std::uint64_t erase_count = 0;
+        std::vector<std::uint32_t> owner;  ///< logical page per slot
+    };
+
+    /** Allocate a physical slot, running GC if needed. */
+    std::uint64_t allocSlot();
+    /** Program one logical page out-of-place. */
+    void programPage(std::uint64_t lpn);
+    /** Greedy GC: reclaim emptiest blocks until high watermark. */
+    void garbageCollect();
+    /** WearAware: migrate cold data out of the least-worn blocks. */
+    void staticWearLevel();
+    /** Open a fresh block for writing. */
+    void openNewBlock();
+
+    FtlConfig cfg_;
+    FtlStats stats_;
+    /** lpn -> packed physical slot (block * pages_per_block + page). */
+    std::vector<std::uint64_t> map_;
+    std::vector<Block> blocks_;
+    std::vector<std::uint32_t> free_blocks_;
+    std::uint32_t active_block_ = kUnmapped;
+    std::uint64_t mapped_count_ = 0;
+    std::uint64_t last_level_erases_ = 0;
+    bool in_gc_ = false;
+};
+
+}  // namespace hilos
+
+#endif  // HILOS_STORAGE_FTL_H_

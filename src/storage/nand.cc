@@ -1,0 +1,99 @@
+#include "storage/nand.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hilos {
+
+std::uint64_t
+NandConfig::rawCapacity() const
+{
+    return totalPages() * page_bytes;
+}
+
+std::uint64_t
+NandConfig::totalPages() const
+{
+    return pages_per_block * totalBlocks();
+}
+
+std::uint64_t
+NandConfig::totalBlocks() const
+{
+    return blocks_per_plane * planes_per_die * dies_per_channel * channels;
+}
+
+std::uint64_t
+NandConfig::blockBytes() const
+{
+    return pages_per_block * page_bytes;
+}
+
+Bandwidth
+NandConfig::aggregateChannelRate() const
+{
+    return channel_rate * static_cast<double>(channels);
+}
+
+std::uint64_t
+NandTiming::maxParallel() const
+{
+    return cfg_.channels * cfg_.dies_per_channel;
+}
+
+Seconds
+NandTiming::readPages(std::uint64_t pages, std::uint64_t parallel) const
+{
+    if (pages == 0)
+        return 0.0;
+    parallel = std::clamp<std::uint64_t>(parallel, 1, maxParallel());
+    // Waves of `parallel` array reads, pipelined with channel transfer.
+    const std::uint64_t waves = ceilDiv(pages, parallel);
+    const Seconds array_time =
+        static_cast<double>(waves) * cfg_.read_latency;
+    // Channel transfer: each channel moves its share of the page data.
+    const std::uint64_t active_channels =
+        std::min<std::uint64_t>(cfg_.channels, parallel);
+    const double bytes = static_cast<double>(pages * cfg_.page_bytes);
+    const Seconds xfer_time =
+        bytes / (cfg_.channel_rate * static_cast<double>(active_channels));
+    // Array access and transfer pipeline; the longer one dominates, plus
+    // one fill term of the shorter.
+    const Seconds bottleneck = std::max(array_time, xfer_time);
+    const Seconds fill = std::min(cfg_.read_latency,
+                                  cfg_.page_bytes / cfg_.channel_rate);
+    return bottleneck + fill;
+}
+
+Seconds
+NandTiming::programPages(std::uint64_t pages, std::uint64_t parallel) const
+{
+    if (pages == 0)
+        return 0.0;
+    parallel = std::clamp<std::uint64_t>(parallel, 1, maxParallel());
+    const std::uint64_t waves = ceilDiv(pages, parallel);
+    const Seconds array_time =
+        static_cast<double>(waves) * cfg_.program_latency;
+    const std::uint64_t active_channels =
+        std::min<std::uint64_t>(cfg_.channels, parallel);
+    const double bytes = static_cast<double>(pages * cfg_.page_bytes);
+    const Seconds xfer_time =
+        bytes / (cfg_.channel_rate * static_cast<double>(active_channels));
+    const Seconds bottleneck = std::max(array_time, xfer_time);
+    const Seconds fill = std::min(cfg_.program_latency,
+                                  cfg_.page_bytes / cfg_.channel_rate);
+    return bottleneck + fill;
+}
+
+Seconds
+NandTiming::eraseBlocks(std::uint64_t blocks, std::uint64_t parallel) const
+{
+    if (blocks == 0)
+        return 0.0;
+    parallel = std::clamp<std::uint64_t>(parallel, 1, maxParallel());
+    const std::uint64_t waves = ceilDiv(blocks, parallel);
+    return static_cast<double>(waves) * cfg_.erase_latency;
+}
+
+}  // namespace hilos

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * NAND flash geometry and raw-operation timing.
+ *
+ * Models the flash array behind an SSD controller: channels, dies,
+ * planes, blocks, and pages, with datasheet-style operation latencies
+ * (tR/tPROG/tBERS) and per-channel transfer bandwidth. The FTL and SSD
+ * models are layered on top.
+ */
+
+#ifndef HILOS_STORAGE_NAND_H_
+#define HILOS_STORAGE_NAND_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+
+namespace hilos {
+
+/** Static NAND array geometry and timing parameters. */
+struct NandConfig {
+    std::uint64_t page_bytes = 16 * KiB;   ///< physical page size
+    std::uint64_t pages_per_block = 256;
+    std::uint64_t blocks_per_plane = 1024;
+    std::uint64_t planes_per_die = 4;
+    std::uint64_t dies_per_channel = 4;
+    std::uint64_t channels = 8;
+
+    Seconds read_latency = usec(50);     ///< tR, array -> page register
+    Seconds program_latency = usec(500); ///< tPROG
+    Seconds erase_latency = msec(3);     ///< tBERS
+    Bandwidth channel_rate = mbps(1200); ///< ONFI channel, MT/s * 1B
+
+    /** Total raw capacity in bytes. */
+    std::uint64_t rawCapacity() const;
+    /** Total number of physical pages. */
+    std::uint64_t totalPages() const;
+    /** Total number of blocks. */
+    std::uint64_t totalBlocks() const;
+    /** Pages in one block times page size. */
+    std::uint64_t blockBytes() const;
+    /** Aggregate channel bandwidth. */
+    Bandwidth aggregateChannelRate() const;
+};
+
+/**
+ * Raw NAND timing oracle: the time to read / program / erase given the
+ * amount of die-level parallelism actually achieved. Pure and stateless;
+ * the FTL decides placement (and therefore parallelism).
+ */
+class NandTiming
+{
+  public:
+    explicit NandTiming(const NandConfig &cfg) : cfg_(cfg) {}
+
+    /**
+     * Time to read `pages` physical pages spread over `parallel` units
+     * (parallel <= channels * dies_per_channel). Array access across
+     * units overlaps; channel transfer serialises per channel.
+     */
+    Seconds readPages(std::uint64_t pages, std::uint64_t parallel) const;
+
+    /** Same for programming. */
+    Seconds programPages(std::uint64_t pages, std::uint64_t parallel) const;
+
+    /** Time to erase `blocks` blocks with `parallel` units. */
+    Seconds eraseBlocks(std::uint64_t blocks, std::uint64_t parallel) const;
+
+    /** Maximum useful parallelism (channels x dies). */
+    std::uint64_t maxParallel() const;
+
+    const NandConfig &config() const { return cfg_; }
+
+  private:
+    NandConfig cfg_;
+};
+
+}  // namespace hilos
+
+#endif  // HILOS_STORAGE_NAND_H_

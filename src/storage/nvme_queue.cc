@@ -1,0 +1,58 @@
+#include "storage/nvme_queue.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hilos {
+
+NvmeQueueModel::NvmeQueueModel(const NvmeQueueConfig &cfg) : cfg_(cfg)
+{
+    HILOS_ASSERT(cfg_.command_latency > 0 && cfg_.max_read_iops > 0 &&
+                     cfg_.max_read_bw > 0,
+                 "invalid NVMe queue config");
+}
+
+double
+NvmeQueueModel::iops(std::uint64_t qd, std::uint64_t io_bytes) const
+{
+    HILOS_ASSERT(qd >= 1, "queue depth must be >= 1");
+    HILOS_ASSERT(io_bytes >= 1, "request size must be >= 1");
+    const std::uint64_t depth =
+        std::min(qd, cfg_.max_queue_depth);
+    // Little's law: concurrency / per-command latency, including the
+    // transfer time of the request itself.
+    const Seconds effective_latency =
+        cfg_.command_latency + cfg_.submission_overhead +
+        static_cast<double>(io_bytes) / cfg_.max_read_bw;
+    const double little = static_cast<double>(depth) / effective_latency;
+    const double bw_limit =
+        cfg_.max_read_bw / static_cast<double>(io_bytes);
+    return std::min({little, cfg_.max_read_iops, bw_limit});
+}
+
+Bandwidth
+NvmeQueueModel::bandwidth(std::uint64_t qd, std::uint64_t io_bytes) const
+{
+    return iops(qd, io_bytes) * static_cast<double>(io_bytes);
+}
+
+double
+NvmeQueueModel::efficiency(std::uint64_t qd, std::uint64_t io_bytes) const
+{
+    return bandwidth(qd, io_bytes) / cfg_.max_read_bw;
+}
+
+std::uint64_t
+NvmeQueueModel::queueDepthFor(double target,
+                              std::uint64_t io_bytes) const
+{
+    HILOS_ASSERT(target > 0.0 && target <= 1.0, "invalid target");
+    for (std::uint64_t qd = 1; qd <= cfg_.max_queue_depth; qd *= 2) {
+        if (efficiency(qd, io_bytes) >= target)
+            return qd;
+    }
+    return cfg_.max_queue_depth;
+}
+
+}  // namespace hilos

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * NVMe queue-depth model.
+ *
+ * Achieved SSD throughput depends on how many commands are in flight:
+ * at low queue depth the per-command latency bounds IOPS (Little's
+ * law), saturating toward the device limit as QD grows. This is one of
+ * the mechanisms behind the host-managed KV I/O path's low achieved
+ * efficiency (synchronous direct I/O runs at QD ~ 1-4 per worker) while
+ * the NSP P2P path streams at full rate — quantifying the
+ * `host_kv_io_efficiency` calibration constant.
+ */
+
+#ifndef HILOS_STORAGE_NVME_QUEUE_H_
+#define HILOS_STORAGE_NVME_QUEUE_H_
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace hilos {
+
+/** Queue/command parameters of one NVMe device. */
+struct NvmeQueueConfig {
+    Seconds command_latency = usec(80);   ///< device-internal per-command
+    Seconds submission_overhead = usec(6); ///< host doorbell + completion
+    double max_read_iops = 1.0e6;
+    Bandwidth max_read_bw = mbps(6900);
+    std::uint64_t max_queue_depth = 1024;
+};
+
+/**
+ * Little's-law throughput model for one device.
+ */
+class NvmeQueueModel
+{
+  public:
+    explicit NvmeQueueModel(const NvmeQueueConfig &cfg);
+
+    /**
+     * Sustained IOPS at queue depth `qd` with `io_bytes` requests:
+     * min(QD / effective latency, device IOPS, bandwidth / size).
+     */
+    double iops(std::uint64_t qd, std::uint64_t io_bytes) const;
+
+    /** Sustained bandwidth at queue depth `qd`. */
+    Bandwidth bandwidth(std::uint64_t qd, std::uint64_t io_bytes) const;
+
+    /** Fraction of max bandwidth achieved at this operating point. */
+    double efficiency(std::uint64_t qd, std::uint64_t io_bytes) const;
+
+    /** Smallest queue depth achieving `target` of max bandwidth. */
+    std::uint64_t queueDepthFor(double target,
+                                std::uint64_t io_bytes) const;
+
+    const NvmeQueueConfig &config() const { return cfg_; }
+
+  private:
+    NvmeQueueConfig cfg_;
+};
+
+}  // namespace hilos
+
+#endif  // HILOS_STORAGE_NVME_QUEUE_H_

@@ -1,0 +1,97 @@
+#include "storage/raid0.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hilos {
+
+Raid0::Raid0(const SsdConfig &cfg, std::size_t members,
+             std::uint64_t chunk_bytes)
+    : chunk_bytes_(chunk_bytes)
+{
+    HILOS_ASSERT(members >= 1, "RAID-0 needs at least one member");
+    HILOS_ASSERT(chunk_bytes_ > 0, "chunk size must be positive");
+    ssds_.reserve(members);
+    for (std::size_t i = 0; i < members; i++)
+        ssds_.push_back(std::make_unique<Ssd>(cfg));
+}
+
+std::uint64_t
+Raid0::capacity() const
+{
+    return ssds_.size() * ssds_.front()->config().capacity;
+}
+
+Bandwidth
+Raid0::seqReadBandwidth() const
+{
+    return static_cast<double>(ssds_.size()) *
+           ssds_.front()->config().seq_read_bw;
+}
+
+Bandwidth
+Raid0::seqWriteBandwidth() const
+{
+    return static_cast<double>(ssds_.size()) *
+           ssds_.front()->config().seq_write_bw;
+}
+
+std::size_t
+Raid0::activeMembers(std::uint64_t bytes) const
+{
+    const std::uint64_t chunks = ceilDiv(std::max<std::uint64_t>(bytes, 1),
+                                         chunk_bytes_);
+    return std::min<std::size_t>(ssds_.size(),
+                                 static_cast<std::size_t>(chunks));
+}
+
+Seconds
+Raid0::readTime(std::uint64_t bytes) const
+{
+    if (bytes == 0)
+        return 0.0;
+    const std::size_t active = activeMembers(bytes);
+    // The slowest member handles ceil(bytes / active).
+    const std::uint64_t share = ceilDiv(bytes, active);
+    return ssds_.front()->readTime(share);
+}
+
+Seconds
+Raid0::writeTime(std::uint64_t bytes) const
+{
+    if (bytes == 0)
+        return 0.0;
+    const std::size_t active = activeMembers(bytes);
+    const std::uint64_t share = ceilDiv(bytes, active);
+    return ssds_.front()->writeTime(share);
+}
+
+void
+Raid0::recordWrite(std::uint64_t bytes, bool sequential)
+{
+    const std::size_t active = activeMembers(bytes);
+    const std::uint64_t share = ceilDiv(bytes, active);
+    for (std::size_t i = 0; i < active; i++)
+        ssds_[i]->recordWrite(share, sequential);
+}
+
+double
+Raid0::nandBytesWritten() const
+{
+    double total = 0.0;
+    for (const auto &s : ssds_)
+        total += s->nandBytesWritten();
+    return total;
+}
+
+double
+Raid0::enduranceConsumed() const
+{
+    double worst = 0.0;
+    for (const auto &s : ssds_)
+        worst = std::max(worst, s->enduranceConsumed());
+    return worst;
+}
+
+}  // namespace hilos

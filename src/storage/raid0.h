@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Software RAID-0 (mdadm-style striping) over homogeneous SSDs.
+ *
+ * The paper's baselines run four PM9A3 SSDs (or sixteen SmartSSD NVMe
+ * devices with FPGAs disabled) in a software RAID-0. Striping scales
+ * sequential bandwidth with the member count until the shared host link
+ * saturates; that saturation is modelled in the interconnect layer, not
+ * here.
+ */
+
+#ifndef HILOS_STORAGE_RAID0_H_
+#define HILOS_STORAGE_RAID0_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+#include "storage/ssd.h"
+
+namespace hilos {
+
+/**
+ * Stripe set over N identical SSDs with a fixed chunk size.
+ */
+class Raid0
+{
+  public:
+    /**
+     * @param cfg per-member SSD configuration
+     * @param members number of member devices (>= 1)
+     * @param chunk_bytes stripe chunk size (mdadm default 512 KiB)
+     */
+    Raid0(const SsdConfig &cfg, std::size_t members,
+          std::uint64_t chunk_bytes = 512 * KiB);
+
+    /** Aggregate capacity. */
+    std::uint64_t capacity() const;
+
+    /** Aggregate sequential read bandwidth (member sum). */
+    Bandwidth seqReadBandwidth() const;
+    /** Aggregate sequential write bandwidth (member sum). */
+    Bandwidth seqWriteBandwidth() const;
+
+    /**
+     * Time to read `bytes` spread across the stripe: members work in
+     * parallel on their chunks; small reads that fit in fewer chunks
+     * than members see proportionally less speedup.
+     */
+    Seconds readTime(std::uint64_t bytes) const;
+
+    /** Striped write time (same distribution logic as reads). */
+    Seconds writeTime(std::uint64_t bytes) const;
+
+    /** Record a write across the stripe for endurance accounting. */
+    void recordWrite(std::uint64_t bytes, bool sequential);
+
+    /** Aggregate NAND bytes programmed over all members. */
+    double nandBytesWritten() const;
+
+    /** Worst member endurance consumption fraction. */
+    double enduranceConsumed() const;
+
+    std::size_t members() const { return ssds_.size(); }
+    const Ssd &member(std::size_t i) const { return *ssds_.at(i); }
+    std::uint64_t chunkBytes() const { return chunk_bytes_; }
+
+  private:
+    /** Number of members active for an access of `bytes`. */
+    std::size_t activeMembers(std::uint64_t bytes) const;
+
+    std::vector<std::unique_ptr<Ssd>> ssds_;
+    std::uint64_t chunk_bytes_;
+};
+
+}  // namespace hilos
+
+#endif  // HILOS_STORAGE_RAID0_H_

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the reference attention implementations: naive vs
+ * FlashAttention-style streaming equivalence, convexity properties, and
+ * block-size invariance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/random.h"
+#include "llm/attention_ref.h"
+
+namespace hilos {
+namespace {
+
+class RefShapes
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t,
+                                                 std::size_t>>
+{
+};
+
+TEST_P(RefShapes, FlashEqualsNaive)
+{
+    const auto [s, d, g] = GetParam();
+    Rng rng(31 + s);
+    const Matrix q = Matrix::random(g, d, rng);
+    const Matrix k = Matrix::random(s, d, rng);
+    const Matrix v = Matrix::random(s, d, rng);
+    const Matrix a = naiveAttention(q, k, v);
+    const Matrix b = flashAttention(q, k, v);
+    EXPECT_LT(a.maxAbsDiff(b), 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RefShapes,
+    ::testing::Values(std::make_tuple(1, 8, 1),
+                      std::make_tuple(64, 64, 1),
+                      std::make_tuple(129, 32, 1),
+                      std::make_tuple(1000, 64, 4),
+                      std::make_tuple(4096, 128, 1)));
+
+TEST(AttentionRef, OutputIsConvexCombinationOfValues)
+{
+    Rng rng(5);
+    const Matrix q = Matrix::random(1, 16, rng);
+    const Matrix k = Matrix::random(50, 16, rng);
+    const Matrix v = Matrix::random(50, 16, rng);
+    const Matrix out = naiveAttention(q, k, v);
+    for (std::size_t c = 0; c < 16; c++) {
+        float lo = v.at(0, c), hi = v.at(0, c);
+        for (std::size_t i = 1; i < 50; i++) {
+            lo = std::min(lo, v.at(i, c));
+            hi = std::max(hi, v.at(i, c));
+        }
+        EXPECT_GE(out.at(0, c), lo - 1e-5f);
+        EXPECT_LE(out.at(0, c), hi + 1e-5f);
+    }
+}
+
+TEST(AttentionRef, SingleTokenReturnsItsValue)
+{
+    Rng rng(6);
+    const Matrix q = Matrix::random(1, 8, rng);
+    const Matrix k = Matrix::random(1, 8, rng);
+    const Matrix v = Matrix::random(1, 8, rng);
+    const Matrix out = naiveAttention(q, k, v);
+    for (std::size_t c = 0; c < 8; c++)
+        EXPECT_NEAR(out.at(0, c), v.at(0, c), 1e-6f);
+}
+
+TEST(AttentionRef, DominantKeyWinsWithLargeScale)
+{
+    // One key aligned with the query at huge scale: output ~ its value.
+    const std::size_t d = 8;
+    Matrix q(1, d), k(3, d), v(3, d);
+    for (std::size_t c = 0; c < d; c++) {
+        q.at(0, c) = 1.0f;
+        k.at(1, c) = 1.0f;  // aligned
+        v.at(0, c) = -5.0f;
+        v.at(1, c) = 7.0f;
+        v.at(2, c) = 3.0f;
+    }
+    const Matrix out = naiveAttention(q, k, v, /*scale=*/10.0f);
+    for (std::size_t c = 0; c < d; c++)
+        EXPECT_NEAR(out.at(0, c), 7.0f, 1e-3f);
+}
+
+TEST(AttentionRef, FlashBlockSizeInvariance)
+{
+    Rng rng(8);
+    const Matrix q = Matrix::random(2, 32, rng);
+    const Matrix k = Matrix::random(300, 32, rng);
+    const Matrix v = Matrix::random(300, 32, rng);
+    const Matrix a = flashAttention(q, k, v, 0.0f, 7);
+    const Matrix b = flashAttention(q, k, v, 0.0f, 128);
+    const Matrix c = flashAttention(q, k, v, 0.0f, 1024);
+    EXPECT_LT(a.maxAbsDiff(b), 1e-5f);
+    EXPECT_LT(b.maxAbsDiff(c), 1e-5f);
+}
+
+TEST(AttentionRef, MismatchedShapesDie)
+{
+    Matrix q(1, 8), k(4, 8), v(5, 8);
+    EXPECT_DEATH(naiveAttention(q, k, v), "mismatch");
+    EXPECT_DEATH(flashAttention(q, k, v), "mismatch");
+}
+
+}  // namespace
+}  // namespace hilos

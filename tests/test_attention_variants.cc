@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Tests for the §5.1 attention-variant customisation hooks: the
+ * sliding-window mask in the softmax units and the kernel, and the
+ * CXL-coherent writeback mode of §7.3.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "accel/attention_kernel.h"
+#include "accel/softmax.h"
+#include "common/random.h"
+#include "core/hilos.h"
+#include "llm/attention_ref.h"
+#include "llm/tensor.h"
+#include "runtime/writeback.h"
+
+namespace hilos {
+namespace {
+
+TEST(SoftmaxWindow, ValidRangeMasksBothEnds)
+{
+    SoftmaxMask mask;
+    mask.valid_start = 2;
+    mask.valid_len = 4;
+    EXPECT_FALSE(mask.valid(0));
+    EXPECT_FALSE(mask.valid(1));
+    EXPECT_TRUE(mask.valid(2));
+    EXPECT_TRUE(mask.valid(3));
+    EXPECT_FALSE(mask.valid(4));
+}
+
+TEST(SoftmaxWindow, WindowedSoftmaxDropsPrefix)
+{
+    const TwoPassSoftmax sm;
+    SoftmaxMask mask;
+    mask.valid_start = 2;
+    std::vector<float> v = {100.0f, 100.0f, 1.0f, 2.0f};
+    sm.apply(v, mask);
+    EXPECT_NEAR(v[0], 0.0f, 1e-12f);
+    EXPECT_NEAR(v[1], 0.0f, 1e-12f);
+    EXPECT_NEAR(v[2] + v[3], 1.0f, 1e-5f);
+}
+
+TEST(KernelWindow, MatchesReferenceOverTheWindow)
+{
+    const std::size_t s = 300, d = 32, w = 120;
+    Rng rng(55);
+    const Matrix q = Matrix::random(1, d, rng, 0.5f);
+    const Matrix k = Matrix::random(s, d, rng, 0.5f);
+    const Matrix v = Matrix::random(s, d, rng, 0.5f);
+    const std::vector<Half> qh = toHalf(q), kh = toHalf(k),
+                            vh = toHalf(v);
+
+    AttentionRequest req;
+    req.queries = viewOf(qh, 1, d);
+    req.keys = viewOf(kh, s, d);
+    req.values = viewOf(vh, s, d);
+    req.valid_len = s;
+    req.window_start = w;
+    const AttentionKernel kernel{AttentionKernelConfig{}};
+    const AttentionResult res = kernel.run(req);
+
+    // Reference: attention over rows [w, s) only.
+    Matrix kw(s - w, d), vw(s - w, d);
+    const Matrix kf = fromHalf(kh, s, d), vf = fromHalf(vh, s, d);
+    for (std::size_t i = w; i < s; i++)
+        for (std::size_t c = 0; c < d; c++) {
+            kw.at(i - w, c) = kf.at(i, c);
+            vw.at(i - w, c) = vf.at(i, c);
+        }
+    const Matrix expected = naiveAttention(fromHalf(qh, 1, d), kw, vw);
+    for (std::size_t c = 0; c < d; c++)
+        EXPECT_NEAR(res.outputs[c], expected.at(0, c), 5e-4f);
+}
+
+TEST(KernelWindow, FullWindowIsDefaultBehaviour)
+{
+    const std::size_t s = 200, d = 32;
+    Rng rng(56);
+    const Matrix q = Matrix::random(1, d, rng, 0.5f);
+    const Matrix k = Matrix::random(s, d, rng, 0.5f);
+    const Matrix v = Matrix::random(s, d, rng, 0.5f);
+    const std::vector<Half> qh = toHalf(q), kh = toHalf(k),
+                            vh = toHalf(v);
+    const AttentionKernel kernel{AttentionKernelConfig{}};
+
+    AttentionRequest req;
+    req.queries = viewOf(qh, 1, d);
+    req.keys = viewOf(kh, s, d);
+    req.values = viewOf(vh, s, d);
+    req.valid_len = s;
+    const AttentionResult full = kernel.run(req);
+    req.window_start = 0;
+    const AttentionResult zero = kernel.run(req);
+    for (std::size_t c = 0; c < d; c++)
+        EXPECT_FLOAT_EQ(full.outputs[c], zero.outputs[c]);
+}
+
+TEST(KernelWindow, EmptyWindowWithoutBufferDies)
+{
+    const std::size_t s = 64, d = 16;
+    Rng rng(57);
+    const Matrix q = Matrix::random(1, d, rng);
+    const Matrix k = Matrix::random(s, d, rng);
+    const Matrix v = Matrix::random(s, d, rng);
+    const std::vector<Half> qh = toHalf(q), kh = toHalf(k),
+                            vh = toHalf(v);
+    AttentionRequest req;
+    req.queries = viewOf(qh, 1, d);
+    req.keys = viewOf(kh, s, d);
+    req.values = viewOf(vh, s, d);
+    req.valid_len = s;
+    req.window_start = s;  // nothing left to attend
+    const AttentionKernel kernel{AttentionKernelConfig{}};
+    EXPECT_DEATH(kernel.run(req), "window");
+}
+
+TEST(KernelWindow, AttentionSinksStayVisible)
+{
+    // StreamingLLM-style: first `sink` tokens remain attended after
+    // the window slides past them.
+    const std::size_t s = 256, w = 128, sinks = 4, d = 32;
+    Rng rng(59);
+    const Matrix q = Matrix::random(1, d, rng, 0.5f);
+    const Matrix k = Matrix::random(s, d, rng, 0.5f);
+    const Matrix v = Matrix::random(s, d, rng, 0.5f);
+    const std::vector<Half> qh = toHalf(q), kh = toHalf(k),
+                            vh = toHalf(v);
+
+    AttentionRequest req;
+    req.queries = viewOf(qh, 1, d);
+    req.keys = viewOf(kh, s, d);
+    req.values = viewOf(vh, s, d);
+    req.valid_len = s;
+    req.window_start = w;
+    req.sink_tokens = sinks;
+    const AttentionKernel kernel{AttentionKernelConfig{}};
+    const AttentionResult res = kernel.run(req);
+
+    // Reference: sinks ++ window rows.
+    const std::size_t rows = sinks + (s - w);
+    Matrix kr(rows, d), vr(rows, d);
+    const Matrix kf = fromHalf(kh, s, d), vf = fromHalf(vh, s, d);
+    for (std::size_t i = 0; i < rows; i++) {
+        const std::size_t src = i < sinks ? i : w + (i - sinks);
+        for (std::size_t c = 0; c < d; c++) {
+            kr.at(i, c) = kf.at(src, c);
+            vr.at(i, c) = vf.at(src, c);
+        }
+    }
+    const Matrix expected = naiveAttention(fromHalf(qh, 1, d), kr, vr);
+    for (std::size_t c = 0; c < d; c++)
+        EXPECT_NEAR(res.outputs[c], expected.at(0, c), 5e-4f);
+
+    // Sanity: the sinks change the answer vs a pure window.
+    req.sink_tokens = 0;
+    const AttentionResult pure = kernel.run(req);
+    double diff = 0;
+    for (std::size_t c = 0; c < d; c++)
+        diff += std::fabs(pure.outputs[c] - res.outputs[c]);
+    EXPECT_GT(diff, 1e-4);
+}
+
+TEST(KernelWindow, CombinesWithBufferedEntries)
+{
+    // Sliding window over the stored context plus a buffered tail: the
+    // result must equal reference attention over rows [w, s) ++ tail.
+    const std::size_t s = 200, w = 80, n_buf = 8, d = 32;
+    Rng rng(58);
+    const Matrix q = Matrix::random(1, d, rng, 0.5f);
+    const Matrix k = Matrix::random(s + n_buf, d, rng, 0.5f);
+    const Matrix v = Matrix::random(s + n_buf, d, rng, 0.5f);
+    const std::vector<Half> qh = toHalf(q), kh = toHalf(k),
+                            vh = toHalf(v);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+
+    std::vector<Half> k_stored(kh.begin(), kh.begin() + s * d);
+    std::vector<Half> v_stored(vh.begin(), vh.begin() + s * d);
+    std::vector<Half> v_buf(vh.begin() + s * d, vh.end());
+    std::vector<float> partial(n_buf);
+    const Matrix qf = fromHalf(qh, 1, d), kf = fromHalf(kh, s + n_buf, d);
+    for (std::size_t i = 0; i < n_buf; i++) {
+        float acc = 0;
+        for (std::size_t c = 0; c < d; c++)
+            acc += qf.at(0, c) * kf.at(s + i, c);
+        partial[i] = acc * scale;
+    }
+
+    AttentionRequest req;
+    req.queries = viewOf(qh, 1, d);
+    req.keys = viewOf(k_stored, s, d);
+    req.values = viewOf(v_stored, s, d);
+    req.valid_len = s;
+    req.window_start = w;
+    req.scale = scale;
+    req.partial_scores = partial;
+    req.buffered_values = viewOf(v_buf, n_buf, d);
+    const AttentionKernel kernel{AttentionKernelConfig{}};
+    const AttentionResult res = kernel.run(req);
+
+    // Reference: rows [w, s) ++ buffered tail.
+    const std::size_t rows = (s - w) + n_buf;
+    Matrix kr(rows, d), vr(rows, d);
+    const Matrix vf = fromHalf(vh, s + n_buf, d);
+    for (std::size_t i = 0; i < rows; i++) {
+        const std::size_t src = i < (s - w) ? w + i : s + (i - (s - w));
+        for (std::size_t c = 0; c < d; c++) {
+            kr.at(i, c) = kf.at(src, c);
+            vr.at(i, c) = vf.at(src, c);
+        }
+    }
+    const Matrix expected = naiveAttention(qf, kr, vr, scale);
+    for (std::size_t c = 0; c < d; c++)
+        EXPECT_NEAR(res.outputs[c], expected.at(0, c), 5e-4f);
+}
+
+TEST(EngineWindow, WindowBoundsAttentionCost)
+{
+    SystemConfig sys = defaultSystem();
+    RunConfig run;
+    run.model = opt66b();
+    run.batch = 16;
+    run.context_len = 131072;
+    run.output_len = 64;
+
+    HilosOptions full;
+    full.num_devices = 8;
+    HilosOptions windowed = full;
+    windowed.attention_window = 8192;
+    const double t_full =
+        HilosEngine(sys, full).run(run).decodeThroughput();
+    const double t_win =
+        HilosEngine(sys, windowed).run(run).decodeThroughput();
+    EXPECT_GT(t_win, 5.0 * t_full);  // reads bound by the window
+
+    // A window at least as large as the context changes nothing.
+    HilosOptions huge = full;
+    huge.attention_window = 1u << 20;
+    const double t_huge =
+        HilosEngine(sys, huge).run(run).decodeThroughput();
+    EXPECT_NEAR(t_huge, t_full, t_full * 1e-9);
+}
+
+TEST(CxlMode, RemovesSyncOverhead)
+{
+    WritebackCostInputs in;
+    in.slices = 1536;
+    in.head_dim = 128;
+    in.devices = 8;
+    in.spill_interval = 64;
+    const WritebackCosts pcie = writebackCosts(in);
+    in.cxl_coherent = true;
+    const WritebackCosts cxl = writebackCosts(in);
+    EXPECT_GT(pcie.sync_time, msec(1));
+    EXPECT_EQ(cxl.sync_time, 0.0);
+    EXPECT_DOUBLE_EQ(cxl.transfer_time, pcie.transfer_time);
+    EXPECT_DOUBLE_EQ(cxl.spill_time, pcie.spill_time);
+}
+
+TEST(CxlMode, FlattensSpillIntervalSensitivity)
+{
+    // §7.3: under CXL.mem the c = 64 penalty disappears.
+    SystemConfig sys = defaultSystem();
+    RunConfig run;
+    run.model = opt66b();
+    run.batch = 16;
+    run.context_len = 8192;
+    run.output_len = 64;
+
+    auto tput = [&](unsigned c, bool cxl) {
+        HilosOptions opts;
+        opts.num_devices = 8;
+        opts.spill_interval = c;
+        opts.cxl_mode = cxl;
+        return HilosEngine(sys, opts).run(run).decodeThroughput();
+    };
+    const double pcie_penalty = tput(16, false) / tput(64, false);
+    const double cxl_penalty = tput(16, true) / tput(64, true);
+    EXPECT_GT(pcie_penalty, 1.002);  // measurable loss at c = 64
+    EXPECT_LT(cxl_penalty, pcie_penalty);
+    EXPECT_NEAR(cxl_penalty, 1.0, 5e-3);
+}
+
+}  // namespace
+}  // namespace hilos

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the offline request batcher.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hilos.h"
+#include "runtime/batcher.h"
+
+namespace hilos {
+namespace {
+
+TEST(Batcher, GroupsHomogeneousRequests)
+{
+    const OfflineBatcher batcher(16, 1024);
+    auto reqs = makeBatch(RequestClass::Medium, 40);
+    const auto plan = batcher.plan(reqs);
+    // 40 requests at bs 16 -> 16 + 16 + 8.
+    ASSERT_EQ(plan.size(), 3u);
+    EXPECT_EQ(plan[0].count, 16u);
+    EXPECT_EQ(plan[1].count, 16u);
+    EXPECT_EQ(plan[2].count, 8u);
+    for (const auto &b : plan)
+        EXPECT_EQ(b.context_len, 1024u);
+}
+
+TEST(Batcher, SeparatesLengthClasses)
+{
+    const OfflineBatcher batcher(16, 1024);
+    std::vector<Request> reqs = makeBatch(RequestClass::Small, 8);
+    const auto longs = makeBatch(RequestClass::Long, 8);
+    reqs.insert(reqs.end(), longs.begin(), longs.end());
+    const auto plan = batcher.plan(reqs);
+    ASSERT_EQ(plan.size(), 2u);
+    EXPECT_NE(plan[0].context_len, plan[1].context_len);
+}
+
+TEST(Batcher, PadsToQuantum)
+{
+    const OfflineBatcher batcher(16, 1024);
+    std::vector<Request> reqs = {Request{RequestClass::Small, 300, 10}};
+    const auto plan = batcher.plan(reqs);
+    ASSERT_EQ(plan.size(), 1u);
+    EXPECT_EQ(plan[0].context_len, 1024u);
+}
+
+TEST(Batcher, OutputLenIsBucketMax)
+{
+    const OfflineBatcher batcher(16, 1024);
+    std::vector<Request> reqs = {Request{RequestClass::Small, 256, 10},
+                                 Request{RequestClass::Small, 256, 90}};
+    const auto plan = batcher.plan(reqs);
+    ASSERT_EQ(plan.size(), 1u);
+    EXPECT_EQ(plan[0].output_len, 90u);
+}
+
+TEST(Batcher, ServeComputesMakespanAndThroughput)
+{
+    SystemConfig sys = defaultSystem();
+    HilosOptions opts;
+    opts.num_devices = 8;
+    const HilosEngine engine(sys, opts);
+    const OfflineBatcher batcher(16, 1024);
+
+    const auto reqs = makeBatch(RequestClass::Medium, 32);
+    const BatchPlanResult res =
+        batcher.serve(engine, opt66b(), reqs);
+    EXPECT_GT(res.makespan, 0.0);
+    EXPECT_GT(res.requests_per_hour, 0.0);
+    EXPECT_GT(res.tokens_per_second, 0.0);
+    EXPECT_EQ(res.batches.size(), 2u);
+    EXPECT_EQ(res.padding_overhead, 0.0);  // 1024 requests pad exactly
+}
+
+TEST(Batcher, BiggerBatchCapacityIsFaster)
+{
+    SystemConfig sys = defaultSystem();
+    HilosOptions opts;
+    opts.num_devices = 8;
+    const HilosEngine engine(sys, opts);
+    const auto reqs = makeBatch(RequestClass::Small, 64);
+
+    const BatchPlanResult small =
+        OfflineBatcher(4, 1024).serve(engine, opt66b(), reqs);
+    const BatchPlanResult large =
+        OfflineBatcher(16, 1024).serve(engine, opt66b(), reqs);
+    EXPECT_LT(large.makespan, small.makespan);
+}
+
+TEST(Batcher, PaddingOverheadReported)
+{
+    SystemConfig sys = defaultSystem();
+    const FlexGenEngine engine(sys, FlexTier::BaselineSsds);
+    // 300-token prompts pad to 1024: overhead (1024-300)/300.
+    std::vector<Request> reqs(8, Request{RequestClass::Small, 300, 32});
+    const OfflineBatcher batcher(16, 1024);
+    const BatchPlanResult res = batcher.serve(engine, opt30b(), reqs);
+    EXPECT_NEAR(res.padding_overhead, (1024.0 - 300.0) / 300.0, 1e-9);
+}
+
+TEST(Batcher, HilosDrainsAzureMixFasterThanFlexSsd)
+{
+    // The §6.6 scenario end to end: a mixed Azure-style queue drains
+    // several times faster on HILOS.
+    SystemConfig sys = defaultSystem();
+    HilosOptions opts;
+    opts.num_devices = 16;
+    const HilosEngine hil(sys, opts);
+    const FlexGenEngine flex(sys, FlexTier::BaselineSsds);
+
+    std::vector<Request> mix;
+    for (auto cls : {RequestClass::Small, RequestClass::Medium,
+                     RequestClass::Long}) {
+        const auto batch = makeBatch(cls, 16);
+        mix.insert(mix.end(), batch.begin(), batch.end());
+    }
+    const OfflineBatcher batcher(16, 1024);
+    const BatchPlanResult h = batcher.serve(hil, opt66b(), mix);
+    const BatchPlanResult f = batcher.serve(flex, opt66b(), mix);
+    EXPECT_GT(h.requests_per_hour, 2.0 * f.requests_per_hour);
+}
+
+TEST(Batcher, InvalidConfigDies)
+{
+    EXPECT_DEATH(OfflineBatcher(0, 16), "capacity");
+}
+
+}  // namespace
+}  // namespace hilos

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Cross-layer endurance integration: drive the SSD/FTL wear accounting
+ * with the two write patterns the engines assume — page-aligned spills
+ * (delayed writeback) versus per-entry sub-page commits (the naive
+ * baseline) — and check the resulting NAND-write ratio backs the
+ * Fig. 16(b) analytic constants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "storage/ssd.h"
+
+namespace hilos {
+namespace {
+
+constexpr std::uint64_t kEntryBytes = 512;   // one K+V pair, d=128 FP16
+constexpr std::uint64_t kSpillChunk = 8192;  // c=16 entries
+
+TEST(EnduranceIntegration, SpilledWritesStayNearUnitAmplification)
+{
+    Ssd ssd(smartSsdNandConfig());
+    // 10k spill chunks, sequential page-aligned writes.
+    for (int i = 0; i < 10000; i++)
+        ssd.recordWrite(kSpillChunk, /*sequential=*/true);
+    EXPECT_NEAR(ssd.writeAmplification(), 1.0, 0.15);
+}
+
+TEST(EnduranceIntegration, NaiveCommitsAmplifyByPageRatio)
+{
+    Ssd ssd(smartSsdNandConfig());
+    // The same bytes as 160k individual 512 B entries.
+    for (int i = 0; i < 160000; i++)
+        ssd.recordWrite(kEntryBytes, /*sequential=*/false);
+    // 512 B into a 4 KiB page slot: ~8x amplification.
+    EXPECT_NEAR(ssd.writeAmplification(), 8.0, 0.5);
+}
+
+TEST(EnduranceIntegration, DelayedWritebackExtendsLifetime)
+{
+    Ssd delayed(smartSsdNandConfig());
+    Ssd naive(smartSsdNandConfig());
+    const double host_bytes = 80.0 * kSpillChunk * 1000;
+    for (int i = 0; i < 80 * 1000; i++)
+        delayed.recordWrite(kSpillChunk, true);
+    for (int i = 0; i < 80 * 16 * 1000; i++)
+        naive.recordWrite(kEntryBytes, false);
+    EXPECT_NEAR(delayed.hostBytesWritten(), host_bytes, 1.0);
+    EXPECT_NEAR(naive.hostBytesWritten(), host_bytes, 1.0);
+    // Same host bytes, several-fold less NAND wear with spilling.
+    EXPECT_GT(naive.nandBytesWritten(),
+              5.0 * delayed.nandBytesWritten());
+    EXPECT_GT(naive.enduranceConsumed(),
+              5.0 * delayed.enduranceConsumed());
+}
+
+TEST(EnduranceIntegration, XcacheHalvesCacheWriteVolume)
+{
+    // Storing X instead of K+V for the alpha portion halves the bytes:
+    // alpha = 0.5 -> total writes scale by 1 - alpha/2 = 0.75.
+    Ssd kv_only(smartSsdNandConfig());
+    Ssd with_x(smartSsdNandConfig());
+    const std::uint64_t kv_per_tok = 1024;  // 2 x 512
+    for (int tok = 0; tok < 50000; tok++) {
+        kv_only.recordWrite(kv_per_tok, true);
+        // alpha = 0.5: half the tokens write X (half size), half K+V.
+        with_x.recordWrite(tok % 2 == 0 ? kv_per_tok / 2 : kv_per_tok,
+                           true);
+    }
+    EXPECT_NEAR(with_x.hostBytesWritten() / kv_only.hostBytesWritten(),
+                0.75, 0.01);
+}
+
+}  // namespace
+}  // namespace hilos

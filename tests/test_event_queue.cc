@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the discrete-event kernel: ordering, tie-breaking,
+ * reentrant scheduling, and bounded runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace hilos {
+namespace {
+
+TEST(EventQueue, StartsAtZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0.0);
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(3.0, [&] { order.push_back(3); });
+    eq.scheduleAt(1.0, [&] { order.push_back(1); });
+    eq.scheduleAt(2.0, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 3.0);
+}
+
+TEST(EventQueue, TiesBreakInInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(1.0, [&] { order.push_back(10); });
+    eq.scheduleAt(1.0, [&] { order.push_back(20); });
+    eq.scheduleAt(1.0, [&] { order.push_back(30); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(EventQueue, CallbackCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleAt(1.0, [&] {
+        fired++;
+        eq.scheduleAfter(1.0, [&] { fired++; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 2.0);
+}
+
+TEST(EventQueue, RunUntilLeavesLaterEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleAt(1.0, [&] { fired++; });
+    eq.scheduleAt(5.0, [&] { fired++; });
+    eq.runUntil(2.0);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_EQ(eq.now(), 2.0);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, SchedulingInThePastDies)
+{
+    EventQueue eq;
+    eq.scheduleAt(5.0, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.scheduleAt(1.0, [] {}), "past");
+}
+
+TEST(EventQueue, NegativeDelayDies)
+{
+    EventQueue eq;
+    EXPECT_DEATH(eq.scheduleAfter(-1.0, [] {}), "negative");
+}
+
+TEST(EventQueue, ResetClearsStateAndClock)
+{
+    EventQueue eq;
+    eq.scheduleAt(4.0, [] {});
+    eq.reset();
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.now(), 0.0);
+    eq.scheduleAt(1.0, [] {});  // must not die after reset
+    eq.run();
+}
+
+}  // namespace
+}  // namespace hilos

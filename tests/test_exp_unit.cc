@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Characterisation tests for the hardware exponential unit against
+ * std::exp, plus a softmax-level end-to-end accuracy check when the
+ * whole pipeline runs on hwExp.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "accel/exp_unit.h"
+#include "accel/softmax.h"
+#include "common/random.h"
+
+namespace hilos {
+namespace {
+
+TEST(ExpUnit, ExactAtZero)
+{
+    EXPECT_FLOAT_EQ(hwExp(0.0f), 1.0f);
+}
+
+TEST(ExpUnit, MatchesLibmOverSoftmaxRange)
+{
+    // Max-stabilised softmax inputs live in (-inf, 0]; a generous
+    // window either side must stay within ~1e-6 relative.
+    EXPECT_LT(hwExpMaxRelError(-30.0f, 0.0f, 20001), 2e-6);
+    EXPECT_LT(hwExpMaxRelError(0.0f, 30.0f, 20001), 2e-6);
+}
+
+TEST(ExpUnit, KnownValues)
+{
+    EXPECT_NEAR(hwExp(1.0f), 2.718281828f, 1e-5f);
+    EXPECT_NEAR(hwExp(-1.0f), 0.3678794412f, 1e-6f);
+    EXPECT_NEAR(hwExp(10.0f), 22026.4658f, 0.1f);
+}
+
+TEST(ExpUnit, SaturatesInsteadOfOverflowing)
+{
+    const float big = hwExp(1000.0f);
+    EXPECT_TRUE(std::isfinite(big));
+    EXPECT_GT(big, 1e37f);
+}
+
+TEST(ExpUnit, FlushesDeepUnderflowToZero)
+{
+    EXPECT_EQ(hwExp(-1000.0f), 0.0f);
+    EXPECT_EQ(hwExp(-87.5f), 0.0f);
+}
+
+TEST(ExpUnit, MonotonicNonDecreasing)
+{
+    float prev = hwExp(-40.0f);
+    for (float x = -40.0f; x <= 40.0f; x += 0.037f) {
+        const float y = hwExp(x);
+        EXPECT_GE(y, prev) << "x=" << x;
+        prev = y;
+    }
+}
+
+TEST(ExpUnit, PaddingConstantVanishes)
+{
+    // The -1e4 padding value (§5.4) must come out as exactly zero so
+    // masked tokens cannot perturb the softmax denominator.
+    EXPECT_EQ(hwExp(-1.0e4f), 0.0f);
+}
+
+TEST(ExpUnit, SoftmaxWithHwExpMatchesReference)
+{
+    // Replay the two-pass softmax arithmetic with hwExp everywhere and
+    // compare against the std::exp implementation.
+    Rng rng(77);
+    std::vector<float> scores = rng.normalVector(4096, 0.0f, 3.0f);
+
+    // Reference via the production path.
+    std::vector<float> expected = scores;
+    const TwoPassSoftmax sm;
+    sm.apply(expected, SoftmaxMask{});
+
+    // Manual two-pass with hwExp.
+    float m = scores[0];
+    for (float v : scores)
+        m = std::max(m, v);
+    double z = 0.0;
+    for (float v : scores)
+        z += hwExp(v - m);
+    for (std::size_t i = 0; i < scores.size(); i++)
+        scores[i] = hwExp(scores[i] - m) / static_cast<float>(z);
+
+    for (std::size_t i = 0; i < scores.size(); i++)
+        EXPECT_NEAR(scores[i], expected[i], 1e-6f) << i;
+}
+
+TEST(ExpUnit, DspBudgetSupportsResourceModel)
+{
+    // Sanity link to Table 3: the exp lanes of the softmax pipelines
+    // (2 units x exp_unroll 2 lanes x 2 passes) at kExpUnitDsps each
+    // account for a large share of the d_group = 1 design's ~198 DSPs.
+    const std::size_t softmax_exp_dsps = 2 * 2 * 2 * kExpUnitDsps;
+    EXPECT_GE(softmax_exp_dsps, 50u);
+    EXPECT_LE(softmax_exp_dsps, 198u);
+}
+
+}  // namespace
+}  // namespace hilos

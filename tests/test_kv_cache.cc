@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the KV-cache / X-cache containers and the batch-head slice
+ * partitioning across NSP devices.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "llm/kv_cache.h"
+#include "llm/tensor.h"
+
+namespace hilos {
+namespace {
+
+std::vector<Half>
+halfRow(std::size_t d, float base)
+{
+    std::vector<Half> row(d);
+    for (std::size_t i = 0; i < d; i++)
+        row[i] = Half(base + static_cast<float>(i));
+    return row;
+}
+
+TEST(KvCache, AppendGrowsSlices)
+{
+    KvCache cache(2, 3, 4);
+    const SliceId id{1, 2};
+    EXPECT_EQ(cache.length(id), 0u);
+    const auto k = halfRow(4, 1.0f), v = halfRow(4, 10.0f);
+    cache.append(id, k.data(), v.data());
+    cache.append(id, k.data(), v.data());
+    EXPECT_EQ(cache.length(id), 2u);
+    EXPECT_EQ(cache.length(SliceId{0, 0}), 0u);
+}
+
+TEST(KvCache, ViewsExposeRowWiseLayout)
+{
+    KvCache cache(1, 1, 4);
+    const SliceId id{0, 0};
+    cache.append(id, halfRow(4, 1.0f).data(), halfRow(4, 5.0f).data());
+    cache.append(id, halfRow(4, 2.0f).data(), halfRow(4, 6.0f).data());
+    const HalfMatrixView keys = cache.keys(id);
+    EXPECT_EQ(keys.rows, 2u);
+    EXPECT_EQ(keys.cols, 4u);
+    EXPECT_FLOAT_EQ(keys.at(0, 0).toFloat(), 1.0f);
+    EXPECT_FLOAT_EQ(keys.at(1, 0).toFloat(), 2.0f);
+    EXPECT_FLOAT_EQ(cache.values(id).at(1, 3).toFloat(), 9.0f);
+}
+
+TEST(KvCache, ByteAccounting)
+{
+    KvCache cache(2, 2, 8);
+    const auto k = halfRow(8, 0.0f), v = halfRow(8, 0.0f);
+    cache.append(SliceId{0, 0}, k.data(), v.data());
+    cache.append(SliceId{1, 1}, k.data(), v.data());
+    cache.append(SliceId{1, 1}, k.data(), v.data());
+    EXPECT_EQ(cache.sliceBytes(SliceId{0, 0}), 2u * 8 * 2);
+    EXPECT_EQ(cache.sliceBytes(SliceId{1, 1}), 2u * 2 * 8 * 2);
+    EXPECT_EQ(cache.totalBytes(), 3u * 2 * 8 * 2);
+}
+
+TEST(KvCache, OutOfRangeSliceDies)
+{
+    KvCache cache(2, 2, 4);
+    const auto k = halfRow(4, 0.0f);
+    EXPECT_DEATH(cache.append(SliceId{2, 0}, k.data(), k.data()),
+                 "range");
+}
+
+TEST(XCacheStore, HoldsHalfTheKvBytes)
+{
+    // X (s x h) is half of K+V (2 x s x h) for MHA widths.
+    const std::size_t hidden = 16;
+    XCacheStore xcache(1, hidden);
+    KvCache kv(1, 1, hidden);
+    const auto row = halfRow(hidden, 1.0f);
+    for (int i = 0; i < 10; i++) {
+        xcache.append(0, row.data());
+        kv.append(SliceId{0, 0}, row.data(), row.data());
+    }
+    EXPECT_EQ(2 * xcache.totalBytes(), kv.totalBytes());
+}
+
+TEST(XCacheStore, ActivationViewHasHiddenColumns)
+{
+    XCacheStore xcache(2, 8);
+    const auto row = halfRow(8, 3.0f);
+    xcache.append(1, row.data());
+    const HalfMatrixView view = xcache.activations(1);
+    EXPECT_EQ(view.rows, 1u);
+    EXPECT_EQ(view.cols, 8u);
+    EXPECT_EQ(xcache.length(0), 0u);
+}
+
+TEST(SlicePartition, CoversAllSlicesExactlyOnce)
+{
+    const SlicePartition part(4, 6, 5);
+    EXPECT_EQ(part.totalSlices(), 24u);
+    std::vector<int> seen(24, 0);
+    for (std::size_t dev = 0; dev < part.devices(); dev++) {
+        for (const SliceId &id : part.slicesOf(dev)) {
+            seen[id.batch * 6 + id.kv_head]++;
+            EXPECT_EQ(part.deviceOf(id), dev);
+        }
+    }
+    for (int c : seen)
+        EXPECT_EQ(c, 1);
+}
+
+TEST(SlicePartition, BalancedWithinOne)
+{
+    const SlicePartition part(16, 96, 7);
+    std::size_t lo = SIZE_MAX, hi = 0;
+    for (std::size_t dev = 0; dev < 7; dev++) {
+        lo = std::min(lo, part.slicesOf(dev).size());
+        hi = std::max(hi, part.slicesOf(dev).size());
+    }
+    EXPECT_LE(hi - lo, 1u);
+    EXPECT_EQ(part.maxSlicesPerDevice(), hi);
+}
+
+TEST(SlicePartition, SingleDeviceOwnsEverything)
+{
+    const SlicePartition part(3, 4, 1);
+    EXPECT_EQ(part.slicesOf(0).size(), 12u);
+}
+
+}  // namespace
+}  // namespace hilos

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for the NAND geometry and raw-operation timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "storage/nand.h"
+
+namespace hilos {
+namespace {
+
+NandConfig
+smallConfig()
+{
+    NandConfig cfg;
+    cfg.page_bytes = 4 * KiB;
+    cfg.pages_per_block = 64;
+    cfg.blocks_per_plane = 16;
+    cfg.planes_per_die = 2;
+    cfg.dies_per_channel = 2;
+    cfg.channels = 4;
+    return cfg;
+}
+
+TEST(NandConfig, GeometryArithmetic)
+{
+    const NandConfig cfg = smallConfig();
+    EXPECT_EQ(cfg.totalBlocks(), 16u * 2 * 2 * 4);
+    EXPECT_EQ(cfg.totalPages(), cfg.totalBlocks() * 64);
+    EXPECT_EQ(cfg.rawCapacity(), cfg.totalPages() * 4 * KiB);
+    EXPECT_EQ(cfg.blockBytes(), 64u * 4 * KiB);
+    EXPECT_DOUBLE_EQ(cfg.aggregateChannelRate(), 4.0 * mbps(1200));
+}
+
+TEST(NandTiming, ZeroPagesIsFree)
+{
+    const NandTiming t(smallConfig());
+    EXPECT_EQ(t.readPages(0, 4), 0.0);
+    EXPECT_EQ(t.programPages(0, 4), 0.0);
+    EXPECT_EQ(t.eraseBlocks(0, 4), 0.0);
+}
+
+TEST(NandTiming, ReadScalesWithPages)
+{
+    const NandTiming t(smallConfig());
+    const Seconds one = t.readPages(8, 8);
+    const Seconds many = t.readPages(80, 8);
+    EXPECT_GT(many, one * 5.0);
+}
+
+TEST(NandTiming, ParallelismHelps)
+{
+    const NandTiming t(smallConfig());
+    EXPECT_LT(t.readPages(64, 8), t.readPages(64, 1));
+    EXPECT_LT(t.programPages(64, 8), t.programPages(64, 1));
+    EXPECT_LT(t.eraseBlocks(16, 8), t.eraseBlocks(16, 1));
+}
+
+TEST(NandTiming, ParallelismClampsToArray)
+{
+    const NandTiming t(smallConfig());
+    EXPECT_EQ(t.maxParallel(), 8u);  // 4 channels x 2 dies
+    EXPECT_DOUBLE_EQ(t.readPages(64, 8), t.readPages(64, 100));
+}
+
+TEST(NandTiming, ProgramSlowerThanRead)
+{
+    const NandTiming t(smallConfig());
+    EXPECT_GT(t.programPages(32, 8), t.readPages(32, 8));
+}
+
+TEST(NandTiming, EraseDominatedByBlockLatency)
+{
+    const NandTiming t(smallConfig());
+    // 8 blocks over 8 units = one erase wave.
+    EXPECT_DOUBLE_EQ(t.eraseBlocks(8, 8), msec(3));
+    EXPECT_DOUBLE_EQ(t.eraseBlocks(16, 8), 2 * msec(3));
+}
+
+}  // namespace
+}  // namespace hilos

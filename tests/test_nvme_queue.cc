@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the NVMe queue-depth model and its connection to the
+ * host-managed KV I/O efficiency calibration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/system_config.h"
+#include "storage/nvme_queue.h"
+
+namespace hilos {
+namespace {
+
+NvmeQueueConfig
+pm9a3Queue()
+{
+    NvmeQueueConfig cfg;
+    cfg.command_latency = usec(80);
+    cfg.submission_overhead = usec(6);
+    cfg.max_read_iops = 1.0e6;
+    cfg.max_read_bw = mbps(6900);
+    return cfg;
+}
+
+TEST(NvmeQueue, ThroughputGrowsWithDepth)
+{
+    const NvmeQueueModel model(pm9a3Queue());
+    double prev = 0;
+    for (std::uint64_t qd : {1ull, 2ull, 4ull, 8ull, 16ull}) {
+        const double bw = model.bandwidth(qd, 128 * 1024);
+        EXPECT_GE(bw, prev);
+        prev = bw;
+    }
+}
+
+TEST(NvmeQueue, SaturatesAtDeviceLimit)
+{
+    const NvmeQueueModel model(pm9a3Queue());
+    EXPECT_NEAR(model.bandwidth(256, 128 * 1024), mbps(6900),
+                mbps(6900) * 0.01);
+    EXPECT_LE(model.iops(1024, 4096), 1.0e6 + 1);
+}
+
+TEST(NvmeQueue, LowDepthIsLatencyBound)
+{
+    const NvmeQueueModel model(pm9a3Queue());
+    // QD 1 with 128 KiB requests: one request per (latency + transfer).
+    const Seconds per_req = usec(86) + 131072.0 / mbps(6900);
+    EXPECT_NEAR(model.iops(1, 128 * 1024), 1.0 / per_req, 1.0);
+}
+
+TEST(NvmeQueue, SyncHostIoRunsFarBelowPeak)
+{
+    // The calibration story for host_kv_io_efficiency: synchronous
+    // direct I/O at QD ~ 2 with the baselines' ~128-512 KiB slice reads
+    // achieves only a fraction of the device's rated bandwidth.
+    const NvmeQueueModel model(pm9a3Queue());
+    const double eff_qd2 = model.efficiency(2, 256 * 1024);
+    EXPECT_LT(eff_qd2, 0.65);
+    EXPECT_GT(eff_qd2, 0.15);
+    // The defaultSystem() calibration constant sits in that regime.
+    EXPECT_NEAR(defaultSystem().host_kv_io_efficiency, eff_qd2, 0.35);
+}
+
+TEST(NvmeQueue, DeepQueuesNeededForFullRate)
+{
+    const NvmeQueueModel model(pm9a3Queue());
+    const std::uint64_t qd = model.queueDepthFor(0.95, 128 * 1024);
+    EXPECT_GE(qd, 4u);
+    EXPECT_LE(qd, 64u);
+    EXPECT_GE(model.efficiency(qd, 128 * 1024), 0.95);
+}
+
+TEST(NvmeQueue, SmallRequestsAreIopsBound)
+{
+    const NvmeQueueModel model(pm9a3Queue());
+    // 4 KiB at full depth: IOPS-limited, bandwidth far below rated.
+    EXPECT_LT(model.bandwidth(1024, 4096), mbps(6900) * 0.7);
+}
+
+TEST(NvmeQueue, InvalidArgsDie)
+{
+    const NvmeQueueModel model(pm9a3Queue());
+    EXPECT_DEATH(model.iops(0, 4096), "depth");
+    EXPECT_DEATH(model.iops(1, 0), "size");
+}
+
+}  // namespace
+}  // namespace hilos

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests for the PCIe link model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "interconnect/pcie.h"
+
+namespace hilos {
+namespace {
+
+TEST(Pcie, LaneRatesDoublePerGeneration)
+{
+    EXPECT_NEAR(pcieLaneRate(PcieGen::Gen4) / pcieLaneRate(PcieGen::Gen3),
+                2.0, 0.01);
+    EXPECT_NEAR(pcieLaneRate(PcieGen::Gen5) / pcieLaneRate(PcieGen::Gen4),
+                2.0, 0.01);
+}
+
+TEST(Pcie, EffectiveBandwidthScalesWithLanes)
+{
+    const Bandwidth x4 = pcieEffectiveBandwidth(PcieGen::Gen4, 4);
+    const Bandwidth x16 = pcieEffectiveBandwidth(PcieGen::Gen4, 16);
+    EXPECT_NEAR(x16 / x4, 4.0, 1e-9);
+}
+
+TEST(Pcie, Gen4x16IsAbout27GBps)
+{
+    const Bandwidth bw = pcieEffectiveBandwidth(PcieGen::Gen4, 16, 0.85);
+    EXPECT_NEAR(bw / 1e9, 26.8, 0.5);
+}
+
+TEST(Pcie, Gen3x4MatchesSmartSsdHostLink)
+{
+    const Bandwidth bw = pcieEffectiveBandwidth(PcieGen::Gen3, 4, 0.85);
+    EXPECT_NEAR(bw / 1e9, 3.35, 0.1);
+}
+
+TEST(Pcie, LinkNames)
+{
+    EXPECT_EQ(pcieLinkName(PcieGen::Gen3, 4), "pcie3x4");
+    EXPECT_EQ(pcieLinkName(PcieGen::Gen4, 16), "pcie4x16");
+    EXPECT_EQ(pcieLinkName(PcieGen::Gen5, 8), "pcie5x8");
+}
+
+TEST(Pcie, InvalidLanesDie)
+{
+    EXPECT_DEATH(pcieEffectiveBandwidth(PcieGen::Gen4, 0), "lane");
+    EXPECT_DEATH(pcieEffectiveBandwidth(PcieGen::Gen4, 32), "lane");
+}
+
+TEST(PcieLink, TransfersQueueFifo)
+{
+    PcieLink link("l", PcieGen::Gen4, 16);
+    const Seconds a = link.transfer(0.0, 1 << 20);
+    const Seconds b = link.transfer(0.0, 1 << 20);
+    EXPECT_GT(b, a);
+    EXPECT_NEAR(b, 2.0 * a, 1e-9);  // queued behind an equal transfer
+}
+
+TEST(PcieLink, ServiceTimeIncludesDmaLatency)
+{
+    PcieLink link("l", PcieGen::Gen4, 16);
+    EXPECT_GE(link.serviceTime(0), usec(1));
+}
+
+TEST(PcieLink, ResetRestoresIdle)
+{
+    PcieLink link("l", PcieGen::Gen3, 4);
+    link.transfer(0.0, 10 << 20);
+    link.reset();
+    EXPECT_DOUBLE_EQ(link.resource().busyUntil(), 0.0);
+}
+
+}  // namespace
+}  // namespace hilos

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tests for the pipelined-stage timing helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/pipeline.h"
+
+namespace hilos {
+namespace {
+
+TEST(Pipeline, EmptyPipelineIsZero)
+{
+    PipelineModel p;
+    EXPECT_EQ(p.bottleneck(), 0.0);
+    EXPECT_EQ(p.latency(), 0.0);
+    EXPECT_EQ(p.totalTime(10), 0.0);
+}
+
+TEST(Pipeline, BottleneckIsMaxStage)
+{
+    PipelineModel p;
+    p.addStage("load", 2.0);
+    p.addStage("compute", 5.0);
+    p.addStage("store", 1.0);
+    EXPECT_DOUBLE_EQ(p.bottleneck(), 5.0);
+    EXPECT_EQ(p.bottleneckName(), "compute");
+}
+
+TEST(Pipeline, LatencyIsSumOfStages)
+{
+    PipelineModel p;
+    p.addStage("a", 2.0);
+    p.addStage("b", 3.0);
+    EXPECT_DOUBLE_EQ(p.latency(), 5.0);
+}
+
+TEST(Pipeline, TotalTimeWithOverlap)
+{
+    PipelineModel p;
+    p.addStage("a", 2.0);
+    p.addStage("b", 3.0);
+    // One item: just the latency. n items: latency + (n-1)*bottleneck.
+    EXPECT_DOUBLE_EQ(p.totalTime(1), 5.0);
+    EXPECT_DOUBLE_EQ(p.totalTime(4), 5.0 + 3.0 * 3.0);
+}
+
+TEST(Pipeline, SteadyStateEqualsBottleneck)
+{
+    PipelineModel p;
+    p.addStage("a", 1.0);
+    p.addStage("b", 4.0);
+    EXPECT_DOUBLE_EQ(p.steadyStatePerItem(), 4.0);
+}
+
+TEST(Pipeline, OverlapMaxAndSerialSum)
+{
+    EXPECT_DOUBLE_EQ(overlapMax({1.0, 3.0, 2.0}), 3.0);
+    EXPECT_DOUBLE_EQ(overlapMax({}), 0.0);
+    EXPECT_DOUBLE_EQ(serialSum({1.0, 3.0, 2.0}), 6.0);
+}
+
+TEST(Pipeline, NegativeStageDies)
+{
+    PipelineModel p;
+    EXPECT_DEATH(p.addStage("bad", -1.0), "negative");
+}
+
+}  // namespace
+}  // namespace hilos

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests for the RAID-0 stripe set.
+ */
+
+#include <gtest/gtest.h>
+
+#include "storage/raid0.h"
+
+namespace hilos {
+namespace {
+
+TEST(Raid0, AggregateCapacityAndBandwidth)
+{
+    const Raid0 raid(pm9a3Config(), 4);
+    EXPECT_EQ(raid.capacity(), 4u * pm9a3Config().capacity);
+    EXPECT_DOUBLE_EQ(raid.seqReadBandwidth(), 4.0 * mbps(6900));
+    EXPECT_DOUBLE_EQ(raid.seqWriteBandwidth(), 4.0 * mbps(4100));
+}
+
+TEST(Raid0, LargeReadUsesAllMembers)
+{
+    const Raid0 raid(pm9a3Config(), 4);
+    const Ssd single(pm9a3Config());
+    const std::uint64_t bytes = 4ull << 30;
+    EXPECT_NEAR(raid.readTime(bytes), single.readTime(bytes / 4), 1e-6);
+}
+
+TEST(Raid0, SmallReadSeesNoSpeedup)
+{
+    const Raid0 raid(pm9a3Config(), 4, 512 * KiB);
+    const Ssd single(pm9a3Config());
+    // One chunk touches a single member.
+    EXPECT_DOUBLE_EQ(raid.readTime(100 * KiB),
+                     single.readTime(100 * KiB));
+}
+
+TEST(Raid0, MidSizeReadUsesSomeMembers)
+{
+    const Raid0 raid(pm9a3Config(), 4, 512 * KiB);
+    // Two chunks -> two members active.
+    const Seconds two = raid.readTime(1024 * KiB);
+    const Seconds four = raid.readTime(2048 * KiB);
+    EXPECT_NEAR(two, four, four * 0.2);  // both ~one chunk per member
+}
+
+TEST(Raid0, WritesDistributeEndurance)
+{
+    Raid0 raid(pm9a3Config(), 4);
+    raid.recordWrite(4ull << 30, true);
+    // All members wear roughly equally.
+    const double e0 = raid.member(0).enduranceConsumed();
+    for (std::size_t i = 1; i < 4; i++)
+        EXPECT_NEAR(raid.member(i).enduranceConsumed(), e0, e0 * 0.1);
+    EXPECT_GT(raid.nandBytesWritten(), 4e9);
+}
+
+TEST(Raid0, WorstMemberGovernsEndurance)
+{
+    Raid0 raid(pm9a3Config(), 4, 512 * KiB);
+    // Small writes land on member 0 only.
+    for (int i = 0; i < 100; i++)
+        raid.recordWrite(4096, false);
+    EXPECT_GT(raid.member(0).enduranceConsumed(), 0.0);
+    EXPECT_DOUBLE_EQ(raid.enduranceConsumed(),
+                     raid.member(0).enduranceConsumed());
+}
+
+TEST(Raid0, SingleMemberDegeneratesToSsd)
+{
+    const Raid0 raid(pm9a3Config(), 1);
+    const Ssd single(pm9a3Config());
+    EXPECT_DOUBLE_EQ(raid.readTime(1 << 20), single.readTime(1 << 20));
+}
+
+}  // namespace
+}  // namespace hilos

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for the deterministic RNG wrapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+
+namespace hilos {
+namespace {
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; i++)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; i++) {
+        if (a.uniform() == b.uniform())
+            same++;
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRespectsBounds)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; i++) {
+        const double x = rng.uniform(2.0, 3.0);
+        EXPECT_GE(x, 2.0);
+        EXPECT_LT(x, 3.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusive)
+{
+    Rng rng(6);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; i++) {
+        const auto v = rng.uniformInt(0, 3);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u);  // all values hit
+}
+
+TEST(Rng, NormalVectorHasRequestedMoments)
+{
+    Rng rng(7);
+    const auto v = rng.normalVector(20000, 3.0f, 0.5f);
+    double mean = 0;
+    for (float x : v)
+        mean += x;
+    mean /= static_cast<double>(v.size());
+    EXPECT_NEAR(mean, 3.0, 0.02);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange)
+{
+    Rng rng(8);
+    const auto idx = rng.sampleIndices(100, 20);
+    EXPECT_EQ(idx.size(), 20u);
+    std::set<std::size_t> uniq(idx.begin(), idx.end());
+    EXPECT_EQ(uniq.size(), 20u);
+    for (auto i : idx)
+        EXPECT_LT(i, 100u);
+}
+
+TEST(Rng, SampleAllIndices)
+{
+    Rng rng(9);
+    const auto idx = rng.sampleIndices(10, 10);
+    std::set<std::size_t> uniq(idx.begin(), idx.end());
+    EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(Rng, SampleMoreThanAvailableDies)
+{
+    Rng rng(10);
+    EXPECT_DEATH(rng.sampleIndices(5, 6), "sample");
+}
+
+}  // namespace
+}  // namespace hilos

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for the evaluation-report generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/report.h"
+
+namespace hilos {
+namespace {
+
+ReportConfig
+smallGrid()
+{
+    ReportConfig cfg;
+    cfg.models = {"OPT-66B"};
+    cfg.contexts = {16384};
+    cfg.device_counts = {8};
+    return cfg;
+}
+
+TEST(Report, GridProducesAllRows)
+{
+    const EvaluationReport r =
+        runEvaluation(defaultSystem(), smallGrid());
+    // FLEX(SSD) + FLEX(DRAM) + HILOS(8) per grid point.
+    ASSERT_EQ(r.entries.size(), 3u);
+    EXPECT_EQ(r.entries[0].engine, "FLEX(SSD)");
+    EXPECT_EQ(r.entries[2].engine, "HILOS(8)");
+    EXPECT_DOUBLE_EQ(r.entries[0].speedup_vs_flex_ssd, 1.0);
+    EXPECT_GT(r.entries[2].speedup_vs_flex_ssd, 1.0);
+}
+
+TEST(Report, HeadlinesAggregateBestHilosNumbers)
+{
+    ReportConfig cfg = smallGrid();
+    cfg.contexts = {16384, 65536};
+    cfg.device_counts = {8, 16};
+    const EvaluationReport r = runEvaluation(defaultSystem(), cfg);
+    EXPECT_GT(r.max_speedup, 4.0);
+    EXPECT_LT(r.max_speedup, 9.0);
+    EXPECT_GT(r.max_energy_saving, 0.3);
+    EXPECT_LT(r.max_energy_saving, 0.95);
+    // The headline equals the best HILOS row in the grid.
+    double best = 0;
+    for (const ReportEntry &e : r.entries) {
+        if (e.engine.rfind("HILOS", 0) == 0)
+            best = std::max(best, e.speedup_vs_flex_ssd);
+    }
+    EXPECT_DOUBLE_EQ(r.max_speedup, best);
+}
+
+TEST(Report, InfeasiblePointsRenderAsOom)
+{
+    ReportConfig cfg = smallGrid();
+    cfg.contexts = {131072};  // FLEX(DRAM) OOM for OPT-66B
+    const EvaluationReport r = runEvaluation(defaultSystem(), cfg);
+    const std::string md = r.toMarkdown();
+    EXPECT_NE(md.find("OOM"), std::string::npos);
+}
+
+TEST(Report, MarkdownHasTableStructure)
+{
+    const EvaluationReport r =
+        runEvaluation(defaultSystem(), smallGrid());
+    const std::string md = r.toMarkdown();
+    EXPECT_NE(md.find("# HILOS evaluation report"), std::string::npos);
+    EXPECT_NE(md.find("| model | context | engine |"),
+              std::string::npos);
+    EXPECT_NE(md.find("HILOS(8)"), std::string::npos);
+    EXPECT_NE(md.find("Peak HILOS speedup"), std::string::npos);
+}
+
+TEST(Report, EmptyGridDies)
+{
+    ReportConfig cfg;
+    cfg.models.clear();
+    EXPECT_DEATH(runEvaluation(defaultSystem(), cfg), "empty");
+}
+
+}  // namespace
+}  // namespace hilos

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the two-pass streaming softmax (Algorithm 1): equivalence
+ * with the three-pass reference, the streaming-update merge property,
+ * masking behaviour, block-size invariance, and numerical stability.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "accel/softmax.h"
+#include "common/random.h"
+
+namespace hilos {
+namespace {
+
+std::vector<float>
+referenceSoftmax(std::vector<float> v)
+{
+    const SoftmaxMask mask;
+    threePassSoftmax(v, mask);
+    return v;
+}
+
+TEST(StreamingUpdate, MergeMatchesJointComputation)
+{
+    // Two blocks merged via the streaming unit must equal the stats of
+    // the concatenated vector.
+    const std::vector<float> a = {1.0f, 3.0f, -2.0f};
+    const std::vector<float> b = {4.0f, 0.5f};
+    auto block_stats = [](const std::vector<float> &v) {
+        float m = -1e30f;
+        for (float x : v)
+            m = std::max(m, x);
+        float s = 0;
+        for (float x : v)
+            s += std::exp(x - m);
+        return SoftmaxStats{m, s};
+    };
+    SoftmaxStats running{-std::numeric_limits<float>::infinity(), 0.0f};
+    const SoftmaxStats sa = block_stats(a);
+    const SoftmaxStats sb = block_stats(b);
+    running = streamingUpdate(running, sa.max, sa.sum);
+    running = streamingUpdate(running, sb.max, sb.sum);
+
+    std::vector<float> joint = a;
+    joint.insert(joint.end(), b.begin(), b.end());
+    const SoftmaxStats sj = block_stats(joint);
+    EXPECT_FLOAT_EQ(running.max, sj.max);
+    EXPECT_NEAR(running.sum, sj.sum, 1e-5f);
+}
+
+TEST(StreamingUpdate, OrderIndependentMax)
+{
+    SoftmaxStats a{-std::numeric_limits<float>::infinity(), 0.0f};
+    a = streamingUpdate(a, 5.0f, 2.0f);
+    a = streamingUpdate(a, 1.0f, 3.0f);
+    SoftmaxStats b{-std::numeric_limits<float>::infinity(), 0.0f};
+    b = streamingUpdate(b, 1.0f, 3.0f);
+    b = streamingUpdate(b, 5.0f, 2.0f);
+    EXPECT_FLOAT_EQ(a.max, b.max);
+    EXPECT_NEAR(a.sum, b.sum, 1e-5f);
+}
+
+TEST(TwoPassSoftmax, MatchesThreePassOnRandomData)
+{
+    Rng rng(1);
+    const TwoPassSoftmax sm(128);
+    const SoftmaxMask mask;
+    for (int trial = 0; trial < 20; trial++) {
+        std::vector<float> v = rng.normalVector(1000, 0.0f, 3.0f);
+        std::vector<float> expected = referenceSoftmax(v);
+        sm.apply(v, mask);
+        for (std::size_t i = 0; i < v.size(); i++)
+            EXPECT_NEAR(v[i], expected[i], 1e-6f) << "i=" << i;
+    }
+}
+
+TEST(TwoPassSoftmax, OutputIsProbabilityDistribution)
+{
+    Rng rng(2);
+    const TwoPassSoftmax sm;
+    const SoftmaxMask mask;
+    std::vector<float> v = rng.normalVector(4096, 0.0f, 2.0f);
+    sm.apply(v, mask);
+    double sum = 0;
+    for (float x : v) {
+        EXPECT_GE(x, 0.0f);
+        sum += x;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+}
+
+TEST(TwoPassSoftmax, StableForLargeMagnitudes)
+{
+    const TwoPassSoftmax sm;
+    const SoftmaxMask mask;
+    std::vector<float> v = {5000.0f, 4999.0f, -5000.0f};
+    sm.apply(v, mask);
+    EXPECT_FALSE(std::isnan(v[0]));
+    EXPECT_NEAR(v[0], 1.0f / (1.0f + std::exp(-1.0f)), 1e-5f);
+    EXPECT_NEAR(v[2], 0.0f, 1e-6f);
+}
+
+TEST(TwoPassSoftmax, MaskingZeroesPaddingPositions)
+{
+    const TwoPassSoftmax sm;
+    SoftmaxMask mask;
+    mask.valid_len = 3;
+    std::vector<float> v = {1.0f, 2.0f, 3.0f, 100.0f, 100.0f};
+    sm.apply(v, mask);
+    // Padding contributes nothing despite huge raw scores.
+    EXPECT_NEAR(v[3], 0.0f, 1e-12f);
+    EXPECT_NEAR(v[4], 0.0f, 1e-12f);
+    const double valid_sum = v[0] + v[1] + v[2];
+    EXPECT_NEAR(valid_sum, 1.0, 1e-5);
+}
+
+TEST(TwoPassSoftmax, MaskedStatsIgnorePadding)
+{
+    const TwoPassSoftmax sm;
+    SoftmaxMask mask;
+    mask.valid_len = 2;
+    const std::vector<float> v = {1.0f, 2.0f, 50.0f};
+    const SoftmaxStats stats = sm.computeStats(v, mask);
+    EXPECT_FLOAT_EQ(stats.max, 2.0f);
+}
+
+TEST(TwoPassSoftmax, EmptyVectorIsNoop)
+{
+    const TwoPassSoftmax sm;
+    std::vector<float> v;
+    EXPECT_NO_THROW(sm.apply(v, SoftmaxMask{}));
+}
+
+TEST(TwoPassSoftmax, TrafficSavingsVsThreePass)
+{
+    EXPECT_EQ(TwoPassSoftmax::trafficElements(1000), 3000u);
+    EXPECT_EQ(TwoPassSoftmax::threePassTrafficElements(1000), 4000u);
+}
+
+class SoftmaxBlockSizes : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(SoftmaxBlockSizes, ResultIndependentOfBlockSize)
+{
+    Rng rng(3);
+    std::vector<float> base = rng.normalVector(777, 0.0f, 4.0f);
+    std::vector<float> expected = referenceSoftmax(base);
+
+    const TwoPassSoftmax sm(GetParam());
+    std::vector<float> v = base;
+    sm.apply(v, SoftmaxMask{});
+    for (std::size_t i = 0; i < v.size(); i++)
+        EXPECT_NEAR(v[i], expected[i], 3e-6f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, SoftmaxBlockSizes,
+                         ::testing::Values(1, 2, 7, 32, 128, 777, 4096));
+
+}  // namespace
+}  // namespace hilos

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the InstAttention-style lossy sparse retrieval baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "llm/attention_ref.h"
+#include "llm/sparse_attention.h"
+
+namespace hilos {
+namespace {
+
+TEST(SparseAttention, KeepsExactlyOneOverRatio)
+{
+    Rng rng(1);
+    const Matrix q = Matrix::random(1, 16, rng);
+    const Matrix k = Matrix::random(256, 16, rng);
+    const Matrix v = Matrix::random(256, 16, rng);
+    const SparseAttention sparse{SparseAttentionConfig{}};
+    const SparseAttentionResult res = sparse.run(q, k, v);
+    EXPECT_EQ(res.selected.size(), 256u / 8);
+    EXPECT_TRUE(std::is_sorted(res.selected.begin(), res.selected.end()));
+}
+
+TEST(SparseAttention, StrongNeedleAlwaysRetrieved)
+{
+    Rng rng(2);
+    const std::size_t s = 512, d = 16;
+    Matrix q = Matrix::random(1, d, rng);
+    Matrix k = Matrix::random(s, d, rng, 0.3f);
+    Matrix v = Matrix::random(s, d, rng, 0.1f);
+    // Plant an overwhelming needle at index 100.
+    for (std::size_t c = 0; c < d; c++)
+        k.at(100, c) = q.at(0, c) * 5.0f;
+    const SparseAttention sparse{SparseAttentionConfig{}};
+    const SparseAttentionResult res = sparse.run(q, k, v);
+    EXPECT_NE(std::find(res.selected.begin(), res.selected.end(), 100u),
+              res.selected.end());
+}
+
+TEST(SparseAttention, OutputsMatchExactOverSelectedSubset)
+{
+    Rng rng(3);
+    const std::size_t s = 128, d = 8;
+    const Matrix q = Matrix::random(1, d, rng);
+    const Matrix k = Matrix::random(s, d, rng);
+    const Matrix v = Matrix::random(s, d, rng);
+    const SparseAttention sparse{SparseAttentionConfig{}};
+    const SparseAttentionResult res = sparse.run(q, k, v);
+
+    Matrix sub_k(res.selected.size(), d), sub_v(res.selected.size(), d);
+    for (std::size_t i = 0; i < res.selected.size(); i++)
+        for (std::size_t c = 0; c < d; c++) {
+            sub_k.at(i, c) = k.at(res.selected[i], c);
+            sub_v.at(i, c) = v.at(res.selected[i], c);
+        }
+    const Matrix expected = naiveAttention(q, sub_k, sub_v);
+    EXPECT_LT(res.outputs.maxAbsDiff(expected), 1e-6f);
+}
+
+TEST(SparseAttention, DiffersFromExactAttentionInGeneral)
+{
+    Rng rng(4);
+    const Matrix q = Matrix::random(1, 16, rng);
+    const Matrix k = Matrix::random(512, 16, rng);
+    const Matrix v = Matrix::random(512, 16, rng);
+    const SparseAttention sparse{SparseAttentionConfig{}};
+    const Matrix exact = naiveAttention(q, k, v);
+    const SparseAttentionResult res = sparse.run(q, k, v);
+    EXPECT_GT(res.outputs.maxAbsDiff(exact), 1e-4f);  // lossy
+}
+
+TEST(SparseAttention, QuantizeClampsAndSnaps)
+{
+    SparseAttentionConfig cfg;
+    cfg.selection_bits = 4;
+    cfg.clip_sigma = 3.0f;
+    const SparseAttention sparse(cfg);
+    // Clip at 3 sigma.
+    EXPECT_FLOAT_EQ(sparse.quantize(100.0f, 1.0f), 3.0f);
+    EXPECT_FLOAT_EQ(sparse.quantize(-100.0f, 1.0f), -3.0f);
+    // Quantised output is a multiple of the step.
+    const float step = 6.0f / 15.0f;
+    const float qv = sparse.quantize(1.0f, 1.0f);
+    EXPECT_NEAR(qv / step, std::round(qv / step), 1e-5f);
+}
+
+TEST(SparseAttention, RatioOneIsLosslessSelection)
+{
+    Rng rng(5);
+    SparseAttentionConfig cfg;
+    cfg.compression_ratio = 1;
+    const SparseAttention sparse(cfg);
+    const Matrix q = Matrix::random(1, 8, rng);
+    const Matrix k = Matrix::random(64, 8, rng);
+    const Matrix v = Matrix::random(64, 8, rng);
+    const SparseAttentionResult res = sparse.run(q, k, v);
+    EXPECT_EQ(res.selected.size(), 64u);
+    const Matrix exact = naiveAttention(q, k, v);
+    EXPECT_LT(res.outputs.maxAbsDiff(exact), 1e-5f);
+}
+
+}  // namespace
+}  // namespace hilos

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tests for the text-table formatter and size/time pretty-printers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/table.h"
+
+namespace hilos {
+namespace {
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t({"name", "value"});
+    t.row().cell("x").num(1.5);
+    t.row().cell("longer-name").num(22.25);
+    const std::string s = t.str();
+    EXPECT_NE(s.find("| name"), std::string::npos);
+    EXPECT_NE(s.find("| longer-name"), std::string::npos);
+    EXPECT_NE(s.find("1.50"), std::string::npos);
+    EXPECT_NE(s.find("22.25"), std::string::npos);
+}
+
+TEST(TextTable, RatioFormatsWithSuffix)
+{
+    TextTable t({"r"});
+    t.row().ratio(7.859, 2);
+    EXPECT_NE(t.str().find("7.86x"), std::string::npos);
+}
+
+TEST(TextTable, RowsCount)
+{
+    TextTable t({"a"});
+    EXPECT_EQ(t.rows(), 0u);
+    t.row().cell("1");
+    t.row().cell("2");
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, MissingCellsRenderEmpty)
+{
+    TextTable t({"a", "b"});
+    t.row().cell("only-a");
+    EXPECT_NO_THROW(t.str());
+}
+
+TEST(FormatBytes, PicksBinarySuffix)
+{
+    EXPECT_EQ(formatBytes(512), "512.0 B");
+    EXPECT_EQ(formatBytes(2048), "2.00 KiB");
+    EXPECT_EQ(formatBytes(3.5 * 1024 * 1024), "3.50 MiB");
+    EXPECT_NE(formatBytes(2.5e12).find("TiB"), std::string::npos);
+}
+
+TEST(FormatSeconds, PicksTimeUnit)
+{
+    EXPECT_NE(formatSeconds(5e-6).find("us"), std::string::npos);
+    EXPECT_NE(formatSeconds(5e-3).find("ms"), std::string::npos);
+    EXPECT_NE(formatSeconds(5.0).find(" s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hilos

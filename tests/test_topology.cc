@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the PCIe topology builders: path bandwidths, chassis shape,
+ * and shared-uplink contention.
+ */
+
+#include <gtest/gtest.h>
+
+#include "interconnect/topology.h"
+
+namespace hilos {
+namespace {
+
+TEST(Topology, ConventionalHasGpuPlusSsds)
+{
+    auto topo = buildConventionalTopology(4);
+    EXPECT_EQ(topo->linkCount(), 5u);
+    const Bandwidth gpu = topo->hostPath(0).bandwidth();
+    const Bandwidth ssd = topo->hostPath(1).bandwidth();
+    EXPECT_GT(gpu, ssd);  // x16 vs x4
+    EXPECT_NEAR(gpu / ssd, 4.0, 0.01);
+}
+
+TEST(Topology, ChassisShape)
+{
+    ChassisTopology ch = buildChassisTopology(16);
+    EXPECT_EQ(ch.smartssd_devices.size(), 16u);
+    // gpu + uplink + 8 ports + 16 device links.
+    EXPECT_EQ(ch.fabric->linkCount(), 2u + 8u + 16u);
+}
+
+TEST(Topology, ChassisPathBottleneckIsDeviceLink)
+{
+    ChassisTopology ch = buildChassisTopology(8);
+    const PciePath path = ch.fabric->switchedPath(ch.smartssd_devices[0]);
+    EXPECT_EQ(path.links.size(), 3u);  // uplink, port, device
+    // Device x4 gen3 is the narrowest hop.
+    EXPECT_NEAR(path.bandwidth() / 1e9,
+                pcieEffectiveBandwidth(PcieGen::Gen3, 4) / 1e9, 0.01);
+}
+
+TEST(Topology, SharedUplinkSerialisesDevices)
+{
+    ChassisTopology ch = buildChassisTopology(16);
+    // Saturate all 16 device paths simultaneously; the x16 gen4 uplink
+    // (~26.8 GB/s) cannot carry 16 x 3.35 GB/s of demand, so the fleet
+    // completes ~2x later than a single-device transfer instead of in
+    // the same time.
+    const std::uint64_t bytes = 1ull << 30;
+    Seconds last = 0.0;
+    for (std::size_t dev : ch.smartssd_devices) {
+        last = std::max(
+            last, ch.fabric->switchedPath(dev).transfer(0.0, bytes));
+    }
+    ch.fabric->reset();
+    const Seconds single =
+        ch.fabric->switchedPath(ch.smartssd_devices[0])
+            .transfer(0.0, bytes);
+    EXPECT_GT(last, 1.8 * single);
+    EXPECT_LT(last, 3.0 * single);
+}
+
+TEST(Topology, TwoDevicesSharePort)
+{
+    ChassisTopology ch = buildChassisTopology(4);
+    // Devices 0 and 1 hang off port 0: saturating both contends on the
+    // shared x8 port link.
+    const std::uint64_t bytes = 1ull << 30;
+    const Seconds t0 =
+        ch.fabric->switchedPath(ch.smartssd_devices[0]).transfer(0.0,
+                                                                 bytes);
+    const Seconds t1 =
+        ch.fabric->switchedPath(ch.smartssd_devices[1]).transfer(0.0,
+                                                                 bytes);
+    EXPECT_GT(t1, t0);
+}
+
+TEST(Topology, TooManySmartSsdsDie)
+{
+    EXPECT_DEATH(buildChassisTopology(17), "1..16");
+}
+
+TEST(Topology, EmptyPathDies)
+{
+    PciePath path;
+    EXPECT_DEATH(path.bandwidth(), "empty");
+}
+
+}  // namespace
+}  // namespace hilos

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the cooperative X-cache scheduler: the analytic alpha
+ * formula, candidate snapping, the §4.2 timing terms, and the
+ * workload-aware selection property (bestAlpha is never worse than any
+ * candidate).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "runtime/xcache.h"
+
+namespace hilos {
+namespace {
+
+TEST(XCache, AnalyticAlphaMatchesFormula)
+{
+    // B_SSD / B_PCI = 3 -> alpha* = 2/(3+1) = 0.5 (the paper's default
+    // operating point with eight SmartSSDs).
+    const XCacheScheduler sched(24 * GB, 8 * GB, tflops(187));
+    EXPECT_NEAR(sched.analyticAlpha(), 0.5, 1e-12);
+    EXPECT_DOUBLE_EQ(sched.selectAlpha(), 0.5);
+}
+
+TEST(XCache, AlphaGrowsWithPciShare)
+{
+    const XCacheScheduler slow_pci(48 * GB, 4 * GB, tflops(187));
+    const XCacheScheduler fast_pci(12 * GB, 8 * GB, tflops(187));
+    EXPECT_LT(slow_pci.analyticAlpha(), fast_pci.analyticAlpha());
+}
+
+TEST(XCache, SnapPicksNearestCandidate)
+{
+    // alpha* = 2*8/(12+8) = 0.8 -> nearest candidate 0.75.
+    const XCacheScheduler sched(12 * GB, 8 * GB, tflops(187));
+    EXPECT_NEAR(sched.analyticAlpha(), 0.8, 1e-12);
+    EXPECT_DOUBLE_EQ(sched.selectAlpha(), 0.75);
+}
+
+TEST(XCache, TimesMatchPaperFormulas)
+{
+    const Bandwidth ssd = 24 * GB, pci = 8 * GB;
+    const Flops gpu = tflops(187);
+    const XCacheScheduler sched(ssd, pci, gpu);
+    const std::uint64_t b = 4, s = 1000, h = 1024, kv = 1024;
+    const XCacheTimes t = sched.times(0.5, b, s, h, kv);
+    EXPECT_NEAR(t.t_pci, 0.5 * 4 * 1000 * 1024 * 2.0 / (8 * GB), 1e-12);
+    EXPECT_NEAR(t.t_gpu,
+                0.5 * 4 * 2.0 * 1000.0 * 1024 * 1024 / tflops(187),
+                1e-12);
+    // MHA: alpha S_X + (1-alpha) 2 S_X with S_X = s*h*2 per sequence.
+    EXPECT_NEAR(t.t_ssd,
+                4 * (0.5 * 1000 * 1024 * 2.0 +
+                     0.5 * 2.0 * 1000 * 1024 * 2.0) /
+                    (24 * GB),
+                1e-12);
+}
+
+TEST(XCache, BalancedAlphaEqualisesPciAndSsd)
+{
+    const XCacheScheduler sched(24 * GB, 8 * GB, tflops(500));
+    const XCacheTimes t = sched.times(0.5, 8, 4096, 8192, 8192);
+    EXPECT_NEAR(t.t_pci, t.t_ssd, t.t_ssd * 1e-9);
+}
+
+TEST(XCache, AlphaZeroMeansNoHostTraffic)
+{
+    const XCacheScheduler sched(24 * GB, 8 * GB, tflops(187));
+    const XCacheTimes t = sched.times(0.0, 8, 4096, 8192, 8192);
+    EXPECT_EQ(t.t_pci, 0.0);
+    EXPECT_EQ(t.t_gpu, 0.0);
+    EXPECT_GT(t.t_ssd, 0.0);
+}
+
+TEST(XCache, AlphaOneMovesEverythingToHost)
+{
+    const XCacheScheduler sched(24 * GB, 8 * GB, tflops(187));
+    const XCacheTimes none = sched.times(0.0, 8, 4096, 8192, 8192);
+    const XCacheTimes all = sched.times(1.0, 8, 4096, 8192, 8192);
+    // X is half the KV bytes, so internal reads halve at alpha = 1.
+    EXPECT_NEAR(all.t_ssd, 0.5 * none.t_ssd, 1e-12);
+}
+
+TEST(XCache, EffectiveIsMaxOfTerms)
+{
+    XCacheTimes t;
+    t.t_pci = 3.0;
+    t.t_gpu = 1.0;
+    t.t_ssd = 2.0;
+    EXPECT_DOUBLE_EQ(t.effective(), 3.0);
+}
+
+TEST(XCache, BestAlphaDominatesAllCandidates)
+{
+    // Property: bestAlpha's effective time is <= every candidate's.
+    for (double ssd_gb : {6.0, 12.0, 24.0, 48.0}) {
+        const XCacheScheduler sched(ssd_gb * GB, 8 * GB, tflops(187));
+        const double best = sched.bestAlpha(16, 32768, 9216, 9216);
+        const Seconds best_t =
+            sched.times(best, 16, 32768, 9216, 9216).effective();
+        for (double c : XCacheScheduler::candidateAlphas()) {
+            EXPECT_LE(best_t,
+                      sched.times(c, 16, 32768, 9216, 9216).effective() +
+                          1e-15)
+                << "ssd=" << ssd_gb << " candidate " << c;
+        }
+    }
+}
+
+TEST(XCache, GqaPrefersLowAlpha)
+{
+    // With GQA the X activation (s x h) is *larger* than the KV rows
+    // (2 x s x kv, kv = h/5): X-caching is unattractive.
+    const XCacheScheduler sched(24 * GB, 8 * GB, tflops(187));
+    const double alpha = sched.bestAlpha(16, 32768, 5120, 1024);
+    EXPECT_EQ(alpha, 0.0);
+}
+
+TEST(XCache, InvalidAlphaDies)
+{
+    const XCacheScheduler sched(24 * GB, 8 * GB, tflops(187));
+    EXPECT_DEATH(sched.times(1.5, 1, 1, 1, 1), "alpha");
+}
+
+}  // namespace
+}  // namespace hilos
