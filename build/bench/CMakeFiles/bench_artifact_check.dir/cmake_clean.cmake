@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_artifact_check.dir/bench_artifact_check.cpp.o"
+  "CMakeFiles/bench_artifact_check.dir/bench_artifact_check.cpp.o.d"
+  "bench_artifact_check"
+  "bench_artifact_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_artifact_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

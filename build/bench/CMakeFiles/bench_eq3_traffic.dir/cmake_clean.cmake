@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq3_traffic.dir/bench_eq3_traffic.cpp.o"
+  "CMakeFiles/bench_eq3_traffic.dir/bench_eq3_traffic.cpp.o.d"
+  "bench_eq3_traffic"
+  "bench_eq3_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq3_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_cost_endurance.dir/bench_fig16_cost_endurance.cpp.o"
+  "CMakeFiles/bench_fig16_cost_endurance.dir/bench_fig16_cost_endurance.cpp.o.d"
+  "bench_fig16_cost_endurance"
+  "bench_fig16_cost_endurance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_cost_endurance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

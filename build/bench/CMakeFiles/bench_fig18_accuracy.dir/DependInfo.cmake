@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig18_accuracy.cpp" "bench/CMakeFiles/bench_fig18_accuracy.dir/bench_fig18_accuracy.cpp.o" "gcc" "bench/CMakeFiles/bench_fig18_accuracy.dir/bench_fig18_accuracy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hilos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hilos_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hilos_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hilos_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hilos_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hilos_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hilos_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hilos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hilos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

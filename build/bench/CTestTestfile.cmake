@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_bench_eq3_traffic "/root/repo/build/bench/bench_eq3_traffic")
+set_tests_properties(smoke_bench_eq3_traffic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig02_motivation "/root/repo/build/bench/bench_fig02_motivation")
+set_tests_properties(smoke_bench_fig02_motivation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig04_breakdown "/root/repo/build/bench/bench_fig04_breakdown")
+set_tests_properties(smoke_bench_fig04_breakdown PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig13_sensitivity "/root/repo/build/bench/bench_fig13_sensitivity")
+set_tests_properties(smoke_bench_fig13_sensitivity PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_table3_accelerator "/root/repo/build/bench/bench_table3_accelerator")
+set_tests_properties(smoke_bench_table3_accelerator PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_artifact_check "/root/repo/build/bench/bench_artifact_check")
+set_tests_properties(smoke_bench_artifact_check PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_crossval_eventsim "/root/repo/build/bench/bench_crossval_eventsim")
+set_tests_properties(smoke_bench_crossval_eventsim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")

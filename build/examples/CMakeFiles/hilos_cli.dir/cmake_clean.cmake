@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hilos_cli.dir/hilos_cli.cpp.o"
+  "CMakeFiles/hilos_cli.dir/hilos_cli.cpp.o.d"
+  "hilos_cli"
+  "hilos_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hilos_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_summarization.dir/offline_summarization.cpp.o"
+  "CMakeFiles/offline_summarization.dir/offline_summarization.cpp.o.d"
+  "offline_summarization"
+  "offline_summarization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_summarization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

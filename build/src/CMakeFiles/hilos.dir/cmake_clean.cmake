@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hilos.dir/core/hilos.cc.o"
+  "CMakeFiles/hilos.dir/core/hilos.cc.o.d"
+  "CMakeFiles/hilos.dir/runtime/report.cc.o"
+  "CMakeFiles/hilos.dir/runtime/report.cc.o.d"
+  "libhilos.a"
+  "libhilos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hilos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/attention_kernel.cc" "src/CMakeFiles/hilos_accel.dir/accel/attention_kernel.cc.o" "gcc" "src/CMakeFiles/hilos_accel.dir/accel/attention_kernel.cc.o.d"
+  "/root/repo/src/accel/cycle_model.cc" "src/CMakeFiles/hilos_accel.dir/accel/cycle_model.cc.o" "gcc" "src/CMakeFiles/hilos_accel.dir/accel/cycle_model.cc.o.d"
+  "/root/repo/src/accel/exp_unit.cc" "src/CMakeFiles/hilos_accel.dir/accel/exp_unit.cc.o" "gcc" "src/CMakeFiles/hilos_accel.dir/accel/exp_unit.cc.o.d"
+  "/root/repo/src/accel/gemv.cc" "src/CMakeFiles/hilos_accel.dir/accel/gemv.cc.o" "gcc" "src/CMakeFiles/hilos_accel.dir/accel/gemv.cc.o.d"
+  "/root/repo/src/accel/kernel_sim.cc" "src/CMakeFiles/hilos_accel.dir/accel/kernel_sim.cc.o" "gcc" "src/CMakeFiles/hilos_accel.dir/accel/kernel_sim.cc.o.d"
+  "/root/repo/src/accel/resource_model.cc" "src/CMakeFiles/hilos_accel.dir/accel/resource_model.cc.o" "gcc" "src/CMakeFiles/hilos_accel.dir/accel/resource_model.cc.o.d"
+  "/root/repo/src/accel/softmax.cc" "src/CMakeFiles/hilos_accel.dir/accel/softmax.cc.o" "gcc" "src/CMakeFiles/hilos_accel.dir/accel/softmax.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hilos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hilos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

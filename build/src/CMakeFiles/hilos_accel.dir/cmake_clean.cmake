@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hilos_accel.dir/accel/attention_kernel.cc.o"
+  "CMakeFiles/hilos_accel.dir/accel/attention_kernel.cc.o.d"
+  "CMakeFiles/hilos_accel.dir/accel/cycle_model.cc.o"
+  "CMakeFiles/hilos_accel.dir/accel/cycle_model.cc.o.d"
+  "CMakeFiles/hilos_accel.dir/accel/exp_unit.cc.o"
+  "CMakeFiles/hilos_accel.dir/accel/exp_unit.cc.o.d"
+  "CMakeFiles/hilos_accel.dir/accel/gemv.cc.o"
+  "CMakeFiles/hilos_accel.dir/accel/gemv.cc.o.d"
+  "CMakeFiles/hilos_accel.dir/accel/kernel_sim.cc.o"
+  "CMakeFiles/hilos_accel.dir/accel/kernel_sim.cc.o.d"
+  "CMakeFiles/hilos_accel.dir/accel/resource_model.cc.o"
+  "CMakeFiles/hilos_accel.dir/accel/resource_model.cc.o.d"
+  "CMakeFiles/hilos_accel.dir/accel/softmax.cc.o"
+  "CMakeFiles/hilos_accel.dir/accel/softmax.cc.o.d"
+  "libhilos_accel.a"
+  "libhilos_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hilos_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hilos_common.dir/common/cli.cc.o"
+  "CMakeFiles/hilos_common.dir/common/cli.cc.o.d"
+  "CMakeFiles/hilos_common.dir/common/half.cc.o"
+  "CMakeFiles/hilos_common.dir/common/half.cc.o.d"
+  "CMakeFiles/hilos_common.dir/common/logging.cc.o"
+  "CMakeFiles/hilos_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/hilos_common.dir/common/random.cc.o"
+  "CMakeFiles/hilos_common.dir/common/random.cc.o.d"
+  "CMakeFiles/hilos_common.dir/common/stats.cc.o"
+  "CMakeFiles/hilos_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/hilos_common.dir/common/table.cc.o"
+  "CMakeFiles/hilos_common.dir/common/table.cc.o.d"
+  "libhilos_common.a"
+  "libhilos_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hilos_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

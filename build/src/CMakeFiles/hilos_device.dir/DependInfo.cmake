@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/cpu.cc" "src/CMakeFiles/hilos_device.dir/device/cpu.cc.o" "gcc" "src/CMakeFiles/hilos_device.dir/device/cpu.cc.o.d"
+  "/root/repo/src/device/dram.cc" "src/CMakeFiles/hilos_device.dir/device/dram.cc.o" "gcc" "src/CMakeFiles/hilos_device.dir/device/dram.cc.o.d"
+  "/root/repo/src/device/gpu.cc" "src/CMakeFiles/hilos_device.dir/device/gpu.cc.o" "gcc" "src/CMakeFiles/hilos_device.dir/device/gpu.cc.o.d"
+  "/root/repo/src/device/smartssd.cc" "src/CMakeFiles/hilos_device.dir/device/smartssd.cc.o" "gcc" "src/CMakeFiles/hilos_device.dir/device/smartssd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hilos_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hilos_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hilos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hilos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hilos_device.dir/device/cpu.cc.o"
+  "CMakeFiles/hilos_device.dir/device/cpu.cc.o.d"
+  "CMakeFiles/hilos_device.dir/device/dram.cc.o"
+  "CMakeFiles/hilos_device.dir/device/dram.cc.o.d"
+  "CMakeFiles/hilos_device.dir/device/gpu.cc.o"
+  "CMakeFiles/hilos_device.dir/device/gpu.cc.o.d"
+  "CMakeFiles/hilos_device.dir/device/smartssd.cc.o"
+  "CMakeFiles/hilos_device.dir/device/smartssd.cc.o.d"
+  "libhilos_device.a"
+  "libhilos_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hilos_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

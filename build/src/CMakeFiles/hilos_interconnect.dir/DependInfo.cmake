@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interconnect/pcie.cc" "src/CMakeFiles/hilos_interconnect.dir/interconnect/pcie.cc.o" "gcc" "src/CMakeFiles/hilos_interconnect.dir/interconnect/pcie.cc.o.d"
+  "/root/repo/src/interconnect/topology.cc" "src/CMakeFiles/hilos_interconnect.dir/interconnect/topology.cc.o" "gcc" "src/CMakeFiles/hilos_interconnect.dir/interconnect/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hilos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hilos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

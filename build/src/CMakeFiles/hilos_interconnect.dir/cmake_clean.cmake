@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hilos_interconnect.dir/interconnect/pcie.cc.o"
+  "CMakeFiles/hilos_interconnect.dir/interconnect/pcie.cc.o.d"
+  "CMakeFiles/hilos_interconnect.dir/interconnect/topology.cc.o"
+  "CMakeFiles/hilos_interconnect.dir/interconnect/topology.cc.o.d"
+  "libhilos_interconnect.a"
+  "libhilos_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hilos_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

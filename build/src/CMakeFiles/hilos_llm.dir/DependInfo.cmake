@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/llm/attention_ref.cc" "src/CMakeFiles/hilos_llm.dir/llm/attention_ref.cc.o" "gcc" "src/CMakeFiles/hilos_llm.dir/llm/attention_ref.cc.o.d"
+  "/root/repo/src/llm/kv_cache.cc" "src/CMakeFiles/hilos_llm.dir/llm/kv_cache.cc.o" "gcc" "src/CMakeFiles/hilos_llm.dir/llm/kv_cache.cc.o.d"
+  "/root/repo/src/llm/kv_staging.cc" "src/CMakeFiles/hilos_llm.dir/llm/kv_staging.cc.o" "gcc" "src/CMakeFiles/hilos_llm.dir/llm/kv_staging.cc.o.d"
+  "/root/repo/src/llm/model_config.cc" "src/CMakeFiles/hilos_llm.dir/llm/model_config.cc.o" "gcc" "src/CMakeFiles/hilos_llm.dir/llm/model_config.cc.o.d"
+  "/root/repo/src/llm/rope.cc" "src/CMakeFiles/hilos_llm.dir/llm/rope.cc.o" "gcc" "src/CMakeFiles/hilos_llm.dir/llm/rope.cc.o.d"
+  "/root/repo/src/llm/sparse_attention.cc" "src/CMakeFiles/hilos_llm.dir/llm/sparse_attention.cc.o" "gcc" "src/CMakeFiles/hilos_llm.dir/llm/sparse_attention.cc.o.d"
+  "/root/repo/src/llm/tensor.cc" "src/CMakeFiles/hilos_llm.dir/llm/tensor.cc.o" "gcc" "src/CMakeFiles/hilos_llm.dir/llm/tensor.cc.o.d"
+  "/root/repo/src/llm/transformer.cc" "src/CMakeFiles/hilos_llm.dir/llm/transformer.cc.o" "gcc" "src/CMakeFiles/hilos_llm.dir/llm/transformer.cc.o.d"
+  "/root/repo/src/llm/workload.cc" "src/CMakeFiles/hilos_llm.dir/llm/workload.cc.o" "gcc" "src/CMakeFiles/hilos_llm.dir/llm/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hilos_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hilos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hilos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

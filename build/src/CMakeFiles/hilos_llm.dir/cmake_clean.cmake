@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hilos_llm.dir/llm/attention_ref.cc.o"
+  "CMakeFiles/hilos_llm.dir/llm/attention_ref.cc.o.d"
+  "CMakeFiles/hilos_llm.dir/llm/kv_cache.cc.o"
+  "CMakeFiles/hilos_llm.dir/llm/kv_cache.cc.o.d"
+  "CMakeFiles/hilos_llm.dir/llm/kv_staging.cc.o"
+  "CMakeFiles/hilos_llm.dir/llm/kv_staging.cc.o.d"
+  "CMakeFiles/hilos_llm.dir/llm/model_config.cc.o"
+  "CMakeFiles/hilos_llm.dir/llm/model_config.cc.o.d"
+  "CMakeFiles/hilos_llm.dir/llm/rope.cc.o"
+  "CMakeFiles/hilos_llm.dir/llm/rope.cc.o.d"
+  "CMakeFiles/hilos_llm.dir/llm/sparse_attention.cc.o"
+  "CMakeFiles/hilos_llm.dir/llm/sparse_attention.cc.o.d"
+  "CMakeFiles/hilos_llm.dir/llm/tensor.cc.o"
+  "CMakeFiles/hilos_llm.dir/llm/tensor.cc.o.d"
+  "CMakeFiles/hilos_llm.dir/llm/transformer.cc.o"
+  "CMakeFiles/hilos_llm.dir/llm/transformer.cc.o.d"
+  "CMakeFiles/hilos_llm.dir/llm/workload.cc.o"
+  "CMakeFiles/hilos_llm.dir/llm/workload.cc.o.d"
+  "libhilos_llm.a"
+  "libhilos_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hilos_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

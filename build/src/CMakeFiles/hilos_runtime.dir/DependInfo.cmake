@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/batcher.cc" "src/CMakeFiles/hilos_runtime.dir/runtime/batcher.cc.o" "gcc" "src/CMakeFiles/hilos_runtime.dir/runtime/batcher.cc.o.d"
+  "/root/repo/src/runtime/cost_model.cc" "src/CMakeFiles/hilos_runtime.dir/runtime/cost_model.cc.o" "gcc" "src/CMakeFiles/hilos_runtime.dir/runtime/cost_model.cc.o.d"
+  "/root/repo/src/runtime/deepspeed_uvm.cc" "src/CMakeFiles/hilos_runtime.dir/runtime/deepspeed_uvm.cc.o" "gcc" "src/CMakeFiles/hilos_runtime.dir/runtime/deepspeed_uvm.cc.o.d"
+  "/root/repo/src/runtime/energy.cc" "src/CMakeFiles/hilos_runtime.dir/runtime/energy.cc.o" "gcc" "src/CMakeFiles/hilos_runtime.dir/runtime/energy.cc.o.d"
+  "/root/repo/src/runtime/engine.cc" "src/CMakeFiles/hilos_runtime.dir/runtime/engine.cc.o" "gcc" "src/CMakeFiles/hilos_runtime.dir/runtime/engine.cc.o.d"
+  "/root/repo/src/runtime/event_sim.cc" "src/CMakeFiles/hilos_runtime.dir/runtime/event_sim.cc.o" "gcc" "src/CMakeFiles/hilos_runtime.dir/runtime/event_sim.cc.o.d"
+  "/root/repo/src/runtime/flexgen.cc" "src/CMakeFiles/hilos_runtime.dir/runtime/flexgen.cc.o" "gcc" "src/CMakeFiles/hilos_runtime.dir/runtime/flexgen.cc.o.d"
+  "/root/repo/src/runtime/hilos_engine.cc" "src/CMakeFiles/hilos_runtime.dir/runtime/hilos_engine.cc.o" "gcc" "src/CMakeFiles/hilos_runtime.dir/runtime/hilos_engine.cc.o.d"
+  "/root/repo/src/runtime/system_config.cc" "src/CMakeFiles/hilos_runtime.dir/runtime/system_config.cc.o" "gcc" "src/CMakeFiles/hilos_runtime.dir/runtime/system_config.cc.o.d"
+  "/root/repo/src/runtime/vllm_multigpu.cc" "src/CMakeFiles/hilos_runtime.dir/runtime/vllm_multigpu.cc.o" "gcc" "src/CMakeFiles/hilos_runtime.dir/runtime/vllm_multigpu.cc.o.d"
+  "/root/repo/src/runtime/writeback.cc" "src/CMakeFiles/hilos_runtime.dir/runtime/writeback.cc.o" "gcc" "src/CMakeFiles/hilos_runtime.dir/runtime/writeback.cc.o.d"
+  "/root/repo/src/runtime/xcache.cc" "src/CMakeFiles/hilos_runtime.dir/runtime/xcache.cc.o" "gcc" "src/CMakeFiles/hilos_runtime.dir/runtime/xcache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hilos_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hilos_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hilos_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hilos_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hilos_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hilos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hilos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

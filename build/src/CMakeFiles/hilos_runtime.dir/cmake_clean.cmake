@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hilos_runtime.dir/runtime/batcher.cc.o"
+  "CMakeFiles/hilos_runtime.dir/runtime/batcher.cc.o.d"
+  "CMakeFiles/hilos_runtime.dir/runtime/cost_model.cc.o"
+  "CMakeFiles/hilos_runtime.dir/runtime/cost_model.cc.o.d"
+  "CMakeFiles/hilos_runtime.dir/runtime/deepspeed_uvm.cc.o"
+  "CMakeFiles/hilos_runtime.dir/runtime/deepspeed_uvm.cc.o.d"
+  "CMakeFiles/hilos_runtime.dir/runtime/energy.cc.o"
+  "CMakeFiles/hilos_runtime.dir/runtime/energy.cc.o.d"
+  "CMakeFiles/hilos_runtime.dir/runtime/engine.cc.o"
+  "CMakeFiles/hilos_runtime.dir/runtime/engine.cc.o.d"
+  "CMakeFiles/hilos_runtime.dir/runtime/event_sim.cc.o"
+  "CMakeFiles/hilos_runtime.dir/runtime/event_sim.cc.o.d"
+  "CMakeFiles/hilos_runtime.dir/runtime/flexgen.cc.o"
+  "CMakeFiles/hilos_runtime.dir/runtime/flexgen.cc.o.d"
+  "CMakeFiles/hilos_runtime.dir/runtime/hilos_engine.cc.o"
+  "CMakeFiles/hilos_runtime.dir/runtime/hilos_engine.cc.o.d"
+  "CMakeFiles/hilos_runtime.dir/runtime/system_config.cc.o"
+  "CMakeFiles/hilos_runtime.dir/runtime/system_config.cc.o.d"
+  "CMakeFiles/hilos_runtime.dir/runtime/vllm_multigpu.cc.o"
+  "CMakeFiles/hilos_runtime.dir/runtime/vllm_multigpu.cc.o.d"
+  "CMakeFiles/hilos_runtime.dir/runtime/writeback.cc.o"
+  "CMakeFiles/hilos_runtime.dir/runtime/writeback.cc.o.d"
+  "CMakeFiles/hilos_runtime.dir/runtime/xcache.cc.o"
+  "CMakeFiles/hilos_runtime.dir/runtime/xcache.cc.o.d"
+  "libhilos_runtime.a"
+  "libhilos_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hilos_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hilos_sim.dir/sim/bandwidth.cc.o"
+  "CMakeFiles/hilos_sim.dir/sim/bandwidth.cc.o.d"
+  "CMakeFiles/hilos_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/hilos_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/hilos_sim.dir/sim/pipeline.cc.o"
+  "CMakeFiles/hilos_sim.dir/sim/pipeline.cc.o.d"
+  "CMakeFiles/hilos_sim.dir/sim/trace.cc.o"
+  "CMakeFiles/hilos_sim.dir/sim/trace.cc.o.d"
+  "libhilos_sim.a"
+  "libhilos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hilos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/ftl.cc" "src/CMakeFiles/hilos_storage.dir/storage/ftl.cc.o" "gcc" "src/CMakeFiles/hilos_storage.dir/storage/ftl.cc.o.d"
+  "/root/repo/src/storage/nand.cc" "src/CMakeFiles/hilos_storage.dir/storage/nand.cc.o" "gcc" "src/CMakeFiles/hilos_storage.dir/storage/nand.cc.o.d"
+  "/root/repo/src/storage/nvme_queue.cc" "src/CMakeFiles/hilos_storage.dir/storage/nvme_queue.cc.o" "gcc" "src/CMakeFiles/hilos_storage.dir/storage/nvme_queue.cc.o.d"
+  "/root/repo/src/storage/raid0.cc" "src/CMakeFiles/hilos_storage.dir/storage/raid0.cc.o" "gcc" "src/CMakeFiles/hilos_storage.dir/storage/raid0.cc.o.d"
+  "/root/repo/src/storage/ssd.cc" "src/CMakeFiles/hilos_storage.dir/storage/ssd.cc.o" "gcc" "src/CMakeFiles/hilos_storage.dir/storage/ssd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hilos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hilos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hilos_storage.dir/storage/ftl.cc.o"
+  "CMakeFiles/hilos_storage.dir/storage/ftl.cc.o.d"
+  "CMakeFiles/hilos_storage.dir/storage/nand.cc.o"
+  "CMakeFiles/hilos_storage.dir/storage/nand.cc.o.d"
+  "CMakeFiles/hilos_storage.dir/storage/nvme_queue.cc.o"
+  "CMakeFiles/hilos_storage.dir/storage/nvme_queue.cc.o.d"
+  "CMakeFiles/hilos_storage.dir/storage/raid0.cc.o"
+  "CMakeFiles/hilos_storage.dir/storage/raid0.cc.o.d"
+  "CMakeFiles/hilos_storage.dir/storage/ssd.cc.o"
+  "CMakeFiles/hilos_storage.dir/storage/ssd.cc.o.d"
+  "libhilos_storage.a"
+  "libhilos_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hilos_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

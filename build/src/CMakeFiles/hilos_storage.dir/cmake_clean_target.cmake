@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhilos_storage.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attention_kernel.dir/test_attention_kernel.cc.o"
+  "CMakeFiles/test_attention_kernel.dir/test_attention_kernel.cc.o.d"
+  "test_attention_kernel"
+  "test_attention_kernel.pdb"
+  "test_attention_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attention_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

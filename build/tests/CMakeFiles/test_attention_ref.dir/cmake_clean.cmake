@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attention_ref.dir/test_attention_ref.cc.o"
+  "CMakeFiles/test_attention_ref.dir/test_attention_ref.cc.o.d"
+  "test_attention_ref"
+  "test_attention_ref.pdb"
+  "test_attention_ref[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attention_ref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attention_variants.dir/test_attention_variants.cc.o"
+  "CMakeFiles/test_attention_variants.dir/test_attention_variants.cc.o.d"
+  "test_attention_variants"
+  "test_attention_variants.pdb"
+  "test_attention_variants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attention_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exp_unit.dir/test_exp_unit.cc.o"
+  "CMakeFiles/test_exp_unit.dir/test_exp_unit.cc.o.d"
+  "test_exp_unit"
+  "test_exp_unit.pdb"
+  "test_exp_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exp_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

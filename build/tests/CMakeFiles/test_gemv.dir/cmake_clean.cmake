@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gemv.dir/test_gemv.cc.o"
+  "CMakeFiles/test_gemv.dir/test_gemv.cc.o.d"
+  "test_gemv"
+  "test_gemv.pdb"
+  "test_gemv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gemv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

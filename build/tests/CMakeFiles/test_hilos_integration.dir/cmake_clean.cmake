@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hilos_integration.dir/test_hilos_integration.cc.o"
+  "CMakeFiles/test_hilos_integration.dir/test_hilos_integration.cc.o.d"
+  "test_hilos_integration"
+  "test_hilos_integration.pdb"
+  "test_hilos_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hilos_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raid0.dir/test_raid0.cc.o"
+  "CMakeFiles/test_raid0.dir/test_raid0.cc.o.d"
+  "test_raid0"
+  "test_raid0.pdb"
+  "test_raid0[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raid0.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resource_model.dir/test_resource_model.cc.o"
+  "CMakeFiles/test_resource_model.dir/test_resource_model.cc.o.d"
+  "test_resource_model"
+  "test_resource_model.pdb"
+  "test_resource_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resource_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

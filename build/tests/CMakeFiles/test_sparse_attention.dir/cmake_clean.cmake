@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_attention.dir/test_sparse_attention.cc.o"
+  "CMakeFiles/test_sparse_attention.dir/test_sparse_attention.cc.o.d"
+  "test_sparse_attention"
+  "test_sparse_attention.pdb"
+  "test_sparse_attention[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

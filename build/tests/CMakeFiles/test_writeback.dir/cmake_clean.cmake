@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_writeback.dir/test_writeback.cc.o"
+  "CMakeFiles/test_writeback.dir/test_writeback.cc.o.d"
+  "test_writeback"
+  "test_writeback.pdb"
+  "test_writeback[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_writeback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xcache.dir/test_xcache.cc.o"
+  "CMakeFiles/test_xcache.dir/test_xcache.cc.o.d"
+  "test_xcache"
+  "test_xcache.pdb"
+  "test_xcache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
