@@ -87,6 +87,31 @@ printReport(const std::string &engine_name, const RunConfig &run,
                 formatBytes(r.traffic.host_write_bytes).c_str());
     std::printf("NSP-internal traffic : %s per step\n",
                 formatBytes(r.traffic.internal_bytes).c_str());
+
+    // Only printed when a fault plan actually perturbed the run, so
+    // fault-free output is unchanged.
+    if (r.faults.any()) {
+        printBanner(std::cout, "fault resilience");
+        std::printf("availability         : %.4f\n",
+                    r.faults.availability);
+        std::printf("slowdown             : %.3fx\n", r.faults.slowdown);
+        std::printf("devices failed       : %u (surviving %u)\n",
+                    r.faults.devices_failed, r.faults.devices_surviving);
+        std::printf("degraded decode step : %s\n",
+                    formatSeconds(r.faults.degraded_step_time).c_str());
+        std::printf("retry recovery time  : %s\n",
+                    formatSeconds(r.faults.retry_time).c_str());
+        std::printf("shard rebuild time   : %s\n",
+                    formatSeconds(r.faults.rebuild_time).c_str());
+        std::printf("NAND read errors     : %llu (%llu retry steps)\n",
+                    (unsigned long long)r.faults.nand_read_errors,
+                    (unsigned long long)r.faults.nand_retry_steps);
+        std::printf("NVMe timeouts        : %llu (%llu retries)\n",
+                    (unsigned long long)r.faults.nvme_timeouts,
+                    (unsigned long long)r.faults.nvme_retries);
+        std::printf("re-dispatched slices : %llu\n",
+                    (unsigned long long)r.faults.redispatched_slices);
+    }
 }
 
 double
@@ -130,6 +155,10 @@ main(int argc, char **argv)
         .addFlag("no-writeback", "disable delayed KV writeback")
         .addFlag("cxl", "model a CXL.mem-coherent accelerator (7.3)")
         .addFlag("compare", "run every engine on the workload")
+        .addOption("fault-plan", "",
+                   "inject faults, e.g. "
+                   "'seed=7;nand-err=1e-3;fail@2.5=3;uplink@1=0.8' "
+                   "(HILOS only; see sim/fault.h)")
         .addOption("report", "",
                    "write a markdown evaluation report (headline grid) "
                    "to this file")
@@ -166,11 +195,21 @@ main(int argc, char **argv)
         std::cerr << "error: " << args.error() << "\n";
         return 2;
     }
+    const std::string fault_spec = args.get("fault-plan");
+    if (!fault_spec.empty()) {
+        try {
+            opts.fault_plan = parseFaultPlan(fault_spec);
+        } catch (const std::exception &e) {
+            std::cerr << "error: " << e.what() << "\n";
+            return 2;
+        }
+    }
 
     const std::string report_path = args.get("report");
     if (!report_path.empty()) {
-        const EvaluationReport rep =
-            runEvaluation(sys, ReportConfig{});
+        ReportConfig rc;
+        rc.fault_plan = opts.fault_plan;
+        const EvaluationReport rep = runEvaluation(sys, rc);
         std::ofstream out(report_path);
         if (!out) {
             std::cerr << "error: cannot write " << report_path << "\n";

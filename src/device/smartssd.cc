@@ -14,19 +14,42 @@ SmartSsd::SmartSsd(const SmartSsdConfig &cfg)
 Seconds
 SmartSsd::p2pReadTime(std::uint64_t bytes) const
 {
+    HILOS_ASSERT(health_ != DeviceHealth::Failed,
+                 "P2P read on failed SmartSSD '", cfg_.name, "'");
     if (bytes == 0)
         return 0.0;
     return cfg_.nand.read_latency +
-           static_cast<double>(bytes) / cfg_.p2p_read_bw;
+           static_cast<double>(bytes) / (cfg_.p2p_read_bw * p2p_derate_);
 }
 
 Seconds
 SmartSsd::p2pWriteTime(std::uint64_t bytes) const
 {
+    HILOS_ASSERT(health_ != DeviceHealth::Failed,
+                 "P2P write on failed SmartSSD '", cfg_.name, "'");
     if (bytes == 0)
         return 0.0;
     return cfg_.nand.write_latency +
-           static_cast<double>(bytes) / cfg_.p2p_write_bw;
+           static_cast<double>(bytes) /
+               (cfg_.p2p_write_bw * p2p_derate_);
+}
+
+void
+SmartSsd::degradeP2p(double bw_multiplier)
+{
+    HILOS_ASSERT(bw_multiplier > 0.0 && bw_multiplier <= 1.0,
+                 "P2P derate must be in (0, 1]: ", bw_multiplier);
+    HILOS_ASSERT(health_ != DeviceHealth::Failed,
+                 "cannot degrade a failed SmartSSD");
+    health_ = DeviceHealth::Degraded;
+    p2p_derate_ *= bw_multiplier;
+}
+
+void
+SmartSsd::fail()
+{
+    health_ = DeviceHealth::Failed;
+    ssd_->fail();
 }
 
 Seconds

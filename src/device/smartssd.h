@@ -34,6 +34,13 @@ struct SmartSsdConfig {
     SmartSsdConfig() { nand = smartSsdNandConfig(); }
 };
 
+/** Health of a composite SmartSSD (NAND + FPGA + internal link). */
+enum class DeviceHealth {
+    Healthy,
+    Degraded,  ///< operational with a derated internal P2P path
+    Failed,    ///< offline; its shards must re-dispatch elsewhere
+};
+
 /**
  * One SmartSSD. Owns its SSD model (with wear accounting); exposes P2P
  * transfer timing on the internal path that bypasses the host fabric.
@@ -52,6 +59,22 @@ class SmartSsd
     /** FPGA on-board DRAM streaming time. */
     Seconds dramTime(double bytes) const;
 
+    /** Current health state (Healthy on construction). */
+    DeviceHealth health() const { return health_; }
+
+    /**
+     * Derate the internal P2P path by `bw_multiplier` in (0, 1]
+     * (link retraining at lower width/speed). Repeated calls compound;
+     * the device reports Degraded.
+     */
+    void degradeP2p(double bw_multiplier);
+
+    /** Take the device offline; further P2P access is a panic. */
+    void fail();
+
+    /** Current P2P bandwidth multiplier (1 when healthy). */
+    double p2pDerate() const { return p2p_derate_; }
+
     /** The embedded SSD (for host-path I/O and endurance accounting). */
     Ssd &ssd() { return *ssd_; }
     const Ssd &ssd() const { return *ssd_; }
@@ -61,6 +84,8 @@ class SmartSsd
   private:
     SmartSsdConfig cfg_;
     std::unique_ptr<Ssd> ssd_;
+    DeviceHealth health_ = DeviceHealth::Healthy;
+    double p2p_derate_ = 1.0;
 };
 
 /** Default SmartSSD preset (Table 1). */

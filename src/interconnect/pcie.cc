@@ -59,4 +59,13 @@ PcieLink::serviceTime(std::uint64_t bytes) const
     return resource_.serviceTime(bytes);
 }
 
+void
+PcieLink::derate(double bw_multiplier)
+{
+    HILOS_ASSERT(bw_multiplier > 0.0 && bw_multiplier <= 1.0,
+                 "link derate must be in (0, 1]: ", bw_multiplier);
+    derate_ *= bw_multiplier;
+    resource_.setRate(resource_.rate() * bw_multiplier);
+}
+
 }  // namespace hilos

@@ -57,6 +57,15 @@ class PcieLink
     /** Idle-channel service time of `bytes`. */
     Seconds serviceTime(std::uint64_t bytes) const;
 
+    /**
+     * Derate the link by `bw_multiplier` in (0, 1] (fault-injected
+     * retraining at reduced width/speed). Compounds on repeat.
+     */
+    void derate(double bw_multiplier);
+
+    /** Current cumulative derating multiplier (1 when healthy). */
+    double derating() const { return derate_; }
+
     Bandwidth bandwidth() const { return resource_.rate(); }
     PcieGen gen() const { return gen_; }
     unsigned lanes() const { return lanes_; }
@@ -69,6 +78,7 @@ class PcieLink
   private:
     PcieGen gen_;
     unsigned lanes_;
+    double derate_ = 1.0;
     BandwidthResource resource_;
 };
 

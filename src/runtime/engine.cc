@@ -36,6 +36,14 @@ StageBreakdown::sum() const
     return total;
 }
 
+bool
+FaultSummary::any() const
+{
+    return nand_read_errors > 0 || nvme_timeouts > 0 ||
+           redispatched_slices > 0 || devices_failed > 0 ||
+           retry_time > 0.0 || rebuild_time > 0.0 || slowdown > 1.0;
+}
+
 double
 RunResult::decodeThroughput() const
 {

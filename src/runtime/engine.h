@@ -43,6 +43,31 @@ struct TrafficCounters {
     double storage_write_bytes = 0;
 };
 
+/**
+ * Availability/retry/slowdown accounting of one run under an injected
+ * FaultPlan. All-zero (any() == false) for zero-fault runs.
+ */
+struct FaultSummary {
+    std::uint64_t nand_read_errors = 0;
+    std::uint64_t nand_retry_steps = 0;
+    std::uint64_t nvme_timeouts = 0;
+    std::uint64_t nvme_retries = 0;
+    std::uint64_t redispatched_slices = 0;
+    unsigned devices_failed = 0;
+    unsigned devices_surviving = 0;  ///< at end of run (0 = unset)
+    Seconds retry_time = 0;          ///< time lost to retry recovery
+    Seconds rebuild_time = 0;        ///< shard re-dispatch after failures
+    /** Decode step time on the final surviving fleet. */
+    Seconds degraded_step_time = 0;
+    /** Time-weighted fraction of the fleet that stayed available. */
+    double availability = 1.0;
+    /** Mean decode-step slowdown vs the zero-fault prediction. */
+    double slowdown = 1.0;
+
+    /** True when any fault perturbed the run. */
+    bool any() const;
+};
+
 /** Named per-decoding-step stage times (summed across layers). */
 class StageBreakdown
 {
@@ -85,6 +110,7 @@ struct RunResult {
     ComponentBusy busy;        ///< per decode step
     EnergyBreakdown energy;    ///< whole run
     double fpga_power_watts = 0;  ///< per-device, HILOS only
+    FaultSummary faults;       ///< availability/retry accounting
 };
 
 /**

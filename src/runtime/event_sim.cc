@@ -17,7 +17,8 @@ HilosEventSimulator::HilosEventSimulator(const SystemConfig &sys,
 
 EventSimResult
 HilosEventSimulator::simulateDecodeStep(const RunConfig &cfg,
-                                        TraceRecorder *trace) const
+                                        TraceRecorder *trace,
+                                        Seconds start_time) const
 {
     auto note = [&](const std::string &track, const std::string &name,
                     Seconds begin, Seconds end) {
@@ -33,21 +34,60 @@ HilosEventSimulator::simulateDecodeStep(const RunConfig &cfg,
     const std::uint64_t d_group = m.dGroup();
     const std::uint64_t L = m.layers;
 
-    const HilosEngine analytic(sys_, opts_);
+    // Fault conditions freeze at the step's start time: failed devices
+    // drop out of the slice rotation, link derates scale the resource
+    // rates, and per-slice recovery penalties are drawn from the
+    // plan's seeded per-device streams in deterministic loop order.
+    // An empty plan allocates no RNG state and all derates are exactly
+    // 1.0, keeping this path bit-identical to the fault-free build.
+    FaultInjector inj(opts_.fault_plan, N);
+    std::vector<unsigned> alive;
+    std::vector<std::size_t> alive_idx(N, 0);
+    double min_derate = 1.0;
+    for (unsigned i = 0; i < N; i++) {
+        if (inj.active() && inj.deviceFailed(i, start_time))
+            continue;
+        alive_idx[i] = alive.size();
+        alive.push_back(i);
+        if (inj.active())
+            min_derate = std::min(min_derate,
+                                  inj.linkDerate(i, start_time));
+    }
+    EventSimResult res;
+    if (alive.empty()) {
+        res.completed = false;
+        res.note = "all SmartSSDs failed; no surviving device to serve "
+                   "attention slices";
+        res.devices_failed = N;
+        return res;
+    }
+    const auto n_alive = static_cast<unsigned>(alive.size());
+    const double up_derate =
+        inj.active() ? inj.uplinkDerate(start_time) : 1.0;
+
+    // Alpha re-selects for the surviving fleet.
+    HilosOptions eff = opts_;
+    eff.fault_plan = FaultPlan{};
+    eff.num_devices = n_alive;
+    const HilosEngine analytic(sys_, eff);
     const double alpha = analytic.selectedAlpha(cfg);
     const WeightHome home = chooseWeightHome(m, sys_.dram.capacity);
 
     // --- Resources ---
-    BandwidthResource uplink("uplink", sys_.chassis_uplink_bw, usec(1));
-    BandwidthResource gds("gds", analytic.gdsBw(), usec(5));
+    BandwidthResource uplink("uplink",
+                             sys_.chassis_uplink_bw * up_derate, usec(1));
+    BandwidthResource gds("gds", analytic.gdsBw() * min_derate, usec(5));
     BandwidthResource host_link("host-pcie", sys_.host_pcie_bw, usec(1));
     std::vector<BandwidthResource> internal;
     std::vector<BandwidthResource> fpga;
     const CycleModel cm{CycleModelConfig{}};
     const Bandwidth kernel_rate = cm.kvBytesPerSec(s, d, d_group);
     for (unsigned i = 0; i < N; i++) {
+        const double derate =
+            inj.active() ? inj.linkDerate(i, start_time) : 1.0;
         internal.emplace_back("p2p" + std::to_string(i),
-                              sys_.smartssd.p2p_read_bw, usec(80));
+                              sys_.smartssd.p2p_read_bw * derate,
+                              usec(80));
         fpga.emplace_back("fpga" + std::to_string(i), kernel_rate,
                           usec(10));
     }
@@ -84,20 +124,19 @@ HilosEventSimulator::simulateDecodeStep(const RunConfig &cfg,
         win.head_dim = d;
         win.d_group = d_group;
         win.spill_interval = opts_.spill_interval;
-        win.devices = N;
-        win.host_link_bw = sys_.chassis_uplink_bw;
-        win.device_write_bw = sys_.smartssd.p2p_write_bw;
+        win.devices = n_alive;
+        win.host_link_bw = sys_.chassis_uplink_bw * up_derate;
+        win.device_write_bw = sys_.smartssd.p2p_write_bw * min_derate;
         win.xrt_sync_base = sys_.xrt_sync_base;
         wb_crit = writebackCosts(win).criticalPath();
     } else {
-        wb_crit = naiveWritebackTime(b * m.kv_heads, N,
+        wb_crit = naiveWritebackTime(b * m.kv_heads, n_alive,
                                      2 * d * m.dtype_bytes,
                                      sys_.smartssd.nand.write_latency,
                                      usec(230));
     }
 
     // --- Simulate the layer pipeline ---
-    EventSimResult res;
     res.layer_times.reserve(L);
     Seconds prev_done = 0.0;
     Seconds gpu_free = 0.0;
@@ -134,13 +173,41 @@ HilosEventSimulator::simulateDecodeStep(const RunConfig &cfg,
              qkv_done);
 
         // NSP portion: slices stream through each device's internal
-        // path into its accelerator.
+        // path into its accelerator. Slices homed on a failed device
+        // re-dispatch round-robin onto the survivors.
         Seconds nsp_done = layer_start;
         for (std::uint64_t sl = 0; sl < slices; sl++) {
-            const unsigned dev = static_cast<unsigned>(sl % N);
-            const Seconds read_done =
+            const auto orig = static_cast<unsigned>(sl % N);
+            unsigned dev = orig;
+            if (inj.active() && inj.deviceFailed(orig, start_time)) {
+                dev = alive[sl % n_alive];
+                inj.noteRedispatch();
+            }
+            Seconds read_done =
                 internal[dev].transfer(std::max(layer_start, qkv_done),
                                        slice_bytes);
+            if (inj.active()) {
+                // ECC read-retry ladder on the NAND read, then the
+                // NVMe command's timeout/backoff outcome; an exhausted
+                // command re-issues the read on the next survivor.
+                const Seconds nand_pen = inj.nandReadPenalty(dev);
+                if (nand_pen > 0.0)
+                    read_done = internal[dev].occupy(read_done, nand_pen);
+                const FaultInjector::NvmeOutcome nvme =
+                    inj.nvmeCommand(dev);
+                if (nvme.extra_latency > 0.0)
+                    read_done =
+                        internal[dev].occupy(read_done,
+                                             nvme.extra_latency);
+                if (nvme.failed) {
+                    const unsigned alt =
+                        alive[(alive_idx[dev] + 1) % n_alive];
+                    inj.noteRedispatch();
+                    read_done =
+                        internal[alt].transfer(read_done, slice_bytes);
+                    dev = alt;
+                }
+            }
             const Seconds kernel_done =
                 fpga[dev].transfer(read_done, slice_bytes);
             note(internal[dev].name(),
@@ -200,13 +267,23 @@ HilosEventSimulator::simulateDecodeStep(const RunConfig &cfg,
     for (const auto &r : internal)
         internal_busy += r.utilization(prev_done);
     res.internal_utilization = internal_busy / static_cast<double>(N);
+    if (inj.active()) {
+        const FaultStats &st = inj.stats();
+        res.devices_failed = N - n_alive;
+        res.redispatched_slices = st.redispatched_slices;
+        res.nand_read_errors = st.nand_read_errors;
+        res.nvme_timeouts = st.nvme_timeouts;
+        res.nvme_retries = st.nvme_retries;
+        res.retry_time = st.retry_time;
+    }
     return res;
 }
 
 Seconds
 HilosEventSimulator::simulatePrefill(const RunConfig &cfg,
                                      std::size_t chunk_tokens,
-                                     TraceRecorder *trace) const
+                                     TraceRecorder *trace,
+                                     Seconds start_time) const
 {
     HILOS_ASSERT(chunk_tokens >= 1, "chunk size must be >= 1");
     const ModelConfig &m = cfg.model;
@@ -216,15 +293,41 @@ HilosEventSimulator::simulatePrefill(const RunConfig &cfg,
     const std::uint64_t s = cfg.context_len;
     const std::uint64_t L = m.layers;
 
-    const HilosEngine analytic(sys_, opts_);
+    // Prefill under faults: the surviving fleet and derates at
+    // `start_time` scale the write fan-out and the uplink.
+    const FaultInjector inj(opts_.fault_plan, N);
+    unsigned n_alive = N;
+    double min_derate = 1.0;
+    double up_derate = 1.0;
+    if (inj.active()) {
+        n_alive = inj.survivingDevices(start_time);
+        if (n_alive == 0) {
+            HILOS_FATAL("all SmartSSDs failed before prefill; no "
+                        "surviving fleet to receive the KV/X cache");
+        }
+        for (unsigned i = 0; i < N; i++) {
+            if (!inj.deviceFailed(i, start_time))
+                min_derate = std::min(min_derate,
+                                      inj.linkDerate(i, start_time));
+        }
+        up_derate = inj.uplinkDerate(start_time);
+    }
+
+    HilosOptions eff = opts_;
+    eff.fault_plan = FaultPlan{};
+    eff.num_devices = n_alive;
+    const HilosEngine analytic(sys_, eff);
     const double alpha = analytic.selectedAlpha(cfg);
     const WeightHome home = chooseWeightHome(m, sys_.dram.capacity);
 
-    BandwidthResource uplink("uplink", sys_.chassis_uplink_bw, usec(1));
+    BandwidthResource uplink("uplink",
+                             sys_.chassis_uplink_bw * up_derate, usec(1));
     BandwidthResource host_link("host-pcie", sys_.host_pcie_bw, usec(1));
     BandwidthResource device_write(
         "device-write",
-        static_cast<double>(N) * sys_.smartssd.p2p_write_bw, usec(50));
+        static_cast<double>(n_alive) * sys_.smartssd.p2p_write_bw *
+            min_derate,
+        usec(50));
 
     const double weight_bytes = m.loadedWeightBytesPerLayer(b);
     // Cache bytes per prompt token per layer across the batch: X for

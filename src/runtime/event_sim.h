@@ -15,6 +15,8 @@
 #ifndef HILOS_RUNTIME_EVENT_SIM_H_
 #define HILOS_RUNTIME_EVENT_SIM_H_
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "runtime/engine.h"
@@ -34,6 +36,16 @@ struct EventSimResult {
     double gpu_utilization = 0;
     Seconds mean_layer_time = 0;
     std::vector<Seconds> layer_times;
+
+    // Fault-injection outcome (all zero / true without a FaultPlan).
+    bool completed = true;  ///< false: no surviving device could serve
+    std::string note;       ///< failure reason when !completed
+    unsigned devices_failed = 0;
+    std::uint64_t redispatched_slices = 0;
+    std::uint64_t nand_read_errors = 0;
+    std::uint64_t nvme_timeouts = 0;
+    std::uint64_t nvme_retries = 0;
+    Seconds retry_time = 0;  ///< latency added by retry recovery
 };
 
 /**
@@ -46,23 +58,37 @@ class HilosEventSimulator
 
     /**
      * Simulate one full decoding step (all layers).
+     *
+     * When the options carry a FaultPlan, fault conditions (failed
+     * devices, link derates) are sampled at `start_time`; slices homed
+     * on failed devices re-dispatch round-robin onto survivors, and
+     * per-slice NAND/NVMe recovery penalties are drawn from the plan's
+     * seeded per-device RNG streams, so the same (seed, plan,
+     * start_time) always reproduces an identical result.
+     *
      * @param trace optional recorder; when supplied every transfer and
      *        compute interval lands on its own track (exportable to
      *        chrome://tracing via TraceRecorder::writeChromeTrace)
+     * @param start_time absolute run time at which this step begins
+     *        (used to evaluate timed fault events)
      */
     EventSimResult simulateDecodeStep(const RunConfig &cfg,
-                                      TraceRecorder *trace = nullptr) const;
+                                      TraceRecorder *trace = nullptr,
+                                      Seconds start_time = 0.0) const;
 
     /**
      * Simulate the prefill phase: the prompt processes in fixed token
      * chunks; each chunk's FlashAttention compute overlaps the previous
      * chunk's KV/X writes to the devices (the same batch-and-head
      * partitioning as decode, §4.1).
+     * Under a FaultPlan the surviving fleet and derates at
+     * `start_time` apply; a fully failed fleet raises a fatal error.
      * @return total prefill time
      */
     Seconds simulatePrefill(const RunConfig &cfg,
                             std::size_t chunk_tokens = 4096,
-                            TraceRecorder *trace = nullptr) const;
+                            TraceRecorder *trace = nullptr,
+                            Seconds start_time = 0.0) const;
 
   private:
     SystemConfig sys_;

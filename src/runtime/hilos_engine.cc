@@ -1,6 +1,8 @@
 #include "runtime/hilos_engine.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "accel/cycle_model.h"
 #include "accel/resource_model.h"
@@ -46,13 +48,14 @@ HilosEngine::gdsBw() const
 }
 
 double
-HilosEngine::selectedAlpha(const RunConfig &cfg) const
+HilosEngine::alphaFor(const RunConfig &cfg, Bandwidth fleet_read,
+                      Bandwidth gds) const
 {
     if (!opts_.xcache)
         return 0.0;
     if (opts_.alpha_override >= 0.0)
         return opts_.alpha_override;
-    const XCacheScheduler sched(internalReadBw(), gdsBw(),
+    const XCacheScheduler sched(fleet_read, gds,
                                 sys_.gpu.fp16_peak *
                                     sys_.gpu.gemm_efficiency);
     return sched.bestAlpha(cfg.batch,
@@ -61,17 +64,53 @@ HilosEngine::selectedAlpha(const RunConfig &cfg) const
                            cfg.model.kv_heads * cfg.model.headDim());
 }
 
+double
+HilosEngine::selectedAlpha(const RunConfig &cfg) const
+{
+    return alphaFor(cfg, internalReadBw(), gdsBw());
+}
+
+HilosEngine::FleetConditions
+HilosEngine::idealConditions() const
+{
+    FleetConditions cond;
+    cond.devices = opts_.num_devices;
+    cond.retry = opts_.fault_plan.retry;
+    return cond;
+}
+
 RunResult
 HilosEngine::run(const RunConfig &cfg) const
 {
+    if (opts_.fault_plan.empty())
+        return runConditioned(cfg, idealConditions());
+    return runWithFaults(cfg);
+}
+
+RunResult
+HilosEngine::runConditioned(const RunConfig &cfg,
+                            const FleetConditions &cond) const
+{
+    HILOS_ASSERT(cond.devices >= 1, "fleet conditions need >= 1 device");
     const ModelConfig &m = cfg.model;
     const Gpu gpu(sys_.gpu);
     const Cpu cpu(sys_.cpu);
-    const unsigned N = opts_.num_devices;
+    const unsigned N = cond.devices;
     const double L = static_cast<double>(m.layers);
     const std::uint64_t total_seq = cfg.context_len + cfg.output_len;
     const std::uint64_t d = m.headDim();
     const std::uint64_t d_group = m.dGroup();
+
+    // Fault-conditioned bandwidths. With identity derates every product
+    // below multiplies by exactly 1.0, so the zero-fault path stays
+    // bit-identical to the unconditioned engine.
+    const Bandwidth p2p_read = sys_.smartssd.p2p_read_bw * cond.p2p_derate;
+    const Bandwidth p2p_write =
+        sys_.smartssd.p2p_write_bw * cond.p2p_derate;
+    const Bandwidth uplink_bw =
+        sys_.chassis_uplink_bw * cond.uplink_derate;
+    const Bandwidth fleet_read = static_cast<double>(N) * p2p_read;
+    const Bandwidth gds = std::min(sys_.gds_effective_bw, fleet_read);
 
     RunResult res;
     res.effective_batch = cfg.batch;
@@ -84,7 +123,7 @@ HilosEngine::run(const RunConfig &cfg) const
     // Capacity: fleet NAND must hold weights (if storage-resident) plus
     // the full KV/X cache; always generous at <=16 x 3.84 TB but check.
     const WeightHome home = chooseWeightHome(m, sys_.dram.capacity);
-    const double alpha = selectedAlpha(cfg);
+    const double alpha = alphaFor(cfg, fleet_read, gds);
     const double kv_dim_bytes = static_cast<double>(
         m.kv_heads * d * m.dtype_bytes);  // one K or V row per token
     const double cache_bytes_per_tok_layer =
@@ -111,20 +150,21 @@ HilosEngine::run(const RunConfig &cfg) const
     }
 
     // --- Per-layer decode stages ---
-    const Bandwidth fleet_read = internalReadBw();
     // Weights stripe across all installed SmartSSDs (16 in the chassis)
-    // even when only N of them run attention kernels.
-    const unsigned installed = std::max(sys_.installed_smartssds, N);
+    // even when only N of them run attention kernels; failed devices
+    // drop out of the stripe.
+    const unsigned installed =
+        std::max(sys_.installed_smartssds - cond.failed_devices, N);
     const Seconds weight = weightLoadTime(
         m, b, home, sys_.host_pcie_bw,
-        std::min(sys_.chassis_uplink_bw,
+        std::min(uplink_bw,
                  static_cast<double>(installed) *
                      sys_.smartssd.nand.seq_read_bw));
 
     // Host GPU work: projections and MLP (always), plus the X-cache
     // portion's K/V regeneration and attention.
     const Seconds gpu_base = qkvProjTime(gpu, m, b) + mlpTime(gpu, m, b);
-    const XCacheScheduler sched(fleet_read, gdsBw(),
+    const XCacheScheduler sched(fleet_read, gds,
                                 sys_.gpu.fp16_peak *
                                     sys_.gpu.gemm_efficiency);
     const XCacheTimes xt =
@@ -142,8 +182,8 @@ HilosEngine::run(const RunConfig &cfg) const
         static_cast<double>(m.dtype_bytes);
     const double out_ret_bytes =
         static_cast<double>(b * m.hidden * m.dtype_bytes);
-    const Seconds qkv_up = qkv_up_bytes / sys_.chassis_uplink_bw;
-    const Seconds out_ret = out_ret_bytes / sys_.chassis_uplink_bw;
+    const Seconds qkv_up = qkv_up_bytes / uplink_bw;
+    const Seconds out_ret = out_ret_bytes / uplink_bw;
 
     // For >100B models the weights live on the SmartSSD NAND and their
     // reads steal NAND bandwidth from the internal P2P feed.
@@ -166,6 +206,14 @@ HilosEngine::run(const RunConfig &cfg) const
     const Seconds kernel_per_dev =
         slices_per_dev * cm.kernelTime(s_mid, d, d_group);
 
+    // Expected ECC read-retry and NVMe timeout/backoff recovery time
+    // per layer: one KV-slice read per slice on each device's internal
+    // path. Exactly 0 under zero fault probability.
+    const Seconds retry_per_slice =
+        cond.retry.expectedEccPenalty(cond.nand_error_prob) +
+        cond.retry.expectedNvmePenalty(cond.nvme_timeout_prob);
+    const Seconds retry_extra = slices_per_dev * retry_per_slice;
+
     // Delayed writeback / naive commit costs.
     Seconds wb_critical = 0.0;
     Seconds wb_spill = 0.0;
@@ -178,8 +226,8 @@ HilosEngine::run(const RunConfig &cfg) const
         win.d_group = d_group;
         win.spill_interval = opts_.spill_interval;
         win.devices = N;
-        win.host_link_bw = sys_.chassis_uplink_bw;
-        win.device_write_bw = sys_.smartssd.p2p_write_bw;
+        win.host_link_bw = uplink_bw;
+        win.device_write_bw = p2p_write;
         win.xrt_sync_base = sys_.xrt_sync_base;
         win.cxl_coherent = opts_.cxl_mode;
         const WritebackCosts wc = writebackCosts(win);
@@ -202,10 +250,11 @@ HilosEngine::run(const RunConfig &cfg) const
     }
 
     // Attention stage: internal reads, spills, kernels, X-cache loads
-    // and host recompute all pipeline; the slowest binds.
+    // and host recompute all pipeline; the slowest binds. Retry
+    // recovery serialises with the internal reads it interrupts.
     const Seconds attn_stage =
-        std::max({xt.t_ssd + wb_spill + weight_nand, xt.t_pci,
-                  kernel_per_dev, gpu_xattn + xt.t_gpu});
+        std::max({xt.t_ssd + wb_spill + weight_nand + retry_extra,
+                  xt.t_pci, kernel_per_dev, gpu_xattn + xt.t_gpu});
 
     // Shared-uplink occupancy check: weights (when storage-resident),
     // X loads, QKV uploads and returns all cross the chassis uplink.
@@ -215,7 +264,7 @@ HilosEngine::run(const RunConfig &cfg) const
         alpha * static_cast<double>(b) * static_cast<double>(s_mid) *
             static_cast<double>(m.hidden) * 2.0 +
         qkv_up_bytes + out_ret_bytes;
-    const Seconds uplink_time = uplink_bytes / sys_.chassis_uplink_bw;
+    const Seconds uplink_time = uplink_bytes / uplink_bw;
 
     const Seconds t_layer =
         std::max({weight, attn_stage, gpu_stage, uplink_time}) + qkv_up +
@@ -230,6 +279,9 @@ HilosEngine::run(const RunConfig &cfg) const
     res.breakdown.add("qkv_upload", L * qkv_up);
     res.breakdown.add("output_return", L * out_ret);
     res.breakdown.add("writeback", L * wb_critical);
+    if (retry_extra > 0.0)
+        res.breakdown.add("fault_retry", L * retry_extra);
+    res.faults.retry_time = L * retry_extra;  // per decode step
 
     // --- Prefill ---
     const Seconds prefill_compute =
@@ -238,8 +290,7 @@ HilosEngine::run(const RunConfig &cfg) const
         cache_bytes_per_tok_layer * static_cast<double>(b) *
         static_cast<double>(cfg.context_len);
     const Bandwidth prefill_write_bw =
-        std::min(sys_.chassis_uplink_bw,
-                 static_cast<double>(N) * sys_.smartssd.p2p_write_bw);
+        std::min(uplink_bw, static_cast<double>(N) * p2p_write);
     const Seconds prefill_write = prefill_cache_bytes / prefill_write_bw;
     res.prefill_time =
         L * (std::max(weight, prefill_compute) + prefill_write);
@@ -273,7 +324,7 @@ HilosEngine::run(const RunConfig &cfg) const
     res.busy.cpu = L * cpu.computeTime(partial_flops) +
                    0.02 * res.decode_step_time;  // orchestration
     res.busy.dram = L * std::max(weight, xt.t_pci);
-    res.busy.storage = L * (xt.t_ssd + wb_spill);
+    res.busy.storage = L * (xt.t_ssd + wb_spill + retry_extra);
     res.busy.fpga = L * std::max(kernel_per_dev, xt.t_ssd);
 
     const ResourceModel rm;
@@ -288,6 +339,272 @@ HilosEngine::run(const RunConfig &cfg) const
         res.busy.storage * steps + L * prefill_write;
     run_busy.fpga = res.busy.fpga * steps;
     res.energy = computeEnergy(sys_, StorageKind::SmartSsds, N,
+                               res.total_time, run_busy,
+                               res.fpga_power_watts);
+    return res;
+}
+
+RunResult
+HilosEngine::runWithFaults(const RunConfig &cfg) const
+{
+    const ModelConfig &m = cfg.model;
+    const unsigned N = opts_.num_devices;
+    const double L = static_cast<double>(m.layers);
+    const std::uint64_t b = cfg.batch;
+    const std::uint64_t d = m.headDim();
+    const FaultInjector inj(opts_.fault_plan, N);
+    const RetryPolicy &rp = opts_.fault_plan.retry;
+
+    // The analytic model uses only closed-form fault expectations, so a
+    // plan's probabilistic events never consume RNG state here; timed
+    // events partition the run into constant-condition epochs.
+    const auto conditionsAt = [&](Seconds now) {
+        FleetConditions c;
+        c.retry = rp;
+        c.devices = inj.survivingDevices(now);
+        c.failed_devices = N - c.devices;
+        // The slice pipeline is statically partitioned, so the slowest
+        // surviving device binds each epoch: take the worst derate and
+        // the worst fault probabilities across survivors.
+        double derate = 1.0;
+        double nand_p = 0.0;
+        double nvme_p = 0.0;
+        for (unsigned dev = 0; dev < N; ++dev) {
+            if (inj.deviceFailed(dev, now))
+                continue;
+            derate = std::min(derate, inj.linkDerate(dev, now));
+            nand_p = std::max(nand_p, inj.nandErrorProbability(dev));
+            nvme_p = std::max(nvme_p, inj.nvmeTimeoutProbability(dev));
+        }
+        c.p2p_derate = derate;
+        c.uplink_derate = inj.uplinkDerate(now);
+        c.nand_error_prob = nand_p;
+        c.nvme_timeout_prob = nvme_p;
+        return c;
+    };
+
+    const RunResult ideal = runConditioned(cfg, idealConditions());
+
+    const FleetConditions c0 = conditionsAt(0.0);
+    if (c0.devices == 0) {
+        RunResult res;
+        res.feasible = false;
+        res.note =
+            "fault plan fails every SmartSSD at run start; no surviving "
+            "fleet to serve attention shards";
+        res.faults.devices_failed = N;
+        res.faults.devices_surviving = 0;
+        res.faults.availability = 0.0;
+        return res;
+    }
+
+    RunResult first = runConditioned(cfg, c0);
+    first.faults.devices_failed = c0.failed_devices;
+    first.faults.devices_surviving = c0.devices;
+    if (!first.feasible)
+        return first;
+
+    const double kv_dim_bytes =
+        static_cast<double>(m.kv_heads * d * m.dtype_bytes);
+    const auto epochAlpha = [&](const FleetConditions &c) {
+        const Bandwidth fleet_read = static_cast<double>(c.devices) *
+                                     sys_.smartssd.p2p_read_bw *
+                                     c.p2p_derate;
+        const Bandwidth gds = std::min(sys_.gds_effective_bw, fleet_read);
+        return alphaFor(cfg, fleet_read, gds);
+    };
+
+    FaultSummary fs;
+    fs.retry_time = 0.0;
+
+    RunResult res = first;
+    if (cfg.output_len == 0) {
+        fs.devices_failed = c0.failed_devices;
+        fs.devices_surviving = c0.devices;
+        fs.availability =
+            static_cast<double>(c0.devices) / static_cast<double>(N);
+        fs.degraded_step_time = first.decode_step_time;
+        fs.slowdown = ideal.decode_step_time > 0.0
+                          ? first.decode_step_time / ideal.decode_step_time
+                          : 1.0;
+        res.faults = fs;
+        return res;
+    }
+
+    // Blend per-epoch decode predictions weighted by tokens generated
+    // in each epoch; a failure boundary additionally charges the shard
+    // rebuild onto the surviving fleet.
+    res.breakdown = StageBreakdown();
+    res.traffic = TrafficCounters();
+    res.busy = ComponentBusy();
+    res.decode_step_time = 0.0;
+
+    const std::vector<Seconds> events = inj.eventTimes();
+    const double out_tokens = static_cast<double>(cfg.output_len);
+    Seconds now = first.prefill_time;
+    std::uint64_t remaining = cfg.output_len;
+    unsigned prev_devices = c0.devices;
+    unsigned last_devices = c0.devices;
+    Seconds decode_time = 0.0;
+    Seconds last_step = first.decode_step_time;
+    double weighted_devices = 0.0;
+    double exp_nand_errors = 0.0;
+    double exp_nand_steps = 0.0;
+    double exp_nvme_timeouts = 0.0;
+    double exp_redispatch = 0.0;
+
+    while (remaining > 0) {
+        const FleetConditions c = conditionsAt(now);
+        if (c.devices == 0) {
+            res.feasible = false;
+            res.note =
+                "all SmartSSDs failed mid-run; no surviving fleet to "
+                "re-dispatch attention shards";
+            fs.devices_failed = N;
+            fs.devices_surviving = 0;
+            fs.availability =
+                weighted_devices / (out_tokens * static_cast<double>(N));
+            res.faults = fs;
+            return res;
+        }
+        const double alpha_k = epochAlpha(c);
+
+        if (c.devices < prev_devices) {
+            // KV/X shards of the newly failed devices rebuild onto the
+            // survivors over the uplink/GDS write path before decoding
+            // resumes (slices re-dispatched, cache re-sharded).
+            const unsigned lost = prev_devices - c.devices;
+            const std::uint64_t done = cfg.output_len - remaining;
+            std::uint64_t seq_now = cfg.context_len + done;
+            if (opts_.attention_window > 0)
+                seq_now = std::min(seq_now, opts_.attention_window);
+            const double cache_per_tok_layer =
+                alpha_k *
+                    static_cast<double>(m.xBytesPerTokenPerLayer()) +
+                (1.0 - alpha_k) * 2.0 * kv_dim_bytes;
+            const double cache_now = cache_per_tok_layer * L *
+                                     static_cast<double>(b) *
+                                     static_cast<double>(seq_now);
+            const double lost_bytes =
+                cache_now * static_cast<double>(lost) /
+                static_cast<double>(prev_devices);
+            const Bandwidth rebuild_bw = std::min(
+                sys_.chassis_uplink_bw * c.uplink_derate,
+                static_cast<double>(c.devices) *
+                    sys_.smartssd.p2p_write_bw * c.p2p_derate);
+            const Seconds rebuild = lost_bytes / rebuild_bw;
+            fs.rebuild_time += rebuild;
+            now += rebuild;
+            exp_redispatch += (1.0 - alpha_k) *
+                              static_cast<double>(b * m.kv_heads) *
+                              static_cast<double>(lost) /
+                              static_cast<double>(prev_devices);
+        }
+
+        const RunResult r = runConditioned(cfg, c);
+        if (!r.feasible) {
+            res.feasible = false;
+            res.note = r.note + " on the surviving fleet (" +
+                       std::to_string(c.devices) + " of " +
+                       std::to_string(N) + " SmartSSDs)";
+            fs.devices_failed = c.failed_devices;
+            fs.devices_surviving = c.devices;
+            fs.availability =
+                weighted_devices / (out_tokens * static_cast<double>(N));
+            res.faults = fs;
+            return res;
+        }
+        const Seconds step = r.decode_step_time;
+        HILOS_ASSERT(step > 0.0, "degraded decode step must be positive");
+
+        // Tokens until the next timed event flips conditions.
+        Seconds next_ev = std::numeric_limits<Seconds>::infinity();
+        for (const Seconds ev : events) {
+            if (ev > now + 1e-12) {
+                next_ev = ev;
+                break;
+            }
+        }
+        std::uint64_t tokens = remaining;
+        if (std::isfinite(next_ev)) {
+            const double span = (next_ev - now) / step;
+            const auto fit = static_cast<std::uint64_t>(std::ceil(span));
+            tokens = std::min(remaining,
+                              std::max<std::uint64_t>(1, fit));
+        }
+
+        const double w = static_cast<double>(tokens) / out_tokens;
+        res.decode_step_time += w * step;
+        for (const auto &[stage, secs] : r.breakdown.stages())
+            res.breakdown.add(stage, w * secs);
+        res.traffic.host_read_bytes += w * r.traffic.host_read_bytes;
+        res.traffic.host_write_bytes += w * r.traffic.host_write_bytes;
+        res.traffic.attn_host_read_bytes +=
+            w * r.traffic.attn_host_read_bytes;
+        res.traffic.attn_host_write_bytes +=
+            w * r.traffic.attn_host_write_bytes;
+        res.traffic.internal_bytes += w * r.traffic.internal_bytes;
+        res.traffic.storage_write_bytes +=
+            w * r.traffic.storage_write_bytes;
+        res.busy.gpu += w * r.busy.gpu;
+        res.busy.cpu += w * r.busy.cpu;
+        res.busy.dram += w * r.busy.dram;
+        res.busy.storage += w * r.busy.storage;
+        res.busy.fpga += w * r.busy.fpga;
+        fs.retry_time += static_cast<double>(tokens) * r.faults.retry_time;
+
+        // Expected discrete fault counts: one KV-slice read per slice
+        // per layer per step.
+        const double reads =
+            static_cast<double>(tokens) * (1.0 - alpha_k) *
+            static_cast<double>(b * m.kv_heads) * L;
+        exp_nand_errors += reads * c.nand_error_prob;
+        exp_nand_steps +=
+            reads * c.nand_error_prob *
+            (1.0 + static_cast<double>(rp.ecc_max_steps)) / 2.0;
+        exp_nvme_timeouts += reads * c.nvme_timeout_prob;
+
+        decode_time += static_cast<double>(tokens) * step;
+        weighted_devices +=
+            static_cast<double>(tokens) * static_cast<double>(c.devices);
+        now += static_cast<double>(tokens) * step;
+        remaining -= tokens;
+        prev_devices = c.devices;
+        last_devices = c.devices;
+        last_step = step;
+    }
+
+    res.total_time = res.prefill_time + decode_time + fs.rebuild_time;
+
+    fs.devices_failed = N - last_devices;
+    fs.devices_surviving = last_devices;
+    fs.availability =
+        weighted_devices / (out_tokens * static_cast<double>(N));
+    fs.degraded_step_time = last_step;
+    fs.slowdown = ideal.decode_step_time > 0.0
+                      ? res.decode_step_time / ideal.decode_step_time
+                      : 1.0;
+    fs.nand_read_errors =
+        static_cast<std::uint64_t>(std::llround(exp_nand_errors));
+    fs.nand_retry_steps =
+        static_cast<std::uint64_t>(std::llround(exp_nand_steps));
+    fs.nvme_timeouts =
+        static_cast<std::uint64_t>(std::llround(exp_nvme_timeouts));
+    fs.nvme_retries = fs.nvme_timeouts;
+    fs.redispatched_slices =
+        static_cast<std::uint64_t>(std::llround(exp_redispatch));
+    res.faults = fs;
+
+    // Whole-run energy from the token-weighted busy profile; devices
+    // that failed before the run started never power on.
+    const double steps = out_tokens;
+    ComponentBusy run_busy;
+    run_busy.gpu = res.busy.gpu * steps + res.prefill_time * 0.9;
+    run_busy.cpu = res.busy.cpu * steps;
+    run_busy.dram = res.busy.dram * steps + res.prefill_time * 0.3;
+    run_busy.storage = res.busy.storage * steps + res.prefill_time * 0.5;
+    run_busy.fpga = res.busy.fpga * steps;
+    res.energy = computeEnergy(sys_, StorageKind::SmartSsds, c0.devices,
                                res.total_time, run_busy,
                                res.fpga_power_watts);
     return res;

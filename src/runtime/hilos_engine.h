@@ -14,6 +14,7 @@
 #include "runtime/engine.h"
 #include "runtime/system_config.h"
 #include "runtime/xcache.h"
+#include "sim/fault.h"
 
 namespace hilos {
 
@@ -37,6 +38,14 @@ struct HilosOptions {
      * honours it via AttentionRequest::window_start.
      */
     std::uint64_t attention_window = 0;
+    /**
+     * Injected fault schedule. An empty plan takes the zero-fault fast
+     * path, which is byte-identical to the engine without this field;
+     * a non-empty plan switches run() to epoch-based degraded-mode
+     * execution (closed-form fault expectations, alpha re-selected per
+     * surviving fleet, shard rebuild on device failure).
+     */
+    FaultPlan fault_plan;
 };
 
 /**
@@ -62,6 +71,36 @@ class HilosEngine : public InferenceEngine
     const HilosOptions &options() const { return opts_; }
 
   private:
+    /**
+     * Operating conditions of one fleet epoch: the surviving device
+     * count plus the fault-derived derates and per-read expected retry
+     * probabilities in force during that epoch. The defaults describe a
+     * healthy fleet (identity derates, zero probabilities), under which
+     * runConditioned() reproduces the zero-fault engine bit-for-bit.
+     */
+    struct FleetConditions {
+        unsigned devices = 0;          ///< surviving SmartSSDs
+        unsigned failed_devices = 0;   ///< removed from the fleet
+        double p2p_derate = 1.0;       ///< internal-path multiplier
+        double uplink_derate = 1.0;    ///< chassis-uplink multiplier
+        double nand_error_prob = 0.0;  ///< per-read ECC error prob
+        double nvme_timeout_prob = 0.0;  ///< per-command timeout prob
+        RetryPolicy retry;             ///< recovery-cost knobs
+    };
+
+    FleetConditions idealConditions() const;
+
+    /** Scheduler alpha for a given fleet/GDS bandwidth pair. */
+    double alphaFor(const RunConfig &cfg, Bandwidth fleet_read,
+                    Bandwidth gds) const;
+
+    /** The analytic model evaluated under fixed fleet conditions. */
+    RunResult runConditioned(const RunConfig &cfg,
+                             const FleetConditions &cond) const;
+
+    /** Epoch-based degraded-mode execution of a non-empty FaultPlan. */
+    RunResult runWithFaults(const RunConfig &cfg) const;
+
     SystemConfig sys_;
     HilosOptions opts_;
 };

@@ -67,6 +67,7 @@ runEvaluation(const SystemConfig &sys, const ReportConfig &cfg)
             for (unsigned n : cfg.device_counts) {
                 HilosOptions opts;
                 opts.num_devices = n;
+                opts.fault_plan = cfg.fault_plan;
                 const RunResult hil =
                     makeEngine(EngineKind::Hilos, sys, opts)->run(run);
                 ReportEntry e = makeEntry(
@@ -74,6 +75,13 @@ runEvaluation(const SystemConfig &sys, const ReportConfig &cfg)
                     "HILOS(" + std::to_string(n) + ")", hil,
                     systemPriceUsd(sys, StorageKind::SmartSsds, n),
                     base_tput);
+                if (!cfg.fault_plan.empty()) {
+                    e.faulted = true;
+                    e.availability = hil.faults.availability;
+                    e.slowdown = hil.faults.slowdown;
+                    e.devices_failed = hil.faults.devices_failed;
+                    e.retry_time = hil.faults.retry_time;
+                }
                 report.entries.push_back(e);
                 if (e.feasible) {
                     report.max_speedup = std::max(
@@ -114,6 +122,30 @@ EvaluationReport::toMarkdown() const
         oss << e.tokens_per_sec << " | " << e.speedup_vs_flex_ssd
             << "x | " << e.energy_kj << " | " << e.cost_effectiveness
             << " |\n";
+    }
+
+    // Fault-resilience section: only rendered when the grid ran under
+    // a FaultPlan, so fault-free reports stay unchanged.
+    bool any_faulted = false;
+    for (const ReportEntry &e : entries)
+        any_faulted = any_faulted || e.faulted;
+    if (any_faulted) {
+        oss << "\n## Fault resilience\n\n"
+            << "| model | context | engine | availability | slowdown | "
+               "devices failed | retry time (s) |\n"
+            << "|---|---|---|---|---|---|---|\n";
+        for (const ReportEntry &e : entries) {
+            if (!e.faulted)
+                continue;
+            oss << "| " << e.model << " | " << e.context / 1024
+                << "K | " << e.engine << " | ";
+            if (!e.feasible) {
+                oss << "unavailable | - | - | - |\n";
+                continue;
+            }
+            oss << e.availability << " | " << e.slowdown << "x | "
+                << e.devices_failed << " | " << e.retry_time << " |\n";
+        }
     }
     return oss.str();
 }

@@ -29,6 +29,11 @@ struct ReportConfig {
     std::uint64_t batch = 16;
     std::uint64_t output_len = 64;
     std::vector<unsigned> device_counts = {8, 16};
+    /**
+     * Fault schedule applied to the HILOS entries (FLEX baselines have
+     * no SmartSSD fleet to fault). Empty = the fault-free grid.
+     */
+    FaultPlan fault_plan;
 };
 
 /** One evaluated grid point. */
@@ -41,6 +46,12 @@ struct ReportEntry {
     double speedup_vs_flex_ssd = 0;
     double energy_kj = 0;
     double cost_effectiveness = 0;  ///< tokens/s/$
+    // Fault-resilience columns (identity values without a FaultPlan).
+    double availability = 1.0;
+    double slowdown = 1.0;
+    unsigned devices_failed = 0;
+    Seconds retry_time = 0;
+    bool faulted = false;  ///< entry ran under a non-empty FaultPlan
 };
 
 /** The evaluated grid plus aggregate headlines. */

@@ -35,6 +35,26 @@ BandwidthResource::transfer(Seconds start, std::uint64_t bytes)
     return busy_until_;
 }
 
+Seconds
+BandwidthResource::occupy(Seconds start, Seconds duration)
+{
+    HILOS_ASSERT(duration >= 0.0, "negative stall duration");
+    if (duration == 0.0)
+        return std::max(start, busy_until_);
+    const Seconds begin = std::max(start, busy_until_);
+    busy_until_ = begin + duration;
+    busy_time_ += duration;
+    stats_.summary("stall").add(duration);
+    return busy_until_;
+}
+
+void
+BandwidthResource::setRate(Bandwidth rate)
+{
+    HILOS_ASSERT(rate > 0.0, "bandwidth must be positive: ", rate);
+    rate_ = rate;
+}
+
 double
 BandwidthResource::utilization(Seconds horizon) const
 {

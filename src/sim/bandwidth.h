@@ -50,6 +50,20 @@ class BandwidthResource
      */
     Seconds serviceTime(std::uint64_t bytes) const;
 
+    /**
+     * Occupy the channel for a fixed `duration` starting no earlier
+     * than `start` (retry stalls, ECC recovery): the channel is busy
+     * but moves no payload bytes.
+     * @return completion time of the stall
+     */
+    Seconds occupy(Seconds start, Seconds duration);
+
+    /**
+     * Change the service rate for future transfers (fault-injected
+     * bandwidth degradation); in-flight history is unaffected.
+     */
+    void setRate(Bandwidth rate);
+
     /** Earliest time a new transfer could begin service. */
     Seconds busyUntil() const { return busy_until_; }
 

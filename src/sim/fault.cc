@@ -1,0 +1,418 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace hilos {
+
+Seconds
+RetryPolicy::backoffDelay(unsigned attempt) const
+{
+    HILOS_ASSERT(attempt >= 1, "backoff attempt is 1-based");
+    Seconds delay = backoff_base;
+    for (unsigned i = 1; i < attempt; i++) {
+        delay *= backoff_multiplier;
+        if (delay >= backoff_cap)
+            return backoff_cap;
+    }
+    return std::min(delay, backoff_cap);
+}
+
+Seconds
+RetryPolicy::expectedNvmePenalty(double timeout_prob) const
+{
+    if (timeout_prob <= 0.0)
+        return 0.0;
+    HILOS_ASSERT(timeout_prob <= 1.0, "invalid timeout probability");
+    // Attempt k (1-based) happens with probability p^k of the previous
+    // k attempts all timing out; each timeout pays the command timeout
+    // plus the k-th backoff delay before re-issue.
+    Seconds expected = 0.0;
+    double p_k = 1.0;
+    for (unsigned k = 1; k < nvme_max_attempts; k++) {
+        p_k *= timeout_prob;
+        expected += p_k * (nvme_timeout + backoffDelay(k));
+    }
+    return expected;
+}
+
+Seconds
+RetryPolicy::expectedEccPenalty(double error_prob) const
+{
+    if (error_prob <= 0.0)
+        return 0.0;
+    HILOS_ASSERT(error_prob <= 1.0, "invalid ECC error probability");
+    // Ladder depth is drawn uniformly in [1, ecc_max_steps].
+    const double mean_steps =
+        (1.0 + static_cast<double>(ecc_max_steps)) / 2.0;
+    return error_prob * mean_steps * ecc_step_latency;
+}
+
+FaultPlan &
+FaultPlan::addNandReadError(double probability, unsigned device)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::NandReadError;
+    ev.device = device;
+    ev.probability = probability;
+    events.push_back(ev);
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::addNvmeTimeout(double probability, unsigned device)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::NvmeTimeout;
+    ev.device = device;
+    ev.probability = probability;
+    events.push_back(ev);
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::addLinkDegrade(Seconds at, double bw_multiplier,
+                          unsigned device)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::LinkDegrade;
+    ev.device = device;
+    ev.at = at;
+    ev.bw_multiplier = bw_multiplier;
+    events.push_back(ev);
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::addUplinkDegrade(Seconds at, double bw_multiplier)
+{
+    return addLinkDegrade(at, bw_multiplier, kUplinkTarget);
+}
+
+FaultPlan &
+FaultPlan::addDeviceFailure(Seconds at, unsigned device)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::DeviceFail;
+    ev.device = device;
+    ev.at = at;
+    events.push_back(ev);
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::addFleetFailure(Seconds at)
+{
+    return addDeviceFailure(at, kAllDevices);
+}
+
+namespace {
+
+std::vector<std::string>
+splitClauses(const std::string &spec)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : spec) {
+        if (c == ';' || c == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else if (!std::isspace(static_cast<unsigned char>(c))) {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+double
+parseDouble(const std::string &s, const std::string &clause)
+{
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() || *end != '\0')
+        HILOS_FATAL("fault plan: bad number '", s, "' in '", clause, "'");
+    return v;
+}
+
+unsigned
+parseDevice(const std::string &s, const std::string &clause)
+{
+    if (s == "all")
+        return kAllDevices;
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0')
+        HILOS_FATAL("fault plan: bad device '", s, "' in '", clause, "'");
+    return static_cast<unsigned>(v);
+}
+
+/** Split "value[:dev]" into the value string and a device target. */
+std::pair<std::string, unsigned>
+splitDeviceSuffix(const std::string &s, const std::string &clause)
+{
+    const auto colon = s.find(':');
+    if (colon == std::string::npos)
+        return {s, kAllDevices};
+    return {s.substr(0, colon),
+            parseDevice(s.substr(colon + 1), clause)};
+}
+
+}  // namespace
+
+FaultPlan
+parseFaultPlan(const std::string &spec)
+{
+    FaultPlan plan;
+    for (const std::string &clause : splitClauses(spec)) {
+        const auto eq = clause.find('=');
+        if (eq == std::string::npos)
+            HILOS_FATAL("fault plan: missing '=' in '", clause, "'");
+        std::string key = clause.substr(0, eq);
+        const std::string value = clause.substr(eq + 1);
+        Seconds at = 0.0;
+        const auto at_pos = key.find('@');
+        if (at_pos != std::string::npos) {
+            at = parseDouble(key.substr(at_pos + 1), clause);
+            key = key.substr(0, at_pos);
+        }
+
+        if (key == "seed") {
+            plan.seed = static_cast<std::uint64_t>(
+                std::strtoull(value.c_str(), nullptr, 10));
+        } else if (key == "nand-err") {
+            const auto [v, dev] = splitDeviceSuffix(value, clause);
+            plan.addNandReadError(parseDouble(v, clause), dev);
+        } else if (key == "nvme-timeout") {
+            const auto [v, dev] = splitDeviceSuffix(value, clause);
+            plan.addNvmeTimeout(parseDouble(v, clause), dev);
+        } else if (key == "degrade") {
+            const auto [v, dev] = splitDeviceSuffix(value, clause);
+            plan.addLinkDegrade(at, parseDouble(v, clause), dev);
+        } else if (key == "uplink") {
+            plan.addUplinkDegrade(at, parseDouble(value, clause));
+        } else if (key == "fail") {
+            plan.addDeviceFailure(at, parseDevice(value, clause));
+        } else {
+            HILOS_FATAL("fault plan: unknown clause '", clause,
+                        "' (seed, nand-err, nvme-timeout, degrade, "
+                        "uplink, fail)");
+        }
+    }
+    return plan;
+}
+
+bool
+FaultStats::any() const
+{
+    return nand_read_errors > 0 || nvme_timeouts > 0 ||
+           nvme_failures > 0 || redispatched_slices > 0 ||
+           retry_time > 0.0;
+}
+
+FaultInjector::FaultInjector() = default;
+
+FaultInjector::FaultInjector(const FaultPlan &plan, unsigned num_devices)
+    : active_(!plan.empty()), num_devices_(num_devices),
+      retry_(plan.retry),
+      nand_prob_(num_devices, 0.0), nvme_prob_(num_devices, 0.0),
+      fail_at_(num_devices, std::numeric_limits<Seconds>::infinity())
+{
+    HILOS_ASSERT(num_devices >= 1, "fault injector needs >= 1 device");
+    for (const FaultEvent &ev : plan.events) {
+        const bool fleet_wide = ev.device == kAllDevices;
+        HILOS_ASSERT(fleet_wide || ev.device == kUplinkTarget ||
+                         ev.device < num_devices,
+                     "fault event targets device ", ev.device,
+                     " but the fleet has ", num_devices);
+        switch (ev.kind) {
+          case FaultKind::NandReadError:
+            HILOS_ASSERT(ev.probability >= 0.0 && ev.probability <= 1.0,
+                         "invalid NAND error probability");
+            for (unsigned d = 0; d < num_devices; d++) {
+                if (fleet_wide || ev.device == d) {
+                    nand_prob_[d] = std::min(
+                        1.0, nand_prob_[d] + ev.probability);
+                }
+            }
+            break;
+          case FaultKind::NvmeTimeout:
+            HILOS_ASSERT(ev.probability >= 0.0 && ev.probability <= 1.0,
+                         "invalid NVMe timeout probability");
+            for (unsigned d = 0; d < num_devices; d++) {
+                if (fleet_wide || ev.device == d) {
+                    nvme_prob_[d] = std::min(
+                        1.0, nvme_prob_[d] + ev.probability);
+                }
+            }
+            break;
+          case FaultKind::LinkDegrade:
+            HILOS_ASSERT(ev.bw_multiplier > 0.0 &&
+                             ev.bw_multiplier <= 1.0,
+                         "degradation multiplier must be in (0, 1]");
+            degrades_.push_back(ev);
+            break;
+          case FaultKind::DeviceFail:
+            HILOS_ASSERT(ev.at >= 0.0, "failure time must be >= 0");
+            for (unsigned d = 0; d < num_devices; d++) {
+                if (fleet_wide || ev.device == d)
+                    fail_at_[d] = std::min(fail_at_[d], ev.at);
+            }
+            break;
+        }
+    }
+    if (active_) {
+        // One independent stream per device: draws on one device never
+        // shift another device's sequence (splitmix-style seeding).
+        rng_.reserve(num_devices);
+        for (unsigned d = 0; d < num_devices; d++) {
+            std::uint64_t z =
+                plan.seed + 0x9e3779b97f4a7c15ull *
+                                (static_cast<std::uint64_t>(d) + 1);
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            rng_.emplace_back(z ^ (z >> 31));
+        }
+    }
+}
+
+std::mt19937_64 &
+FaultInjector::rngFor(unsigned dev)
+{
+    HILOS_ASSERT(dev < rng_.size(), "no RNG stream for device ", dev);
+    return rng_[dev];
+}
+
+Seconds
+FaultInjector::nandReadPenalty(unsigned dev)
+{
+    if (!active_ || nand_prob_[dev] <= 0.0)
+        return 0.0;
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    if (u(rngFor(dev)) >= nand_prob_[dev])
+        return 0.0;
+    std::uniform_int_distribution<unsigned> steps_dist(
+        1, retry_.ecc_max_steps);
+    const unsigned steps = steps_dist(rngFor(dev));
+    const Seconds penalty =
+        static_cast<double>(steps) * retry_.ecc_step_latency;
+    stats_.nand_read_errors++;
+    stats_.nand_retry_steps += steps;
+    stats_.retry_time += penalty;
+    return penalty;
+}
+
+FaultInjector::NvmeOutcome
+FaultInjector::nvmeCommand(unsigned dev)
+{
+    NvmeOutcome out;
+    if (!active_ || nvme_prob_[dev] <= 0.0)
+        return out;
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    for (unsigned attempt = 1; attempt <= retry_.nvme_max_attempts;
+         attempt++) {
+        if (u(rngFor(dev)) >= nvme_prob_[dev])
+            return out;  // this attempt completed
+        stats_.nvme_timeouts++;
+        if (attempt == retry_.nvme_max_attempts) {
+            out.failed = true;  // retries exhausted
+            stats_.nvme_failures++;
+            return out;
+        }
+        const Seconds delay =
+            retry_.nvme_timeout + retry_.backoffDelay(attempt);
+        out.extra_latency += delay;
+        out.retries++;
+        stats_.nvme_retries++;
+        stats_.retry_time += delay;
+    }
+    return out;
+}
+
+double
+FaultInjector::nandErrorProbability(unsigned dev) const
+{
+    return active_ ? nand_prob_.at(dev) : 0.0;
+}
+
+double
+FaultInjector::nvmeTimeoutProbability(unsigned dev) const
+{
+    return active_ ? nvme_prob_.at(dev) : 0.0;
+}
+
+double
+FaultInjector::linkDerate(unsigned dev, Seconds now) const
+{
+    double derate = 1.0;
+    for (const FaultEvent &ev : degrades_) {
+        if (ev.device == kUplinkTarget)
+            continue;
+        if ((ev.device == kAllDevices || ev.device == dev) &&
+            now >= ev.at) {
+            derate *= ev.bw_multiplier;
+        }
+    }
+    return derate;
+}
+
+double
+FaultInjector::uplinkDerate(Seconds now) const
+{
+    double derate = 1.0;
+    for (const FaultEvent &ev : degrades_) {
+        if (ev.device == kUplinkTarget && now >= ev.at)
+            derate *= ev.bw_multiplier;
+    }
+    return derate;
+}
+
+bool
+FaultInjector::deviceFailed(unsigned dev, Seconds now) const
+{
+    return active_ && now >= fail_at_.at(dev);
+}
+
+Seconds
+FaultInjector::deviceFailTime(unsigned dev) const
+{
+    if (!active_)
+        return std::numeric_limits<Seconds>::infinity();
+    return fail_at_.at(dev);
+}
+
+unsigned
+FaultInjector::survivingDevices(Seconds now) const
+{
+    if (!active_)
+        return num_devices_;
+    unsigned alive = 0;
+    for (unsigned d = 0; d < num_devices_; d++) {
+        if (!deviceFailed(d, now))
+            alive++;
+    }
+    return alive;
+}
+
+std::vector<Seconds>
+FaultInjector::eventTimes() const
+{
+    std::vector<Seconds> times;
+    for (Seconds t : fail_at_) {
+        if (std::isfinite(t))
+            times.push_back(t);
+    }
+    for (const FaultEvent &ev : degrades_)
+        times.push_back(ev.at);
+    std::sort(times.begin(), times.end());
+    times.erase(std::unique(times.begin(), times.end()), times.end());
+    return times;
+}
+
+}  // namespace hilos

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Seeded, schedule-driven fault injection for the HILOS simulator.
+ *
+ * The paper's evaluation assumes a perfectly healthy fleet of 4-16
+ * SmartSSDs; this subsystem makes non-ideal conditions representable
+ * without sacrificing reproducibility. A FaultPlan is a declarative
+ * list of events — probabilistic per-operation faults (NAND read errors
+ * that trigger an ECC read-retry ladder, NVMe command timeouts with
+ * bounded exponential backoff) and timed state changes (P2P/uplink
+ * bandwidth degradation, whole-device failure). A FaultInjector
+ * evaluates the plan with one deterministic RNG stream per device, so
+ * the same seed and plan always reproduce bit-identical results.
+ *
+ * Invariants the rest of the stack relies on:
+ *  - an empty plan injects nothing and draws no random numbers, so the
+ *    zero-fault path is byte-identical to a build without this layer;
+ *  - faults perturb timing, traffic, and availability only — never the
+ *    attention numerics;
+ *  - probabilistic penalties have closed-form expectations (used by the
+ *    analytic engine) alongside the sampled draws (used by the event
+ *    simulator), so the two models stay comparable under faults.
+ */
+
+#ifndef HILOS_SIM_FAULT_H_
+#define HILOS_SIM_FAULT_H_
+
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace hilos {
+
+/** Event target sentinel: applies to every SmartSSD in the fleet. */
+constexpr unsigned kAllDevices = std::numeric_limits<unsigned>::max();
+/** Event target sentinel: applies to the shared chassis uplink. */
+constexpr unsigned kUplinkTarget = kAllDevices - 1;
+
+/** The fault classes the simulator can inject. */
+enum class FaultKind {
+    NandReadError,  ///< probabilistic, per NAND read: ECC retry ladder
+    NvmeTimeout,    ///< probabilistic, per command: timeout + backoff
+    LinkDegrade,    ///< timed: bandwidth multiplier from `at` onward
+    DeviceFail,     ///< timed: device permanently fails at `at`
+};
+
+/** One entry of a FaultPlan. */
+struct FaultEvent {
+    FaultKind kind = FaultKind::NandReadError;
+    /** Target device index, kAllDevices, or kUplinkTarget. */
+    unsigned device = kAllDevices;
+    /** Activation time for timed events (absolute run seconds). */
+    Seconds at = 0.0;
+    /** Per-operation probability for probabilistic events. */
+    double probability = 0.0;
+    /** Bandwidth multiplier in (0, 1] for LinkDegrade. */
+    double bw_multiplier = 1.0;
+};
+
+/**
+ * Retry/timeout knobs shared by the NVMe and NAND recovery paths.
+ *
+ * An NVMe command that times out is re-issued after a bounded
+ * exponential backoff; a NAND read whose ECC fails walks a read-retry
+ * ladder of re-reads at shifted reference voltages.
+ */
+struct RetryPolicy {
+    unsigned nvme_max_attempts = 5;       ///< total tries incl. first
+    Seconds nvme_timeout = msec(10);      ///< host-side command timeout
+    Seconds backoff_base = usec(100);     ///< first retry delay
+    double backoff_multiplier = 2.0;      ///< per-retry growth
+    Seconds backoff_cap = msec(50);       ///< delay ceiling
+    unsigned ecc_max_steps = 8;           ///< read-retry ladder depth
+    Seconds ecc_step_latency = usec(70);  ///< extra tR per ladder step
+
+    /** Backoff delay before retry `attempt` (1-based), capped. */
+    Seconds backoffDelay(unsigned attempt) const;
+
+    /**
+     * Expected extra latency per NVMe command when each attempt times
+     * out independently with probability `timeout_prob`.
+     */
+    Seconds expectedNvmePenalty(double timeout_prob) const;
+
+    /**
+     * Expected extra latency per NAND read at ECC failure probability
+     * `error_prob` (mean ladder depth at uniform step draws).
+     */
+    Seconds expectedEccPenalty(double error_prob) const;
+};
+
+/**
+ * A declarative, seeded schedule of faults for one run.
+ */
+struct FaultPlan {
+    std::uint64_t seed = 0x48494c4f53ull;
+    RetryPolicy retry;
+    std::vector<FaultEvent> events;
+
+    /** True when the plan injects nothing (the zero-fault fast path). */
+    bool empty() const { return events.empty(); }
+
+    FaultPlan &addNandReadError(double probability,
+                                unsigned device = kAllDevices);
+    FaultPlan &addNvmeTimeout(double probability,
+                              unsigned device = kAllDevices);
+    FaultPlan &addLinkDegrade(Seconds at, double bw_multiplier,
+                              unsigned device = kAllDevices);
+    FaultPlan &addUplinkDegrade(Seconds at, double bw_multiplier);
+    FaultPlan &addDeviceFailure(Seconds at, unsigned device);
+    /** Fail the whole fleet at `at` (degenerate-plan error handling). */
+    FaultPlan &addFleetFailure(Seconds at);
+};
+
+/**
+ * Parse a semicolon/comma-separated fault-plan spec, e.g.
+ *   "seed=7;nand-err=1e-3;nvme-timeout=1e-4:2;fail@2.5=3;"
+ *   "degrade@1.0=0.5:2;uplink@4.0=0.8;fail@9=all"
+ * Clauses:
+ *   seed=<u64>            RNG seed
+ *   nand-err=<p>[:dev]    per-read ECC error probability
+ *   nvme-timeout=<p>[:dev] per-command timeout probability
+ *   degrade@<t>=<m>[:dev] P2P bandwidth multiplier m from t seconds
+ *   uplink@<t>=<m>        chassis-uplink multiplier from t seconds
+ *   fail@<t>=<dev|all>    device (or fleet) failure at t seconds
+ * Raises a fatal error on malformed input.
+ */
+FaultPlan parseFaultPlan(const std::string &spec);
+
+/** Counters accumulated by a FaultInjector over one simulation. */
+struct FaultStats {
+    std::uint64_t nand_read_errors = 0;
+    std::uint64_t nand_retry_steps = 0;
+    std::uint64_t nvme_timeouts = 0;
+    std::uint64_t nvme_retries = 0;
+    std::uint64_t nvme_failures = 0;  ///< retries exhausted
+    std::uint64_t redispatched_slices = 0;
+    Seconds retry_time = 0.0;  ///< total latency added by recovery
+
+    bool any() const;
+};
+
+/**
+ * Evaluates a FaultPlan against per-operation queries.
+ *
+ * Probabilistic queries (nandReadPenalty, nvmeCommand) consume one
+ * deterministic per-device RNG stream each, so results depend only on
+ * (seed, plan, per-device call order) — the event simulator issues them
+ * in deterministic loop order. Timed queries (deviceFailed, linkDerate)
+ * are pure functions of the plan and the supplied clock.
+ */
+class FaultInjector
+{
+  public:
+    /** Null injector: nothing ever faults, no RNG state. */
+    FaultInjector();
+
+    FaultInjector(const FaultPlan &plan, unsigned num_devices);
+
+    /** True when the plan contains at least one event. */
+    bool active() const { return active_; }
+
+    /** Outcome of one NVMe command on device `dev`. */
+    struct NvmeOutcome {
+        Seconds extra_latency = 0.0;
+        unsigned retries = 0;
+        bool failed = false;  ///< retries exhausted; re-dispatch needed
+    };
+
+    /**
+     * Sample the ECC read-retry penalty of one NAND read on `dev`
+     * (0 when the read succeeds first try).
+     */
+    Seconds nandReadPenalty(unsigned dev);
+
+    /** Sample the timeout/backoff outcome of one NVMe command. */
+    NvmeOutcome nvmeCommand(unsigned dev);
+
+    /** Configured per-read ECC error probability of `dev`. */
+    double nandErrorProbability(unsigned dev) const;
+    /** Configured per-command timeout probability of `dev`. */
+    double nvmeTimeoutProbability(unsigned dev) const;
+
+    /** Product of active P2P degradations on `dev` at time `now`. */
+    double linkDerate(unsigned dev, Seconds now) const;
+    /** Product of active chassis-uplink degradations at time `now`. */
+    double uplinkDerate(Seconds now) const;
+
+    /** Whether `dev` has failed by time `now`. */
+    bool deviceFailed(unsigned dev, Seconds now) const;
+    /** Failure time of `dev` (infinity when it never fails). */
+    Seconds deviceFailTime(unsigned dev) const;
+    /** Number of devices still alive at time `now`. */
+    unsigned survivingDevices(Seconds now) const;
+    /** Sorted finite times at which any timed event activates. */
+    std::vector<Seconds> eventTimes() const;
+
+    /** Record one slice re-dispatched off a failed device. */
+    void noteRedispatch() { stats_.redispatched_slices++; }
+
+    const RetryPolicy &retryPolicy() const { return retry_; }
+    const FaultStats &stats() const { return stats_; }
+    unsigned numDevices() const { return num_devices_; }
+
+  private:
+    std::mt19937_64 &rngFor(unsigned dev);
+
+    bool active_ = false;
+    unsigned num_devices_ = 0;
+    RetryPolicy retry_;
+    std::vector<double> nand_prob_;
+    std::vector<double> nvme_prob_;
+    std::vector<Seconds> fail_at_;
+    std::vector<FaultEvent> degrades_;
+    std::vector<std::mt19937_64> rng_;
+    FaultStats stats_;
+};
+
+}  // namespace hilos
+
+#endif  // HILOS_SIM_FAULT_H_

@@ -96,4 +96,38 @@ NandTiming::eraseBlocks(std::uint64_t blocks, std::uint64_t parallel) const
     return static_cast<double>(waves) * cfg_.erase_latency;
 }
 
+Seconds
+NandTiming::readRetryLatency(std::uint64_t steps) const
+{
+    return static_cast<double>(steps) *
+           (cfg_.read_latency + cfg_.read_retry_step);
+}
+
+Seconds
+NandTiming::readPagesWithRetries(std::uint64_t pages,
+                                 std::uint64_t parallel,
+                                 double error_prob, Rng &rng,
+                                 std::uint64_t *errors) const
+{
+    const Seconds base = readPages(pages, parallel);
+    if (errors != nullptr)
+        *errors = 0;
+    if (pages == 0 || error_prob <= 0.0)
+        return base;
+    HILOS_ASSERT(error_prob <= 1.0, "invalid error probability");
+    std::binomial_distribution<std::uint64_t> err_dist(pages, error_prob);
+    const std::uint64_t erroring = err_dist(rng.engine());
+    if (errors != nullptr)
+        *errors = erroring;
+    // Retries serialise on the die that holds the page, so they do not
+    // overlap the wave pipeline; sample each ladder depth.
+    Seconds penalty = 0.0;
+    for (std::uint64_t i = 0; i < erroring; i++) {
+        const auto steps = static_cast<std::uint64_t>(rng.uniformInt(
+            1, static_cast<std::int64_t>(cfg_.max_read_retry_steps)));
+        penalty += readRetryLatency(steps);
+    }
+    return base + penalty;
+}
+
 }  // namespace hilos

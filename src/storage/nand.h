@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/random.h"
 #include "common/units.h"
 
 namespace hilos {
@@ -31,6 +32,11 @@ struct NandConfig {
     Seconds program_latency = usec(500); ///< tPROG
     Seconds erase_latency = msec(3);     ///< tBERS
     Bandwidth channel_rate = mbps(1200); ///< ONFI channel, MT/s * 1B
+
+    /** Settle time added to each ECC read-retry re-read. */
+    Seconds read_retry_step = usec(70);
+    /** Read-retry ladder depth (reference-voltage shifts). */
+    std::uint64_t max_read_retry_steps = 8;
 
     /** Total raw capacity in bytes. */
     std::uint64_t rawCapacity() const;
@@ -66,6 +72,24 @@ class NandTiming
 
     /** Time to erase `blocks` blocks with `parallel` units. */
     Seconds eraseBlocks(std::uint64_t blocks, std::uint64_t parallel) const;
+
+    /**
+     * Latency of an ECC read-retry ladder of `steps` re-reads: each
+     * step repeats the array access at a shifted reference voltage.
+     */
+    Seconds readRetryLatency(std::uint64_t steps) const;
+
+    /**
+     * readPages plus sampled ECC read-retry ladders: each page fails
+     * its first read with probability `error_prob` and then walks a
+     * ladder of 1..max_read_retry_steps re-reads. Deterministic for a
+     * given `rng` state.
+     * @param errors optional out-param: number of erroring pages
+     */
+    Seconds readPagesWithRetries(std::uint64_t pages,
+                                 std::uint64_t parallel,
+                                 double error_prob, Rng &rng,
+                                 std::uint64_t *errors = nullptr) const;
 
     /** Maximum useful parallelism (channels x dies). */
     std::uint64_t maxParallel() const;

@@ -43,6 +43,36 @@ NvmeQueueModel::efficiency(std::uint64_t qd, std::uint64_t io_bytes) const
     return bandwidth(qd, io_bytes) / cfg_.max_read_bw;
 }
 
+Seconds
+NvmeQueueModel::commandLatencyWithRetries(std::uint64_t io_bytes,
+                                          double timeout_prob,
+                                          const RetryPolicy &retry) const
+{
+    HILOS_ASSERT(io_bytes >= 1, "request size must be >= 1");
+    const Seconds ideal =
+        cfg_.command_latency + cfg_.submission_overhead +
+        static_cast<double>(io_bytes) / cfg_.max_read_bw;
+    return ideal + retry.expectedNvmePenalty(timeout_prob);
+}
+
+Bandwidth
+NvmeQueueModel::degradedBandwidth(std::uint64_t qd,
+                                  std::uint64_t io_bytes,
+                                  double timeout_prob,
+                                  const RetryPolicy &retry) const
+{
+    HILOS_ASSERT(qd >= 1, "queue depth must be >= 1");
+    const std::uint64_t depth = std::min(qd, cfg_.max_queue_depth);
+    const Seconds effective_latency =
+        commandLatencyWithRetries(io_bytes, timeout_prob, retry);
+    const double little =
+        static_cast<double>(depth) / effective_latency;
+    const double bw_limit =
+        cfg_.max_read_bw / static_cast<double>(io_bytes);
+    return std::min({little, cfg_.max_read_iops, bw_limit}) *
+           static_cast<double>(io_bytes);
+}
+
 std::uint64_t
 NvmeQueueModel::queueDepthFor(double target,
                               std::uint64_t io_bytes) const

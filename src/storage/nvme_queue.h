@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "common/units.h"
+#include "sim/fault.h"
 
 namespace hilos {
 
@@ -52,6 +53,23 @@ class NvmeQueueModel
     /** Smallest queue depth achieving `target` of max bandwidth. */
     std::uint64_t queueDepthFor(double target,
                                 std::uint64_t io_bytes) const;
+
+    /**
+     * Mean per-command latency including timeout recovery: the ideal
+     * effective latency plus the expected timeout + bounded-backoff
+     * penalty at per-command timeout probability `timeout_prob`.
+     */
+    Seconds commandLatencyWithRetries(std::uint64_t io_bytes,
+                                      double timeout_prob,
+                                      const RetryPolicy &retry) const;
+
+    /**
+     * Little's-law sustained bandwidth with the retry-inflated command
+     * latency; equals bandwidth() exactly when `timeout_prob` is 0.
+     */
+    Bandwidth degradedBandwidth(std::uint64_t qd, std::uint64_t io_bytes,
+                                double timeout_prob,
+                                const RetryPolicy &retry) const;
 
     const NvmeQueueConfig &config() const { return cfg_; }
 

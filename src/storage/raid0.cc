@@ -49,22 +49,63 @@ Raid0::activeMembers(std::uint64_t bytes) const
 Seconds
 Raid0::readTime(std::uint64_t bytes) const
 {
+    HILOS_ASSERT(!failed(),
+                 "read from RAID-0 stripe set with a failed member");
     if (bytes == 0)
         return 0.0;
     const std::size_t active = activeMembers(bytes);
-    // The slowest member handles ceil(bytes / active).
+    // The slowest member handles ceil(bytes / active); a degraded
+    // member on the stripe becomes the critical path.
     const std::uint64_t share = ceilDiv(bytes, active);
-    return ssds_.front()->readTime(share);
+    Seconds worst = 0.0;
+    for (std::size_t i = 0; i < active; i++)
+        worst = std::max(worst, ssds_[i]->readTime(share));
+    return worst;
 }
 
 Seconds
 Raid0::writeTime(std::uint64_t bytes) const
 {
+    HILOS_ASSERT(!failed(),
+                 "write to RAID-0 stripe set with a failed member");
     if (bytes == 0)
         return 0.0;
     const std::size_t active = activeMembers(bytes);
     const std::uint64_t share = ceilDiv(bytes, active);
     return ssds_.front()->writeTime(share);
+}
+
+void
+Raid0::degradeMember(std::size_t i, double read_slowdown)
+{
+    ssds_.at(i)->degrade(read_slowdown);
+}
+
+void
+Raid0::failMember(std::size_t i)
+{
+    ssds_.at(i)->fail();
+}
+
+std::size_t
+Raid0::degradedMembers() const
+{
+    std::size_t n = 0;
+    for (const auto &s : ssds_) {
+        if (s->health() == SsdHealth::Degraded)
+            n++;
+    }
+    return n;
+}
+
+bool
+Raid0::failed() const
+{
+    for (const auto &s : ssds_) {
+        if (s->health() == SsdHealth::Failed)
+            return true;
+    }
+    return false;
 }
 
 void

@@ -62,6 +62,26 @@ class Raid0
     /** Worst member endurance consumption fraction. */
     double enduranceConsumed() const;
 
+    /**
+     * Mark member `i` degraded: its reads slow down by `read_slowdown`
+     * (>= 1). Striped reads still fan out over all members, so the
+     * degraded member becomes the stripe's critical path.
+     */
+    void degradeMember(std::size_t i, double read_slowdown);
+
+    /**
+     * Fail member `i`. RAID-0 has no redundancy, so the whole stripe
+     * set becomes unreadable (failed() turns true) and further
+     * readTime/writeTime calls are a caller error.
+     */
+    void failMember(std::size_t i);
+
+    /** Number of degraded (still readable) members. */
+    std::size_t degradedMembers() const;
+
+    /** True when any member has failed (stripe set lost). */
+    bool failed() const;
+
     std::size_t members() const { return ssds_.size(); }
     const Ssd &member(std::size_t i) const { return *ssds_.at(i); }
     std::uint64_t chunkBytes() const { return chunk_bytes_; }

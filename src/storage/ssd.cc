@@ -30,15 +30,20 @@ Ssd::Ssd(const SsdConfig &cfg, std::uint64_t capacity_scale)
 Seconds
 Ssd::readTime(std::uint64_t bytes) const
 {
+    HILOS_ASSERT(health_ != SsdHealth::Failed,
+                 "read from failed SSD '", cfg_.name, "'");
     if (bytes == 0)
         return 0.0;
-    return cfg_.read_latency +
-           static_cast<double>(bytes) / cfg_.seq_read_bw;
+    return read_slowdown_ *
+           (cfg_.read_latency +
+            static_cast<double>(bytes) / cfg_.seq_read_bw);
 }
 
 Seconds
 Ssd::writeTime(std::uint64_t bytes) const
 {
+    HILOS_ASSERT(health_ != SsdHealth::Failed,
+                 "write to failed SSD '", cfg_.name, "'");
     if (bytes == 0)
         return 0.0;
     return cfg_.write_latency +
@@ -48,6 +53,8 @@ Ssd::writeTime(std::uint64_t bytes) const
 Seconds
 Ssd::randomReadTime(std::uint64_t count, std::uint64_t bytes) const
 {
+    HILOS_ASSERT(health_ != SsdHealth::Failed,
+                 "read from failed SSD '", cfg_.name, "'");
     if (count == 0)
         return 0.0;
     // IOPS-limited command overhead plus data movement, whichever binds.
@@ -56,7 +63,19 @@ Ssd::randomReadTime(std::uint64_t count, std::uint64_t bytes) const
     const Seconds bw_time =
         static_cast<double>(count * roundUp(bytes, cfg_.page_bytes)) /
         cfg_.seq_read_bw;
-    return cfg_.read_latency + std::max(iops_time, bw_time);
+    return read_slowdown_ *
+           (cfg_.read_latency + std::max(iops_time, bw_time));
+}
+
+void
+Ssd::degrade(double read_slowdown)
+{
+    HILOS_ASSERT(read_slowdown >= 1.0,
+                 "read slowdown must be >= 1: ", read_slowdown);
+    HILOS_ASSERT(health_ != SsdHealth::Failed,
+                 "cannot degrade a failed SSD");
+    health_ = SsdHealth::Degraded;
+    read_slowdown_ *= read_slowdown;
 }
 
 Seconds

@@ -42,6 +42,13 @@ struct SsdConfig {
     double enduranceBytes() const { return endurance_pbw * 1e15; }
 };
 
+/** Device health for degraded-mode execution. */
+enum class SsdHealth {
+    Healthy,
+    Degraded,  ///< readable, but reads pay a slowdown factor
+    Failed,    ///< unreadable; accesses are a caller error
+};
+
 /**
  * An NVMe SSD: analytic timing plus FTL-backed wear accounting.
  *
@@ -104,6 +111,22 @@ class Ssd
     /** Fraction of rated endurance consumed. */
     double enduranceConsumed() const;
 
+    /** Current health state (Healthy on construction). */
+    SsdHealth health() const { return health_; }
+
+    /**
+     * Mark the device degraded: reads slow down by `read_slowdown`
+     * (>= 1; ECC stress, media retention issues). Repeated calls
+     * compound.
+     */
+    void degrade(double read_slowdown);
+
+    /** Mark the device failed; further reads/writes are a panic. */
+    void fail() { health_ = SsdHealth::Failed; }
+
+    /** Current read slowdown factor (1 when healthy). */
+    double readSlowdown() const { return read_slowdown_; }
+
     const SsdConfig &config() const { return cfg_; }
     const Ftl &ftl() const { return *ftl_; }
     StatRegistry &stats() { return stats_; }
@@ -118,6 +141,8 @@ class Ssd
     double padded_bytes_written_ = 0.0;
     /** Next sequential-write cursor in scaled FTL space. */
     std::uint64_t seq_cursor_ = 0;
+    SsdHealth health_ = SsdHealth::Healthy;
+    double read_slowdown_ = 1.0;
     StatRegistry stats_;
 };
 

@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Unit tests for the fault-injection subsystem: retry-policy math, the
+ * plan parser, injector determinism, and the fault hooks in the
+ * storage/device/interconnect layers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/random.h"
+#include "sim/bandwidth.h"
+#include "sim/fault.h"
+#include "storage/nand.h"
+#include "storage/nvme_queue.h"
+#include "storage/raid0.h"
+#include "storage/ssd.h"
+
+namespace hilos {
+namespace {
+
+// --- RetryPolicy ---
+
+TEST(RetryPolicy, BackoffGrowsExponentiallyToCap)
+{
+    RetryPolicy rp;
+    rp.backoff_base = usec(100);
+    rp.backoff_multiplier = 2.0;
+    rp.backoff_cap = usec(500);
+    EXPECT_DOUBLE_EQ(rp.backoffDelay(1), usec(100));
+    EXPECT_DOUBLE_EQ(rp.backoffDelay(2), usec(200));
+    EXPECT_DOUBLE_EQ(rp.backoffDelay(3), usec(400));
+    EXPECT_DOUBLE_EQ(rp.backoffDelay(4), usec(500));  // capped
+    EXPECT_DOUBLE_EQ(rp.backoffDelay(10), usec(500));
+}
+
+TEST(RetryPolicy, ExpectedNvmePenaltyZeroAtZeroProbability)
+{
+    const RetryPolicy rp;
+    EXPECT_EQ(rp.expectedNvmePenalty(0.0), 0.0);
+    EXPECT_EQ(rp.expectedEccPenalty(0.0), 0.0);
+}
+
+TEST(RetryPolicy, ExpectedPenaltiesMonotonicInProbability)
+{
+    const RetryPolicy rp;
+    Seconds prev_nvme = 0.0;
+    Seconds prev_ecc = 0.0;
+    for (double p : {1e-4, 1e-3, 1e-2, 1e-1}) {
+        EXPECT_GT(rp.expectedNvmePenalty(p), prev_nvme);
+        EXPECT_GT(rp.expectedEccPenalty(p), prev_ecc);
+        prev_nvme = rp.expectedNvmePenalty(p);
+        prev_ecc = rp.expectedEccPenalty(p);
+    }
+}
+
+TEST(RetryPolicy, EccPenaltyIsMeanLadderDepth)
+{
+    RetryPolicy rp;
+    rp.ecc_max_steps = 8;
+    rp.ecc_step_latency = usec(70);
+    // Uniform ladder depth in [1, 8] has mean 4.5.
+    EXPECT_DOUBLE_EQ(rp.expectedEccPenalty(1.0), 4.5 * usec(70));
+    EXPECT_DOUBLE_EQ(rp.expectedEccPenalty(0.5), 0.5 * 4.5 * usec(70));
+}
+
+// --- Plan parsing ---
+
+TEST(FaultPlanParse, ParsesEveryClauseKind)
+{
+    const FaultPlan plan = parseFaultPlan(
+        "seed=42; nand-err=1e-3:2; nvme-timeout=5e-4; "
+        "degrade@1.5=0.5:3; uplink@2.0=0.8; fail@9=1; fail@12=all");
+    EXPECT_EQ(plan.seed, 42u);
+    ASSERT_EQ(plan.events.size(), 6u);
+    EXPECT_EQ(plan.events[0].kind, FaultKind::NandReadError);
+    EXPECT_EQ(plan.events[0].device, 2u);
+    EXPECT_DOUBLE_EQ(plan.events[0].probability, 1e-3);
+    EXPECT_EQ(plan.events[1].kind, FaultKind::NvmeTimeout);
+    EXPECT_EQ(plan.events[1].device, kAllDevices);
+    EXPECT_EQ(plan.events[2].kind, FaultKind::LinkDegrade);
+    EXPECT_EQ(plan.events[2].device, 3u);
+    EXPECT_DOUBLE_EQ(plan.events[2].at, 1.5);
+    EXPECT_DOUBLE_EQ(plan.events[2].bw_multiplier, 0.5);
+    EXPECT_EQ(plan.events[3].device, kUplinkTarget);
+    EXPECT_EQ(plan.events[4].kind, FaultKind::DeviceFail);
+    EXPECT_EQ(plan.events[4].device, 1u);
+    EXPECT_EQ(plan.events[5].device, kAllDevices);
+}
+
+TEST(FaultPlanParse, EmptySpecYieldsEmptyPlan)
+{
+    EXPECT_TRUE(parseFaultPlan("").empty());
+    EXPECT_TRUE(parseFaultPlan(" ; , ").empty());
+}
+
+TEST(FaultPlanParse, RejectsMalformedSpecs)
+{
+    EXPECT_THROW(parseFaultPlan("bogus"), std::runtime_error);
+    EXPECT_THROW(parseFaultPlan("nand-err=notanumber"),
+                 std::runtime_error);
+    EXPECT_THROW(parseFaultPlan("frobnicate=1"), std::runtime_error);
+    EXPECT_THROW(parseFaultPlan("fail@2=devX"), std::runtime_error);
+}
+
+// --- FaultInjector ---
+
+TEST(FaultInjector, EmptyPlanIsInactive)
+{
+    const FaultInjector inj(FaultPlan{}, 8);
+    EXPECT_FALSE(inj.active());
+    EXPECT_EQ(inj.survivingDevices(1e9), 8u);
+    EXPECT_FALSE(inj.deviceFailed(0, 1e9));
+    EXPECT_DOUBLE_EQ(inj.linkDerate(0, 1e9), 1.0);
+    EXPECT_DOUBLE_EQ(inj.uplinkDerate(1e9), 1.0);
+}
+
+TEST(FaultInjector, SameSeedSamePlanReproducesDraws)
+{
+    const FaultPlan plan =
+        FaultPlan{}.addNandReadError(0.3).addNvmeTimeout(0.2);
+    FaultInjector a(plan, 4);
+    FaultInjector b(plan, 4);
+    for (int i = 0; i < 200; i++) {
+        for (unsigned dev = 0; dev < 4; dev++) {
+            EXPECT_EQ(a.nandReadPenalty(dev), b.nandReadPenalty(dev));
+            const auto oa = a.nvmeCommand(dev);
+            const auto ob = b.nvmeCommand(dev);
+            EXPECT_EQ(oa.extra_latency, ob.extra_latency);
+            EXPECT_EQ(oa.retries, ob.retries);
+            EXPECT_EQ(oa.failed, ob.failed);
+        }
+    }
+    EXPECT_EQ(a.stats().nand_read_errors, b.stats().nand_read_errors);
+    EXPECT_EQ(a.stats().nvme_timeouts, b.stats().nvme_timeouts);
+    EXPECT_EQ(a.stats().retry_time, b.stats().retry_time);
+    EXPECT_GT(a.stats().nand_read_errors, 0u);  // p=0.3 over 800 draws
+}
+
+TEST(FaultInjector, PerDeviceStreamsAreIndependent)
+{
+    const FaultPlan plan = FaultPlan{}.addNandReadError(0.5);
+    FaultInjector a(plan, 2);
+    FaultInjector b(plan, 2);
+    // Interleave extra draws on device 0 of `a` only: device 1's
+    // sequence must be unaffected.
+    for (int i = 0; i < 50; i++)
+        a.nandReadPenalty(0);
+    for (int i = 0; i < 50; i++)
+        EXPECT_EQ(a.nandReadPenalty(1), b.nandReadPenalty(1));
+}
+
+TEST(FaultInjector, ZeroProbabilityDrawsNothing)
+{
+    // A plan whose only event targets device 1 must leave device 0's
+    // stream untouched (no RNG consumption, no stats).
+    const FaultPlan plan = FaultPlan{}.addNandReadError(0.9, 1);
+    FaultInjector inj(plan, 2);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(inj.nandReadPenalty(0), 0.0);
+    EXPECT_EQ(inj.nvmeCommand(0).retries, 0u);
+    EXPECT_EQ(inj.stats().nvme_timeouts, 0u);
+}
+
+TEST(FaultInjector, FailureTimeline)
+{
+    const FaultPlan plan = FaultPlan{}
+                               .addDeviceFailure(2.0, 1)
+                               .addDeviceFailure(5.0, 3);
+    const FaultInjector inj(plan, 4);
+    EXPECT_EQ(inj.survivingDevices(0.0), 4u);
+    EXPECT_FALSE(inj.deviceFailed(1, 1.99));
+    EXPECT_TRUE(inj.deviceFailed(1, 2.0));
+    EXPECT_EQ(inj.survivingDevices(2.0), 3u);
+    EXPECT_EQ(inj.survivingDevices(5.0), 2u);
+    EXPECT_DOUBLE_EQ(inj.deviceFailTime(1), 2.0);
+    EXPECT_TRUE(std::isinf(inj.deviceFailTime(0)));
+    const auto times = inj.eventTimes();
+    ASSERT_EQ(times.size(), 2u);
+    EXPECT_DOUBLE_EQ(times[0], 2.0);
+    EXPECT_DOUBLE_EQ(times[1], 5.0);
+}
+
+TEST(FaultInjector, DeratesCompoundAndActivateOnTime)
+{
+    const FaultPlan plan = FaultPlan{}
+                               .addLinkDegrade(1.0, 0.5, 2)
+                               .addLinkDegrade(3.0, 0.5, 2)
+                               .addUplinkDegrade(2.0, 0.8);
+    const FaultInjector inj(plan, 4);
+    EXPECT_DOUBLE_EQ(inj.linkDerate(2, 0.5), 1.0);
+    EXPECT_DOUBLE_EQ(inj.linkDerate(2, 1.0), 0.5);
+    EXPECT_DOUBLE_EQ(inj.linkDerate(2, 3.0), 0.25);
+    EXPECT_DOUBLE_EQ(inj.linkDerate(0, 10.0), 1.0);  // other device
+    EXPECT_DOUBLE_EQ(inj.uplinkDerate(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(inj.uplinkDerate(2.0), 0.8);
+}
+
+TEST(FaultInjector, FleetFailureKillsEveryDevice)
+{
+    const FaultPlan plan = FaultPlan{}.addFleetFailure(4.0);
+    const FaultInjector inj(plan, 8);
+    EXPECT_EQ(inj.survivingDevices(3.9), 8u);
+    EXPECT_EQ(inj.survivingDevices(4.0), 0u);
+}
+
+// --- NAND ECC read-retry ---
+
+TEST(NandFaults, RetryLatencyIsPerStepRereads)
+{
+    const NandConfig cfg;
+    const NandTiming timing(cfg);
+    EXPECT_DOUBLE_EQ(timing.readRetryLatency(3),
+                     3.0 * (cfg.read_latency + cfg.read_retry_step));
+    EXPECT_DOUBLE_EQ(timing.readRetryLatency(0), 0.0);
+}
+
+TEST(NandFaults, ZeroErrorProbabilityMatchesPlainReadExactly)
+{
+    const NandTiming timing{NandConfig{}};
+    Rng rng(7);
+    std::uint64_t errors = 123;
+    const Seconds with =
+        timing.readPagesWithRetries(1000, 16, 0.0, rng, &errors);
+    EXPECT_EQ(with, timing.readPages(1000, 16));  // bit-identical
+    EXPECT_EQ(errors, 0u);
+}
+
+TEST(NandFaults, ErrorsAddLatencyDeterministically)
+{
+    const NandTiming timing{NandConfig{}};
+    Rng rng1(42);
+    Rng rng2(42);
+    std::uint64_t e1 = 0;
+    std::uint64_t e2 = 0;
+    const Seconds a =
+        timing.readPagesWithRetries(1000, 16, 0.05, rng1, &e1);
+    const Seconds b =
+        timing.readPagesWithRetries(1000, 16, 0.05, rng2, &e2);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(e1, e2);
+    EXPECT_GT(e1, 0u);
+    EXPECT_GT(a, timing.readPages(1000, 16));
+}
+
+// --- NVMe timeout/backoff ---
+
+TEST(NvmeFaults, ZeroTimeoutProbabilityMatchesIdealExactly)
+{
+    const NvmeQueueModel model{NvmeQueueConfig{}};
+    const RetryPolicy rp;
+    EXPECT_EQ(model.degradedBandwidth(64, 128 * KiB, 0.0, rp),
+              model.bandwidth(64, 128 * KiB));
+}
+
+TEST(NvmeFaults, TimeoutsShrinkBandwidthMonotonically)
+{
+    const NvmeQueueModel model{NvmeQueueConfig{}};
+    const RetryPolicy rp;
+    // Shallow queue so Little's law (not the device bandwidth cap)
+    // binds and retry latency is visible in the delivered bandwidth.
+    Bandwidth prev = model.bandwidth(4, 128 * KiB);
+    for (double p : {1e-4, 1e-3, 1e-2}) {
+        const Bandwidth bw = model.degradedBandwidth(4, 128 * KiB, p, rp);
+        EXPECT_LT(bw, prev);
+        prev = bw;
+    }
+}
+
+TEST(NvmeFaults, RetryLatencyAddsExpectedPenalty)
+{
+    const NvmeQueueModel model{NvmeQueueConfig{}};
+    const RetryPolicy rp;
+    const Seconds ideal =
+        model.commandLatencyWithRetries(128 * KiB, 0.0, rp);
+    const Seconds degraded =
+        model.commandLatencyWithRetries(128 * KiB, 1e-2, rp);
+    EXPECT_DOUBLE_EQ(degraded - ideal, rp.expectedNvmePenalty(1e-2));
+}
+
+// --- SSD health ---
+
+TEST(SsdHealthTest, DegradeSlowsReadsOnly)
+{
+    Ssd healthy(pm9a3Config());
+    Ssd degraded(pm9a3Config());
+    degraded.degrade(2.0);
+    EXPECT_EQ(degraded.health(), SsdHealth::Degraded);
+    EXPECT_DOUBLE_EQ(degraded.readTime(1 * GiB),
+                     2.0 * healthy.readTime(1 * GiB));
+    EXPECT_DOUBLE_EQ(degraded.writeTime(1 * GiB),
+                     healthy.writeTime(1 * GiB));
+    degraded.degrade(1.5);  // compounds
+    EXPECT_DOUBLE_EQ(degraded.readSlowdown(), 3.0);
+}
+
+TEST(SsdHealthTest, FailedDeviceRefusesIo)
+{
+    Ssd ssd(pm9a3Config());
+    ssd.fail();
+    EXPECT_EQ(ssd.health(), SsdHealth::Failed);
+    EXPECT_DEATH(ssd.readTime(4096), "failed");
+    EXPECT_DEATH(ssd.writeTime(4096), "failed");
+}
+
+// --- RAID-0 degraded/failed members ---
+
+TEST(Raid0Faults, DegradedMemberBindsTheStripe)
+{
+    Raid0 healthy(pm9a3Config(), 4);
+    Raid0 degraded(pm9a3Config(), 4);
+    degraded.degradeMember(2, 2.0);
+    EXPECT_EQ(degraded.degradedMembers(), 1u);
+    EXPECT_FALSE(degraded.failed());
+    const std::uint64_t bytes = 4ull * GiB;
+    // The slow member serves 1/4 of the stripe at half speed and
+    // becomes the critical path.
+    EXPECT_NEAR(degraded.readTime(bytes), 2.0 * healthy.readTime(bytes),
+                1e-6);
+}
+
+TEST(Raid0Faults, MemberFailureLosesTheStripe)
+{
+    Raid0 raid(pm9a3Config(), 4);
+    EXPECT_FALSE(raid.failed());
+    raid.failMember(1);
+    EXPECT_TRUE(raid.failed());
+    EXPECT_DEATH(raid.readTime(1 * MiB), "failed");
+}
+
+// --- BandwidthResource fault hooks ---
+
+TEST(BandwidthFaults, OccupyAdvancesTheBusyHorizon)
+{
+    BandwidthResource res("link", 1.0 * GB, 0.0);
+    const Seconds stall_end = res.occupy(0.0, 0.5);
+    EXPECT_DOUBLE_EQ(stall_end, 0.5);
+    // A transfer arriving during the stall waits for it.
+    const Seconds done = res.transfer(0.0, 1 << 30);
+    EXPECT_GE(done, 0.5 + res.serviceTime(1 << 30));
+}
+
+TEST(BandwidthFaults, ZeroDurationOccupyIsANoOp)
+{
+    BandwidthResource res("link", 1.0 * GB, 0.0);
+    const Seconds t1 = res.transfer(0.0, 1 << 20);
+    EXPECT_DOUBLE_EQ(res.occupy(0.0, 0.0), t1);
+    EXPECT_DOUBLE_EQ(res.busyUntil(), t1);
+}
+
+TEST(BandwidthFaults, SetRateScalesFutureServiceTime)
+{
+    BandwidthResource res("link", 2.0 * GB, 0.0);
+    const Seconds fast = res.serviceTime(1 << 30);
+    res.setRate(1.0 * GB);
+    EXPECT_DOUBLE_EQ(res.serviceTime(1 << 30), 2.0 * fast);
+}
+
+}  // namespace
+}  // namespace hilos
