@@ -7,22 +7,72 @@
  * internal consistency check for every HILOS number reported by the
  * other benches, in the spirit of the paper's estimator validation
  * (§5.1).
+ *
+ * Each grid point constructs its own engine and simulator, so the
+ * sweep fans across `--jobs N` worker threads with byte-identical
+ * output (results are merged in grid order, not completion order).
  */
 
 #include <iostream>
 #include <vector>
 
+#include "common/cli.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/hilos.h"
 #include "runtime/event_sim.h"
+#include "sim/parallel.h"
 
 using namespace hilos;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ArgParser args("bench_crossval_eventsim");
+    args.addOption("jobs", "1",
+                   "worker threads for the sweep (0 = all cores)");
+    if (!args.parse(argc, argv) || args.helpRequested()) {
+        std::cerr << args.usage();
+        return args.helpRequested() ? 0 : 2;
+    }
+
     SystemConfig sys = defaultSystem();
+
+    struct Point {
+        ModelConfig model;
+        std::uint64_t context;
+        unsigned devices;
+    };
+    std::vector<Point> points;
+    for (const ModelConfig &model : {opt66b(), opt175b()})
+        for (std::uint64_t s : {8192ull, 32768ull, 131072ull})
+            for (unsigned n : {8u, 16u})
+                points.push_back(Point{model, s, n});
+
+    struct PairResult {
+        RunResult analytic;
+        EventSimResult sim;
+    };
+    const unsigned jobs = static_cast<unsigned>(args.getInt("jobs"));
+    if (!args.ok()) {
+        std::cerr << "error: " << args.error() << "\n";
+        return 2;
+    }
+    SweepDriver driver(jobs);
+    const std::vector<PairResult> results =
+        driver.map(points, [&sys](const Point &p) {
+            RunConfig run;
+            run.model = p.model;
+            run.batch = 16;
+            run.context_len = p.context;
+            run.output_len = 64;
+            HilosOptions opts;
+            opts.num_devices = p.devices;
+            const HilosEngine engine(sys, opts);
+            const HilosEventSimulator sim(sys, opts);
+            return PairResult{engine.run(run),
+                              sim.simulateDecodeStep(run)};
+        });
 
     printBanner(std::cout,
                 "Analytic engine vs slice-level event simulation "
@@ -31,35 +81,21 @@ main()
                      "ratio", "uplink util", "internal util"});
 
     std::vector<double> analytic_series, sim_series;
-    for (const ModelConfig &model : {opt66b(), opt175b()}) {
-        for (std::uint64_t s : {8192ull, 32768ull, 131072ull}) {
-            for (unsigned n : {8u, 16u}) {
-                RunConfig run;
-                run.model = model;
-                run.batch = 16;
-                run.context_len = s;
-                run.output_len = 64;
-                HilosOptions opts;
-                opts.num_devices = n;
-
-                const HilosEngine engine(sys, opts);
-                const RunResult a = engine.run(run);
-                const HilosEventSimulator sim(sys, opts);
-                const EventSimResult e = sim.simulateDecodeStep(run);
-
-                analytic_series.push_back(a.decode_step_time);
-                sim_series.push_back(e.decode_step_time);
-                table.row()
-                    .cell(model.name)
-                    .cell(std::to_string(s / 1024) + "K")
-                    .cell(std::to_string(n))
-                    .cell(formatSeconds(a.decode_step_time))
-                    .cell(formatSeconds(e.decode_step_time))
-                    .ratio(e.decode_step_time / a.decode_step_time)
-                    .num(100.0 * e.uplink_utilization, 1)
-                    .num(100.0 * e.internal_utilization, 1);
-            }
-        }
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point &p = points[i];
+        const RunResult &a = results[i].analytic;
+        const EventSimResult &e = results[i].sim;
+        analytic_series.push_back(a.decode_step_time);
+        sim_series.push_back(e.decode_step_time);
+        table.row()
+            .cell(p.model.name)
+            .cell(std::to_string(p.context / 1024) + "K")
+            .cell(std::to_string(p.devices))
+            .cell(formatSeconds(a.decode_step_time))
+            .cell(formatSeconds(e.decode_step_time))
+            .ratio(e.decode_step_time / a.decode_step_time)
+            .num(100.0 * e.uplink_utilization, 1)
+            .num(100.0 * e.internal_utilization, 1);
     }
     table.print(std::cout);
 

@@ -8,11 +8,15 @@
  *  - c = 16 (4 KiB chunks) performs best across alpha; larger
  *    intervals pay XRT DMA-orchestration overhead, smaller ones pay
  *    sub-page spill penalties.
+ *
+ * Both sensitivity grids run through runGrid, so `--jobs N` fans the
+ * points across worker threads with byte-identical tables.
  */
 
 #include <iostream>
 #include <vector>
 
+#include "common/cli.h"
 #include "common/table.h"
 #include "core/hilos.h"
 #include "runtime/xcache.h"
@@ -20,8 +24,21 @@
 using namespace hilos;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ArgParser args("bench_fig13_sensitivity");
+    args.addOption("jobs", "1",
+                   "worker threads for the sweep (0 = all cores)");
+    if (!args.parse(argc, argv) || args.helpRequested()) {
+        std::cerr << args.usage();
+        return args.helpRequested() ? 0 : 2;
+    }
+    const unsigned jobs = static_cast<unsigned>(args.getInt("jobs"));
+    if (!args.ok()) {
+        std::cerr << "error: " << args.error() << "\n";
+        return 2;
+    }
+
     SystemConfig sys = defaultSystem();
     RunConfig run;
     run.model = opt66b();
@@ -49,19 +66,43 @@ main()
     printBanner(std::cout,
                 "Figure 13: throughput (tokens/s) across alpha and "
                 "spill interval c (OPT-66B, 32K, bs 16, 8 SmartSSDs)");
-    TextTable table({"alpha", "c=4", "c=16", "c=64", "best c"});
-    for (double alpha : {0.0, 0.25, 0.5, 0.75, 1.0}) {
-        table.row().cell(std::to_string(static_cast<int>(alpha * 100)) +
-                         "%");
-        double best = 0.0;
-        std::string best_c;
-        for (unsigned c : {4u, 16u, 64u}) {
+    const std::vector<double> alphas = {0.0, 0.25, 0.5, 0.75, 1.0};
+    const std::vector<unsigned> intervals = {4, 16, 64};
+
+    // Flatten both sensitivity grids (alpha-major, then the CXL modes)
+    // into one sweep; runGrid hands the points back in grid order so
+    // the tables render identically at any `--jobs` value.
+    std::vector<GridPoint> grid;
+    for (double alpha : alphas) {
+        for (unsigned c : intervals) {
             HilosOptions opts;
             opts.num_devices = 8;
             opts.alpha_override = alpha;
             opts.spill_interval = c;
-            const RunResult r =
-                makeEngine(EngineKind::Hilos, sys, opts)->run(run);
+            grid.push_back(GridPoint{EngineKind::Hilos, opts, run});
+        }
+    }
+    for (bool cxl_mode : {false, true}) {
+        for (unsigned c : intervals) {
+            HilosOptions opts;
+            opts.num_devices = 8;
+            opts.alpha_override = 0.5;
+            opts.spill_interval = c;
+            opts.cxl_mode = cxl_mode;
+            grid.push_back(GridPoint{EngineKind::Hilos, opts, run});
+        }
+    }
+    const std::vector<RunResult> results = runGrid(sys, grid, jobs);
+
+    TextTable table({"alpha", "c=4", "c=16", "c=64", "best c"});
+    std::size_t idx = 0;
+    for (double alpha : alphas) {
+        table.row().cell(std::to_string(static_cast<int>(alpha * 100)) +
+                         "%");
+        double best = 0.0;
+        std::string best_c;
+        for (unsigned c : intervals) {
+            const RunResult &r = results[idx++];
             table.num(r.decodeThroughput(), 4);
             if (r.decodeThroughput() > best) {
                 best = r.decodeThroughput();
@@ -80,14 +121,8 @@ main()
     for (bool cxl_mode : {false, true}) {
         cxl.row().cell(cxl_mode ? "CXL.mem" : "PCIe + XRT DMA");
         double t16 = 0, t64 = 0;
-        for (unsigned c : {4u, 16u, 64u}) {
-            HilosOptions opts;
-            opts.num_devices = 8;
-            opts.alpha_override = 0.5;
-            opts.spill_interval = c;
-            opts.cxl_mode = cxl_mode;
-            const RunResult r =
-                makeEngine(EngineKind::Hilos, sys, opts)->run(run);
+        for (unsigned c : intervals) {
+            const RunResult &r = results[idx++];
             cxl.num(r.decodeThroughput(), 4);
             if (c == 16)
                 t16 = r.decodeThroughput();

@@ -162,6 +162,9 @@ main(int argc, char **argv)
         .addOption("report", "",
                    "write a markdown evaluation report (headline grid) "
                    "to this file")
+        .addOption("jobs", "1",
+                   "worker threads for the --report grid sweep "
+                   "(0 = all cores; output is identical at any value)")
         .addOption("trace", "",
                    "write a chrome://tracing JSON of one simulated "
                    "decode step (HILOS only) to this file");
@@ -209,6 +212,11 @@ main(int argc, char **argv)
     if (!report_path.empty()) {
         ReportConfig rc;
         rc.fault_plan = opts.fault_plan;
+        rc.jobs = static_cast<unsigned>(args.getInt("jobs"));
+        if (!args.ok()) {
+            std::cerr << "error: " << args.error() << "\n";
+            return 2;
+        }
         const EvaluationReport rep = runEvaluation(sys, rc);
         std::ofstream out(report_path);
         if (!out) {

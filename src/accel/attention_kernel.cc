@@ -47,7 +47,14 @@ AttentionKernel::run(const AttentionRequest &req) const
     HILOS_ASSERT(req.valid_len + n_buf > 0, "empty attention context");
     HILOS_ASSERT(req.window_start <= req.valid_len,
                  "window start beyond valid context");
-    HILOS_ASSERT(req.window_start < req.valid_len || n_buf > 0,
+    // The context is non-empty when the window still covers stored
+    // tokens, when attention sinks keep the leading tokens visible
+    // (StreamingLLM-style: even window_start == valid_len leaves the
+    // sinks attended), or when host-buffered entries exist.
+    const bool sinks_attended =
+        req.sink_tokens > 0 && req.valid_len > 0;
+    HILOS_ASSERT(req.window_start < req.valid_len || sinks_attended ||
+                     n_buf > 0,
                  "sliding window empties the attention context");
 
     const float scale =

@@ -1,5 +1,6 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -7,19 +8,21 @@
 namespace hilos {
 
 namespace {
-LogLevel g_level = LogLevel::Warn;
+// Atomic so sweep-driver worker threads can log while another thread
+// adjusts verbosity without a data race.
+std::atomic<LogLevel> g_level{LogLevel::Warn};
 }  // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 namespace detail {

@@ -1,6 +1,7 @@
 #include "core/hilos.h"
 
 #include "common/logging.h"
+#include "sim/parallel.h"
 
 namespace hilos {
 
@@ -32,6 +33,16 @@ makeEngine(EngineKind kind, const SystemConfig &sys,
         return std::make_unique<HilosEngine>(sys, hilos_opts);
     }
     HILOS_PANIC("unknown engine kind");
+}
+
+std::vector<RunResult>
+runGrid(const SystemConfig &sys, const std::vector<GridPoint> &grid,
+        unsigned jobs)
+{
+    SweepDriver driver(jobs);
+    return driver.map(grid, [&sys](const GridPoint &p) {
+        return makeEngine(p.kind, sys, p.hilos)->run(p.run);
+    });
 }
 
 std::vector<EngineComparison>

@@ -53,6 +53,26 @@ std::unique_ptr<InferenceEngine> makeEngine(
     EngineKind kind, const SystemConfig &sys,
     const HilosOptions &hilos_opts = HilosOptions{});
 
+/**
+ * One point of an engine sweep grid: which system to model and the
+ * workload to run it on (see runGrid).
+ */
+struct GridPoint {
+    EngineKind kind = EngineKind::Hilos;
+    HilosOptions hilos;  ///< applies only to EngineKind::Hilos
+    RunConfig run;
+};
+
+/**
+ * Evaluate every grid point, fanning independent points across `jobs`
+ * worker threads (0 = hardware concurrency, 1 = serial). Each point
+ * constructs its own engine, so tasks share no mutable state; results
+ * are keyed by grid index and bit-identical for every `jobs` value.
+ */
+std::vector<RunResult> runGrid(const SystemConfig &sys,
+                               const std::vector<GridPoint> &grid,
+                               unsigned jobs = 1);
+
 /** One row of a cross-engine comparison. */
 struct EngineComparison {
     std::string engine;

@@ -7,6 +7,12 @@
 
 namespace hilos {
 
+std::uint64_t
+midGenerationContext(std::uint64_t context_len, std::uint64_t output_len)
+{
+    return context_len + output_len / 2;
+}
+
 WeightHome
 chooseWeightHome(const ModelConfig &model, std::uint64_t dram_capacity)
 {

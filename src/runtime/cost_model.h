@@ -21,6 +21,16 @@
 
 namespace hilos {
 
+/**
+ * The representative context length of a decode step, halfway through
+ * generation: `context_len + output_len / 2` (integer halving, so odd
+ * output lengths round down). Every engine prices its decode-step
+ * costs at this mid-generation point; sharing the helper keeps the
+ * engines agreeing by construction instead of by copy-paste.
+ */
+std::uint64_t midGenerationContext(std::uint64_t context_len,
+                                   std::uint64_t output_len);
+
 /** Where model weights reside between uses. */
 enum class WeightHome {
     HostDram,  ///< staged host DRAM -> GPU over PCIe each layer

@@ -35,7 +35,7 @@ DeepSpeedUvmEngine::run(const RunConfig &cfg) const
         return res;
     }
     const std::uint64_t b = res.effective_batch;
-    const std::uint64_t s_mid = cfg.context_len + cfg.output_len / 2;
+    const std::uint64_t s_mid = midGenerationContext(cfg.context_len, cfg.output_len);
     const double L = static_cast<double>(m.layers);
 
     (void)cpu;

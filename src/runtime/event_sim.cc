@@ -29,7 +29,7 @@ HilosEventSimulator::simulateDecodeStep(const RunConfig &cfg,
     const Gpu gpu(sys_.gpu);
     const unsigned N = opts_.num_devices;
     const std::uint64_t b = cfg.batch;
-    const std::uint64_t s = cfg.context_len + cfg.output_len / 2;
+    const std::uint64_t s = midGenerationContext(cfg.context_len, cfg.output_len);
     const std::uint64_t d = m.headDim();
     const std::uint64_t d_group = m.dGroup();
     const std::uint64_t L = m.layers;
@@ -262,7 +262,9 @@ HilosEventSimulator::simulateDecodeStep(const RunConfig &cfg,
     res.mean_layer_time = prev_done / static_cast<double>(L);
     res.uplink_utilization = uplink.utilization(prev_done);
     res.gds_utilization = gds.utilization(prev_done);
-    res.gpu_utilization = std::min(1.0, gpu_busy / prev_done);
+    // GPU busy spans all lie within [0, prev_done]; report the true
+    // ratio (utilization() would assert if accounting ever drifted).
+    res.gpu_utilization = gpu_busy / prev_done;
     double internal_busy = 0.0;
     for (const auto &r : internal)
         internal_busy += r.utilization(prev_done);

@@ -104,7 +104,7 @@ FlexGenEngine::run(const RunConfig &cfg) const
     }
     const std::uint64_t b = res.effective_batch;
     // Mid-generation context length drives decode-step costs.
-    const std::uint64_t s_mid = cfg.context_len + cfg.output_len / 2;
+    const std::uint64_t s_mid = midGenerationContext(cfg.context_len, cfg.output_len);
 
     const bool on_ssd = tier_ != FlexTier::HostDram;
     const Bandwidth read_bw = storageReadBw();

@@ -59,7 +59,7 @@ HilosEngine::alphaFor(const RunConfig &cfg, Bandwidth fleet_read,
                                 sys_.gpu.fp16_peak *
                                     sys_.gpu.gemm_efficiency);
     return sched.bestAlpha(cfg.batch,
-                           cfg.context_len + cfg.output_len / 2,
+                           midGenerationContext(cfg.context_len, cfg.output_len),
                            cfg.model.hidden,
                            cfg.model.kv_heads * cfg.model.headDim());
 }
@@ -115,7 +115,7 @@ HilosEngine::runConditioned(const RunConfig &cfg,
     RunResult res;
     res.effective_batch = cfg.batch;
     const std::uint64_t b = cfg.batch;
-    std::uint64_t s_mid = cfg.context_len + cfg.output_len / 2;
+    std::uint64_t s_mid = midGenerationContext(cfg.context_len, cfg.output_len);
     // Sliding-window variants attend (and keep) only the window.
     if (opts_.attention_window > 0)
         s_mid = std::min(s_mid, opts_.attention_window);

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "core/hilos.h"
+#include "sim/parallel.h"
 
 namespace hilos {
 
@@ -32,69 +33,105 @@ makeEntry(const std::string &model, std::uint64_t context,
 
 }  // namespace
 
+namespace {
+
+/** Everything one (model, context) cell contributes to the report. */
+struct CellResult {
+    std::vector<ReportEntry> entries;
+    double max_speedup = 0;
+    double max_energy_saving = 0;
+};
+
+CellResult
+evaluateCell(const SystemConfig &sys, const ReportConfig &cfg,
+             const std::string &model_name, std::uint64_t context)
+{
+    CellResult cell;
+    RunConfig run;
+    run.model = modelByName(model_name);
+    run.batch = cfg.batch;
+    run.context_len = context;
+    run.output_len = cfg.output_len;
+
+    const RunResult base = makeEngine(EngineKind::FlexSsd, sys)->run(run);
+    const double base_tput = base.decodeThroughput();
+    const double base_price = systemPriceUsd(
+        sys, StorageKind::BaselineSsds, sys.num_baseline_ssds);
+    cell.entries.push_back(makeEntry(model_name, context, "FLEX(SSD)",
+                                     base, base_price, base_tput));
+
+    const RunResult dram = makeEngine(EngineKind::FlexDram, sys)->run(run);
+    cell.entries.push_back(
+        makeEntry(model_name, context, "FLEX(DRAM)", dram,
+                  systemPriceUsd(sys, StorageKind::None, 0), base_tput));
+
+    for (unsigned n : cfg.device_counts) {
+        HilosOptions opts;
+        opts.num_devices = n;
+        opts.fault_plan = cfg.fault_plan;
+        const RunResult hil =
+            makeEngine(EngineKind::Hilos, sys, opts)->run(run);
+        ReportEntry e = makeEntry(model_name, context,
+                                  "HILOS(" + std::to_string(n) + ")",
+                                  hil,
+                                  systemPriceUsd(
+                                      sys, StorageKind::SmartSsds, n),
+                                  base_tput);
+        if (!cfg.fault_plan.empty()) {
+            e.faulted = true;
+            e.availability = hil.faults.availability;
+            e.slowdown = hil.faults.slowdown;
+            e.devices_failed = hil.faults.devices_failed;
+            e.retry_time = hil.faults.retry_time;
+        }
+        cell.entries.push_back(e);
+        if (e.feasible) {
+            cell.max_speedup =
+                std::max(cell.max_speedup, e.speedup_vs_flex_ssd);
+            if (base.feasible && base.energy.total() > 0) {
+                cell.max_energy_saving = std::max(
+                    cell.max_energy_saving,
+                    1.0 - hil.energy.total() / base.energy.total());
+            }
+        }
+    }
+    return cell;
+}
+
+}  // namespace
+
 EvaluationReport
 runEvaluation(const SystemConfig &sys, const ReportConfig &cfg)
 {
     HILOS_ASSERT(!cfg.models.empty() && !cfg.contexts.empty(),
                  "empty report grid");
+
+    // Each (model, context) cell is independent; fan them across the
+    // sweep driver and merge in grid order so the rendered report is
+    // bit-identical to the serial path at any job count.
+    struct Cell {
+        std::string model;
+        std::uint64_t context;
+    };
+    std::vector<Cell> grid;
+    for (const std::string &model_name : cfg.models)
+        for (std::uint64_t context : cfg.contexts)
+            grid.push_back(Cell{model_name, context});
+
+    SweepDriver driver(cfg.jobs);
+    const std::vector<CellResult> cells =
+        driver.map(grid, [&](const Cell &c) {
+            return evaluateCell(sys, cfg, c.model, c.context);
+        });
+
     EvaluationReport report;
-
-    for (const std::string &model_name : cfg.models) {
-        const ModelConfig model = modelByName(model_name);
-        for (std::uint64_t context : cfg.contexts) {
-            RunConfig run;
-            run.model = model;
-            run.batch = cfg.batch;
-            run.context_len = context;
-            run.output_len = cfg.output_len;
-
-            const RunResult base =
-                makeEngine(EngineKind::FlexSsd, sys)->run(run);
-            const double base_tput = base.decodeThroughput();
-            const double base_price = systemPriceUsd(
-                sys, StorageKind::BaselineSsds, sys.num_baseline_ssds);
-            report.entries.push_back(makeEntry(model_name, context,
-                                               "FLEX(SSD)", base,
-                                               base_price, base_tput));
-
-            const RunResult dram =
-                makeEngine(EngineKind::FlexDram, sys)->run(run);
-            report.entries.push_back(
-                makeEntry(model_name, context, "FLEX(DRAM)", dram,
-                          systemPriceUsd(sys, StorageKind::None, 0),
-                          base_tput));
-
-            for (unsigned n : cfg.device_counts) {
-                HilosOptions opts;
-                opts.num_devices = n;
-                opts.fault_plan = cfg.fault_plan;
-                const RunResult hil =
-                    makeEngine(EngineKind::Hilos, sys, opts)->run(run);
-                ReportEntry e = makeEntry(
-                    model_name, context,
-                    "HILOS(" + std::to_string(n) + ")", hil,
-                    systemPriceUsd(sys, StorageKind::SmartSsds, n),
-                    base_tput);
-                if (!cfg.fault_plan.empty()) {
-                    e.faulted = true;
-                    e.availability = hil.faults.availability;
-                    e.slowdown = hil.faults.slowdown;
-                    e.devices_failed = hil.faults.devices_failed;
-                    e.retry_time = hil.faults.retry_time;
-                }
-                report.entries.push_back(e);
-                if (e.feasible) {
-                    report.max_speedup = std::max(
-                        report.max_speedup, e.speedup_vs_flex_ssd);
-                    if (base.feasible && base.energy.total() > 0) {
-                        report.max_energy_saving = std::max(
-                            report.max_energy_saving,
-                            1.0 - hil.energy.total() /
-                                      base.energy.total());
-                    }
-                }
-            }
-        }
+    for (const CellResult &cell : cells) {
+        report.entries.insert(report.entries.end(), cell.entries.begin(),
+                              cell.entries.end());
+        report.max_speedup =
+            std::max(report.max_speedup, cell.max_speedup);
+        report.max_energy_saving =
+            std::max(report.max_energy_saving, cell.max_energy_saving);
     }
     return report;
 }

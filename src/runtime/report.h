@@ -34,6 +34,13 @@ struct ReportConfig {
      * no SmartSSD fleet to fault). Empty = the fault-free grid.
      */
     FaultPlan fault_plan;
+    /**
+     * Worker threads to fan the (model, context) grid cells across
+     * (0 = hardware concurrency). The report is bit-identical for
+     * every value: cells are independent and results are merged in
+     * grid order, not completion order.
+     */
+    unsigned jobs = 1;
 };
 
 /** One evaluated grid point. */

@@ -64,7 +64,7 @@ VllmMultiGpuEngine::run(const RunConfig &cfg) const
                    "% of KV per step over PCIe)";
     }
     const std::uint64_t b = res.effective_batch;
-    const std::uint64_t s_mid = cfg.context_len + cfg.output_len / 2;
+    const std::uint64_t s_mid = midGenerationContext(cfg.context_len, cfg.output_len);
     const double L = static_cast<double>(m.layers);
 
     // --- Per-layer decode time on one pipeline stage ---

@@ -60,7 +60,18 @@ BandwidthResource::utilization(Seconds horizon) const
 {
     if (horizon <= 0.0)
         return 0.0;
-    return std::min(1.0, busy_time_ / horizon);
+    const double util = busy_time_ / horizon;
+    // A serialised channel cannot be busy for longer than the window
+    // that contains all of its service; a value above 1 means the
+    // caller queried mid-flight (horizon < busyUntil()) or busy-time
+    // accounting double-counted somewhere. Surface it instead of
+    // silently saturating at 1.0.
+    HILOS_ASSERT(util <= 1.0 + 1e-9,
+                 "utilization of '", name_, "' exceeds 1: busy ",
+                 busy_time_, " s over horizon ", horizon,
+                 " s (busy until ", busy_until_,
+                 " s); query after the window completes");
+    return util;
 }
 
 void

@@ -73,10 +73,20 @@ class BandwidthResource
     /** Total time the channel spent busy. */
     Seconds busyTime() const { return busy_time_; }
 
-    /** Fraction of [0, horizon] the channel was busy. */
+    /**
+     * Fraction of [0, horizon] the channel was busy. Reports the true
+     * busy_time/horizon ratio with no clamping; querying with a
+     * horizon that does not cover the full busy span (i.e. before
+     * busyUntil()) is an accounting error and asserts once the ratio
+     * exceeds 1 + epsilon, so bugs surface instead of saturating.
+     */
     double utilization(Seconds horizon) const;
 
-    /** Reset busy horizon and statistics. */
+    /**
+     * Reset busy horizon and all statistics, including the queue_delay
+     * and stall summaries, back to the freshly constructed state (the
+     * configured rate and latency are preserved).
+     */
     void reset();
 
     Bandwidth rate() const { return rate_; }

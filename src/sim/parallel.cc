@@ -1,0 +1,158 @@
+#include "sim/parallel.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hilos {
+
+unsigned
+ThreadPool::defaultJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned jobs)
+    : jobs_(std::min(jobs == 0 ? defaultJobs() : jobs, kMaxJobs))
+{
+    if (jobs_ <= 1)
+        return;  // inline execution, no worker threads
+    shards_.reserve(jobs_);
+    for (unsigned i = 0; i < jobs_; i++)
+        shards_.push_back(std::make_unique<Shard>());
+    threads_.reserve(jobs_);
+    for (unsigned i = 0; i < jobs_; i++)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    if (threads_.empty())
+        return;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    start_cv_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (threads_.empty() || n == 1) {
+        // Serial reference path: same code the workers run, same
+        // index order a 1-wide deal would produce.
+        for (std::size_t i = 0; i < n; i++)
+            fn(i);
+        return;
+    }
+
+    // Deal indices round-robin before publishing the job, so workers
+    // never observe a partially filled shard.
+    for (std::size_t i = 0; i < n; i++) {
+        Shard &sh = *shards_[i % jobs_];
+        std::lock_guard<std::mutex> lk(sh.mu);
+        sh.indices.push_back(i);
+    }
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        HILOS_ASSERT(fn_ == nullptr, "parallelFor is not reentrant");
+        fn_ = &fn;
+        error_ = nullptr;
+        running_ = jobs_;
+        generation_++;
+    }
+    start_cv_.notify_all();
+
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [this] { return running_ == 0; });
+    fn_ = nullptr;
+    if (error_)
+        std::rethrow_exception(error_);
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    std::uint64_t seen = 0;
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            start_cv_.wait(lk, [&] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+        }
+        runShare(self);
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (--running_ == 0)
+                done_cv_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::runShare(unsigned self)
+{
+    const std::function<void(std::size_t)> &fn = *fn_;
+    std::size_t idx = 0;
+    while (popOwn(self, idx) || stealFrom(self, idx)) {
+        try {
+            fn(idx);
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                if (!error_)
+                    error_ = std::current_exception();
+            }
+            cancelPending();
+        }
+    }
+}
+
+bool
+ThreadPool::popOwn(unsigned self, std::size_t &idx)
+{
+    Shard &sh = *shards_[self];
+    std::lock_guard<std::mutex> lk(sh.mu);
+    if (sh.indices.empty())
+        return false;
+    idx = sh.indices.front();
+    sh.indices.pop_front();
+    return true;
+}
+
+bool
+ThreadPool::stealFrom(unsigned self, std::size_t &idx)
+{
+    for (unsigned off = 1; off < jobs_; off++) {
+        Shard &victim = *shards_[(self + off) % jobs_];
+        std::lock_guard<std::mutex> lk(victim.mu);
+        if (victim.indices.empty())
+            continue;
+        idx = victim.indices.back();
+        victim.indices.pop_back();
+        return true;
+    }
+    return false;
+}
+
+void
+ThreadPool::cancelPending()
+{
+    for (std::unique_ptr<Shard> &sh : shards_) {
+        std::lock_guard<std::mutex> lk(sh->mu);
+        sh->indices.clear();
+    }
+}
+
+}  // namespace hilos

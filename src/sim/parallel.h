@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Parallel sweep execution: a small work-stealing thread pool plus a
+ * SweepDriver that fans independent grid points across threads with
+ * deterministic result ordering.
+ *
+ * Every paper figure re-runs the analytic engines and the event
+ * simulator over large config grids (devices x batch x context x
+ * model). The grid points are independent — each engine `run()` is
+ * const and builds all of its state (BandwidthResource instances,
+ * fault-injector RNG streams, trace buffers) locally — so they
+ * parallelise embarrassingly. The driver guarantees:
+ *
+ *  - results are keyed by grid index, never by completion order, so a
+ *    sweep renders byte-identically regardless of thread count;
+ *  - `jobs == 1` executes inline on the calling thread with no worker
+ *    threads at all (the serial reference path);
+ *  - tasks never share mutable state through the driver — each task
+ *    owns whatever engines/simulators/recorders it constructs.
+ */
+
+#ifndef HILOS_SIM_PARALLEL_H_
+#define HILOS_SIM_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace hilos {
+
+/**
+ * Work-stealing thread pool over index ranges.
+ *
+ * Workers are spawned once and reused across parallelFor() calls.
+ * Indices are dealt round-robin into per-worker deques; a worker pops
+ * from the front of its own deque and, when empty, steals from the
+ * back of a victim's. parallelFor() is not reentrant: one sweep at a
+ * time per pool.
+ */
+class ThreadPool
+{
+  public:
+    /** Hard ceiling on the worker count, so absurd requests (e.g. a
+     *  negative CLI value cast to unsigned) degrade to a large pool
+     *  instead of exhausting the process's thread limit. */
+    static constexpr unsigned kMaxJobs = 256;
+
+    /**
+     * @param jobs worker count; 0 picks the hardware concurrency,
+     *        1 runs everything inline on the calling thread. Clamped
+     *        to kMaxJobs.
+     */
+    explicit ThreadPool(unsigned jobs = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Effective parallelism (>= 1). */
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Run `fn(i)` for every i in [0, n), blocking until all complete.
+     * The first exception thrown by any task is rethrown here after
+     * the remaining queued work is cancelled.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+    /** Default worker count for `jobs == 0`. */
+    static unsigned defaultJobs();
+
+  private:
+    /** One worker's share of the current sweep. */
+    struct Shard {
+        std::mutex mu;
+        std::deque<std::size_t> indices;
+    };
+
+    void workerLoop(unsigned self);
+    void runShare(unsigned self);
+    bool popOwn(unsigned self, std::size_t &idx);
+    bool stealFrom(unsigned self, std::size_t &idx);
+    void cancelPending();
+
+    unsigned jobs_ = 1;
+    std::vector<std::thread> threads_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    std::mutex mu_;
+    std::condition_variable start_cv_;
+    std::condition_variable done_cv_;
+    std::uint64_t generation_ = 0;
+    unsigned running_ = 0;
+    bool stop_ = false;
+    const std::function<void(std::size_t)> *fn_ = nullptr;
+    std::exception_ptr error_;
+};
+
+/**
+ * Fans a grid of independent sweep points across a ThreadPool.
+ *
+ * The driver owns nothing about the point type: callers pass a vector
+ * of tasks (RunConfig grid points, scenario structs, plain indices)
+ * and a function evaluating one of them. Results come back in a
+ * vector parallel to the input — element i is always the result of
+ * task i, whatever order the threads finished in.
+ */
+class SweepDriver
+{
+  public:
+    /** @param jobs see ThreadPool; 1 = serial reference execution. */
+    explicit SweepDriver(unsigned jobs = 0) : pool_(jobs) {}
+
+    unsigned jobs() const { return pool_.jobs(); }
+
+    /**
+     * Evaluate `fn(task)` for every task, results keyed by task index.
+     * `fn` must treat tasks as independent: any engine, simulator,
+     * RNG, or trace state it needs is constructed inside the call.
+     */
+    template <typename Task, typename Fn>
+    auto map(const std::vector<Task> &tasks, Fn &&fn)
+        -> std::vector<decltype(fn(tasks.front()))>
+    {
+        std::vector<decltype(fn(tasks.front()))> results(tasks.size());
+        pool_.parallelFor(tasks.size(), [&](std::size_t i) {
+            results[i] = fn(tasks[i]);
+        });
+        return results;
+    }
+
+    /**
+     * Index-based form: evaluate `fn(i)` for i in [0, n), results
+     * keyed by i.
+     */
+    template <typename Fn>
+    auto sweep(std::size_t n, Fn &&fn) -> std::vector<decltype(fn(0u))>
+    {
+        std::vector<decltype(fn(0u))> results(n);
+        pool_.parallelFor(n,
+                          [&](std::size_t i) { results[i] = fn(i); });
+        return results;
+    }
+
+  private:
+    ThreadPool pool_;
+};
+
+}  // namespace hilos
+
+#endif  // HILOS_SIM_PARALLEL_H_

@@ -118,6 +118,48 @@ TEST(KernelWindow, EmptyWindowWithoutBufferDies)
     EXPECT_DEATH(kernel.run(req), "window");
 }
 
+TEST(KernelWindow, SinksAloneKeepContextNonEmpty)
+{
+    // Edge case: the window has slid past the entire stored context
+    // (window_start == valid_len) but sink tokens remain attended.
+    // This used to trip the `n_buf > 0` assert; now it matches the
+    // reference over the sink rows alone.
+    const std::size_t s = 128, sinks = 4, d = 32;
+    Rng rng(60);
+    const Matrix q = Matrix::random(1, d, rng, 0.5f);
+    const Matrix k = Matrix::random(s, d, rng, 0.5f);
+    const Matrix v = Matrix::random(s, d, rng, 0.5f);
+    const std::vector<Half> qh = toHalf(q), kh = toHalf(k),
+                            vh = toHalf(v);
+
+    AttentionRequest req;
+    req.queries = viewOf(qh, 1, d);
+    req.keys = viewOf(kh, s, d);
+    req.values = viewOf(vh, s, d);
+    req.valid_len = s;
+    req.window_start = s;  // window fully past the stored context
+    req.sink_tokens = sinks;
+    const AttentionKernel kernel{AttentionKernelConfig{}};
+    const AttentionResult res = kernel.run(req);
+
+    // Reference: attention over the sink rows only.
+    Matrix kr(sinks, d), vr(sinks, d);
+    const Matrix kf = fromHalf(kh, s, d), vf = fromHalf(vh, s, d);
+    for (std::size_t i = 0; i < sinks; i++)
+        for (std::size_t c = 0; c < d; c++) {
+            kr.at(i, c) = kf.at(i, c);
+            vr.at(i, c) = vf.at(i, c);
+        }
+    const Matrix expected = naiveAttention(fromHalf(qh, 1, d), kr, vr);
+    for (std::size_t c = 0; c < d; c++)
+        EXPECT_NEAR(res.outputs[c], expected.at(0, c), 5e-4f);
+
+    // Without the sinks the same request still dies: the window
+    // genuinely empties the context.
+    req.sink_tokens = 0;
+    EXPECT_DEATH(kernel.run(req), "window");
+}
+
 TEST(KernelWindow, AttentionSinksStayVisible)
 {
     // StreamingLLM-style: first `sink` tokens remain attended after

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Tests for the parallel sweep subsystem (sim/parallel.h): thread-pool
+ * correctness, exception propagation, deterministic result ordering,
+ * and the headline guarantee that engine grids and evaluation reports
+ * are bit-identical between 1-thread and N-thread execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/hilos.h"
+#include "runtime/cost_model.h"
+#include "runtime/report.h"
+#include "sim/parallel.h"
+
+namespace hilos {
+namespace {
+
+TEST(ParallelPool, RunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.jobs(), 4u);
+    const std::size_t n = 10000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelFor(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelPool, JobsOneRunsInlineOnCallingThread)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.jobs(), 1u);
+    const std::thread::id caller = std::this_thread::get_id();
+    bool same_thread = true;
+    pool.parallelFor(64, [&](std::size_t) {
+        same_thread = same_thread &&
+                      std::this_thread::get_id() == caller;
+    });
+    EXPECT_TRUE(same_thread);
+}
+
+TEST(ParallelPool, JobsZeroPicksHardwareConcurrency)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.jobs(), ThreadPool::defaultJobs());
+    EXPECT_GE(pool.jobs(), 1u);
+}
+
+TEST(ParallelPool, AbsurdJobCountsClampToCeiling)
+{
+    // A negative --jobs value cast to unsigned must not try to spawn
+    // four billion threads.
+    ThreadPool pool(static_cast<unsigned>(-1));
+    EXPECT_EQ(pool.jobs(), ThreadPool::kMaxJobs);
+    std::atomic<int> calls{0};
+    pool.parallelFor(1000, [&](std::size_t) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 1000);
+}
+
+TEST(ParallelPool, EmptyRangeIsANoop)
+{
+    ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    pool.parallelFor(0, [&](std::size_t) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelPool, ReusableAcrossSweeps)
+{
+    ThreadPool pool(3);
+    for (int round = 0; round < 5; ++round) {
+        std::atomic<std::size_t> sum{0};
+        pool.parallelFor(100,
+                         [&](std::size_t i) { sum.fetch_add(i); });
+        EXPECT_EQ(sum.load(), 100u * 99u / 2u) << "round " << round;
+    }
+}
+
+TEST(ParallelPool, FirstExceptionPropagatesAndPoolSurvives)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(256,
+                         [&](std::size_t i) {
+                             if (i == 97)
+                                 throw std::runtime_error("task 97");
+                         }),
+        std::runtime_error);
+    // The pool must stay usable after a failed sweep.
+    std::atomic<int> calls{0};
+    pool.parallelFor(32, [&](std::size_t) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 32);
+}
+
+TEST(ParallelPool, SerialPathAlsoPropagatesExceptions)
+{
+    ThreadPool pool(1);
+    EXPECT_THROW(pool.parallelFor(
+                     4, [](std::size_t) { throw std::logic_error("x"); }),
+                 std::logic_error);
+}
+
+TEST(ParallelSweepDriver, MapKeysResultsByTaskIndex)
+{
+    SweepDriver driver(8);
+    std::vector<int> tasks;
+    for (int i = 0; i < 500; ++i)
+        tasks.push_back(i);
+    const std::vector<int> squares =
+        driver.map(tasks, [](int v) { return v * v; });
+    ASSERT_EQ(squares.size(), tasks.size());
+    for (int i = 0; i < 500; ++i)
+        EXPECT_EQ(squares[i], i * i);
+}
+
+TEST(ParallelSweepDriver, SweepKeysResultsByIndex)
+{
+    SweepDriver driver(4);
+    const std::vector<std::size_t> doubled =
+        driver.sweep(64, [](std::size_t i) { return 2 * i; });
+    for (std::size_t i = 0; i < doubled.size(); ++i)
+        EXPECT_EQ(doubled[i], 2 * i);
+}
+
+/** The engine grid every sweep bench is built on. */
+std::vector<GridPoint>
+sampleGrid()
+{
+    std::vector<GridPoint> grid;
+    for (const ModelConfig &model : {opt30b(), opt66b()}) {
+        for (std::uint64_t s : {8192ull, 32768ull}) {
+            RunConfig run;
+            run.model = model;
+            run.batch = 16;
+            run.context_len = s;
+            run.output_len = 64;
+            for (EngineKind kind :
+                 {EngineKind::FlexSsd, EngineKind::FlexDram,
+                  EngineKind::DeepSpeedUvm})
+                grid.push_back(GridPoint{kind, HilosOptions{}, run});
+            for (unsigned n : {4u, 8u}) {
+                HilosOptions opts;
+                opts.num_devices = n;
+                grid.push_back(GridPoint{EngineKind::Hilos, opts, run});
+            }
+            // A faulted point exercises per-task RNG isolation: the
+            // injector stream is seeded from the plan, so it must not
+            // care which worker thread evaluates it.
+            HilosOptions faulted;
+            faulted.num_devices = 8;
+            faulted.fault_plan =
+                FaultPlan{}.addNandReadError(1e-3).addNvmeTimeout(1e-4);
+            grid.push_back(
+                GridPoint{EngineKind::Hilos, faulted, run});
+        }
+    }
+    return grid;
+}
+
+TEST(ParallelDeterminism, RunGridBitIdenticalAcrossJobCounts)
+{
+    const SystemConfig sys = defaultSystem();
+    const std::vector<GridPoint> grid = sampleGrid();
+    const std::vector<RunResult> serial = runGrid(sys, grid, 1);
+    for (unsigned jobs : {2u, 8u}) {
+        const std::vector<RunResult> parallel =
+            runGrid(sys, grid, jobs);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            // Exact equality, not tolerance: the whole point is that
+            // thread count cannot perturb a single bit of the result.
+            EXPECT_EQ(parallel[i].feasible, serial[i].feasible);
+            EXPECT_EQ(parallel[i].decode_step_time,
+                      serial[i].decode_step_time);
+            EXPECT_EQ(parallel[i].prefill_time, serial[i].prefill_time);
+            EXPECT_EQ(parallel[i].total_time, serial[i].total_time);
+            EXPECT_EQ(parallel[i].energy.total(),
+                      serial[i].energy.total());
+            EXPECT_EQ(parallel[i].faults.retry_time,
+                      serial[i].faults.retry_time);
+            EXPECT_EQ(parallel[i].faults.nand_read_errors,
+                      serial[i].faults.nand_read_errors);
+        }
+    }
+}
+
+TEST(ParallelDeterminism, EvaluationReportMarkdownIdenticalAcrossJobs)
+{
+    const SystemConfig sys = defaultSystem();
+    ReportConfig cfg;
+    cfg.models = {"OPT-30B", "OPT-66B"};
+    cfg.contexts = {16384, 65536};
+    cfg.device_counts = {4, 8};
+    cfg.jobs = 1;
+    const std::string serial = runEvaluation(sys, cfg).toMarkdown();
+    cfg.jobs = 4;
+    EXPECT_EQ(runEvaluation(sys, cfg).toMarkdown(), serial);
+    cfg.jobs = 0;  // hardware concurrency
+    EXPECT_EQ(runEvaluation(sys, cfg).toMarkdown(), serial);
+}
+
+TEST(ParallelCostModel, MidGenerationContextHalvesOutputLen)
+{
+    EXPECT_EQ(midGenerationContext(32768, 64), 32768u + 32u);
+    EXPECT_EQ(midGenerationContext(0, 0), 0u);
+    // Odd output lengths round down (integer halving), matching the
+    // formula the engines historically inlined.
+    EXPECT_EQ(midGenerationContext(100, 5), 102u);
+    EXPECT_EQ(midGenerationContext(100, 1), 100u);
+}
+
+TEST(ParallelCostModel, EnginesAgreeOnMidGenerationPoint)
+{
+    // An odd output length must not make the analytic engine and the
+    // event simulator disagree about the decode-step context: both now
+    // call the shared helper.
+    const SystemConfig sys = defaultSystem();
+    RunConfig run;
+    run.model = opt66b();
+    run.batch = 16;
+    run.context_len = 32768;
+    run.output_len = 65;
+    HilosOptions opts;
+    opts.num_devices = 8;
+    const RunResult odd = HilosEngine(sys, opts).run(run);
+    run.output_len = 64;
+    const RunResult even = HilosEngine(sys, opts).run(run);
+    // 65 / 2 == 64 / 2 == 32: the decode step is priced identically.
+    EXPECT_EQ(odd.decode_step_time, even.decode_step_time);
+}
+
+}  // namespace
+}  // namespace hilos
