@@ -22,6 +22,7 @@
 #include "core/hilos.h"
 #include "runtime/event_sim.h"
 #include "sim/parallel.h"
+#include "support/oracles.h"
 
 using namespace hilos;
 
@@ -78,8 +79,14 @@ main(int argc, char **argv)
                 "Analytic engine vs slice-level event simulation "
                 "(decode step seconds)");
     TextTable table({"model", "context", "devices", "analytic", "event sim",
-                     "ratio", "uplink util", "internal util"});
+                     "ratio", "uplink util", "internal util", "agreement"});
 
+    // The hand-picked grid historically sits inside 0.7-1.4x; enforce a
+    // band with modest headroom via the same check the fuzz harness's
+    // engine oracle applies to random configurations.
+    constexpr double kBandLo = 0.5;
+    constexpr double kBandHi = 2.0;
+    int violations = 0;
     std::vector<double> analytic_series, sim_series;
     for (std::size_t i = 0; i < points.size(); ++i) {
         const Point &p = points[i];
@@ -87,6 +94,10 @@ main(int argc, char **argv)
         const EventSimResult &e = results[i].sim;
         analytic_series.push_back(a.decode_step_time);
         sim_series.push_back(e.decode_step_time);
+        const test::AgreementCheck chk =
+            test::checkEngineAgreement(a, e, kBandLo, kBandHi);
+        if (!chk.ok)
+            violations++;
         table.row()
             .cell(p.model.name)
             .cell(std::to_string(p.context / 1024) + "K")
@@ -95,7 +106,8 @@ main(int argc, char **argv)
             .cell(formatSeconds(e.decode_step_time))
             .ratio(e.decode_step_time / a.decode_step_time)
             .num(100.0 * e.uplink_utilization, 1)
-            .num(100.0 * e.internal_utilization, 1);
+            .num(100.0 * e.internal_utilization, 1)
+            .cell(chk.ok ? "ok" : chk.detail);
     }
     table.print(std::cout);
 
@@ -104,5 +116,12 @@ main(int argc, char **argv)
               << "Shape check: ratios stay within ~0.7-1.4x and the "
                  "correlation is ~1 (the analytic model is a faithful "
                  "summary of the contended-resource replay).\n";
+    if (violations != 0) {
+        std::cerr << "\nFAIL: " << violations
+                  << " grid point(s) violated the agreement band ["
+                  << kBandLo << ", " << kBandHi
+                  << "] or a structural invariant\n";
+        return 1;
+    }
     return 0;
 }

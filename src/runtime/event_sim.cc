@@ -29,7 +29,12 @@ HilosEventSimulator::simulateDecodeStep(const RunConfig &cfg,
     const Gpu gpu(sys_.gpu);
     const unsigned N = opts_.num_devices;
     const std::uint64_t b = cfg.batch;
-    const std::uint64_t s = midGenerationContext(cfg.context_len, cfg.output_len);
+    // Sliding-window variants attend (and keep) only the window — the
+    // same cap the analytic engine applies to its mid-generation
+    // context, so every slice/X-load size below stays comparable.
+    std::uint64_t s = midGenerationContext(cfg.context_len, cfg.output_len);
+    if (opts_.attention_window > 0)
+        s = std::min(s, opts_.attention_window);
     const std::uint64_t d = m.headDim();
     const std::uint64_t d_group = m.dGroup();
     const std::uint64_t L = m.layers;

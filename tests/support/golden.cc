@@ -1,0 +1,204 @@
+#include "support/golden.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace hilos {
+namespace test {
+
+namespace {
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::string cur;
+    for (char c : text) {
+        if (c == '\n') {
+            lines.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        lines.push_back(cur);
+    return lines;
+}
+
+std::string
+normalise(std::string text)
+{
+    while (!text.empty() && text.back() == '\n')
+        text.pop_back();
+    text.push_back('\n');
+    return text;
+}
+
+/** One aligned edit-script entry. */
+struct DiffOp {
+    char tag;  ///< ' ' common, '-' expected only, '+' actual only
+    std::string line;
+};
+
+/**
+ * Longest-common-subsequence edit script. Goldens are small (at most a
+ * few hundred lines), so the quadratic table is fine.
+ */
+std::vector<DiffOp>
+editScript(const std::vector<std::string> &a, const std::vector<std::string> &b)
+{
+    const std::size_t n = a.size(), m = b.size();
+    std::vector<std::vector<std::size_t>> lcs(n + 1,
+                                              std::vector<std::size_t>(m + 1));
+    for (std::size_t i = n; i-- > 0;)
+        for (std::size_t j = m; j-- > 0;)
+            lcs[i][j] = a[i] == b[j]
+                            ? lcs[i + 1][j + 1] + 1
+                            : std::max(lcs[i + 1][j], lcs[i][j + 1]);
+
+    std::vector<DiffOp> ops;
+    std::size_t i = 0, j = 0;
+    while (i < n && j < m) {
+        if (a[i] == b[j]) {
+            ops.push_back({' ', a[i]});
+            i++, j++;
+        } else if (lcs[i + 1][j] >= lcs[i][j + 1]) {
+            ops.push_back({'-', a[i++]});
+        } else {
+            ops.push_back({'+', b[j++]});
+        }
+    }
+    for (; i < n; i++)
+        ops.push_back({'-', a[i]});
+    for (; j < m; j++)
+        ops.push_back({'+', b[j]});
+    return ops;
+}
+
+}  // namespace
+
+std::string
+goldenDir()
+{
+    if (const char *env = std::getenv("HILOS_GOLDEN_DIR"))
+        if (*env)
+            return env;
+    return HILOS_GOLDEN_DIR;
+}
+
+bool
+updateGoldensRequested()
+{
+    const char *env = std::getenv("HILOS_UPDATE_GOLDENS");
+    return env && std::string(env) == "1";
+}
+
+std::string
+unifiedDiff(const std::string &expected, const std::string &actual,
+            const std::string &expected_label,
+            const std::string &actual_label)
+{
+    const std::vector<std::string> a = splitLines(expected);
+    const std::vector<std::string> b = splitLines(actual);
+    const std::vector<DiffOp> ops = editScript(a, b);
+
+    constexpr std::size_t kContext = 3;
+    // Keep common lines only within kContext of a change.
+    std::vector<bool> keep(ops.size(), false);
+    for (std::size_t k = 0; k < ops.size(); k++) {
+        if (ops[k].tag == ' ')
+            continue;
+        const std::size_t lo = k >= kContext ? k - kContext : 0;
+        const std::size_t hi = std::min(ops.size(), k + kContext + 1);
+        for (std::size_t t = lo; t < hi; t++)
+            keep[t] = true;
+    }
+
+    std::ostringstream os;
+    os << "--- " << expected_label << "\n+++ " << actual_label << "\n";
+    std::size_t a_line = 1, b_line = 1;
+    std::size_t k = 0;
+    while (k < ops.size()) {
+        if (!keep[k]) {
+            if (ops[k].tag != '+')
+                a_line++;
+            if (ops[k].tag != '-')
+                b_line++;
+            k++;
+            continue;
+        }
+        // One hunk: a maximal run of kept ops.
+        std::size_t end = k;
+        while (end < ops.size() && keep[end])
+            end++;
+        std::size_t a_count = 0, b_count = 0;
+        for (std::size_t t = k; t < end; t++) {
+            if (ops[t].tag != '+')
+                a_count++;
+            if (ops[t].tag != '-')
+                b_count++;
+        }
+        os << "@@ -" << a_line << "," << a_count << " +" << b_line << ","
+           << b_count << " @@\n";
+        for (std::size_t t = k; t < end; t++) {
+            os << ops[t].tag << ops[t].line << "\n";
+            if (ops[t].tag != '+')
+                a_line++;
+            if (ops[t].tag != '-')
+                b_line++;
+        }
+        k = end;
+    }
+    return os.str();
+}
+
+GoldenOutcome
+compareGolden(const std::string &name, const std::string &actual)
+{
+    namespace fs = std::filesystem;
+    const fs::path path = fs::path(goldenDir()) / name;
+    const std::string canonical = normalise(actual);
+
+    GoldenOutcome out;
+    if (updateGoldensRequested()) {
+        std::error_code ec;
+        fs::create_directories(path.parent_path(), ec);
+        std::ofstream file(path, std::ios::binary | std::ios::trunc);
+        if (!file) {
+            out.message = "cannot write golden " + path.string();
+            return out;
+        }
+        file << canonical;
+        out.ok = true;
+        out.updated = true;
+        return out;
+    }
+
+    std::ifstream file(path, std::ios::binary);
+    if (!file) {
+        out.message = "missing golden " + path.string() +
+                      "\n(regenerate with HILOS_UPDATE_GOLDENS=1 and "
+                      "commit the result)";
+        return out;
+    }
+    std::ostringstream buf;
+    buf << file.rdbuf();
+    const std::string expected = buf.str();
+    if (expected == canonical) {
+        out.ok = true;
+        return out;
+    }
+    out.message =
+        "golden mismatch for " + name +
+        " (if intended, regenerate with HILOS_UPDATE_GOLDENS=1):\n" +
+        unifiedDiff(expected, canonical, "golden/" + name, "actual");
+    return out;
+}
+
+}  // namespace test
+}  // namespace hilos

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Golden-file ("snapshot") comparison infrastructure.
+ *
+ * A golden test serialises a user-visible artifact (a RunResult, a
+ * report table, a trace summary, CLI output) to canonical text and
+ * compares it byte-for-byte against a file checked in under
+ * tests/golden/. On mismatch the failure message is a unified diff, so
+ * a refactor that moves numbers is immediately legible in CI logs.
+ *
+ * Workflow:
+ *  - a failing comparison means behaviour changed; inspect the diff;
+ *  - if the change is intended, regenerate every golden with
+ *        HILOS_UPDATE_GOLDENS=1 ctest -L golden
+ *    and commit the updated files (regeneration on an unchanged tree is
+ *    byte-identical, so spurious diffs never appear);
+ *  - a missing golden fails with instructions rather than silently
+ *    passing.
+ *
+ * The golden directory defaults to the source-tree path baked in at
+ * configure time (HILOS_GOLDEN_DIR) and can be overridden with the
+ * HILOS_GOLDEN_DIR environment variable (used by the infrastructure's
+ * own tests to point at a scratch directory).
+ */
+
+#ifndef HILOS_TESTS_SUPPORT_GOLDEN_H_
+#define HILOS_TESTS_SUPPORT_GOLDEN_H_
+
+#include <string>
+
+namespace hilos {
+namespace test {
+
+/** Directory holding the checked-in golden files. */
+std::string goldenDir();
+
+/** True when HILOS_UPDATE_GOLDENS=1 (regenerate instead of compare). */
+bool updateGoldensRequested();
+
+/** Outcome of one golden comparison. */
+struct GoldenOutcome {
+    bool ok = false;       ///< matched (or was regenerated)
+    bool updated = false;  ///< file was (re)written this run
+    std::string message;   ///< diff / instructions when !ok
+};
+
+/**
+ * Compare `actual` against the golden file `name` (a path relative to
+ * goldenDir()). Under HILOS_UPDATE_GOLDENS=1 the golden is rewritten
+ * and the comparison trivially succeeds. `actual` is normalised to end
+ * with exactly one trailing newline before comparison or writing.
+ */
+GoldenOutcome compareGolden(const std::string &name,
+                            const std::string &actual);
+
+/**
+ * Minimal unified diff (3 context lines) between two texts, labelled
+ * `expected_label` / `actual_label`. Public so the infrastructure tests
+ * can pin its format.
+ */
+std::string unifiedDiff(const std::string &expected,
+                        const std::string &actual,
+                        const std::string &expected_label = "expected",
+                        const std::string &actual_label = "actual");
+
+}  // namespace test
+}  // namespace hilos
+
+#endif  // HILOS_TESTS_SUPPORT_GOLDEN_H_

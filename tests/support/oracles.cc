@@ -1,0 +1,409 @@
+#include "support/oracles.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "accel/attention_kernel.h"
+#include "llm/attention_ref.h"
+#include "llm/tensor.h"
+#include "runtime/hilos_engine.h"
+#include "runtime/system_config.h"
+#include "support/tolerances.h"
+
+namespace hilos {
+namespace test {
+
+namespace {
+
+/** Relative slack for checks that should hold exactly up to FP noise. */
+constexpr double kRelEps = 1e-9;
+
+bool
+finiteNonNegative(double v)
+{
+    return std::isfinite(v) && v >= 0.0;
+}
+
+std::string
+fmt(double v)
+{
+    std::ostringstream os;
+    os << v;
+    return os.str();
+}
+
+}  // namespace
+
+std::string
+OracleOutcome::reproLine(const std::string &oracle) const
+{
+    std::ostringstream os;
+    os << "seed=" << seed << " cfg={" << cfg << "} | replay: hilos_fuzz"
+       << " --oracle " << oracle << " --replay " << seed;
+    return os.str();
+}
+
+OracleOutcome
+runAttentionOracle(std::uint64_t seed, Perturbation perturb)
+{
+    ConfigFuzzer fuzzer(seed);
+    FuzzAttentionCase c = fuzzer.attentionCase();
+    if (perturb == Perturbation::DropPaddingMask) {
+        // Guarantee a wide masked tail so the dropped mask is visible.
+        c.s = std::max<std::size_t>(c.s, 96);
+        c.valid_len = c.s - 48;
+        c.window_start = std::min(c.window_start, c.valid_len / 2);
+    }
+
+    OracleOutcome out;
+    out.seed = seed;
+    out.cfg = c.describe();
+
+    // Input data, derived from the same seed via an independent stream.
+    Rng data_rng(fuzzSeedForIteration(seed, 0xda7a));
+    const Matrix q = Matrix::random(c.g, c.d, data_rng, 0.5f);
+    const Matrix k = Matrix::random(c.s + c.n_buf, c.d, data_rng, 0.5f);
+    const Matrix v = Matrix::random(c.s + c.n_buf, c.d, data_rng, 0.5f);
+    const std::vector<Half> qh = toHalf(q), kh = toHalf(k), vh = toHalf(v);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(c.d));
+
+    // The FP16-quantised inputs widened back to FP32: the fair
+    // reference sees exactly what the kernel sees.
+    const Matrix qf = fromHalf(qh, c.g, c.d);
+    const Matrix kf = fromHalf(kh, c.s + c.n_buf, c.d);
+    const Matrix vf = fromHalf(vh, c.s + c.n_buf, c.d);
+
+    // Host side of the delayed-writeback split: partial QK^T scores for
+    // the buffered tail, from the widened FP16 inputs.
+    std::vector<float> partial(c.g * c.n_buf, 0.0f);
+    for (std::size_t gi = 0; gi < c.g; gi++)
+        for (std::size_t i = 0; i < c.n_buf; i++) {
+            float acc = 0;
+            for (std::size_t col = 0; col < c.d; col++)
+                acc += qf.at(gi, col) * kf.at(c.s + i, col);
+            partial[gi * c.n_buf + i] = acc * scale;
+        }
+
+    const std::vector<Half> k_stored(kh.begin(), kh.begin() + c.s * c.d);
+    const std::vector<Half> v_stored(vh.begin(), vh.begin() + c.s * c.d);
+    const std::vector<Half> v_buf(vh.begin() + c.s * c.d, vh.end());
+
+    AttentionRequest req;
+    req.queries = viewOf(qh, c.g, c.d);
+    req.keys = c.s > 0 ? viewOf(k_stored, c.s, c.d)
+                       : HalfMatrixView{nullptr, 0, c.d};
+    req.values = c.s > 0 ? viewOf(v_stored, c.s, c.d)
+                         : HalfMatrixView{nullptr, 0, c.d};
+    req.valid_len =
+        perturb == Perturbation::DropPaddingMask ? c.s : c.valid_len;
+    req.window_start = c.window_start;
+    req.sink_tokens = c.sink_tokens;
+    req.scale = scale;
+    req.partial_scores = partial;
+    req.buffered_values = c.n_buf > 0 ? viewOf(v_buf, c.n_buf, c.d)
+                                      : HalfMatrixView{nullptr, 0, c.d};
+
+    AttentionKernelConfig kcfg;
+    kcfg.d_group = c.g;
+    kcfg.block_tokens = c.block_tokens;
+    const AttentionKernel kernel(kcfg);
+    const AttentionResult res = kernel.run(req);
+
+    // Independent reference: gather exactly the attended rows (the
+    // published mask semantics) and run textbook FP32 attention.
+    std::vector<std::size_t> rows;
+    for (std::size_t i = 0; i < c.s; i++) {
+        const bool attended =
+            (i >= c.window_start || i < c.sink_tokens) && i < c.valid_len;
+        if (attended)
+            rows.push_back(i);
+    }
+    for (std::size_t i = 0; i < c.n_buf; i++)
+        rows.push_back(c.s + i);
+    Matrix kr(rows.size(), c.d), vr(rows.size(), c.d);
+    for (std::size_t i = 0; i < rows.size(); i++)
+        for (std::size_t col = 0; col < c.d; col++) {
+            kr.at(i, col) = kf.at(rows[i], col);
+            vr.at(i, col) = vf.at(rows[i], col);
+        }
+    const Matrix expected = naiveAttention(qf, kr, vr, scale);
+
+    if (res.outputs.size() != c.g * c.d) {
+        out.ok = false;
+        out.detail = "output size " + std::to_string(res.outputs.size()) +
+                     " != " + std::to_string(c.g * c.d);
+        return out;
+    }
+    for (std::size_t i = 0; i < res.outputs.size(); i++) {
+        const float got = res.outputs[i];
+        const float want = expected.data()[i];
+        if (!std::isfinite(got)) {
+            out.ok = false;
+            out.detail = "non-finite output[" + std::to_string(i) + "]";
+            return out;
+        }
+        if (std::fabs(got - want) > kFp16StorageTol) {
+            out.ok = false;
+            out.detail = "output[" + std::to_string(i) + "] kernel=" +
+                         fmt(got) + " ref=" + fmt(want) +
+                         " |diff|=" + fmt(std::fabs(got - want)) +
+                         " > tol=" + fmt(kFp16StorageTol);
+            return out;
+        }
+    }
+    return out;
+}
+
+AgreementCheck
+checkEngineAgreement(const RunResult &analytic, const EventSimResult &sim,
+                     double lo, double hi)
+{
+    AgreementCheck chk;
+    if (!analytic.feasible) {
+        chk.detail = "analytic result infeasible: " + analytic.note;
+        chk.ok = false;
+        return chk;
+    }
+    if (!(analytic.decode_step_time > 0) ||
+        !std::isfinite(analytic.decode_step_time)) {
+        chk.ok = false;
+        chk.detail = "analytic decode step not positive/finite";
+        return chk;
+    }
+    if (!(sim.decode_step_time > 0) ||
+        !std::isfinite(sim.decode_step_time)) {
+        chk.ok = false;
+        chk.detail = "sim decode step not positive/finite";
+        return chk;
+    }
+    const struct {
+        const char *name;
+        double v;
+    } utils[] = {{"uplink", sim.uplink_utilization},
+                 {"gds", sim.gds_utilization},
+                 {"internal", sim.internal_utilization},
+                 {"gpu", sim.gpu_utilization}};
+    for (const auto &u : utils) {
+        if (!(u.v >= 0.0) || u.v > 1.0 + kRelEps) {
+            chk.ok = false;
+            chk.detail = std::string(u.name) + " utilization " +
+                         fmt(u.v) + " outside [0, 1]";
+            return chk;
+        }
+    }
+    chk.ratio = sim.decode_step_time / analytic.decode_step_time;
+    if (chk.ratio < lo || chk.ratio > hi) {
+        chk.ok = false;
+        chk.detail = "sim/analytic ratio " + fmt(chk.ratio) +
+                     " outside agreement band [" + fmt(lo) + ", " +
+                     fmt(hi) + "]";
+    }
+    return chk;
+}
+
+namespace {
+
+/** Structural invariants every analytic RunResult must satisfy. */
+std::string
+checkRunResultInvariants(const FuzzEngineCase &c, const RunResult &r)
+{
+    const struct {
+        const char *name;
+        double v;
+    } nonneg[] = {
+        {"prefill_time", r.prefill_time},
+        {"decode_step_time", r.decode_step_time},
+        {"total_time", r.total_time},
+        {"traffic.host_read_bytes", r.traffic.host_read_bytes},
+        {"traffic.host_write_bytes", r.traffic.host_write_bytes},
+        {"traffic.attn_host_read_bytes", r.traffic.attn_host_read_bytes},
+        {"traffic.attn_host_write_bytes", r.traffic.attn_host_write_bytes},
+        {"traffic.internal_bytes", r.traffic.internal_bytes},
+        {"traffic.storage_write_bytes", r.traffic.storage_write_bytes},
+        {"busy.gpu", r.busy.gpu},
+        {"busy.cpu", r.busy.cpu},
+        {"busy.dram", r.busy.dram},
+        {"busy.storage", r.busy.storage},
+        {"busy.fpga", r.busy.fpga},
+        {"energy.gpu", r.energy.gpu},
+        {"energy.cpu", r.energy.cpu},
+        {"energy.dram", r.energy.dram},
+        {"energy.storage", r.energy.storage},
+        {"faults.retry_time", r.faults.retry_time},
+        {"faults.rebuild_time", r.faults.rebuild_time},
+    };
+    for (const auto &f : nonneg)
+        if (!finiteNonNegative(f.v))
+            return std::string(f.name) + " = " + fmt(f.v) +
+                   " not finite/non-negative";
+
+    // Bytes conserved: the attention subsets can never exceed the
+    // host-interconnect totals they are carved from.
+    const double slack = 1.0 + kRelEps;
+    if (r.traffic.attn_host_read_bytes >
+        r.traffic.host_read_bytes * slack + 1.0)
+        return "attn_host_read_bytes exceeds host_read_bytes";
+    if (r.traffic.attn_host_write_bytes >
+        r.traffic.host_write_bytes * slack + 1.0)
+        return "attn_host_write_bytes exceeds host_write_bytes";
+
+    if (r.faults.availability < -kRelEps ||
+        r.faults.availability > 1.0 + kRelEps)
+        return "availability " + fmt(r.faults.availability) +
+               " outside [0, 1]";
+    if (r.faults.slowdown < 1.0 - 1e-6)
+        return "slowdown " + fmt(r.faults.slowdown) + " below 1";
+    if (r.faults.devices_failed > c.opts.num_devices)
+        return "devices_failed exceeds fleet size";
+
+    if (!c.faulted()) {
+        if (r.faults.any())
+            return "fault summary non-zero for a fault-free run";
+        // Fault-free runs compose exactly: prefill + n * decode step.
+        const double expect =
+            r.prefill_time +
+            static_cast<double>(c.run.output_len) * r.decode_step_time;
+        if (std::fabs(r.total_time - expect) >
+            kRelEps * std::max(1.0, expect) + 1e-12)
+            return "total_time " + fmt(r.total_time) +
+                   " != prefill + output_len * decode_step (" +
+                   fmt(expect) + ")";
+    }
+    return {};
+}
+
+/** Structural invariants for the event-sim side. */
+std::string
+checkSimInvariants(const FuzzEngineCase &c, const EventSimResult &sim)
+{
+    if (!sim.completed)
+        return "sim did not complete: " + sim.note;
+    if (sim.layer_times.size() != c.run.model.layers)
+        return "layer_times size " +
+               std::to_string(sim.layer_times.size()) + " != layers " +
+               std::to_string(c.run.model.layers);
+    for (Seconds t : sim.layer_times) {
+        if (!finiteNonNegative(t))
+            return "non-finite layer time";
+        if (t > sim.decode_step_time * (1.0 + kRelEps))
+            return "a layer interval exceeds the whole decode step";
+    }
+    // mean_layer_time is defined as decode_step_time / layers; pin the
+    // identity so the two fields can never drift apart.
+    const double expect_mean =
+        sim.decode_step_time / static_cast<double>(sim.layer_times.size());
+    if (std::fabs(sim.mean_layer_time - expect_mean) >
+        kRelEps * std::max(1.0, expect_mean))
+        return "mean_layer_time != decode_step_time / layers";
+    if (!finiteNonNegative(sim.retry_time))
+        return "sim retry_time not finite/non-negative";
+    return {};
+}
+
+}  // namespace
+
+OracleOutcome
+runEngineOracle(std::uint64_t seed, Perturbation perturb)
+{
+    ConfigFuzzer fuzzer(seed);
+    const bool allow_faults = perturb == Perturbation::None;
+    FuzzEngineCase c = fuzzer.engineCase(allow_faults);
+
+    OracleOutcome out;
+    out.seed = seed;
+    out.cfg = c.describe();
+
+    const SystemConfig sys = defaultSystem();
+    const HilosEngine engine(sys, c.opts);
+
+    RunResult r = engine.run(c.run);
+    if (!r.feasible || r.effective_batch == 0) {
+        out.skipped = true;  // capacity-infeasible corner; nothing to diff
+        return out;
+    }
+    if (r.effective_batch != c.run.batch) {
+        // The engine shrank the batch to fit; re-run both models on the
+        // batch that actually executes so they see the same workload.
+        c.run.batch = r.effective_batch;
+        r = engine.run(c.run);
+    }
+
+    std::string violation = checkRunResultInvariants(c, r);
+    if (!violation.empty()) {
+        out.ok = false;
+        out.detail = "analytic invariant: " + violation;
+        return out;
+    }
+
+    const HilosEventSimulator sim(sys, c.opts);
+    const EventSimResult e = sim.simulateDecodeStep(c.run);
+    violation = checkSimInvariants(c, e);
+    if (!violation.empty()) {
+        out.ok = false;
+        out.detail = "event-sim invariant: " + violation;
+        return out;
+    }
+
+    if (!c.faulted()) {
+        RunResult compared = r;
+        if (perturb == Perturbation::SkewAnalytic)
+            compared.decode_step_time *= 3.0;
+        const AgreementCheck chk = checkEngineAgreement(compared, e);
+        if (std::getenv("HILOS_DEBUG_RATIO") != nullptr)
+            std::fprintf(stderr, "RATIO %.6f window=%llu devices=%u\n",
+                         chk.ratio,
+                         static_cast<unsigned long long>(
+                             c.opts.attention_window),
+                         c.opts.num_devices);
+        if (!chk.ok) {
+            out.ok = false;
+            out.detail = "agreement: " + chk.detail;
+            return out;
+        }
+
+        // Monotonicity: halving the context or the batch can never make
+        // a decode step slower (KV reads shrink, everything else is
+        // unchanged or shrinks).
+        if (c.run.context_len >= 4096) {
+            RunConfig half = c.run;
+            half.context_len = c.run.context_len / 2;
+            const RunResult rh = engine.run(half);
+            if (rh.feasible && rh.effective_batch == r.effective_batch &&
+                rh.decode_step_time >
+                    r.decode_step_time * (1.0 + kRelEps)) {
+                out.ok = false;
+                out.detail =
+                    "monotonicity: decode step at context " +
+                    std::to_string(half.context_len) + " (" +
+                    fmt(rh.decode_step_time) + "s) exceeds context " +
+                    std::to_string(c.run.context_len) + " (" +
+                    fmt(r.decode_step_time) + "s)";
+                return out;
+            }
+        }
+        if (c.run.batch >= 2) {
+            RunConfig half = c.run;
+            half.batch = c.run.batch / 2;
+            const RunResult rh = engine.run(half);
+            if (rh.feasible && rh.effective_batch == half.batch &&
+                rh.decode_step_time >
+                    r.decode_step_time * (1.0 + kRelEps)) {
+                out.ok = false;
+                out.detail = "monotonicity: decode step at batch " +
+                             std::to_string(half.batch) + " (" +
+                             fmt(rh.decode_step_time) +
+                             "s) exceeds batch " +
+                             std::to_string(c.run.batch) + " (" +
+                             fmt(r.decode_step_time) + "s)";
+                return out;
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace test
+}  // namespace hilos

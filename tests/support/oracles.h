@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Differential oracles over the random configuration space.
+ *
+ * Two independent implementations exist for each surface we care
+ * about, and each oracle runs both on a ConfigFuzzer-sampled case and
+ * cross-checks them — mirroring the paper's estimator-vs-hardware
+ * validation (§5.1, Pearson 0.93) with the analytic engine standing in
+ * for the estimator and the event simulator / FP32 reference for the
+ * ground truth:
+ *
+ *  - attention oracle: the accelerator's AttentionKernel (FP16 storage,
+ *    blocked two-pass softmax, mask module) against naiveAttention over
+ *    the explicitly gathered attended rows, across the GQA x window x
+ *    sink x padding x buffered-tail shape space;
+ *
+ *  - engine oracle: the closed-form HilosEngine against the
+ *    slice-level HilosEventSimulator, with an agreement band on the
+ *    decode-step time for fault-free cases plus structural invariants
+ *    that hold for every case (utilisations <= 1, traffic subsets
+ *    conserved, monotonicity in context and batch, fault-summary
+ *    consistency).
+ *
+ * Every failure carries a `seed=... cfg=...` repro line; re-running the
+ * oracle on that seed deterministically reproduces the identical
+ * outcome (see examples/hilos_fuzz --replay).
+ *
+ * Perturbation hooks deliberately break one side so tests can verify
+ * the oracles actually detect divergence (a validation harness that
+ * cannot fail validates nothing).
+ */
+
+#ifndef HILOS_TESTS_SUPPORT_ORACLES_H_
+#define HILOS_TESTS_SUPPORT_ORACLES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/engine.h"
+#include "runtime/event_sim.h"
+#include "support/fuzzer.h"
+
+namespace hilos {
+namespace test {
+
+/** Deliberate defect injected into one side of an oracle. */
+enum class Perturbation {
+    None,
+    /**
+     * Attention oracle: the kernel "forgets" the padding mask (runs
+     * with valid_len == s while the reference masks the tail) — the
+     * dropped-mask-row defect class.
+     */
+    DropPaddingMask,
+    /** Engine oracle: analytic decode-step time skewed 3x. */
+    SkewAnalytic,
+};
+
+/** Outcome of one oracle evaluation. */
+struct OracleOutcome {
+    bool ok = true;
+    bool skipped = false;  ///< case infeasible on this system; not run
+    std::uint64_t seed = 0;
+    std::string cfg;     ///< one-line case description
+    std::string detail;  ///< first violated check when !ok
+
+    /** The one-line repro a fuzz failure prints. */
+    std::string reproLine(const std::string &oracle) const;
+};
+
+/**
+ * Run the attention differential oracle on the case derived from
+ * `seed`. Tolerance: kFp16StorageTol per output element.
+ */
+OracleOutcome runAttentionOracle(std::uint64_t seed,
+                                 Perturbation perturb = Perturbation::None);
+
+/**
+ * Run the engine differential oracle on the case derived from `seed`.
+ * Fault-free cases check the agreement band and monotonicity; faulted
+ * cases check structural/fault invariants only (the analytic side uses
+ * closed-form expectations, the simulator samples, so their times are
+ * not directly comparable).
+ */
+OracleOutcome runEngineOracle(std::uint64_t seed,
+                              Perturbation perturb = Perturbation::None);
+
+/** Result of one analytic-vs-event-sim agreement check. */
+struct AgreementCheck {
+    bool ok = true;
+    double ratio = 0;    ///< sim / analytic decode-step time
+    std::string detail;  ///< violated bound when !ok
+};
+
+/**
+ * The shared agreement band + per-result invariants used by both the
+ * engine oracle and bench_crossval_eventsim. The default band is
+ * deliberately wider than the hand-picked crossval grid's observed
+ * 0.7-1.4x: random corners (tiny fleets, MoE models, alpha overrides)
+ * legitimately stress the analytic model harder.
+ */
+AgreementCheck checkEngineAgreement(const RunResult &analytic,
+                                    const EventSimResult &sim,
+                                    double lo = 0.4, double hi = 2.5);
+
+}  // namespace test
+}  // namespace hilos
+
+#endif  // HILOS_TESTS_SUPPORT_ORACLES_H_

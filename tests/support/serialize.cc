@@ -1,0 +1,165 @@
+#include "support/serialize.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace hilos {
+namespace test {
+
+namespace {
+
+void
+kv(std::ostringstream &os, const std::string &key, const std::string &value)
+{
+    os << key << " = " << value << "\n";
+}
+
+void
+kv(std::ostringstream &os, const std::string &key, double value)
+{
+    kv(os, key, formatDouble(value));
+}
+
+void
+kv(std::ostringstream &os, const std::string &key, std::uint64_t value)
+{
+    kv(os, key, std::to_string(value));
+}
+
+}  // namespace
+
+std::string
+formatDouble(double v)
+{
+    if (std::isnan(v))
+        return "nan";
+    if (std::isinf(v))
+        return v > 0 ? "inf" : "-inf";
+    if (v == 0.0)
+        v = 0.0;  // fold -0 into +0
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+std::string
+serialize(const RunResult &r)
+{
+    std::ostringstream os;
+    kv(os, "feasible", std::string(r.feasible ? "true" : "false"));
+    kv(os, "note", r.note.empty() ? std::string("<none>") : r.note);
+    kv(os, "effective_batch", r.effective_batch);
+    kv(os, "prefill_time", r.prefill_time);
+    kv(os, "decode_step_time", r.decode_step_time);
+    kv(os, "total_time", r.total_time);
+    for (const auto &[name, t] : r.breakdown.stages())
+        kv(os, "breakdown." + name, t);
+    kv(os, "traffic.host_read_bytes", r.traffic.host_read_bytes);
+    kv(os, "traffic.host_write_bytes", r.traffic.host_write_bytes);
+    kv(os, "traffic.attn_host_read_bytes", r.traffic.attn_host_read_bytes);
+    kv(os, "traffic.attn_host_write_bytes", r.traffic.attn_host_write_bytes);
+    kv(os, "traffic.internal_bytes", r.traffic.internal_bytes);
+    kv(os, "traffic.storage_write_bytes", r.traffic.storage_write_bytes);
+    kv(os, "busy.gpu", r.busy.gpu);
+    kv(os, "busy.cpu", r.busy.cpu);
+    kv(os, "busy.dram", r.busy.dram);
+    kv(os, "busy.storage", r.busy.storage);
+    kv(os, "busy.fpga", r.busy.fpga);
+    kv(os, "energy.gpu", r.energy.gpu);
+    kv(os, "energy.cpu", r.energy.cpu);
+    kv(os, "energy.dram", r.energy.dram);
+    kv(os, "energy.storage", r.energy.storage);
+    kv(os, "fpga_power_watts", r.fpga_power_watts);
+    os << serialize(r.faults);
+    return os.str();
+}
+
+std::string
+serialize(const FaultSummary &f)
+{
+    std::ostringstream os;
+    kv(os, "faults.any", std::string(f.any() ? "true" : "false"));
+    kv(os, "faults.nand_read_errors", f.nand_read_errors);
+    kv(os, "faults.nand_retry_steps", f.nand_retry_steps);
+    kv(os, "faults.nvme_timeouts", f.nvme_timeouts);
+    kv(os, "faults.nvme_retries", f.nvme_retries);
+    kv(os, "faults.redispatched_slices", f.redispatched_slices);
+    kv(os, "faults.devices_failed",
+       static_cast<std::uint64_t>(f.devices_failed));
+    kv(os, "faults.devices_surviving",
+       static_cast<std::uint64_t>(f.devices_surviving));
+    kv(os, "faults.retry_time", f.retry_time);
+    kv(os, "faults.rebuild_time", f.rebuild_time);
+    kv(os, "faults.degraded_step_time", f.degraded_step_time);
+    kv(os, "faults.availability", f.availability);
+    kv(os, "faults.slowdown", f.slowdown);
+    return os.str();
+}
+
+std::string
+serialize(const EventSimResult &r)
+{
+    std::ostringstream os;
+    kv(os, "decode_step_time", r.decode_step_time);
+    kv(os, "uplink_utilization", r.uplink_utilization);
+    kv(os, "gds_utilization", r.gds_utilization);
+    kv(os, "internal_utilization", r.internal_utilization);
+    kv(os, "gpu_utilization", r.gpu_utilization);
+    kv(os, "mean_layer_time", r.mean_layer_time);
+    kv(os, "layers", static_cast<std::uint64_t>(r.layer_times.size()));
+    // The per-layer vector is large and steady-state; pin its envelope.
+    double lo = 0, hi = 0;
+    if (!r.layer_times.empty()) {
+        lo = hi = r.layer_times.front();
+        for (Seconds t : r.layer_times) {
+            lo = std::min(lo, t);
+            hi = std::max(hi, t);
+        }
+    }
+    kv(os, "layer_time_min", lo);
+    kv(os, "layer_time_max", hi);
+    kv(os, "completed", std::string(r.completed ? "true" : "false"));
+    kv(os, "note", r.note.empty() ? std::string("<none>") : r.note);
+    kv(os, "devices_failed", static_cast<std::uint64_t>(r.devices_failed));
+    kv(os, "redispatched_slices", r.redispatched_slices);
+    kv(os, "nand_read_errors", r.nand_read_errors);
+    kv(os, "nvme_timeouts", r.nvme_timeouts);
+    kv(os, "nvme_retries", r.nvme_retries);
+    kv(os, "retry_time", r.retry_time);
+    return os.str();
+}
+
+std::string
+traceSummary(const TraceRecorder &trace)
+{
+    std::vector<std::string> order;
+    for (const TraceEvent &e : trace.events()) {
+        bool seen = false;
+        for (const std::string &t : order)
+            if (t == e.track)
+                seen = true;
+        if (!seen)
+            order.push_back(e.track);
+    }
+
+    std::ostringstream os;
+    os << "tracks = " << order.size() << "\n";
+    for (const std::string &t : order) {
+        const std::vector<TraceEvent> events = trace.track(t);
+        Seconds first = events.front().begin, last = events.front().end;
+        for (const TraceEvent &e : events) {
+            first = std::min(first, e.begin);
+            last = std::max(last, e.end);
+        }
+        os << "track " << t << ": events = " << events.size()
+           << ", busy = " << formatDouble(trace.busyTime(t))
+           << ", first = " << formatDouble(first)
+           << ", last = " << formatDouble(last) << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace test
+}  // namespace hilos

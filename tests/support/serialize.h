@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Canonical text serialisation of user-visible result types, the
+ * substrate of the golden-snapshot tests. One stable `key = value` line
+ * per field, fixed field order, doubles printed with %.9g (enough to
+ * expose any real behavioural change while leaving last-ulp headroom),
+ * so that serialisations are byte-identical run-to-run and diff cleanly
+ * when a refactor moves a number.
+ */
+
+#ifndef HILOS_TESTS_SUPPORT_SERIALIZE_H_
+#define HILOS_TESTS_SUPPORT_SERIALIZE_H_
+
+#include <string>
+
+#include "runtime/engine.h"
+#include "runtime/event_sim.h"
+#include "sim/trace.h"
+
+namespace hilos {
+namespace test {
+
+/** Canonical %.9g rendering (nan/inf spelled out, -0 folded to 0). */
+std::string formatDouble(double v);
+
+/** Every field of a RunResult, breakdown/traffic/energy included. */
+std::string serialize(const RunResult &r);
+
+/** Every field of a FaultSummary. */
+std::string serialize(const FaultSummary &f);
+
+/** Every scalar field of an EventSimResult plus the layer-time vector. */
+std::string serialize(const EventSimResult &r);
+
+/**
+ * Per-track summary of a recorded trace: event count, busy seconds,
+ * and first/last timestamps, one line per track in first-appearance
+ * order. Summarises rather than dumps: the full event list is huge and
+ * incidental, while occupancy per track is the behavioural surface.
+ */
+std::string traceSummary(const TraceRecorder &trace);
+
+}  // namespace test
+}  // namespace hilos
+
+#endif  // HILOS_TESTS_SUPPORT_SERIALIZE_H_

@@ -15,6 +15,7 @@
 #include "common/random.h"
 #include "llm/attention_ref.h"
 #include "llm/tensor.h"
+#include "support/tolerances.h"
 
 namespace hilos {
 namespace {
@@ -81,7 +82,7 @@ TEST_P(KernelShapes, MatchesNaiveAttention)
 
     ASSERT_EQ(res.outputs.size(), g * d);
     for (std::size_t i = 0; i < res.outputs.size(); i++) {
-        EXPECT_NEAR(res.outputs[i], expected.data()[i], 5e-4f)
+        EXPECT_NEAR(res.outputs[i], expected.data()[i], test::kFp16StorageTol)
             << "i=" << i;
     }
 }
@@ -98,7 +99,7 @@ TEST_P(KernelShapes, MatchesFlashAttention)
     const Matrix expected =
         flashAttention(fx.qf(g, d), fx.kf(s, d), fx.vf(s, d));
     for (std::size_t i = 0; i < res.outputs.size(); i++)
-        EXPECT_NEAR(res.outputs[i], expected.data()[i], 5e-4f);
+        EXPECT_NEAR(res.outputs[i], expected.data()[i], test::kFp16StorageTol);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -132,7 +133,7 @@ TEST(AttentionKernel, PaddingMaskExcludesTail)
         }
     const Matrix expected = naiveAttention(fx.qf(1, d), k150, v150);
     for (std::size_t i = 0; i < d; i++)
-        EXPECT_NEAR(res.outputs[i], expected.data()[i], 5e-4f);
+        EXPECT_NEAR(res.outputs[i], expected.data()[i], test::kFp16StorageTol);
 }
 
 TEST(AttentionKernel, BufferedEntriesEqualFullContext)
@@ -178,7 +179,7 @@ TEST(AttentionKernel, BufferedEntriesEqualFullContext)
     const Matrix expected =
         naiveAttention(qf, kf, fx.vf(s, d), scale);
     for (std::size_t i = 0; i < res.outputs.size(); i++)
-        EXPECT_NEAR(res.outputs[i], expected.data()[i], 5e-4f);
+        EXPECT_NEAR(res.outputs[i], expected.data()[i], test::kFp16StorageTol);
 }
 
 TEST(AttentionKernel, BufferedOnlyContextWorks)
@@ -216,7 +217,7 @@ TEST(AttentionKernel, BufferedOnlyContextWorks)
         fromHalf(qh, 1, d), fromHalf(toHalf(kb), n_buf, d),
         fromHalf(vbh, n_buf, d), scale);
     for (std::size_t i = 0; i < d; i++)
-        EXPECT_NEAR(res.outputs[i], expected.data()[i], 5e-4f);
+        EXPECT_NEAR(res.outputs[i], expected.data()[i], test::kFp16StorageTol);
 }
 
 TEST(AttentionKernel, CountersReflectWork)

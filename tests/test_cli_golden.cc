@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Golden snapshots of hilos_cli's stdout: the default HILOS run and a
+ * --fault-plan run. The CLI is the first thing a downstream user sees,
+ * so its exact output (field labels, ordering, number formatting) is a
+ * behavioural surface worth pinning end-to-end — through ArgParser,
+ * engine dispatch, and the table renderer, not just the library calls
+ * the other golden tests cover.
+ *
+ * The binary path arrives via the HILOS_CLI_PATH compile definition
+ * ($<TARGET_FILE:hilos_cli>), so the test is build-tree relocatable.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "support/golden.h"
+
+namespace hilos {
+namespace test {
+namespace {
+
+/** Run a command, capture stdout, assert exit status 0. */
+std::string
+capture(const std::string &cmd)
+{
+    FILE *pipe = popen(cmd.c_str(), "r");
+    if (pipe == nullptr) {
+        ADD_FAILURE() << "popen failed for: " << cmd;
+        return "";
+    }
+    std::string out;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0)
+        out.append(buf, n);
+    const int status = pclose(pipe);
+    EXPECT_EQ(status, 0) << cmd << "\n" << out;
+    return out;
+}
+
+void
+expectGolden(const std::string &name, const std::string &actual)
+{
+    const GoldenOutcome out = compareGolden(name, actual);
+    EXPECT_TRUE(out.ok) << out.message;
+}
+
+TEST(CliGolden, DefaultRun)
+{
+    expectGolden("cli_default_run.txt",
+                 capture(std::string(HILOS_CLI_PATH) + " 2>/dev/null"));
+}
+
+TEST(CliGolden, FaultPlanRun)
+{
+    expectGolden(
+        "cli_fault_plan_run.txt",
+        capture(std::string(HILOS_CLI_PATH) +
+                " --fault-plan 'seed=7;nand-err=1e-3;fail@2.5=3'"
+                " 2>/dev/null"));
+}
+
+}  // namespace
+}  // namespace test
+}  // namespace hilos

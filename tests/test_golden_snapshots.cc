@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Golden snapshots of the user-visible result surfaces: an analytic
+ * HILOS run (fault-free and faulted), an event-sim decode step with its
+ * trace summary, and the markdown evaluation report. Any behavioural
+ * change to the models shows up as a unified diff against the
+ * checked-in files under tests/golden/; intentional changes are
+ * re-recorded with HILOS_UPDATE_GOLDENS=1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/event_sim.h"
+#include "runtime/hilos_engine.h"
+#include "runtime/report.h"
+#include "runtime/system_config.h"
+#include "sim/fault.h"
+#include "sim/trace.h"
+#include "support/golden.h"
+#include "support/serialize.h"
+
+namespace hilos {
+namespace test {
+namespace {
+
+RunConfig
+headlineRun()
+{
+    RunConfig run;
+    run.model = modelByName("OPT-66B");
+    run.batch = 16;
+    run.context_len = 32768;
+    run.output_len = 64;
+    return run;
+}
+
+void
+expectGolden(const std::string &name, const std::string &actual)
+{
+    const GoldenOutcome out = compareGolden(name, actual);
+    EXPECT_TRUE(out.ok) << out.message;
+}
+
+TEST(GoldenSnapshots, HilosEngineHeadlineRun)
+{
+    const HilosEngine engine(defaultSystem(), HilosOptions{});
+    expectGolden("engine_run_opt66b.txt",
+                 serialize(engine.run(headlineRun())));
+}
+
+TEST(GoldenSnapshots, HilosEngineFaultedRun)
+{
+    // The degraded-mode path: one device failure mid-run plus
+    // probabilistic NAND errors. Pins the whole FaultSummary.
+    HilosOptions opts;
+    opts.fault_plan =
+        parseFaultPlan("seed=7;nand-err=1e-3;fail@2.5=3;uplink@4.0=0.8");
+    const HilosEngine engine(defaultSystem(), opts);
+    expectGolden("engine_run_opt66b_faulted.txt",
+                 serialize(engine.run(headlineRun())));
+}
+
+TEST(GoldenSnapshots, EventSimDecodeStep)
+{
+    const HilosEventSimulator sim(defaultSystem(), HilosOptions{});
+    expectGolden("event_sim_step_opt66b.txt",
+                 serialize(sim.simulateDecodeStep(headlineRun())));
+}
+
+TEST(GoldenSnapshots, EventSimTraceSummary)
+{
+    const HilosEventSimulator sim(defaultSystem(), HilosOptions{});
+    TraceRecorder trace;
+    RunConfig run = headlineRun();
+    run.batch = 4;  // keep the trace (and its summary) small
+    run.context_len = 8192;
+    (void)sim.simulateDecodeStep(run, &trace);
+    expectGolden("event_sim_trace_opt66b.txt", traceSummary(trace));
+}
+
+TEST(GoldenSnapshots, EvaluationReportMarkdown)
+{
+    // One-cell grid: enough to pin the whole rendering path (headers,
+    // row formatting, aggregate lines) without a minutes-long sweep.
+    ReportConfig cfg;
+    cfg.models = {"OPT-66B"};
+    cfg.contexts = {16384};
+    cfg.device_counts = {8};
+    expectGolden("report_opt66b_16k.md",
+                 runEvaluation(defaultSystem(), cfg).toMarkdown());
+}
+
+}  // namespace
+}  // namespace test
+}  // namespace hilos

@@ -8,6 +8,8 @@
 #include <set>
 
 #include "common/random.h"
+#include "support/golden.h"
+#include "support/serialize.h"
 
 namespace hilos {
 namespace {
@@ -87,6 +89,46 @@ TEST(Rng, SampleMoreThanAvailableDies)
 {
     Rng rng(10);
     EXPECT_DEATH(rng.sampleIndices(5, 6), "sample");
+}
+
+// Golden-pin the first draws of every distribution: the whole
+// simulator's reproducibility story rests on these exact streams, so
+// an accidental distribution swap (or a library upgrade changing
+// std::normal_distribution's algorithm) must fail loudly, not shift
+// every seeded experiment silently. Regenerate deliberately with
+// HILOS_UPDATE_GOLDENS=1.
+TEST(Rng, FirstDrawsPerDistributionArePinned)
+{
+    std::string s;
+    Rng u(42);
+    for (int i = 0; i < 8; i++)
+        s += "uniform[" + std::to_string(i) + "] = " +
+             test::formatDouble(u.uniform()) + "\n";
+    Rng ub(42);
+    for (int i = 0; i < 8; i++)
+        s += "uniform(-3,7)[" + std::to_string(i) + "] = " +
+             test::formatDouble(ub.uniform(-3.0, 7.0)) + "\n";
+    Rng ui(42);
+    for (int i = 0; i < 8; i++)
+        s += "uniformInt(0,1000)[" + std::to_string(i) + "] = " +
+             std::to_string(ui.uniformInt(0, 1000)) + "\n";
+    Rng n(42);
+    for (int i = 0; i < 8; i++)
+        s += "normal[" + std::to_string(i) + "] = " +
+             test::formatDouble(n.normal()) + "\n";
+    Rng nv(42);
+    const std::vector<float> v = nv.normalVector(8, 1.0f, 0.5f);
+    for (int i = 0; i < 8; i++)
+        s += "normalVector(1,0.5)[" + std::to_string(i) + "] = " +
+             test::formatDouble(v[i]) + "\n";
+    Rng si(42);
+    const std::vector<std::size_t> idx = si.sampleIndices(100, 8);
+    for (int i = 0; i < 8; i++)
+        s += "sampleIndices(100,8)[" + std::to_string(i) + "] = " +
+             std::to_string(idx[i]) + "\n";
+
+    const test::GoldenOutcome out = test::compareGolden("rng_draws.txt", s);
+    EXPECT_TRUE(out.ok) << out.message;
 }
 
 }  // namespace

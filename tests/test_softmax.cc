@@ -14,6 +14,7 @@
 
 #include "accel/softmax.h"
 #include "common/random.h"
+#include "support/tolerances.h"
 
 namespace hilos {
 namespace {
@@ -51,7 +52,7 @@ TEST(StreamingUpdate, MergeMatchesJointComputation)
     joint.insert(joint.end(), b.begin(), b.end());
     const SoftmaxStats sj = block_stats(joint);
     EXPECT_FLOAT_EQ(running.max, sj.max);
-    EXPECT_NEAR(running.sum, sj.sum, 1e-5f);
+    EXPECT_NEAR(running.sum, sj.sum, test::kFp32AccumTol);
 }
 
 TEST(StreamingUpdate, OrderIndependentMax)
@@ -63,7 +64,7 @@ TEST(StreamingUpdate, OrderIndependentMax)
     b = streamingUpdate(b, 1.0f, 3.0f);
     b = streamingUpdate(b, 5.0f, 2.0f);
     EXPECT_FLOAT_EQ(a.max, b.max);
-    EXPECT_NEAR(a.sum, b.sum, 1e-5f);
+    EXPECT_NEAR(a.sum, b.sum, test::kFp32AccumTol);
 }
 
 TEST(TwoPassSoftmax, MatchesThreePassOnRandomData)
@@ -76,7 +77,7 @@ TEST(TwoPassSoftmax, MatchesThreePassOnRandomData)
         std::vector<float> expected = referenceSoftmax(v);
         sm.apply(v, mask);
         for (std::size_t i = 0; i < v.size(); i++)
-            EXPECT_NEAR(v[i], expected[i], 1e-6f) << "i=" << i;
+            EXPECT_NEAR(v[i], expected[i], test::kFp32SoftmaxElemTol) << "i=" << i;
     }
 }
 
@@ -102,8 +103,8 @@ TEST(TwoPassSoftmax, StableForLargeMagnitudes)
     std::vector<float> v = {5000.0f, 4999.0f, -5000.0f};
     sm.apply(v, mask);
     EXPECT_FALSE(std::isnan(v[0]));
-    EXPECT_NEAR(v[0], 1.0f / (1.0f + std::exp(-1.0f)), 1e-5f);
-    EXPECT_NEAR(v[2], 0.0f, 1e-6f);
+    EXPECT_NEAR(v[0], 1.0f / (1.0f + std::exp(-1.0f)), test::kFp32AccumTol);
+    EXPECT_NEAR(v[2], 0.0f, test::kFp32SoftmaxElemTol);
 }
 
 TEST(TwoPassSoftmax, MaskingZeroesPaddingPositions)
@@ -114,8 +115,8 @@ TEST(TwoPassSoftmax, MaskingZeroesPaddingPositions)
     std::vector<float> v = {1.0f, 2.0f, 3.0f, 100.0f, 100.0f};
     sm.apply(v, mask);
     // Padding contributes nothing despite huge raw scores.
-    EXPECT_NEAR(v[3], 0.0f, 1e-12f);
-    EXPECT_NEAR(v[4], 0.0f, 1e-12f);
+    EXPECT_NEAR(v[3], 0.0f, test::kExactZeroTol);
+    EXPECT_NEAR(v[4], 0.0f, test::kExactZeroTol);
     const double valid_sum = v[0] + v[1] + v[2];
     EXPECT_NEAR(valid_sum, 1.0, 1e-5);
 }
@@ -157,7 +158,7 @@ TEST_P(SoftmaxBlockSizes, ResultIndependentOfBlockSize)
     std::vector<float> v = base;
     sm.apply(v, SoftmaxMask{});
     for (std::size_t i = 0; i < v.size(); i++)
-        EXPECT_NEAR(v[i], expected[i], 3e-6f);
+        EXPECT_NEAR(v[i], expected[i], test::kFp32SoftmaxElemTol);
 }
 
 INSTANTIATE_TEST_SUITE_P(Blocks, SoftmaxBlockSizes,

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the golden-file infrastructure itself: the unified-diff
+ * renderer, compare/update semantics, missing-golden handling, and the
+ * environment-variable override of the golden directory. Uses a
+ * scratch directory so the checked-in goldens are never touched.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "support/golden.h"
+
+namespace hilos {
+namespace test {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Scoped golden-dir + update-flag environment override. */
+class ScratchGoldenDir
+{
+  public:
+    ScratchGoldenDir()
+    {
+        dir_ = fs::temp_directory_path() /
+               ("hilos_golden_test_" + std::to_string(::getpid()));
+        fs::create_directories(dir_);
+        setenv("HILOS_GOLDEN_DIR", dir_.c_str(), 1);
+        unsetenv("HILOS_UPDATE_GOLDENS");
+    }
+
+    ~ScratchGoldenDir()
+    {
+        unsetenv("HILOS_GOLDEN_DIR");
+        unsetenv("HILOS_UPDATE_GOLDENS");
+        std::error_code ec;
+        fs::remove_all(dir_, ec);
+    }
+
+    const fs::path &dir() const { return dir_; }
+
+    void
+    write(const std::string &name, const std::string &content) const
+    {
+        std::ofstream(dir_ / name, std::ios::binary) << content;
+    }
+
+    std::string
+    read(const std::string &name) const
+    {
+        std::ifstream in(dir_ / name, std::ios::binary);
+        return std::string(std::istreambuf_iterator<char>(in), {});
+    }
+
+  private:
+    fs::path dir_;
+};
+
+TEST(GoldenDir, EnvOverrideWins)
+{
+    ScratchGoldenDir scratch;
+    EXPECT_EQ(goldenDir(), scratch.dir().string());
+}
+
+TEST(GoldenDir, DefaultIsCheckedInTree)
+{
+    unsetenv("HILOS_GOLDEN_DIR");
+    const std::string dir = goldenDir();
+    EXPECT_NE(dir.find("tests"), std::string::npos);
+    EXPECT_NE(dir.find("golden"), std::string::npos);
+}
+
+TEST(CompareGolden, MatchPasses)
+{
+    ScratchGoldenDir scratch;
+    scratch.write("a.txt", "line one\nline two\n");
+    const GoldenOutcome out = compareGolden("a.txt", "line one\nline two\n");
+    EXPECT_TRUE(out.ok) << out.message;
+    EXPECT_FALSE(out.updated);
+}
+
+TEST(CompareGolden, TrailingNewlinesAreNormalised)
+{
+    ScratchGoldenDir scratch;
+    scratch.write("a.txt", "content\n");
+    EXPECT_TRUE(compareGolden("a.txt", "content").ok);
+    EXPECT_TRUE(compareGolden("a.txt", "content\n\n\n").ok);
+}
+
+TEST(CompareGolden, MissingGoldenFailsWithInstructions)
+{
+    ScratchGoldenDir scratch;
+    const GoldenOutcome out = compareGolden("absent.txt", "anything");
+    EXPECT_FALSE(out.ok);
+    EXPECT_NE(out.message.find("HILOS_UPDATE_GOLDENS"), std::string::npos);
+}
+
+TEST(CompareGolden, MismatchShowsUnifiedDiff)
+{
+    ScratchGoldenDir scratch;
+    scratch.write("a.txt", "alpha\nbeta\ngamma\n");
+    const GoldenOutcome out =
+        compareGolden("a.txt", "alpha\nBETA\ngamma\n");
+    EXPECT_FALSE(out.ok);
+    EXPECT_NE(out.message.find("-beta"), std::string::npos);
+    EXPECT_NE(out.message.find("+BETA"), std::string::npos);
+    EXPECT_NE(out.message.find("@@"), std::string::npos);
+}
+
+TEST(CompareGolden, UpdateWritesAndPasses)
+{
+    ScratchGoldenDir scratch;
+    setenv("HILOS_UPDATE_GOLDENS", "1", 1);
+    const GoldenOutcome out = compareGolden("sub/dir/new.txt", "payload");
+    EXPECT_TRUE(out.ok);
+    EXPECT_TRUE(out.updated);
+    EXPECT_EQ(scratch.read("sub/dir/new.txt"), "payload\n");
+
+    // Regeneration on unchanged content is byte-identical.
+    const GoldenOutcome again = compareGolden("sub/dir/new.txt", "payload");
+    EXPECT_TRUE(again.ok);
+    EXPECT_EQ(scratch.read("sub/dir/new.txt"), "payload\n");
+
+    // And the regenerated golden satisfies a normal compare run.
+    unsetenv("HILOS_UPDATE_GOLDENS");
+    EXPECT_TRUE(compareGolden("sub/dir/new.txt", "payload").ok);
+}
+
+TEST(CompareGolden, UpdateFlagMustBeExactlyOne)
+{
+    ScratchGoldenDir scratch;
+    setenv("HILOS_UPDATE_GOLDENS", "0", 1);
+    EXPECT_FALSE(updateGoldensRequested());
+    EXPECT_FALSE(compareGolden("absent.txt", "x").ok);
+    setenv("HILOS_UPDATE_GOLDENS", "1", 1);
+    EXPECT_TRUE(updateGoldensRequested());
+}
+
+TEST(UnifiedDiff, EqualTextsProduceNoHunks)
+{
+    const std::string d = unifiedDiff("same\n", "same\n");
+    EXPECT_EQ(d.find("@@"), std::string::npos);
+}
+
+TEST(UnifiedDiff, ContextIsLimitedToThreeLines)
+{
+    std::string a, b;
+    for (int i = 0; i < 20; i++) {
+        a += "common" + std::to_string(i) + "\n";
+        b += "common" + std::to_string(i) + "\n";
+    }
+    a += "old-tail\n";
+    b += "new-tail\n";
+    const std::string d = unifiedDiff(a, b);
+    // Lines far from the change are suppressed...
+    EXPECT_EQ(d.find("common0"), std::string::npos);
+    EXPECT_EQ(d.find("common15"), std::string::npos);
+    // ...the three context lines before the change are kept.
+    EXPECT_NE(d.find(" common17"), std::string::npos);
+    EXPECT_NE(d.find(" common19"), std::string::npos);
+    EXPECT_NE(d.find("-old-tail"), std::string::npos);
+    EXPECT_NE(d.find("+new-tail"), std::string::npos);
+}
+
+TEST(UnifiedDiff, HunkHeadersCarryLineNumbers)
+{
+    const std::string d =
+        unifiedDiff("a\nb\nc\n", "a\nX\nc\n", "exp", "act");
+    EXPECT_NE(d.find("--- exp"), std::string::npos);
+    EXPECT_NE(d.find("+++ act"), std::string::npos);
+    EXPECT_NE(d.find("@@ -1,3 +1,3 @@"), std::string::npos);
+}
+
+TEST(UnifiedDiff, InsertionAndDeletionAtEnds)
+{
+    const std::string ins = unifiedDiff("a\n", "a\nb\n");
+    EXPECT_NE(ins.find("+b"), std::string::npos);
+    const std::string del = unifiedDiff("a\nb\n", "b\n");
+    EXPECT_NE(del.find("-a"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace test
+}  // namespace hilos
