@@ -5,10 +5,15 @@
  * Drives the two differential oracles from tests/support over randomly
  * sampled valid configurations:
  *
- *   attention  accelerator AttentionKernel vs FP32 reference across the
- *              GQA x sliding-window x sink x padding x buffered space
- *   engine     analytic HilosEngine vs slice-level event simulation
- *              (agreement band + structural invariants + monotonicity)
+ *   attention     accelerator AttentionKernel vs FP32 reference across
+ *                 the GQA x sliding-window x sink x padding x buffered
+ *                 space
+ *   engine        analytic HilosEngine vs slice-level event simulation
+ *                 (agreement band + structural invariants +
+ *                 monotonicity)
+ *   flexgen-plan  FlexGen StepPlan evaluated analytically vs replayed
+ *                 over contended resources (per-op structural invariant
+ *                 + agreement band)
  *
  * Every failure prints a one-line `seed=... cfg=...` repro; re-running
  * with `--replay <seed>` re-executes exactly that case:
@@ -44,6 +49,7 @@ struct OracleSpec {
 const std::vector<OracleSpec> kOracles = {
     {"attention", &runAttentionOracle},
     {"engine", &runEngineOracle},
+    {"flexgen-plan", &runFlexGenPlanOracle},
 };
 
 Perturbation
@@ -67,7 +73,8 @@ main(int argc, char **argv)
 {
     ArgParser args("hilos_fuzz");
     args.addOption("oracle", "all",
-                   "which oracle to run: attention, engine, all")
+                   "which oracle to run: attention, engine, "
+                   "flexgen-plan, all")
         .addOption("iters", "200", "fuzz iterations per oracle")
         .addOption("seed", "4994579712861519", "base seed for the run")
         .addOption("replay", "",
@@ -89,7 +96,7 @@ main(int argc, char **argv)
             oracles.push_back(o);
     if (oracles.empty()) {
         std::cerr << "error: unknown --oracle '" << which
-                  << "' (attention, engine, all)\n";
+                  << "' (attention, engine, flexgen-plan, all)\n";
         return 2;
     }
     const Perturbation perturb = perturbByName(args.get("perturb"));
@@ -97,8 +104,8 @@ main(int argc, char **argv)
     const std::string replay = args.get("replay");
     if (!replay.empty()) {
         if (oracles.size() != 1) {
-            std::cerr << "error: --replay needs --oracle attention or "
-                         "--oracle engine (the repro line names it)\n";
+            std::cerr << "error: --replay needs a single --oracle "
+                         "(the repro line names it)\n";
             return 2;
         }
         const std::uint64_t seed = std::stoull(replay);

@@ -35,6 +35,18 @@ makeEngine(EngineKind kind, const SystemConfig &sys,
     HILOS_PANIC("unknown engine kind");
 }
 
+StepPlan
+decodeStepPlanFor(EngineKind kind, const SystemConfig &sys,
+                  const RunConfig &run, const HilosOptions &hilos_opts)
+{
+    const std::unique_ptr<InferenceEngine> engine =
+        makeEngine(kind, sys, hilos_opts);
+    const auto *source = dynamic_cast<const StepPlanSource *>(engine.get());
+    HILOS_ASSERT(source != nullptr, "engine '", engine->name(),
+                 "' does not emit step plans");
+    return source->decodeStepPlan(run);
+}
+
 std::vector<RunResult>
 runGrid(const SystemConfig &sys, const std::vector<GridPoint> &grid,
         unsigned jobs)

@@ -31,6 +31,7 @@
 #include "runtime/engine.h"
 #include "runtime/flexgen.h"
 #include "runtime/hilos_engine.h"
+#include "runtime/step_plan.h"
 #include "runtime/system_config.h"
 #include "runtime/vllm_multigpu.h"
 
@@ -52,6 +53,16 @@ enum class EngineKind {
 std::unique_ptr<InferenceEngine> makeEngine(
     EngineKind kind, const SystemConfig &sys,
     const HilosOptions &hilos_opts = HilosOptions{});
+
+/**
+ * The decode-step plan a named engine emits for one workload (every
+ * engine implements StepPlanSource). Infeasible configurations come
+ * back with `feasible == false` and the reason in `note`; for
+ * EngineKind::Hilos the plan describes the zero-fault ideal fleet.
+ */
+StepPlan decodeStepPlanFor(EngineKind kind, const SystemConfig &sys,
+                           const RunConfig &run,
+                           const HilosOptions &hilos_opts = HilosOptions{});
 
 /**
  * One point of an engine sweep grid: which system to model and the

@@ -12,15 +12,14 @@ DeepSpeedUvmEngine::DeepSpeedUvmEngine(const SystemConfig &sys)
 {
 }
 
-RunResult
-DeepSpeedUvmEngine::run(const RunConfig &cfg) const
+StepPlan
+DeepSpeedUvmEngine::makePlan(const RunConfig &cfg, RunResult &res) const
 {
     const ModelConfig &m = cfg.model;
     const Gpu gpu(sys_.gpu);
-    const Cpu cpu(sys_.cpu);
     const std::uint64_t total_seq = cfg.context_len + cfg.output_len;
 
-    RunResult res;
+    StepPlan plan;
     const WeightHome home = chooseWeightHome(m, sys_.dram.capacity);
     const double weight_bytes = static_cast<double>(m.weightBytesTotal());
     const double resident =
@@ -32,13 +31,14 @@ DeepSpeedUvmEngine::run(const RunConfig &cfg) const
     if (res.effective_batch == 0) {
         res.feasible = false;
         res.note = "host DRAM exhausted even at batch 1";
-        return res;
+        plan.feasible = false;
+        plan.note = res.note;
+        return plan;
     }
     const std::uint64_t b = res.effective_batch;
     const std::uint64_t s_mid = midGenerationContext(cfg.context_len, cfg.output_len);
     const double L = static_cast<double>(m.layers);
 
-    (void)cpu;
     // UVM page faults throttle the migrated-page path.
     const Bandwidth uvm_bw = sys_.host_pcie_bw / sys_.uvm_io_penalty;
 
@@ -62,42 +62,78 @@ DeepSpeedUvmEngine::run(const RunConfig &cfg) const
         static_cast<double>(m.dtype_bytes);
     const Seconds act_uvm = act_bytes / uvm_bw;
 
-    const Seconds t_layer =
-        std::max({weight, kv_stream, gpu_compute}) + act_uvm;
-    res.decode_step_time = L * t_layer;
+    // --- The decode-step plan: three overlapped roots, serial UVM
+    // activation spill behind them ---
+    plan.layers = m.layers;
+    plan.declareStage("load_weight");
+    plan.declareStage("kv_stream");
+    plan.declareStage("gpu_compute");
+    plan.declareStage("uvm_activations");
+    plan.declareResource(PlanResource::HostPcie, 1);
 
-    res.breakdown.add("load_weight", L * weight);
-    res.breakdown.add("kv_stream", L * kv_stream);
-    res.breakdown.add("gpu_compute", L * gpu_compute);
-    res.breakdown.add("uvm_activations", L * act_uvm);
+    const double loaded_weight = m.loadedWeightBytesPerLayer(b);
+    const std::size_t op_weight = plan.addOp(
+        transferOp(PlanResource::HostPcie, "weight_stage", weight,
+                   loaded_weight)
+            .stageTag("load_weight")
+            .busyTag(kBusyDram)
+            .share(TrafficField::HostRead, loaded_weight)
+            .asPrefetch());
+    const std::size_t op_kv = plan.addOp(
+        transferOp(PlanResource::HostPcie, "kv_uvm_stream", kv_stream,
+                   kv_bytes)
+            .stageTag("kv_stream")
+            .busyTag(kBusyDram)
+            .share(TrafficField::HostRead, kv_bytes)
+            .share(TrafficField::AttnHostRead, kv_bytes)
+            .share(TrafficField::AttnHostWrite, kvStepBytes(m, b))
+            .asPrefetch());
+    const std::size_t op_gpu = plan.addOp(
+        computeOp(ComputeUnit::Gpu, "gpu_compute", gpu_compute)
+            .stageTag("gpu_compute")
+            .busyTag(kBusyGpu));
+    plan.addOp(
+        transferOp(PlanResource::HostPcie, "uvm_activation_spill",
+                   act_uvm, act_bytes)
+            .stageTag("uvm_activations")
+            .share(TrafficField::HostRead, act_bytes / 2.0)
+            .share(TrafficField::HostWrite, act_bytes / 2.0)
+            .dep(op_weight)
+            .dep(op_kv)
+            .dep(op_gpu));
+    // UVM fault servicing keeps a CPU core partially busy all step.
+    plan.busy_step_fraction.cpu = 0.05;
 
+    // --- Prefill ---
     const Seconds prefill_compute =
         prefillComputeTime(gpu, m, b, cfg.context_len);
     res.prefill_time =
         L * (std::max(weight, prefill_compute) + act_uvm);
-    res.total_time = res.prefill_time +
-                     static_cast<double>(cfg.output_len) *
-                         res.decode_step_time;
 
-    res.traffic.host_read_bytes =
-        L * (m.loadedWeightBytesPerLayer(b) + kv_bytes +
-             act_bytes / 2.0);
-    res.traffic.host_write_bytes = L * act_bytes / 2.0;
-    res.traffic.attn_host_read_bytes = L * kv_bytes;
-    res.traffic.attn_host_write_bytes = L * kvStepBytes(m, b);
+    // --- Energy spec ---
+    plan.energy.enabled = true;
+    plan.energy.sys = sys_;
+    plan.energy.prefill_fraction.gpu = 0.9;
+    plan.energy.prefill_fraction.dram = 0.5;
+    return plan;
+}
 
-    res.busy.gpu = L * gpu_compute;
-    res.busy.cpu = 0.05 * res.decode_step_time;  // UVM fault servicing
-    res.busy.dram = L * std::max(weight, kv_stream);
-
-    const double steps = static_cast<double>(cfg.output_len);
-    ComponentBusy run_busy;
-    run_busy.gpu = res.busy.gpu * steps + res.prefill_time * 0.9;
-    run_busy.cpu = res.busy.cpu * steps;
-    run_busy.dram = res.busy.dram * steps + res.prefill_time * 0.5;
-    res.energy = computeEnergy(sys_, StorageKind::None, 0, res.total_time,
-                               run_busy, 0.0);
+RunResult
+DeepSpeedUvmEngine::run(const RunConfig &cfg) const
+{
+    RunResult res;
+    const StepPlan plan = makePlan(cfg, res);
+    if (!plan.feasible)
+        return res;
+    applyPlan(plan, cfg, res);
     return res;
+}
+
+StepPlan
+DeepSpeedUvmEngine::decodeStepPlan(const RunConfig &cfg) const
+{
+    RunResult scratch;
+    return makePlan(cfg, scratch);
 }
 
 }  // namespace hilos

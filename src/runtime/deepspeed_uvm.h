@@ -13,20 +13,25 @@
 #include <string>
 
 #include "runtime/engine.h"
+#include "runtime/step_plan.h"
 #include "runtime/system_config.h"
 
 namespace hilos {
 
 /** DS+UVM(DRAM) baseline engine. */
-class DeepSpeedUvmEngine : public InferenceEngine
+class DeepSpeedUvmEngine : public InferenceEngine, public StepPlanSource
 {
   public:
     explicit DeepSpeedUvmEngine(const SystemConfig &sys);
 
     std::string name() const override { return "DS+UVM(DRAM)"; }
     RunResult run(const RunConfig &cfg) const override;
+    StepPlan decodeStepPlan(const RunConfig &cfg) const override;
 
   private:
+    /** Capacity decisions + prefill into `res`, decode step as a plan. */
+    StepPlan makePlan(const RunConfig &cfg, RunResult &res) const;
+
     SystemConfig sys_;
 };
 

@@ -8,23 +8,20 @@ void
 StageBreakdown::add(const std::string &name, Seconds t)
 {
     HILOS_ASSERT(t >= 0.0, "negative stage time for ", name);
-    for (auto &[n, v] : stages_) {
-        if (n == name) {
-            v += t;
-            return;
-        }
+    const auto it = index_.find(name);
+    if (it != index_.end()) {
+        stages_[it->second].second += t;
+        return;
     }
+    index_.emplace(name, stages_.size());
     stages_.emplace_back(name, t);
 }
 
 Seconds
 StageBreakdown::get(const std::string &name) const
 {
-    for (const auto &[n, v] : stages_) {
-        if (n == name)
-            return v;
-    }
-    return 0.0;
+    const auto it = index_.find(name);
+    return it == index_.end() ? 0.0 : stages_[it->second].second;
 }
 
 Seconds

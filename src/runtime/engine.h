@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -87,7 +88,10 @@ class StageBreakdown
     }
 
   private:
+    /** Insertion-ordered entries; index_ maps name -> position so that
+     *  add/get are O(1) amortised instead of a linear scan per call. */
     std::vector<std::pair<std::string, Seconds>> stages_;
+    std::unordered_map<std::string, std::size_t> index_;
 };
 
 /** Result of one engine run. */

@@ -17,10 +17,12 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "runtime/engine.h"
 #include "runtime/hilos_engine.h"
+#include "runtime/step_plan.h"
 #include "runtime/system_config.h"
 #include "sim/bandwidth.h"
 #include "sim/trace.h"
@@ -94,6 +96,48 @@ class HilosEventSimulator
     SystemConfig sys_;
     HilosOptions opts_;
 };
+
+/** Outcome of replaying one StepPlan over contended resources. */
+struct PlanSimResult {
+    Seconds decode_step_time = 0;
+    /** Pre-divisor end of the layered phase (step start = 0). */
+    Seconds layered_end = 0;
+    std::vector<Seconds> layer_times;
+    /**
+     * Completion time of each layer-0 op (indexed like
+     * StepPlan::layer_ops, relative to step start). Shadow ops hold
+     * their dependency-propagated finish; offline ops hold 0. Under
+     * contention each entry is >= the analytic PlanEvaluation's
+     * op_finish for the same op — the structural agreement invariant
+     * the oracles check.
+     */
+    std::vector<Seconds> first_layer_finish;
+    /** Mean utilisation per referenced resource, by planResourceName. */
+    std::vector<std::pair<std::string, double>> resource_utilization;
+    /** Utilisation per referenced compute unit, by computeUnitName. */
+    std::vector<std::pair<std::string, double>> unit_utilization;
+};
+
+/**
+ * Replay a StepPlan over contended BandwidthPools: every transfer op
+ * occupies one pool instance per fanout replica (round-robin striped),
+ * compute ops occupy a single-instance pool per unit, prefetch ops
+ * become ready with the previous layer's start, shadow ops contribute
+ * timing only, offline ops are skipped. The layered timeline divided by
+ * `layer_time_divisor` plus the serial tail gives the decode step —
+ * under an uncontended plan this reproduces the analytic evaluator;
+ * contention (several ops sharing one pool instance) can only delay it.
+ */
+PlanSimResult simulatePlan(const StepPlan &plan,
+                           TraceRecorder *trace = nullptr);
+
+/**
+ * Adapt a plan replay to the EventSimResult shape the agreement
+ * checkers consume. Utilisations map by name (uplink or host_pcie ->
+ * uplink; gds -> gds; mean of p2p/storage/intra_node -> internal; gpu
+ * unit -> gpu); absent resources report 0.
+ */
+EventSimResult toEventSimResult(const PlanSimResult &r);
 
 }  // namespace hilos
 

@@ -66,15 +66,15 @@ FlexGenEngine::storageWriteBw() const
     HILOS_PANIC("unknown tier");
 }
 
-RunResult
-FlexGenEngine::run(const RunConfig &cfg) const
+StepPlan
+FlexGenEngine::makePlan(const RunConfig &cfg, RunResult &res) const
 {
     const ModelConfig &m = cfg.model;
     const Gpu gpu(sys_.gpu);
     const Cpu cpu(sys_.cpu);
     const std::uint64_t total_seq = cfg.context_len + cfg.output_len;
 
-    RunResult res;
+    StepPlan plan;
     const WeightHome home =
         chooseWeightHome(m, sys_.dram.capacity);
     const double weight_bytes =
@@ -97,7 +97,9 @@ FlexGenEngine::run(const RunConfig &cfg) const
         if (res.effective_batch == 0) {
             res.feasible = false;
             res.note = "host DRAM exhausted even at batch 1";
-            return res;
+            plan.feasible = false;
+            plan.note = res.note;
+            return plan;
         }
         if (res.effective_batch < cfg.batch)
             res.note = "batch shrunk to fit host DRAM";
@@ -119,7 +121,7 @@ FlexGenEngine::run(const RunConfig &cfg) const
                : static_cast<double>(sys_.num_baseline_ssds) *
                      sys_.baseline_ssd.seq_read_bw;
 
-    // --- Per-layer decode stages ---
+    // --- Per-layer decode costs (priced with cost_model primitives) ---
     const Seconds weight = weightLoadTime(
         m, b, home, sys_.host_pcie_bw * sys_.baseline_weight_efficiency,
         weight_storage_bw);
@@ -154,23 +156,80 @@ FlexGenEngine::run(const RunConfig &cfg) const
             2 * m.headDim() * m.dtype_bytes);
     }
 
+    // --- The decode-step plan ---
     // FlexGen overlaps weight staging, KV I/O, CPU attention, and GPU
-    // compute across layers; the commit of new KV entries and the
-    // activation hop are serial.
-    const Seconds t_layer =
-        std::max({weight, kv_io, cpu_attn, gpu_compute}) + kv_write +
-        act_xfer;
-    res.decode_step_time = static_cast<double>(m.layers) * t_layer;
+    // compute across layers (four root ops racing); the commit of new
+    // KV entries and the activation hop are serial behind all four.
+    plan.layers = m.layers;
+    plan.declareStage("load_weight");
+    plan.declareStage("kv_io");
+    plan.declareStage("cpu_attention");
+    plan.declareStage("gpu_compute");
+    plan.declareStage("kv_writeback");
+    plan.declareStage("activations");
+    plan.declareResource(PlanResource::HostPcie, 1);
+    plan.declareResource(PlanResource::Storage, 1);
 
+    const double hidden_bytes =
+        static_cast<double>(m.hidden * m.dtype_bytes);
+    const double loaded_weight = m.loadedWeightBytesPerLayer(b);
+    const double kv_step = kvStepBytes(m, b);
+
+    const std::size_t op_weight = plan.addOp(
+        transferOp(PlanResource::HostPcie, "weight_stage", weight,
+                   loaded_weight)
+            .stageTag("load_weight")
+            .busyTag(kBusyDram)
+            .share(TrafficField::HostRead, loaded_weight)
+            .asPrefetch());
+    StepOp kv_io_op =
+        transferOp(PlanResource::Storage, "kv_fetch", kv_io, kv_bytes)
+            .stageTag("kv_io")
+            .busyTag(kBusyDram | kBusyStorage)
+            .asPrefetch();
+    if (on_ssd) {
+        kv_io_op.share(TrafficField::HostRead, kv_bytes)
+            .share(TrafficField::AttnHostRead, kv_bytes);
+    }
+    const std::size_t op_kv_io = plan.addOp(kv_io_op);
+    const std::size_t op_attn = plan.addOp(
+        computeOp(ComputeUnit::Cpu, "cpu_attention", cpu_attn)
+            .stageTag("cpu_attention")
+            .busyTag(kBusyCpu | kBusyDram));
+    const std::size_t op_gpu = plan.addOp(
+        computeOp(ComputeUnit::Gpu, "gpu_compute", gpu_compute)
+            .stageTag("gpu_compute")
+            .busyTag(kBusyGpu));
+    StepOp kv_write_op =
+        transferOp(PlanResource::Storage, "kv_commit", kv_write, kv_step)
+            .stageTag("kv_writeback")
+            .busyTag(kBusyStorage)
+            .share(TrafficField::HostWrite, kv_step)
+            .share(TrafficField::AttnHostWrite, kv_step)
+            .dep(op_weight)
+            .dep(op_kv_io)
+            .dep(op_attn)
+            .dep(op_gpu);
+    if (on_ssd)
+        kv_write_op.share(TrafficField::StorageWrite, kv_step);
+    const std::size_t op_kv_write = plan.addOp(kv_write_op);
+    plan.addOp(
+        transferOp(PlanResource::HostPcie, "activation_hop", act_xfer,
+                   2.0 * static_cast<double>(b) * hidden_bytes)
+            .stageTag("activations")
+            .share(TrafficField::HostRead,
+                   static_cast<double>(b) * hidden_bytes)
+            .share(TrafficField::HostWrite,
+                   static_cast<double>(b) * hidden_bytes)
+            .dep(op_kv_write));
+    // The CPU also drives the synchronous direct-I/O path (submission,
+    // memcpy staging) while the fetch is in flight: occupancy only.
+    plan.addOp(computeOp(ComputeUnit::Cpu, "kv_io_drive", 0.6 * kv_io)
+                   .busyTag(kBusyCpu)
+                   .asOffline());
+
+    // --- Prefill (not part of the decode-step IR) ---
     const double L = static_cast<double>(m.layers);
-    res.breakdown.add("load_weight", L * weight);
-    res.breakdown.add("kv_io", L * kv_io);
-    res.breakdown.add("cpu_attention", L * cpu_attn);
-    res.breakdown.add("gpu_compute", L * gpu_compute);
-    res.breakdown.add("kv_writeback", L * kv_write);
-    res.breakdown.add("activations", L * act_xfer);
-
-    // --- Prefill ---
     const Seconds prefill_compute =
         prefillComputeTime(gpu, m, b, cfg.context_len);
     const double prefill_kv_bytes = kvLayerBytes(m, b, cfg.context_len);
@@ -180,53 +239,39 @@ FlexGenEngine::run(const RunConfig &cfg) const
     res.prefill_time =
         L * (std::max({weight, prefill_compute}) + prefill_kv_write);
 
-    res.total_time = res.prefill_time +
-                     static_cast<double>(cfg.output_len) *
-                         res.decode_step_time;
-
-    // --- Traffic (per decode step) ---
-    const double hidden_bytes =
-        static_cast<double>(m.hidden * m.dtype_bytes);
-    res.traffic.host_read_bytes =
-        L * (m.loadedWeightBytesPerLayer(b) + (on_ssd ? kv_bytes : 0.0) +
-             static_cast<double>(b) * hidden_bytes);
-    res.traffic.attn_host_read_bytes = on_ssd ? L * kv_bytes : 0.0;
-    res.traffic.host_write_bytes =
-        L * (kvStepBytes(m, b) + static_cast<double>(b) * hidden_bytes);
-    res.traffic.attn_host_write_bytes = L * kvStepBytes(m, b);
-    res.traffic.internal_bytes = 0.0;
-    res.traffic.storage_write_bytes = on_ssd ? L * kvStepBytes(m, b) : 0.0;
-
-    // --- Busy time per decode step ---
-    res.busy.gpu = L * gpu_compute;
-    // The CPU runs the offloaded attention and also drives the
-    // synchronous direct-I/O path (submission, memcpy staging).
-    res.busy.cpu = L * std::max(cpu_attn, 0.6 * kv_io);
-    res.busy.dram = L * std::max({cpu_attn, weight, kv_io});
-    res.busy.storage = on_ssd ? L * (kv_io + kv_write) : 0.0;
-    res.busy.fpga = 0.0;
-
-    // --- Energy over the whole run ---
-    StorageKind kind = StorageKind::None;
-    unsigned devices = 0;
+    // --- Energy spec over the whole run ---
+    plan.energy.enabled = true;
+    plan.energy.sys = sys_;
     if (tier_ == FlexTier::BaselineSsds) {
-        kind = StorageKind::BaselineSsds;
-        devices = sys_.num_baseline_ssds;
+        plan.energy.kind = StorageKind::BaselineSsds;
+        plan.energy.devices = sys_.num_baseline_ssds;
     } else if (tier_ == FlexTier::SmartSsdsNoFpga) {
-        kind = StorageKind::SmartSsds;  // powered, FPGAs idle
-        devices = 16;
+        plan.energy.kind = StorageKind::SmartSsds;  // powered, FPGAs idle
+        plan.energy.devices = 16;
     }
-    const double steps = static_cast<double>(cfg.output_len);
-    ComponentBusy run_busy;
-    run_busy.gpu = res.busy.gpu * steps + res.prefill_time * 0.9;
-    run_busy.cpu = res.busy.cpu * steps;
-    run_busy.dram = res.busy.dram * steps + res.prefill_time * 0.5;
-    run_busy.storage =
-        res.busy.storage * steps +
-        (on_ssd ? L * prefill_kv_write : 0.0);
-    res.energy = computeEnergy(sys_, kind, devices, res.total_time,
-                               run_busy, 0.0);
+    plan.energy.prefill_fraction.gpu = 0.9;
+    plan.energy.prefill_fraction.dram = 0.5;
+    plan.energy.storage_prefill_extra =
+        on_ssd ? L * prefill_kv_write : 0.0;
+    return plan;
+}
+
+RunResult
+FlexGenEngine::run(const RunConfig &cfg) const
+{
+    RunResult res;
+    const StepPlan plan = makePlan(cfg, res);
+    if (!plan.feasible)
+        return res;
+    applyPlan(plan, cfg, res);
     return res;
+}
+
+StepPlan
+FlexGenEngine::decodeStepPlan(const RunConfig &cfg) const
+{
+    RunResult scratch;
+    return makePlan(cfg, scratch);
 }
 
 }  // namespace hilos

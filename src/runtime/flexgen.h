@@ -12,6 +12,7 @@
 #include <string>
 
 #include "runtime/engine.h"
+#include "runtime/step_plan.h"
 #include "runtime/system_config.h"
 
 namespace hilos {
@@ -26,13 +27,14 @@ enum class FlexTier {
 /**
  * FlexGen baseline engine.
  */
-class FlexGenEngine : public InferenceEngine
+class FlexGenEngine : public InferenceEngine, public StepPlanSource
 {
   public:
     FlexGenEngine(const SystemConfig &sys, FlexTier tier);
 
     std::string name() const override;
     RunResult run(const RunConfig &cfg) const override;
+    StepPlan decodeStepPlan(const RunConfig &cfg) const override;
 
     /** Aggregate storage read bandwidth of this tier's fleet. */
     Bandwidth storageReadBw() const;
@@ -42,6 +44,9 @@ class FlexGenEngine : public InferenceEngine
     FlexTier tier() const { return tier_; }
 
   private:
+    /** Capacity decisions + prefill into `res`, decode step as a plan. */
+    StepPlan makePlan(const RunConfig &cfg, RunResult &res) const;
+
     SystemConfig sys_;
     FlexTier tier_;
 };

@@ -91,6 +91,25 @@ RunResult
 HilosEngine::runConditioned(const RunConfig &cfg,
                             const FleetConditions &cond) const
 {
+    RunResult res;
+    const StepPlan plan = makePlan(cfg, cond, res);
+    if (!plan.feasible)
+        return res;
+    applyPlan(plan, cfg, res);
+    return res;
+}
+
+StepPlan
+HilosEngine::decodeStepPlan(const RunConfig &cfg) const
+{
+    RunResult scratch;
+    return makePlan(cfg, idealConditions(), scratch);
+}
+
+StepPlan
+HilosEngine::makePlan(const RunConfig &cfg, const FleetConditions &cond,
+                      RunResult &res) const
+{
     HILOS_ASSERT(cond.devices >= 1, "fleet conditions need >= 1 device");
     const ModelConfig &m = cfg.model;
     const Gpu gpu(sys_.gpu);
@@ -112,7 +131,7 @@ HilosEngine::runConditioned(const RunConfig &cfg,
     const Bandwidth fleet_read = static_cast<double>(N) * p2p_read;
     const Bandwidth gds = std::min(sys_.gds_effective_bw, fleet_read);
 
-    RunResult res;
+    StepPlan plan;
     res.effective_batch = cfg.batch;
     const std::uint64_t b = cfg.batch;
     std::uint64_t s_mid = midGenerationContext(cfg.context_len, cfg.output_len);
@@ -146,7 +165,9 @@ HilosEngine::runConditioned(const RunConfig &cfg,
     if (cache_total + weights_on_fleet > fleet_capacity) {
         res.feasible = false;
         res.note = "SmartSSD fleet capacity exceeded";
-        return res;
+        plan.feasible = false;
+        plan.note = res.note;
+        return plan;
     }
 
     // --- Per-layer decode stages ---
@@ -249,13 +270,6 @@ HilosEngine::runConditioned(const RunConfig &cfg,
                                sys_.smartssd.nand.page_bytes);
     }
 
-    // Attention stage: internal reads, spills, kernels, X-cache loads
-    // and host recompute all pipeline; the slowest binds. Retry
-    // recovery serialises with the internal reads it interrupts.
-    const Seconds attn_stage =
-        std::max({xt.t_ssd + wb_spill + weight_nand + retry_extra,
-                  xt.t_pci, kernel_per_dev, gpu_xattn + xt.t_gpu});
-
     // Shared-uplink occupancy check: weights (when storage-resident),
     // X loads, QKV uploads and returns all cross the chassis uplink.
     const double uplink_bytes =
@@ -266,21 +280,134 @@ HilosEngine::runConditioned(const RunConfig &cfg,
         qkv_up_bytes + out_ret_bytes;
     const Seconds uplink_time = uplink_bytes / uplink_bw;
 
-    const Seconds t_layer =
-        std::max({weight, attn_stage, gpu_stage, uplink_time}) + qkv_up +
-        out_ret + wb_critical;
-    res.decode_step_time = L * t_layer;
+    // --- The decode-step plan ---
+    // Weight staging, the NSP attention branch (internal reads, spills,
+    // NAND weight reads, retry recovery in series; kernels, X loads and
+    // the racing GPU portion in parallel), host GPU work and the shared
+    // uplink all pipeline; the slowest binds. The QKV upload, the
+    // attention-output return and the writeback commit then serialise.
+    plan.layers = m.layers;
+    plan.declareStage("load_weight");
+    plan.declareStage("gpu_compute");
+    plan.declareStage("internal_storage_io");
+    plan.declareStage("nsp_kernel");
+    plan.declareStage("xcache_pci");
+    plan.declareStage("qkv_upload");
+    plan.declareStage("output_return");
+    plan.declareStage("writeback");
+    const bool has_retry = retry_extra > 0.0;
+    if (has_retry)
+        plan.declareStage("fault_retry");
+    plan.declareResource(PlanResource::Uplink, 1);
+    plan.declareResource(PlanResource::Gds, 1);
+    plan.declareResource(PlanResource::P2p, N);
+    plan.declareResource(PlanResource::Storage, N);
 
-    res.breakdown.add("load_weight", L * weight);
-    res.breakdown.add("gpu_compute", L * gpu_stage);
-    res.breakdown.add("internal_storage_io", L * (xt.t_ssd + wb_spill));
-    res.breakdown.add("nsp_kernel", L * kernel_per_dev);
-    res.breakdown.add("xcache_pci", L * xt.t_pci);
-    res.breakdown.add("qkv_upload", L * qkv_up);
-    res.breakdown.add("output_return", L * out_ret);
-    res.breakdown.add("writeback", L * wb_critical);
-    if (retry_extra > 0.0)
-        res.breakdown.add("fault_retry", L * retry_extra);
+    const double h_bytes =
+        static_cast<double>(m.hidden * m.dtype_bytes);
+    const double x_load_bytes = alpha * static_cast<double>(b) *
+                                static_cast<double>(s_mid) * h_bytes;
+    const double internal_layer_bytes =
+        (1.0 - alpha) * 2.0 * static_cast<double>(b) *
+        static_cast<double>(s_mid) * kv_dim_bytes;
+    const double loaded_weight = m.loadedWeightBytesPerLayer(b);
+
+    const std::size_t op_weight = plan.addOp(
+        transferOp(PlanResource::Uplink, "weight_stage", weight,
+                   loaded_weight)
+            .stageTag("load_weight")
+            .busyTag(kBusyDram)
+            .share(TrafficField::HostRead, loaded_weight)
+            .asPrefetch());
+    const std::size_t op_ssd = plan.addOp(
+        transferOp(PlanResource::Storage, "internal_kv_read", xt.t_ssd,
+                   internal_layer_bytes)
+            .withFanout(N)
+            .stageTag("internal_storage_io")
+            .busyTag(kBusyStorage | kBusyFpga)
+            .share(TrafficField::Internal, internal_layer_bytes));
+    const std::size_t op_spill = plan.addOp(
+        transferOp(PlanResource::Storage, "writeback_spill", wb_spill,
+                   spill_bytes_step)
+            .withFanout(N)
+            .stageTag("internal_storage_io")
+            .busyTag(kBusyStorage)
+            .share(TrafficField::StorageWrite, spill_bytes_step)
+            .dep(op_ssd));
+    const std::size_t op_wnand = plan.addOp(
+        transferOp(PlanResource::Storage, "weight_nand_read", weight_nand,
+                   home == WeightHome::Storage ? loaded_weight : 0.0)
+            .withFanout(N)
+            .dep(op_spill));
+    StepOp retry_op =
+        transferOp(PlanResource::Storage, "fault_retry", retry_extra, 0.0)
+            .busyTag(kBusyStorage)
+            .dep(op_wnand);
+    if (has_retry)
+        retry_op.stageTag("fault_retry");
+    const std::size_t op_retry = plan.addOp(retry_op);
+    const std::size_t op_kernel = plan.addOp(
+        computeOp(ComputeUnit::Fpga, "nsp_kernel", kernel_per_dev)
+            .stageTag("nsp_kernel")
+            .busyTag(kBusyFpga));
+    const std::size_t op_xload = plan.addOp(
+        transferOp(PlanResource::Gds, "xcache_load", xt.t_pci,
+                   x_load_bytes)
+            .stageTag("xcache_pci")
+            .busyTag(kBusyDram)
+            .asPrefetch());
+    const std::size_t op_gpu = plan.addOp(
+        computeOp(ComputeUnit::Gpu, "gpu_compute", gpu_stage)
+            .stageTag("gpu_compute")
+            .busyTag(kBusyGpu));
+    // The attention stage races the same GPU X-cache portion that
+    // gpu_compute already times and accounts: shadow (timed only).
+    const std::size_t op_xrace = plan.addOp(
+        computeOp(ComputeUnit::Gpu, "xattn_race", gpu_xattn + xt.t_gpu)
+            .asShadow());
+    const std::size_t op_uplink = plan.addOp(
+        transferOp(PlanResource::Uplink, "uplink_occupancy", uplink_time,
+                   uplink_bytes)
+            .asShadow());
+    const std::size_t op_qkv = plan.addOp(
+        transferOp(PlanResource::Uplink, "qkv_upload", qkv_up,
+                   qkv_up_bytes)
+            .stageTag("qkv_upload")
+            .share(TrafficField::HostWrite, qkv_up_bytes)
+            .share(TrafficField::AttnHostWrite, qkv_up_bytes)
+            .dep(op_weight)
+            .dep(op_retry)
+            .dep(op_kernel)
+            .dep(op_xload)
+            .dep(op_gpu)
+            .dep(op_xrace)
+            .dep(op_uplink));
+    const std::size_t op_out = plan.addOp(
+        transferOp(PlanResource::Uplink, "output_return", out_ret,
+                   out_ret_bytes)
+            .stageTag("output_return")
+            .share(TrafficField::AttnHostRead, out_ret_bytes)
+            .share(TrafficField::AttnHostRead, x_load_bytes)
+            .share(TrafficField::HostRead, out_ret_bytes)
+            .share(TrafficField::HostRead, x_load_bytes)
+            .dep(op_qkv));
+    plan.addOp(
+        transferOp(PlanResource::Uplink, "writeback_commit", wb_critical,
+                   spill_bytes_step)
+            .stageTag("writeback")
+            .dep(op_out));
+    // CPU: partial-score precompute for buffered entries (tiny GEMV);
+    // occupancy only, never on the critical path.
+    const double partial_flops =
+        static_cast<double>(b * m.heads) *
+        (static_cast<double>(opts_.spill_interval) / 2.0) *
+        static_cast<double>(d) * 2.0;
+    plan.addOp(computeOp(ComputeUnit::Cpu, "cpu_partial_scores",
+                         cpu.computeTime(partial_flops))
+                   .busyTag(kBusyCpu)
+                   .asOffline());
+    plan.busy_step_fraction.cpu = 0.02;  // orchestration
+
     res.faults.retry_time = L * retry_extra;  // per decode step
 
     // --- Prefill ---
@@ -294,54 +421,20 @@ HilosEngine::runConditioned(const RunConfig &cfg,
     const Seconds prefill_write = prefill_cache_bytes / prefill_write_bw;
     res.prefill_time =
         L * (std::max(weight, prefill_compute) + prefill_write);
-    res.total_time = res.prefill_time +
-                     static_cast<double>(cfg.output_len) *
-                         res.decode_step_time;
-
-    // --- Traffic per decode step ---
-    const double h_bytes =
-        static_cast<double>(m.hidden * m.dtype_bytes);
-    const double x_load_bytes = alpha * static_cast<double>(b) *
-                                static_cast<double>(s_mid) * h_bytes;
-    res.traffic.attn_host_read_bytes = L * (out_ret_bytes + x_load_bytes);
-    res.traffic.attn_host_write_bytes = L * qkv_up_bytes;
-    res.traffic.host_read_bytes =
-        L * (m.loadedWeightBytesPerLayer(b) + out_ret_bytes +
-             x_load_bytes);
-    res.traffic.host_write_bytes = L * qkv_up_bytes;
-    res.traffic.internal_bytes =
-        L * (1.0 - alpha) * 2.0 * static_cast<double>(b) *
-        static_cast<double>(s_mid) * kv_dim_bytes;
-    res.traffic.storage_write_bytes = L * spill_bytes_step;
-
-    // --- Busy time per decode step ---
-    res.busy.gpu = L * gpu_stage;
-    // CPU: partial-score precompute for buffered entries (tiny GEMV).
-    const double partial_flops =
-        static_cast<double>(b * m.heads) *
-        (static_cast<double>(opts_.spill_interval) / 2.0) *
-        static_cast<double>(d) * 2.0;
-    res.busy.cpu = L * cpu.computeTime(partial_flops) +
-                   0.02 * res.decode_step_time;  // orchestration
-    res.busy.dram = L * std::max(weight, xt.t_pci);
-    res.busy.storage = L * (xt.t_ssd + wb_spill + retry_extra);
-    res.busy.fpga = L * std::max(kernel_per_dev, xt.t_ssd);
 
     const ResourceModel rm;
     res.fpga_power_watts = rm.powerWatts(d_group);
 
-    const double steps = static_cast<double>(cfg.output_len);
-    ComponentBusy run_busy;
-    run_busy.gpu = res.busy.gpu * steps + res.prefill_time * 0.9;
-    run_busy.cpu = res.busy.cpu * steps;
-    run_busy.dram = res.busy.dram * steps + res.prefill_time * 0.3;
-    run_busy.storage =
-        res.busy.storage * steps + L * prefill_write;
-    run_busy.fpga = res.busy.fpga * steps;
-    res.energy = computeEnergy(sys_, StorageKind::SmartSsds, N,
-                               res.total_time, run_busy,
-                               res.fpga_power_watts);
-    return res;
+    // --- Energy spec over the whole run ---
+    plan.energy.enabled = true;
+    plan.energy.sys = sys_;
+    plan.energy.kind = StorageKind::SmartSsds;
+    plan.energy.devices = N;
+    plan.energy.fpga_power = res.fpga_power_watts;
+    plan.energy.prefill_fraction.gpu = 0.9;
+    plan.energy.prefill_fraction.dram = 0.3;
+    plan.energy.storage_prefill_extra = L * prefill_write;
+    return plan;
 }
 
 RunResult
@@ -534,23 +627,7 @@ HilosEngine::runWithFaults(const RunConfig &cfg) const
         }
 
         const double w = static_cast<double>(tokens) / out_tokens;
-        res.decode_step_time += w * step;
-        for (const auto &[stage, secs] : r.breakdown.stages())
-            res.breakdown.add(stage, w * secs);
-        res.traffic.host_read_bytes += w * r.traffic.host_read_bytes;
-        res.traffic.host_write_bytes += w * r.traffic.host_write_bytes;
-        res.traffic.attn_host_read_bytes +=
-            w * r.traffic.attn_host_read_bytes;
-        res.traffic.attn_host_write_bytes +=
-            w * r.traffic.attn_host_write_bytes;
-        res.traffic.internal_bytes += w * r.traffic.internal_bytes;
-        res.traffic.storage_write_bytes +=
-            w * r.traffic.storage_write_bytes;
-        res.busy.gpu += w * r.busy.gpu;
-        res.busy.cpu += w * r.busy.cpu;
-        res.busy.dram += w * r.busy.dram;
-        res.busy.storage += w * r.busy.storage;
-        res.busy.fpga += w * r.busy.fpga;
+        accumulateWeighted(res, r, w);
         fs.retry_time += static_cast<double>(tokens) * r.faults.retry_time;
 
         // Expected discrete fault counts: one KV-slice read per slice

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "runtime/engine.h"
+#include "runtime/step_plan.h"
 #include "runtime/system_config.h"
 #include "runtime/xcache.h"
 #include "sim/fault.h"
@@ -52,13 +53,15 @@ struct HilosOptions {
  * HILOS engine: analytic end-to-end model mirroring the real system's
  * execution schedule.
  */
-class HilosEngine : public InferenceEngine
+class HilosEngine : public InferenceEngine, public StepPlanSource
 {
   public:
     HilosEngine(const SystemConfig &sys, const HilosOptions &opts);
 
     std::string name() const override;
     RunResult run(const RunConfig &cfg) const override;
+    /** The zero-fault (ideal-fleet) decode-step plan. */
+    StepPlan decodeStepPlan(const RunConfig &cfg) const override;
 
     /** Aggregate internal P2P read bandwidth of the fleet. */
     Bandwidth internalReadBw() const;
@@ -97,6 +100,13 @@ class HilosEngine : public InferenceEngine
     /** The analytic model evaluated under fixed fleet conditions. */
     RunResult runConditioned(const RunConfig &cfg,
                              const FleetConditions &cond) const;
+
+    /**
+     * Capacity checks, prefill, fault accounting and fpga power into
+     * `res`; the decode step itself as a StepPlan.
+     */
+    StepPlan makePlan(const RunConfig &cfg, const FleetConditions &cond,
+                      RunResult &res) const;
 
     /** Epoch-based degraded-mode execution of a non-empty FaultPlan. */
     RunResult runWithFaults(const RunConfig &cfg) const;

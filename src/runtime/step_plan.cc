@@ -1,0 +1,414 @@
+#include "runtime/step_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "sim/pipeline.h"
+
+namespace hilos {
+
+const char *
+planResourceName(PlanResource r)
+{
+    switch (r) {
+      case PlanResource::None:
+        return "none";
+      case PlanResource::HostPcie:
+        return "host_pcie";
+      case PlanResource::Uplink:
+        return "uplink";
+      case PlanResource::Gds:
+        return "gds";
+      case PlanResource::P2p:
+        return "p2p";
+      case PlanResource::Storage:
+        return "storage";
+      case PlanResource::DramBus:
+        return "dram_bus";
+      case PlanResource::IntraNode:
+        return "intra_node";
+      case PlanResource::InterNode:
+        return "inter_node";
+    }
+    HILOS_PANIC("unknown plan resource");
+}
+
+const char *
+computeUnitName(ComputeUnit u)
+{
+    switch (u) {
+      case ComputeUnit::None:
+        return "none";
+      case ComputeUnit::Gpu:
+        return "gpu";
+      case ComputeUnit::Cpu:
+        return "cpu";
+      case ComputeUnit::Fpga:
+        return "fpga";
+    }
+    HILOS_PANIC("unknown compute unit");
+}
+
+const char *
+trafficFieldName(TrafficField f)
+{
+    switch (f) {
+      case TrafficField::HostRead:
+        return "host_read";
+      case TrafficField::HostWrite:
+        return "host_write";
+      case TrafficField::AttnHostRead:
+        return "attn_host_read";
+      case TrafficField::AttnHostWrite:
+        return "attn_host_write";
+      case TrafficField::Internal:
+        return "internal";
+      case TrafficField::StorageWrite:
+        return "storage_write";
+    }
+    HILOS_PANIC("unknown traffic field");
+}
+
+StepOp &
+StepOp::dep(std::size_t id)
+{
+    deps.push_back(id);
+    return *this;
+}
+
+StepOp &
+StepOp::stageTag(std::string name)
+{
+    stage = std::move(name);
+    return *this;
+}
+
+StepOp &
+StepOp::busyTag(unsigned mask)
+{
+    busy |= mask;
+    return *this;
+}
+
+StepOp &
+StepOp::share(TrafficField field, double bytes_contributed)
+{
+    traffic.push_back(TrafficShare{field, bytes_contributed});
+    return *this;
+}
+
+StepOp &
+StepOp::withFanout(std::uint64_t n)
+{
+    fanout = n;
+    return *this;
+}
+
+StepOp &
+StepOp::asPrefetch()
+{
+    prefetch = true;
+    return *this;
+}
+
+StepOp &
+StepOp::asShadow()
+{
+    shadow = true;
+    return *this;
+}
+
+StepOp &
+StepOp::asOffline()
+{
+    offline = true;
+    return *this;
+}
+
+StepOp
+transferOp(PlanResource resource, std::string label, Seconds seconds,
+           double bytes)
+{
+    StepOp op;
+    op.op_kind = StepOp::Kind::Transfer;
+    op.resource = resource;
+    op.label = std::move(label);
+    op.seconds = seconds;
+    op.bytes = bytes;
+    return op;
+}
+
+StepOp
+computeOp(ComputeUnit unit, std::string label, Seconds seconds)
+{
+    StepOp op;
+    op.op_kind = StepOp::Kind::Compute;
+    op.unit = unit;
+    op.label = std::move(label);
+    op.seconds = seconds;
+    return op;
+}
+
+void
+StepPlan::declareStage(const std::string &name)
+{
+    for (const std::string &s : stage_order)
+        HILOS_ASSERT(s != name, "stage declared twice: ", name);
+    stage_order.push_back(name);
+}
+
+void
+StepPlan::declareResource(PlanResource kind, unsigned instances)
+{
+    HILOS_ASSERT(instances >= 1, "resource needs >= 1 instance");
+    for (const PlanResourceDecl &d : resources)
+        HILOS_ASSERT(d.kind != kind, "resource declared twice: ",
+                     planResourceName(kind));
+    resources.push_back(PlanResourceDecl{kind, instances});
+}
+
+unsigned
+StepPlan::instancesOf(PlanResource kind) const
+{
+    for (const PlanResourceDecl &d : resources)
+        if (d.kind == kind)
+            return d.instances;
+    return 1;
+}
+
+namespace {
+
+void
+validateOp(const StepOp &op, std::size_t id)
+{
+    HILOS_ASSERT(std::isfinite(op.seconds) && op.seconds >= 0.0,
+                 "op duration must be finite and non-negative: ", op.label);
+    HILOS_ASSERT(op.fanout >= 1, "op fanout must be >= 1: ", op.label);
+    HILOS_ASSERT(!(op.shadow && op.offline),
+                 "an op cannot be both shadow and offline: ", op.label);
+    HILOS_ASSERT(!op.offline || op.deps.empty(),
+                 "offline ops are dependency-free: ", op.label);
+    HILOS_ASSERT(op.op_kind != StepOp::Kind::Transfer ||
+                     op.resource != PlanResource::None,
+                 "transfer op needs a resource: ", op.label);
+    for (const TrafficShare &s : op.traffic)
+        HILOS_ASSERT(std::isfinite(s.bytes) && s.bytes >= 0.0,
+                     "traffic share must be finite and non-negative: ",
+                     op.label);
+    for (const std::size_t d : op.deps)
+        HILOS_ASSERT(d < id, "op deps must reference earlier ops: ",
+                     op.label);
+}
+
+bool
+stageDeclared(const StepPlan &plan, const std::string &name)
+{
+    for (const std::string &s : plan.stage_order)
+        if (s == name)
+            return true;
+    return false;
+}
+
+}  // namespace
+
+std::size_t
+StepPlan::addOp(StepOp op)
+{
+    const std::size_t id = layer_ops.size();
+    validateOp(op, id);
+    HILOS_ASSERT(op.stage.empty() || stageDeclared(*this, op.stage),
+                 "op stage not declared: ", op.stage);
+    layer_ops.push_back(std::move(op));
+    return id;
+}
+
+std::size_t
+StepPlan::addTailOp(StepOp op)
+{
+    const std::size_t id = tail_ops.size();
+    HILOS_ASSERT(op.deps.empty(), "tail ops are a serial chain: ",
+                 op.label);
+    validateOp(op, 0);
+    HILOS_ASSERT(op.stage.empty() || stageDeclared(*this, op.stage),
+                 "op stage not declared: ", op.stage);
+    HILOS_ASSERT(!op.prefetch && !op.shadow && !op.offline,
+                 "tail ops carry no role flags: ", op.label);
+    tail_ops.push_back(std::move(op));
+    return id;
+}
+
+PlanEvaluation
+evaluatePlan(const StepPlan &plan)
+{
+    HILOS_ASSERT(plan.layers >= 1, "plan needs >= 1 layer");
+    HILOS_ASSERT(plan.layer_time_divisor > 0.0,
+                 "layer_time_divisor must be positive");
+    const double L = static_cast<double>(plan.layers);
+
+    PlanEvaluation ev;
+
+    // Critical path over the layer DAG: finish = max(dep finishes) +
+    // seconds, so serial chains accumulate left-to-right and parallel
+    // branches take an exact max — reproducing the engines' historical
+    // max/sum compositions bit-for-bit. Offline ops never gate it.
+    ev.op_finish.assign(plan.layer_ops.size(), 0.0);
+    for (std::size_t i = 0; i < plan.layer_ops.size(); ++i) {
+        const StepOp &op = plan.layer_ops[i];
+        if (op.offline)
+            continue;
+        Seconds ready = 0.0;
+        for (const std::size_t d : op.deps)
+            ready = std::max(ready, ev.op_finish[d]);
+        ev.op_finish[i] = ready + op.seconds;
+    }
+    ev.layer_critical_path = overlapMax(ev.op_finish);
+
+    Seconds step =
+        L * ev.layer_critical_path / plan.layer_time_divisor;
+    for (const StepOp &op : plan.tail_ops)
+        step += op.seconds;
+    ev.decode_step_time = step;
+
+    // Stage breakdown: per-layer sums accumulate in op-insertion order
+    // (the order engines historically summed their terms), scale by the
+    // layer count, and land in declared-stage order.
+    std::unordered_map<std::string, Seconds> layer_stage, tail_stage;
+    for (const StepOp &op : plan.layer_ops) {
+        if (op.shadow || op.stage.empty())
+            continue;
+        layer_stage[op.stage] += op.seconds;
+    }
+    for (const StepOp &op : plan.tail_ops) {
+        if (op.stage.empty())
+            continue;
+        tail_stage[op.stage] += op.seconds;
+    }
+    for (const std::string &name : plan.stage_order) {
+        const auto lit = layer_stage.find(name);
+        const auto tit = tail_stage.find(name);
+        const Seconds lsum = lit == layer_stage.end() ? 0.0 : lit->second;
+        const Seconds tsum = tit == tail_stage.end() ? 0.0 : tit->second;
+        ev.breakdown.add(name, L * lsum + tsum);
+    }
+
+    // Traffic counters: per-field sums in op-insertion order, per-layer
+    // shares scaled by the layer count, tail shares once.
+    constexpr std::size_t kFields = 6;
+    double layer_bytes[kFields] = {0, 0, 0, 0, 0, 0};
+    double tail_bytes[kFields] = {0, 0, 0, 0, 0, 0};
+    for (const StepOp &op : plan.layer_ops) {
+        if (op.shadow)
+            continue;
+        for (const TrafficShare &s : op.traffic)
+            layer_bytes[static_cast<std::size_t>(s.field)] += s.bytes;
+    }
+    for (const StepOp &op : plan.tail_ops)
+        for (const TrafficShare &s : op.traffic)
+            tail_bytes[static_cast<std::size_t>(s.field)] += s.bytes;
+    const auto field_total = [&](TrafficField f) {
+        const auto i = static_cast<std::size_t>(f);
+        return L * layer_bytes[i] + tail_bytes[i];
+    };
+    ev.traffic.host_read_bytes = field_total(TrafficField::HostRead);
+    ev.traffic.host_write_bytes = field_total(TrafficField::HostWrite);
+    ev.traffic.attn_host_read_bytes =
+        field_total(TrafficField::AttnHostRead);
+    ev.traffic.attn_host_write_bytes =
+        field_total(TrafficField::AttnHostWrite);
+    ev.traffic.internal_bytes = field_total(TrafficField::Internal);
+    ev.traffic.storage_write_bytes =
+        field_total(TrafficField::StorageWrite);
+
+    // Busy time per component: the longest tagged path through the DAG
+    // (untagged ops on a path pass through without contributing), so a
+    // serial tagged chain sums and parallel tagged branches max — the
+    // same composition the engines hand-rolled. The per-step fraction
+    // adds orchestration overhead proportional to the final step time.
+    const struct {
+        unsigned mask;
+        Seconds ComponentBusy::*comp;
+        double PlanBusyFractions::*frac;
+    } kComponents[] = {
+        {kBusyGpu, &ComponentBusy::gpu, &PlanBusyFractions::gpu},
+        {kBusyCpu, &ComponentBusy::cpu, &PlanBusyFractions::cpu},
+        {kBusyDram, &ComponentBusy::dram, &PlanBusyFractions::dram},
+        {kBusyStorage, &ComponentBusy::storage,
+         &PlanBusyFractions::storage},
+        {kBusyFpga, &ComponentBusy::fpga, &PlanBusyFractions::fpga},
+    };
+    std::vector<Seconds> path(plan.layer_ops.size(), 0.0);
+    for (const auto &c : kComponents) {
+        std::fill(path.begin(), path.end(), 0.0);
+        Seconds best = 0.0;
+        for (std::size_t i = 0; i < plan.layer_ops.size(); ++i) {
+            const StepOp &op = plan.layer_ops[i];
+            Seconds pre = 0.0;
+            for (const std::size_t d : op.deps)
+                pre = std::max(pre, path[d]);
+            const bool counts = !op.shadow && (op.busy & c.mask) != 0;
+            path[i] = counts ? pre + op.seconds : pre;
+            best = std::max(best, path[i]);
+        }
+        ev.busy.*(c.comp) =
+            L * best + plan.busy_step_fraction.*(c.frac) * step;
+    }
+    return ev;
+}
+
+void
+applyPlan(const StepPlan &plan, const RunConfig &cfg, RunResult &res)
+{
+    HILOS_ASSERT(plan.feasible, "applyPlan on an infeasible plan");
+    const PlanEvaluation ev = evaluatePlan(plan);
+    res.decode_step_time = ev.decode_step_time;
+    res.breakdown = ev.breakdown;
+    res.traffic = ev.traffic;
+    res.busy = ev.busy;
+    res.total_time = res.prefill_time +
+                     static_cast<double>(cfg.output_len) *
+                         res.decode_step_time;
+    if (!plan.energy.enabled)
+        return;
+    const PlanEnergySpec &e = plan.energy;
+    const double steps = static_cast<double>(cfg.output_len);
+    ComponentBusy rb;
+    rb.gpu = res.busy.gpu * steps +
+             res.prefill_time * e.prefill_fraction.gpu;
+    rb.cpu = res.busy.cpu * steps +
+             res.prefill_time * e.prefill_fraction.cpu;
+    rb.dram = res.busy.dram * steps +
+              res.prefill_time * e.prefill_fraction.dram;
+    rb.storage = res.busy.storage * steps +
+                 res.prefill_time * e.prefill_fraction.storage +
+                 e.storage_prefill_extra;
+    rb.fpga = res.busy.fpga * steps +
+              res.prefill_time * e.prefill_fraction.fpga;
+    res.energy = computeEnergy(e.sys, e.kind, e.devices, res.total_time,
+                               rb, e.fpga_power);
+}
+
+void
+accumulateWeighted(RunResult &acc, const RunResult &r, double w)
+{
+    acc.decode_step_time += w * r.decode_step_time;
+    for (const auto &[stage, secs] : r.breakdown.stages())
+        acc.breakdown.add(stage, w * secs);
+    acc.traffic.host_read_bytes += w * r.traffic.host_read_bytes;
+    acc.traffic.host_write_bytes += w * r.traffic.host_write_bytes;
+    acc.traffic.attn_host_read_bytes +=
+        w * r.traffic.attn_host_read_bytes;
+    acc.traffic.attn_host_write_bytes +=
+        w * r.traffic.attn_host_write_bytes;
+    acc.traffic.internal_bytes += w * r.traffic.internal_bytes;
+    acc.traffic.storage_write_bytes +=
+        w * r.traffic.storage_write_bytes;
+    acc.busy.gpu += w * r.busy.gpu;
+    acc.busy.cpu += w * r.busy.cpu;
+    acc.busy.dram += w * r.busy.dram;
+    acc.busy.storage += w * r.busy.storage;
+    acc.busy.fpga += w * r.busy.fpga;
+}
+
+}  // namespace hilos

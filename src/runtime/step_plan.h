@@ -1,0 +1,275 @@
+/**
+ * @file
+ * The StepPlan IR: one declarative description of a decoding step that
+ * every engine emits and every backend consumes.
+ *
+ * A plan is a per-layer DAG of typed ops — Transfer{resource, bytes} on
+ * named resources (host PCIe, chassis uplink, GDS, per-device P2P,
+ * storage fleet) and Compute{unit, seconds} — with explicit dependency
+ * edges, plus a serial tail of once-per-step ops (e.g. pipeline-hop
+ * communication). Engines *build* plans by pricing each op with the
+ * shared cost_model primitives; the backends then derive everything
+ * else mechanically:
+ *
+ *  - the analytic evaluator (evaluatePlan/applyPlan below) computes the
+ *    layer critical path and the StageBreakdown / TrafficCounters /
+ *    ComponentBusy / EnergyBreakdown of a RunResult from op
+ *    annotations, replacing the per-engine accounting copies;
+ *
+ *  - the event-simulator backend (simulatePlan in runtime/event_sim.h)
+ *    replays the same ops over contended per-resource timelines, giving
+ *    any plan-emitting engine a contention-aware cross-check.
+ *
+ * Evaluation rules are chosen so the analytic backend reproduces the
+ * engines' historical closed forms bit-for-bit: op finish times fold
+ * dependencies as max(dep finishes) + seconds (so serial chains sum
+ * left-to-right and parallel branches max, both exactly); stage/traffic
+ * sums accumulate in op-insertion order; per-component busy time is the
+ * longest tagged path through the DAG. Three op roles keep the timing
+ * and accounting surfaces from contaminating each other:
+ *
+ *  - normal ops: timed, accounted, replayed;
+ *  - shadow ops: timed only — duplicates that re-state work already
+ *    accounted elsewhere so an overlap branch can race it (e.g. the
+ *    HILOS attention stage racing the GPU's X-cache portion, or the
+ *    shared-uplink occupancy check); the replay skips them;
+ *  - offline ops: accounted only — background occupancy that never
+ *    gates the critical path (e.g. the CPU driving synchronous I/O).
+ */
+
+#ifndef HILOS_RUNTIME_STEP_PLAN_H_
+#define HILOS_RUNTIME_STEP_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "runtime/energy.h"
+#include "runtime/engine.h"
+#include "runtime/system_config.h"
+
+namespace hilos {
+
+/** Named resource classes a Transfer op occupies. */
+enum class PlanResource : std::uint8_t {
+    None,       ///< not a transfer
+    HostPcie,   ///< host <-> GPU PCIe link
+    Uplink,     ///< chassis uplink (switch to the device fleet)
+    Gds,        ///< GPUDirect-Storage path
+    P2p,        ///< SmartSSD-internal P2P path (per device)
+    Storage,    ///< storage fleet NAND channel (per device)
+    DramBus,    ///< host DRAM interface
+    IntraNode,  ///< intra-node collective fabric (NVLink/PCIe)
+    InterNode,  ///< cross-node network
+};
+
+/** Stable lower-case name for serialisation and replay tracks. */
+const char *planResourceName(PlanResource r);
+
+/** Compute units a Compute op runs on. */
+enum class ComputeUnit : std::uint8_t { None, Gpu, Cpu, Fpga };
+
+/** Stable lower-case name for serialisation and replay tracks. */
+const char *computeUnitName(ComputeUnit u);
+
+/** Busy-component tags (bitmask on StepOp::busy). */
+constexpr unsigned kBusyGpu = 1u << 0;
+constexpr unsigned kBusyCpu = 1u << 1;
+constexpr unsigned kBusyDram = 1u << 2;
+constexpr unsigned kBusyStorage = 1u << 3;
+constexpr unsigned kBusyFpga = 1u << 4;
+
+/** TrafficCounters fields an op can contribute to. */
+enum class TrafficField : std::uint8_t {
+    HostRead,
+    HostWrite,
+    AttnHostRead,
+    AttnHostWrite,
+    Internal,
+    StorageWrite,
+};
+
+/** Stable field name for serialisation. */
+const char *trafficFieldName(TrafficField f);
+
+/** One op's contribution to a traffic counter (per layer or per step). */
+struct TrafficShare {
+    TrafficField field = TrafficField::HostRead;
+    double bytes = 0;
+};
+
+/**
+ * One typed op of a step plan. Build with transferOp()/computeOp() and
+ * the fluent setters; add to a plan with StepPlan::addOp.
+ */
+struct StepOp {
+    enum class Kind : std::uint8_t { Transfer, Compute };
+
+    Kind op_kind = Kind::Compute;
+    PlanResource resource = PlanResource::None;  ///< Transfer only
+    ComputeUnit unit = ComputeUnit::None;        ///< Compute only
+    Seconds seconds = 0;  ///< engine-priced duration of the whole op
+    double bytes = 0;     ///< payload bytes (Transfer; replay/metadata)
+    /**
+     * Concurrent per-instance replicas the replay issues, each lasting
+     * the full `seconds` (the engine's pricing already divides the work
+     * across instances, so replica k occupies instance k for the
+     * per-device duration; the op finishes when the slowest replica
+     * does).
+     */
+    std::uint64_t fanout = 1;
+
+    std::string label;  ///< trace/serialisation name
+    std::string stage;  ///< breakdown stage ("" = unattributed)
+    unsigned busy = 0;  ///< kBusy* component mask
+
+    bool prefetch = false;  ///< replay issues it one layer ahead
+    bool shadow = false;    ///< timed only (no accounting, no replay)
+    bool offline = false;   ///< accounted only (off the critical path)
+
+    std::vector<TrafficShare> traffic;
+    std::vector<std::size_t> deps;  ///< earlier op ids this op waits on
+
+    // Fluent builder setters.
+    StepOp &dep(std::size_t id);
+    StepOp &stageTag(std::string name);
+    StepOp &busyTag(unsigned mask);
+    StepOp &share(TrafficField field, double bytes_contributed);
+    StepOp &withFanout(std::uint64_t n);
+    StepOp &asPrefetch();
+    StepOp &asShadow();
+    StepOp &asOffline();
+};
+
+/** A priced transfer op on a named resource. */
+StepOp transferOp(PlanResource resource, std::string label, Seconds seconds,
+                  double bytes);
+
+/** A priced compute op on a unit. */
+StepOp computeOp(ComputeUnit unit, std::string label, Seconds seconds);
+
+/** Resource instances available to the replay backend. */
+struct PlanResourceDecl {
+    PlanResource kind = PlanResource::None;
+    unsigned instances = 1;
+};
+
+/** Fractions of a reference interval each component stays busy. */
+struct PlanBusyFractions {
+    double gpu = 0;
+    double cpu = 0;
+    double dram = 0;
+    double storage = 0;
+    double fpga = 0;
+};
+
+/**
+ * Whole-run energy specification carried by a plan: the evaluator turns
+ * per-step busy seconds into run-level busy via
+ *   run_busy = busy * steps + prefill * prefill_fraction + extra
+ * and calls computeEnergy. `sys` is a copy because some engines price
+ * energy against a modified system (the vLLM cluster scales GPU TDP by
+ * the fleet size).
+ */
+struct PlanEnergySpec {
+    bool enabled = false;
+    SystemConfig sys;
+    StorageKind kind = StorageKind::None;
+    unsigned devices = 0;
+    Watts fpga_power = 0;
+    PlanBusyFractions prefill_fraction;
+    /** Extra storage busy seconds charged once per run (prefill writes). */
+    Seconds storage_prefill_extra = 0;
+};
+
+/**
+ * A complete decoding-step plan: `layers` repetitions of the layer-op
+ * DAG, divided by `layer_time_divisor` (pipeline efficiency), plus the
+ * serial tail ops. Declared stage names fix the StageBreakdown entry
+ * order independent of op order (engines keep their historical
+ * presentation); every tagged stage must be declared.
+ */
+struct StepPlan {
+    std::uint64_t layers = 1;
+    double layer_time_divisor = 1.0;
+
+    bool feasible = true;
+    std::string note;  ///< infeasibility reason when !feasible
+
+    std::vector<std::string> stage_order;
+    std::vector<PlanResourceDecl> resources;
+    std::vector<StepOp> layer_ops;
+    std::vector<StepOp> tail_ops;
+
+    /** Per-step busy overhead as a fraction of the final step time. */
+    PlanBusyFractions busy_step_fraction;
+    PlanEnergySpec energy;
+
+    /** Register a breakdown stage; entry order = declaration order. */
+    void declareStage(const std::string &name);
+    /** Register replay instances for a resource kind. */
+    void declareResource(PlanResource kind, unsigned instances);
+    /** Declared instance count for a resource kind (default 1). */
+    unsigned instancesOf(PlanResource kind) const;
+
+    /** Append a per-layer op; validates deps; returns its id. */
+    std::size_t addOp(StepOp op);
+    /** Append a once-per-step tail op (serial, dependency-free). */
+    std::size_t addTailOp(StepOp op);
+};
+
+/** Everything the analytic backend derives from a plan. */
+struct PlanEvaluation {
+    Seconds layer_critical_path = 0;
+    Seconds decode_step_time = 0;
+    StageBreakdown breakdown;
+    TrafficCounters traffic;
+    ComponentBusy busy;
+    /** Per layer-op finish time within one steady-state layer (0 for
+     *  offline ops, which never gate the critical path). */
+    std::vector<Seconds> op_finish;
+};
+
+/**
+ * Analytic backend: critical path over the layer DAG, breakdown and
+ * traffic sums in op-insertion order, busy time as the longest tagged
+ * path per component. Deterministic and bit-stable: evaluating the
+ * same plan twice yields identical doubles.
+ */
+PlanEvaluation evaluatePlan(const StepPlan &plan);
+
+/**
+ * Fill the decode-step fields of `res` from the plan (decode step,
+ * breakdown, traffic, busy), then derive total_time and — when the
+ * plan's energy spec is enabled — the whole-run EnergyBreakdown.
+ * `res.prefill_time` and `res.effective_batch` must already be set by
+ * the engine (prefill is not part of the decode-step IR).
+ */
+void applyPlan(const StepPlan &plan, const RunConfig &cfg, RunResult &res);
+
+/**
+ * Accumulate `w`-weighted decode-step accounting of `r` into `acc`
+ * (decode step time, breakdown stages, traffic counters, busy time) —
+ * the epoch-blending primitive of degraded-mode execution.
+ */
+void accumulateWeighted(RunResult &acc, const RunResult &r, double w);
+
+/**
+ * Interface of every engine that can emit its decoding step as a
+ * StepPlan (all engines implement it alongside InferenceEngine).
+ * The plan reflects the same capacity/batch-shrink decisions as run();
+ * infeasible configurations yield a plan with feasible == false.
+ */
+class StepPlanSource
+{
+  public:
+    virtual ~StepPlanSource() = default;
+
+    /** Emit the decode-step plan for one run configuration. */
+    virtual StepPlan decodeStepPlan(const RunConfig &cfg) const = 0;
+};
+
+}  // namespace hilos
+
+#endif  // HILOS_RUNTIME_STEP_PLAN_H_

@@ -23,8 +23,8 @@ VllmMultiGpuEngine::totalGpuMemory() const
            static_cast<double>(cluster_.gpu.memory_capacity);
 }
 
-RunResult
-VllmMultiGpuEngine::run(const RunConfig &cfg) const
+StepPlan
+VllmMultiGpuEngine::makePlan(const RunConfig &cfg, RunResult &res) const
 {
     const ModelConfig &m = cfg.model;
     const Gpu gpu(cluster_.gpu);
@@ -32,7 +32,7 @@ VllmMultiGpuEngine::run(const RunConfig &cfg) const
     const unsigned pp = cluster_.nodes;
     const std::uint64_t total_seq = cfg.context_len + cfg.output_len;
 
-    RunResult res;
+    StepPlan plan;
     // Everything (weights + paged KV + runtime overhead) must fit the
     // aggregated GPU memory.
     // Weights plus per-GPU runtime state: CUDA context, activation
@@ -43,7 +43,9 @@ VllmMultiGpuEngine::run(const RunConfig &cfg) const
     if (weight_bytes > capacity) {
         res.feasible = false;
         res.note = "model weights exceed aggregate GPU memory";
-        return res;
+        plan.feasible = false;
+        plan.note = res.note;
+        return plan;
     }
     res.effective_batch = maxFittingBatch(m, cfg.batch, total_seq,
                                           capacity, weight_bytes);
@@ -95,8 +97,6 @@ VllmMultiGpuEngine::run(const RunConfig &cfg) const
         swap_fraction * kvLayerBytes(m, b, s_mid) /
         (static_cast<double>(pp) * sys_.host_pcie_bw *
          cluster_.swap_efficiency);
-    const Seconds t_layer = gemm + attn + allreduce + swap_stream;
-
     // --- Pipeline composition across nodes ---
     // Each stage owns L/pp layers; stages overlap on different
     // microbatches, but auto-regressive decoding with a small batch
@@ -106,49 +106,84 @@ VllmMultiGpuEngine::run(const RunConfig &cfg) const
     const Seconds pp_comm =
         static_cast<double>(pp) *
         (act_bytes / cluster_.inter_node_bw + cluster_.pp_hop_latency);
-    // A token passes through all L layers serially plus the inter-node
-    // hops; the bubble factor degrades the per-step rate when the batch
-    // cannot keep every stage busy.
-    res.decode_step_time = L * t_layer / pp_eff + pp_comm;
 
-    res.breakdown.add("gpu_gemm", L * gemm);
-    res.breakdown.add("gpu_attention", L * attn);
-    res.breakdown.add("tp_allreduce", L * allreduce);
-    res.breakdown.add("pp_comm", pp_comm);
-    res.breakdown.add("kv_swap", L * swap_stream);
+    // --- The decode-step plan: a serial per-layer chain (GEMM, paged
+    // attention, collectives, swap), divided by the bubble efficiency,
+    // plus the once-per-token inter-node hops as the serial tail ---
+    plan.layers = m.layers;
+    plan.layer_time_divisor = pp_eff;
+    plan.declareStage("gpu_gemm");
+    plan.declareStage("gpu_attention");
+    plan.declareStage("tp_allreduce");
+    plan.declareStage("pp_comm");
+    plan.declareStage("kv_swap");
+    plan.declareResource(PlanResource::IntraNode, 1);
+    plan.declareResource(PlanResource::InterNode, 1);
+    plan.declareResource(PlanResource::HostPcie, 1);
 
+    const std::size_t op_gemm = plan.addOp(
+        computeOp(ComputeUnit::Gpu, "tp_gemm", gemm)
+            .stageTag("gpu_gemm")
+            .busyTag(kBusyGpu));
+    const std::size_t op_attn = plan.addOp(
+        computeOp(ComputeUnit::Gpu, "paged_attention", attn)
+            .stageTag("gpu_attention")
+            .busyTag(kBusyGpu)
+            .dep(op_gemm));
+    const std::size_t op_ar = plan.addOp(
+        transferOp(PlanResource::IntraNode, "tp_allreduce", allreduce,
+                   2.0 * act_bytes)
+            .stageTag("tp_allreduce")
+            .share(TrafficField::Internal, 2.0 * act_bytes)
+            .dep(op_attn));
+    plan.addOp(
+        transferOp(PlanResource::HostPcie, "kv_swap_stream", swap_stream,
+                   swap_fraction * kvLayerBytes(m, b, s_mid))
+            .stageTag("kv_swap")
+            .dep(op_ar));
+    plan.addTailOp(
+        transferOp(PlanResource::InterNode, "pp_hops", pp_comm,
+                   static_cast<double>(pp) * act_bytes)
+            .stageTag("pp_comm"));
+
+    // --- Prefill ---
     const Seconds prefill_compute =
         prefillComputeTime(gpu, m, b, cfg.context_len) /
         static_cast<double>(tp);
     res.prefill_time = L * (prefill_compute + allreduce) + pp_comm;
-    res.total_time = res.prefill_time +
-                     static_cast<double>(cfg.output_len) *
-                         res.decode_step_time;
 
-    res.traffic.host_read_bytes = 0.0;  // no host offloading
-    res.traffic.internal_bytes =
-        L * (2.0 * act_bytes);  // NVLink/PCIe collective traffic
-
-    res.busy.gpu = L * (gemm + attn);
-    res.busy.cpu = 0.0;
-    res.busy.dram = 0.0;
-
-    // Energy: all cluster GPUs, no storage fleet. Scale the GPU busy
-    // power by the GPU count.
-    const double steps = static_cast<double>(cfg.output_len);
+    // --- Energy spec: all cluster GPUs, no storage fleet. Scale the
+    // GPU busy power by the GPU count. ---
     const double gpus =
         static_cast<double>(cluster_.nodes * cluster_.gpus_per_node);
-    ComponentBusy run_busy;
-    run_busy.gpu = res.busy.gpu * steps + res.prefill_time * 0.9;
     SystemConfig cluster_sys = sys_;
     cluster_sys.gpu = cluster_.gpu;
     cluster_sys.gpu.tdp = cluster_.gpu.tdp * gpus;
     cluster_sys.gpu.idle_power = cluster_.gpu.idle_power * gpus;
     cluster_sys.cpu.tdp = sys_.cpu.tdp * cluster_.nodes;
     cluster_sys.cpu.idle_power = sys_.cpu.idle_power * cluster_.nodes;
-    res.energy = computeEnergy(cluster_sys, StorageKind::None, 0,
-                               res.total_time, run_busy, 0.0);
+    plan.energy.enabled = true;
+    plan.energy.sys = cluster_sys;
+    plan.energy.prefill_fraction.gpu = 0.9;
+    return plan;
+}
+
+RunResult
+VllmMultiGpuEngine::run(const RunConfig &cfg) const
+{
+    RunResult res;
+    const StepPlan plan = makePlan(cfg, res);
+    if (!plan.feasible)
+        return res;
+    applyPlan(plan, cfg, res);
     return res;
+}
+
+StepPlan
+VllmMultiGpuEngine::decodeStepPlan(const RunConfig &cfg) const
+{
+    RunResult scratch;
+    return makePlan(cfg, scratch);
 }
 
 }  // namespace hilos

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "runtime/engine.h"
+#include "runtime/step_plan.h"
 #include "runtime/system_config.h"
 
 namespace hilos {
@@ -38,7 +39,7 @@ struct VllmClusterConfig {
 };
 
 /** vLLM tensor+pipeline-parallel baseline engine. */
-class VllmMultiGpuEngine : public InferenceEngine
+class VllmMultiGpuEngine : public InferenceEngine, public StepPlanSource
 {
   public:
     VllmMultiGpuEngine(const SystemConfig &sys,
@@ -46,6 +47,7 @@ class VllmMultiGpuEngine : public InferenceEngine
 
     std::string name() const override { return "vLLM(2x4xA6000)"; }
     RunResult run(const RunConfig &cfg) const override;
+    StepPlan decodeStepPlan(const RunConfig &cfg) const override;
 
     /** Aggregate GPU memory of the cluster. */
     double totalGpuMemory() const;
@@ -53,6 +55,9 @@ class VllmMultiGpuEngine : public InferenceEngine
     const VllmClusterConfig &cluster() const { return cluster_; }
 
   private:
+    /** Capacity decisions + prefill into `res`, decode step as a plan. */
+    StepPlan makePlan(const RunConfig &cfg, RunResult &res) const;
+
     SystemConfig sys_;
     VllmClusterConfig cluster_;
 };

@@ -65,7 +65,25 @@ overlapMax(std::initializer_list<Seconds> times)
 }
 
 Seconds
+overlapMax(const std::vector<Seconds> &times)
+{
+    Seconds best = 0.0;
+    for (Seconds t : times)
+        best = std::max(best, t);
+    return best;
+}
+
+Seconds
 serialSum(std::initializer_list<Seconds> times)
+{
+    Seconds total = 0.0;
+    for (Seconds t : times)
+        total += t;
+    return total;
+}
+
+Seconds
+serialSum(const std::vector<Seconds> &times)
 {
     Seconds total = 0.0;
     for (Seconds t : times)

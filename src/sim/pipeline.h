@@ -70,8 +70,14 @@ class PipelineModel
  */
 Seconds overlapMax(std::initializer_list<Seconds> times);
 
+/** Overload for dynamically-sized activity sets (e.g. plan op finishes). */
+Seconds overlapMax(const std::vector<Seconds> &times);
+
 /** Serial composition: sum of the inputs. */
 Seconds serialSum(std::initializer_list<Seconds> times);
+
+/** Overload for dynamically-sized serial chains. */
+Seconds serialSum(const std::vector<Seconds> &times);
 
 }  // namespace hilos
 

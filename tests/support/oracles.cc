@@ -9,7 +9,9 @@
 #include "accel/attention_kernel.h"
 #include "llm/attention_ref.h"
 #include "llm/tensor.h"
+#include "runtime/flexgen.h"
 #include "runtime/hilos_engine.h"
+#include "runtime/step_plan.h"
 #include "runtime/system_config.h"
 #include "support/tolerances.h"
 
@@ -401,6 +403,74 @@ runEngineOracle(std::uint64_t seed, Perturbation perturb)
                 return out;
             }
         }
+    }
+    return out;
+}
+
+OracleOutcome
+runFlexGenPlanOracle(std::uint64_t seed, Perturbation perturb)
+{
+    ConfigFuzzer fuzzer(seed);
+    FuzzEngineCase c = fuzzer.engineCase(/*allow_faults=*/false);
+
+    OracleOutcome out;
+    out.seed = seed;
+    out.cfg = c.describe();
+
+    const SystemConfig sys = defaultSystem();
+    // Tier from the seed: every third case per KV placement.
+    const FlexTier tier = static_cast<FlexTier>(seed % 3);
+    const FlexGenEngine engine(sys, tier);
+
+    RunResult r = engine.run(c.run);
+    if (!r.feasible || r.effective_batch == 0) {
+        out.skipped = true;  // KV does not fit this tier; nothing to diff
+        return out;
+    }
+    if (r.effective_batch != c.run.batch) {
+        // Re-emit the plan for the batch that actually executes.
+        c.run.batch = r.effective_batch;
+        r = engine.run(c.run);
+    }
+
+    const StepPlan plan = engine.decodeStepPlan(c.run);
+    const PlanEvaluation ev = evaluatePlan(plan);
+    const PlanSimResult ps = simulatePlan(plan);
+
+    // Structural per-op invariant: the replay adds only queueing, so a
+    // replayed op can never finish before its analytic finish.
+    for (std::size_t i = 0; i < plan.layer_ops.size(); ++i) {
+        const StepOp &op = plan.layer_ops[i];
+        if (op.shadow || op.offline)
+            continue;
+        if (ps.first_layer_finish[i] <
+            ev.op_finish[i] * (1.0 - kRelEps) - 1e-15) {
+            out.ok = false;
+            out.detail = "plan structure: op '" + op.label +
+                         "' replays to " + fmt(ps.first_layer_finish[i]) +
+                         "s, before its analytic finish " +
+                         fmt(ev.op_finish[i]) + "s";
+            return out;
+        }
+    }
+    if (ps.layer_times.size() != plan.layers) {
+        out.ok = false;
+        out.detail = "plan replay: " +
+                     std::to_string(ps.layer_times.size()) +
+                     " layer times for " + std::to_string(plan.layers) +
+                     " layers";
+        return out;
+    }
+
+    RunResult compared = r;
+    if (perturb == Perturbation::SkewAnalytic)
+        compared.decode_step_time *= 3.0;
+    const AgreementCheck chk =
+        checkEngineAgreement(compared, toEventSimResult(ps));
+    if (!chk.ok) {
+        out.ok = false;
+        out.detail = "agreement: " + chk.detail;
+        return out;
     }
     return out;
 }

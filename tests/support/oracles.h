@@ -85,6 +85,20 @@ OracleOutcome runAttentionOracle(std::uint64_t seed,
 OracleOutcome runEngineOracle(std::uint64_t seed,
                               Perturbation perturb = Perturbation::None);
 
+/**
+ * Run the plan-replay differential oracle on the FlexGen engine: emit
+ * the StepPlan for a fuzzed workload (KV tier derived from the seed so
+ * all three placements get coverage), evaluate it analytically and
+ * replay it over contended resources, then check the structural per-op
+ * invariant — contention can only delay, so every replayed op finishes
+ * no earlier than its analytic finish — plus the sim/analytic
+ * decode-step agreement band and per-resource utilisation bounds.
+ * Extends the analytic-vs-event-sim validation beyond HILOS to a
+ * second, independently-shaped engine.
+ */
+OracleOutcome runFlexGenPlanOracle(
+    std::uint64_t seed, Perturbation perturb = Perturbation::None);
+
 /** Result of one analytic-vs-event-sim agreement check. */
 struct AgreementCheck {
     bool ok = true;

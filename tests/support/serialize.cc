@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 namespace hilos {
@@ -128,6 +129,133 @@ serialize(const EventSimResult &r)
     kv(os, "nvme_timeouts", r.nvme_timeouts);
     kv(os, "nvme_retries", r.nvme_retries);
     kv(os, "retry_time", r.retry_time);
+    return os.str();
+}
+
+namespace {
+
+std::string
+busyMaskName(unsigned mask)
+{
+    if (mask == 0)
+        return "<none>";
+    std::string out;
+    const std::pair<unsigned, const char *> bits[] = {
+        {kBusyGpu, "gpu"},         {kBusyCpu, "cpu"},
+        {kBusyDram, "dram"},       {kBusyStorage, "storage"},
+        {kBusyFpga, "fpga"},
+    };
+    for (const auto &[bit, name] : bits) {
+        if ((mask & bit) == 0)
+            continue;
+        if (!out.empty())
+            out += "|";
+        out += name;
+    }
+    return out;
+}
+
+std::string
+storageKindName(StorageKind k)
+{
+    switch (k) {
+      case StorageKind::None:
+        return "none";
+      case StorageKind::BaselineSsds:
+        return "baseline_ssds";
+      case StorageKind::SmartSsds:
+        return "smart_ssds";
+    }
+    return "unknown";
+}
+
+void
+serializeOp(std::ostringstream &os, const std::string &key,
+            const StepOp &op)
+{
+    os << key << " = ";
+    os << (op.op_kind == StepOp::Kind::Transfer ? "transfer " : "compute ");
+    os << (op.op_kind == StepOp::Kind::Transfer
+               ? planResourceName(op.resource)
+               : computeUnitName(op.unit));
+    os << " \"" << op.label << "\"";
+    os << " seconds=" << formatDouble(op.seconds);
+    os << " bytes=" << formatDouble(op.bytes);
+    os << " fanout=" << op.fanout;
+    os << " stage=" << (op.stage.empty() ? "<none>" : op.stage);
+    os << " busy=" << busyMaskName(op.busy);
+    std::string flags;
+    if (op.prefetch)
+        flags += "prefetch";
+    if (op.shadow)
+        flags += std::string(flags.empty() ? "" : "|") + "shadow";
+    if (op.offline)
+        flags += std::string(flags.empty() ? "" : "|") + "offline";
+    os << " flags=" << (flags.empty() ? "<none>" : flags);
+    os << " deps=";
+    if (op.deps.empty()) {
+        os << "<none>";
+    } else {
+        for (std::size_t i = 0; i < op.deps.size(); ++i)
+            os << (i > 0 ? "," : "") << op.deps[i];
+    }
+    os << " traffic=";
+    if (op.traffic.empty()) {
+        os << "<none>";
+    } else {
+        for (std::size_t i = 0; i < op.traffic.size(); ++i)
+            os << (i > 0 ? "," : "") << trafficFieldName(op.traffic[i].field)
+               << ":" << formatDouble(op.traffic[i].bytes);
+    }
+    os << "\n";
+}
+
+void
+serializeFractions(std::ostringstream &os, const std::string &key,
+                   const PlanBusyFractions &f)
+{
+    os << key << " = gpu:" << formatDouble(f.gpu)
+       << " cpu:" << formatDouble(f.cpu)
+       << " dram:" << formatDouble(f.dram)
+       << " storage:" << formatDouble(f.storage)
+       << " fpga:" << formatDouble(f.fpga) << "\n";
+}
+
+}  // namespace
+
+std::string
+serialize(const StepPlan &plan)
+{
+    std::ostringstream os;
+    kv(os, "layers", static_cast<std::uint64_t>(plan.layers));
+    kv(os, "layer_time_divisor", plan.layer_time_divisor);
+    kv(os, "feasible", std::string(plan.feasible ? "true" : "false"));
+    kv(os, "note", plan.note.empty() ? std::string("<none>") : plan.note);
+    std::string stages;
+    for (const std::string &s : plan.stage_order)
+        stages += (stages.empty() ? "" : ",") + s;
+    kv(os, "stage_order", stages.empty() ? std::string("<none>") : stages);
+    for (const PlanResourceDecl &r : plan.resources)
+        kv(os, std::string("resource.") + planResourceName(r.kind),
+           static_cast<std::uint64_t>(r.instances));
+    for (std::size_t i = 0; i < plan.layer_ops.size(); ++i)
+        serializeOp(os, "op[" + std::to_string(i) + "]", plan.layer_ops[i]);
+    for (std::size_t i = 0; i < plan.tail_ops.size(); ++i)
+        serializeOp(os, "tail[" + std::to_string(i) + "]",
+                    plan.tail_ops[i]);
+    serializeFractions(os, "busy_step_fraction", plan.busy_step_fraction);
+    kv(os, "energy.enabled",
+       std::string(plan.energy.enabled ? "true" : "false"));
+    if (plan.energy.enabled) {
+        kv(os, "energy.storage_kind", storageKindName(plan.energy.kind));
+        kv(os, "energy.devices",
+           static_cast<std::uint64_t>(plan.energy.devices));
+        kv(os, "energy.fpga_power", plan.energy.fpga_power);
+        serializeFractions(os, "energy.prefill_fraction",
+                           plan.energy.prefill_fraction);
+        kv(os, "energy.storage_prefill_extra",
+           plan.energy.storage_prefill_extra);
+    }
     return os.str();
 }
 

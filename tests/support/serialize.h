@@ -15,6 +15,7 @@
 
 #include "runtime/engine.h"
 #include "runtime/event_sim.h"
+#include "runtime/step_plan.h"
 #include "sim/trace.h"
 
 namespace hilos {
@@ -31,6 +32,16 @@ std::string serialize(const FaultSummary &f);
 
 /** Every scalar field of an EventSimResult plus the layer-time vector. */
 std::string serialize(const EventSimResult &r);
+
+/**
+ * Canonical dump of a StepPlan: header scalars, declared stages and
+ * resources, then one line per op carrying every field (kind, target,
+ * label, seconds, bytes, fanout, stage, busy mask, role flags, deps,
+ * traffic shares), then busy fractions and the energy spec. Pins the
+ * exact IR an engine emits, so golden diffs localise a behavioural
+ * change to the op that moved.
+ */
+std::string serialize(const StepPlan &plan);
 
 /**
  * Per-track summary of a recorded trace: event count, busy seconds,

@@ -289,5 +289,46 @@ TEST_F(EngineFixture, H100SwapDoesNotHelpIoBoundBaseline)
     EXPECT_GT(h100.decode_step_time, a100.decode_step_time * 0.6);
 }
 
+TEST(MaxFittingBatch, RequestedBatchZeroYieldsZero)
+{
+    // A zero request stays zero even with capacity for thousands of
+    // sequences: the helper only ever shrinks.
+    const ModelConfig m = opt66b();
+    const double per_seq = m.kvBytesTotal(1, 4096);
+    EXPECT_EQ(maxFittingBatch(m, 0, 4096, 1e4 * per_seq, 0.0), 0u);
+}
+
+TEST(MaxFittingBatch, CapacityBelowResidentYieldsZero)
+{
+    // Weights alone overflow the tier: the (negative) KV budget must
+    // come back as batch 0, not wrap through the unsigned cast.
+    const ModelConfig m = opt66b();
+    EXPECT_EQ(maxFittingBatch(m, 16, 4096, 1.0 * GB, 2.0 * GB), 0u);
+    // Capacity exactly equal to resident leaves no room either.
+    EXPECT_EQ(maxFittingBatch(m, 16, 4096, 2.0 * GB, 2.0 * GB), 0u);
+}
+
+TEST(MaxFittingBatch, ExactFitBoundary)
+{
+    const ModelConfig m = opt66b();
+    const double resident = 8.0 * GB;
+    const double per_seq = m.kvBytesTotal(1, 4096);
+    // Budget of exactly k sequences fits k...
+    EXPECT_EQ(maxFittingBatch(m, 16, 4096, resident + 3.0 * per_seq,
+                              resident),
+              3u);
+    // ...one byte less fits only k - 1...
+    EXPECT_EQ(maxFittingBatch(m, 16, 4096,
+                              resident + 3.0 * per_seq - 1.0, resident),
+              2u);
+    // ...and exactly one sequence is the feasibility edge: one byte
+    // below it collapses to 0.
+    EXPECT_EQ(maxFittingBatch(m, 16, 4096, resident + per_seq, resident),
+              1u);
+    EXPECT_EQ(
+        maxFittingBatch(m, 16, 4096, resident + per_seq - 1.0, resident),
+        0u);
+}
+
 }  // namespace
 }  // namespace hilos

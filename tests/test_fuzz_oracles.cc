@@ -25,6 +25,7 @@ constexpr std::uint64_t kBaseSeed = 0x48494c4f53ull;
 // Per-PR budgets; together >= 200 iterations (acceptance floor).
 constexpr std::uint64_t kAttentionIters = 150;
 constexpr std::uint64_t kEngineIters = 80;
+constexpr std::uint64_t kFlexGenPlanIters = 60;
 
 TEST(FuzzSeeds, IterationSeedsAreStableAndDistinct)
 {
@@ -110,6 +111,37 @@ TEST(EngineOracle, PassesAcrossTheSeededBudget)
     }
     // The config space must not degenerate into infeasible corners.
     EXPECT_GE(ran, kEngineIters / 2);
+}
+
+TEST(FlexGenPlanOracle, PassesAcrossTheSeededBudget)
+{
+    // Analytic-vs-replay agreement for a second engine: the FlexGen
+    // StepPlan evaluated by both backends must satisfy the structural
+    // per-op invariant and the decode-step band on every seed.
+    std::uint64_t ran = 0;
+    for (std::uint64_t i = 0; i < kFlexGenPlanIters; i++) {
+        const std::uint64_t seed = fuzzSeedForIteration(kBaseSeed, i);
+        const OracleOutcome out = runFlexGenPlanOracle(seed);
+        if (out.skipped)
+            continue;
+        ran++;
+        ASSERT_TRUE(out.ok) << out.reproLine("flexgen-plan") << "\n"
+                            << out.detail;
+    }
+    EXPECT_GE(ran, kFlexGenPlanIters / 2);
+}
+
+TEST(FlexGenPlanOracle, ReplaysDeterministically)
+{
+    for (std::uint64_t i = 0; i < 10; i++) {
+        const std::uint64_t seed = fuzzSeedForIteration(kBaseSeed, i);
+        const OracleOutcome a = runFlexGenPlanOracle(seed);
+        const OracleOutcome b = runFlexGenPlanOracle(seed);
+        EXPECT_EQ(a.ok, b.ok);
+        EXPECT_EQ(a.skipped, b.skipped);
+        EXPECT_EQ(a.cfg, b.cfg);
+        EXPECT_EQ(a.detail, b.detail);
+    }
 }
 
 TEST(AttentionOracle, PerturbedKernelIsCaught)

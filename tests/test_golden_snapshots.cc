@@ -10,9 +10,16 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <utility>
+
+#include "runtime/deepspeed_uvm.h"
 #include "runtime/event_sim.h"
+#include "runtime/flexgen.h"
 #include "runtime/hilos_engine.h"
 #include "runtime/report.h"
+#include "runtime/step_plan.h"
+#include "runtime/vllm_multigpu.h"
 #include "runtime/system_config.h"
 #include "sim/fault.h"
 #include "sim/trace.h"
@@ -76,6 +83,30 @@ TEST(GoldenSnapshots, EventSimTraceSummary)
     run.context_len = 8192;
     (void)sim.simulateDecodeStep(run, &trace);
     expectGolden("event_sim_trace_opt66b.txt", traceSummary(trace));
+}
+
+TEST(GoldenSnapshots, StepPlanAllEnginesOpt66b)
+{
+    // The canonical StepPlan each engine emits for the headline
+    // configuration: any change to op pricing, DAG shape, annotations
+    // or the energy spec diffs here, localised to the op that moved.
+    const SystemConfig sys = defaultSystem();
+    const RunConfig run = headlineRun();
+    const HilosEngine hilos(sys, HilosOptions{});
+    const FlexGenEngine flex_dram(sys, FlexTier::HostDram);
+    const FlexGenEngine flex_ssd(sys, FlexTier::BaselineSsds);
+    const DeepSpeedUvmEngine uvm(sys);
+    const VllmMultiGpuEngine vllm(sys, VllmClusterConfig{});
+    const std::pair<const char *, const StepPlanSource *> engines[] = {
+        {"HILOS", &hilos},          {"FlexGen(DRAM)", &flex_dram},
+        {"FlexGen(SSD)", &flex_ssd}, {"DeepSpeed-UVM", &uvm},
+        {"vLLM", &vllm},
+    };
+    std::ostringstream os;
+    for (const auto &[title, engine] : engines)
+        os << "==== " << title << " ====\n"
+           << serialize(engine->decodeStepPlan(run));
+    expectGolden("step_plan_opt66b.txt", os.str());
 }
 
 TEST(GoldenSnapshots, EvaluationReportMarkdown)

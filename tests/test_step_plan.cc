@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Unit tests of the StepPlan IR and its two backends: the analytic
+ * evaluator's composition rules (serial chains sum, parallel branches
+ * max, divisor + tail, op roles, longest-tagged-path busy time,
+ * insertion-order accounting) and the contended replay's semantics
+ * (queueing only delays, prefetch overlaps the previous layer, fanout
+ * stripes across instances), plus the engine-facing contracts: every
+ * engine's run() is exactly applyPlan(decodeStepPlan()), and the core
+ * facade hands out plans by EngineKind.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/hilos.h"
+#include "runtime/event_sim.h"
+#include "runtime/step_plan.h"
+
+namespace hilos {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+/** A plan with a serial chain, a racing branch, and a tail op. */
+StepPlan
+smallPlan()
+{
+    StepPlan plan;
+    plan.layers = 4;
+    plan.declareStage("load");
+    plan.declareStage("compute");
+    plan.declareStage("commit");
+    plan.declareStage("tail");
+    plan.declareResource(PlanResource::HostPcie, 1);
+    plan.declareResource(PlanResource::Storage, 2);
+    const std::size_t load = plan.addOp(
+        transferOp(PlanResource::HostPcie, "load", 2.0, 200.0)
+            .stageTag("load")
+            .busyTag(kBusyDram)
+            .share(TrafficField::HostRead, 200.0));
+    const std::size_t compute = plan.addOp(
+        computeOp(ComputeUnit::Gpu, "compute", 3.0)
+            .stageTag("compute")
+            .busyTag(kBusyGpu)
+            .dep(load));
+    const std::size_t race = plan.addOp(
+        transferOp(PlanResource::Storage, "race", 4.0, 400.0)
+            .stageTag("commit")
+            .busyTag(kBusyStorage)
+            .withFanout(2)
+            .share(TrafficField::StorageWrite, 400.0));
+    plan.addOp(transferOp(PlanResource::HostPcie, "commit", 1.0, 100.0)
+                   .stageTag("commit")
+                   .share(TrafficField::HostWrite, 100.0)
+                   .dep(compute)
+                   .dep(race));
+    plan.addTailOp(transferOp(PlanResource::InterNode, "hop", 0.5, 50.0)
+                       .stageTag("tail"));
+    return plan;
+}
+
+TEST(EvaluatePlan, SerialChainsSumAndBranchesMax)
+{
+    const PlanEvaluation ev = evaluatePlan(smallPlan());
+    // load -> compute -> commit = 2 + 3 + 1 = 6; race alone = 4; the
+    // commit waits on max(5, 4) = 5, so the critical path is 6.
+    EXPECT_EQ(ev.layer_critical_path, 6.0);
+    EXPECT_EQ(ev.op_finish[0], 2.0);
+    EXPECT_EQ(ev.op_finish[1], 5.0);
+    EXPECT_EQ(ev.op_finish[2], 4.0);
+    EXPECT_EQ(ev.op_finish[3], 6.0);
+    // 4 layers of 6 s plus the 0.5 s tail.
+    EXPECT_EQ(ev.decode_step_time, 4.0 * 6.0 + 0.5);
+}
+
+TEST(EvaluatePlan, LayerTimeDivisorScalesOnlyTheLayeredPhase)
+{
+    StepPlan plan = smallPlan();
+    plan.layer_time_divisor = 0.5;
+    const PlanEvaluation ev = evaluatePlan(plan);
+    EXPECT_EQ(ev.decode_step_time, 4.0 * 6.0 / 0.5 + 0.5);
+}
+
+TEST(EvaluatePlan, BreakdownFollowsDeclarationOrderTimesLayers)
+{
+    const PlanEvaluation ev = evaluatePlan(smallPlan());
+    const auto &stages = ev.breakdown.stages();
+    ASSERT_EQ(stages.size(), 4u);
+    EXPECT_EQ(stages[0].first, "load");
+    EXPECT_EQ(stages[0].second, 4.0 * 2.0);
+    EXPECT_EQ(stages[1].first, "compute");
+    EXPECT_EQ(stages[1].second, 4.0 * 3.0);
+    EXPECT_EQ(stages[2].first, "commit");
+    EXPECT_EQ(stages[2].second, 4.0 * (4.0 + 1.0));
+    EXPECT_EQ(stages[3].first, "tail");  // tail ops count once
+    EXPECT_EQ(stages[3].second, 0.5);
+}
+
+TEST(EvaluatePlan, TrafficIsLayerSumTimesLayersPlusTail)
+{
+    const PlanEvaluation ev = evaluatePlan(smallPlan());
+    EXPECT_EQ(ev.traffic.host_read_bytes, 4.0 * 200.0);
+    EXPECT_EQ(ev.traffic.host_write_bytes, 4.0 * 100.0);
+    EXPECT_EQ(ev.traffic.storage_write_bytes, 4.0 * 400.0);
+    EXPECT_EQ(ev.traffic.internal_bytes, 0.0);
+}
+
+TEST(EvaluatePlan, BusyIsLongestTaggedPathPlusStepFraction)
+{
+    StepPlan plan = smallPlan();
+    plan.busy_step_fraction.cpu = 0.1;
+    const PlanEvaluation ev = evaluatePlan(plan);
+    EXPECT_EQ(ev.busy.gpu, 4.0 * 3.0);
+    EXPECT_EQ(ev.busy.dram, 4.0 * 2.0);
+    EXPECT_EQ(ev.busy.storage, 4.0 * 4.0);
+    EXPECT_NEAR(ev.busy.cpu, 0.1 * ev.decode_step_time, kEps);
+}
+
+TEST(EvaluatePlan, ShadowOpsTimeButDoNotAccount)
+{
+    StepPlan plan;
+    plan.layers = 1;
+    plan.declareStage("s");
+    const std::size_t a = plan.addOp(
+        computeOp(ComputeUnit::Gpu, "real", 1.0).stageTag("s").busyTag(
+            kBusyGpu));
+    plan.addOp(computeOp(ComputeUnit::Gpu, "ghost", 5.0).asShadow().dep(a));
+    const PlanEvaluation ev = evaluatePlan(plan);
+    EXPECT_EQ(ev.layer_critical_path, 6.0);  // the shadow bounds timing
+    EXPECT_EQ(ev.breakdown.get("s"), 1.0);   // but is not accounted
+    EXPECT_EQ(ev.busy.gpu, 1.0);
+}
+
+TEST(EvaluatePlan, OfflineOpsAccountButDoNotTime)
+{
+    StepPlan plan;
+    plan.layers = 2;
+    plan.declareStage("s");
+    plan.addOp(computeOp(ComputeUnit::Gpu, "real", 1.0).stageTag("s"));
+    plan.addOp(
+        computeOp(ComputeUnit::Cpu, "background", 9.0).busyTag(kBusyCpu)
+            .asOffline());
+    const PlanEvaluation ev = evaluatePlan(plan);
+    EXPECT_EQ(ev.layer_critical_path, 1.0);  // off the critical path
+    EXPECT_EQ(ev.op_finish[1], 0.0);
+    EXPECT_EQ(ev.busy.cpu, 2.0 * 9.0);  // but the occupancy counts
+}
+
+TEST(SimulatePlan, UncontendedPlanMatchesAnalytic)
+{
+    const StepPlan plan = smallPlan();
+    const PlanEvaluation ev = evaluatePlan(plan);
+    const PlanSimResult sim = simulatePlan(plan);
+    // Storage has 2 instances for the fanout-2 race op and host PCIe
+    // ops form a serial chain, so nothing queues: the replay must land
+    // exactly on the analytic step (no prefetch ops here).
+    EXPECT_NEAR(sim.decode_step_time, ev.decode_step_time, kEps);
+    ASSERT_EQ(sim.layer_times.size(), plan.layers);
+    for (std::size_t i = 0; i < plan.layer_ops.size(); ++i)
+        EXPECT_GE(sim.first_layer_finish[i], ev.op_finish[i] - kEps)
+            << plan.layer_ops[i].label;
+}
+
+TEST(SimulatePlan, ContentionOnlyDelays)
+{
+    // Halve the storage instances: the fanout-2 race op's replicas now
+    // serialise on one channel, stretching every layer.
+    StepPlan contended = smallPlan();
+    for (PlanResourceDecl &r : contended.resources)
+        if (r.kind == PlanResource::Storage)
+            r.instances = 1;
+    const PlanEvaluation ev = evaluatePlan(contended);
+    const PlanSimResult sim = simulatePlan(contended);
+    // race = 2 serialised 4 s replicas = 8; commit waits on max(5, 8)
+    // + 1 = 9 per layer.
+    EXPECT_NEAR(sim.layer_times[0], 9.0, kEps);
+    EXPECT_GT(sim.decode_step_time, ev.decode_step_time);
+    for (std::size_t i = 0; i < contended.layer_ops.size(); ++i)
+        EXPECT_GE(sim.first_layer_finish[i], ev.op_finish[i] - kEps);
+}
+
+TEST(SimulatePlan, PrefetchOverlapsThePreviousLayer)
+{
+    StepPlan plan;
+    plan.layers = 3;
+    plan.declareStage("load");
+    plan.declareStage("compute");
+    plan.declareResource(PlanResource::HostPcie, 1);
+    const std::size_t load = plan.addOp(
+        transferOp(PlanResource::HostPcie, "load", 2.0, 1.0)
+            .stageTag("load")
+            .asPrefetch());
+    plan.addOp(computeOp(ComputeUnit::Gpu, "compute", 3.0)
+                   .stageTag("compute")
+                   .dep(load));
+    const PlanSimResult sim = simulatePlan(plan);
+    // Layer 0 pays the full load + compute; later layers' loads issue
+    // at the previous layer start and hide under the 3 s compute.
+    EXPECT_NEAR(sim.layer_times[0], 5.0, kEps);
+    EXPECT_NEAR(sim.layer_times[1], 3.0, kEps);
+    EXPECT_NEAR(sim.layer_times[2], 3.0, kEps);
+}
+
+TEST(SimulatePlan, UtilizationsAreBounded)
+{
+    const PlanSimResult sim = simulatePlan(smallPlan());
+    for (const auto &[name, util] : sim.resource_utilization) {
+        EXPECT_GE(util, 0.0) << name;
+        EXPECT_LE(util, 1.0 + 1e-9) << name;
+    }
+    for (const auto &[name, util] : sim.unit_utilization) {
+        EXPECT_GE(util, 0.0) << name;
+        EXPECT_LE(util, 1.0 + 1e-9) << name;
+    }
+    const EventSimResult e = toEventSimResult(sim);
+    EXPECT_NEAR(e.mean_layer_time * 4.0, e.decode_step_time, kEps);
+}
+
+TEST(ApplyPlan, TotalTimeComposesPrefillAndDecode)
+{
+    const StepPlan plan = smallPlan();
+    RunConfig cfg;
+    cfg.model = opt66b();
+    cfg.batch = 4;
+    cfg.output_len = 10;
+    RunResult res;
+    res.prefill_time = 7.0;
+    res.effective_batch = 4;
+    applyPlan(plan, cfg, res);
+    EXPECT_EQ(res.decode_step_time, 24.5);
+    EXPECT_EQ(res.total_time, 7.0 + 10.0 * 24.5);
+    EXPECT_EQ(res.traffic.host_read_bytes, 800.0);
+}
+
+TEST(EngineContract, RunEqualsApplyPlanOfDecodeStepPlan)
+{
+    // run() must be exactly "build the plan, apply it": same decode
+    // step, same breakdown total, same traffic, bit for bit.
+    const SystemConfig sys = defaultSystem();
+    RunConfig run;
+    run.model = opt66b();
+    run.batch = 16;
+    run.context_len = 32768;
+    run.output_len = 64;
+    for (EngineKind kind :
+         {EngineKind::FlexDram, EngineKind::FlexSsd,
+          EngineKind::FlexSmartSsdRaw, EngineKind::DeepSpeedUvm,
+          EngineKind::VllmMultiGpu, EngineKind::Hilos}) {
+        const auto engine = makeEngine(kind, sys);
+        const RunResult r = engine->run(run);
+        ASSERT_TRUE(r.feasible) << engine->name();
+        RunConfig effective = run;
+        effective.batch = r.effective_batch;
+        const StepPlan plan = decodeStepPlanFor(kind, sys, effective);
+        const PlanEvaluation ev = evaluatePlan(plan);
+        EXPECT_EQ(ev.decode_step_time, r.decode_step_time)
+            << engine->name();
+        EXPECT_EQ(ev.traffic.host_read_bytes, r.traffic.host_read_bytes)
+            << engine->name();
+        EXPECT_EQ(ev.busy.gpu, r.busy.gpu) << engine->name();
+    }
+}
+
+TEST(EngineContract, InfeasiblePlansSayWhy)
+{
+    const SystemConfig sys = defaultSystem();
+    RunConfig run;
+    run.model = opt66b();
+    run.batch = 16;
+    run.context_len = 131072;
+    run.output_len = 64;
+    const StepPlan plan =
+        decodeStepPlanFor(EngineKind::FlexDram, sys, run);
+    EXPECT_FALSE(plan.feasible);
+    EXPECT_FALSE(plan.note.empty());
+}
+
+}  // namespace
+}  // namespace hilos
