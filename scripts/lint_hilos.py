@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Repo-specific lint invariants for the HILOS simulator.
+
+Three checks, each guarding a convention the test suite cannot express
+as a compile error (those live in tests/compile_fail/):
+
+ 1. quantity-typed public APIs: headers under src/ must not declare
+    `double` parameters or members whose names say they carry a time,
+    bandwidth, power, or energy quantity — those are spelled Seconds,
+    Bandwidth/BytesPerSec, Watts, Joules (src/common/units.h).
+
+ 2. golden serialisation format: the golden snapshots are byte-compared,
+    so every floating-point printf-conversion in src/ and tests/support/
+    must be exactly %.9g (the shortest round-trippable rendering used by
+    tests/support/serialize.cc). Anything else would silently fork the
+    serialisation format.
+
+ 3. seeded determinism: the simulator guarantees bit-identical replays
+    from a seed, so wall-clock and OS-entropy sources are banned outside
+    src/common/random.* (the one place allowed to own RNG plumbing).
+
+Exits non-zero listing file:line for every violation. No third-party
+imports; runs anywhere a python3 exists (CI and the ctest fast lane).
+"""
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# --- check 1: raw doubles posing as physical quantities -------------------
+
+QUANTITY_SUFFIXES = (
+    "seconds",
+    "_time",
+    "_bw",
+    "bandwidth",
+    "latency",
+    "watts",
+    "joules",
+    "_power",
+)
+
+# `double foo_latency` as a member, parameter, or return-adjacent
+# declaration. Names whose suffix only *contains* a quantity word
+# (layer_time_divisor, timeout_prob) are fine; the suffix must end the
+# identifier.
+DOUBLE_DECL = re.compile(r"\bdouble\s+(&?\s*)([A-Za-z_][A-Za-z0-9_]*)")
+
+# Dimensionless ratios that legitimately stay double even though the
+# name ends in a quantity suffix would be listed here; none exist today.
+QUANTITY_ALLOWLIST: set = set()
+
+
+def check_quantity_types(violations):
+    for path in sorted((ROOT / "src").rglob("*.h")):
+        rel = path.relative_to(ROOT)
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            code = line.split("//")[0]
+            for match in DOUBLE_DECL.finditer(code):
+                name = match.group(2)
+                if f"{rel}:{name}" in QUANTITY_ALLOWLIST:
+                    continue
+                if name.lower().endswith(QUANTITY_SUFFIXES):
+                    violations.append(
+                        f"{rel}:{lineno}: '{match.group(0).strip()}' "
+                        f"looks like a physical quantity; use the typed "
+                        f"alias from common/units.h (Seconds, Bandwidth, "
+                        f"Watts, ...) instead of raw double"
+                    )
+
+
+# --- check 2: one canonical float rendering in the golden pipeline --------
+
+FLOAT_CONVERSION = re.compile(r"%[-+ #0-9.*]*[aAeEfFgG]")
+
+
+def check_golden_format(violations):
+    scan_dirs = [ROOT / "src", ROOT / "tests" / "support"]
+    for base in scan_dirs:
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".h", ".cc"):
+                continue
+            rel = path.relative_to(ROOT)
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                for literal in re.findall(r'"((?:[^"\\]|\\.)*)"', line):
+                    for conv in FLOAT_CONVERSION.findall(literal):
+                        if conv != "%.9g":
+                            violations.append(
+                                f"{rel}:{lineno}: float conversion "
+                                f"'{conv}' — golden serialisation is "
+                                f"byte-compared and uses exactly %.9g "
+                                f"(tests/support/serialize.cc)"
+                            )
+
+
+# --- check 3: no nondeterminism outside common/random ---------------------
+
+BANNED_CALLS = [
+    (re.compile(r"\bstd::random_device\b"), "std::random_device"),
+    (re.compile(r"(?<![A-Za-z0-9_])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"\btime\s*\(\s*(NULL|nullptr|0)\s*\)"), "time(nullptr)"),
+    (re.compile(r"\bstd::chrono::(system|steady|high_resolution)_clock\b"),
+     "std::chrono clocks"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
+]
+
+
+def check_determinism(violations):
+    for path in sorted((ROOT / "src").rglob("*")):
+        if path.suffix not in (".h", ".cc"):
+            continue
+        rel = path.relative_to(ROOT)
+        if str(rel).startswith("src/common/random"):
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            code = line.split("//")[0]
+            for pattern, label in BANNED_CALLS:
+                if pattern.search(code):
+                    violations.append(
+                        f"{rel}:{lineno}: {label} breaks seeded "
+                        f"reproducibility; draw from common/random "
+                        f"instead"
+                    )
+
+
+def main():
+    violations = []
+    check_quantity_types(violations)
+    check_golden_format(violations)
+    check_determinism(violations)
+    if violations:
+        print(f"lint_hilos: {len(violations)} violation(s)")
+        for v in violations:
+            print(f"  {v}")
+        return 1
+    print("lint_hilos: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,7 +6,7 @@
 
 namespace hilos {
 
-double
+Cycles
 CycleBreakdown::bottleneckCycles() const
 {
     return std::max({qk_gemv_cycles, softmax_stats_cycles,
@@ -16,7 +16,7 @@ CycleBreakdown::bottleneckCycles() const
 std::string
 CycleBreakdown::bottleneckName() const
 {
-    const double b = bottleneckCycles();
+    const Cycles b = bottleneckCycles();
     if (b == dram_cycles)
         return "dram";
     if (b == qk_gemv_cycles)
@@ -44,7 +44,7 @@ CycleModel::paddedLen(std::size_t s) const
                 static_cast<std::uint64_t>(cfg_.burst_elems)));
 }
 
-double
+Bytes
 CycleModel::dramTrafficBytes(std::size_t s, std::size_t d,
                              std::size_t d_group) const
 {
@@ -76,7 +76,7 @@ CycleModel::breakdown(std::size_t s, std::size_t d,
     b.softmax_stats_cycles = s_pad * dg / static_cast<double>(cfg_.exp_unroll);
     b.softmax_norm_cycles = b.softmax_stats_cycles;
     // DRAM-traffic bound expressed in kernel cycles.
-    const double eff_bw = cfg_.dram_bandwidth * cfg_.dram_efficiency;
+    const Bandwidth eff_bw = cfg_.dram_bandwidth * cfg_.dram_efficiency;
     b.dram_cycles = dramTrafficBytes(s, d, d_group) / eff_bw * cfg_.clock_hz;
     return b;
 }
@@ -88,14 +88,14 @@ CycleModel::kernelTime(std::size_t s, std::size_t d,
     const CycleBreakdown b = breakdown(s, d, d_group);
     // Task-level (DATAFLOW) pipelining: the bottleneck unit sets the
     // steady-state rate; fill/drain adds one block per extra stage.
-    const double fill_cycles =
+    const Cycles fill_cycles =
         static_cast<double>(cfg_.pipeline_stages - 1) *
         static_cast<double>(cfg_.block_tokens) *
         static_cast<double>(d) / static_cast<double>(cfg_.mac_units);
     return (b.bottleneckCycles() + fill_cycles) / cfg_.clock_hz;
 }
 
-double
+Flops
 CycleModel::kernelFlops(std::size_t s, std::size_t d,
                         std::size_t d_group) const
 {
@@ -120,7 +120,7 @@ CycleModel::kvBytesPerSec(std::size_t s, std::size_t d,
     const double kv_bytes =
         2.0 * static_cast<double>(paddedLen(s)) * static_cast<double>(d) *
         2.0;
-    return kv_bytes / kernelTime(s, d, d_group);
+    return Bytes(kv_bytes) / kernelTime(s, d, d_group);
 }
 
 }  // namespace hilos

@@ -22,7 +22,7 @@ namespace hilos {
 
 /** Hardware parameters of the synthesised kernel. */
 struct CycleModelConfig {
-    double clock_hz = 296.05e6;        ///< achieved kernel clock (§6.2)
+    Hertz clock_hz = 296.05e6;         ///< achieved kernel clock (§6.2)
     Bandwidth dram_bandwidth = gbps(19.2);  ///< 1ch DDR4-2400 on the FPGA
     double dram_efficiency = 0.62;     ///< achieved fraction (calibrated)
     std::size_t mac_units = 128;       ///< per GEMV unit
@@ -34,14 +34,14 @@ struct CycleModelConfig {
 
 /** Per-unit cycle breakdown for one kernel invocation. */
 struct CycleBreakdown {
-    double qk_gemv_cycles = 0;
-    double softmax_stats_cycles = 0;
-    double softmax_norm_cycles = 0;
-    double sv_gemv_cycles = 0;
-    double dram_cycles = 0;  ///< traffic bound expressed in cycles
+    Cycles qk_gemv_cycles = 0;
+    Cycles softmax_stats_cycles = 0;
+    Cycles softmax_norm_cycles = 0;
+    Cycles sv_gemv_cycles = 0;
+    Cycles dram_cycles = 0;  ///< traffic bound expressed in cycles
 
     /** The binding constraint in cycles per invocation. */
-    double bottleneckCycles() const;
+    Cycles bottleneckCycles() const;
     /** Name of the binding unit ("dram", "qk_gemv", ...). */
     std::string bottleneckName() const;
 };
@@ -66,8 +66,8 @@ class CycleModel
                        std::size_t d_group) const;
 
     /** Floating-point operations for the invocation. */
-    double kernelFlops(std::size_t s, std::size_t d,
-                       std::size_t d_group) const;
+    Flops kernelFlops(std::size_t s, std::size_t d,
+                      std::size_t d_group) const;
 
     /** Achieved GFLOPS at steady state (long s). */
     double gflops(std::size_t s, std::size_t d, std::size_t d_group) const;
@@ -77,8 +77,8 @@ class CycleModel
                             std::size_t d_group) const;
 
     /** DRAM traffic in bytes for one invocation (incl. score traffic). */
-    double dramTrafficBytes(std::size_t s, std::size_t d,
-                            std::size_t d_group) const;
+    Bytes dramTrafficBytes(std::size_t s, std::size_t d,
+                           std::size_t d_group) const;
 
     const CycleModelConfig &config() const { return cfg_; }
 

@@ -58,7 +58,7 @@ ResourceModel::utilization(std::size_t d_group) const
     return u;
 }
 
-double
+Watts
 ResourceModel::powerWatts(std::size_t d_group) const
 {
     return interpolate(d_group, kAnchor1.power, kAnchor4.power,

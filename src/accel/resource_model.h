@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/units.h"
+
 namespace hilos {
 
 /** Resource capacity of the KU15P FPGA. */
@@ -57,13 +59,13 @@ class ResourceModel
     ResourceUtilization utilization(std::size_t d_group) const;
 
     /** Total on-chip power (static + dynamic + transceivers), watts. */
-    double powerWatts(std::size_t d_group) const;
+    Watts powerWatts(std::size_t d_group) const;
 
     /** Peak kernel throughput at this configuration, GFLOPS (Table 3). */
     double peakGflops(std::size_t d_group) const;
 
     /** Achieved clock frequency, Hz. */
-    double clockHz() const { return 296.05e6; }
+    Hertz clockHz() const { return 296.05e6; }
 
     /** Absolute DSP count used. */
     std::uint64_t dspCount(std::size_t d_group) const;

@@ -13,20 +13,20 @@ Cpu::Cpu(const CpuConfig &cfg) : cfg_(cfg)
 }
 
 Seconds
-Cpu::kernelTime(double flops, double bytes) const
+Cpu::kernelTime(Flops flops, Bytes bytes) const
 {
     return std::max(computeTime(flops), memoryTime(bytes));
 }
 
 Seconds
-Cpu::memoryTime(double bytes) const
+Cpu::memoryTime(Bytes bytes) const
 {
     HILOS_ASSERT(bytes >= 0.0, "negative bytes");
     return bytes / (cfg_.dram_bandwidth * cfg_.attention_efficiency);
 }
 
 Seconds
-Cpu::computeTime(double flops) const
+Cpu::computeTime(Flops flops) const
 {
     HILOS_ASSERT(flops >= 0.0, "negative flops");
     return flops / (cfg_.fp32_peak * cfg_.attention_efficiency);

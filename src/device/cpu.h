@@ -21,7 +21,7 @@ namespace hilos {
 struct CpuConfig {
     std::string name = "xeon-6342";
     unsigned cores = 24;
-    Flops fp32_peak = tflops(2.4);        ///< AVX-512 FMA across cores
+    FlopRate fp32_peak = tflops(2.4);        ///< AVX-512 FMA across cores
     Bandwidth dram_bandwidth = gbps(160); ///< effective 8ch DDR4-3200
     /**
      * Achieved fraction of peak on the offloaded attention kernel. The
@@ -40,13 +40,13 @@ class Cpu
     explicit Cpu(const CpuConfig &cfg);
 
     /** Roofline time for `flops` over `bytes` of DRAM traffic. */
-    Seconds kernelTime(double flops, double bytes) const;
+    Seconds kernelTime(Flops flops, Bytes bytes) const;
 
     /** Memory-bound time (streams `bytes` once). */
-    Seconds memoryTime(double bytes) const;
+    Seconds memoryTime(Bytes bytes) const;
 
     /** Compute-bound time. */
-    Seconds computeTime(double flops) const;
+    Seconds computeTime(Flops flops) const;
 
     const CpuConfig &config() const { return cfg_; }
 

@@ -11,7 +11,7 @@ Dram::Dram(const DramConfig &cfg) : cfg_(cfg)
 }
 
 Seconds
-Dram::accessTime(double bytes) const
+Dram::accessTime(Bytes bytes) const
 {
     HILOS_ASSERT(bytes >= 0.0, "negative bytes");
     return bytes / cfg_.bandwidth;

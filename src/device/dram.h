@@ -33,7 +33,7 @@ class Dram
     explicit Dram(const DramConfig &cfg);
 
     /** Time to stream `bytes` through memory once. */
-    Seconds accessTime(double bytes) const;
+    Seconds accessTime(Bytes bytes) const;
 
     /**
      * Reserve `bytes`; returns false (and reserves nothing) when the

@@ -17,27 +17,27 @@ Gpu::Gpu(const GpuConfig &cfg) : cfg_(cfg)
 }
 
 Seconds
-Gpu::kernelTime(double flops, double bytes) const
+Gpu::kernelTime(Flops flops, Bytes bytes) const
 {
     return std::max(computeTime(flops), memoryTime(bytes));
 }
 
 Seconds
-Gpu::memoryTime(double bytes) const
+Gpu::memoryTime(Bytes bytes) const
 {
     HILOS_ASSERT(bytes >= 0.0, "negative bytes");
     return bytes / (cfg_.memory_bandwidth * cfg_.gemv_efficiency);
 }
 
 Seconds
-Gpu::computeTime(double flops) const
+Gpu::computeTime(Flops flops) const
 {
     HILOS_ASSERT(flops >= 0.0, "negative flops");
     return flops / (cfg_.fp16_peak * cfg_.gemm_efficiency);
 }
 
 bool
-Gpu::fits(double bytes) const
+Gpu::fits(Bytes bytes) const
 {
     return bytes <= static_cast<double>(cfg_.memory_capacity);
 }

@@ -24,7 +24,7 @@ struct GpuConfig {
     std::string name = "a100-40g";
     std::uint64_t memory_capacity = 40ull * GiB;
     Bandwidth memory_bandwidth = gbps(1555);
-    Flops fp16_peak = tflops(312);  ///< dense FP16 tensor-core peak
+    FlopRate fp16_peak = tflops(312);  ///< dense FP16 tensor-core peak
     double gemm_efficiency = 0.6;   ///< achieved fraction of peak on GEMM
     double gemv_efficiency = 0.8;   ///< achieved fraction of mem-bw on GEMV
     Watts tdp = 300.0;
@@ -45,16 +45,16 @@ class Gpu
      * executing `flops` floating-point operations: the roofline max of
      * the compute and memory times.
      */
-    Seconds kernelTime(double flops, double bytes) const;
+    Seconds kernelTime(Flops flops, Bytes bytes) const;
 
     /** Memory-bound operation (GEMV / attention during decode). */
-    Seconds memoryTime(double bytes) const;
+    Seconds memoryTime(Bytes bytes) const;
 
     /** Compute-bound operation at GEMM efficiency. */
-    Seconds computeTime(double flops) const;
+    Seconds computeTime(Flops flops) const;
 
     /** True if `bytes` of state fit in device memory. */
-    bool fits(double bytes) const;
+    bool fits(Bytes bytes) const;
 
     const GpuConfig &config() const { return cfg_; }
 

@@ -19,7 +19,7 @@ SmartSsd::p2pReadTime(std::uint64_t bytes) const
     if (bytes == 0)
         return 0.0;
     return cfg_.nand.read_latency +
-           static_cast<double>(bytes) / (cfg_.p2p_read_bw * p2p_derate_);
+           Bytes(static_cast<double>(bytes)) / (cfg_.p2p_read_bw * p2p_derate_);
 }
 
 Seconds
@@ -30,7 +30,7 @@ SmartSsd::p2pWriteTime(std::uint64_t bytes) const
     if (bytes == 0)
         return 0.0;
     return cfg_.nand.write_latency +
-           static_cast<double>(bytes) /
+           Bytes(static_cast<double>(bytes)) /
                (cfg_.p2p_write_bw * p2p_derate_);
 }
 
@@ -53,7 +53,7 @@ SmartSsd::fail()
 }
 
 Seconds
-SmartSsd::dramTime(double bytes) const
+SmartSsd::dramTime(Bytes bytes) const
 {
     HILOS_ASSERT(bytes >= 0.0, "negative bytes");
     return bytes / cfg_.fpga_dram_bandwidth;

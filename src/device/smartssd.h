@@ -27,7 +27,7 @@ struct SmartSsdConfig {
     Bandwidth fpga_dram_bandwidth = gbps(19.2);  ///< 1ch DDR4-2400
     Bandwidth p2p_read_bw = gbps(3.0);   ///< NAND -> FPGA DRAM, internal
     Bandwidth p2p_write_bw = gbps(2.1);  ///< FPGA DRAM -> NAND, internal
-    double clock_hz = 296.05e6;          ///< achieved kernel clock (§6.2)
+    Hertz clock_hz = 296.05e6;           ///< achieved kernel clock (§6.2)
     Watts fpga_idle_power = 6.0;
     double price_usd = 2400.0;
 
@@ -57,7 +57,7 @@ class SmartSsd
     Seconds p2pWriteTime(std::uint64_t bytes) const;
 
     /** FPGA on-board DRAM streaming time. */
-    Seconds dramTime(double bytes) const;
+    Seconds dramTime(Bytes bytes) const;
 
     /** Current health state (Healthy on construction). */
     DeviceHealth health() const { return health_; }

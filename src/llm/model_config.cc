@@ -70,7 +70,7 @@ ModelConfig::paramCount() const
     return weightBytesTotal() / dtype_bytes;
 }
 
-double
+Bytes
 ModelConfig::loadedWeightBytesPerLayer(std::uint64_t batch) const
 {
     if (!isMoe())
@@ -102,7 +102,7 @@ ModelConfig::kvBytesPerTokenPerLayer() const
     return 2 * kv_heads * headDim() * dtype_bytes;
 }
 
-double
+Bytes
 ModelConfig::kvBytesTotal(std::uint64_t batch, std::uint64_t seq) const
 {
     return static_cast<double>(kvBytesPerTokenPerLayer()) *
@@ -116,7 +116,7 @@ ModelConfig::xBytesPerTokenPerLayer() const
     return hidden * dtype_bytes;
 }
 
-double
+Flops
 ModelConfig::denseFlopsPerTokenPerLayer() const
 {
     const double attn_proj =
@@ -133,7 +133,7 @@ ModelConfig::denseFlopsPerTokenPerLayer() const
     return attn_proj + mlp;
 }
 
-double
+Flops
 ModelConfig::attentionFlopsPerToken(std::uint64_t s) const
 {
     // QK^T and PV over the context for every query head.

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "common/units.h"
+
 namespace hilos {
 
 /** Feed-forward block style. */
@@ -60,12 +62,12 @@ struct ModelConfig {
      * a batch of `batch` tokens. Dense models load everything; MoE
      * models load the expected number of distinct activated experts.
      */
-    double loadedWeightBytesPerLayer(std::uint64_t batch) const;
+    Bytes loadedWeightBytesPerLayer(std::uint64_t batch) const;
 
     /** KV-cache bytes per token per layer (K and V, FP16). */
     std::uint64_t kvBytesPerTokenPerLayer() const;
     /** KV-cache bytes for `batch` sequences of `seq` tokens, all layers. */
-    double kvBytesTotal(std::uint64_t batch, std::uint64_t seq) const;
+    Bytes kvBytesTotal(std::uint64_t batch, std::uint64_t seq) const;
     /** X-cache bytes per token per layer (pre-projection activation). */
     std::uint64_t xBytesPerTokenPerLayer() const;
 
@@ -73,9 +75,9 @@ struct ModelConfig {
      * Decode-step FLOPs of one layer for one token (projections + MLP,
      * excluding attention over the context, which scales with s).
      */
-    double denseFlopsPerTokenPerLayer() const;
+    Flops denseFlopsPerTokenPerLayer() const;
     /** Attention FLOPs for one token attending to `s` context tokens. */
-    double attentionFlopsPerToken(std::uint64_t s) const;
+    Flops attentionFlopsPerToken(std::uint64_t s) const;
 };
 
 /** OPT-30B (48 x 7168, MHA). */

@@ -33,7 +33,7 @@ weightLoadTime(const ModelConfig &model, std::uint64_t batch,
                WeightHome home, Bandwidth pci_bw, Bandwidth storage_bw)
 {
     HILOS_ASSERT(pci_bw > 0, "invalid PCIe bandwidth");
-    const double bytes = model.loadedWeightBytesPerLayer(batch);
+    const Bytes bytes = model.loadedWeightBytesPerLayer(batch);
     if (home == WeightHome::HostDram)
         return bytes / pci_bw;
     HILOS_ASSERT(storage_bw > 0, "invalid storage bandwidth");
@@ -111,7 +111,7 @@ prefillComputeTime(const Gpu &gpu, const ModelConfig &model,
     return gpu.kernelTime(gemm_flops + attn_flops, weight_bytes);
 }
 
-double
+Bytes
 kvLayerBytes(const ModelConfig &model, std::uint64_t batch,
              std::uint64_t context)
 {
@@ -119,7 +119,7 @@ kvLayerBytes(const ModelConfig &model, std::uint64_t batch,
            static_cast<double>(batch) * static_cast<double>(context);
 }
 
-double
+Bytes
 kvStepBytes(const ModelConfig &model, std::uint64_t batch)
 {
     return static_cast<double>(model.kvBytesPerTokenPerLayer()) *

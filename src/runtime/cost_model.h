@@ -86,18 +86,18 @@ Seconds prefillComputeTime(const Gpu &gpu, const ModelConfig &model,
                            std::uint64_t batch, std::uint64_t context);
 
 /** KV bytes of one layer's full cache (batch x context). */
-double kvLayerBytes(const ModelConfig &model, std::uint64_t batch,
+Bytes kvLayerBytes(const ModelConfig &model, std::uint64_t batch,
                     std::uint64_t context);
 
 /** New KV bytes appended per decode step for one layer. */
-double kvStepBytes(const ModelConfig &model, std::uint64_t batch);
+Bytes kvStepBytes(const ModelConfig &model, std::uint64_t batch);
 
 /** Memory-footprint summary behind Fig. 2(a). */
 struct MemoryFootprint {
-    double weights_bytes = 0;
-    double kv_bytes = 0;          ///< at full context + output
-    double activation_bytes = 0;  ///< peak decode activations
-    double total() const
+    Bytes weights_bytes = 0;
+    Bytes kv_bytes = 0;          ///< at full context + output
+    Bytes activation_bytes = 0;  ///< peak decode activations
+    Bytes total() const
     {
         return weights_bytes + kv_bytes + activation_bytes;
     }

@@ -51,12 +51,12 @@ DeepSpeedUvmEngine::makePlan(const RunConfig &cfg, RunResult &res) const
     // Attention runs on the GPU: the whole KV cache of the layer is
     // touched through UVM every step and migrates at the fault-
     // amortised rate.
-    const double kv_bytes = kvLayerBytes(m, b, s_mid);
+    const Bytes kv_bytes = kvLayerBytes(m, b, s_mid);
     const Seconds kv_stream = kv_bytes / uvm_bw;
     // Intermediate activations spill through UVM both directions each
     // layer (the extension that keeps long-context decoding from
     // OOMing GPU memory).
-    const double act_bytes =
+    const Bytes act_bytes =
         2.0 * static_cast<double>(b) *
         static_cast<double>(m.hidden + m.intermediate) *
         static_cast<double>(m.dtype_bytes);

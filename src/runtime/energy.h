@@ -76,13 +76,13 @@ double costEffectiveness(double tokens_per_sec, double price_usd);
 /** Inputs to the endurance estimate for one request class. */
 struct EnduranceInputs {
     /** Bytes written to the fleet per request (prefill + spills). */
-    double bytes_per_request = 0;
+    Bytes bytes_per_request = 0;
     /** Effective write amplification on those bytes. */
     double write_amplification = 1.0;
     /** Fleet size. */
     unsigned devices = 16;
     /** Per-device rated endurance in bytes (7.008 PBW default). */
-    double per_device_endurance_bytes = 7.008e15;
+    Bytes per_device_endurance_bytes = 7.008e15;
 };
 
 /** Serviceable requests before the fleet's rated PBW is exhausted. */

@@ -21,7 +21,7 @@ Seconds
 StageBreakdown::get(const std::string &name) const
 {
     const auto it = index_.find(name);
-    return it == index_.end() ? 0.0 : stages_[it->second].second;
+    return it == index_.end() ? Seconds(0.0) : stages_[it->second].second;
 }
 
 Seconds
@@ -64,8 +64,8 @@ RunResult::endToEndThroughput(std::uint64_t output_len) const
 
 std::uint64_t
 maxFittingBatch(const ModelConfig &model, std::uint64_t requested_batch,
-                std::uint64_t total_seq, double capacity_bytes,
-                double resident_bytes)
+                std::uint64_t total_seq, Bytes capacity_bytes,
+                Bytes resident_bytes)
 {
     const double per_seq = model.kvBytesTotal(1, total_seq);
     const double budget = capacity_bytes - resident_bytes;

@@ -31,17 +31,17 @@ struct RunConfig {
 /** Interconnect/storage traffic per decoding step (all layers). */
 struct TrafficCounters {
     /** Bytes crossing the shared host interconnect, reads into compute. */
-    double host_read_bytes = 0;
+    Bytes host_read_bytes = 0;
     /** Bytes crossing the shared host interconnect, writes out. */
-    double host_write_bytes = 0;
+    Bytes host_write_bytes = 0;
     /** Attention-related subset of host reads (for the Eq. 3 ratio). */
-    double attn_host_read_bytes = 0;
+    Bytes attn_host_read_bytes = 0;
     /** Attention-related subset of host writes. */
-    double attn_host_write_bytes = 0;
+    Bytes attn_host_write_bytes = 0;
     /** Bytes moved on NSP-internal P2P paths (never on the host bus). */
-    double internal_bytes = 0;
+    Bytes internal_bytes = 0;
     /** Host bytes written toward NAND (endurance-relevant). */
-    double storage_write_bytes = 0;
+    Bytes storage_write_bytes = 0;
 };
 
 /**
@@ -113,7 +113,7 @@ struct RunResult {
     TrafficCounters traffic;   ///< per decode step
     ComponentBusy busy;        ///< per decode step
     EnergyBreakdown energy;    ///< whole run
-    double fpga_power_watts = 0;  ///< per-device, HILOS only
+    Watts fpga_power_watts = 0;   ///< per-device, HILOS only
     FaultSummary faults;       ///< availability/retry accounting
 };
 
@@ -139,8 +139,8 @@ class InferenceEngine
 std::uint64_t maxFittingBatch(const ModelConfig &model,
                               std::uint64_t requested_batch,
                               std::uint64_t total_seq,
-                              double capacity_bytes,
-                              double resident_bytes);
+                              Bytes capacity_bytes,
+                              Bytes resident_bytes);
 
 }  // namespace hilos
 

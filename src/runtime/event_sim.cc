@@ -110,8 +110,9 @@ HilosEventSimulator::simulateDecodeStep(const RunConfig &cfg,
     const Seconds gpu_base =
         qkvProjTime(gpu, m, b) + mlpTime(gpu, m, b);
     const Seconds regen_per_seq =
-        2.0 * static_cast<double>(s) * static_cast<double>(m.hidden) *
-        static_cast<double>(m.kv_heads * d) /
+        Flops(2.0 * static_cast<double>(s) *
+              static_cast<double>(m.hidden) *
+              static_cast<double>(m.kv_heads * d)) /
         (sys_.gpu.fp16_peak * sys_.gpu.gemm_efficiency);
     const Seconds gpu_xattn_per_seq =
         gpuAttentionTime(gpu, m, 1, s);
@@ -594,8 +595,9 @@ toEventSimResult(const PlanSimResult &r)
     out.layer_times = r.layer_times;
     out.mean_layer_time =
         r.layer_times.empty()
-            ? 0.0
-            : r.decode_step_time / static_cast<double>(r.layer_times.size());
+            ? Seconds(0.0)
+            : r.decode_step_time /
+                  static_cast<double>(r.layer_times.size());
     bool has_uplink = false;
     out.uplink_utilization =
         named(r.resource_utilization, "uplink", &has_uplink);

@@ -127,19 +127,19 @@ FlexGenEngine::makePlan(const RunConfig &cfg, RunResult &res) const
         weight_storage_bw);
     const Seconds gpu_compute =
         qkvProjTime(gpu, m, b) + mlpTime(gpu, m, b);
-    const double kv_bytes = kvLayerBytes(m, b, s_mid);
+    const Bytes kv_bytes = kvLayerBytes(m, b, s_mid);
     // For >100B models the weights stream from the same SSD fleet the
     // KV cache lives on: the reads serialise on the shared devices.
     const Seconds fleet_weight =
         (on_ssd && home == WeightHome::Storage)
             ? m.loadedWeightBytesPerLayer(b) / read_bw
-            : 0.0;
+            : Seconds(0.0);
     const Seconds kv_io =
-        on_ssd ? kv_bytes / kv_read_bw + fleet_weight : 0.0;
+        on_ssd ? kv_bytes / kv_read_bw + fleet_weight : Seconds(0.0);
     const Seconds cpu_attn = cpuAttentionTime(cpu, m, b, s_mid);
     // Activation round trip GPU <-> CPU for the offloaded attention.
     const Seconds act_xfer =
-        2.0 * static_cast<double>(b * m.hidden * m.dtype_bytes) /
+        Bytes(2.0 * static_cast<double>(b * m.hidden * m.dtype_bytes)) /
         sys_.host_pcie_bw;
     // New KV entries commit each step; on SSD tiers every (batch, head)
     // entry is a 256 B sub-page write.
@@ -232,7 +232,7 @@ FlexGenEngine::makePlan(const RunConfig &cfg, RunResult &res) const
     const double L = static_cast<double>(m.layers);
     const Seconds prefill_compute =
         prefillComputeTime(gpu, m, b, cfg.context_len);
-    const double prefill_kv_bytes = kvLayerBytes(m, b, cfg.context_len);
+    const Bytes prefill_kv_bytes = kvLayerBytes(m, b, cfg.context_len);
     const Seconds prefill_kv_write =
         on_ssd ? prefill_kv_bytes / write_bw
                : prefill_kv_bytes / sys_.dram.bandwidth;
@@ -252,7 +252,7 @@ FlexGenEngine::makePlan(const RunConfig &cfg, RunResult &res) const
     plan.energy.prefill_fraction.gpu = 0.9;
     plan.energy.prefill_fraction.dram = 0.5;
     plan.energy.storage_prefill_extra =
-        on_ssd ? L * prefill_kv_write : 0.0;
+        on_ssd ? L * prefill_kv_write : Seconds(0.0);
     return plan;
 }
 

@@ -196,12 +196,12 @@ HilosEngine::makePlan(const RunConfig &cfg, const FleetConditions &cond,
 
     // Query/key/value upload to the devices (the 6h-byte write of §4.1)
     // and the attention-output return (the 2h-byte read).
-    const double qkv_up_bytes =
+    const Bytes qkv_up_bytes =
         static_cast<double>(b) *
         (static_cast<double>(m.hidden) + 2.0 * kv_dim_bytes /
                                              m.dtype_bytes) *
         static_cast<double>(m.dtype_bytes);
-    const double out_ret_bytes =
+    const Bytes out_ret_bytes =
         static_cast<double>(b * m.hidden * m.dtype_bytes);
     const Seconds qkv_up = qkv_up_bytes / uplink_bw;
     const Seconds out_ret = out_ret_bytes / uplink_bw;
@@ -213,7 +213,7 @@ HilosEngine::makePlan(const RunConfig &cfg, const FleetConditions &cond,
             ? m.loadedWeightBytesPerLayer(b) /
                   (static_cast<double>(installed) *
                    sys_.smartssd.nand.seq_read_bw)
-            : 0.0;
+            : Seconds(0.0);
 
     // NSP attention: internal NAND reads (the xt.t_ssd term) race the
     // accelerator kernels; kernels consume from on-board DRAM far
@@ -272,11 +272,12 @@ HilosEngine::makePlan(const RunConfig &cfg, const FleetConditions &cond,
 
     // Shared-uplink occupancy check: weights (when storage-resident),
     // X loads, QKV uploads and returns all cross the chassis uplink.
-    const double uplink_bytes =
+    const Bytes uplink_bytes =
         (home == WeightHome::Storage ? m.loadedWeightBytesPerLayer(b)
-                                     : 0.0) +
-        alpha * static_cast<double>(b) * static_cast<double>(s_mid) *
-            static_cast<double>(m.hidden) * 2.0 +
+                                     : Bytes(0.0)) +
+        Bytes(alpha * static_cast<double>(b) *
+              static_cast<double>(s_mid) * static_cast<double>(m.hidden) *
+              2.0) +
         qkv_up_bytes + out_ret_bytes;
     const Seconds uplink_time = uplink_bytes / uplink_bw;
 
@@ -418,7 +419,8 @@ HilosEngine::makePlan(const RunConfig &cfg, const FleetConditions &cond,
         static_cast<double>(cfg.context_len);
     const Bandwidth prefill_write_bw =
         std::min(uplink_bw, static_cast<double>(N) * p2p_write);
-    const Seconds prefill_write = prefill_cache_bytes / prefill_write_bw;
+    const Seconds prefill_write =
+        Bytes(prefill_cache_bytes) / prefill_write_bw;
     res.prefill_time =
         L * (std::max(weight, prefill_compute) + prefill_write);
 
@@ -585,7 +587,7 @@ HilosEngine::runWithFaults(const RunConfig &cfg) const
                 sys_.chassis_uplink_bw * c.uplink_derate,
                 static_cast<double>(c.devices) *
                     sys_.smartssd.p2p_write_bw * c.p2p_derate);
-            const Seconds rebuild = lost_bytes / rebuild_bw;
+            const Seconds rebuild = Bytes(lost_bytes) / rebuild_bw;
             fs.rebuild_time += rebuild;
             now += rebuild;
             exp_redispatch += (1.0 - alpha_k) *

@@ -93,7 +93,7 @@ StepOp::busyTag(unsigned mask)
 }
 
 StepOp &
-StepOp::share(TrafficField field, double bytes_contributed)
+StepOp::share(TrafficField field, Bytes bytes_contributed)
 {
     traffic.push_back(TrafficShare{field, bytes_contributed});
     return *this;
@@ -129,7 +129,7 @@ StepOp::asOffline()
 
 StepOp
 transferOp(PlanResource resource, std::string label, Seconds seconds,
-           double bytes)
+           Bytes bytes)
 {
     StepOp op;
     op.op_kind = StepOp::Kind::Transfer;
@@ -239,6 +239,159 @@ StepPlan::addTailOp(StepOp op)
     return id;
 }
 
+namespace {
+
+/** "layer op #3 'kv_fetch'" — the prefix every diagnostic starts with. */
+std::string
+opRef(const char *kind, std::size_t id, const StepOp &op)
+{
+    std::string s = std::string(kind) + " op #" + std::to_string(id);
+    if (!op.label.empty())
+        s += " '" + op.label + "'";
+    return s;
+}
+
+constexpr unsigned kBusyAll =
+    kBusyGpu | kBusyCpu | kBusyDram | kBusyStorage | kBusyFpga;
+
+/** Shared per-op checks; dependency checks differ per op class. */
+void
+validateOpStatic(const StepPlan &plan, const char *kind, std::size_t id,
+                 const StepOp &op, std::vector<std::string> &out)
+{
+    const std::string ref = opRef(kind, id, op);
+    if (!(std::isfinite(op.seconds) && op.seconds >= Seconds(0.0)))
+        out.push_back(ref + ": duration " + std::to_string(op.seconds) +
+                      "s is not finite and non-negative");
+    if (!(std::isfinite(op.bytes) && op.bytes >= Bytes(0.0)))
+        out.push_back(ref + ": payload " + std::to_string(op.bytes) +
+                      " bytes is not finite and non-negative");
+    if (op.fanout < 1)
+        out.push_back(ref + ": fanout must be >= 1");
+    const auto res_raw = static_cast<unsigned>(op.resource);
+    if (res_raw > static_cast<unsigned>(PlanResource::InterNode))
+        out.push_back(ref + ": resource index " + std::to_string(res_raw) +
+                      " names no known resource kind");
+    const auto unit_raw = static_cast<unsigned>(op.unit);
+    if (unit_raw > static_cast<unsigned>(ComputeUnit::Fpga))
+        out.push_back(ref + ": compute-unit index " +
+                      std::to_string(unit_raw) + " names no known unit");
+    if (op.op_kind == StepOp::Kind::Transfer &&
+        op.resource == PlanResource::None)
+        out.push_back(ref + ": transfer op occupies no resource");
+    if (op.op_kind == StepOp::Kind::Compute &&
+        op.unit == ComputeUnit::None)
+        out.push_back(ref + ": compute op runs on no unit");
+    if ((op.busy & ~kBusyAll) != 0)
+        out.push_back(ref + ": busy mask " + std::to_string(op.busy) +
+                      " sets bits beyond the declared kBusy* tags");
+    if (!op.stage.empty() && !stageDeclared(plan, op.stage))
+        out.push_back(ref + ": stage '" + op.stage + "' is not declared");
+    for (const TrafficShare &s : op.traffic) {
+        if (static_cast<unsigned>(s.field) >
+            static_cast<unsigned>(TrafficField::StorageWrite))
+            out.push_back(ref + ": traffic share names no known field");
+        if (!(std::isfinite(s.bytes) && s.bytes >= Bytes(0.0)))
+            out.push_back(ref + ": traffic share of " +
+                          std::to_string(s.bytes) +
+                          " bytes is not finite and non-negative");
+    }
+    if (op.shadow && op.offline)
+        out.push_back(ref + ": an op cannot be both shadow and offline");
+    if (op.offline && !op.deps.empty())
+        out.push_back(ref + ": offline ops are dependency-free");
+}
+
+}  // namespace
+
+std::vector<std::string>
+StepPlan::validate() const
+{
+    std::vector<std::string> out;
+    if (layers < 1)
+        out.push_back("plan declares zero layers");
+    if (!(std::isfinite(layer_time_divisor) && layer_time_divisor > 0.0))
+        out.push_back("layer_time_divisor must be finite and positive");
+    for (std::size_t i = 0; i < stage_order.size(); ++i)
+        for (std::size_t j = i + 1; j < stage_order.size(); ++j)
+            if (stage_order[i] == stage_order[j])
+                out.push_back("stage '" + stage_order[i] +
+                              "' declared twice");
+    for (std::size_t i = 0; i < resources.size(); ++i) {
+        if (resources[i].instances < 1)
+            out.push_back(std::string("resource ") +
+                          planResourceName(resources[i].kind) +
+                          " declares zero instances");
+        for (std::size_t j = i + 1; j < resources.size(); ++j)
+            if (resources[i].kind == resources[j].kind)
+                out.push_back(std::string("resource ") +
+                              planResourceName(resources[i].kind) +
+                              " declared twice");
+    }
+
+    for (std::size_t i = 0; i < layer_ops.size(); ++i) {
+        const StepOp &op = layer_ops[i];
+        validateOpStatic(*this, "layer", i, op, out);
+        for (const std::size_t d : op.deps) {
+            if (d >= layer_ops.size())
+                out.push_back(opRef("layer", i, op) + ": dep #" +
+                              std::to_string(d) +
+                              " references no op in the plan");
+            else if (d >= i)
+                out.push_back(opRef("layer", i, op) + ": dep #" +
+                              std::to_string(d) +
+                              " references a later op (the evaluator "
+                              "requires topological order)");
+        }
+    }
+
+    // Cycle detection over the in-range edges (Kahn's algorithm): every
+    // op left unprocessed sits on or downstream of a dependency cycle.
+    // The forward-reference check above already rejects cyclic plans,
+    // but a cycle is a distinct defect and gets its own diagnostic.
+    std::vector<std::size_t> indegree(layer_ops.size(), 0);
+    std::vector<std::vector<std::size_t>> dependents(layer_ops.size());
+    for (std::size_t i = 0; i < layer_ops.size(); ++i)
+        for (const std::size_t d : layer_ops[i].deps)
+            if (d < layer_ops.size() && d != i) {
+                indegree[i]++;
+                dependents[d].push_back(i);
+            } else if (d == i) {
+                indegree[i]++;  // self-loop: never becomes ready
+            }
+    std::vector<std::size_t> ready;
+    for (std::size_t i = 0; i < layer_ops.size(); ++i)
+        if (indegree[i] == 0)
+            ready.push_back(i);
+    std::size_t processed = 0;
+    while (!ready.empty()) {
+        const std::size_t i = ready.back();
+        ready.pop_back();
+        processed++;
+        for (const std::size_t j : dependents[i])
+            if (--indegree[j] == 0)
+                ready.push_back(j);
+    }
+    if (processed < layer_ops.size())
+        for (std::size_t i = 0; i < layer_ops.size(); ++i)
+            if (indegree[i] != 0)
+                out.push_back(opRef("layer", i, layer_ops[i]) +
+                              ": sits on a dependency cycle");
+
+    for (std::size_t i = 0; i < tail_ops.size(); ++i) {
+        const StepOp &op = tail_ops[i];
+        validateOpStatic(*this, "tail", i, op, out);
+        if (!op.deps.empty())
+            out.push_back(opRef("tail", i, op) +
+                          ": tail ops form a serial chain and carry no "
+                          "dependency edges");
+        if (op.prefetch || op.shadow || op.offline)
+            out.push_back(opRef("tail", i, op) +
+                          ": tail ops carry no role flags");
+    }
+    return out;
+}
+
 PlanEvaluation
 evaluatePlan(const StepPlan &plan)
 {
@@ -288,8 +441,10 @@ evaluatePlan(const StepPlan &plan)
     for (const std::string &name : plan.stage_order) {
         const auto lit = layer_stage.find(name);
         const auto tit = tail_stage.find(name);
-        const Seconds lsum = lit == layer_stage.end() ? 0.0 : lit->second;
-        const Seconds tsum = tit == tail_stage.end() ? 0.0 : tit->second;
+        const Seconds lsum =
+            lit == layer_stage.end() ? Seconds(0.0) : lit->second;
+        const Seconds tsum =
+            tit == tail_stage.end() ? Seconds(0.0) : tit->second;
         ev.breakdown.add(name, L * lsum + tsum);
     }
 
@@ -361,6 +516,9 @@ void
 applyPlan(const StepPlan &plan, const RunConfig &cfg, RunResult &res)
 {
     HILOS_ASSERT(plan.feasible, "applyPlan on an infeasible plan");
+    const std::vector<std::string> problems = plan.validate();
+    HILOS_ASSERT(problems.empty(), "invalid step plan: ",
+                 problems.empty() ? std::string() : problems.front());
     const PlanEvaluation ev = evaluatePlan(plan);
     res.decode_step_time = ev.decode_step_time;
     res.breakdown = ev.breakdown;

@@ -96,7 +96,7 @@ const char *trafficFieldName(TrafficField f);
 /** One op's contribution to a traffic counter (per layer or per step). */
 struct TrafficShare {
     TrafficField field = TrafficField::HostRead;
-    double bytes = 0;
+    Bytes bytes = 0;
 };
 
 /**
@@ -110,7 +110,7 @@ struct StepOp {
     PlanResource resource = PlanResource::None;  ///< Transfer only
     ComputeUnit unit = ComputeUnit::None;        ///< Compute only
     Seconds seconds = 0;  ///< engine-priced duration of the whole op
-    double bytes = 0;     ///< payload bytes (Transfer; replay/metadata)
+    Bytes bytes = 0;      ///< payload bytes (Transfer; replay/metadata)
     /**
      * Concurrent per-instance replicas the replay issues, each lasting
      * the full `seconds` (the engine's pricing already divides the work
@@ -135,7 +135,7 @@ struct StepOp {
     StepOp &dep(std::size_t id);
     StepOp &stageTag(std::string name);
     StepOp &busyTag(unsigned mask);
-    StepOp &share(TrafficField field, double bytes_contributed);
+    StepOp &share(TrafficField field, Bytes bytes_contributed);
     StepOp &withFanout(std::uint64_t n);
     StepOp &asPrefetch();
     StepOp &asShadow();
@@ -144,7 +144,7 @@ struct StepOp {
 
 /** A priced transfer op on a named resource. */
 StepOp transferOp(PlanResource resource, std::string label, Seconds seconds,
-                  double bytes);
+                  Bytes bytes);
 
 /** A priced compute op on a unit. */
 StepOp computeOp(ComputeUnit unit, std::string label, Seconds seconds);
@@ -217,6 +217,21 @@ struct StepPlan {
     std::size_t addOp(StepOp op);
     /** Append a once-per-step tail op (serial, dependency-free). */
     std::size_t addTailOp(StepOp op);
+
+    /**
+     * Statically check the assembled plan and return one diagnostic per
+     * violation, each naming the offending op; an empty list means the
+     * plan is well-formed. The builder methods above enforce most of
+     * this incrementally, but plans can also be assembled field-by-field
+     * (tests, fuzzers, future deserialisers), so the evaluator trusts
+     * nothing: validate() re-checks that the dependency graph is
+     * acyclic and topologically ordered with in-range references, that
+     * every stage tag, resource kind, traffic field, and busy bit names
+     * a declared entity, that byte/seconds annotations are finite and
+     * non-negative, and that role flags are consistent. applyPlan() and
+     * the fuzz oracles reject plans with diagnostics.
+     */
+    std::vector<std::string> validate() const;
 };
 
 /** Everything the analytic backend derives from a plan. */

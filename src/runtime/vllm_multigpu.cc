@@ -84,9 +84,9 @@ VllmMultiGpuEngine::makePlan(const RunConfig &cfg, RunResult &res) const
     // Two all-reduces per layer (attention output + MLP output) over the
     // intra-node fabric: ring all-reduce moves 2 (tp-1)/tp of the
     // activation per GPU.
-    const double act_bytes = static_cast<double>(b) *
-                             static_cast<double>(m.hidden) *
-                             static_cast<double>(m.dtype_bytes);
+    const Bytes act_bytes = static_cast<double>(b) *
+                            static_cast<double>(m.hidden) *
+                            static_cast<double>(m.dtype_bytes);
     const Seconds allreduce =
         2.0 * (2.0 * static_cast<double>(tp - 1) /
                    static_cast<double>(tp) * act_bytes /

@@ -22,7 +22,7 @@ writebackCosts(const WritebackCostInputs &in)
     // ships, per slice: the buffered V vectors (redundant until the
     // spill) plus d_group partial-score scalars per buffered entry.
     const double per_slice_bytes = (c / 2.0) * (d * 2.0 + dg * 4.0);
-    out.transfer_time = slices * per_slice_bytes / in.host_link_bw;
+    out.transfer_time = Bytes(slices * per_slice_bytes) / in.host_link_bw;
 
     // XRT DMA orchestration (explicit migrate + wait per staged
     // granule) scales with the chunk size: larger spill intervals stage
@@ -59,7 +59,7 @@ writebackCosts(const WritebackCostInputs &in)
         spill_bytes_per_slice, static_cast<double>(in.page_bytes));
     out.write_amplification = padded / spill_bytes_per_slice;
     const double per_step_bytes = slices * padded / c;
-    out.spill_time = per_step_bytes /
+    out.spill_time = Bytes(per_step_bytes) /
                      (static_cast<double>(in.devices) * in.device_write_bw);
     return out;
 }

@@ -14,7 +14,7 @@ XCacheTimes::effective() const
 }
 
 XCacheScheduler::XCacheScheduler(Bandwidth ssd_bw, Bandwidth pci_bw,
-                                 Flops gpu_flops)
+                                 FlopRate gpu_flops)
     : ssd_bw_(ssd_bw), pci_bw_(pci_bw), gpu_flops_(gpu_flops)
 {
     HILOS_ASSERT(ssd_bw_ > 0 && pci_bw_ > 0 && gpu_flops_ > 0,
@@ -82,17 +82,17 @@ XCacheScheduler::times(double alpha, std::uint64_t batch, std::uint64_t s,
 
     XCacheTimes t;
     // X transfer: alpha portion of the batch, s x h halves each.
-    t.t_pci = alpha * b * ss * hh * 2.0 / pci_bw_;
+    t.t_pci = Bytes(alpha * b * ss * hh * 2.0) / pci_bw_;
     // K and V regeneration: X (s x h) times W_K and W_V (h x kv). The
     // paper's first-order model (§4.2) counts 2 s h^2 operations per
     // block; tensor cores retire the MACs at near-peak rate.
-    t.t_gpu = alpha * b * 2.0 * ss * hh * kvw / gpu_flops_;
+    t.t_gpu = Flops(alpha * b * 2.0 * ss * hh * kvw) / gpu_flops_;
     // Internal storage reads: X for the alpha portion (s x h halves),
     // K+V for the rest (2 x s x kv halves). With MHA (kv == h) this is
     // exactly the paper's alpha*S_X + (1-alpha)*2*S_X expression.
-    t.t_ssd = b *
-              (alpha * ss * hh * 2.0 +
-               (1.0 - alpha) * 2.0 * ss * kvw * 2.0) /
+    t.t_ssd = Bytes(b *
+                    (alpha * ss * hh * 2.0 +
+                     (1.0 - alpha) * 2.0 * ss * kvw * 2.0)) /
               ssd_bw_;
     return t;
 }

@@ -45,7 +45,7 @@ class XCacheScheduler
      * @param pci_bw achieved host-interconnect bandwidth for GDS loads
      * @param gpu_flops GPU compute capability for the regeneration GEMM
      */
-    XCacheScheduler(Bandwidth ssd_bw, Bandwidth pci_bw, Flops gpu_flops);
+    XCacheScheduler(Bandwidth ssd_bw, Bandwidth pci_bw, FlopRate gpu_flops);
 
     /** Continuous optimum alpha* = 2 B_PCI / (B_SSD + B_PCI). */
     double analyticAlpha() const;
@@ -83,7 +83,7 @@ class XCacheScheduler
   private:
     Bandwidth ssd_bw_;
     Bandwidth pci_bw_;
-    Flops gpu_flops_;
+    FlopRate gpu_flops_;
 };
 
 }  // namespace hilos

@@ -19,7 +19,7 @@ BandwidthResource::BandwidthResource(std::string name, Bandwidth rate,
 Seconds
 BandwidthResource::serviceTime(std::uint64_t bytes) const
 {
-    return latency_ + static_cast<double>(bytes) / rate_;
+    return latency_ + Bytes(static_cast<double>(bytes)) / rate_;
 }
 
 Seconds

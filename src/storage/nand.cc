@@ -55,14 +55,14 @@ NandTiming::readPages(std::uint64_t pages, std::uint64_t parallel) const
     // Channel transfer: each channel moves its share of the page data.
     const std::uint64_t active_channels =
         std::min<std::uint64_t>(cfg_.channels, parallel);
-    const double bytes = static_cast<double>(pages * cfg_.page_bytes);
+    const Bytes bytes(static_cast<double>(pages * cfg_.page_bytes));
     const Seconds xfer_time =
         bytes / (cfg_.channel_rate * static_cast<double>(active_channels));
     // Array access and transfer pipeline; the longer one dominates, plus
     // one fill term of the shorter.
     const Seconds bottleneck = std::max(array_time, xfer_time);
     const Seconds fill = std::min(cfg_.read_latency,
-                                  cfg_.page_bytes / cfg_.channel_rate);
+                                  Bytes(cfg_.page_bytes) / cfg_.channel_rate);
     return bottleneck + fill;
 }
 
@@ -77,12 +77,12 @@ NandTiming::programPages(std::uint64_t pages, std::uint64_t parallel) const
         static_cast<double>(waves) * cfg_.program_latency;
     const std::uint64_t active_channels =
         std::min<std::uint64_t>(cfg_.channels, parallel);
-    const double bytes = static_cast<double>(pages * cfg_.page_bytes);
+    const Bytes bytes(static_cast<double>(pages * cfg_.page_bytes));
     const Seconds xfer_time =
         bytes / (cfg_.channel_rate * static_cast<double>(active_channels));
     const Seconds bottleneck = std::max(array_time, xfer_time);
     const Seconds fill = std::min(cfg_.program_latency,
-                                  cfg_.page_bytes / cfg_.channel_rate);
+                                  Bytes(cfg_.page_bytes) / cfg_.channel_rate);
     return bottleneck + fill;
 }
 

@@ -24,7 +24,7 @@ NvmeQueueModel::iops(std::uint64_t qd, std::uint64_t io_bytes) const
     // transfer time of the request itself.
     const Seconds effective_latency =
         cfg_.command_latency + cfg_.submission_overhead +
-        static_cast<double>(io_bytes) / cfg_.max_read_bw;
+        Bytes(static_cast<double>(io_bytes)) / cfg_.max_read_bw;
     const double little = static_cast<double>(depth) / effective_latency;
     const double bw_limit =
         cfg_.max_read_bw / static_cast<double>(io_bytes);
@@ -51,7 +51,7 @@ NvmeQueueModel::commandLatencyWithRetries(std::uint64_t io_bytes,
     HILOS_ASSERT(io_bytes >= 1, "request size must be >= 1");
     const Seconds ideal =
         cfg_.command_latency + cfg_.submission_overhead +
-        static_cast<double>(io_bytes) / cfg_.max_read_bw;
+        Bytes(static_cast<double>(io_bytes)) / cfg_.max_read_bw;
     return ideal + retry.expectedNvmePenalty(timeout_prob);
 }
 

@@ -36,7 +36,7 @@ Ssd::readTime(std::uint64_t bytes) const
         return 0.0;
     return read_slowdown_ *
            (cfg_.read_latency +
-            static_cast<double>(bytes) / cfg_.seq_read_bw);
+            Bytes(static_cast<double>(bytes)) / cfg_.seq_read_bw);
 }
 
 Seconds
@@ -47,7 +47,7 @@ Ssd::writeTime(std::uint64_t bytes) const
     if (bytes == 0)
         return 0.0;
     return cfg_.write_latency +
-           static_cast<double>(bytes) / cfg_.seq_write_bw;
+           Bytes(static_cast<double>(bytes)) / cfg_.seq_write_bw;
 }
 
 Seconds
@@ -61,7 +61,7 @@ Ssd::randomReadTime(std::uint64_t count, std::uint64_t bytes) const
     const Seconds iops_time =
         static_cast<double>(count) / cfg_.rand_read_iops;
     const Seconds bw_time =
-        static_cast<double>(count * roundUp(bytes, cfg_.page_bytes)) /
+        Bytes(static_cast<double>(count * roundUp(bytes, cfg_.page_bytes))) /
         cfg_.seq_read_bw;
     return read_slowdown_ *
            (cfg_.read_latency + std::max(iops_time, bw_time));
@@ -88,7 +88,7 @@ Ssd::randomWriteTime(std::uint64_t count, std::uint64_t bytes) const
     const Seconds iops_time =
         static_cast<double>(count) / cfg_.rand_write_iops;
     const Seconds bw_time =
-        static_cast<double>(count * padded) / cfg_.seq_write_bw;
+        Bytes(static_cast<double>(count * padded)) / cfg_.seq_write_bw;
     return cfg_.write_latency + std::max(iops_time, bw_time);
 }
 

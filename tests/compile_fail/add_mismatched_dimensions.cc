@@ -1,0 +1,16 @@
+/**
+ * @file
+ * MUST NOT COMPILE (tests/CMakeLists.txt runs this lane with WILL_FAIL):
+ * adding quantities of different dimensions names the deleted
+ * mixed-dimension operator+ in common/units.h.
+ */
+
+#include "common/units.h"
+
+int
+main()
+{
+    const hilos::Seconds t = hilos::msec(1);
+    const hilos::Bytes b = 4096.0;
+    return static_cast<int>(t + b);  // Seconds + Bytes: deleted operator
+}

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * MUST NOT COMPILE (tests/CMakeLists.txt runs this lane with WILL_FAIL):
+ * initialising one quantity from another of a different dimension would
+ * need two user-defined conversions (Bandwidth -> double -> Seconds),
+ * which the language forbids — the implicit double interop of
+ * common/units.h never bridges two quantity types.
+ */
+
+#include "common/units.h"
+
+int
+main()
+{
+    const hilos::Bandwidth bw = hilos::gbps(3.0);
+    const hilos::Seconds t = bw;  // Bandwidth is not a time
+    return static_cast<int>(t);
+}

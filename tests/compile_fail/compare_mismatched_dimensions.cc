@@ -1,0 +1,16 @@
+/**
+ * @file
+ * MUST NOT COMPILE (tests/CMakeLists.txt runs this lane with WILL_FAIL):
+ * ordering quantities of different dimensions names the deleted
+ * mixed-dimension operator< in common/units.h.
+ */
+
+#include "common/units.h"
+
+int
+main()
+{
+    const hilos::Joules e = 2.0;
+    const hilos::Watts p = 1.0;
+    return (e < p) ? 1 : 0;  // energy vs power: deleted comparison
+}

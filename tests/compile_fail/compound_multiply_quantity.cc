@@ -1,0 +1,17 @@
+/**
+ * @file
+ * MUST NOT COMPILE (tests/CMakeLists.txt runs this lane with WILL_FAIL):
+ * compound-assignment by another quantity would silently change the
+ * dimension in place, so Quantity deletes the operator*=/operator/=
+ * templates taking quantities (only dimensionless doubles scale).
+ */
+
+#include "common/units.h"
+
+int
+main()
+{
+    hilos::Seconds t = hilos::msec(2);
+    t *= hilos::Hertz(100.0);  // would turn seconds into cycles in place
+    return static_cast<int>(t);
+}

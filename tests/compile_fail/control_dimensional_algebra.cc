@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Positive control for the negative-compilation lane: this file MUST
+ * compile (it is the one case registered without WILL_FAIL). It uses
+ * the same header and target setup as its must-fail siblings, so if the
+ * lane's include paths or toolchain were broken, this control would
+ * fail and expose the lane instead of letting every WILL_FAIL case
+ * "pass" vacuously. The expressions are the legal counterparts of the
+ * rejected ones next door.
+ */
+
+#include "common/units.h"
+
+int
+main()
+{
+    using namespace hilos;
+    const Bytes payload = 128.0 * KiB;
+    const Bandwidth bw = gbps(3.0);
+    const Seconds xfer = payload / bw;           // Bytes / B/s -> s
+    const Joules energy = Watts(11.25) * xfer;   // W * s -> J
+    const Seconds period = sec(Hertz(296.05e6)); // one cycle
+    const double ratio = xfer / period;          // same dim -> double
+    Seconds total = xfer + msec(1);              // same-dimension +
+    total *= 2.0;                                // dimensionless scale
+    return (energy > Joules(0.0) && ratio > 0.0 && total > xfer) ? 0 : 1;
+}

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * MUST NOT COMPILE (tests/CMakeLists.txt runs this lane with WILL_FAIL):
+ * passing quantities to the wrong parameter slots would need two
+ * user-defined conversions per argument — swapped arguments are a
+ * compile error, the signature-hardening half of the Quantity design.
+ */
+
+#include "common/units.h"
+
+namespace {
+
+double
+transferCost(hilos::Seconds latency, hilos::Bytes payload)
+{
+    return latency.value() + payload.value();
+}
+
+}  // namespace
+
+int
+main()
+{
+    const hilos::Seconds lat = hilos::usec(86);
+    const hilos::Bytes bytes = 128.0 * hilos::KiB;
+    return static_cast<int>(transferCost(bytes, lat));  // swapped
+}

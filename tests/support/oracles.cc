@@ -355,7 +355,7 @@ runEngineOracle(std::uint64_t seed, Perturbation perturb)
             compared.decode_step_time *= 3.0;
         const AgreementCheck chk = checkEngineAgreement(compared, e);
         if (std::getenv("HILOS_DEBUG_RATIO") != nullptr)
-            std::fprintf(stderr, "RATIO %.6f window=%llu devices=%u\n",
+            std::fprintf(stderr, "RATIO %.9g window=%llu devices=%u\n",
                          chk.ratio,
                          static_cast<unsigned long long>(
                              c.opts.attention_window),
@@ -434,6 +434,15 @@ runFlexGenPlanOracle(std::uint64_t seed, Perturbation perturb)
     }
 
     const StepPlan plan = engine.decodeStepPlan(c.run);
+    // Static well-formedness gate before either backend touches the
+    // plan: a malformed plan would fail both sides identically, which a
+    // differential check cannot see.
+    const std::vector<std::string> problems = plan.validate();
+    if (!problems.empty()) {
+        out.ok = false;
+        out.detail = "plan validation: " + problems.front();
+        return out;
+    }
     const PlanEvaluation ev = evaluatePlan(plan);
     const PlanSimResult ps = simulatePlan(plan);
 

@@ -111,7 +111,7 @@ serialize(const EventSimResult &r)
     kv(os, "mean_layer_time", r.mean_layer_time);
     kv(os, "layers", static_cast<std::uint64_t>(r.layer_times.size()));
     // The per-layer vector is large and steady-state; pin its envelope.
-    double lo = 0, hi = 0;
+    Seconds lo = 0, hi = 0;
     if (!r.layer_times.empty()) {
         lo = hi = r.layer_times.front();
         for (Seconds t : r.layer_times) {

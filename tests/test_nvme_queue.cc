@@ -46,7 +46,7 @@ TEST(NvmeQueue, LowDepthIsLatencyBound)
 {
     const NvmeQueueModel model(pm9a3Queue());
     // QD 1 with 128 KiB requests: one request per (latency + transfer).
-    const Seconds per_req = usec(86) + 131072.0 / mbps(6900);
+    const Seconds per_req = usec(86) + Bytes(131072.0) / mbps(6900);
     EXPECT_NEAR(model.iops(1, 128 * 1024), 1.0 / per_req, 1.0);
 }
 

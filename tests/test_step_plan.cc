@@ -277,5 +277,138 @@ TEST(EngineContract, InfeasiblePlansSayWhy)
     EXPECT_FALSE(plan.note.empty());
 }
 
+// --- StepPlan::validate() static checks -----------------------------------
+//
+// The fluent builders reject most malformed plans at construction, so
+// these tests assemble the defective plans field-by-field, the way a
+// fuzzer or deserialiser could.
+
+/** True when some diagnostic contains both fragments. */
+bool
+mentions(const std::vector<std::string> &problems,
+         const std::string &what, const std::string &who)
+{
+    for (const std::string &p : problems)
+        if (p.find(what) != std::string::npos &&
+            p.find(who) != std::string::npos)
+            return true;
+    return false;
+}
+
+TEST(PlanValidate, WellFormedPlanHasNoDiagnostics)
+{
+    EXPECT_TRUE(smallPlan().validate().empty());
+}
+
+TEST(PlanValidate, RejectsDependencyCycle)
+{
+    StepPlan plan = smallPlan();
+    // load <-> compute: a two-op cycle the builder cannot express.
+    plan.layer_ops[0].deps.push_back(1);
+    const auto problems = plan.validate();
+    ASSERT_FALSE(problems.empty());
+    EXPECT_TRUE(mentions(problems, "dependency cycle", "'load'"));
+    EXPECT_TRUE(mentions(problems, "dependency cycle", "'compute'"));
+}
+
+TEST(PlanValidate, RejectsSelfDependency)
+{
+    StepPlan plan = smallPlan();
+    plan.layer_ops[2].deps.push_back(2);
+    EXPECT_TRUE(mentions(plan.validate(), "dependency cycle", "'race'"));
+}
+
+TEST(PlanValidate, RejectsDanglingDepIndex)
+{
+    StepPlan plan = smallPlan();
+    plan.layer_ops[1].deps.push_back(97);
+    EXPECT_TRUE(mentions(plan.validate(), "references no op", "'compute'"));
+}
+
+TEST(PlanValidate, RejectsForwardReference)
+{
+    StepPlan plan = smallPlan();
+    plan.layer_ops[0].deps.push_back(3);  // acyclic but out of order
+    EXPECT_TRUE(
+        mentions(plan.validate(), "references a later op", "'load'"));
+}
+
+TEST(PlanValidate, RejectsUndeclaredStage)
+{
+    StepPlan plan = smallPlan();
+    plan.layer_ops[1].stage = "mystery";
+    EXPECT_TRUE(mentions(plan.validate(), "not declared", "'mystery'"));
+}
+
+TEST(PlanValidate, RejectsDanglingResourceIndex)
+{
+    StepPlan plan = smallPlan();
+    plan.layer_ops[0].resource = static_cast<PlanResource>(250);
+    EXPECT_TRUE(
+        mentions(plan.validate(), "no known resource kind", "'load'"));
+}
+
+TEST(PlanValidate, RejectsUndeclaredBusyBits)
+{
+    StepPlan plan = smallPlan();
+    plan.layer_ops[1].busy |= 1u << 13;
+    EXPECT_TRUE(
+        mentions(plan.validate(), "beyond the declared kBusy", "'compute'"));
+}
+
+TEST(PlanValidate, RejectsNegativeBytes)
+{
+    StepPlan plan = smallPlan();
+    plan.layer_ops[0].bytes = -200.0;
+    EXPECT_TRUE(
+        mentions(plan.validate(), "finite and non-negative", "'load'"));
+}
+
+TEST(PlanValidate, RejectsNegativeTrafficShare)
+{
+    StepPlan plan = smallPlan();
+    plan.layer_ops[0].traffic[0].bytes = -1.0;
+    EXPECT_TRUE(mentions(plan.validate(), "traffic share", "'load'"));
+}
+
+TEST(PlanValidate, RejectsNonFiniteDuration)
+{
+    StepPlan plan = smallPlan();
+    plan.layer_ops[1].seconds = std::nan("");
+    EXPECT_TRUE(
+        mentions(plan.validate(), "finite and non-negative", "'compute'"));
+}
+
+TEST(PlanValidate, RejectsTailOpWithDeps)
+{
+    StepPlan plan = smallPlan();
+    plan.tail_ops[0].deps.push_back(0);
+    EXPECT_TRUE(mentions(plan.validate(), "serial chain", "'hop'"));
+}
+
+TEST(PlanValidate, EveryEngineKindEmitsAValidPlan)
+{
+    const SystemConfig sys = defaultSystem();
+    RunConfig run;
+    run.model = opt30b();
+    run.batch = 4;
+    run.context_len = 8192;
+    run.output_len = 32;
+    const EngineKind kinds[] = {
+        EngineKind::FlexDram,     EngineKind::FlexSsd,
+        EngineKind::FlexSmartSsdRaw, EngineKind::DeepSpeedUvm,
+        EngineKind::VllmMultiGpu, EngineKind::Hilos,
+    };
+    for (const EngineKind kind : kinds) {
+        const StepPlan plan = decodeStepPlanFor(kind, sys, run);
+        if (!plan.feasible)
+            continue;
+        const auto problems = plan.validate();
+        EXPECT_TRUE(problems.empty())
+            << "engine kind " << static_cast<int>(kind) << ": "
+            << problems.front();
+    }
+}
+
 }  // namespace
 }  // namespace hilos

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests of the Quantity algebra in common/units.h: the dimensional
+ * operator results (Bytes / Bandwidth -> Seconds, Watts * Seconds ->
+ * Joules, Cycles / Hertz -> Seconds), decimal-vs-binary round trips for
+ * the size and bandwidth helpers, the dimensionless collapse of
+ * same-dimension ratios, and the ceilDiv/roundUp integer helpers. The
+ * rejected expressions (Seconds + Bytes and friends) cannot appear here
+ * at all — they live in tests/compile_fail/, where not compiling is the
+ * passing outcome.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <type_traits>
+
+#include "common/units.h"
+
+namespace hilos {
+namespace {
+
+// The algebra is constexpr end-to-end: these results are compile-time
+// constants, which is also the zero-overhead claim in miniature.
+static_assert(std::is_trivially_copyable_v<Seconds>);
+static_assert(sizeof(Seconds) == sizeof(double));
+static_assert(Bytes(8.0) / BytesPerSec(2.0) == Seconds(4.0));
+static_assert(Watts(3.0) * Seconds(2.0) == Joules(6.0));
+static_assert(Cycles(10.0) / Hertz(5.0) == Seconds(2.0));
+
+// Operator results carry the dimension the algebra says they do.
+static_assert(
+    std::is_same_v<decltype(Bytes(1.0) / BytesPerSec(1.0)), Seconds>);
+static_assert(std::is_same_v<decltype(Watts(1.0) * Seconds(1.0)), Joules>);
+static_assert(std::is_same_v<decltype(Cycles(1.0) / Hertz(1.0)), Seconds>);
+static_assert(std::is_same_v<decltype(Bytes(1.0) / Seconds(1.0)), Bandwidth>);
+static_assert(std::is_same_v<decltype(Flops(1.0) / Seconds(1.0)), FlopRate>);
+static_assert(std::is_same_v<decltype(Joules(1.0) / Seconds(1.0)), Watts>);
+// Same-dimension ratios collapse to a plain, dimensionless double.
+static_assert(std::is_same_v<decltype(Seconds(1.0) / Seconds(1.0)), double>);
+static_assert(
+    std::is_same_v<decltype(Bandwidth(1.0) / Bandwidth(1.0)), double>);
+
+TEST(Units, BinarySizeConstantsArePowersOfTwo)
+{
+    EXPECT_EQ(KiB, 1024ull);
+    EXPECT_EQ(MiB, 1024ull * 1024);
+    EXPECT_EQ(GiB, 1024ull * 1024 * 1024);
+    EXPECT_EQ(TiB, 1024ull * 1024 * 1024 * 1024);
+}
+
+TEST(Units, DecimalSizeConstantsArePowersOfTen)
+{
+    EXPECT_EQ(KB, 1000ull);
+    EXPECT_EQ(MB, 1000ull * 1000);
+    EXPECT_EQ(GB, 1000ull * 1000 * 1000);
+    EXPECT_EQ(TB, 1000ull * 1000 * 1000 * 1000);
+}
+
+TEST(Units, DecimalVersusBinaryRoundTrip)
+{
+    // Storage-industry figures are decimal; memory figures binary. The
+    // two differ by exactly (1024/1000)^3 at the GB scale — a 7.4%
+    // error if ever conflated, which is why both exist.
+    const double gib_per_gb = static_cast<double>(GB) / GiB;
+    EXPECT_NEAR(gib_per_gb, 1e9 / 1073741824.0, 1e-15);
+    EXPECT_DOUBLE_EQ(static_cast<double>(GiB) * gib_per_gb, 1e9);
+}
+
+TEST(Units, BandwidthHelpersAreDecimal)
+{
+    // gbps(1) is 1 decimal GB/s, not 1 GiB/s.
+    EXPECT_DOUBLE_EQ(gbps(1.0).value(), 1e9);
+    EXPECT_DOUBLE_EQ(mbps(1.0).value(), 1e6);
+    EXPECT_DOUBLE_EQ(gbps(1.0).value(), mbps(1000.0).value());
+    // Round trip through the decimal/binary boundary: streaming one GiB
+    // at 1 decimal GB/s takes slightly longer than one second.
+    const Seconds t = Bytes(static_cast<double>(GiB)) / gbps(1.0);
+    EXPECT_DOUBLE_EQ(t.value(), 1073741824.0 / 1e9);
+}
+
+TEST(Units, TimeHelpers)
+{
+    EXPECT_DOUBLE_EQ(usec(86).value(), 86e-6);
+    EXPECT_DOUBLE_EQ(msec(10).value(), 10e-3);
+}
+
+TEST(Units, ComputeHelpersAreRates)
+{
+    EXPECT_DOUBLE_EQ(tflops(312).value(), 312e12);
+    EXPECT_DOUBLE_EQ(gflops(46.8).value(), 46.8e9);
+    // Work / rate -> time.
+    const Seconds t = Flops(624e12) / tflops(312);
+    EXPECT_DOUBLE_EQ(t.value(), 2.0);
+}
+
+TEST(Units, ClockHelpersRoundTrip)
+{
+    const Hertz clk = mhz(296.05);
+    EXPECT_DOUBLE_EQ(clk.value(), 296.05e6);
+    // sec() is the period of one cycle; hz() inverts it back.
+    const Seconds period = sec(clk);
+    EXPECT_DOUBLE_EQ(period.value(), 1.0 / 296.05e6);
+    EXPECT_DOUBLE_EQ(hz(period).value(), clk.value());
+    // Cycles at a clock give time; time at a clock gives cycles.
+    EXPECT_DOUBLE_EQ((Cycles(296.05e6) / clk).value(), 1.0);
+    EXPECT_DOUBLE_EQ(static_cast<double>(Seconds(2.0) * clk), 2.0 * 296.05e6);
+}
+
+TEST(Units, DoubleInteropIsSymmetric)
+{
+    Seconds t = 1.5;          // double literal in
+    const double raw = t;     // and back out
+    EXPECT_DOUBLE_EQ(raw, 1.5);
+    t += 0.5;
+    t = 2.0 * t - 1.0;
+    EXPECT_DOUBLE_EQ(t.value(), 3.0);
+    EXPECT_TRUE(t > 2.9);
+    EXPECT_TRUE(2.9 < t);
+    EXPECT_TRUE(std::isfinite(t));
+}
+
+TEST(Units, InverseDimensionFromDoubleDivision)
+{
+    // double / Quantity inverts the dimension: a raw byte count over a
+    // bandwidth is NOT a time until annotated as Bytes — the property
+    // that turned the refactor into a whole-program dimensional audit.
+    const auto inv = 2.0 / Seconds(4.0);
+    static_assert(!std::is_same_v<decltype(inv), const Seconds>);
+    EXPECT_DOUBLE_EQ(inv.value(), 0.5);
+    const Bandwidth bw = Bytes(8.0) * (1.0 / Seconds(2.0));
+    EXPECT_DOUBLE_EQ(bw.value(), 4.0);
+}
+
+TEST(Units, NumericLimitsDelegateToDouble)
+{
+    const Seconds inf = std::numeric_limits<Seconds>::infinity();
+    EXPECT_TRUE(std::isinf(inf));
+    EXPECT_TRUE(inf > Seconds(1e300));
+    EXPECT_GT(std::numeric_limits<Bytes>::max(), 1e300);
+}
+
+TEST(Units, CeilDivAndRoundUp)
+{
+    EXPECT_EQ(ceilDiv(0, 7), 0ull);
+    EXPECT_EQ(ceilDiv(1, 7), 1ull);
+    EXPECT_EQ(ceilDiv(7, 7), 1ull);
+    EXPECT_EQ(ceilDiv(8, 7), 2ull);
+    EXPECT_EQ(roundUp(0, 32), 0ull);
+    EXPECT_EQ(roundUp(1, 32), 32ull);
+    EXPECT_EQ(roundUp(32, 32), 32ull);
+    EXPECT_EQ(roundUp(33, 32), 64ull);
+}
+
+#ifndef NDEBUG
+TEST(UnitsDeath, CeilDivByZeroAsserts)
+{
+    EXPECT_DEATH(ceilDiv(4, 0), "ceilDiv by zero");
+    EXPECT_DEATH(roundUp(4, 0), "roundUp by zero");
+}
+#endif
+
+}  // namespace
+}  // namespace hilos

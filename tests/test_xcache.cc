@@ -41,7 +41,7 @@ TEST(XCache, SnapPicksNearestCandidate)
 TEST(XCache, TimesMatchPaperFormulas)
 {
     const Bandwidth ssd = 24 * GB, pci = 8 * GB;
-    const Flops gpu = tflops(187);
+    const FlopRate gpu = tflops(187);
     const XCacheScheduler sched(ssd, pci, gpu);
     const std::uint64_t b = 4, s = 1000, h = 1024, kv = 1024;
     const XCacheTimes t = sched.times(0.5, b, s, h, kv);
