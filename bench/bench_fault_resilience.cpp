@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/cli.h"
 #include "common/table.h"
 #include "core/hilos.h"
@@ -62,6 +63,9 @@ main(int argc, char **argv)
     args.addOption("jobs", "1",
                    "worker threads for the scenario sweep (0 = all "
                    "cores)");
+    args.addOption("json-dir", ".",
+                   "where BENCH_fault_resilience.json goes (empty = "
+                   "skip)");
     if (!args.parse(argc, argv) || args.helpRequested()) {
         std::cerr << args.usage();
         return args.helpRequested() ? 0 : 2;
@@ -131,6 +135,11 @@ main(int argc, char **argv)
             return runWithPlan(sys, run, N, sc.plan);
         });
 
+    bench::BenchJson json("fault_resilience");
+    json.meta("model", std::string("OPT-66B"))
+        .meta("context", run.context_len)
+        .meta("batch", run.batch)
+        .meta("devices", std::uint64_t{N});
     TextTable table({"scenario", "tokens/s", "slowdown", "availability",
                      "retry s", "rebuild s"});
     for (std::size_t i = 0; i < scenarios.size(); ++i) {
@@ -140,6 +149,9 @@ main(int argc, char **argv)
         if (!r.feasible) {
             table.cell("unavailable").cell("-").cell("-").cell("-").cell(
                 r.note);
+            json.row()
+                .cell("scenario", std::string(sc.name))
+                .cell("feasible", false);
             continue;
         }
         table.num(r.decodeThroughput(), 4)
@@ -147,6 +159,16 @@ main(int argc, char **argv)
             .num(r.faults.availability, 4)
             .num(r.faults.retry_time, 4)
             .num(r.faults.rebuild_time, 4);
+        json.row()
+            .cell("scenario", std::string(sc.name))
+            .cell("feasible", true)
+            .cell("tokens_per_s", r.decodeThroughput())
+            .cell("slowdown", r.faults.slowdown)
+            .cell("availability", r.faults.availability)
+            .cell("retry_s", double(r.faults.retry_time))
+            .cell("rebuild_s", double(r.faults.rebuild_time))
+            .cell("requests_degraded", r.faults.requests_degraded)
+            .cell("requests_failed", r.faults.requests_failed);
     }
     table.print(std::cout);
 
@@ -194,6 +216,8 @@ main(int argc, char **argv)
               << " s, " << a.nand_read_errors << " NAND errors, "
               << a.nvme_timeouts << " NVMe timeouts (deterministic)\n";
 
+    if (!args.get("json-dir").empty())
+        json.write(args.get("json-dir"));
     std::cout << "\nShape checks passed: zero-fault identity, graceful "
                  "single-failure degradation matching the analytic "
                  "surviving-fleet model, clear whole-fleet error, and "

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Shared machine-readable bench output.
+ *
+ * Every bench binary that tracks a perf/robustness trajectory writes a
+ * `BENCH_<name>.json` document next to its stdout tables: a flat meta
+ * object (configuration of the run) plus an array of row objects (one
+ * per swept point). Numbers are rendered with the same canonical %.9g
+ * the golden-snapshot serializer uses, so the JSON is byte-identical
+ * run-to-run for a deterministic bench and diffs localise a perf change
+ * to the row that moved. Header-only: bench binaries share no library
+ * beyond `hilos` itself.
+ */
+
+#ifndef HILOS_BENCH_BENCH_JSON_H_
+#define HILOS_BENCH_BENCH_JSON_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace hilos {
+namespace bench {
+
+/** Canonical %.9g rendering (nan/inf spelled as null, -0 folded to 0). */
+inline std::string
+jsonNumber(double v)
+{
+    if (std::isnan(v) || std::isinf(v))
+        return "null";  // JSON has no nan/inf; null keeps the document valid
+    if (v == 0.0)
+        v = 0.0;  // fold -0
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+/** Minimal string escaping (quotes, backslashes, control chars). */
+inline std::string
+jsonString(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(c));
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+/**
+ * Builder for one BENCH_<name>.json document: meta scalars first, then
+ * rows in insertion order. Keys keep insertion order (no sorting) so
+ * the document reads like the bench's own table.
+ */
+class BenchJson
+{
+  public:
+    /** @param name bench name; the file becomes BENCH_<name>.json */
+    explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+    /** Add a top-level meta field. */
+    BenchJson &
+    meta(const std::string &key, double value)
+    {
+        meta_.emplace_back(key, jsonNumber(value));
+        return *this;
+    }
+
+    BenchJson &
+    meta(const std::string &key, std::uint64_t value)
+    {
+        meta_.emplace_back(key, std::to_string(value));
+        return *this;
+    }
+
+    BenchJson &
+    meta(const std::string &key, const std::string &value)
+    {
+        meta_.emplace_back(key, jsonString(value));
+        return *this;
+    }
+
+    /** Start a new row; subsequent cell() calls fill it. */
+    BenchJson &
+    row()
+    {
+        rows_.emplace_back();
+        return *this;
+    }
+
+    BenchJson &
+    cell(const std::string &key, double value)
+    {
+        rows_.back().emplace_back(key, jsonNumber(value));
+        return *this;
+    }
+
+    BenchJson &
+    cell(const std::string &key, std::uint64_t value)
+    {
+        rows_.back().emplace_back(key, std::to_string(value));
+        return *this;
+    }
+
+    BenchJson &
+    cell(const std::string &key, const std::string &value)
+    {
+        rows_.back().emplace_back(key, jsonString(value));
+        return *this;
+    }
+
+    BenchJson &
+    cell(const std::string &key, bool value)
+    {
+        rows_.back().emplace_back(key, value ? "true" : "false");
+        return *this;
+    }
+
+    /** Render the full document. */
+    std::string
+    str() const
+    {
+        std::string out = "{\n  \"bench\": " + jsonString(name_);
+        for (const auto &kv : meta_)
+            out += ",\n  " + jsonString(kv.first) + ": " + kv.second;
+        out += ",\n  \"rows\": [";
+        for (std::size_t i = 0; i < rows_.size(); ++i) {
+            out += i ? ",\n    {" : "\n    {";
+            for (std::size_t j = 0; j < rows_[i].size(); ++j) {
+                out += j ? ", " : "";
+                out += jsonString(rows_[i][j].first) + ": " +
+                       rows_[i][j].second;
+            }
+            out += "}";
+        }
+        out += rows_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+        return out;
+    }
+
+    /**
+     * Write BENCH_<name>.json into `dir` (default: the working
+     * directory). Reports the path on stdout; a write failure is a
+     * warning, not a bench failure — the stdout tables remain the
+     * primary output.
+     */
+    void
+    write(const std::string &dir = ".") const
+    {
+        const std::string path = dir + "/BENCH_" + name_ + ".json";
+        std::ofstream out(path);
+        out << str();
+        if (out.good())
+            std::cout << "wrote " << path << "\n";
+        else
+            std::cerr << "warning: could not write " << path << "\n";
+    }
+
+  private:
+    std::string name_;
+    std::vector<std::pair<std::string, std::string>> meta_;
+    std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
+
+}  // namespace bench
+}  // namespace hilos
+
+#endif  // HILOS_BENCH_BENCH_JSON_H_

@@ -111,6 +111,44 @@ printReport(const std::string &engine_name, const RunConfig &run,
                     (unsigned long long)r.faults.nvme_retries);
         std::printf("re-dispatched slices : %llu\n",
                     (unsigned long long)r.faults.redispatched_slices);
+        if (r.faults.requests_degraded > 0 || r.faults.requests_failed > 0)
+            std::printf("requests             : %llu degraded, %llu "
+                        "failed\n",
+                        (unsigned long long)r.faults.requests_degraded,
+                        (unsigned long long)r.faults.requests_failed);
+    }
+
+    // Cluster accounting: only fleet runs carry a FleetSummary.
+    if (r.fleet.any()) {
+        printBanner(std::cout, "fleet");
+        std::printf("fleet shape          : %u hosts x %u SmartSSDs "
+                    "(%s)\n",
+                    r.fleet.hosts, r.fleet.devices_per_host,
+                    r.fleet.policy.c_str());
+        std::printf("availability         : %.4f\n", r.fleet.availability);
+        std::printf("slowdown             : %.3fx\n", r.fleet.slowdown);
+        std::printf("hosts failed         : %u (%u stalls recovered, "
+                    "%u spares activated)\n",
+                    r.fleet.hosts_failed, r.fleet.host_stalls,
+                    r.fleet.spares_activated);
+        std::printf("shard rebuild        : %s in %s\n",
+                    formatBytes(r.fleet.rebuild_bytes).c_str(),
+                    formatSeconds(r.fleet.rebuild_time).c_str());
+        std::printf("stall time           : %s\n",
+                    formatSeconds(r.fleet.stall_time).c_str());
+        std::printf("degraded fleet step  : %s\n",
+                    formatSeconds(r.fleet.degraded_step_time).c_str());
+        for (std::size_t i = 0; i < r.fleet.epochs.size(); ++i) {
+            const FleetEpoch &e = r.fleet.epochs[i];
+            std::printf("epoch %zu: t=%s serving=%u stalled=%u "
+                        "failed=%u batch=%llu step=%s tokens=%llu\n",
+                        i, formatSeconds(e.start).c_str(),
+                        e.hosts_serving, e.hosts_stalled,
+                        e.hosts_failed,
+                        (unsigned long long)e.placed_batch,
+                        formatSeconds(e.step_time).c_str(),
+                        (unsigned long long)e.tokens);
+        }
     }
 }
 
@@ -145,6 +183,13 @@ main(int argc, char **argv)
         .addOption("context", "32768", "prompt length in tokens")
         .addOption("output", "64", "generated tokens")
         .addOption("devices", "8", "SmartSSD count for HILOS (1..16)")
+        .addOption("hosts", "1",
+                   "scale HILOS out to a fleet of this many hosts "
+                   "(>1 selects the fleet engine)")
+        .addOption("policy", "spread",
+                   "fleet placement policy: spread, pack, fault-aware")
+        .addOption("spares", "1",
+                   "hosts the fault-aware policy holds in reserve")
         .addOption("alpha", "-1",
                    "X-cache ratio override (-1 = scheduler-selected)")
         .addOption("spill", "16", "delayed-writeback spill interval c")
@@ -208,10 +253,20 @@ main(int argc, char **argv)
         }
     }
 
+    const unsigned hosts = static_cast<unsigned>(args.getInt("hosts"));
+    const std::string policy_name = args.get("policy");
+    const unsigned spares = static_cast<unsigned>(args.getInt("spares"));
+    if (!args.ok()) {
+        std::cerr << "error: " << args.error() << "\n";
+        return 2;
+    }
+
     const std::string report_path = args.get("report");
     if (!report_path.empty()) {
         ReportConfig rc;
         rc.fault_plan = opts.fault_plan;
+        rc.hosts = hosts;
+        rc.fleet_policy = parsePlacementPolicy(policy_name);
         rc.jobs = static_cast<unsigned>(args.getInt("jobs"));
         if (!args.ok()) {
             std::cerr << "error: " << args.error() << "\n";
@@ -252,10 +307,26 @@ main(int argc, char **argv)
     }
 
     const std::string engine_name = args.get("engine");
-    auto engine = makeEngine(engineByName(engine_name), sys, opts);
+    std::unique_ptr<InferenceEngine> engine;
+    double price = priceFor(engine_name, sys, opts.num_devices);
+    if (hosts > 1) {
+        if (engine_name != "hilos") {
+            std::cerr << "error: --hosts > 1 requires --engine hilos\n";
+            return 2;
+        }
+        FleetConfig fc;
+        fc.hosts = hosts;
+        fc.devices_per_host = opts.num_devices;
+        fc.policy = parsePlacementPolicy(policy_name);
+        fc.spare_hosts = spares;
+        fc.fault_plan = opts.fault_plan;
+        engine = makeFleetEngine(sys, fc, opts);
+        price *= static_cast<double>(hosts);
+    } else {
+        engine = makeEngine(engineByName(engine_name), sys, opts);
+    }
     const RunResult r = engine->run(run);
-    printReport(engine->name(), run, r,
-                priceFor(engine_name, sys, opts.num_devices));
+    printReport(engine->name(), run, r, price);
 
     const std::string trace_path = args.get("trace");
     if (!trace_path.empty()) {

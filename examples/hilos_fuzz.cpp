@@ -50,6 +50,7 @@ const std::vector<OracleSpec> kOracles = {
     {"attention", &runAttentionOracle},
     {"engine", &runEngineOracle},
     {"flexgen-plan", &runFlexGenPlanOracle},
+    {"fleet", &runFleetOracle},
 };
 
 Perturbation
@@ -96,7 +97,7 @@ main(int argc, char **argv)
             oracles.push_back(o);
     if (oracles.empty()) {
         std::cerr << "error: unknown --oracle '" << which
-                  << "' (attention, engine, flexgen-plan, all)\n";
+                  << "' (attention, engine, flexgen-plan, fleet, all)\n";
         return 2;
     }
     const Perturbation perturb = perturbByName(args.get("perturb"));

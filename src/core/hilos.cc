@@ -35,6 +35,13 @@ makeEngine(EngineKind kind, const SystemConfig &sys,
     HILOS_PANIC("unknown engine kind");
 }
 
+std::unique_ptr<InferenceEngine>
+makeFleetEngine(const SystemConfig &sys, const FleetConfig &fleet,
+                const HilosOptions &host_opts)
+{
+    return std::make_unique<FleetEngine>(sys, fleet, host_opts);
+}
+
 StepPlan
 decodeStepPlanFor(EngineKind kind, const SystemConfig &sys,
                   const RunConfig &run, const HilosOptions &hilos_opts)

@@ -29,6 +29,7 @@
 #include "llm/model_config.h"
 #include "runtime/deepspeed_uvm.h"
 #include "runtime/engine.h"
+#include "runtime/fleet_engine.h"
 #include "runtime/flexgen.h"
 #include "runtime/hilos_engine.h"
 #include "runtime/step_plan.h"
@@ -53,6 +54,16 @@ enum class EngineKind {
 std::unique_ptr<InferenceEngine> makeEngine(
     EngineKind kind, const SystemConfig &sys,
     const HilosOptions &hilos_opts = HilosOptions{});
+
+/**
+ * Fleet factory: N hosts of HILOS SmartSSDs under one placement
+ * policy (see runtime/fleet_engine.h). `host_opts` configures each
+ * host's engine; its device count and fault plan are overridden by the
+ * fleet shape and the device-scope subset of `fleet.fault_plan`.
+ */
+std::unique_ptr<InferenceEngine> makeFleetEngine(
+    const SystemConfig &sys, const FleetConfig &fleet,
+    const HilosOptions &host_opts = HilosOptions{});
 
 /**
  * The decode-step plan a named engine emits for one workload (every

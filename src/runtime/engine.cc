@@ -38,6 +38,7 @@ FaultSummary::any() const
 {
     return nand_read_errors > 0 || nvme_timeouts > 0 ||
            redispatched_slices > 0 || devices_failed > 0 ||
+           requests_degraded > 0 || requests_failed > 0 ||
            retry_time > 0.0 || rebuild_time > 0.0 || slowdown > 1.0;
 }
 

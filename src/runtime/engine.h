@@ -54,6 +54,15 @@ struct FaultSummary {
     std::uint64_t nvme_timeouts = 0;
     std::uint64_t nvme_retries = 0;
     std::uint64_t redispatched_slices = 0;
+    /**
+     * Requests whose tokens were delayed by recovery (shard rebuild,
+     * host-stall retry) but still completed. Disjoint from
+     * requests_failed, so availability is derivable rather than
+     * inferred: degraded requests finished late, failed ones never did.
+     */
+    std::uint64_t requests_degraded = 0;
+    /** Requests dropped outright (no surviving capacity to serve them). */
+    std::uint64_t requests_failed = 0;
     unsigned devices_failed = 0;
     unsigned devices_surviving = 0;  ///< at end of run (0 = unset)
     Seconds retry_time = 0;          ///< time lost to retry recovery
@@ -67,6 +76,47 @@ struct FaultSummary {
 
     /** True when any fault perturbed the run. */
     bool any() const;
+};
+
+/**
+ * One constant-condition interval of a fleet run: the placement and
+ * step time in force between two host-scope fault events.
+ */
+struct FleetEpoch {
+    Seconds start = 0;            ///< absolute run time the epoch begins
+    unsigned hosts_serving = 0;   ///< hosts with placed load
+    unsigned hosts_stalled = 0;   ///< hosts paused in a retry window
+    unsigned hosts_failed = 0;    ///< cumulative failed hosts so far
+    std::uint64_t placed_batch = 0;  ///< requests actively decoding
+    Seconds step_time = 0;        ///< fleet decode step during the epoch
+    std::uint64_t tokens = 0;     ///< decode tokens generated in the epoch
+};
+
+/**
+ * Cluster-granularity accounting of one FleetEngine run: per-epoch
+ * placement, rebuild traffic, and availability. `hosts == 0` (any() ==
+ * false) for single-host runs, so non-fleet results are unchanged.
+ */
+struct FleetSummary {
+    unsigned hosts = 0;             ///< fleet size (0 = not a fleet run)
+    unsigned devices_per_host = 0;  ///< SmartSSDs per host
+    std::string policy;             ///< placement policy name
+    unsigned hosts_failed = 0;      ///< permanently lost (incl. escalated)
+    unsigned host_stalls = 0;       ///< transient stalls that recovered
+    unsigned spares_activated = 0;  ///< spare hosts promoted to serving
+    Bytes rebuild_bytes = 0;        ///< KV/X shards re-homed after losses
+    Seconds rebuild_time = 0;       ///< decode paused for shard rebuild
+    Seconds stall_time = 0;         ///< retry-ladder time lost to stalls
+    /** Token-weighted fraction of the host fleet that stayed serving. */
+    double availability = 1.0;
+    /** Fleet decode step on the final surviving placement. */
+    Seconds degraded_step_time = 0;
+    /** Mean fleet decode-step slowdown vs the healthy-fleet prediction. */
+    double slowdown = 1.0;
+    std::vector<FleetEpoch> epochs;
+
+    /** True when the result came from a fleet run. */
+    bool any() const { return hosts > 0; }
 };
 
 /** Named per-decoding-step stage times (summed across layers). */
@@ -115,6 +165,7 @@ struct RunResult {
     EnergyBreakdown energy;    ///< whole run
     Watts fpga_power_watts = 0;   ///< per-device, HILOS only
     FaultSummary faults;       ///< availability/retry accounting
+    FleetSummary fleet;        ///< cluster accounting, FleetEngine only
 };
 
 /**

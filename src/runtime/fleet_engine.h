@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Fleet-scale NSP scale-out: N hosts of M SmartSSDs each, data-parallel
+ * over the request batch, coordinated over an inter-host interconnect
+ * (the vLLM baseline's InfiniBand model generalized to N nodes). The
+ * FleetEngine executes a FleetScheduler placement and reuses the
+ * single-host epoch machinery at cluster granularity: a host loss
+ * triggers deterministic re-placement and shard rebuild, a host stall
+ * runs the retry/backoff ladder, and throughput degrades gracefully
+ * instead of erroring.
+ */
+
+#ifndef HILOS_RUNTIME_FLEET_ENGINE_H_
+#define HILOS_RUNTIME_FLEET_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "runtime/engine.h"
+#include "runtime/fleet_scheduler.h"
+#include "runtime/hilos_engine.h"
+#include "runtime/system_config.h"
+#include "sim/fault.h"
+
+namespace hilos {
+
+/** Cluster shape of a SmartSSD fleet. */
+struct FleetConfig {
+    unsigned hosts = 2;
+    unsigned devices_per_host = 8;  ///< SmartSSDs per host (1..16)
+    PlacementPolicy policy = PlacementPolicy::Spread;
+    /** Hosts FaultAware holds in reserve (ignored by other policies). */
+    unsigned spare_hosts = 1;
+    /** Inter-host interconnect (InfiniBand EDR, as the vLLM baseline). */
+    Bandwidth inter_host_bw = 12.5 * GB;
+    /** One-way inter-host message latency (per-step coordination). */
+    Seconds inter_host_latency = usec(15);
+    /**
+     * Fault schedule for the whole fleet: host-scope events drive the
+     * cluster epochs here; device-scope events fan out to every host's
+     * own injector. Empty = the zero-fault fast path.
+     */
+    FaultPlan fault_plan;
+
+    /**
+     * Shape and plan checks, one named diagnostic per violation (empty
+     * = valid). FleetEngine construction is gated on it.
+     */
+    std::vector<std::string> validate() const;
+};
+
+/**
+ * Data-parallel fleet of single-host HILOS engines under one scheduler.
+ *
+ * A fleet decode step is the slowest serving host's step plus the
+ * per-step coordination exchange; with one host and no faults the
+ * result is bit-identical to the underlying HilosEngine. Host-scope
+ * fault events partition the run into epochs; every boundary re-places
+ * the batch deterministically, charges shard-rebuild traffic over the
+ * (possibly degraded) inter-host link, and the run completes with
+ * availability < 1 rather than failing, as long as any host survives.
+ */
+class FleetEngine : public InferenceEngine
+{
+  public:
+    FleetEngine(const SystemConfig &sys, const FleetConfig &fleet,
+                const HilosOptions &host_opts = HilosOptions{});
+
+    std::string name() const override;
+    RunResult run(const RunConfig &cfg) const override;
+
+    /**
+     * Event-sim backend of the fleet decode step: each serving host's
+     * step replayed at transfer granularity (HilosEventSimulator) with
+     * fleet conditions sampled at `now`, plus the same coordination
+     * term as the analytic model. Agreement between the two backends
+     * is an oracle invariant.
+     */
+    Seconds simulatedDecodeStep(const RunConfig &cfg,
+                                Seconds now = 0.0) const;
+
+    const FleetConfig &fleet() const { return fleet_; }
+    const FleetScheduler &scheduler() const { return sched_; }
+    /** The per-host engine options after fleet fan-out. */
+    const HilosOptions &hostOptions() const { return host_opts_; }
+
+  private:
+    /** Per-step token/coordination exchange (0 for a one-host fleet). */
+    Seconds coordinationTime(std::uint64_t placed_batch,
+                             double derate) const;
+
+    /** Serving mask at `now`: alive and not inside a stall window. */
+    std::vector<bool> servingMask(const HostFaultView &view,
+                                  Seconds now) const;
+
+    SystemConfig sys_;
+    FleetConfig fleet_;
+    HilosOptions host_opts_;
+    FleetScheduler sched_;
+    HilosEngine host_engine_;
+};
+
+}  // namespace hilos
+
+#endif  // HILOS_RUNTIME_FLEET_ENGINE_H_

@@ -1,0 +1,142 @@
+#include "runtime/fleet_scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "runtime/cost_model.h"
+
+namespace hilos {
+
+const char *
+placementPolicyName(PlacementPolicy policy)
+{
+    switch (policy) {
+      case PlacementPolicy::Spread:
+        return "spread";
+      case PlacementPolicy::Pack:
+        return "pack";
+      case PlacementPolicy::FaultAware:
+        return "fault-aware";
+    }
+    return "unknown";
+}
+
+PlacementPolicy
+parsePlacementPolicy(const std::string &name)
+{
+    if (name == "spread")
+        return PlacementPolicy::Spread;
+    if (name == "pack")
+        return PlacementPolicy::Pack;
+    if (name == "fault-aware")
+        return PlacementPolicy::FaultAware;
+    HILOS_FATAL("unknown placement policy '", name,
+                "' (spread, pack, fault-aware)");
+}
+
+std::uint64_t
+FleetPlacement::maxHostBatch() const
+{
+    std::uint64_t max_batch = 0;
+    for (const HostAssignment &a : assignments)
+        max_batch = std::max(max_batch, a.batch);
+    return max_batch;
+}
+
+FleetScheduler::FleetScheduler(const SystemConfig &sys,
+                               const HilosOptions &host_opts,
+                               PlacementPolicy policy,
+                               unsigned spare_hosts)
+    : sys_(sys), host_opts_(host_opts), policy_(policy),
+      spare_hosts_(spare_hosts)
+{
+}
+
+std::uint64_t
+FleetScheduler::hostCapacity(const RunConfig &cfg) const
+{
+    const ModelConfig &m = cfg.model;
+    std::uint64_t kept_seq = cfg.context_len + cfg.output_len;
+    if (host_opts_.attention_window > 0)
+        kept_seq = std::min(kept_seq, host_opts_.attention_window);
+    const Bytes fleet_capacity =
+        static_cast<double>(host_opts_.num_devices) *
+        static_cast<double>(sys_.smartssd.nand.capacity);
+    const WeightHome home = chooseWeightHome(m, sys_.dram.capacity);
+    const Bytes resident = home == WeightHome::Storage
+                               ? static_cast<double>(m.weightBytesTotal())
+                               : 0.0;
+    return maxFittingBatch(
+        m, std::numeric_limits<std::uint64_t>::max() / 2, kept_seq,
+        fleet_capacity, resident);
+}
+
+FleetPlacement
+FleetScheduler::place(const RunConfig &cfg, std::uint64_t batch,
+                      const std::vector<bool> &alive) const
+{
+    FleetPlacement out;
+    const std::uint64_t capacity = hostCapacity(cfg);
+
+    std::vector<unsigned> alive_hosts;
+    for (unsigned h = 0; h < alive.size(); h++) {
+        if (alive[h])
+            alive_hosts.push_back(h);
+    }
+    if (alive_hosts.empty() || capacity == 0) {
+        out.dropped_batch = batch;
+        return out;
+    }
+
+    // FaultAware holds spare capacity back so a later host loss can
+    // promote a warm spare instead of re-packing the survivors; it
+    // never reserves the whole alive set.
+    unsigned spares = 0;
+    if (policy_ == PlacementPolicy::FaultAware) {
+        spares = std::min(spare_hosts_,
+                          static_cast<unsigned>(alive_hosts.size()) - 1);
+    }
+    const auto servers =
+        static_cast<unsigned>(alive_hosts.size()) - spares;
+
+    std::vector<std::uint64_t> shares(alive_hosts.size(), 0);
+    std::uint64_t placed = 0;
+    if (policy_ == PlacementPolicy::Pack) {
+        // Fill hosts in index order to capacity; later hosts stay idle
+        // (implicit spares, but not counted as reserved).
+        std::uint64_t left = batch;
+        for (std::size_t i = 0; i < alive_hosts.size() && left > 0; i++) {
+            shares[i] = std::min(left, capacity);
+            left -= shares[i];
+        }
+        placed = batch - left;
+    } else {
+        // Spread / FaultAware: even split over the serving hosts, the
+        // first `batch % servers` hosts taking one extra request.
+        const std::uint64_t base = batch / servers;
+        const std::uint64_t extra = batch % servers;
+        for (unsigned i = 0; i < servers; i++) {
+            const std::uint64_t want = base + (i < extra ? 1 : 0);
+            shares[i] = std::min(want, capacity);
+            placed += shares[i];
+        }
+    }
+
+    out.placed_batch = placed;
+    out.dropped_batch = batch - placed;
+    for (std::size_t i = 0; i < alive_hosts.size(); i++) {
+        HostAssignment a;
+        a.host = alive_hosts[i];
+        a.batch = shares[i];
+        a.spare = policy_ == PlacementPolicy::FaultAware && i >= servers;
+        if (a.batch > 0)
+            out.serving_hosts++;
+        if (a.spare)
+            out.spare_hosts++;
+        out.assignments.push_back(a);
+    }
+    return out;
+}
+
+}  // namespace hilos

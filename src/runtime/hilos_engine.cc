@@ -490,6 +490,7 @@ HilosEngine::runWithFaults(const RunConfig &cfg) const
         res.faults.devices_failed = N;
         res.faults.devices_surviving = 0;
         res.faults.availability = 0.0;
+        res.faults.requests_failed = cfg.batch;
         return res;
     }
 
@@ -559,6 +560,7 @@ HilosEngine::runWithFaults(const RunConfig &cfg) const
             fs.devices_surviving = 0;
             fs.availability =
                 weighted_devices / (out_tokens * static_cast<double>(N));
+            fs.requests_failed = res.effective_batch;
             res.faults = fs;
             return res;
         }
@@ -606,6 +608,7 @@ HilosEngine::runWithFaults(const RunConfig &cfg) const
             fs.devices_surviving = c.devices;
             fs.availability =
                 weighted_devices / (out_tokens * static_cast<double>(N));
+            fs.requests_failed = res.effective_batch;
             res.faults = fs;
             return res;
         }
@@ -672,6 +675,10 @@ HilosEngine::runWithFaults(const RunConfig &cfg) const
     fs.nvme_retries = fs.nvme_timeouts;
     fs.redispatched_slices =
         static_cast<std::uint64_t>(std::llround(exp_redispatch));
+    // Every in-flight request that a rebuild or retry delayed still
+    // completed — degraded, never failed, on this (feasible) path.
+    if (fs.rebuild_time > 0.0 || fs.retry_time > 0.0)
+        fs.requests_degraded = res.effective_batch;
     res.faults = fs;
 
     // Whole-run energy from the token-weighted busy profile; devices

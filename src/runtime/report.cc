@@ -95,6 +95,37 @@ evaluateCell(const SystemConfig &sys, const ReportConfig &cfg,
             }
         }
     }
+
+    // Fleet entries: the same workload scaled out to `hosts` nodes.
+    // Host-scope fault events only bite here; single-host entries
+    // above see the device-scope subset.
+    if (cfg.hosts > 1) {
+        for (unsigned n : cfg.device_counts) {
+            FleetConfig fc;
+            fc.hosts = cfg.hosts;
+            fc.devices_per_host = n;
+            fc.policy = cfg.fleet_policy;
+            fc.fault_plan = cfg.fault_plan;
+            const FleetEngine fe(sys, fc);
+            const RunResult r = fe.run(run);
+            ReportEntry e = makeEntry(
+                model_name, context, fe.name(), r,
+                static_cast<double>(cfg.hosts) *
+                    systemPriceUsd(sys, StorageKind::SmartSsds, n),
+                base_tput);
+            if (!cfg.fault_plan.empty()) {
+                e.faulted = true;
+                e.availability = r.fleet.any() ? r.fleet.availability
+                                               : r.faults.availability;
+                e.slowdown = r.fleet.any() ? r.fleet.slowdown
+                                           : r.faults.slowdown;
+                e.devices_failed =
+                    r.faults.devices_failed + r.fleet.hosts_failed * n;
+                e.retry_time = r.faults.retry_time;
+            }
+            cell.entries.push_back(e);
+        }
+    }
     return cell;
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "runtime/engine.h"
+#include "runtime/fleet_engine.h"
 #include "runtime/hilos_engine.h"
 #include "runtime/system_config.h"
 
@@ -34,6 +35,14 @@ struct ReportConfig {
      * no SmartSSD fleet to fault). Empty = the fault-free grid.
      */
     FaultPlan fault_plan;
+    /**
+     * Hosts for additional Fleet(hosts x devices) entries per cell;
+     * 1 keeps the single-host grid unchanged. The fault plan's
+     * host-scope events only take effect on these entries.
+     */
+    unsigned hosts = 1;
+    /** Placement policy of the fleet entries. */
+    PlacementPolicy fleet_policy = PlacementPolicy::Spread;
     /**
      * Worker threads to fan the (model, context) grid cells across
      * (0 = hardware concurrency). The report is bit-identical for

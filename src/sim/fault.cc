@@ -9,6 +9,36 @@
 
 namespace hilos {
 
+bool
+isHostScope(FaultKind kind)
+{
+    return kind == FaultKind::HostFail ||
+           kind == FaultKind::HostLinkDegrade ||
+           kind == FaultKind::HostStall;
+}
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::NandReadError:
+        return "nand-read-error";
+      case FaultKind::NvmeTimeout:
+        return "nvme-timeout";
+      case FaultKind::LinkDegrade:
+        return "link-degrade";
+      case FaultKind::DeviceFail:
+        return "device-fail";
+      case FaultKind::HostFail:
+        return "host-fail";
+      case FaultKind::HostLinkDegrade:
+        return "host-link-degrade";
+      case FaultKind::HostStall:
+        return "host-stall";
+    }
+    return "unknown";
+}
+
 Seconds
 RetryPolicy::backoffDelay(unsigned attempt) const
 {
@@ -110,6 +140,120 @@ FaultPlan::addFleetFailure(Seconds at)
     return addDeviceFailure(at, kAllDevices);
 }
 
+FaultPlan &
+FaultPlan::addHostFailure(Seconds at, unsigned host)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::HostFail;
+    ev.device = host;
+    ev.at = at;
+    events.push_back(ev);
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::addHostLinkDegrade(Seconds at, double bw_multiplier)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::HostLinkDegrade;
+    ev.device = kAllDevices;
+    ev.at = at;
+    ev.bw_multiplier = bw_multiplier;
+    events.push_back(ev);
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::addHostStall(Seconds at, Seconds duration, unsigned host)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::HostStall;
+    ev.device = host;
+    ev.at = at;
+    ev.duration = duration;
+    events.push_back(ev);
+    return *this;
+}
+
+std::vector<std::string>
+FaultPlan::validate() const
+{
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const FaultEvent &ev = events[i];
+        const std::string ref = "event[" + std::to_string(i) + "] " +
+                                faultKindName(ev.kind);
+        const bool probabilistic = ev.kind == FaultKind::NandReadError ||
+                                   ev.kind == FaultKind::NvmeTimeout;
+        const bool degrade = ev.kind == FaultKind::LinkDegrade ||
+                             ev.kind == FaultKind::HostLinkDegrade;
+        if (probabilistic &&
+            !(ev.probability >= 0.0 && ev.probability <= 1.0)) {
+            out.push_back(ref + ": probability " +
+                          std::to_string(ev.probability) +
+                          " is outside [0, 1]");
+        }
+        if (degrade &&
+            !(ev.bw_multiplier > 0.0 && ev.bw_multiplier <= 1.0)) {
+            out.push_back(ref + ": bandwidth multiplier " +
+                          std::to_string(ev.bw_multiplier) +
+                          " is outside (0, 1]");
+        }
+        if (!(std::isfinite(ev.at) && ev.at >= 0.0)) {
+            out.push_back(ref + ": activation time " +
+                          std::to_string(ev.at) +
+                          " is not finite and non-negative");
+        }
+        if (ev.kind == FaultKind::HostStall &&
+            !(std::isfinite(ev.duration) && ev.duration >= 0.0)) {
+            out.push_back(ref + ": stall duration " +
+                          std::to_string(ev.duration) +
+                          " is not finite and non-negative");
+        }
+        if (ev.device != kAllDevices && ev.device != kUplinkTarget &&
+            ev.device >= kMaxRealTarget) {
+            out.push_back(ref + ": target " + std::to_string(ev.device) +
+                          " is inside the reserved sentinel gap [" +
+                          std::to_string(kMaxRealTarget) + ", " +
+                          std::to_string(kUplinkTarget) + ")");
+        }
+        if (isHostScope(ev.kind) && ev.device == kUplinkTarget) {
+            out.push_back(ref + ": the chassis-uplink sentinel is not a "
+                                "valid host target");
+        }
+        if (ev.kind == FaultKind::HostLinkDegrade &&
+            ev.device != kAllDevices) {
+            out.push_back(ref + ": the inter-host interconnect is "
+                                "shared; a per-host target " +
+                          std::to_string(ev.device) + " is meaningless");
+        }
+    }
+    return out;
+}
+
+FaultPlan
+FaultPlan::deviceScope() const
+{
+    FaultPlan out;
+    out.seed = seed;
+    out.retry = retry;
+    for (const FaultEvent &ev : events) {
+        if (!isHostScope(ev.kind))
+            out.events.push_back(ev);
+    }
+    return out;
+}
+
+bool
+FaultPlan::hasHostEvents() const
+{
+    for (const FaultEvent &ev : events) {
+        if (isHostScope(ev.kind))
+            return true;
+    }
+    return false;
+}
+
 namespace {
 
 std::vector<std::string>
@@ -199,10 +343,18 @@ parseFaultPlan(const std::string &spec)
             plan.addUplinkDegrade(at, parseDouble(value, clause));
         } else if (key == "fail") {
             plan.addDeviceFailure(at, parseDevice(value, clause));
+        } else if (key == "host-fail") {
+            plan.addHostFailure(at, parseDevice(value, clause));
+        } else if (key == "host-degrade") {
+            plan.addHostLinkDegrade(at, parseDouble(value, clause));
+        } else if (key == "host-stall") {
+            const auto [v, host] = splitDeviceSuffix(value, clause);
+            plan.addHostStall(at, parseDouble(v, clause), host);
         } else {
             HILOS_FATAL("fault plan: unknown clause '", clause,
                         "' (seed, nand-err, nvme-timeout, degrade, "
-                        "uplink, fail)");
+                        "uplink, fail, host-fail, host-degrade, "
+                        "host-stall)");
         }
     }
     return plan;
@@ -225,7 +377,14 @@ FaultInjector::FaultInjector(const FaultPlan &plan, unsigned num_devices)
       fail_at_(num_devices, std::numeric_limits<Seconds>::infinity())
 {
     HILOS_ASSERT(num_devices >= 1, "fault injector needs >= 1 device");
+    const std::vector<std::string> diags = plan.validate();
+    if (!diags.empty())
+        HILOS_FATAL("invalid fault plan: ", diags.front());
     for (const FaultEvent &ev : plan.events) {
+        // Host-scope events are HostFaultView's business; a device
+        // injector sees only the device-scope subset.
+        if (isHostScope(ev.kind))
+            continue;
         const bool fleet_wide = ev.device == kAllDevices;
         HILOS_ASSERT(fleet_wide || ev.device == kUplinkTarget ||
                          ev.device < num_devices,
@@ -233,8 +392,6 @@ FaultInjector::FaultInjector(const FaultPlan &plan, unsigned num_devices)
                      " but the fleet has ", num_devices);
         switch (ev.kind) {
           case FaultKind::NandReadError:
-            HILOS_ASSERT(ev.probability >= 0.0 && ev.probability <= 1.0,
-                         "invalid NAND error probability");
             for (unsigned d = 0; d < num_devices; d++) {
                 if (fleet_wide || ev.device == d) {
                     nand_prob_[d] = std::min(
@@ -243,8 +400,6 @@ FaultInjector::FaultInjector(const FaultPlan &plan, unsigned num_devices)
             }
             break;
           case FaultKind::NvmeTimeout:
-            HILOS_ASSERT(ev.probability >= 0.0 && ev.probability <= 1.0,
-                         "invalid NVMe timeout probability");
             for (unsigned d = 0; d < num_devices; d++) {
                 if (fleet_wide || ev.device == d) {
                     nvme_prob_[d] = std::min(
@@ -253,17 +408,15 @@ FaultInjector::FaultInjector(const FaultPlan &plan, unsigned num_devices)
             }
             break;
           case FaultKind::LinkDegrade:
-            HILOS_ASSERT(ev.bw_multiplier > 0.0 &&
-                             ev.bw_multiplier <= 1.0,
-                         "degradation multiplier must be in (0, 1]");
             degrades_.push_back(ev);
             break;
           case FaultKind::DeviceFail:
-            HILOS_ASSERT(ev.at >= 0.0, "failure time must be >= 0");
             for (unsigned d = 0; d < num_devices; d++) {
                 if (fleet_wide || ev.device == d)
                     fail_at_[d] = std::min(fail_at_[d], ev.at);
             }
+            break;
+          default:
             break;
         }
     }
@@ -413,6 +566,163 @@ FaultInjector::eventTimes() const
     std::sort(times.begin(), times.end());
     times.erase(std::unique(times.begin(), times.end()), times.end());
     return times;
+}
+
+HostFaultView::HostFaultView() = default;
+
+HostFaultView::HostFaultView(const FaultPlan &plan, unsigned num_hosts)
+    : num_hosts_(num_hosts),
+      fail_at_(num_hosts, std::numeric_limits<Seconds>::infinity())
+{
+    HILOS_ASSERT(num_hosts >= 1, "host fault view needs >= 1 host");
+    const std::vector<std::string> diags = plan.validate();
+    if (!diags.empty())
+        HILOS_FATAL("invalid fault plan: ", diags.front());
+    for (const FaultEvent &ev : plan.events) {
+        if (!isHostScope(ev.kind))
+            continue;
+        active_ = true;
+        const bool fleet_wide = ev.device == kAllDevices;
+        HILOS_ASSERT(fleet_wide || ev.device < num_hosts,
+                     "host event targets host ", ev.device,
+                     " but the fleet has ", num_hosts, " hosts");
+        switch (ev.kind) {
+          case FaultKind::HostFail:
+            for (unsigned h = 0; h < num_hosts; h++) {
+                if (fleet_wide || ev.device == h)
+                    fail_at_[h] = std::min(fail_at_[h], ev.at);
+            }
+            break;
+          case FaultKind::HostLinkDegrade:
+            degrades_.push_back(ev);
+            break;
+          case FaultKind::HostStall:
+            if (ev.duration <= 0.0)
+                break;  // a zero-length stall is unobservable
+            for (unsigned h = 0; h < num_hosts; h++) {
+                if (!fleet_wide && ev.device != h)
+                    continue;
+                StallWindow w;
+                w.host = h;
+                w.begin = ev.at;
+                const Seconds budget = ladderBudget(plan.retry);
+                w.escalated = ev.duration > budget;
+                w.end = ev.at + (w.escalated
+                                     ? budget
+                                     : probeRecovery(plan.retry,
+                                                     ev.duration));
+                stalls_.push_back(w);
+                if (w.escalated)
+                    fail_at_[h] = std::min(fail_at_[h], w.end);
+            }
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+bool
+HostFaultView::hostFailed(unsigned host, Seconds now) const
+{
+    return active_ && now >= fail_at_.at(host);
+}
+
+bool
+HostFaultView::hostStalled(unsigned host, Seconds now) const
+{
+    if (!active_ || hostFailed(host, now))
+        return false;
+    for (const StallWindow &w : stalls_) {
+        if (w.host == host && now >= w.begin && now < w.end)
+            return true;
+    }
+    return false;
+}
+
+Seconds
+HostFaultView::hostFailTime(unsigned host) const
+{
+    if (!active_)
+        return std::numeric_limits<Seconds>::infinity();
+    return fail_at_.at(host);
+}
+
+unsigned
+HostFaultView::servingHosts(Seconds now) const
+{
+    if (!active_)
+        return num_hosts_;
+    unsigned serving = 0;
+    for (unsigned h = 0; h < num_hosts_; h++) {
+        if (!hostFailed(h, now) && !hostStalled(h, now))
+            serving++;
+    }
+    return serving;
+}
+
+unsigned
+HostFaultView::stalledHosts(Seconds now) const
+{
+    if (!active_)
+        return 0;
+    unsigned stalled = 0;
+    for (unsigned h = 0; h < num_hosts_; h++) {
+        if (hostStalled(h, now))
+            stalled++;
+    }
+    return stalled;
+}
+
+double
+HostFaultView::interHostDerate(Seconds now) const
+{
+    double derate = 1.0;
+    for (const FaultEvent &ev : degrades_) {
+        if (now >= ev.at)
+            derate *= ev.bw_multiplier;
+    }
+    return derate;
+}
+
+std::vector<Seconds>
+HostFaultView::eventTimes() const
+{
+    std::vector<Seconds> times;
+    for (Seconds t : fail_at_) {
+        if (std::isfinite(t))
+            times.push_back(t);
+    }
+    for (const StallWindow &w : stalls_) {
+        times.push_back(w.begin);
+        times.push_back(w.end);
+    }
+    for (const FaultEvent &ev : degrades_)
+        times.push_back(ev.at);
+    std::sort(times.begin(), times.end());
+    times.erase(std::unique(times.begin(), times.end()), times.end());
+    return times;
+}
+
+Seconds
+HostFaultView::ladderBudget(const RetryPolicy &retry)
+{
+    Seconds budget = 0.0;
+    for (unsigned k = 1; k < retry.nvme_max_attempts; k++)
+        budget += retry.nvme_timeout + retry.backoffDelay(k);
+    return budget;
+}
+
+Seconds
+HostFaultView::probeRecovery(const RetryPolicy &retry, Seconds duration)
+{
+    Seconds probe = 0.0;
+    for (unsigned k = 1; k < retry.nvme_max_attempts; k++) {
+        probe += retry.nvme_timeout + retry.backoffDelay(k);
+        if (probe >= duration)
+            return probe;
+    }
+    return probe;  // ladder exhausted: caller escalates instead
 }
 
 }  // namespace hilos

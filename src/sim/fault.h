@@ -39,26 +39,47 @@ namespace hilos {
 constexpr unsigned kAllDevices = std::numeric_limits<unsigned>::max();
 /** Event target sentinel: applies to the shared chassis uplink. */
 constexpr unsigned kUplinkTarget = kAllDevices - 1;
+/**
+ * Exclusive upper bound on real device/host indices. Targets in
+ * [kMaxRealTarget, kUplinkTarget) are the reserved gap between real
+ * indices and the sentinels; FaultPlan::validate() rejects them so a
+ * typo can never silently alias a future sentinel.
+ */
+constexpr unsigned kMaxRealTarget = 1u << 16;
 
 /** The fault classes the simulator can inject. */
 enum class FaultKind {
-    NandReadError,  ///< probabilistic, per NAND read: ECC retry ladder
-    NvmeTimeout,    ///< probabilistic, per command: timeout + backoff
-    LinkDegrade,    ///< timed: bandwidth multiplier from `at` onward
-    DeviceFail,     ///< timed: device permanently fails at `at`
+    NandReadError,    ///< probabilistic, per NAND read: ECC retry ladder
+    NvmeTimeout,      ///< probabilistic, per command: timeout + backoff
+    LinkDegrade,      ///< timed: bandwidth multiplier from `at` onward
+    DeviceFail,       ///< timed: device permanently fails at `at`
+    HostFail,         ///< timed: whole host permanently lost at `at`
+    HostLinkDegrade,  ///< timed: inter-host interconnect multiplier
+    HostStall,        ///< timed: host pauses for `duration`, retried
 };
+
+/** True for cluster-granularity kinds consumed by HostFaultView. */
+bool isHostScope(FaultKind kind);
+
+/** Stable lower-case name of a fault kind (diagnostics, serialization). */
+const char *faultKindName(FaultKind kind);
 
 /** One entry of a FaultPlan. */
 struct FaultEvent {
     FaultKind kind = FaultKind::NandReadError;
-    /** Target device index, kAllDevices, or kUplinkTarget. */
+    /**
+     * Target device index, kAllDevices, or kUplinkTarget. Host-scope
+     * kinds reuse this field as the host index (or kAllDevices).
+     */
     unsigned device = kAllDevices;
     /** Activation time for timed events (absolute run seconds). */
     Seconds at = 0.0;
     /** Per-operation probability for probabilistic events. */
     double probability = 0.0;
-    /** Bandwidth multiplier in (0, 1] for LinkDegrade. */
+    /** Bandwidth multiplier in (0, 1] for *LinkDegrade. */
     double bw_multiplier = 1.0;
+    /** Unresponsive interval for HostStall (escalates past the ladder). */
+    Seconds duration = 0.0;
 };
 
 /**
@@ -104,6 +125,27 @@ struct FaultPlan {
     /** True when the plan injects nothing (the zero-fault fast path). */
     bool empty() const { return events.empty(); }
 
+    /**
+     * Check every event against the representable ranges: probability
+     * in [0, 1], *LinkDegrade multiplier in (0, 1], finite non-negative
+     * `at` and `duration`, and no target inside the reserved gap
+     * between real indices and the kUplinkTarget/kAllDevices sentinels.
+     * Returns one named diagnostic per violation (empty = valid), in
+     * the style of StepPlan::validate(); FaultInjector and
+     * HostFaultView construction are gated on it.
+     */
+    std::vector<std::string> validate() const;
+
+    /**
+     * The device-scope subset of this plan (same seed and retry
+     * policy, host-scope events dropped): what each host's own
+     * injector sees when a fleet run fans the plan out per host.
+     */
+    FaultPlan deviceScope() const;
+
+    /** True when the plan contains at least one host-scope event. */
+    bool hasHostEvents() const;
+
     FaultPlan &addNandReadError(double probability,
                                 unsigned device = kAllDevices);
     FaultPlan &addNvmeTimeout(double probability,
@@ -114,6 +156,12 @@ struct FaultPlan {
     FaultPlan &addDeviceFailure(Seconds at, unsigned device);
     /** Fail the whole fleet at `at` (degenerate-plan error handling). */
     FaultPlan &addFleetFailure(Seconds at);
+    FaultPlan &addHostFailure(Seconds at, unsigned host);
+    /** Degrade the inter-host interconnect from `at` onward. */
+    FaultPlan &addHostLinkDegrade(Seconds at, double bw_multiplier);
+    /** Stall `host` for `duration` seconds starting at `at`. */
+    FaultPlan &addHostStall(Seconds at, Seconds duration,
+                            unsigned host = kAllDevices);
 };
 
 /**
@@ -127,6 +175,9 @@ struct FaultPlan {
  *   degrade@<t>=<m>[:dev] P2P bandwidth multiplier m from t seconds
  *   uplink@<t>=<m>        chassis-uplink multiplier from t seconds
  *   fail@<t>=<dev|all>    device (or fleet) failure at t seconds
+ *   host-fail@<t>=<h|all> host h (or every host) lost at t seconds
+ *   host-degrade@<t>=<m>  inter-host interconnect multiplier from t
+ *   host-stall@<t>=<d>[:h] host h unresponsive for d seconds from t
  * Raises a fatal error on malformed input.
  */
 FaultPlan parseFaultPlan(const std::string &spec);
@@ -218,6 +269,76 @@ class FaultInjector
     std::vector<FaultEvent> degrades_;
     std::vector<std::mt19937_64> rng_;
     FaultStats stats_;
+};
+
+/**
+ * Cluster-granularity companion to FaultInjector: evaluates the
+ * host-scope events of a FaultPlan against a fleet of `num_hosts`
+ * hosts. Pure function of (plan, num_hosts) — no RNG state — so the
+ * analytic and event-sim fleet backends share one view.
+ *
+ * A HostStall mirrors the NVMe-timeout ladder at host granularity: the
+ * scheduler probes the silent host at the ladder's timeout+backoff
+ * boundaries and either observes recovery at the first probe at or
+ * after the stall ends, or exhausts the ladder and escalates the stall
+ * to a permanent HostFail at `begin + ladderBudget`.
+ */
+class HostFaultView
+{
+  public:
+    /** One evaluated stall interval of a host. */
+    struct StallWindow {
+        unsigned host = 0;
+        Seconds begin = 0.0;
+        /** Recovery-probe time, or escalation time when escalated. */
+        Seconds end = 0.0;
+        bool escalated = false;  ///< stall outlived the retry ladder
+    };
+
+    /** Null view: every host healthy forever. */
+    HostFaultView();
+
+    HostFaultView(const FaultPlan &plan, unsigned num_hosts);
+
+    /** True when the plan contains at least one host-scope event. */
+    bool active() const { return active_; }
+    unsigned numHosts() const { return num_hosts_; }
+
+    /** Whether `host` is permanently lost by time `now`. */
+    bool hostFailed(unsigned host, Seconds now) const;
+    /** Whether `host` is inside a stall window at time `now`. */
+    bool hostStalled(unsigned host, Seconds now) const;
+    /** Failure time of `host` (infinity when it never fails). */
+    Seconds hostFailTime(unsigned host) const;
+    /** Hosts neither failed nor stalled at time `now`. */
+    unsigned servingHosts(Seconds now) const;
+    /** Hosts stalled (but not failed) at time `now`. */
+    unsigned stalledHosts(Seconds now) const;
+    /** Product of active inter-host degradations at time `now`. */
+    double interHostDerate(Seconds now) const;
+    /** Sorted finite times at which the fleet state changes. */
+    std::vector<Seconds> eventTimes() const;
+    const std::vector<StallWindow> &stalls() const { return stalls_; }
+
+    /**
+     * Total time the retry ladder spends before declaring a silent
+     * host dead: sum of timeout + backoff over every allowed retry.
+     */
+    static Seconds ladderBudget(const RetryPolicy &retry);
+    /**
+     * Time to observe recovery of a stall of `duration`: the first
+     * probe boundary at or after the stall ends (== ladderBudget when
+     * the ladder would be exhausted first).
+     */
+    static Seconds probeRecovery(const RetryPolicy &retry,
+                                 Seconds duration);
+
+  private:
+    bool active_ = false;
+    unsigned num_hosts_ = 0;
+    std::vector<Seconds> fail_at_;
+    std::vector<StallWindow> stalls_;
+    std::vector<FaultEvent> degrades_;
 };
 
 }  // namespace hilos

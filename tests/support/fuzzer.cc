@@ -175,5 +175,109 @@ ConfigFuzzer::engineCase(bool allow_faults)
     return c;
 }
 
+std::string
+FuzzFleetCase::describe() const
+{
+    std::ostringstream os;
+    os << "model=" << run.model.name << " batch=" << run.batch
+       << " context=" << run.context_len << " output=" << run.output_len
+       << " fleet=" << fleet.hosts << "x" << fleet.devices_per_host
+       << " policy=" << placementPolicyName(fleet.policy)
+       << " spares=" << fleet.spare_hosts
+       << " faults=" << fleet.fault_plan.events.size();
+    return os.str();
+}
+
+FuzzFleetCase
+ConfigFuzzer::fleetCase()
+{
+    FuzzFleetCase c;
+    c.seed = seed_;
+
+    const std::vector<ModelConfig> models = allModels();
+    c.run.model = models[static_cast<std::size_t>(rng_.uniformInt(
+        0, static_cast<std::int64_t>(models.size()) - 1))];
+    constexpr std::uint64_t batches[] = {4, 8, 16, 32, 64};
+    c.run.batch = pick(rng_, batches);
+    const double e = rng_.uniform(11.0, 16.0);
+    c.run.context_len = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(std::pow(2.0, e)),
+        c.run.model.max_position);
+    c.run.output_len = static_cast<std::uint64_t>(rng_.uniformInt(8, 64));
+
+    constexpr unsigned host_counts[] = {1, 2, 3, 4, 6, 8};
+    c.fleet.hosts = pick(rng_, host_counts);
+    constexpr unsigned devices[] = {2, 4, 8, 16};
+    c.fleet.devices_per_host = pick(rng_, devices);
+    constexpr PlacementPolicy policies[] = {PlacementPolicy::Spread,
+                                            PlacementPolicy::Pack,
+                                            PlacementPolicy::FaultAware};
+    c.fleet.policy = pick(rng_, policies);
+    c.fleet.spare_hosts =
+        c.fleet.hosts > 1
+            ? static_cast<unsigned>(rng_.uniformInt(
+                  0, std::min(2u, c.fleet.hosts - 1)))
+            : 0;
+
+    FaultPlan &plan = c.fleet.fault_plan;
+    plan.seed = fuzzSeedForIteration(seed_, 0xf1ee7);
+    if (c.fleet.hosts > 1 && chance(rng_, 0.8)) {
+        // Host losses (failures + stalls that escalate past the retry
+        // ladder) are capped at hosts-1 so survivors always exist and
+        // graceful degradation is the only acceptable outcome.
+        const unsigned max_losses = c.fleet.hosts - 1;
+        unsigned losses = 0;
+        const auto any_host = [&]() {
+            return static_cast<unsigned>(
+                rng_.uniformInt(0, c.fleet.hosts - 1));
+        };
+        const int n_events = static_cast<int>(rng_.uniformInt(1, 4));
+        for (int i = 0; i < n_events; i++) {
+            switch (rng_.uniformInt(0, 3)) {
+            case 0:
+                if (losses < max_losses) {
+                    plan.addHostFailure(rng_.uniform(0.0, 300.0),
+                                        any_host());
+                    losses++;
+                } else {
+                    plan.addHostLinkDegrade(rng_.uniform(0.0, 300.0),
+                                            rng_.uniform(0.3, 1.0));
+                }
+                break;
+            case 1: {
+                const Seconds budget =
+                    HostFaultView::ladderBudget(plan.retry);
+                const bool escalate =
+                    chance(rng_, 0.3) && losses < max_losses;
+                const Seconds duration =
+                    escalate ? budget * rng_.uniform(2.0, 50.0)
+                             : budget * rng_.uniform(0.1, 0.9);
+                if (escalate)
+                    losses++;
+                plan.addHostStall(rng_.uniform(0.0, 300.0), duration,
+                                  any_host());
+                break;
+            }
+            case 2:
+                plan.addHostLinkDegrade(rng_.uniform(0.0, 300.0),
+                                        rng_.uniform(0.3, 1.0));
+                break;
+            default:
+                // Device-scope probabilistic faults fan out to every
+                // host's own injector alongside the cluster events.
+                if (chance(rng_, 0.5)) {
+                    plan.addNandReadError(
+                        std::pow(10.0, rng_.uniform(-5.0, -3.0)));
+                } else {
+                    plan.addNvmeTimeout(
+                        std::pow(10.0, rng_.uniform(-6.0, -4.0)));
+                }
+                break;
+            }
+        }
+    }
+    return c;
+}
+
 }  // namespace test
 }  // namespace hilos

@@ -24,6 +24,7 @@
 
 #include "common/random.h"
 #include "runtime/engine.h"
+#include "runtime/fleet_engine.h"
 #include "runtime/hilos_engine.h"
 
 namespace hilos {
@@ -68,6 +69,20 @@ struct FuzzEngineCase {
 };
 
 /**
+ * One fleet-oracle case: workload plus cluster shape and a fault plan
+ * that never kills every host (stall escalation counted as a loss), so
+ * graceful degradation is always the required outcome.
+ */
+struct FuzzFleetCase {
+    std::uint64_t seed = 0;
+    RunConfig run;
+    FleetConfig fleet;
+
+    /** One-line `k=v` rendering for repro messages. */
+    std::string describe() const;
+};
+
+/**
  * Samples valid oracle cases from a seeded RNG stream.
  */
 class ConfigFuzzer
@@ -80,6 +95,9 @@ class ConfigFuzzer
 
     /** Sample one engine case. @param allow_faults include fault plans */
     FuzzEngineCase engineCase(bool allow_faults = true);
+
+    /** Sample one fleet case (cluster shape + host-scope fault plan). */
+    FuzzFleetCase fleetCase();
 
   private:
     std::uint64_t seed_;

@@ -10,6 +10,7 @@
 #include "llm/attention_ref.h"
 #include "llm/tensor.h"
 #include "runtime/flexgen.h"
+#include "runtime/fleet_engine.h"
 #include "runtime/hilos_engine.h"
 #include "runtime/step_plan.h"
 #include "runtime/system_config.h"
@@ -479,6 +480,116 @@ runFlexGenPlanOracle(std::uint64_t seed, Perturbation perturb)
     if (!chk.ok) {
         out.ok = false;
         out.detail = "agreement: " + chk.detail;
+        return out;
+    }
+    return out;
+}
+
+namespace {
+
+/** First violated fleet-run invariant; empty when all hold. */
+std::string
+checkFleetInvariants(const FuzzFleetCase &c, const RunResult &r)
+{
+    const FleetSummary &fl = r.fleet;
+    if (!fl.any())
+        return "fleet run without a FleetSummary";
+    if (fl.hosts != c.fleet.hosts)
+        return "summary hosts " + std::to_string(fl.hosts) +
+               " != config hosts " + std::to_string(c.fleet.hosts);
+    if (!std::isfinite(r.decode_step_time) ||
+        !std::isfinite(r.total_time))
+        return "non-finite timing";
+    if (!finiteNonNegative(fl.rebuild_time) ||
+        !finiteNonNegative(fl.rebuild_bytes) ||
+        !finiteNonNegative(fl.stall_time))
+        return "negative or non-finite rebuild/stall accounting";
+    if (fl.availability < 0.0 || fl.availability > 1.0 + kRelEps)
+        return "availability " + fmt(fl.availability) +
+               " outside [0, 1]";
+    if ((fl.rebuild_bytes > 0.0) != (fl.rebuild_time > 0.0))
+        return "rebuild bytes and rebuild time must appear together";
+    if (!r.feasible)
+        return r.note.empty() ? "infeasible without a note" : "";
+    if (fl.hosts_failed >= fl.hosts)
+        return "feasible result with every host failed";
+    std::uint64_t epoch_tokens = 0;
+    for (const FleetEpoch &ep : fl.epochs) {
+        if (ep.hosts_serving == 0 || ep.hosts_serving > fl.hosts)
+            return "epoch serving-host count out of range";
+        if (!(ep.step_time > 0.0))
+            return "epoch with a non-positive step time";
+        epoch_tokens += ep.tokens;
+    }
+    if (epoch_tokens != c.run.output_len)
+        return "epochs decode " + std::to_string(epoch_tokens) +
+               " tokens, workload asked " +
+               std::to_string(c.run.output_len);
+    // Losing hosts can only slow the fleet down; the sole counterweight
+    // is the coordination term shrinking when requests are dropped,
+    // which is microseconds against a seconds-scale step.
+    if (fl.slowdown < 1.0 - 1e-4)
+        return "slowdown " + fmt(fl.slowdown) +
+               " below 1 (faults made the fleet faster)";
+    return "";
+}
+
+}  // namespace
+
+OracleOutcome
+runFleetOracle(std::uint64_t seed, Perturbation perturb)
+{
+    ConfigFuzzer fuzzer(seed);
+    const FuzzFleetCase c = fuzzer.fleetCase();
+
+    OracleOutcome out;
+    out.seed = seed;
+    out.cfg = c.describe();
+
+    const SystemConfig sys = defaultSystem();
+    const FleetEngine engine(sys, c.fleet);
+    const RunResult a = engine.run(c.run);
+    const RunResult b = engine.run(c.run);
+    if (a.feasible != b.feasible ||
+        a.decode_step_time != b.decode_step_time ||
+        a.total_time != b.total_time ||
+        a.fleet.availability != b.fleet.availability ||
+        a.fleet.rebuild_bytes != b.fleet.rebuild_bytes ||
+        a.fleet.epochs.size() != b.fleet.epochs.size()) {
+        out.ok = false;
+        out.detail = "determinism: two runs of one fleet case differ";
+        return out;
+    }
+
+    const std::string violation = checkFleetInvariants(c, a);
+    if (!violation.empty()) {
+        out.ok = false;
+        out.detail = "fleet invariant: " + violation;
+        return out;
+    }
+    if (!a.feasible) {
+        out.skipped = true;  // capacity-infeasible corner; nothing to diff
+        return out;
+    }
+
+    // Analytic vs event-sim fleet step on epoch 0's serving set. The
+    // sim is sampled at the epoch start so both backends see the same
+    // fleet conditions.
+    const FleetEpoch &ep0 = a.fleet.epochs.front();
+    Seconds analytic = ep0.step_time;
+    if (perturb == Perturbation::SkewAnalytic)
+        analytic *= 3.0;
+    const Seconds sim = engine.simulatedDecodeStep(c.run, ep0.start);
+    if (!(sim > 0.0)) {
+        out.ok = false;
+        out.detail = "event-sim fleet step did not complete";
+        return out;
+    }
+    const double ratio = sim / analytic;
+    if (ratio < 0.4 || ratio > 2.5) {
+        out.ok = false;
+        out.detail = "agreement: sim/analytic fleet step " + fmt(ratio) +
+                     " outside [0.4, 2.5]";
         return out;
     }
     return out;

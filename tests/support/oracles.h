@@ -99,6 +99,20 @@ OracleOutcome runEngineOracle(std::uint64_t seed,
 OracleOutcome runFlexGenPlanOracle(
     std::uint64_t seed, Perturbation perturb = Perturbation::None);
 
+/**
+ * Run the fleet differential oracle on the case derived from `seed`:
+ * a FleetEngine over a fuzzed cluster shape and host-scope fault plan
+ * (never the whole fleet — survivors always exist). Checks that the
+ * run is deterministic, degrades gracefully (feasible with
+ * availability in [0, 1], epochs accounting for every output token,
+ * rebuild bytes and time consistent), and that the event-sim fleet
+ * step agrees with the analytic epoch-0 step within the band.
+ * Perturbation::SkewAnalytic skews the analytic side 3x so tests can
+ * verify the band detects divergence.
+ */
+OracleOutcome runFleetOracle(std::uint64_t seed,
+                             Perturbation perturb = Perturbation::None);
+
 /** Result of one analytic-vs-event-sim agreement check. */
 struct AgreementCheck {
     bool ok = true;

@@ -74,6 +74,8 @@ serialize(const RunResult &r)
     kv(os, "energy.storage", r.energy.storage);
     kv(os, "fpga_power_watts", r.fpga_power_watts);
     os << serialize(r.faults);
+    if (r.fleet.any())
+        os << serialize(r.fleet);
     return os.str();
 }
 
@@ -87,6 +89,8 @@ serialize(const FaultSummary &f)
     kv(os, "faults.nvme_timeouts", f.nvme_timeouts);
     kv(os, "faults.nvme_retries", f.nvme_retries);
     kv(os, "faults.redispatched_slices", f.redispatched_slices);
+    kv(os, "faults.requests_degraded", f.requests_degraded);
+    kv(os, "faults.requests_failed", f.requests_failed);
     kv(os, "faults.devices_failed",
        static_cast<std::uint64_t>(f.devices_failed));
     kv(os, "faults.devices_surviving",
@@ -96,6 +100,42 @@ serialize(const FaultSummary &f)
     kv(os, "faults.degraded_step_time", f.degraded_step_time);
     kv(os, "faults.availability", f.availability);
     kv(os, "faults.slowdown", f.slowdown);
+    return os.str();
+}
+
+std::string
+serialize(const FleetSummary &f)
+{
+    std::ostringstream os;
+    kv(os, "fleet.hosts", static_cast<std::uint64_t>(f.hosts));
+    kv(os, "fleet.devices_per_host",
+       static_cast<std::uint64_t>(f.devices_per_host));
+    kv(os, "fleet.policy",
+       f.policy.empty() ? std::string("<none>") : f.policy);
+    kv(os, "fleet.hosts_failed",
+       static_cast<std::uint64_t>(f.hosts_failed));
+    kv(os, "fleet.host_stalls",
+       static_cast<std::uint64_t>(f.host_stalls));
+    kv(os, "fleet.spares_activated",
+       static_cast<std::uint64_t>(f.spares_activated));
+    kv(os, "fleet.rebuild_bytes", f.rebuild_bytes);
+    kv(os, "fleet.rebuild_time", f.rebuild_time);
+    kv(os, "fleet.stall_time", f.stall_time);
+    kv(os, "fleet.availability", f.availability);
+    kv(os, "fleet.degraded_step_time", f.degraded_step_time);
+    kv(os, "fleet.slowdown", f.slowdown);
+    kv(os, "fleet.epochs", static_cast<std::uint64_t>(f.epochs.size()));
+    for (std::size_t i = 0; i < f.epochs.size(); ++i) {
+        const FleetEpoch &e = f.epochs[i];
+        os << "fleet.epoch[" << i << "] = start:"
+           << formatDouble(e.start)
+           << " serving:" << e.hosts_serving
+           << " stalled:" << e.hosts_stalled
+           << " failed:" << e.hosts_failed
+           << " batch:" << e.placed_batch
+           << " step:" << formatDouble(e.step_time)
+           << " tokens:" << e.tokens << "\n";
+    }
     return os.str();
 }
 

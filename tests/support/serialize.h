@@ -30,6 +30,13 @@ std::string serialize(const RunResult &r);
 /** Every field of a FaultSummary. */
 std::string serialize(const FaultSummary &f);
 
+/**
+ * Every field of a FleetSummary, one line per epoch. Serialized into a
+ * RunResult only when the result came from a fleet run (any() == true),
+ * so non-fleet goldens are unchanged.
+ */
+std::string serialize(const FleetSummary &f);
+
 /** Every scalar field of an EventSimResult plus the layer-time vector. */
 std::string serialize(const EventSimResult &r);
 

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "common/random.h"
@@ -355,6 +357,249 @@ TEST(BandwidthFaults, SetRateScalesFutureServiceTime)
     const Seconds fast = res.serviceTime(1 << 30);
     res.setRate(1.0 * GB);
     EXPECT_DOUBLE_EQ(res.serviceTime(1 << 30), 2.0 * fast);
+}
+
+// --- FaultPlan::validate ---
+
+TEST(FaultPlanValidate, EmptyAndWellFormedPlansPass)
+{
+    EXPECT_TRUE(FaultPlan{}.validate().empty());
+    const FaultPlan plan = FaultPlan{}
+                               .addNandReadError(1e-3)
+                               .addNvmeTimeout(1e-4, 2)
+                               .addLinkDegrade(1.0, 0.5, 3)
+                               .addUplinkDegrade(2.0, 0.8)
+                               .addDeviceFailure(3.0, 1)
+                               .addHostFailure(4.0, 0)
+                               .addHostLinkDegrade(5.0, 0.6)
+                               .addHostStall(6.0, 0.02, 1);
+    EXPECT_TRUE(plan.validate().empty());
+}
+
+TEST(FaultPlanValidate, OneNamedDiagnosticPerViolation)
+{
+    FaultPlan plan;
+    plan.addNandReadError(1.5);             // probability > 1
+    plan.addNvmeTimeout(-0.1);              // probability < 0
+    plan.addLinkDegrade(0.0, 0.0, 1);       // multiplier not in (0, 1]
+    plan.addLinkDegrade(0.0, 1.5, 1);       // multiplier > 1
+    plan.addDeviceFailure(-2.0, 1);         // negative activation time
+    plan.addHostStall(1.0, -1.0, 0);        // negative duration
+    const std::vector<std::string> diags = plan.validate();
+    ASSERT_EQ(diags.size(), 6u);
+    EXPECT_NE(diags[0].find("event[0] nand-read-error"), std::string::npos);
+    EXPECT_NE(diags[0].find("outside [0, 1]"), std::string::npos);
+    EXPECT_NE(diags[1].find("event[1] nvme-timeout"), std::string::npos);
+    EXPECT_NE(diags[2].find("outside (0, 1]"), std::string::npos);
+    EXPECT_NE(diags[3].find("outside (0, 1]"), std::string::npos);
+    EXPECT_NE(diags[4].find("activation time"), std::string::npos);
+    EXPECT_NE(diags[5].find("stall duration"), std::string::npos);
+}
+
+TEST(FaultPlanValidate, RejectsNonFiniteTimes)
+{
+    FaultPlan plan;
+    plan.addDeviceFailure(std::numeric_limits<double>::quiet_NaN(), 0);
+    plan.addHostStall(1.0, std::numeric_limits<double>::infinity(), 0);
+    EXPECT_EQ(plan.validate().size(), 2u);
+}
+
+TEST(FaultPlanValidate, RejectsReservedSentinelGapTargets)
+{
+    FaultPlan plan;
+    plan.addDeviceFailure(1.0, kMaxRealTarget);      // first gap index
+    plan.addDeviceFailure(1.0, kUplinkTarget - 1);   // last gap index
+    const std::vector<std::string> diags = plan.validate();
+    ASSERT_EQ(diags.size(), 2u);
+    EXPECT_NE(diags[0].find("reserved sentinel gap"), std::string::npos);
+    // The sentinels themselves stay valid.
+    EXPECT_TRUE(FaultPlan{}
+                    .addDeviceFailure(1.0, kAllDevices)
+                    .validate()
+                    .empty());
+    EXPECT_TRUE(FaultPlan{}.addUplinkDegrade(1.0, 0.5).validate().empty());
+}
+
+TEST(FaultPlanValidate, RejectsUplinkSentinelAsHostTarget)
+{
+    FaultPlan plan;
+    plan.addHostFailure(1.0, kUplinkTarget);
+    const std::vector<std::string> diags = plan.validate();
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_NE(diags[0].find("not a valid host target"), std::string::npos);
+}
+
+TEST(FaultPlanValidate, RejectsPerHostInterconnectDegrade)
+{
+    FaultPlan plan;
+    plan.events.push_back(FaultEvent{FaultKind::HostLinkDegrade, 2u,
+                                     1.0, 0.0, 0.5, 0.0});
+    const std::vector<std::string> diags = plan.validate();
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_NE(diags[0].find("shared"), std::string::npos);
+}
+
+TEST(FaultPlanValidate, GatesInjectorConstruction)
+{
+    FaultPlan bad;
+    bad.addNandReadError(2.0);
+    EXPECT_THROW(FaultInjector(bad, 4), std::runtime_error);
+    FaultPlan bad_host;
+    bad_host.addHostStall(1.0, -5.0, 0);
+    EXPECT_THROW(HostFaultView(bad_host, 4), std::runtime_error);
+}
+
+// --- Host-scope plan surface ---
+
+TEST(FaultPlanParse, ParsesHostScopeClauses)
+{
+    const FaultPlan plan = parseFaultPlan(
+        "host-fail@2.5=1; host-degrade@3.0=0.6; host-stall@4.0=0.02:2; "
+        "host-fail@9=all");
+    ASSERT_EQ(plan.events.size(), 4u);
+    EXPECT_EQ(plan.events[0].kind, FaultKind::HostFail);
+    EXPECT_EQ(plan.events[0].device, 1u);
+    EXPECT_DOUBLE_EQ(plan.events[0].at, 2.5);
+    EXPECT_EQ(plan.events[1].kind, FaultKind::HostLinkDegrade);
+    EXPECT_DOUBLE_EQ(plan.events[1].bw_multiplier, 0.6);
+    EXPECT_EQ(plan.events[2].kind, FaultKind::HostStall);
+    EXPECT_EQ(plan.events[2].device, 2u);
+    EXPECT_DOUBLE_EQ(plan.events[2].duration, 0.02);
+    EXPECT_EQ(plan.events[3].device, kAllDevices);
+}
+
+TEST(FaultPlanHostScope, DeviceScopeDropsHostEventsOnly)
+{
+    FaultPlan plan;
+    plan.seed = 77;
+    plan.addNandReadError(1e-3)
+        .addHostFailure(2.0, 1)
+        .addNvmeTimeout(1e-4)
+        .addHostStall(3.0, 0.02, 0);
+    EXPECT_TRUE(plan.hasHostEvents());
+    const FaultPlan dev = plan.deviceScope();
+    EXPECT_EQ(dev.seed, 77u);
+    ASSERT_EQ(dev.events.size(), 2u);
+    EXPECT_EQ(dev.events[0].kind, FaultKind::NandReadError);
+    EXPECT_EQ(dev.events[1].kind, FaultKind::NvmeTimeout);
+    EXPECT_FALSE(dev.hasHostEvents());
+}
+
+TEST(FaultPlanHostScope, InjectorIgnoresHostEvents)
+{
+    FaultPlan plan;
+    plan.addHostFailure(0.0, 0).addHostStall(0.0, 5.0, 1);
+    FaultInjector inj(plan, 4);
+    // Host-scope events never fail devices at device scope.
+    EXPECT_EQ(inj.survivingDevices(100.0), 4u);
+    EXPECT_FALSE(inj.deviceFailed(0, 100.0));
+}
+
+// --- HostFaultView ---
+
+TEST(HostFaultView, NullViewAndEmptyPlanAreInactive)
+{
+    const HostFaultView null_view;
+    EXPECT_FALSE(null_view.active());
+    const HostFaultView empty(FaultPlan{}, 4);
+    EXPECT_FALSE(empty.active());
+    EXPECT_EQ(empty.servingHosts(1e9), 4u);
+    EXPECT_EQ(empty.interHostDerate(1e9), 1.0);
+}
+
+TEST(HostFaultView, FailureTimeline)
+{
+    FaultPlan plan;
+    plan.addHostFailure(5.0, 1).addHostFailure(8.0, 3);
+    const HostFaultView view(plan, 4);
+    EXPECT_TRUE(view.active());
+    EXPECT_EQ(view.servingHosts(0.0), 4u);
+    EXPECT_FALSE(view.hostFailed(1, 4.999));
+    EXPECT_TRUE(view.hostFailed(1, 5.0));
+    EXPECT_EQ(view.servingHosts(6.0), 3u);
+    EXPECT_EQ(view.servingHosts(9.0), 2u);
+    EXPECT_DOUBLE_EQ(view.hostFailTime(1), 5.0);
+    EXPECT_TRUE(std::isinf(view.hostFailTime(0)));
+}
+
+TEST(HostFaultView, ShortStallRecoversAtProbeBoundary)
+{
+    FaultPlan plan;
+    plan.addHostStall(10.0, 0.015, 2);  // 15 ms, inside the ladder
+    const HostFaultView view(plan, 4);
+    ASSERT_EQ(view.stalls().size(), 1u);
+    const HostFaultView::StallWindow &w = view.stalls().front();
+    EXPECT_FALSE(w.escalated);
+    EXPECT_DOUBLE_EQ(w.begin, 10.0);
+    // Recovery is observed at the first timeout+backoff probe at or
+    // after the stall's end, so the window outlasts the raw duration.
+    EXPECT_GE(w.end, 10.015);
+    EXPECT_LE(w.end - 10.0,
+              HostFaultView::ladderBudget(plan.retry) + 1e-12);
+    EXPECT_TRUE(view.hostStalled(2, 10.001));
+    EXPECT_FALSE(view.hostStalled(2, w.end + 1e-9));
+    EXPECT_FALSE(view.hostFailed(2, 1e9));
+    EXPECT_EQ(view.servingHosts(10.001), 3u);
+    EXPECT_EQ(view.stalledHosts(10.001), 1u);
+}
+
+TEST(HostFaultView, LongStallEscalatesToFailure)
+{
+    FaultPlan plan;
+    plan.addHostStall(10.0, 60.0, 2);  // far past the retry ladder
+    const HostFaultView view(plan, 4);
+    const Seconds budget = HostFaultView::ladderBudget(plan.retry);
+    EXPECT_LT(budget, 60.0);
+    ASSERT_EQ(view.stalls().size(), 1u);
+    EXPECT_TRUE(view.stalls().front().escalated);
+    EXPECT_FALSE(view.hostFailed(2, 10.0 + budget - 1e-9));
+    EXPECT_TRUE(view.hostFailed(2, 10.0 + budget + 1e-9));
+    // Failed hosts are not additionally counted as stalled.
+    EXPECT_EQ(view.stalledHosts(10.0 + budget + 1e-9), 0u);
+}
+
+TEST(HostFaultView, LadderBudgetIsTimeoutPlusBackoffSum)
+{
+    RetryPolicy rp;
+    rp.nvme_max_attempts = 3;
+    rp.nvme_timeout = msec(10);
+    rp.backoff_base = msec(1);
+    rp.backoff_multiplier = 2.0;
+    rp.backoff_cap = msec(50);
+    // Two retries: (10 + 1) + (10 + 2) ms.
+    EXPECT_DOUBLE_EQ(HostFaultView::ladderBudget(rp), msec(23));
+}
+
+TEST(HostFaultView, InterHostDeratesCompound)
+{
+    FaultPlan plan;
+    plan.addHostLinkDegrade(2.0, 0.5).addHostLinkDegrade(4.0, 0.8);
+    const HostFaultView view(plan, 2);
+    EXPECT_DOUBLE_EQ(view.interHostDerate(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(view.interHostDerate(3.0), 0.5);
+    EXPECT_DOUBLE_EQ(view.interHostDerate(5.0), 0.4);
+}
+
+TEST(HostFaultView, EventTimesSortedAndUnique)
+{
+    FaultPlan plan;
+    plan.addHostFailure(8.0, 1)
+        .addHostLinkDegrade(2.0, 0.5)
+        .addHostStall(4.0, 0.01, 0)
+        .addHostLinkDegrade(2.0, 0.9);
+    const HostFaultView view(plan, 4);
+    const std::vector<Seconds> times = view.eventTimes();
+    ASSERT_GE(times.size(), 4u);  // 2.0, 4.0, stall end, 8.0
+    for (std::size_t i = 1; i < times.size(); ++i)
+        EXPECT_GT(times[i], times[i - 1]);
+    EXPECT_DOUBLE_EQ(times.front(), 2.0);
+}
+
+TEST(HostFaultView, RejectsHostTargetBeyondFleet)
+{
+    FaultPlan plan;
+    plan.addHostFailure(1.0, 7);
+    EXPECT_DEATH(HostFaultView(plan, 4), "host");
 }
 
 }  // namespace

@@ -1,0 +1,522 @@
+/**
+ * @file
+ * Fleet subsystem tests: FleetConfig validation, scheduler placement
+ * policies, the identity invariants (one healthy host == HilosEngine,
+ * empty plan == byte-identical serialization), node-loss recovery
+ * (graceful degradation, cascades, stalls), and analytic-vs-event-sim
+ * agreement at fleet scope.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/hilos.h"
+#include "runtime/fleet_engine.h"
+#include "support/oracles.h"
+#include "support/serialize.h"
+
+namespace hilos {
+namespace {
+
+RunConfig
+smallRun()
+{
+    RunConfig run;
+    run.model = opt66b();
+    run.batch = 16;
+    run.context_len = 16384;
+    run.output_len = 32;
+    return run;
+}
+
+FleetConfig
+fleetOf(unsigned hosts, unsigned devices = 8)
+{
+    FleetConfig fc;
+    fc.hosts = hosts;
+    fc.devices_per_host = devices;
+    return fc;
+}
+
+/** Fail host `h` at a time that is mid-decode for this workload. */
+Seconds
+midDecode(const SystemConfig &sys, const FleetConfig &fc,
+          const RunConfig &run)
+{
+    const RunResult healthy = FleetEngine(sys, fc).run(run);
+    return healthy.prefill_time +
+           (static_cast<double>(run.output_len) / 2.0) *
+               healthy.decode_step_time;
+}
+
+// --- FleetConfig validation ---
+
+TEST(FleetConfig, DefaultIsValid)
+{
+    EXPECT_TRUE(FleetConfig{}.validate().empty());
+}
+
+TEST(FleetConfig, RejectsOutOfRangeShape)
+{
+    FleetConfig fc;
+    fc.hosts = 0;
+    EXPECT_EQ(fc.validate().size(), 1u);
+    fc.hosts = 65;
+    EXPECT_EQ(fc.validate().size(), 1u);
+    fc = FleetConfig{};
+    fc.devices_per_host = 0;
+    EXPECT_EQ(fc.validate().size(), 1u);
+    fc.devices_per_host = 17;
+    EXPECT_EQ(fc.validate().size(), 1u);
+}
+
+TEST(FleetConfig, RejectsAllSpareFaultAwareFleet)
+{
+    FleetConfig fc;
+    fc.hosts = 2;
+    fc.policy = PlacementPolicy::FaultAware;
+    fc.spare_hosts = 2;
+    const std::vector<std::string> diags = fc.validate();
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_NE(diags[0].find("spare"), std::string::npos);
+    // Other policies ignore the spare count entirely.
+    fc.policy = PlacementPolicy::Spread;
+    EXPECT_TRUE(fc.validate().empty());
+}
+
+TEST(FleetConfig, RejectsBadInterconnectNumbers)
+{
+    FleetConfig fc;
+    fc.inter_host_bw = 0.0;
+    EXPECT_EQ(fc.validate().size(), 1u);
+    fc = FleetConfig{};
+    fc.inter_host_latency = -1.0;
+    EXPECT_EQ(fc.validate().size(), 1u);
+}
+
+TEST(FleetConfig, RejectsHostEventBeyondFleet)
+{
+    FleetConfig fc = fleetOf(2);
+    fc.fault_plan.addHostFailure(1.0, 5);
+    const std::vector<std::string> diags = fc.validate();
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_NE(diags[0].find("targets host 5"), std::string::npos);
+}
+
+TEST(FleetConfig, CarriesFaultPlanDiagnostics)
+{
+    FleetConfig fc = fleetOf(2);
+    fc.fault_plan.addNandReadError(2.0);
+    ASSERT_EQ(fc.validate().size(), 1u);
+    EXPECT_NE(fc.validate()[0].find("probability"), std::string::npos);
+}
+
+TEST(FleetConfig, EngineConstructionGatedOnValidation)
+{
+    FleetConfig fc = fleetOf(2);
+    fc.fault_plan.addHostFailure(1.0, 5);
+    EXPECT_THROW(FleetEngine(defaultSystem(), fc), std::runtime_error);
+}
+
+// --- Scheduler policies ---
+
+TEST(FleetScheduler, SpreadSplitsEvenlyWithRemainderFirst)
+{
+    const SystemConfig sys = defaultSystem();
+    HilosOptions opts;
+    opts.num_devices = 8;
+    const FleetScheduler sched(sys, opts, PlacementPolicy::Spread, 0);
+    const FleetPlacement p =
+        sched.place(smallRun(), 14, {true, true, true, true});
+    EXPECT_EQ(p.placed_batch, 14u);
+    EXPECT_EQ(p.serving_hosts, 4u);
+    ASSERT_EQ(p.assignments.size(), 4u);
+    EXPECT_EQ(p.assignments[0].batch, 4u);
+    EXPECT_EQ(p.assignments[1].batch, 4u);
+    EXPECT_EQ(p.assignments[2].batch, 3u);
+    EXPECT_EQ(p.assignments[3].batch, 3u);
+    EXPECT_EQ(p.maxHostBatch(), 4u);
+}
+
+TEST(FleetScheduler, PackFillsHostsInIndexOrder)
+{
+    const SystemConfig sys = defaultSystem();
+    HilosOptions opts;
+    opts.num_devices = 8;
+    const FleetScheduler sched(sys, opts, PlacementPolicy::Pack, 0);
+    const RunConfig run = smallRun();
+    const std::uint64_t cap = sched.hostCapacity(run);
+    ASSERT_GT(cap, 0u);
+    // More work than one host's capacity: host 0 fills, host 1 takes
+    // the spill, later hosts idle.
+    const FleetPlacement p =
+        sched.place(run, cap + 1, {true, true, true});
+    EXPECT_EQ(p.assignments[0].batch, cap);
+    EXPECT_EQ(p.assignments[1].batch, 1u);
+    EXPECT_EQ(p.assignments[2].batch, 0u);
+    EXPECT_EQ(p.serving_hosts, 2u);
+}
+
+TEST(FleetScheduler, FaultAwareReservesHighestIndexSpares)
+{
+    const SystemConfig sys = defaultSystem();
+    HilosOptions opts;
+    opts.num_devices = 8;
+    const FleetScheduler sched(sys, opts, PlacementPolicy::FaultAware, 1);
+    const FleetPlacement p =
+        sched.place(smallRun(), 12, {true, true, true, true});
+    EXPECT_EQ(p.spare_hosts, 1u);
+    EXPECT_EQ(p.serving_hosts, 3u);
+    ASSERT_EQ(p.assignments.size(), 4u);
+    EXPECT_TRUE(p.assignments[3].spare);
+    EXPECT_EQ(p.assignments[3].batch, 0u);
+    EXPECT_EQ(p.placed_batch, 12u);
+}
+
+TEST(FleetScheduler, FaultAwareNeverReservesTheLastHost)
+{
+    const SystemConfig sys = defaultSystem();
+    HilosOptions opts;
+    opts.num_devices = 8;
+    const FleetScheduler sched(sys, opts, PlacementPolicy::FaultAware, 2);
+    // Only one host alive: it must serve, spares notwithstanding.
+    const FleetPlacement p =
+        sched.place(smallRun(), 8, {false, true, false});
+    EXPECT_EQ(p.spare_hosts, 0u);
+    EXPECT_EQ(p.serving_hosts, 1u);
+    EXPECT_EQ(p.placed_batch, 8u);
+}
+
+TEST(FleetScheduler, DropsBeyondFleetCapacity)
+{
+    const SystemConfig sys = defaultSystem();
+    HilosOptions opts;
+    opts.num_devices = 8;
+    const FleetScheduler sched(sys, opts, PlacementPolicy::Spread, 0);
+    const RunConfig run = smallRun();
+    const std::uint64_t cap = sched.hostCapacity(run);
+    const FleetPlacement p = sched.place(run, 2 * cap + 5, {true, true});
+    EXPECT_EQ(p.placed_batch, 2 * cap);
+    EXPECT_EQ(p.dropped_batch, 5u);
+}
+
+TEST(FleetScheduler, PolicyNamesRoundTrip)
+{
+    for (PlacementPolicy p :
+         {PlacementPolicy::Spread, PlacementPolicy::Pack,
+          PlacementPolicy::FaultAware}) {
+        EXPECT_EQ(parsePlacementPolicy(placementPolicyName(p)), p);
+    }
+    EXPECT_THROW(parsePlacementPolicy("bogus"), std::runtime_error);
+}
+
+// --- Identity invariants ---
+
+TEST(FleetEngine, OneHostEmptyPlanIsBitIdenticalToHilosEngine)
+{
+    const SystemConfig sys = defaultSystem();
+    const RunConfig run = smallRun();
+    HilosOptions opts;
+    opts.num_devices = 8;
+    const RunResult host = HilosEngine(sys, opts).run(run);
+    const RunResult fleet = FleetEngine(sys, fleetOf(1)).run(run);
+    EXPECT_EQ(fleet.decode_step_time, host.decode_step_time);
+    EXPECT_EQ(fleet.prefill_time, host.prefill_time);
+    EXPECT_EQ(fleet.total_time, host.total_time);
+    EXPECT_EQ(fleet.traffic.host_read_bytes,
+              host.traffic.host_read_bytes);
+    EXPECT_EQ(fleet.energy.total(), host.energy.total());
+    // The fleet result additionally carries its summary.
+    EXPECT_TRUE(fleet.fleet.any());
+    EXPECT_FALSE(host.fleet.any());
+}
+
+TEST(FleetEngine, EmptyPlanSerializationIsByteIdenticalAcrossRuns)
+{
+    const SystemConfig sys = defaultSystem();
+    const RunConfig run = smallRun();
+    const FleetEngine engine(sys, fleetOf(4));
+    const std::string a = test::serialize(engine.run(run));
+    const std::string b = test::serialize(engine.run(run));
+    EXPECT_EQ(a, b);
+    // A seeded-but-empty plan must not perturb the fleet either.
+    FleetConfig seeded = fleetOf(4);
+    seeded.fault_plan.seed = 987654321;
+    EXPECT_EQ(test::serialize(FleetEngine(sys, seeded).run(run)), a);
+}
+
+TEST(FleetEngine, HealthyFleetScalesThroughputWithHosts)
+{
+    const SystemConfig sys = defaultSystem();
+    RunConfig run = smallRun();
+    const RunResult one = FleetEngine(sys, fleetOf(1)).run(run);
+    run.batch = 2 * smallRun().batch;
+    const RunResult two = FleetEngine(sys, fleetOf(2)).run(run);
+    ASSERT_TRUE(one.feasible && two.feasible);
+    // Data-parallel: double the hosts serve double the batch at (near)
+    // the same step; coordination costs a little.
+    EXPECT_GT(two.decodeThroughput(), 1.9 * one.decodeThroughput());
+    EXPECT_GE(two.decode_step_time, one.decode_step_time);
+    EXPECT_EQ(two.fleet.availability, 1.0);
+    EXPECT_EQ(two.fleet.hosts_failed, 0u);
+}
+
+// --- Node-loss recovery ---
+
+TEST(FleetEngine, HostLossDegradesGracefully)
+{
+    const SystemConfig sys = defaultSystem();
+    const RunConfig run = smallRun();
+    FleetConfig fc = fleetOf(4);
+    const Seconds mid = midDecode(sys, fc, run);
+    fc.fault_plan.addHostFailure(mid, 2);
+    const RunResult r = FleetEngine(sys, fc).run(run);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.fleet.hosts_failed, 1u);
+    EXPECT_LT(r.fleet.availability, 1.0);
+    EXPECT_GT(r.fleet.availability, 0.0);
+    EXPECT_GT(r.fleet.rebuild_bytes, 0.0);
+    EXPECT_GT(r.fleet.rebuild_time, 0.0);
+    EXPECT_GT(r.fleet.slowdown, 1.0);
+    EXPECT_GE(r.fleet.epochs.size(), 2u);
+    EXPECT_EQ(r.faults.requests_degraded, run.batch);
+    EXPECT_EQ(r.faults.requests_failed, 0u);
+    // Epochs account for every output token.
+    std::uint64_t tokens = 0;
+    for (const FleetEpoch &ep : r.fleet.epochs)
+        tokens += ep.tokens;
+    EXPECT_EQ(tokens, run.output_len);
+}
+
+TEST(FleetEngine, RebuildChargesLostKvOverInterHostLink)
+{
+    const SystemConfig sys = defaultSystem();
+    const RunConfig run = smallRun();
+    FleetConfig fc = fleetOf(4);
+    const Seconds mid = midDecode(sys, fc, run);
+    fc.fault_plan.addHostFailure(mid, 0);
+    const RunResult r = FleetEngine(sys, fc).run(run);
+    ASSERT_TRUE(r.feasible);
+    // Spread places 16 over 4 hosts -> the lost host held 4 requests;
+    // rebuild time is those bytes over the healthy inter-host link.
+    const Bytes lost = r.fleet.rebuild_bytes;
+    EXPECT_GT(lost, 0.0);
+    EXPECT_NEAR(r.fleet.rebuild_time,
+                lost / FleetConfig{}.inter_host_bw, 1e-9);
+    // A degraded interconnect stretches the same rebuild.
+    FleetConfig slow = fc;
+    slow.fault_plan = FaultPlan{};
+    slow.fault_plan.addHostLinkDegrade(0.0, 0.5).addHostFailure(mid, 0);
+    const RunResult rs = FleetEngine(sys, slow).run(run);
+    ASSERT_TRUE(rs.feasible);
+    EXPECT_NEAR(rs.fleet.rebuild_time / r.fleet.rebuild_time, 2.0,
+                0.01);
+}
+
+TEST(FleetEngine, CascadeDuringRebuildChargesBothRebuilds)
+{
+    const SystemConfig sys = defaultSystem();
+    const RunConfig run = smallRun();
+    FleetConfig fc = fleetOf(4);
+    const Seconds mid = midDecode(sys, fc, run);
+    fc.fault_plan.addHostFailure(mid, 1);
+    const RunResult one_loss = FleetEngine(sys, fc).run(run);
+    ASSERT_TRUE(one_loss.feasible);
+    // The second host dies inside the first rebuild window: the next
+    // epoch re-evaluates, sees the cascade, and charges another
+    // rebuild for the requests the second host had taken over.
+    FleetConfig cascade = fleetOf(4);
+    cascade.fault_plan.addHostFailure(mid, 1).addHostFailure(
+        mid + 0.5 * one_loss.fleet.rebuild_time, 2);
+    const RunResult r = FleetEngine(sys, cascade).run(run);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.fleet.hosts_failed, 2u);
+    EXPECT_GT(r.fleet.rebuild_bytes, one_loss.fleet.rebuild_bytes);
+    EXPECT_GT(r.fleet.rebuild_time, one_loss.fleet.rebuild_time);
+    EXPECT_LT(r.fleet.availability, one_loss.fleet.availability);
+}
+
+TEST(FleetEngine, DeviceFailAndLinkDegradeSameEpoch)
+{
+    // Device-scope faults fan out to every host's own injector and
+    // coexist with host-scope events in one plan.
+    const SystemConfig sys = defaultSystem();
+    const RunConfig run = smallRun();
+    FleetConfig fc = fleetOf(2);
+    const Seconds mid = midDecode(sys, fc, run);
+    fc.fault_plan.addDeviceFailure(mid, 3).addLinkDegrade(mid, 0.5, 1);
+    const RunResult r = FleetEngine(sys, fc).run(run);
+    ASSERT_TRUE(r.feasible);
+    // Both events are device-scope: the fleet stays healthy while each
+    // host's FaultSummary shows the degradation.
+    EXPECT_EQ(r.fleet.hosts_failed, 0u);
+    EXPECT_EQ(r.fleet.availability, 1.0);
+    EXPECT_EQ(r.faults.devices_failed, 1u);
+    EXPECT_GT(r.faults.rebuild_time, 0.0);
+    const RunResult clean = FleetEngine(sys, fleetOf(2)).run(run);
+    EXPECT_GT(r.decode_step_time, clean.decode_step_time);
+}
+
+TEST(FleetEngine, StallRecoversWithoutLosingAHost)
+{
+    const SystemConfig sys = defaultSystem();
+    const RunConfig run = smallRun();
+    FleetConfig fc = fleetOf(2);
+    const Seconds mid = midDecode(sys, fc, run);
+    fc.fault_plan.addHostStall(mid, 0.02, 1);  // inside the ladder
+    const RunResult r = FleetEngine(sys, fc).run(run);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.fleet.hosts_failed, 0u);
+    EXPECT_EQ(r.fleet.host_stalls, 1u);
+    EXPECT_GT(r.fleet.stall_time, 0.0);
+    EXPECT_EQ(r.fleet.rebuild_bytes, 0.0);
+    EXPECT_EQ(r.faults.requests_degraded, run.batch);
+    // The retry window is pure lost time: the run finishes later than
+    // the clean fleet but with every host intact.
+    const RunResult clean = FleetEngine(sys, fleetOf(2)).run(run);
+    EXPECT_GT(r.total_time, clean.total_time);
+}
+
+TEST(FleetEngine, StallEscalatesPastLadderIntoNodeLoss)
+{
+    const SystemConfig sys = defaultSystem();
+    const RunConfig run = smallRun();
+    FleetConfig fc = fleetOf(2);
+    const Seconds mid = midDecode(sys, fc, run);
+    fc.fault_plan.addHostStall(mid, 30.0, 1);  // far past the ladder
+    const RunResult r = FleetEngine(sys, fc).run(run);
+    ASSERT_TRUE(r.feasible);
+    // The ladder never recovers a 30s stall: the host is charged as a
+    // permanent loss and the fleet finishes on the survivor. (Whether
+    // a shard rebuild is also charged depends on whether the stall
+    // boundary migrated the load off the host before it died.)
+    EXPECT_EQ(r.fleet.hosts_failed, 1u);
+    EXPECT_LT(r.fleet.availability, 1.0);
+    ASSERT_FALSE(r.fleet.epochs.empty());
+    EXPECT_EQ(r.fleet.epochs.back().hosts_serving, 1u);
+}
+
+TEST(FleetEngine, AllHostsFailedIsAClearErrorNotANan)
+{
+    const SystemConfig sys = defaultSystem();
+    const RunConfig run = smallRun();
+    FleetConfig fc = fleetOf(2);
+    const Seconds mid = midDecode(sys, fc, run);
+    fc.fault_plan.addHostFailure(mid, kAllDevices);
+    const RunResult r = FleetEngine(sys, fc).run(run);
+    EXPECT_FALSE(r.feasible);
+    EXPECT_FALSE(r.note.empty());
+    EXPECT_FALSE(std::isnan(r.total_time));
+    EXPECT_EQ(r.faults.requests_failed, run.batch);
+    EXPECT_LT(r.fleet.availability, 1.0);
+}
+
+TEST(FleetEngine, FaultAwareSpareAbsorbsALoss)
+{
+    // Two hosts, one in reserve: losing the serving host promotes the
+    // spare, so the serving count is unchanged across the loss.
+    const SystemConfig sys = defaultSystem();
+    const RunConfig run = smallRun();
+    FleetConfig fc = fleetOf(2);
+    fc.policy = PlacementPolicy::FaultAware;
+    fc.spare_hosts = 1;
+    const Seconds mid = midDecode(sys, fc, run);
+    fc.fault_plan.addHostFailure(mid, 0);
+    const RunResult r = FleetEngine(sys, fc).run(run);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.fleet.hosts_failed, 1u);
+    EXPECT_GE(r.fleet.spares_activated, 1u);
+    EXPECT_GT(r.fleet.rebuild_bytes, 0.0);
+    ASSERT_GE(r.fleet.epochs.size(), 2u);
+    EXPECT_EQ(r.fleet.epochs.front().hosts_serving, 1u);
+    EXPECT_EQ(r.fleet.epochs.back().hosts_serving, 1u);
+    // Reserving a host costs availability even while healthy.
+    EXPECT_LT(r.fleet.availability, 1.0);
+}
+
+TEST(FleetEngine, DeterministicPerSeed)
+{
+    const SystemConfig sys = defaultSystem();
+    const RunConfig run = smallRun();
+    FleetConfig fc = fleetOf(4);
+    fc.fault_plan.seed = 1234;
+    fc.fault_plan.addNandReadError(1e-3)
+        .addHostFailure(midDecode(sys, fleetOf(4), run), 2)
+        .addHostStall(1.0, 0.01, 0);
+    const std::string a =
+        test::serialize(FleetEngine(sys, fc).run(run));
+    const std::string b =
+        test::serialize(FleetEngine(sys, fc).run(run));
+    EXPECT_EQ(a, b);
+    // A different seed may sample different probabilistic draws but
+    // never changes the host-scope timeline.
+    fc.fault_plan.seed = 99;
+    const RunResult r = FleetEngine(sys, fc).run(run);
+    EXPECT_EQ(r.fleet.hosts_failed, 1u);
+    EXPECT_EQ(r.fleet.host_stalls, 1u);
+}
+
+// --- Backend agreement and the fuzz oracle hook ---
+
+TEST(FleetEngine, EventSimAgreesOnHealthyAndDegradedSteps)
+{
+    const SystemConfig sys = defaultSystem();
+    const RunConfig run = smallRun();
+    FleetConfig fc = fleetOf(4);
+    const Seconds mid = midDecode(sys, fc, run);
+    fc.fault_plan.addHostFailure(mid, 1);
+    const FleetEngine engine(sys, fc);
+    const RunResult r = engine.run(run);
+    ASSERT_TRUE(r.feasible);
+    ASSERT_GE(r.fleet.epochs.size(), 2u);
+    const FleetEpoch &first = r.fleet.epochs.front();
+    const FleetEpoch &last = r.fleet.epochs.back();
+    const double healthy =
+        engine.simulatedDecodeStep(run, first.start) / first.step_time;
+    const double degraded =
+        engine.simulatedDecodeStep(run, last.start) / last.step_time;
+    EXPECT_GT(healthy, 0.4);
+    EXPECT_LT(healthy, 2.5);
+    EXPECT_GT(degraded, 0.4);
+    EXPECT_LT(degraded, 2.5);
+}
+
+TEST(FleetOracle, PassesOnSampledSeeds)
+{
+    for (std::uint64_t seed : {1ull, 7ull, 42ull, 1337ull}) {
+        const test::OracleOutcome out = test::runFleetOracle(seed);
+        EXPECT_TRUE(out.ok) << out.reproLine("fleet");
+    }
+}
+
+TEST(FleetOracle, DetectsASkewedAnalyticModel)
+{
+    // The validation harness must be able to fail: a 3x analytic skew
+    // on a fault-free fleet case lands far outside the band.
+    bool detected = false;
+    for (std::uint64_t seed = 0; seed < 12 && !detected; seed++) {
+        const test::OracleOutcome out = test::runFleetOracle(
+            seed, test::Perturbation::SkewAnalytic);
+        detected = !out.ok && !out.skipped;
+    }
+    EXPECT_TRUE(detected);
+}
+
+// --- Facade and report integration ---
+
+TEST(FleetFacade, MakeFleetEngineRunsTheFleet)
+{
+    const SystemConfig sys = defaultSystem();
+    const auto engine = makeFleetEngine(sys, fleetOf(2));
+    EXPECT_EQ(engine->name(), "Fleet(2x8,spread)");
+    const RunResult r = engine->run(smallRun());
+    EXPECT_TRUE(r.feasible);
+    EXPECT_TRUE(r.fleet.any());
+    EXPECT_EQ(r.fleet.hosts, 2u);
+}
+
+}  // namespace
+}  // namespace hilos

@@ -15,6 +15,7 @@
 
 #include "runtime/deepspeed_uvm.h"
 #include "runtime/event_sim.h"
+#include "runtime/fleet_engine.h"
 #include "runtime/flexgen.h"
 #include "runtime/hilos_engine.h"
 #include "runtime/report.h"
@@ -64,6 +65,23 @@ TEST(GoldenSnapshots, HilosEngineFaultedRun)
         parseFaultPlan("seed=7;nand-err=1e-3;fail@2.5=3;uplink@4.0=0.8");
     const HilosEngine engine(defaultSystem(), opts);
     expectGolden("engine_run_opt66b_faulted.txt",
+                 serialize(engine.run(headlineRun())));
+}
+
+TEST(GoldenSnapshots, FleetRunWithNodeLoss)
+{
+    // The fleet surface end to end: a 4-host fleet losing host 1
+    // mid-decode, with a transient stall and a degraded inter-host
+    // link in the same plan. Pins FleetSummary (epochs, rebuild
+    // accounting, availability) and the fleet-scope FaultSummary.
+    FleetConfig fleet;
+    fleet.hosts = 4;
+    fleet.devices_per_host = 8;
+    fleet.fault_plan = parseFaultPlan(
+        "seed=7;host-fail@400=1;host-stall@350=0.02:2;"
+        "host-degrade@300=0.8");
+    const FleetEngine engine(defaultSystem(), fleet);
+    expectGolden("fleet_run_opt66b.txt",
                  serialize(engine.run(headlineRun())));
 }
 
