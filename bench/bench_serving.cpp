@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Online serving saturation study (not a paper figure; the paper stops
+ * at offline throughput). Sweeps Poisson arrival rate x admission
+ * policy over one engine and reports the serving metrics that decide a
+ * deployment: TTFT / end-to-end latency percentiles, goodput under an
+ * SLO, and queue growth. Reading the sweep top to bottom shows the
+ * saturation knee: below engine capacity the queue stays bounded and
+ * goodput tracks the offered load; past it queue depth and tail
+ * latency blow up while goodput flattens.
+ *
+ * Deterministic: every (rate, policy) point regenerates its arrival
+ * stream from a fixed per-point seed, so the sweep is byte-identical
+ * run-to-run and across --jobs. Results land in BENCH_serving.json via
+ * the shared bench-JSON writer.
+ */
+
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/cli.h"
+#include "common/table.h"
+#include "core/hilos.h"
+#include "sim/parallel.h"
+
+using namespace hilos;
+
+namespace {
+
+void
+check(bool ok, const std::string &what)
+{
+    if (!ok) {
+        std::cerr << "FAILED: " << what << "\n";
+        std::exit(1);
+    }
+}
+
+struct SweepPoint {
+    double rate = 0.0;
+    ServingPolicy policy = ServingPolicy::Fcfs;
+};
+
+/** Arrival stream of one sweep point: seeded by the rate index so the
+ *  same stream hits every policy at that rate. */
+std::vector<Request>
+pointStream(double rate, std::size_t rate_index, std::size_t count)
+{
+    PoissonStreamConfig pc;
+    pc.arrival_rate = rate;
+    pc.count = count;
+    Rng rng(0x5e711 + 101 * static_cast<std::uint64_t>(rate_index));
+    return makePoissonArrivals(pc, rng);
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("bench_serving");
+    args.addOption("model", "OPT-66B", "model to serve");
+    args.addOption("devices", "8", "SmartSSDs on the host");
+    args.addOption("max-batch", "16", "scheduler cap on in-flight batch");
+    args.addOption("requests", "48", "requests per sweep point");
+    // Default SLO sits between the unloaded (~10 min) and saturated
+    // (hours) end-to-end latency of the headline config, so the
+    // attainment column actually separates the sweep points.
+    args.addOption("slo-ms", "1800000",
+                   "end-to-end latency SLO in ms (0 = no SLO)");
+    args.addOption("rates", "0.002,0.01,0.05,0.25",
+                   "comma-separated arrival rates (req/s)");
+    args.addOption("json-dir", ".",
+                   "where BENCH_serving.json goes (empty = skip)");
+    args.addOption("jobs", "1",
+                   "worker threads for the sweep (0 = all cores)");
+    if (!args.parse(argc, argv) || args.helpRequested()) {
+        std::cerr << args.usage();
+        return args.helpRequested() ? 0 : 2;
+    }
+    const std::size_t requests =
+        static_cast<std::size_t>(args.getInt("requests"));
+    const Seconds slo = msec(args.getDouble("slo-ms"));
+    const unsigned jobs = static_cast<unsigned>(args.getInt("jobs"));
+    if (!args.ok()) {
+        std::cerr << "error: " << args.error() << "\n";
+        return 2;
+    }
+
+    std::vector<double> rates;
+    std::stringstream rate_list(args.get("rates"));
+    std::string tok;
+    while (std::getline(rate_list, tok, ','))
+        if (!tok.empty())
+            rates.push_back(std::stod(tok));
+    check(!rates.empty(), "at least one arrival rate is required");
+
+    SystemConfig sys = defaultSystem();
+    HilosOptions opts;
+    opts.num_devices = static_cast<unsigned>(args.getInt("devices"));
+    const HilosEngine engine(sys, opts);
+
+    ServingConfig base;
+    base.model = modelByName(args.get("model"));
+    base.max_batch = static_cast<std::uint64_t>(args.getInt("max-batch"));
+    base.slo = slo;
+
+    const ServingPolicy policies[] = {
+        ServingPolicy::Fcfs, ServingPolicy::Sjf, ServingPolicy::SloAware};
+    std::vector<SweepPoint> points;
+    for (double r : rates)
+        for (ServingPolicy p : policies)
+            points.push_back(SweepPoint{r, p});
+
+    SweepDriver driver(jobs);
+    const std::vector<ServingResult> sweep =
+        driver.map(points, [&](const SweepPoint &pt) {
+            std::size_t rate_index = 0;
+            while (rates[rate_index] != pt.rate)
+                rate_index++;
+            ServingConfig cfg = base;
+            cfg.policy = pt.policy;
+            const ServingSimulator sim(engine, cfg);
+            return sim.run(
+                pointStream(pt.rate, rate_index, requests));
+        });
+
+    printBanner(std::cout,
+                "serving saturation (" + args.get("model") + ", " +
+                    std::to_string(requests) + " req/point, batch cap " +
+                    std::to_string(base.max_batch) + ", SLO " +
+                    std::to_string(static_cast<long long>(
+                        static_cast<double>(slo))) +
+                    " s)");
+
+    bench::BenchJson json("serving");
+    json.meta("model", args.get("model"))
+        .meta("devices", std::uint64_t{opts.num_devices})
+        .meta("max_batch", base.max_batch)
+        .meta("requests", std::uint64_t{requests})
+        .meta("slo_s", double(slo));
+
+    TextTable table({"rate req/s", "policy", "ttft p50 s", "ttft p99 s",
+                     "e2e p99 s", "goodput r/s", "slo att",
+                     "peak queue"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const ServingResult &r = sweep[i];
+        const std::string policy = servingPolicyName(points[i].policy);
+        check(r.feasible, "sweep point must be feasible: " + r.note);
+        table.row()
+            .num(points[i].rate, 3)
+            .cell(policy)
+            .num(r.ttft_p50, 2)
+            .num(r.ttft_p99, 2)
+            .num(r.latency_p99, 2)
+            .num(r.goodput_rps, 4)
+            .num(r.slo_attainment, 3)
+            .num(static_cast<double>(r.peak_queue_depth), 0);
+        json.row()
+            .cell("rate", points[i].rate)
+            .cell("policy", policy)
+            .cell("ttft_p50_s", double(r.ttft_p50))
+            .cell("ttft_p99_s", double(r.ttft_p99))
+            .cell("ttft_p999_s", double(r.ttft_p999))
+            .cell("latency_p50_s", double(r.latency_p50))
+            .cell("latency_p99_s", double(r.latency_p99))
+            .cell("latency_p999_s", double(r.latency_p999))
+            .cell("goodput_rps", r.goodput_rps)
+            .cell("slo_attainment", r.slo_attainment)
+            .cell("tokens_per_s", r.tokens_per_second)
+            .cell("mean_in_flight", r.mean_in_flight)
+            .cell("peak_in_flight", r.peak_in_flight)
+            .cell("mean_queue_depth", r.mean_queue_depth)
+            .cell("peak_queue_depth", r.peak_queue_depth)
+            .cell("makespan_s", double(r.makespan));
+    }
+    table.print(std::cout);
+
+    // Saturation is visible in the sweep itself: the highest rate must
+    // queue at least as deep as the lowest (same stream length, less
+    // inter-arrival slack). FCFS rows only — policies reorder waits.
+    double low_depth = -1.0, high_depth = -1.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (points[i].policy != ServingPolicy::Fcfs)
+            continue;
+        if (points[i].rate == rates.front())
+            low_depth = sweep[i].mean_queue_depth;
+        if (points[i].rate == rates.back())
+            high_depth = sweep[i].mean_queue_depth;
+    }
+    check(high_depth >= low_depth,
+          "queue depth must not shrink as offered load grows");
+
+    if (!args.get("json-dir").empty())
+        json.write(args.get("json-dir"));
+    return 0;
+}

@@ -13,6 +13,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 
 #include "common/cli.h"
 #include "common/logging.h"
@@ -152,6 +153,53 @@ printReport(const std::string &engine_name, const RunConfig &run,
     }
 }
 
+void
+printServingReport(const std::string &engine_name,
+                   const ServingConfig &cfg, const ServingResult &r)
+{
+    printBanner(std::cout, engine_name + " serving");
+    if (!r.feasible) {
+        std::cout << "infeasible: " << r.note << "\n";
+        return;
+    }
+    std::printf("policy               : %s\n",
+                servingPolicyName(cfg.policy).c_str());
+    std::printf("requests             : %llu (%llu met SLO)\n",
+                (unsigned long long)r.requests,
+                (unsigned long long)r.slo_met);
+    std::printf("makespan             : %s\n",
+                formatSeconds(r.makespan).c_str());
+    std::printf("goodput              : %.4f req/s (attainment %.4f)\n",
+                r.goodput_rps, r.slo_attainment);
+    std::printf("throughput           : %.4f tokens/s\n",
+                r.tokens_per_second);
+    TextTable lt({"latency", "p50", "p99", "p999"});
+    lt.row()
+        .cell("TTFT")
+        .cell(formatSeconds(r.ttft_p50))
+        .cell(formatSeconds(r.ttft_p99))
+        .cell(formatSeconds(r.ttft_p999));
+    lt.row()
+        .cell("end-to-end")
+        .cell(formatSeconds(r.latency_p50))
+        .cell(formatSeconds(r.latency_p99))
+        .cell(formatSeconds(r.latency_p999));
+    lt.print(std::cout);
+    std::printf("mean queue wait      : %s\n",
+                formatSeconds(r.mean_queue_wait).c_str());
+    std::printf("queue depth          : %.3f mean, %llu peak\n",
+                r.mean_queue_depth,
+                (unsigned long long)r.peak_queue_depth);
+    std::printf("in-flight batch      : %.3f mean, %llu peak\n",
+                r.mean_in_flight, (unsigned long long)r.peak_in_flight);
+    std::printf("decode steps         : %llu (%llu prefill batches)\n",
+                (unsigned long long)r.decode_steps,
+                (unsigned long long)r.prefill_batches);
+    std::printf("step-cost cache      : %llu hits, %llu misses\n",
+                (unsigned long long)r.cost_cache_hits,
+                (unsigned long long)r.cost_cache_misses);
+}
+
 double
 priceFor(const std::string &engine, const SystemConfig &sys,
          unsigned devices)
@@ -212,7 +260,21 @@ main(int argc, char **argv)
                    "(0 = all cores; output is identical at any value)")
         .addOption("trace", "",
                    "write a chrome://tracing JSON of one simulated "
-                   "decode step (HILOS only) to this file");
+                   "decode step (HILOS only) to this file")
+        .addFlag("serve",
+                 "online serving simulation: continuous batching over "
+                 "an arrival stream (uses --batch as the batch cap; "
+                 "--policy selects fcfs, sjf, or slo)")
+        .addOption("arrival-rate", "1",
+                   "serving arrival rate in requests/s (Poisson)")
+        .addOption("requests", "64",
+                   "request count of the generated Poisson stream")
+        .addOption("arrival-trace", "",
+                   "replay arrivals from a trace file "
+                   "(`<arrival_seconds> <input> <output>` per line) "
+                   "instead of generating a Poisson stream")
+        .addOption("slo-ms", "0",
+                   "end-to-end latency SLO in milliseconds (0 = none)");
 
     if (!args.parse(argc, argv) || args.helpRequested()) {
         std::cout << args.usage();
@@ -325,6 +387,50 @@ main(int argc, char **argv)
     } else {
         engine = makeEngine(engineByName(engine_name), sys, opts);
     }
+    if (args.getFlag("serve")) {
+        ServingConfig scfg;
+        scfg.model = run.model;
+        scfg.max_batch = run.batch;
+        if (policy_name != "spread" &&
+            !parseServingPolicy(policy_name, &scfg.policy)) {
+            std::cerr << "error: unknown serving policy '" << policy_name
+                      << "' (fcfs, sjf, slo)\n";
+            return 2;
+        }
+        scfg.slo = Seconds(args.getDouble("slo-ms") / 1e3);
+        std::vector<Request> stream;
+        const std::string trace_file = args.get("arrival-trace");
+        if (!trace_file.empty()) {
+            std::ifstream in(trace_file);
+            if (!in) {
+                std::cerr << "error: cannot read " << trace_file << "\n";
+                return 2;
+            }
+            std::ostringstream text;
+            text << in.rdbuf();
+            stream = parseArrivalTrace(text.str());
+        } else {
+            PoissonStreamConfig pc;
+            pc.arrival_rate = args.getDouble("arrival-rate");
+            pc.count =
+                static_cast<std::size_t>(args.getInt("requests"));
+            if (!args.ok()) {
+                std::cerr << "error: " << args.error() << "\n";
+                return 2;
+            }
+            Rng rng;  // fixed default seed: streams replay exactly
+            stream = makePoissonArrivals(pc, rng);
+        }
+        if (stream.empty()) {
+            std::cerr << "error: empty arrival stream\n";
+            return 2;
+        }
+        const ServingSimulator sim(*engine, scfg);
+        const ServingResult sr = sim.run(stream);
+        printServingReport(engine->name(), scfg, sr);
+        return sr.feasible ? 0 : 1;
+    }
+
     const RunResult r = engine->run(run);
     printReport(engine->name(), run, r, price);
 

@@ -14,6 +14,11 @@
  *   flexgen-plan  FlexGen StepPlan evaluated analytically vs replayed
  *                 over contended resources (per-op structural invariant
  *                 + agreement band)
+ *   fleet         FleetEngine determinism + graceful-degradation
+ *                 invariants + analytic-vs-event-sim fleet step band
+ *   serving       continuous-batching ServingSimulator determinism +
+ *                 scheduling invariants + all-arrivals-at-zero makespan
+ *                 band against OfflineBatcher
  *
  * Every failure prints a one-line `seed=... cfg=...` repro; re-running
  * with `--replay <seed>` re-executes exactly that case:
@@ -51,6 +56,7 @@ const std::vector<OracleSpec> kOracles = {
     {"engine", &runEngineOracle},
     {"flexgen-plan", &runFlexGenPlanOracle},
     {"fleet", &runFleetOracle},
+    {"serving", &runServingOracle},
 };
 
 Perturbation
@@ -75,7 +81,7 @@ main(int argc, char **argv)
     ArgParser args("hilos_fuzz");
     args.addOption("oracle", "all",
                    "which oracle to run: attention, engine, "
-                   "flexgen-plan, all")
+                   "flexgen-plan, fleet, serving, all")
         .addOption("iters", "200", "fuzz iterations per oracle")
         .addOption("seed", "4994579712861519", "base seed for the run")
         .addOption("replay", "",
@@ -97,7 +103,8 @@ main(int argc, char **argv)
             oracles.push_back(o);
     if (oracles.empty()) {
         std::cerr << "error: unknown --oracle '" << which
-                  << "' (attention, engine, flexgen-plan, fleet, all)\n";
+                  << "' (attention, engine, flexgen-plan, fleet, "
+                     "serving, all)\n";
         return 2;
     }
     const Perturbation perturb = perturbByName(args.get("perturb"));

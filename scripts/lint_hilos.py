@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-specific lint invariants for the HILOS simulator.
 
-Three checks, each guarding a convention the test suite cannot express
+Four checks, each guarding a convention the test suite cannot express
 as a compile error (those live in tests/compile_fail/):
 
  1. quantity-typed public APIs: headers under src/ must not declare
@@ -18,6 +18,13 @@ as a compile error (those live in tests/compile_fail/):
  3. seeded determinism: the simulator guarantees bit-identical replays
     from a seed, so wall-clock and OS-entropy sources are banned outside
     src/common/random.* (the one place allowed to own RNG plumbing).
+
+ 4. serving latency typing: the serving headers report SLO-facing
+    timestamps and latencies (ttft, deadline, makespan, queue wait, ...)
+    whose unit mistakes ship straight into goodput numbers; any `double`
+    member or parameter built from those words must be Seconds. Stricter
+    than check 1: inside src/runtime/serving*.h the word may appear
+    anywhere in the identifier, not just as a suffix.
 
 Exits non-zero listing file:line for every violation. No third-party
 imports; runs anywhere a python3 exists (CI and the ctest fast lane).
@@ -125,11 +132,66 @@ def check_determinism(violations):
                     )
 
 
+# --- check 4: serving headers type every latency as Seconds ---------------
+
+SERVING_LATENCY_WORDS = {
+    "ttft",
+    "slo",
+    "deadline",
+    "makespan",
+    "wait",
+    "arrival",
+    "e2e",
+    "latency",
+    "admitted",
+    "completed",
+}
+
+# A latency word qualified into a dimensionless metric (arrival_rate,
+# slo_attainment) legitimately stays double: the *last* token names the
+# actual dimension.
+SERVING_DIMENSIONLESS_TAILS = {
+    "rate",
+    "rps",
+    "ratio",
+    "attainment",
+    "overhead",
+    "weight",
+    "count",
+}
+
+# file:name escapes for anything the tail rule cannot express.
+SERVING_LATENCY_ALLOWLIST: set = set()
+
+
+def check_serving_latency_types(violations):
+    for path in sorted((ROOT / "src" / "runtime").glob("serving*.h")):
+        rel = path.relative_to(ROOT)
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            code = line.split("//")[0]
+            for match in DOUBLE_DECL.finditer(code):
+                name = match.group(2)
+                if f"{rel}:{name}" in SERVING_LATENCY_ALLOWLIST:
+                    continue
+                tokens = name.lower().split("_")
+                if tokens[-1] in SERVING_DIMENSIONLESS_TAILS:
+                    continue
+                hits = set(tokens) & SERVING_LATENCY_WORDS
+                if hits:
+                    violations.append(
+                        f"{rel}:{lineno}: '{match.group(0).strip()}' "
+                        f"carries a serving latency "
+                        f"({', '.join(sorted(hits))}) as raw double; "
+                        f"declare it Seconds (common/units.h)"
+                    )
+
+
 def main():
     violations = []
     check_quantity_types(violations)
     check_golden_format(violations)
     check_determinism(violations)
+    check_serving_latency_types(violations)
     if violations:
         print(f"lint_hilos: {len(violations)} violation(s)")
         for v in violations:

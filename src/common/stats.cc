@@ -56,6 +56,12 @@ void
 Histogram::add(double x)
 {
     total_++;
+    if (total_ == 1) {
+        min_seen_ = max_seen_ = x;
+    } else {
+        min_seen_ = std::min(min_seen_, x);
+        max_seen_ = std::max(max_seen_, x);
+    }
     if (x < lo_) {
         underflow_++;
     } else if (x >= hi_) {
@@ -72,6 +78,7 @@ Histogram::reset()
 {
     std::fill(counts_.begin(), counts_.end(), 0);
     underflow_ = overflow_ = total_ = 0;
+    min_seen_ = max_seen_ = 0.0;
 }
 
 double
@@ -95,7 +102,7 @@ Histogram::quantile(double q) const
     const double target = q * static_cast<double>(total_);
     double cum = static_cast<double>(underflow_);
     if (cum >= target && underflow_ > 0)
-        return lo_;
+        return min_seen_;
     for (std::size_t i = 0; i < counts_.size(); i++) {
         const double next = cum + static_cast<double>(counts_[i]);
         if (next >= target && counts_[i] > 0) {
@@ -105,7 +112,9 @@ Histogram::quantile(double q) const
         }
         cum = next;
     }
-    return hi_;
+    // The quantile lands in the overflow mass (or the in-range buckets
+    // are empty): report the true maximum, not the bucket bound hi_.
+    return overflow_ > 0 ? max_seen_ : hi_;
 }
 
 std::string
@@ -128,6 +137,27 @@ StatRegistry::reset()
         c.reset();
     for (auto &[key, s] : summaries_)
         s.reset();
+}
+
+double
+exactQuantile(std::vector<double> samples, double q)
+{
+    std::sort(samples.begin(), samples.end());
+    return exactQuantileSorted(samples, q);
+}
+
+double
+exactQuantileSorted(const std::vector<double> &sorted, double q)
+{
+    HILOS_ASSERT(q >= 0.0 && q <= 1.0, "quantile out of range: ", q);
+    HILOS_ASSERT(!sorted.empty(), "exact quantile of an empty sample set");
+    const auto n = sorted.size();
+    // Nearest-rank: rank = ceil(q * n), clamped to [1, n].
+    auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(n)));
+    rank = std::max<std::size_t>(rank, 1);
+    rank = std::min(rank, n);
+    return sorted[rank - 1];
 }
 
 double

@@ -75,7 +75,10 @@ class Histogram
 
     /**
      * Approximate quantile (0 <= q <= 1) assuming uniform density within
-     * a bucket. Out-of-range samples clamp to the histogram bounds.
+     * a bucket. Quantiles that land in the underflow (overflow) mass
+     * return the true minimum (maximum) sample seen rather than silently
+     * clamping to the histogram bounds, so q=1.0 always reports the real
+     * tail even when samples fell outside [lo, hi).
      */
     double quantile(double q) const;
 
@@ -87,6 +90,8 @@ class Histogram
     std::uint64_t underflow_ = 0;
     std::uint64_t overflow_ = 0;
     std::uint64_t total_ = 0;
+    double min_seen_ = 0.0;
+    double max_seen_ = 0.0;
 };
 
 /**
@@ -125,6 +130,17 @@ class StatRegistry
 
 /** Pearson correlation coefficient of two equal-length series. */
 double pearson(const std::vector<double> &x, const std::vector<double> &y);
+
+/**
+ * Exact nearest-rank quantile of a sample set: the smallest value v such
+ * that at least ceil(q * n) samples are <= v. Unlike Histogram::quantile
+ * this never interpolates, so tail percentiles (p99/p999) are actual
+ * observed samples. Sorts a copy; O(n log n). Asserts on an empty set.
+ */
+double exactQuantile(std::vector<double> samples, double q);
+
+/** exactQuantile for a pre-sorted (ascending) sample set; O(1). */
+double exactQuantileSorted(const std::vector<double> &sorted, double q);
 
 }  // namespace hilos
 

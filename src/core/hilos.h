@@ -32,6 +32,8 @@
 #include "runtime/fleet_engine.h"
 #include "runtime/flexgen.h"
 #include "runtime/hilos_engine.h"
+#include "runtime/serving.h"
+#include "runtime/serving_workload.h"
 #include "runtime/step_plan.h"
 #include "runtime/system_config.h"
 #include "runtime/vllm_multigpu.h"

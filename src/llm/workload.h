@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/units.h"
 #include "llm/tensor.h"
 
 namespace hilos {
@@ -35,6 +36,8 @@ struct Request {
     RequestClass cls = RequestClass::Small;
     std::uint64_t input_tokens = 0;
     std::uint64_t output_tokens = 0;
+    /** Arrival time in an online stream; 0 for offline batch sets. */
+    Seconds arrival = 0.0;
 };
 
 /** Canonical (input, output) lengths of a request class. */

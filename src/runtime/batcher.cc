@@ -58,10 +58,13 @@ OfflineBatcher::serve(const InferenceEngine &engine,
     res.batches = plan(requests);
 
     double real_prompt_tokens = 0;
-    for (const Request &r : requests)
+    double real_generated = 0;
+    for (const Request &r : requests) {
         real_prompt_tokens += static_cast<double>(r.input_tokens);
+        real_generated += static_cast<double>(r.output_tokens);
+    }
     double padded_prompt_tokens = 0;
-    double generated = 0;
+    double padded_generated = 0;
 
     for (const ScheduledBatch &batch : res.batches) {
         RunConfig run;
@@ -80,15 +83,20 @@ OfflineBatcher::serve(const InferenceEngine &engine,
         res.makespan += static_cast<double>(passes) * r.total_time;
         padded_prompt_tokens += static_cast<double>(batch.count) *
                                 static_cast<double>(batch.context_len);
-        generated += static_cast<double>(batch.count) *
-                     static_cast<double>(batch.output_len);
+        padded_generated += static_cast<double>(batch.count) *
+                            static_cast<double>(batch.output_len);
     }
 
     res.requests_per_hour =
         static_cast<double>(requests.size()) / res.makespan * 3600.0;
-    res.tokens_per_second = generated / res.makespan;
+    // Throughput counts tokens the requests actually asked for; decode
+    // steps spent padding shorter requests to the bucket's max output
+    // are waste, reported separately below.
+    res.tokens_per_second = real_generated / res.makespan;
     res.padding_overhead =
         padded_prompt_tokens / real_prompt_tokens - 1.0;
+    res.output_padding_overhead =
+        padded_generated / real_generated - 1.0;
     return res;
 }
 

@@ -35,9 +35,15 @@ struct BatchPlanResult {
     std::vector<ScheduledBatch> batches;
     Seconds makespan = 0;         ///< total time to drain the queue
     double requests_per_hour = 0;
-    double tokens_per_second = 0; ///< generated tokens over makespan
+    double tokens_per_second = 0; ///< real generated tokens over makespan
     /** Padding waste: padded prompt tokens / real prompt tokens - 1. */
     double padding_overhead = 0;
+    /**
+     * Output padding waste: each batch decodes to its bucket's max
+     * output length, so requests with shorter outputs ride along as
+     * padding. Padded generated tokens / real generated tokens - 1.
+     */
+    double output_padding_overhead = 0;
 };
 
 /**

@@ -1,0 +1,368 @@
+#include "runtime/serving.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "runtime/step_plan.h"
+#include "sim/event_queue.h"
+
+namespace hilos {
+
+namespace {
+
+/**
+ * Cached per-step cost oracle over one engine. Decode steps are costed
+ * through the StepPlan IR when the engine emits plans (all single-host
+ * engines); capacity and prefill — which the IR does not describe —
+ * and plan-less engines (the fleet) fall back to cached whole-engine
+ * run() results. Context keys are already bucket-padded by the caller,
+ * so the caches stay small even for long generations.
+ */
+class StepCostModel
+{
+  public:
+    StepCostModel(const InferenceEngine &engine, const ServingConfig &cfg)
+        : engine_(engine),
+          plans_(dynamic_cast<const StepPlanSource *>(&engine)), cfg_(cfg)
+    {
+    }
+
+    /** Engine batch capacity at a padded context (0 = unserveable). */
+    std::uint64_t
+    capacity(std::uint64_t context)
+    {
+        const RunResult &r = cachedRun(cfg_.max_batch, context);
+        return r.feasible ? r.effective_batch : 0;
+    }
+
+    /** One decode step of `batch` requests at a padded context. */
+    Seconds
+    stepTime(std::uint64_t batch, std::uint64_t context)
+    {
+        const auto key = std::make_pair(batch, context);
+        auto it = step_cache_.find(key);
+        if (it != step_cache_.end()) {
+            hits++;
+            return it->second;
+        }
+        misses++;
+        Seconds t = 0.0;
+        if (plans_ != nullptr) {
+            const StepPlan plan =
+                plans_->decodeStepPlan(runConfig(batch, context));
+            HILOS_ASSERT(plan.feasible,
+                         "decode plan infeasible at admitted batch ",
+                         batch, " context ", context, ": ", plan.note);
+            t = evaluatePlan(plan).decode_step_time;
+        } else {
+            const RunResult &r = cachedRun(batch, context);
+            HILOS_ASSERT(r.feasible, "engine infeasible at admitted batch ",
+                         batch, " context ", context, ": ", r.note);
+            t = r.decode_step_time;
+        }
+        step_cache_.emplace(key, t);
+        return t;
+    }
+
+    /** Batched prefill of `batch` prompts at a padded prompt length. */
+    Seconds
+    prefillTime(std::uint64_t batch, std::uint64_t context)
+    {
+        const RunResult &r = cachedRun(batch, context);
+        HILOS_ASSERT(r.feasible, "prefill infeasible at admitted batch ",
+                     batch, " context ", context, ": ", r.note);
+        return r.prefill_time;
+    }
+
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+  private:
+    RunConfig
+    runConfig(std::uint64_t batch, std::uint64_t context) const
+    {
+        RunConfig run;
+        run.model = cfg_.model;
+        run.batch = batch;
+        run.context_len = context;
+        run.output_len = 1;  // cost one step, not a whole generation
+        return run;
+    }
+
+    const RunResult &
+    cachedRun(std::uint64_t batch, std::uint64_t context)
+    {
+        const auto key = std::make_pair(batch, context);
+        auto it = run_cache_.find(key);
+        if (it != run_cache_.end()) {
+            hits++;
+            return it->second;
+        }
+        misses++;
+        return run_cache_
+            .emplace(key, engine_.run(runConfig(batch, context)))
+            .first->second;
+    }
+
+    const InferenceEngine &engine_;
+    const StepPlanSource *plans_;
+    const ServingConfig &cfg_;
+    std::map<std::pair<std::uint64_t, std::uint64_t>, Seconds> step_cache_;
+    std::map<std::pair<std::uint64_t, std::uint64_t>, RunResult> run_cache_;
+};
+
+/** Queue-depth curve from per-request (arrival, admitted) intervals. */
+void
+fillQueueDepth(const std::vector<RequestRecord> &records,
+               ServingResult &res)
+{
+    // +1 at arrival, -1 at admission; arrivals first at equal times so
+    // a request admitted the instant it arrives still counts toward
+    // the peak (it was pending when the admission decision ran).
+    struct Edge {
+        double when;
+        int delta;
+    };
+    std::vector<Edge> edges;
+    edges.reserve(records.size() * 2);
+    for (const RequestRecord &r : records) {
+        edges.push_back(Edge{r.arrival.value(), +1});
+        edges.push_back(Edge{r.admitted.value(), -1});
+    }
+    std::stable_sort(edges.begin(), edges.end(),
+                     [](const Edge &a, const Edge &b) {
+                         if (a.when != b.when)
+                             return a.when < b.when;
+                         return a.delta > b.delta;
+                     });
+    std::uint64_t depth = 0;
+    for (std::size_t i = 0; i < edges.size(); i++) {
+        depth = static_cast<std::uint64_t>(static_cast<std::int64_t>(depth) +
+                                           edges[i].delta);
+        res.peak_queue_depth = std::max(res.peak_queue_depth, depth);
+        const bool last_at_time =
+            i + 1 == edges.size() || edges[i + 1].when != edges[i].when;
+        if (last_at_time)
+            res.queue_depth.push_back(
+                QueueDepthSample{Seconds(edges[i].when), depth});
+    }
+}
+
+}  // namespace
+
+ServingSimulator::ServingSimulator(const InferenceEngine &engine,
+                                   ServingConfig cfg)
+    : engine_(engine), cfg_(std::move(cfg))
+{
+    HILOS_ASSERT(cfg_.max_batch >= 1, "batch capacity must be >= 1");
+    HILOS_ASSERT(cfg_.bucket_quantum >= 1, "bucket quantum must be >= 1");
+    HILOS_ASSERT(cfg_.slo >= 0.0, "negative SLO: ", cfg_.slo);
+}
+
+ServingResult
+ServingSimulator::run(const std::vector<Request> &requests) const
+{
+    HILOS_ASSERT(!requests.empty(), "nothing to serve");
+    ServingResult res;
+    res.requests = requests.size();
+    StepCostModel cost(engine_, cfg_);
+
+    res.records.reserve(requests.size());
+    for (std::size_t i = 0; i < requests.size(); i++) {
+        const Request &r = requests[i];
+        HILOS_ASSERT(r.output_tokens >= 1, "request ", i,
+                     " generates no tokens");
+        HILOS_ASSERT(r.arrival >= 0.0, "request ", i,
+                     " arrives in the past: ", r.arrival);
+        RequestRecord rec;
+        rec.id = i;
+        rec.cls = r.cls;
+        rec.input_tokens = std::max<std::uint64_t>(r.input_tokens, 1);
+        rec.output_tokens = r.output_tokens;
+        rec.arrival = r.arrival;
+        res.records.push_back(rec);
+    }
+
+    // A request's context grows to input + output tokens over its
+    // lifetime; admission reserves capacity at that padded peak so the
+    // in-flight batch never outgrows the engine mid-generation.
+    const auto lifetimeCtx = [&](const RequestRecord &rec) {
+        return roundUp(rec.input_tokens + rec.output_tokens,
+                       cfg_.bucket_quantum);
+    };
+    for (const RequestRecord &rec : res.records) {
+        if (cost.capacity(lifetimeCtx(rec)) == 0) {
+            std::ostringstream oss;
+            oss << "request " << rec.id << " (context "
+                << rec.input_tokens + rec.output_tokens
+                << ") does not fit " << engine_.name() << " even alone";
+            res.feasible = false;
+            res.note = oss.str();
+            return res;
+        }
+    }
+
+    EventQueue eq;
+    std::vector<std::size_t> pending;  // record ids, arrival order
+    for (const RequestRecord &rec : res.records) {
+        const std::size_t id = rec.id;
+        eq.scheduleAt(rec.arrival, [&pending, id] { pending.push_back(id); });
+    }
+
+    struct InFlight {
+        std::size_t id = 0;
+        std::uint64_t generated = 0;
+    };
+    std::vector<InFlight> flight;
+    std::uint64_t completed = 0;
+
+    while (completed < res.requests) {
+        if (flight.empty() && pending.empty()) {
+            // Idle: jump straight to the next arrival.
+            eq.runUntil(eq.peekNext());
+            continue;
+        }
+
+        // Admission at the step boundary: order the pending queue by
+        // policy, then admit greedily without leapfrogging — the first
+        // request that does not fit blocks the rest, so FCFS cannot
+        // starve anyone.
+        if (!pending.empty() && flight.size() < cfg_.max_batch) {
+            std::vector<AdmissionCandidate> cands;
+            cands.reserve(pending.size());
+            for (std::size_t id : pending) {
+                const RequestRecord &rec = res.records[id];
+                AdmissionCandidate c;
+                c.id = id;
+                c.arrival = rec.arrival;
+                c.input_tokens = rec.input_tokens;
+                c.output_tokens = rec.output_tokens;
+                c.deadline = rec.arrival + cfg_.slo;
+                cands.push_back(c);
+            }
+            orderForAdmission(cfg_.policy, cands);
+
+            std::uint64_t flight_ctx = 0;
+            for (const InFlight &f : flight)
+                flight_ctx =
+                    std::max(flight_ctx, lifetimeCtx(res.records[f.id]));
+
+            std::vector<std::size_t> admitted;
+            for (const AdmissionCandidate &c : cands) {
+                if (flight.size() >= cfg_.max_batch)
+                    break;
+                const std::uint64_t ctx = std::max(
+                    flight_ctx, lifetimeCtx(res.records[c.id]));
+                if (cost.capacity(ctx) < flight.size() + 1)
+                    break;
+                flight_ctx = ctx;
+                res.records[c.id].admitted = eq.now();
+                flight.push_back(InFlight{c.id, 0});
+                admitted.push_back(c.id);
+            }
+            if (!admitted.empty()) {
+                pending.erase(
+                    std::remove_if(pending.begin(), pending.end(),
+                                   [&](std::size_t id) {
+                                       return std::find(admitted.begin(),
+                                                        admitted.end(),
+                                                        id) !=
+                                              admitted.end();
+                                   }),
+                    pending.end());
+                // One batched prefill for the newly admitted group,
+                // padded to its longest prompt.
+                std::uint64_t prompt = 0;
+                for (std::size_t id : admitted)
+                    prompt =
+                        std::max(prompt, res.records[id].input_tokens);
+                const Seconds pt = cost.prefillTime(
+                    admitted.size(),
+                    roundUp(prompt, cfg_.bucket_quantum));
+                eq.runUntil(eq.now() + pt);
+                res.prefill_batches++;
+            }
+        }
+        if (flight.empty())
+            continue;
+        res.peak_in_flight =
+            std::max<std::uint64_t>(res.peak_in_flight, flight.size());
+
+        // One decode step for the whole in-flight batch, costed at the
+        // padded longest current context.
+        std::uint64_t ctx_now = 0;
+        for (const InFlight &f : flight) {
+            const RequestRecord &rec = res.records[f.id];
+            ctx_now = std::max(ctx_now, rec.input_tokens + f.generated);
+        }
+        const Seconds step =
+            cost.stepTime(flight.size(),
+                          roundUp(ctx_now, cfg_.bucket_quantum));
+        eq.runUntil(eq.now() + step);
+        res.decode_steps++;
+
+        for (InFlight &f : flight) {
+            f.generated++;
+            if (f.generated == 1)
+                res.records[f.id].first_token = eq.now();
+        }
+        for (const InFlight &f : flight) {
+            if (f.generated >= res.records[f.id].output_tokens) {
+                res.records[f.id].completed = eq.now();
+                completed++;
+            }
+        }
+        flight.erase(std::remove_if(flight.begin(), flight.end(),
+                                    [&](const InFlight &f) {
+                                        return f.generated >=
+                                               res.records[f.id]
+                                                   .output_tokens;
+                                    }),
+                     flight.end());
+    }
+
+    // --- metrics ---------------------------------------------------
+    double real_generated = 0;
+    double residency = 0;  // in-flight request-seconds
+    double wait = 0;       // pending-queue request-seconds
+    std::vector<double> ttft;
+    std::vector<double> e2e;
+    ttft.reserve(res.records.size());
+    e2e.reserve(res.records.size());
+    for (RequestRecord &rec : res.records) {
+        res.makespan = std::max(res.makespan, rec.completed);
+        real_generated += static_cast<double>(rec.output_tokens);
+        residency += rec.completed - rec.admitted;
+        wait += rec.queueWait();
+        ttft.push_back(rec.ttft().value());
+        e2e.push_back(rec.latency().value());
+        rec.met_slo = cfg_.slo <= 0.0 || rec.latency() <= cfg_.slo;
+        if (rec.met_slo)
+            res.slo_met++;
+    }
+    res.ttft_p50 = Seconds(exactQuantile(ttft, 0.50));
+    res.ttft_p99 = Seconds(exactQuantile(ttft, 0.99));
+    res.ttft_p999 = Seconds(exactQuantile(ttft, 0.999));
+    res.latency_p50 = Seconds(exactQuantile(e2e, 0.50));
+    res.latency_p99 = Seconds(exactQuantile(e2e, 0.99));
+    res.latency_p999 = Seconds(exactQuantile(e2e, 0.999));
+    res.mean_queue_wait =
+        Seconds(wait / static_cast<double>(res.requests));
+    res.slo_attainment = static_cast<double>(res.slo_met) /
+                         static_cast<double>(res.requests);
+    res.goodput_rps =
+        static_cast<double>(res.slo_met) / res.makespan;
+    res.tokens_per_second = real_generated / res.makespan;
+    res.mean_in_flight = residency / res.makespan;
+    res.mean_queue_depth = wait / res.makespan;
+    fillQueueDepth(res.records, res);
+    res.cost_cache_hits = cost.hits;
+    res.cost_cache_misses = cost.misses;
+    return res;
+}
+
+}  // namespace hilos

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Online serving simulation: continuous batching over an arrival stream.
+ *
+ * The offline engines answer "what does one steady-state decode step
+ * cost"; this layer answers "what happens when traffic arrives over
+ * time". A `ServingSimulator` drives any `InferenceEngine` (the five
+ * single-host engines or the fleet) with a request stream from
+ * `runtime/serving_workload`, admits pending requests under a
+ * `ServingPolicy` at every step boundary, and grows/shrinks the
+ * in-flight batch between decode steps. Each step is costed through the
+ * engine's StepPlan IR (`StepPlanSource::decodeStepPlan` +
+ * `evaluatePlan`) rather than re-running whole-engine `run()` calls;
+ * engines that emit no plans (the fleet) fall back to cached `run()`
+ * results. Time advances on a `sim/event_queue`, so arrivals interleave
+ * with decode steps deterministically.
+ *
+ * Reported metrics follow the serving literature: exact (sorted-sample)
+ * p50/p99/p999 time-to-first-token and end-to-end latency, goodput
+ * under an SLO, queue depth over time, and saturation indicators
+ * (time-weighted batch occupancy, peak queue depth).
+ */
+
+#ifndef HILOS_RUNTIME_SERVING_H_
+#define HILOS_RUNTIME_SERVING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "llm/workload.h"
+#include "runtime/engine.h"
+#include "runtime/serving_policy.h"
+
+namespace hilos {
+
+/** Parameters of one serving simulation. */
+struct ServingConfig {
+    ModelConfig model;
+    /** Scheduler-side cap on the in-flight batch (engine capacity may
+     *  shrink it further at long contexts). */
+    std::uint64_t max_batch = 16;
+    /** Contexts round up to a multiple of this for step costing, like
+     *  the offline batcher's bucket padding. */
+    std::uint64_t bucket_quantum = 1024;
+    ServingPolicy policy = ServingPolicy::Fcfs;
+    /** End-to-end latency SLO; 0 disables SLO accounting. */
+    Seconds slo = 0.0;
+};
+
+/** Per-request lifecycle timestamps of one serving run. */
+struct RequestRecord {
+    std::size_t id = 0;  ///< submission index
+    RequestClass cls = RequestClass::Small;
+    std::uint64_t input_tokens = 0;
+    std::uint64_t output_tokens = 0;
+    Seconds arrival = 0.0;
+    Seconds admitted = 0.0;     ///< left the pending queue
+    Seconds first_token = 0.0;  ///< first decode step completed
+    Seconds completed = 0.0;    ///< last output token produced
+    bool met_slo = true;
+
+    Seconds ttft() const { return first_token - arrival; }
+    Seconds latency() const { return completed - arrival; }
+    Seconds queueWait() const { return admitted - arrival; }
+};
+
+/** One point of the queue-depth-over-time curve. */
+struct QueueDepthSample {
+    Seconds when = 0.0;
+    std::uint64_t depth = 0;
+};
+
+/** Outcome of one serving simulation. */
+struct ServingResult {
+    bool feasible = true;
+    std::string note;  ///< infeasibility reason when !feasible
+
+    std::uint64_t requests = 0;
+    std::uint64_t slo_met = 0;  ///< == requests when no SLO is set
+    Seconds makespan = 0.0;     ///< last completion time
+
+    /** Exact (nearest-rank) latency percentiles, not interpolated. */
+    Seconds ttft_p50 = 0.0;
+    Seconds ttft_p99 = 0.0;
+    Seconds ttft_p999 = 0.0;
+    Seconds latency_p50 = 0.0;
+    Seconds latency_p99 = 0.0;
+    Seconds latency_p999 = 0.0;
+    Seconds mean_queue_wait = 0.0;
+
+    double slo_attainment = 1.0;  ///< slo_met / requests
+    /** SLO-met requests per second of makespan (== throughput with no
+     *  SLO set; collapses toward 0 past saturation). */
+    double goodput_rps = 0.0;
+    double tokens_per_second = 0.0;  ///< real generated tokens / makespan
+
+    std::uint64_t decode_steps = 0;
+    std::uint64_t prefill_batches = 0;
+    /** Time-weighted mean in-flight batch (residency / makespan). */
+    double mean_in_flight = 0.0;
+    std::uint64_t peak_in_flight = 0;
+    /** Time-weighted mean pending-queue depth (total wait / makespan). */
+    double mean_queue_depth = 0.0;
+    std::uint64_t peak_queue_depth = 0;
+
+    /** Step-cost cache effectiveness (plan evaluations + engine runs). */
+    std::uint64_t cost_cache_hits = 0;
+    std::uint64_t cost_cache_misses = 0;
+
+    std::vector<RequestRecord> records;  ///< per request, submission order
+    std::vector<QueueDepthSample> queue_depth;  ///< depth after each change
+};
+
+/**
+ * Continuous-batching serving simulator over one engine.
+ *
+ * Deterministic: identical (engine, config, request set) inputs yield
+ * bit-identical results on any thread of any machine — the simulation
+ * itself is single-threaded and draws no randomness.
+ */
+class ServingSimulator
+{
+  public:
+    ServingSimulator(const InferenceEngine &engine, ServingConfig cfg);
+
+    /**
+     * Serve a request stream to completion. Requests may arrive in any
+     * order; arrival times need not be sorted. Infeasible streams (a
+     * request that cannot fit the engine even alone) come back with
+     * `feasible == false` and the reason in `note`.
+     */
+    ServingResult run(const std::vector<Request> &requests) const;
+
+    const ServingConfig &config() const { return cfg_; }
+
+  private:
+    const InferenceEngine &engine_;
+    ServingConfig cfg_;
+};
+
+}  // namespace hilos
+
+#endif  // HILOS_RUNTIME_SERVING_H_

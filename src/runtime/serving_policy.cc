@@ -1,0 +1,79 @@
+#include "runtime/serving_policy.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/logging.h"
+
+namespace hilos {
+
+std::string
+servingPolicyName(ServingPolicy policy)
+{
+    switch (policy) {
+    case ServingPolicy::Fcfs:
+        return "fcfs";
+    case ServingPolicy::Sjf:
+        return "sjf";
+    case ServingPolicy::SloAware:
+        return "slo";
+    }
+    HILOS_ASSERT(false, "unknown serving policy");
+    return "";
+}
+
+bool
+parseServingPolicy(const std::string &name, ServingPolicy *out)
+{
+    if (name == "fcfs")
+        *out = ServingPolicy::Fcfs;
+    else if (name == "sjf")
+        *out = ServingPolicy::Sjf;
+    else if (name == "slo")
+        *out = ServingPolicy::SloAware;
+    else
+        return false;
+    return true;
+}
+
+void
+orderForAdmission(ServingPolicy policy,
+                  std::vector<AdmissionCandidate> &pending)
+{
+    const auto fcfs = [](const AdmissionCandidate &a,
+                         const AdmissionCandidate &b) {
+        return std::make_tuple(a.arrival.value(), a.id) <
+               std::make_tuple(b.arrival.value(), b.id);
+    };
+    switch (policy) {
+    case ServingPolicy::Fcfs:
+        std::sort(pending.begin(), pending.end(), fcfs);
+        return;
+    case ServingPolicy::Sjf:
+        // Remaining decode work is the output length; prompt length
+        // breaks ties (a shorter prompt prefills faster).
+        std::sort(pending.begin(), pending.end(),
+                  [&](const AdmissionCandidate &a,
+                      const AdmissionCandidate &b) {
+                      if (a.output_tokens != b.output_tokens)
+                          return a.output_tokens < b.output_tokens;
+                      if (a.input_tokens != b.input_tokens)
+                          return a.input_tokens < b.input_tokens;
+                      return fcfs(a, b);
+                  });
+        return;
+    case ServingPolicy::SloAware:
+        // Earliest deadline first; deadline = arrival + slo.
+        std::sort(pending.begin(), pending.end(),
+                  [&](const AdmissionCandidate &a,
+                      const AdmissionCandidate &b) {
+                      if (a.deadline != b.deadline)
+                          return a.deadline < b.deadline;
+                      return fcfs(a, b);
+                  });
+        return;
+    }
+    HILOS_ASSERT(false, "unknown serving policy");
+}
+
+}  // namespace hilos

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Admission / scheduling policies for the online serving simulator.
+ *
+ * A policy is a deterministic total order over the pending queue; the
+ * continuous batcher admits in that order at every step boundary, never
+ * leapfrogging a request it cannot fit (so FCFS is starvation-free by
+ * construction and the other policies starve only while strictly
+ * better-ranked work keeps arriving).
+ */
+
+#ifndef HILOS_RUNTIME_SERVING_POLICY_H_
+#define HILOS_RUNTIME_SERVING_POLICY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace hilos {
+
+/** Admission orderings the serving simulator supports. */
+enum class ServingPolicy {
+    Fcfs,      ///< first-come first-served: (arrival, id)
+    Sjf,       ///< shortest job first: least remaining decode work
+    SloAware,  ///< earliest deadline first: (arrival + slo, id)
+};
+
+/** Printable policy name (also the CLI spelling). */
+std::string servingPolicyName(ServingPolicy policy);
+
+/**
+ * Parse a CLI spelling ("fcfs", "sjf", "slo").
+ * @return false (leaving `out` untouched) on an unknown name
+ */
+bool parseServingPolicy(const std::string &name, ServingPolicy *out);
+
+/** A pending request as the admission order sees it. */
+struct AdmissionCandidate {
+    std::size_t id = 0;  ///< submission index; the final tiebreak
+    Seconds arrival = 0.0;
+    std::uint64_t input_tokens = 0;
+    std::uint64_t output_tokens = 0;
+    Seconds deadline = 0.0;  ///< arrival + slo (SLO-aware only)
+};
+
+/**
+ * Sort `pending` into admission order. Every policy's ordering ends in
+ * the (arrival, id) tiebreak, so the order is total and deterministic
+ * for any input permutation.
+ */
+void orderForAdmission(ServingPolicy policy,
+                       std::vector<AdmissionCandidate> &pending);
+
+}  // namespace hilos
+
+#endif  // HILOS_RUNTIME_SERVING_POLICY_H_

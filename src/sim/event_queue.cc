@@ -43,11 +43,16 @@ EventQueue::runUntil(Seconds limit)
         now_ = e.when;
         e.fn();
     }
-    if (now_ < limit && heap_.empty())
-        now_ = limit;
-    else if (now_ < limit)
+    if (now_ < limit)
         now_ = limit;
     return now_;
+}
+
+Seconds
+EventQueue::peekNext() const
+{
+    HILOS_ASSERT(!heap_.empty(), "peekNext on an empty event queue");
+    return heap_.top().when;
 }
 
 void

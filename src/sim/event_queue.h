@@ -50,9 +50,13 @@ class EventQueue
 
     /**
      * Run events with time <= `limit`; leaves later events queued and
-     * advances now() to min(limit, last event time).
+     * always advances now() to `limit` (even if the queue drains early
+     * or the next pending event lies past the limit).
      */
     Seconds runUntil(Seconds limit);
+
+    /** Time of the earliest pending event. Asserts the queue is non-empty. */
+    Seconds peekNext() const;
 
     /** Drop all pending events and reset the clock to zero. */
     void reset();

@@ -57,7 +57,8 @@ FuzzEngineCase::describe() const
        << " xcache=" << (opts.xcache ? 1 : 0)
        << " writeback=" << (opts.delayed_writeback ? 1 : 0)
        << " alpha=" << opts.alpha_override
-       << " spill=" << opts.spill_interval << " cxl=" << (opts.cxl_mode ? 1 : 0)
+       << " spill=" << opts.spill_interval
+       << " cxl=" << (opts.cxl_mode ? 1 : 0)
        << " window=" << opts.attention_window
        << " faults=" << opts.fault_plan.events.size();
     return os.str();
@@ -276,6 +277,91 @@ ConfigFuzzer::fleetCase()
             }
         }
     }
+    return c;
+}
+
+namespace {
+
+std::string
+engineKindLabel(EngineKind kind)
+{
+    switch (kind) {
+    case EngineKind::FlexDram:
+        return "flex-dram";
+    case EngineKind::FlexSsd:
+        return "flex-ssd";
+    case EngineKind::FlexSmartSsdRaw:
+        return "flex-16p3";
+    case EngineKind::DeepSpeedUvm:
+        return "ds-uvm";
+    case EngineKind::VllmMultiGpu:
+        return "vllm";
+    case EngineKind::Hilos:
+        return "hilos";
+    }
+    return "?";
+}
+
+}  // namespace
+
+std::string
+FuzzServingCase::describe() const
+{
+    std::ostringstream os;
+    os << "engine=" << engineKindLabel(kind)
+       << " model=" << serving.model.name
+       << " max_batch=" << serving.max_batch
+       << " policy=" << servingPolicyName(serving.policy)
+       << " slo=" << serving.slo.value()
+       << " devices=" << opts.num_devices << " rate=" << arrival_rate
+       << " requests=" << requests.size();
+    if (!requests.empty())
+        os << " class=" << requestClassName(requests.front().cls);
+    return os.str();
+}
+
+FuzzServingCase
+ConfigFuzzer::servingCase()
+{
+    FuzzServingCase c;
+    c.seed = seed_;
+
+    constexpr EngineKind kinds[] = {
+        EngineKind::FlexDram,     EngineKind::FlexSsd,
+        EngineKind::FlexSmartSsdRaw, EngineKind::DeepSpeedUvm,
+        EngineKind::VllmMultiGpu, EngineKind::Hilos};
+    c.kind = pick(rng_, kinds);
+    constexpr unsigned devices[] = {4, 8, 16};
+    c.opts.num_devices = pick(rng_, devices);
+
+    const std::vector<ModelConfig> models = allModels();
+    c.serving.model = models[static_cast<std::size_t>(rng_.uniformInt(
+        0, static_cast<std::int64_t>(models.size()) - 1))];
+    constexpr std::uint64_t batches[] = {1, 4, 8, 16};
+    c.serving.max_batch = pick(rng_, batches);
+    constexpr ServingPolicy policies[] = {ServingPolicy::Fcfs,
+                                          ServingPolicy::Sjf,
+                                          ServingPolicy::SloAware};
+    c.serving.policy = pick(rng_, policies);
+    if (chance(rng_, 0.5))
+        c.serving.slo = Seconds(rng_.uniform(5.0, 600.0));
+
+    PoissonStreamConfig pc;
+    // Log-uniform arrival rate spanning idle to saturated.
+    c.arrival_rate = std::pow(10.0, rng_.uniform(-2.0, 0.5));
+    pc.arrival_rate = c.arrival_rate;
+    pc.count = static_cast<std::size_t>(rng_.uniformInt(1, 48));
+    // Homogeneous class (see FuzzServingCase doc); jitter still varies
+    // per-request lengths by +-25%.
+    constexpr RequestClass classes[] = {RequestClass::Small,
+                                        RequestClass::Medium,
+                                        RequestClass::Long};
+    const RequestClass cls = pick(rng_, classes);
+    pc.small_weight = cls == RequestClass::Small ? 1.0 : 0.0;
+    pc.medium_weight = cls == RequestClass::Medium ? 1.0 : 0.0;
+    pc.long_weight = cls == RequestClass::Long ? 1.0 : 0.0;
+    pc.length_jitter = 0.25;
+    c.requests = makePoissonArrivals(pc, rng_);
     return c;
 }
 

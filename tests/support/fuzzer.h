@@ -22,10 +22,15 @@
 #include <cstdint>
 #include <string>
 
+#include <vector>
+
 #include "common/random.h"
+#include "core/hilos.h"
 #include "runtime/engine.h"
 #include "runtime/fleet_engine.h"
 #include "runtime/hilos_engine.h"
+#include "runtime/serving.h"
+#include "runtime/serving_workload.h"
 
 namespace hilos {
 namespace test {
@@ -83,6 +88,27 @@ struct FuzzFleetCase {
 };
 
 /**
+ * One serving-oracle case: an engine, a serving configuration, and a
+ * pre-generated homogeneous-class Poisson arrival stream. The stream is
+ * single-class (with per-request length jitter) so the all-arrivals-
+ * at-zero comparison against OfflineBatcher stays inside the agreement
+ * band — mixed-class streams pad the continuous batch to the longest
+ * in-flight context, a modelling choice the band is not calibrated for
+ * (see DESIGN.md §12).
+ */
+struct FuzzServingCase {
+    std::uint64_t seed = 0;
+    EngineKind kind = EngineKind::Hilos;
+    HilosOptions opts;  ///< applies only to EngineKind::Hilos
+    ServingConfig serving;
+    double arrival_rate = 1.0;  ///< requests/s of the generated stream
+    std::vector<Request> requests;
+
+    /** One-line `k=v` rendering for repro messages. */
+    std::string describe() const;
+};
+
+/**
  * Samples valid oracle cases from a seeded RNG stream.
  */
 class ConfigFuzzer
@@ -98,6 +124,9 @@ class ConfigFuzzer
 
     /** Sample one fleet case (cluster shape + host-scope fault plan). */
     FuzzFleetCase fleetCase();
+
+    /** Sample one serving case (engine + policy + arrival stream). */
+    FuzzServingCase servingCase();
 
   private:
     std::uint64_t seed_;

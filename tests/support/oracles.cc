@@ -7,9 +7,13 @@
 #include <vector>
 
 #include "accel/attention_kernel.h"
+#include "core/hilos.h"
 #include "llm/attention_ref.h"
 #include "llm/tensor.h"
+#include "runtime/batcher.h"
 #include "runtime/flexgen.h"
+#include "runtime/serving.h"
+#include "support/serialize.h"
 #include "runtime/fleet_engine.h"
 #include "runtime/hilos_engine.h"
 #include "runtime/step_plan.h"
@@ -590,6 +594,146 @@ runFleetOracle(std::uint64_t seed, Perturbation perturb)
         out.ok = false;
         out.detail = "agreement: sim/analytic fleet step " + fmt(ratio) +
                      " outside [0.4, 2.5]";
+        return out;
+    }
+    return out;
+}
+
+namespace {
+
+/** First violated serving-run invariant; empty when all hold. */
+std::string
+checkServingInvariants(const FuzzServingCase &c, const ServingResult &r)
+{
+    if (r.requests != c.requests.size())
+        return "result covers " + std::to_string(r.requests) +
+               " requests, stream has " +
+               std::to_string(c.requests.size());
+    if (r.records.size() != r.requests)
+        return "record count mismatch";
+    if (r.peak_in_flight > c.serving.max_batch)
+        return "peak in-flight batch " +
+               std::to_string(r.peak_in_flight) + " exceeds the cap " +
+               std::to_string(c.serving.max_batch);
+    std::uint64_t met = 0;
+    std::uint64_t min_steps = 0;
+    for (const RequestRecord &rec : r.records) {
+        if (rec.admitted < rec.arrival)
+            return "request " + std::to_string(rec.id) +
+                   " admitted before it arrived";
+        if (!(rec.first_token > rec.admitted))
+            return "request " + std::to_string(rec.id) +
+                   " produced its first token at admission time";
+        if (rec.completed < rec.first_token)
+            return "request " + std::to_string(rec.id) +
+                   " completed before its first token";
+        if (rec.completed > r.makespan + kRelEps)
+            return "request " + std::to_string(rec.id) +
+                   " completes after the makespan";
+        if (rec.met_slo)
+            met++;
+        min_steps = std::max(min_steps, rec.output_tokens);
+    }
+    if (met != r.slo_met)
+        return "slo_met " + std::to_string(r.slo_met) +
+               " disagrees with the records (" + std::to_string(met) +
+               ")";
+    if (r.decode_steps < min_steps)
+        return "decode_steps " + std::to_string(r.decode_steps) +
+               " below the longest output " + std::to_string(min_steps);
+    if (r.ttft_p50 > r.ttft_p99 + kRelEps ||
+        r.ttft_p99 > r.ttft_p999 + kRelEps)
+        return "TTFT percentiles not monotone";
+    if (r.latency_p50 > r.latency_p99 + kRelEps ||
+        r.latency_p99 > r.latency_p999 + kRelEps)
+        return "latency percentiles not monotone";
+    if (!finiteNonNegative(r.makespan) ||
+        !finiteNonNegative(r.tokens_per_second) ||
+        !finiteNonNegative(r.goodput_rps))
+        return "negative or non-finite headline metrics";
+    if (r.slo_attainment < 0.0 || r.slo_attainment > 1.0 + kRelEps)
+        return "slo_attainment " + fmt(r.slo_attainment) +
+               " outside [0, 1]";
+    return "";
+}
+
+}  // namespace
+
+OracleOutcome
+runServingOracle(std::uint64_t seed, Perturbation perturb)
+{
+    ConfigFuzzer fuzzer(seed);
+    const FuzzServingCase c = fuzzer.servingCase();
+
+    OracleOutcome out;
+    out.seed = seed;
+    out.cfg = c.describe();
+
+    const SystemConfig sys = defaultSystem();
+    const auto engine = makeEngine(c.kind, sys, c.opts);
+    const ServingSimulator sim(*engine, c.serving);
+    const ServingResult a = sim.run(c.requests);
+    const ServingResult b = sim.run(c.requests);
+    if (serialize(a) != serialize(b)) {
+        out.ok = false;
+        out.detail = "determinism: two runs of one serving case differ";
+        return out;
+    }
+    if (!a.feasible) {
+        out.skipped = true;  // stream does not fit this engine at all
+        return out;
+    }
+    const std::string violation = checkServingInvariants(c, a);
+    if (!violation.empty()) {
+        out.ok = false;
+        out.detail = "serving invariant: " + violation;
+        return out;
+    }
+
+    // All-arrivals-at-zero equivalence: FCFS continuous batching and
+    // the offline bucketing batcher are two independent schedulers of
+    // the same request set over the same engine cost model, so their
+    // makespans must agree within the band.
+    std::vector<Request> at_zero = c.requests;
+    for (Request &r : at_zero)
+        r.arrival = 0.0;
+    const OfflineBatcher batcher(c.serving.max_batch,
+                                 c.serving.bucket_quantum);
+    for (const ScheduledBatch &batch : batcher.plan(at_zero)) {
+        RunConfig probe;
+        probe.model = c.serving.model;
+        probe.batch = 1;
+        probe.context_len = batch.context_len;
+        probe.output_len = batch.output_len;
+        if (!engine->run(probe).feasible) {
+            out.skipped = true;  // offline side cannot serve the set
+            return out;
+        }
+    }
+    ServingConfig fcfs_cfg = c.serving;
+    fcfs_cfg.policy = ServingPolicy::Fcfs;
+    const ServingSimulator fcfs_sim(*engine, fcfs_cfg);
+    const ServingResult serving = fcfs_sim.run(at_zero);
+    if (!serving.feasible) {
+        out.ok = false;
+        out.detail = "all-at-zero stream infeasible after the timed "
+                     "stream was served: " +
+                     serving.note;
+        return out;
+    }
+    const BatchPlanResult offline =
+        batcher.serve(*engine, c.serving.model, at_zero);
+    Seconds serving_makespan = serving.makespan;
+    // The self-test skew exceeds the band's dynamic range (2.5 / 0.4),
+    // so every naturally in-band case is pushed out — detection must
+    // not depend on where in the band the case happened to sit.
+    if (perturb == Perturbation::SkewAnalytic)
+        serving_makespan *= 8.0;
+    const double ratio = serving_makespan / offline.makespan;
+    if (ratio < 0.4 || ratio > 2.5) {
+        out.ok = false;
+        out.detail = "agreement: serving/offline makespan " +
+                     fmt(ratio) + " outside [0.4, 2.5]";
         return out;
     }
     return out;

@@ -113,6 +113,23 @@ OracleOutcome runFlexGenPlanOracle(
 OracleOutcome runFleetOracle(std::uint64_t seed,
                              Perturbation perturb = Perturbation::None);
 
+/**
+ * Run the serving differential oracle on the case derived from `seed`:
+ * a ServingSimulator over a fuzzed engine, policy, and homogeneous
+ * Poisson arrival stream. Checks that the simulation is deterministic
+ * (two runs serialize identically), that scheduling invariants hold
+ * (lifecycle timestamps ordered, in-flight batch within the cap, SLO
+ * and percentile accounting consistent), and that with every arrival
+ * moved to t=0 under FCFS the serving makespan agrees with
+ * OfflineBatcher::serve on the same request set within the band —
+ * continuous batching and offline bucketing are two independent
+ * schedulers over the same engine cost model.
+ * Perturbation::SkewAnalytic skews the serving makespan 3x so tests
+ * can verify the band detects divergence.
+ */
+OracleOutcome runServingOracle(
+    std::uint64_t seed, Perturbation perturb = Perturbation::None);
+
 /** Result of one analytic-vs-event-sim agreement check. */
 struct AgreementCheck {
     bool ok = true;

@@ -300,6 +300,72 @@ serialize(const StepPlan &plan)
 }
 
 std::string
+serialize(const ServingResult &r)
+{
+    std::ostringstream os;
+    kv(os, "feasible", std::string(r.feasible ? "true" : "false"));
+    kv(os, "note", r.note.empty() ? std::string("<none>") : r.note);
+    kv(os, "requests", r.requests);
+    kv(os, "slo_met", r.slo_met);
+    kv(os, "makespan", r.makespan);
+    kv(os, "ttft_p50", r.ttft_p50);
+    kv(os, "ttft_p99", r.ttft_p99);
+    kv(os, "ttft_p999", r.ttft_p999);
+    kv(os, "latency_p50", r.latency_p50);
+    kv(os, "latency_p99", r.latency_p99);
+    kv(os, "latency_p999", r.latency_p999);
+    kv(os, "mean_queue_wait", r.mean_queue_wait);
+    kv(os, "slo_attainment", r.slo_attainment);
+    kv(os, "goodput_rps", r.goodput_rps);
+    kv(os, "tokens_per_second", r.tokens_per_second);
+    kv(os, "decode_steps", r.decode_steps);
+    kv(os, "prefill_batches", r.prefill_batches);
+    kv(os, "mean_in_flight", r.mean_in_flight);
+    kv(os, "peak_in_flight", r.peak_in_flight);
+    kv(os, "mean_queue_depth", r.mean_queue_depth);
+    kv(os, "peak_queue_depth", r.peak_queue_depth);
+    kv(os, "cost_cache_hits", r.cost_cache_hits);
+    kv(os, "cost_cache_misses", r.cost_cache_misses);
+    for (const RequestRecord &rec : r.records) {
+        std::ostringstream line;
+        line << requestClassName(rec.cls) << " in "
+             << rec.input_tokens << " out " << rec.output_tokens
+             << " arrival " << formatDouble(rec.arrival) << " admitted "
+             << formatDouble(rec.admitted) << " first_token "
+             << formatDouble(rec.first_token) << " completed "
+             << formatDouble(rec.completed) << " met_slo "
+             << (rec.met_slo ? "true" : "false");
+        kv(os, "record[" + std::to_string(rec.id) + "]", line.str());
+    }
+    for (std::size_t i = 0; i < r.queue_depth.size(); i++) {
+        std::ostringstream line;
+        line << formatDouble(r.queue_depth[i].when) << " depth "
+             << r.queue_depth[i].depth;
+        kv(os, "queue_depth[" + std::to_string(i) + "]", line.str());
+    }
+    return os.str();
+}
+
+std::string
+serialize(const BatchPlanResult &r)
+{
+    std::ostringstream os;
+    kv(os, "makespan", r.makespan);
+    kv(os, "requests_per_hour", r.requests_per_hour);
+    kv(os, "tokens_per_second", r.tokens_per_second);
+    kv(os, "padding_overhead", r.padding_overhead);
+    kv(os, "output_padding_overhead", r.output_padding_overhead);
+    for (std::size_t i = 0; i < r.batches.size(); i++) {
+        std::ostringstream line;
+        line << "context " << r.batches[i].context_len << " output "
+             << r.batches[i].output_len << " count "
+             << r.batches[i].count;
+        kv(os, "batch[" + std::to_string(i) + "]", line.str());
+    }
+    return os.str();
+}
+
+std::string
 traceSummary(const TraceRecorder &trace)
 {
     std::vector<std::string> order;

@@ -13,8 +13,10 @@
 
 #include <string>
 
+#include "runtime/batcher.h"
 #include "runtime/engine.h"
 #include "runtime/event_sim.h"
+#include "runtime/serving.h"
 #include "runtime/step_plan.h"
 #include "sim/trace.h"
 
@@ -49,6 +51,20 @@ std::string serialize(const EventSimResult &r);
  * change to the op that moved.
  */
 std::string serialize(const StepPlan &plan);
+
+/**
+ * Every field of a ServingResult: headline metrics, exact latency
+ * percentiles, queue/batch occupancy, then one line per request record
+ * (lifecycle timestamps) and one per queue-depth sample — so a golden
+ * diff localises a scheduling change to the request it moved.
+ */
+std::string serialize(const ServingResult &r);
+
+/**
+ * Offline batcher outcome: the scheduled batches plus the makespan /
+ * throughput / padding-overhead accounting.
+ */
+std::string serialize(const BatchPlanResult &r);
 
 /**
  * Per-track summary of a recorded trace: event count, busy seconds,

@@ -99,6 +99,31 @@ TEST(Batcher, PaddingOverheadReported)
     EXPECT_NEAR(res.padding_overhead, (1024.0 - 300.0) / 300.0, 1e-9);
 }
 
+TEST(Batcher, ThroughputCountsRealTokensNotBucketPadding)
+{
+    // Regression: serve() used to charge every request the bucket's
+    // max_output, inflating tokens_per_second for mixed-output sets.
+    SystemConfig sys = defaultSystem();
+    const FlexGenEngine engine(sys, FlexTier::BaselineSsds);
+    const OfflineBatcher batcher(16, 1024);
+    // One bucket, outputs 10 and 90: both decode to the bucket max 90,
+    // but only 100 real tokens were requested (not 180).
+    std::vector<Request> reqs = {Request{RequestClass::Small, 256, 10},
+                                 Request{RequestClass::Small, 256, 90}};
+    const BatchPlanResult res = batcher.serve(engine, opt30b(), reqs);
+    EXPECT_NEAR(res.tokens_per_second * res.makespan, 100.0, 1e-6);
+    // Padded generation is reported separately: 180/100 - 1.
+    EXPECT_NEAR(res.output_padding_overhead, 0.8, 1e-9);
+
+    // A uniform-output set has no output padding and identical
+    // real/padded token accounting.
+    std::vector<Request> uniform(
+        4, Request{RequestClass::Small, 256, 64});
+    const BatchPlanResult u = batcher.serve(engine, opt30b(), uniform);
+    EXPECT_EQ(u.output_padding_overhead, 0.0);
+    EXPECT_NEAR(u.tokens_per_second * u.makespan, 4.0 * 64.0, 1e-6);
+}
+
 TEST(Batcher, HilosDrainsAzureMixFasterThanFlexSsd)
 {
     // The §6.6 scenario end to end: a mixed Azure-style queue drains

@@ -70,6 +70,46 @@ TEST(EventQueue, RunUntilLeavesLaterEvents)
     EXPECT_EQ(fired, 2);
 }
 
+TEST(EventQueue, RunUntilAdvancesToLimitWithPendingEventPastIt)
+{
+    // Regression: runUntil used to reach this case through a duplicated
+    // dead branch; the contract is that now() always lands on the limit
+    // even when the next pending event lies beyond it.
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleAt(10.0, [&] { fired++; });
+    EXPECT_EQ(eq.runUntil(4.0), 4.0);
+    EXPECT_EQ(eq.now(), 4.0);
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesToLimitOnEmptyHeap)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.runUntil(7.0), 7.0);
+    EXPECT_EQ(eq.now(), 7.0);
+    // A limit in the past never rewinds the clock.
+    EXPECT_EQ(eq.runUntil(3.0), 7.0);
+    EXPECT_EQ(eq.now(), 7.0);
+}
+
+TEST(EventQueue, PeekNextReportsEarliestPendingTime)
+{
+    EventQueue eq;
+    eq.scheduleAt(5.0, [] {});
+    eq.scheduleAt(2.0, [] {});
+    EXPECT_EQ(eq.peekNext(), 2.0);
+    eq.runUntil(3.0);
+    EXPECT_EQ(eq.peekNext(), 5.0);
+}
+
+TEST(EventQueue, PeekNextOnEmptyQueueDies)
+{
+    EventQueue eq;
+    EXPECT_DEATH(eq.peekNext(), "empty");
+}
+
 TEST(EventQueue, SchedulingInThePastDies)
 {
     EventQueue eq;

@@ -26,6 +26,7 @@ constexpr std::uint64_t kBaseSeed = 0x48494c4f53ull;
 constexpr std::uint64_t kAttentionIters = 150;
 constexpr std::uint64_t kEngineIters = 80;
 constexpr std::uint64_t kFlexGenPlanIters = 60;
+constexpr std::uint64_t kServingIters = 40;
 
 TEST(FuzzSeeds, IterationSeedsAreStableAndDistinct)
 {
@@ -208,6 +209,60 @@ TEST(EngineOracle, ReplaysDeterministically)
         EXPECT_EQ(a.cfg, b.cfg);
         EXPECT_EQ(a.detail, b.detail);
     }
+}
+
+TEST(ServingOracle, PassesAcrossTheSeededBudget)
+{
+    // Serving simulator vs offline batcher: determinism, lifecycle /
+    // occupancy invariants, and the all-at-zero FCFS agreement band on
+    // every non-skipped seed.
+    std::uint64_t ran = 0;
+    for (std::uint64_t i = 0; i < kServingIters; i++) {
+        const std::uint64_t seed = fuzzSeedForIteration(kBaseSeed, i);
+        const OracleOutcome out = runServingOracle(seed);
+        if (out.skipped)
+            continue;
+        ran++;
+        ASSERT_TRUE(out.ok) << out.reproLine("serving") << "\n"
+                            << out.detail;
+    }
+    EXPECT_GE(ran, kServingIters / 2);
+}
+
+TEST(ServingOracle, ReplaysDeterministically)
+{
+    for (std::uint64_t i = 0; i < 10; i++) {
+        const std::uint64_t seed = fuzzSeedForIteration(kBaseSeed, i);
+        const OracleOutcome a = runServingOracle(seed);
+        const OracleOutcome b = runServingOracle(seed);
+        EXPECT_EQ(a.ok, b.ok);
+        EXPECT_EQ(a.skipped, b.skipped);
+        EXPECT_EQ(a.cfg, b.cfg);
+        EXPECT_EQ(a.detail, b.detail);
+    }
+}
+
+TEST(ServingOracle, SkewedServingMakespanIsCaught)
+{
+    // The perturbation skews the serving-side makespan past the band's
+    // dynamic range (8x > 2.5 / 0.4), so every naturally in-band case
+    // must land outside [0.4, 2.5] — proof the band actually detects a
+    // broken scheduler rather than vacuously passing.
+    std::uint64_t ran = 0, caught = 0;
+    for (std::uint64_t i = 0; i < 20; i++) {
+        const std::uint64_t seed = fuzzSeedForIteration(kBaseSeed, i);
+        const OracleOutcome out =
+            runServingOracle(seed, Perturbation::SkewAnalytic);
+        if (out.skipped)
+            continue;
+        ran++;
+        if (!out.ok)
+            caught++;
+    }
+    ASSERT_GT(ran, 0u);
+    EXPECT_EQ(caught, ran)
+        << "skewed serving makespan detected on only " << caught << "/"
+        << ran << " cases";
 }
 
 TEST(OracleOutcomeTest, ReproLineCarriesSeedCfgAndReplayCommand)

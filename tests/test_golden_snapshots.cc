@@ -13,12 +13,15 @@
 #include <sstream>
 #include <utility>
 
+#include "runtime/batcher.h"
 #include "runtime/deepspeed_uvm.h"
 #include "runtime/event_sim.h"
 #include "runtime/fleet_engine.h"
 #include "runtime/flexgen.h"
 #include "runtime/hilos_engine.h"
 #include "runtime/report.h"
+#include "runtime/serving.h"
+#include "runtime/serving_workload.h"
 #include "runtime/step_plan.h"
 #include "runtime/vllm_multigpu.h"
 #include "runtime/system_config.h"
@@ -125,6 +128,41 @@ TEST(GoldenSnapshots, StepPlanAllEnginesOpt66b)
         os << "==== " << title << " ====\n"
            << serialize(engine->decodeStepPlan(run));
     expectGolden("step_plan_opt66b.txt", os.str());
+}
+
+TEST(GoldenSnapshots, ServingPoissonStreamOpt66b)
+{
+    // The whole serving surface: a seeded Poisson stream through the
+    // continuous batcher, pinning every lifecycle timestamp, the exact
+    // percentiles, and the queue-depth curve.
+    const HilosEngine engine(defaultSystem(), HilosOptions{});
+    ServingConfig cfg;
+    cfg.model = modelByName("OPT-66B");
+    cfg.max_batch = 8;
+    cfg.slo = Seconds(60.0);
+    const ServingSimulator sim(engine, cfg);
+    PoissonStreamConfig pc;
+    pc.arrival_rate = 2.0;
+    pc.count = 24;
+    Rng rng;  // fixed default seed
+    expectGolden("serving_opt66b.txt",
+                 serialize(sim.run(makePoissonArrivals(pc, rng))));
+}
+
+TEST(GoldenSnapshots, BatcherTokenAccountingOpt66b)
+{
+    // Pins the corrected serve() accounting: tokens_per_second counts
+    // real generated tokens, with bucket-max decode padding reported
+    // separately as output_padding_overhead.
+    const HilosEngine engine(defaultSystem(), HilosOptions{});
+    std::vector<Request> mix = makeBatch(RequestClass::Medium, 12);
+    const auto small = makeBatch(RequestClass::Small, 4);
+    mix.insert(mix.end(), small.begin(), small.end());
+    mix.push_back(Request{RequestClass::Medium, 1000, 40});
+    const OfflineBatcher batcher(16, 1024);
+    expectGolden(
+        "batcher_token_accounting_opt66b.txt",
+        serialize(batcher.serve(engine, modelByName("OPT-66B"), mix)));
 }
 
 TEST(GoldenSnapshots, EvaluationReportMarkdown)

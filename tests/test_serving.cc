@@ -1,0 +1,461 @@
+/**
+ * @file
+ * Tests for the online serving layer: arrival streams, admission
+ * policies, and the continuous-batching simulator.
+ *
+ * The load-bearing properties are the ones the fuzz oracle leans on:
+ * bit-identical determinism (the simulator draws no randomness and the
+ * arrival generators are seeded), lifecycle ordering per request, the
+ * in-flight cap, FCFS starvation-freedom, SLO accounting, and the
+ * all-at-zero equivalence with the offline batcher.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/hilos.h"
+#include "runtime/batcher.h"
+#include "sim/parallel.h"
+#include "support/serialize.h"
+
+namespace hilos {
+namespace {
+
+using test::serialize;
+
+/** A small deterministic Poisson stream for simulator tests. */
+std::vector<Request>
+sampleStream(std::size_t count, double rate)
+{
+    PoissonStreamConfig pc;
+    pc.arrival_rate = rate;
+    pc.count = count;
+    Rng rng(41);
+    return makePoissonArrivals(pc, rng);
+}
+
+TEST(ServingWorkload, PoissonStreamIsSeededAndSorted)
+{
+    PoissonStreamConfig pc;
+    pc.count = 100;
+    pc.arrival_rate = 2.0;
+    Rng a(7), b(7);
+    const auto first = makePoissonArrivals(pc, a);
+    const auto second = makePoissonArrivals(pc, b);
+    ASSERT_EQ(first.size(), 100u);
+    for (std::size_t i = 0; i < first.size(); i++) {
+        EXPECT_EQ(first[i].arrival, second[i].arrival);
+        EXPECT_EQ(first[i].input_tokens, second[i].input_tokens);
+        EXPECT_EQ(first[i].output_tokens, second[i].output_tokens);
+        EXPECT_GE(first[i].output_tokens, 1u);
+        if (i > 0) {
+            EXPECT_GE(first[i].arrival, first[i - 1].arrival);
+        }
+    }
+    EXPECT_GT(first.front().arrival, 0.0);
+}
+
+TEST(ServingWorkload, MeanGapTracksArrivalRate)
+{
+    PoissonStreamConfig pc;
+    pc.count = 4000;
+    pc.arrival_rate = 5.0;
+    Rng rng(13);
+    const auto reqs = makePoissonArrivals(pc, rng);
+    const double mean_gap =
+        reqs.back().arrival / static_cast<double>(reqs.size());
+    EXPECT_NEAR(mean_gap, 1.0 / pc.arrival_rate, 0.02);
+}
+
+TEST(ServingWorkload, ClassifiesByNearestCanonicalLength)
+{
+    EXPECT_EQ(classifyByInputLength(100), RequestClass::Small);
+    EXPECT_EQ(classifyByInputLength(256), RequestClass::Small);
+    EXPECT_EQ(classifyByInputLength(1024), RequestClass::Medium);
+    EXPECT_EQ(classifyByInputLength(4000), RequestClass::Medium);
+    EXPECT_EQ(classifyByInputLength(8192), RequestClass::Long);
+    EXPECT_EQ(classifyByInputLength(100000), RequestClass::Long);
+}
+
+TEST(ServingWorkload, TraceRoundTripsThroughFormat)
+{
+    const auto reqs = sampleStream(32, 3.0);
+    const std::string text = formatArrivalTrace(reqs);
+    const auto parsed = parseArrivalTrace(text);
+    ASSERT_EQ(parsed.size(), reqs.size());
+    for (std::size_t i = 0; i < reqs.size(); i++) {
+        // Arrival times survive to the canonical %.9g precision.
+        EXPECT_NEAR(parsed[i].arrival.value(), reqs[i].arrival.value(),
+                    1e-8 * std::max(1.0, reqs[i].arrival.value()));
+        EXPECT_EQ(parsed[i].input_tokens, reqs[i].input_tokens);
+        EXPECT_EQ(parsed[i].output_tokens, reqs[i].output_tokens);
+        EXPECT_EQ(parsed[i].cls, reqs[i].cls);
+    }
+    // The canonical form is a fixed point: format(parse(text)) == text
+    // (modulo the header comment the parser strips).
+    EXPECT_EQ(formatArrivalTrace(parsed), text);
+}
+
+TEST(ServingWorkload, TraceParserHandlesCommentsAndSorts)
+{
+    const std::string text = "# scenario: two late, one early\n"
+                             "2.5 1024 350\n"
+                             "\n"
+                             "0.5 256 100  # inline comment\n"
+                             "1.5 8192 350\n";
+    const auto reqs = parseArrivalTrace(text);
+    ASSERT_EQ(reqs.size(), 3u);
+    EXPECT_EQ(reqs[0].arrival, 0.5);
+    EXPECT_EQ(reqs[0].cls, RequestClass::Small);
+    EXPECT_EQ(reqs[1].arrival, 1.5);
+    EXPECT_EQ(reqs[1].cls, RequestClass::Long);
+    EXPECT_EQ(reqs[2].arrival, 2.5);
+}
+
+TEST(ServingWorkload, TraceParserRejectsMalformedLines)
+{
+    EXPECT_DEATH(parseArrivalTrace("0.5 256\n"), "line 1");
+    EXPECT_DEATH(parseArrivalTrace("ok 256 100\n"), "line 1");
+    EXPECT_DEATH(parseArrivalTrace("1.0 256 100\n-2 256 100\n"),
+                 "line 2");
+    EXPECT_DEATH(parseArrivalTrace("1.0 256 0\n"), "line 1");
+}
+
+TEST(ServingPolicyOrder, ParseAndNameRoundTrip)
+{
+    for (ServingPolicy p : {ServingPolicy::Fcfs, ServingPolicy::Sjf,
+                            ServingPolicy::SloAware}) {
+        ServingPolicy parsed = ServingPolicy::Fcfs;
+        EXPECT_TRUE(parseServingPolicy(servingPolicyName(p), &parsed));
+        EXPECT_EQ(parsed, p);
+    }
+    ServingPolicy out = ServingPolicy::Sjf;
+    EXPECT_FALSE(parseServingPolicy("round-robin", &out));
+    EXPECT_EQ(out, ServingPolicy::Sjf);  // untouched on failure
+}
+
+TEST(ServingPolicyOrder, FcfsOrdersByArrivalThenId)
+{
+    std::vector<AdmissionCandidate> pending = {
+        {2, Seconds(3.0), 256, 100, Seconds(0.0)},
+        {1, Seconds(1.0), 256, 100, Seconds(0.0)},
+        {0, Seconds(1.0), 256, 100, Seconds(0.0)},
+    };
+    orderForAdmission(ServingPolicy::Fcfs, pending);
+    EXPECT_EQ(pending[0].id, 0u);
+    EXPECT_EQ(pending[1].id, 1u);
+    EXPECT_EQ(pending[2].id, 2u);
+}
+
+TEST(ServingPolicyOrder, SjfPrefersLeastRemainingWork)
+{
+    std::vector<AdmissionCandidate> pending = {
+        {0, Seconds(0.0), 256, 350, Seconds(0.0)},
+        {1, Seconds(1.0), 256, 100, Seconds(0.0)},
+        {2, Seconds(2.0), 128, 100, Seconds(0.0)},
+    };
+    orderForAdmission(ServingPolicy::Sjf, pending);
+    // Fewest output tokens first; input breaks the tie.
+    EXPECT_EQ(pending[0].id, 2u);
+    EXPECT_EQ(pending[1].id, 1u);
+    EXPECT_EQ(pending[2].id, 0u);
+}
+
+TEST(ServingPolicyOrder, SloAwareIsEarliestDeadlineFirst)
+{
+    std::vector<AdmissionCandidate> pending = {
+        {0, Seconds(0.0), 256, 100, Seconds(9.0)},
+        {1, Seconds(1.0), 256, 100, Seconds(4.0)},
+    };
+    orderForAdmission(ServingPolicy::SloAware, pending);
+    EXPECT_EQ(pending[0].id, 1u);
+    EXPECT_EQ(pending[1].id, 0u);
+}
+
+/** Shared fixtures: one engine is enough for the scheduler logic. */
+class ServingSim : public ::testing::Test
+{
+  protected:
+    SystemConfig sys_ = defaultSystem();
+    HilosOptions opts_;
+
+    HilosEngine
+    engine() const
+    {
+        HilosOptions o = opts_;
+        o.num_devices = 8;
+        return HilosEngine(sys_, o);
+    }
+
+    ServingConfig
+    config(ServingPolicy policy = ServingPolicy::Fcfs) const
+    {
+        ServingConfig cfg;
+        cfg.model = opt66b();
+        cfg.max_batch = 8;
+        cfg.policy = policy;
+        return cfg;
+    }
+};
+
+TEST_F(ServingSim, LifecycleOrderingHoldsPerRequest)
+{
+    const HilosEngine eng = engine();
+    const ServingSimulator sim(eng, config());
+    const ServingResult res = sim.run(sampleStream(24, 2.0));
+    ASSERT_TRUE(res.feasible) << res.note;
+    ASSERT_EQ(res.records.size(), 24u);
+    for (const RequestRecord &r : res.records) {
+        EXPECT_GE(r.admitted, r.arrival);
+        EXPECT_GT(r.first_token, r.admitted);
+        EXPECT_GE(r.completed, r.first_token);
+        EXPECT_LE(r.completed, res.makespan);
+        EXPECT_GE(r.ttft(), 0.0);
+        EXPECT_GE(r.latency(), r.ttft());
+    }
+    EXPECT_GT(res.decode_steps, 0u);
+    EXPECT_GT(res.prefill_batches, 0u);
+    EXPECT_GT(res.tokens_per_second, 0.0);
+}
+
+TEST_F(ServingSim, InFlightNeverExceedsSchedulerCap)
+{
+    const HilosEngine eng = engine();
+    ServingConfig cfg = config();
+    cfg.max_batch = 3;
+    const ServingSimulator sim(eng, cfg);
+    // A heavy burst: everything arrives nearly at once.
+    const ServingResult res = sim.run(sampleStream(20, 100.0));
+    ASSERT_TRUE(res.feasible) << res.note;
+    EXPECT_LE(res.peak_in_flight, 3u);
+    EXPECT_GT(res.peak_in_flight, 0u);
+    EXPECT_LE(res.mean_in_flight,
+              static_cast<double>(res.peak_in_flight));
+    EXPECT_GT(res.peak_queue_depth, 0u);
+}
+
+TEST_F(ServingSim, FcfsAdmitsInArrivalOrder)
+{
+    const HilosEngine eng = engine();
+    ServingConfig cfg = config(ServingPolicy::Fcfs);
+    cfg.max_batch = 2;  // force queueing so admission order matters
+    const ServingSimulator sim(eng, cfg);
+    const ServingResult res = sim.run(sampleStream(16, 50.0));
+    ASSERT_TRUE(res.feasible) << res.note;
+    // Records are in submission order == arrival order for a sorted
+    // stream; FCFS must admit monotonically.
+    for (std::size_t i = 1; i < res.records.size(); i++)
+        EXPECT_GE(res.records[i].admitted, res.records[i - 1].admitted);
+}
+
+TEST_F(ServingSim, SjfReordersButEveryRequestFinishes)
+{
+    const HilosEngine eng = engine();
+    ServingConfig cfg = config(ServingPolicy::Sjf);
+    cfg.max_batch = 2;
+    const ServingSimulator sim(eng, cfg);
+    // Mixed lengths arriving together: SJF serves Smalls before Longs.
+    std::vector<Request> reqs;
+    for (auto cls : {RequestClass::Long, RequestClass::Small,
+                     RequestClass::Long, RequestClass::Small}) {
+        Request r = makeRequest(cls);
+        r.arrival = Seconds(0.001);
+        reqs.push_back(r);
+    }
+    const ServingResult res = sim.run(reqs);
+    ASSERT_TRUE(res.feasible) << res.note;
+    ASSERT_EQ(res.records.size(), 4u);
+    // The two Smalls (ids 1, 3) are admitted no later than the Longs.
+    const Seconds small_latest =
+        std::max(res.records[1].admitted, res.records[3].admitted);
+    const Seconds long_earliest =
+        std::min(res.records[0].admitted, res.records[2].admitted);
+    EXPECT_LE(small_latest, long_earliest);
+    for (const RequestRecord &r : res.records)
+        EXPECT_GT(r.completed, 0.0);  // nothing starved forever
+}
+
+TEST_F(ServingSim, SloAccountingMatchesPerRequestLatency)
+{
+    const HilosEngine eng = engine();
+    ServingConfig cfg = config(ServingPolicy::Fcfs);
+    cfg.slo = Seconds(30.0);
+    const ServingSimulator sim(eng, cfg);
+    const ServingResult res = sim.run(sampleStream(32, 4.0));
+    ASSERT_TRUE(res.feasible) << res.note;
+    std::uint64_t met = 0;
+    for (const RequestRecord &r : res.records) {
+        EXPECT_EQ(r.met_slo, r.latency() <= cfg.slo);
+        met += r.met_slo ? 1u : 0u;
+    }
+    EXPECT_EQ(res.slo_met, met);
+    EXPECT_DOUBLE_EQ(res.slo_attainment,
+                     static_cast<double>(met) / 32.0);
+    EXPECT_DOUBLE_EQ(res.goodput_rps,
+                     static_cast<double>(met) / res.makespan.value());
+}
+
+TEST_F(ServingSim, NoSloMeansEveryRequestCounts)
+{
+    const HilosEngine eng = engine();
+    const ServingSimulator sim(eng, config());
+    const ServingResult res = sim.run(sampleStream(8, 2.0));
+    ASSERT_TRUE(res.feasible) << res.note;
+    EXPECT_EQ(res.slo_met, 8u);
+    EXPECT_DOUBLE_EQ(res.slo_attainment, 1.0);
+}
+
+TEST_F(ServingSim, PercentilesAreMonotoneAndExact)
+{
+    const HilosEngine eng = engine();
+    const ServingSimulator sim(eng, config());
+    const ServingResult res = sim.run(sampleStream(48, 3.0));
+    ASSERT_TRUE(res.feasible) << res.note;
+    EXPECT_LE(res.ttft_p50, res.ttft_p99);
+    EXPECT_LE(res.ttft_p99, res.ttft_p999);
+    EXPECT_LE(res.latency_p50, res.latency_p99);
+    EXPECT_LE(res.latency_p99, res.latency_p999);
+    // Exact percentiles are observed samples, not interpolations.
+    std::vector<double> ttft, e2e;
+    for (const RequestRecord &r : res.records) {
+        ttft.push_back(r.ttft().value());
+        e2e.push_back(r.latency().value());
+    }
+    std::sort(ttft.begin(), ttft.end());
+    std::sort(e2e.begin(), e2e.end());
+    EXPECT_TRUE(std::binary_search(ttft.begin(), ttft.end(),
+                                   res.ttft_p99.value()));
+    EXPECT_TRUE(std::binary_search(e2e.begin(), e2e.end(),
+                                   res.latency_p999.value()));
+}
+
+TEST_F(ServingSim, QueueDepthCurveMatchesPeak)
+{
+    const HilosEngine eng = engine();
+    ServingConfig cfg = config();
+    cfg.max_batch = 2;
+    const ServingSimulator sim(eng, cfg);
+    const ServingResult res = sim.run(sampleStream(16, 50.0));
+    ASSERT_TRUE(res.feasible) << res.note;
+    ASSERT_FALSE(res.queue_depth.empty());
+    std::uint64_t peak = 0;
+    for (std::size_t i = 0; i < res.queue_depth.size(); i++) {
+        peak = std::max(peak, res.queue_depth[i].depth);
+        if (i > 0) {
+            EXPECT_GE(res.queue_depth[i].when,
+                      res.queue_depth[i - 1].when);
+        }
+    }
+    EXPECT_EQ(peak, res.peak_queue_depth);
+    EXPECT_EQ(res.queue_depth.back().depth, 0u);  // queue drains
+}
+
+TEST_F(ServingSim, OversizedRequestIsInfeasibleWithNote)
+{
+    const HilosEngine eng = engine();
+    const ServingSimulator sim(eng, config());
+    std::vector<Request> reqs = {
+        Request{RequestClass::Long, 100u * 1000u * 1000u, 8, 0.0}};
+    const ServingResult res = sim.run(reqs);
+    EXPECT_FALSE(res.feasible);
+    EXPECT_FALSE(res.note.empty());
+}
+
+TEST_F(ServingSim, AllAtZeroFcfsTracksOfflineBatcher)
+{
+    const HilosEngine eng = engine();
+    ServingConfig cfg = config(ServingPolicy::Fcfs);
+    cfg.max_batch = 16;
+    const ServingSimulator sim(eng, cfg);
+    std::vector<Request> reqs = makeBatch(RequestClass::Medium, 32);
+    const ServingResult online = sim.run(reqs);
+    ASSERT_TRUE(online.feasible) << online.note;
+
+    const OfflineBatcher batcher(cfg.max_batch, cfg.bucket_quantum);
+    const BatchPlanResult offline =
+        batcher.serve(eng, cfg.model, reqs);
+    const double ratio = online.makespan / offline.makespan;
+    EXPECT_GE(ratio, 0.4) << "online " << online.makespan.value()
+                          << " offline " << offline.makespan.value();
+    EXPECT_LE(ratio, 2.5) << "online " << online.makespan.value()
+                          << " offline " << offline.makespan.value();
+}
+
+TEST_F(ServingSim, StepCostCacheIsEffective)
+{
+    const HilosEngine eng = engine();
+    const ServingSimulator sim(eng, config());
+    const ServingResult res = sim.run(sampleStream(32, 4.0));
+    ASSERT_TRUE(res.feasible) << res.note;
+    // Steady-state decode re-uses cached (batch, context) plan costs;
+    // misses stay bounded by the distinct shapes, not by step count.
+    EXPECT_GT(res.cost_cache_hits, res.cost_cache_misses);
+}
+
+TEST_F(ServingSim, WorksAgainstEveryEngineKind)
+{
+    const std::vector<Request> reqs = sampleStream(6, 1.0);
+    ServingConfig cfg = config();
+    cfg.model = opt30b();
+    cfg.max_batch = 4;
+    for (EngineKind kind :
+         {EngineKind::FlexDram, EngineKind::FlexSsd,
+          EngineKind::FlexSmartSsdRaw, EngineKind::DeepSpeedUvm,
+          EngineKind::VllmMultiGpu, EngineKind::Hilos}) {
+        HilosOptions o;
+        o.num_devices = 8;
+        const auto eng = makeEngine(kind, sys_, o);
+        const ServingSimulator sim(*eng, cfg);
+        const ServingResult res = sim.run(reqs);
+        if (!res.feasible)
+            continue;  // small-memory tiers may reject Long requests
+        EXPECT_EQ(res.records.size(), reqs.size());
+        EXPECT_GT(res.makespan, 0.0);
+    }
+}
+
+TEST_F(ServingSim, FleetEngineFallsBackToRunCosting)
+{
+    FleetConfig fleet;
+    fleet.hosts = 2;
+    fleet.devices_per_host = 8;
+    const auto eng = makeFleetEngine(sys_, fleet, HilosOptions{});
+    ServingConfig cfg = config();
+    cfg.max_batch = 4;
+    const ServingSimulator sim(*eng, cfg);
+    const ServingResult res = sim.run(sampleStream(6, 1.0));
+    ASSERT_TRUE(res.feasible) << res.note;
+    EXPECT_EQ(res.records.size(), 6u);
+    EXPECT_GT(res.makespan, 0.0);
+}
+
+TEST_F(ServingSim, BitIdenticalAcrossRunsAndJobCounts)
+{
+    const HilosEngine eng = engine();
+    const ServingSimulator sim(eng, config());
+    const std::vector<Request> reqs = sampleStream(24, 2.0);
+    const std::string baseline = serialize(sim.run(reqs));
+    EXPECT_EQ(serialize(sim.run(reqs)), baseline);
+
+    // The simulator is const and stateless across calls, so fanning the
+    // same simulation across a thread pool must not perturb a bit.
+    for (unsigned jobs : {2u, 8u}) {
+        SweepDriver driver(jobs);
+        const std::vector<std::string> results = driver.sweep(
+            8, [&](std::size_t) { return serialize(sim.run(reqs)); });
+        for (const std::string &r : results)
+            EXPECT_EQ(r, baseline);
+    }
+}
+
+TEST_F(ServingSim, EmptyStreamDies)
+{
+    const HilosEngine eng = engine();
+    const ServingSimulator sim(eng, config());
+    EXPECT_DEATH(sim.run({}), "empty");
+}
+
+}  // namespace
+}  // namespace hilos

@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <vector>
 
 #include "common/random.h"
@@ -96,6 +98,77 @@ TEST(Histogram, QuantileOfUniformData)
     EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
     EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
     EXPECT_NEAR(h.quantile(0.1), 10.0, 1.5);
+}
+
+TEST(Histogram, TailQuantileReportsTrueExtremaNotBucketBounds)
+{
+    // Regression: q=1.0 with overflow mass silently returned hi_, and
+    // quantiles landing in the underflow mass clamped to lo_.
+    Histogram h(0.0, 10.0, 10);
+    h.add(-3.0);
+    h.add(5.0);
+    h.add(42.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 42.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), -3.0);
+    // Without out-of-range mass the bucket interpolation is unchanged.
+    Histogram in(0.0, 10.0, 10);
+    in.add(5.0);
+    EXPECT_LE(in.quantile(1.0), 10.0);
+    EXPECT_GE(in.quantile(1.0), 5.0);
+}
+
+TEST(Histogram, QuantileIsMonotoneWithOutOfRangeMass)
+{
+    Rng rng(17);
+    Histogram h(0.0, 50.0, 7);
+    for (int i = 0; i < 500; i++)
+        h.add(rng.normal(25.0, 30.0));  // plenty of under/overflow
+    const double qs[] = {0.0, 0.01, 0.1, 0.25, 0.5,
+                         0.75, 0.9, 0.99, 0.999, 1.0};
+    for (std::size_t i = 1; i < std::size(qs); i++)
+        EXPECT_LE(h.quantile(qs[i - 1]), h.quantile(qs[i]))
+            << "q=" << qs[i - 1] << " vs q=" << qs[i];
+}
+
+TEST(ExactQuantile, NearestRankOnKnownSamples)
+{
+    const std::vector<double> xs = {9.0, 1.0, 5.0, 3.0, 7.0};
+    EXPECT_DOUBLE_EQ(exactQuantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(exactQuantile(xs, 0.2), 1.0);   // rank ceil(1)=1
+    EXPECT_DOUBLE_EQ(exactQuantile(xs, 0.5), 5.0);   // rank ceil(2.5)=3
+    EXPECT_DOUBLE_EQ(exactQuantile(xs, 0.99), 9.0);  // rank ceil(4.95)=5
+    EXPECT_DOUBLE_EQ(exactQuantile(xs, 1.0), 9.0);
+}
+
+TEST(ExactQuantile, SingleSampleIsEveryQuantile)
+{
+    const std::vector<double> xs = {4.2};
+    EXPECT_DOUBLE_EQ(exactQuantile(xs, 0.0), 4.2);
+    EXPECT_DOUBLE_EQ(exactQuantile(xs, 0.5), 4.2);
+    EXPECT_DOUBLE_EQ(exactQuantile(xs, 1.0), 4.2);
+}
+
+TEST(ExactQuantile, MonotoneAndAlwaysAnObservedSample)
+{
+    Rng rng(23);
+    std::vector<double> xs;
+    for (int i = 0; i < 333; i++)
+        xs.push_back(rng.uniform(-10.0, 10.0));
+    std::vector<double> sorted = xs;
+    std::sort(sorted.begin(), sorted.end());
+    double prev = exactQuantile(xs, 0.0);
+    for (double q = 0.0; q <= 1.0; q += 0.01) {
+        const double v = exactQuantile(xs, q);
+        EXPECT_GE(v, prev);
+        EXPECT_TRUE(std::binary_search(sorted.begin(), sorted.end(), v));
+        EXPECT_DOUBLE_EQ(v, exactQuantileSorted(sorted, q));
+        prev = v;
+    }
+}
+
+TEST(ExactQuantile, EmptySampleSetDies)
+{
+    EXPECT_DEATH(exactQuantile({}, 0.5), "empty");
 }
 
 TEST(Histogram, ResetClearsEverything)
