@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_*.json result file against its checked-in baseline.
+
+Usage:
+    scripts/check_bench_regression.py CURRENT BASELINE [options]
+
+Every row is matched by its "case" name.  By default only the
+dimensionless ratio rows (unit "x") are *enforced* -- speedup ratios
+are the machine-portable part of a perf baseline, while raw wall-time
+and throughput rows shift with the host and are reported for
+information only.  Pass --all to enforce every row (same-machine
+comparisons, e.g. refreshing a baseline locally).
+
+The check is one-sided: a row fails only when the current value is
+WORSE than the baseline by more than --tolerance (default 0.25, i.e.
+25%).  Improvements never fail; refresh the baseline when they stick.
+Direction is inferred from the unit: us/* rows are lower-is-better,
+everything else (x, Mev/s, points/s, tokens/s) is higher-is-better.
+
+Exit status: 0 when all enforced rows pass, 1 on any regression or a
+row missing from the current results, 2 on usage/IO errors.
+"""
+
+import argparse
+import json
+import sys
+
+LOWER_IS_BETTER_PREFIXES = ("us/", "ms/", "s/", "ns/")
+
+
+def load_rows(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    rows = {}
+    for row in doc.get("rows", []):
+        if "case" in row and "value" in row:
+            rows[row["case"]] = (row.get("unit", ""), float(row["value"]))
+    if not rows:
+        print(f"error: no benchmark rows in {path}", file=sys.stderr)
+        sys.exit(2)
+    return rows
+
+
+def lower_is_better(unit):
+    return unit.startswith(LOWER_IS_BETTER_PREFIXES)
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="one-sided perf-regression check for BENCH_*.json")
+    ap.add_argument("current", help="freshly generated BENCH_*.json")
+    ap.add_argument("baseline", help="checked-in baseline BENCH_*.json")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed relative worsening (default 0.25)")
+    ap.add_argument("--all", action="store_true",
+                    help="enforce every row, not just unit-'x' ratios")
+    args = ap.parse_args()
+
+    current = load_rows(args.current)
+    baseline = load_rows(args.baseline)
+
+    failures = []
+    width = max(len(name) for name in baseline)
+    for name, (unit, base) in sorted(baseline.items()):
+        if name not in current:
+            failures.append(f"{name}: missing from current results")
+            continue
+        cur_unit, cur = current[name]
+        enforced = args.all or unit == "x"
+        if lower_is_better(unit):
+            worsening = (cur - base) / base if base != 0 else 0.0
+        else:
+            worsening = (base - cur) / base if base != 0 else 0.0
+        ok = worsening <= args.tolerance
+        status = ("PASS" if ok else "FAIL") if enforced else "info"
+        print(f"  [{status}] {name:<{width}}  {cur:>12.4g} {cur_unit:<8} "
+              f"baseline {base:.4g}  ({-worsening:+.1%})")
+        if enforced and not ok:
+            failures.append(
+                f"{name}: {cur:.4g} {cur_unit} vs baseline {base:.4g} "
+                f"(worse by {worsening:.1%}, tolerance "
+                f"{args.tolerance:.0%})")
+
+    if failures:
+        print(f"\nREGRESSION: {len(failures)} enforced row(s) failed:",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nall enforced rows within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -74,8 +74,8 @@ AttentionKernel::run(const AttentionRequest &req) const
     const SoftmaxMask mask;  // defaults: everything valid, pad = -1e4
     std::vector<float> stored_probs(d_group * s);
     std::vector<float> buffered_probs(d_group * n_buf);
+    std::vector<float> lane(s + n_buf);  // reused across query lanes
     for (std::size_t g = 0; g < d_group; g++) {
-        std::vector<float> lane(s + n_buf);
         for (std::size_t i = 0; i < s; i++) {
             const bool in_window =
                 (i >= req.window_start || i < req.sink_tokens) &&

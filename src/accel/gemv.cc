@@ -1,10 +1,120 @@
 #include "accel/gemv.h"
 
 #include <algorithm>
+#include <vector>
 
+#include "accel/simd.h"
 #include "common/logging.h"
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define HILOS_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define HILOS_SIMD_X86 0
+#endif
+
 namespace hilos {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Inner MAC loops. The AVX2 variants vectorise across *output* lanes
+// (8 scores / 8 output columns at a time) while each lane accumulates
+// in exactly the scalar order — multiply then add, no FMA — so both
+// tiers produce bit-identical FP32 results (see accel/simd.h).
+// ---------------------------------------------------------------------------
+
+/** out[r] += sum_c q[c] * kt[c * n + r], r in [0, n), c in [0, m). */
+void
+qkMacScalar(const float *q, const Half *kt, std::size_t n, std::size_t m,
+            float *out)
+{
+    for (std::size_t r = 0; r < n; r++) {
+        float acc = 0.0f;  // FP32 accumulator per output
+        for (std::size_t c = 0; c < m; c++)
+            acc += q[c] * kt[c * n + r].toFloat();
+        out[r] += acc;
+    }
+}
+
+/** out[c] += p * v[c], c in [0, d). */
+void
+svMacScalar(float p, const Half *v, std::size_t d, float *out)
+{
+    for (std::size_t c = 0; c < d; c++)
+        out[c] += p * v[c].toFloat();
+}
+
+#if HILOS_SIMD_X86
+
+__attribute__((target("avx2,f16c"))) void
+qkMacAvx2(const float *q, const Half *kt, std::size_t n, std::size_t m,
+          float *out)
+{
+    std::size_t r = 0;
+    for (; r + 8 <= n; r += 8) {
+        __m256 acc = _mm256_setzero_ps();
+        for (std::size_t c = 0; c < m; c++) {
+            const __m256 k = _mm256_cvtph_ps(_mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(kt + c * n + r)));
+            acc = _mm256_add_ps(acc,
+                                _mm256_mul_ps(_mm256_set1_ps(q[c]), k));
+        }
+        _mm256_storeu_ps(out + r,
+                         _mm256_add_ps(_mm256_loadu_ps(out + r), acc));
+    }
+    for (; r < n; r++) {  // tail lanes, same row stride n
+        float acc = 0.0f;
+        for (std::size_t c = 0; c < m; c++)
+            acc += q[c] * kt[c * n + r].toFloat();
+        out[r] += acc;
+    }
+}
+
+__attribute__((target("avx2,f16c"))) void
+svMacAvx2(float p, const Half *v, std::size_t d, float *out)
+{
+    const __m256 pv = _mm256_set1_ps(p);
+    std::size_t c = 0;
+    for (; c + 8 <= d; c += 8) {
+        const __m256 vv = _mm256_cvtph_ps(_mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(v + c)));
+        _mm256_storeu_ps(
+            out + c, _mm256_add_ps(_mm256_loadu_ps(out + c),
+                                   _mm256_mul_ps(pv, vv)));
+    }
+    for (; c < d; c++)
+        out[c] += p * v[c].toFloat();
+}
+
+#endif  // HILOS_SIMD_X86
+
+void
+qkMac(const float *q, const Half *kt, std::size_t n, std::size_t m,
+      float *out)
+{
+#if HILOS_SIMD_X86
+    if (activeSimdLevel() == SimdLevel::Avx2) {
+        qkMacAvx2(q, kt, n, m, out);
+        return;
+    }
+#endif
+    qkMacScalar(q, kt, n, m, out);
+}
+
+void
+svMac(float p, const Half *v, std::size_t d, float *out)
+{
+#if HILOS_SIMD_X86
+    if (activeSimdLevel() == SimdLevel::Avx2) {
+        svMacAvx2(p, v, d, out);
+        return;
+    }
+#endif
+    svMacScalar(p, v, d, out);
+}
+
+}  // namespace
 
 HalfMatrixView
 viewOf(const std::vector<Half> &buf, std::size_t rows, std::size_t cols)
@@ -43,6 +153,7 @@ qkGemv(const HalfMatrixView &queries, const HalfMatrixView &keys,
     const std::size_t d = keys.cols;
     std::vector<float> scores(d_group * s, 0.0f);
     std::vector<Half> kt_buf;  // K^T-Buf, reused across blocks
+    std::vector<float> q_lane;  // query slice widened once per (g, tile)
 
     for (std::size_t base = 0; base < s; base += block_tokens) {
         const std::size_t n = std::min(block_tokens, s - base);
@@ -53,15 +164,12 @@ qkGemv(const HalfMatrixView &queries, const HalfMatrixView &keys,
             blockTranspose(keys, base, cbase, n, m, kt_buf);
             // kt_buf is m x n: element (c, r) = K[base + r][cbase + c].
             // MAC array: for each query lane, accumulate partial dots.
+            q_lane.resize(m);
             for (std::size_t g = 0; g < d_group; g++) {
-                for (std::size_t r = 0; r < n; r++) {
-                    float acc = 0.0f;  // FP32 accumulator per output
-                    for (std::size_t c = 0; c < m; c++) {
-                        acc += queries.at(g, cbase + c).toFloat() *
-                               kt_buf[c * n + r].toFloat();
-                    }
-                    scores[g * s + base + r] += acc;
-                }
+                for (std::size_t c = 0; c < m; c++)
+                    q_lane[c] = queries.at(g, cbase + c).toFloat();
+                qkMac(q_lane.data(), kt_buf.data(), n, m,
+                      &scores[g * s + base]);
             }
         }
     }
@@ -88,10 +196,8 @@ svGemv(const std::vector<float> &probs, std::size_t d_group,
         for (std::size_t r = 0; r < n; r++) {
             const std::size_t row = base + r;
             for (std::size_t g = 0; g < d_group; g++) {
-                const float p = probs[g * s + row];
-                for (std::size_t c = 0; c < d; c++) {
-                    out[g * d + c] += p * values.at(row, c).toFloat();
-                }
+                svMac(probs[g * s + row], values.data + row * d, d,
+                      &out[g * d]);
             }
         }
     }

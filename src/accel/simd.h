@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Runtime SIMD dispatch for the functional accelerator kernels.
+ *
+ * The FPGA-mirroring kernels (gemv, softmax, attention_kernel) carry an
+ * AVX2+F16C fast path next to their scalar reference loops. Dispatch is
+ * resolved once at startup from CPUID and can be overridden — by tests
+ * and benches through setSimdLevel(), or externally with the HILOS_SIMD
+ * environment variable ("scalar" or "avx2").
+ *
+ * Contract: every vector path is bit-identical to its scalar loop for
+ * non-NaN data. The vector code therefore never uses FMA (a fused
+ * multiply-add rounds once where the scalar loop rounds twice); it
+ * vectorises across independent output lanes, keeping each lane's
+ * operation sequence exactly the scalar one, and relies on VCVTPH2PS
+ * being the same exact widening as Half::halfToFloat (both are checked
+ * by differential tests, the conversion exhaustively over all 65536
+ * half patterns).
+ */
+
+#ifndef HILOS_ACCEL_SIMD_H_
+#define HILOS_ACCEL_SIMD_H_
+
+#include <cstddef>
+
+#include "common/half.h"
+
+namespace hilos {
+
+/** Instruction-set tiers the kernels dispatch over. */
+enum class SimdLevel {
+    Scalar,  ///< portable reference loops
+    Avx2,    ///< AVX2 + F16C lanes (x86-64 only)
+};
+
+/** Human-readable tier name ("scalar" / "avx2"). */
+const char *simdLevelName(SimdLevel level);
+
+/** True when this CPU (and build) can execute `level`. */
+bool simdLevelSupported(SimdLevel level);
+
+/**
+ * The tier kernels currently dispatch to. Defaults to the best
+ * supported tier, downgraded by HILOS_SIMD=scalar if set.
+ */
+SimdLevel activeSimdLevel();
+
+/**
+ * Override the active tier (tests pin both sides of a differential
+ * check; benches measure each tier in one process). Asserts the level
+ * is supported. Not thread-safe against concurrently running kernels.
+ */
+void setSimdLevel(SimdLevel level);
+
+/**
+ * Batch F16C widening: out[i] = float(in[i]) via VCVTPH2PS, any n.
+ * Only callable when Avx2 is supported; exists so tests can compare
+ * the hardware conversion against Half::halfToFloat exhaustively.
+ */
+void cvtHalfToFloatAvx2(const Half *in, float *out, std::size_t n);
+
+}  // namespace hilos
+
+#endif  // HILOS_ACCEL_SIMD_H_

@@ -4,9 +4,73 @@
 #include <cmath>
 #include <limits>
 
+#include "accel/simd.h"
 #include "common/logging.h"
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define HILOS_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define HILOS_SIMD_X86 0
+#endif
+
 namespace hilos {
+
+namespace {
+
+#if HILOS_SIMD_X86
+
+/** max over v[0..n) (n >= 1) by lane-wise max + horizontal fold. */
+__attribute__((target("avx2"))) float
+maxOverAvx2(const float *v, std::size_t n)
+{
+    std::size_t i = 0;
+    __m256 m8 = _mm256_set1_ps(-std::numeric_limits<float>::infinity());
+    for (; i + 8 <= n; i += 8)
+        m8 = _mm256_max_ps(m8, _mm256_loadu_ps(v + i));
+    __m128 m4 = _mm_max_ps(_mm256_castps256_ps128(m8),
+                           _mm256_extractf128_ps(m8, 1));
+    m4 = _mm_max_ps(m4, _mm_movehl_ps(m4, m4));
+    m4 = _mm_max_ps(m4, _mm_shuffle_ps(m4, m4, 1));
+    float best = _mm_cvtss_f32(m4);
+    for (; i < n; i++)
+        best = std::max(best, v[i]);
+    return best;
+}
+
+#endif  // HILOS_SIMD_X86
+
+/**
+ * MASK + local max reduction tree over one block (Algorithm 1 line 3).
+ * Max is order-invariant over values, so the AVX2 path may reduce the
+ * valid span vector-wise and fold the padding constant in once for any
+ * masked positions: the result equals the scalar per-element fold.
+ */
+float
+blockMaskedMax(const std::vector<float> &scores, std::size_t base,
+               std::size_t end, const SoftmaxMask &mask)
+{
+#if HILOS_SIMD_X86
+    if (activeSimdLevel() == SimdLevel::Avx2) {
+        const std::size_t vstart = std::max(base, mask.valid_start);
+        const std::size_t vend = std::min(end, mask.valid_len);
+        if (vstart >= vend)
+            return mask.padding_value;  // fully masked block
+        float m_b = maxOverAvx2(scores.data() + vstart, vend - vstart);
+        if (vstart > base || vend < end)
+            m_b = std::max(m_b, mask.padding_value);
+        return m_b;
+    }
+#endif
+    float m_b = -std::numeric_limits<float>::infinity();
+    for (std::size_t i = base; i < end; i++) {
+        const float v = mask.valid(i) ? scores[i] : mask.padding_value;
+        m_b = std::max(m_b, v);
+    }
+    return m_b;
+}
+
+}  // namespace
 
 SoftmaxStats
 streamingUpdate(SoftmaxStats running, float block_max, float block_sum)
@@ -38,12 +102,7 @@ TwoPassSoftmax::computeStats(const std::vector<float> &scores,
         const std::size_t end =
             std::min(scores.size(), base + block_elems_);
         // MASK + local max reduction tree (line 3).
-        float m_b = -std::numeric_limits<float>::infinity();
-        for (std::size_t i = base; i < end; i++) {
-            const float v =
-                mask.valid(i) ? scores[i] : mask.padding_value;
-            m_b = std::max(m_b, v);
-        }
+        const float m_b = blockMaskedMax(scores, base, end, mask);
         // Parallel exponentiation stabilised by the local max, then the
         // adder tree (line 4).
         float s_b = 0.0f;

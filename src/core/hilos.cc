@@ -1,6 +1,7 @@
 #include "core/hilos.h"
 
 #include "common/logging.h"
+#include "runtime/plan_cache.h"
 #include "sim/parallel.h"
 
 namespace hilos {
@@ -61,6 +62,35 @@ runGrid(const SystemConfig &sys, const std::vector<GridPoint> &grid,
     SweepDriver driver(jobs);
     return driver.map(grid, [&sys](const GridPoint &p) {
         return makeEngine(p.kind, sys, p.hilos)->run(p.run);
+    });
+}
+
+std::vector<RunResult>
+runGridCached(const SystemConfig &sys, const std::vector<GridPoint> &grid,
+              unsigned jobs)
+{
+    SweepDriver driver(jobs);
+    struct Slot {
+        bool valid = false;
+        EngineKind kind = EngineKind::Hilos;
+        std::unique_ptr<InferenceEngine> engine;
+        PlanCache cache;
+    };
+    std::vector<Slot> slots(driver.jobs());
+    return driver.mapWorker(grid, [&](unsigned worker, const GridPoint &p) {
+        Slot &slot = slots[worker];
+        // HilosOptions carries a FaultPlan with no cheap equality, so
+        // Hilos points always refresh the engine (a config copy); the
+        // worker's PlanCache persists regardless — a verified rebuild
+        // re-annotates under the new options, and any topology change
+        // falls back to a cold build.
+        if (!slot.valid || slot.kind != p.kind ||
+            p.kind == EngineKind::Hilos) {
+            slot.engine = makeEngine(p.kind, sys, p.hilos);
+            slot.kind = p.kind;
+            slot.valid = true;
+        }
+        return slot.engine->runCached(p.run, slot.cache);
     });
 }
 

@@ -97,6 +97,22 @@ std::vector<RunResult> runGrid(const SystemConfig &sys,
                                const std::vector<GridPoint> &grid,
                                unsigned jobs = 1);
 
+/**
+ * runGrid with per-worker engine and plan-structure reuse: each worker
+ * thread keeps the engine it last constructed plus a PlanCache
+ * (runtime/plan_cache.h), so consecutive grid points differing only in
+ * scalar parameters (batch, context, output length, HILOS knobs that
+ * re-price but don't reshape the plan) rebuild annotations in place
+ * instead of re-deriving the op topology. Results are bit-identical to
+ * runGrid for every `jobs` value: topology changes — a different
+ * engine kind, a capacity decision flipping a plan infeasible — are
+ * caught by the cache's verified rebuild and fall back to a cold
+ * build. This is the sweep fast path benchmarked by bench_sim_perf.
+ */
+std::vector<RunResult> runGridCached(const SystemConfig &sys,
+                                     const std::vector<GridPoint> &grid,
+                                     unsigned jobs = 1);
+
 /** One row of a cross-engine comparison. */
 struct EngineComparison {
     std::string engine;

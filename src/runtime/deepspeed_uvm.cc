@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "runtime/cost_model.h"
+#include "runtime/plan_cache.h"
 
 namespace hilos {
 
@@ -12,14 +13,14 @@ DeepSpeedUvmEngine::DeepSpeedUvmEngine(const SystemConfig &sys)
 {
 }
 
-StepPlan
-DeepSpeedUvmEngine::makePlan(const RunConfig &cfg, RunResult &res) const
+void
+DeepSpeedUvmEngine::makePlan(const RunConfig &cfg, RunResult &res,
+                             StepPlan &plan) const
 {
     const ModelConfig &m = cfg.model;
     const Gpu gpu(sys_.gpu);
     const std::uint64_t total_seq = cfg.context_len + cfg.output_len;
 
-    StepPlan plan;
     const WeightHome home = chooseWeightHome(m, sys_.dram.capacity);
     const double weight_bytes = static_cast<double>(m.weightBytesTotal());
     const double resident =
@@ -33,7 +34,7 @@ DeepSpeedUvmEngine::makePlan(const RunConfig &cfg, RunResult &res) const
         res.note = "host DRAM exhausted even at batch 1";
         plan.feasible = false;
         plan.note = res.note;
-        return plan;
+        return;
     }
     const std::uint64_t b = res.effective_batch;
     const std::uint64_t s_mid = midGenerationContext(cfg.context_len, cfg.output_len);
@@ -115,14 +116,29 @@ DeepSpeedUvmEngine::makePlan(const RunConfig &cfg, RunResult &res) const
     plan.energy.sys = sys_;
     plan.energy.prefill_fraction.gpu = 0.9;
     plan.energy.prefill_fraction.dram = 0.5;
-    return plan;
 }
 
 RunResult
 DeepSpeedUvmEngine::run(const RunConfig &cfg) const
 {
     RunResult res;
-    const StepPlan plan = makePlan(cfg, res);
+    StepPlan plan;
+    makePlan(cfg, res, plan);
+    if (!plan.feasible)
+        return res;
+    applyPlan(plan, cfg, res);
+    return res;
+}
+
+RunResult
+DeepSpeedUvmEngine::runCached(const RunConfig &cfg, PlanCache &cache) const
+{
+    RunResult res;
+    const StepPlan &plan = cache.build(
+        PlanCache::keyOf(name(), cfg.model.name), [&](StepPlan &p) {
+            res = RunResult{};
+            makePlan(cfg, res, p);
+        });
     if (!plan.feasible)
         return res;
     applyPlan(plan, cfg, res);
@@ -133,7 +149,9 @@ StepPlan
 DeepSpeedUvmEngine::decodeStepPlan(const RunConfig &cfg) const
 {
     RunResult scratch;
-    return makePlan(cfg, scratch);
+    StepPlan plan;
+    makePlan(cfg, scratch, plan);
+    return plan;
 }
 
 }  // namespace hilos

@@ -26,11 +26,14 @@ class DeepSpeedUvmEngine : public InferenceEngine, public StepPlanSource
 
     std::string name() const override { return "DS+UVM(DRAM)"; }
     RunResult run(const RunConfig &cfg) const override;
+    RunResult runCached(const RunConfig &cfg,
+                        PlanCache &cache) const override;
     StepPlan decodeStepPlan(const RunConfig &cfg) const override;
 
   private:
-    /** Capacity decisions + prefill into `res`, decode step as a plan. */
-    StepPlan makePlan(const RunConfig &cfg, RunResult &res) const;
+    /** Capacity decisions + prefill into `res`, decode step into `plan`. */
+    void makePlan(const RunConfig &cfg, RunResult &res,
+                  StepPlan &plan) const;
 
     SystemConfig sys_;
 };

@@ -8,20 +8,22 @@ void
 StageBreakdown::add(const std::string &name, Seconds t)
 {
     HILOS_ASSERT(t >= 0.0, "negative stage time for ", name);
-    const auto it = index_.find(name);
-    if (it != index_.end()) {
-        stages_[it->second].second += t;
-        return;
+    for (auto &entry : stages_) {
+        if (entry.first == name) {
+            entry.second += t;
+            return;
+        }
     }
-    index_.emplace(name, stages_.size());
     stages_.emplace_back(name, t);
 }
 
 Seconds
 StageBreakdown::get(const std::string &name) const
 {
-    const auto it = index_.find(name);
-    return it == index_.end() ? Seconds(0.0) : stages_[it->second].second;
+    for (const auto &entry : stages_)
+        if (entry.first == name)
+            return entry.second;
+    return Seconds(0.0);
 }
 
 Seconds
@@ -31,6 +33,12 @@ StageBreakdown::sum() const
     for (const auto &[n, v] : stages_)
         total += v;
     return total;
+}
+
+RunResult
+InferenceEngine::runCached(const RunConfig &cfg, PlanCache &) const
+{
+    return run(cfg);
 }
 
 bool

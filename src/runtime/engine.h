@@ -10,7 +10,6 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -138,10 +137,10 @@ class StageBreakdown
     }
 
   private:
-    /** Insertion-ordered entries; index_ maps name -> position so that
-     *  add/get are O(1) amortised instead of a linear scan per call. */
+    /** Insertion-ordered entries. Breakdowns hold a handful of stages
+     *  (4-9 across every engine), so a linear scan beats hashing each
+     *  name on the sweep hot path and drops the side index entirely. */
     std::vector<std::pair<std::string, Seconds>> stages_;
-    std::unordered_map<std::string, std::size_t> index_;
 };
 
 /** Result of one engine run. */
@@ -168,6 +167,8 @@ struct RunResult {
     FleetSummary fleet;        ///< cluster accounting, FleetEngine only
 };
 
+class PlanCache;
+
 /**
  * Abstract offline-inference engine.
  */
@@ -181,6 +182,15 @@ class InferenceEngine
 
     /** Model the full run analytically. */
     virtual RunResult run(const RunConfig &cfg) const = 0;
+
+    /**
+     * run() with plan-structure reuse: plan-emitting engines rebuild
+     * only the priced annotations when `cache` already holds their
+     * topology (see runtime/plan_cache.h). Results are bit-identical
+     * to run() for every engine and cache state; the base
+     * implementation ignores the cache.
+     */
+    virtual RunResult runCached(const RunConfig &cfg, PlanCache &cache) const;
 };
 
 /**

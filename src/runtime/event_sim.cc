@@ -427,7 +427,7 @@ class PlanPools
   public:
     explicit PlanPools(const StepPlan &plan)
     {
-        auto visit = [&](const StepOp &op) {
+        auto visit = [&](const StepOpView &op) {
             if (op.offline)
                 return;
             if (op.op_kind == StepOp::Kind::Transfer &&
@@ -446,14 +446,14 @@ class PlanPools
                         key, BandwidthPool(computeUnitName(op.unit), 1, 1.0));
             }
         };
-        for (const StepOp &op : plan.layer_ops)
+        for (const StepOpView op : plan.layer_ops)
             visit(op);
-        for (const StepOp &op : plan.tail_ops)
+        for (const StepOpView op : plan.tail_ops)
             visit(op);
     }
 
     /** The pool `op` occupies, or nullptr for a pure delay. */
-    BandwidthPool *poolFor(const StepOp &op)
+    BandwidthPool *poolFor(const StepOpView &op)
     {
         if (op.op_kind == StepOp::Kind::Transfer) {
             if (op.resource == PlanResource::None)
@@ -505,7 +505,7 @@ simulatePlan(const StepPlan &plan, TraceRecorder *trace)
     for (std::uint64_t l = 0; l < plan.layers; ++l) {
         Seconds layer_end = layer_start;
         for (std::size_t i = 0; i < n; ++i) {
-            const StepOp &op = plan.layer_ops[i];
+            const StepOpView op = plan.layer_ops[i];
             if (op.offline) {
                 finish[i] = 0.0;
                 continue;
@@ -531,7 +531,8 @@ simulatePlan(const StepPlan &plan, TraceRecorder *trace)
                             pool->instance(static_cast<unsigned>(
                                                k % pool->size()))
                                 .name(),
-                            "layer" + std::to_string(l) + "/" + op.label,
+                            "layer" + std::to_string(l) + "/" +
+                                std::string(op.label),
                             end - op.seconds, end);
                 }
             }
@@ -547,7 +548,7 @@ simulatePlan(const StepPlan &plan, TraceRecorder *trace)
     out.layered_end = layer_start;
 
     Seconds tail_end = out.layered_end;
-    for (const StepOp &op : plan.tail_ops) {
+    for (const StepOpView op : plan.tail_ops) {
         BandwidthPool *pool = pools.poolFor(op);
         const Seconds begin = tail_end;
         tail_end = pool != nullptr ? pool->occupyOn(0, tail_end, op.seconds)
@@ -555,7 +556,7 @@ simulatePlan(const StepPlan &plan, TraceRecorder *trace)
         if (trace != nullptr)
             trace->record(pool != nullptr ? pool->instance(0).name()
                                           : "delay",
-                          "tail/" + op.label, begin, tail_end);
+                          "tail/" + std::string(op.label), begin, tail_end);
     }
 
     HILOS_ASSERT(plan.layer_time_divisor > 0.0,

@@ -4,13 +4,17 @@
 
 #include "common/logging.h"
 #include "runtime/cost_model.h"
-#include "storage/ssd.h"
+#include "runtime/plan_cache.h"
 
 namespace hilos {
 
 FlexGenEngine::FlexGenEngine(const SystemConfig &sys, FlexTier tier)
     : sys_(sys), tier_(tier)
 {
+    if (tier_ != FlexTier::HostDram)
+        kv_ssd_.emplace(tier_ == FlexTier::BaselineSsds
+                            ? sys_.baseline_ssd
+                            : sys_.smartssd.nand);
 }
 
 std::string
@@ -66,15 +70,15 @@ FlexGenEngine::storageWriteBw() const
     HILOS_PANIC("unknown tier");
 }
 
-StepPlan
-FlexGenEngine::makePlan(const RunConfig &cfg, RunResult &res) const
+void
+FlexGenEngine::makePlan(const RunConfig &cfg, RunResult &res,
+                        StepPlan &plan) const
 {
     const ModelConfig &m = cfg.model;
     const Gpu gpu(sys_.gpu);
     const Cpu cpu(sys_.cpu);
     const std::uint64_t total_seq = cfg.context_len + cfg.output_len;
 
-    StepPlan plan;
     const WeightHome home =
         chooseWeightHome(m, sys_.dram.capacity);
     const double weight_bytes =
@@ -99,7 +103,7 @@ FlexGenEngine::makePlan(const RunConfig &cfg, RunResult &res) const
             res.note = "host DRAM exhausted even at batch 1";
             plan.feasible = false;
             plan.note = res.note;
-            return plan;
+            return;
         }
         if (res.effective_batch < cfg.batch)
             res.note = "batch shrunk to fit host DRAM";
@@ -148,10 +152,7 @@ FlexGenEngine::makePlan(const RunConfig &cfg, RunResult &res) const
         const std::uint64_t devices =
             tier_ == FlexTier::BaselineSsds ? sys_.num_baseline_ssds : 16;
         const std::uint64_t slices = b * m.kv_heads;
-        const Ssd ssd(tier_ == FlexTier::BaselineSsds
-                          ? sys_.baseline_ssd
-                          : sys_.smartssd.nand);
-        kv_write = ssd.randomWriteTime(
+        kv_write = kv_ssd_->randomWriteTime(
             ceilDiv(slices, devices),
             2 * m.headDim() * m.dtype_bytes);
     }
@@ -253,14 +254,29 @@ FlexGenEngine::makePlan(const RunConfig &cfg, RunResult &res) const
     plan.energy.prefill_fraction.dram = 0.5;
     plan.energy.storage_prefill_extra =
         on_ssd ? L * prefill_kv_write : Seconds(0.0);
-    return plan;
 }
 
 RunResult
 FlexGenEngine::run(const RunConfig &cfg) const
 {
     RunResult res;
-    const StepPlan plan = makePlan(cfg, res);
+    StepPlan plan;
+    makePlan(cfg, res, plan);
+    if (!plan.feasible)
+        return res;
+    applyPlan(plan, cfg, res);
+    return res;
+}
+
+RunResult
+FlexGenEngine::runCached(const RunConfig &cfg, PlanCache &cache) const
+{
+    RunResult res;
+    const StepPlan &plan = cache.build(
+        PlanCache::keyOf(name(), cfg.model.name), [&](StepPlan &p) {
+            res = RunResult{};
+            makePlan(cfg, res, p);
+        });
     if (!plan.feasible)
         return res;
     applyPlan(plan, cfg, res);
@@ -271,7 +287,9 @@ StepPlan
 FlexGenEngine::decodeStepPlan(const RunConfig &cfg) const
 {
     RunResult scratch;
-    return makePlan(cfg, scratch);
+    StepPlan plan;
+    makePlan(cfg, scratch, plan);
+    return plan;
 }
 
 }  // namespace hilos

@@ -9,11 +9,13 @@
 #ifndef HILOS_RUNTIME_FLEXGEN_H_
 #define HILOS_RUNTIME_FLEXGEN_H_
 
+#include <optional>
 #include <string>
 
 #include "runtime/engine.h"
 #include "runtime/step_plan.h"
 #include "runtime/system_config.h"
+#include "storage/ssd.h"
 
 namespace hilos {
 
@@ -34,6 +36,8 @@ class FlexGenEngine : public InferenceEngine, public StepPlanSource
 
     std::string name() const override;
     RunResult run(const RunConfig &cfg) const override;
+    RunResult runCached(const RunConfig &cfg,
+                        PlanCache &cache) const override;
     StepPlan decodeStepPlan(const RunConfig &cfg) const override;
 
     /** Aggregate storage read bandwidth of this tier's fleet. */
@@ -44,11 +48,19 @@ class FlexGenEngine : public InferenceEngine, public StepPlanSource
     FlexTier tier() const { return tier_; }
 
   private:
-    /** Capacity decisions + prefill into `res`, decode step as a plan. */
-    StepPlan makePlan(const RunConfig &cfg, RunResult &res) const;
+    /** Capacity decisions + prefill into `res`, decode step into `plan`. */
+    void makePlan(const RunConfig &cfg, RunResult &res,
+                  StepPlan &plan) const;
 
     SystemConfig sys_;
     FlexTier tier_;
+    /**
+     * This tier's KV device model, constructed once: the Ssd
+     * constructor builds a scaled FTL for wear accounting, which
+     * dominated makePlan when rebuilt per grid point. Empty for the
+     * DRAM tier (no device on the KV path).
+     */
+    std::optional<Ssd> kv_ssd_;
 };
 
 }  // namespace hilos

@@ -8,6 +8,7 @@
 #include "accel/resource_model.h"
 #include "common/logging.h"
 #include "runtime/cost_model.h"
+#include "runtime/plan_cache.h"
 #include "runtime/writeback.h"
 
 namespace hilos {
@@ -88,11 +89,30 @@ HilosEngine::run(const RunConfig &cfg) const
 }
 
 RunResult
+HilosEngine::runCached(const RunConfig &cfg, PlanCache &cache) const
+{
+    if (!opts_.fault_plan.empty())
+        return runWithFaults(cfg);
+    const FleetConditions cond = idealConditions();
+    RunResult res;
+    const StepPlan &plan = cache.build(
+        PlanCache::keyOf(name(), cfg.model.name), [&](StepPlan &p) {
+            res = RunResult{};
+            makePlan(cfg, cond, res, p);
+        });
+    if (!plan.feasible)
+        return res;
+    applyPlan(plan, cfg, res);
+    return res;
+}
+
+RunResult
 HilosEngine::runConditioned(const RunConfig &cfg,
                             const FleetConditions &cond) const
 {
     RunResult res;
-    const StepPlan plan = makePlan(cfg, cond, res);
+    StepPlan plan;
+    makePlan(cfg, cond, res, plan);
     if (!plan.feasible)
         return res;
     applyPlan(plan, cfg, res);
@@ -103,12 +123,14 @@ StepPlan
 HilosEngine::decodeStepPlan(const RunConfig &cfg) const
 {
     RunResult scratch;
-    return makePlan(cfg, idealConditions(), scratch);
+    StepPlan plan;
+    makePlan(cfg, idealConditions(), scratch, plan);
+    return plan;
 }
 
-StepPlan
+void
 HilosEngine::makePlan(const RunConfig &cfg, const FleetConditions &cond,
-                      RunResult &res) const
+                      RunResult &res, StepPlan &plan) const
 {
     HILOS_ASSERT(cond.devices >= 1, "fleet conditions need >= 1 device");
     const ModelConfig &m = cfg.model;
@@ -131,7 +153,6 @@ HilosEngine::makePlan(const RunConfig &cfg, const FleetConditions &cond,
     const Bandwidth fleet_read = static_cast<double>(N) * p2p_read;
     const Bandwidth gds = std::min(sys_.gds_effective_bw, fleet_read);
 
-    StepPlan plan;
     res.effective_batch = cfg.batch;
     const std::uint64_t b = cfg.batch;
     std::uint64_t s_mid = midGenerationContext(cfg.context_len, cfg.output_len);
@@ -167,7 +188,7 @@ HilosEngine::makePlan(const RunConfig &cfg, const FleetConditions &cond,
         res.note = "SmartSSD fleet capacity exceeded";
         plan.feasible = false;
         plan.note = res.note;
-        return plan;
+        return;
     }
 
     // --- Per-layer decode stages ---
@@ -436,7 +457,6 @@ HilosEngine::makePlan(const RunConfig &cfg, const FleetConditions &cond,
     plan.energy.prefill_fraction.gpu = 0.9;
     plan.energy.prefill_fraction.dram = 0.3;
     plan.energy.storage_prefill_extra = L * prefill_write;
-    return plan;
 }
 
 RunResult

@@ -60,6 +60,10 @@ class HilosEngine : public InferenceEngine, public StepPlanSource
 
     std::string name() const override;
     RunResult run(const RunConfig &cfg) const override;
+    /** Plan-structure-cached run(); fault plans bypass the cache (the
+     *  degraded-mode epochs rebuild plans under varying conditions). */
+    RunResult runCached(const RunConfig &cfg,
+                        PlanCache &cache) const override;
     /** The zero-fault (ideal-fleet) decode-step plan. */
     StepPlan decodeStepPlan(const RunConfig &cfg) const override;
 
@@ -103,10 +107,11 @@ class HilosEngine : public InferenceEngine, public StepPlanSource
 
     /**
      * Capacity checks, prefill, fault accounting and fpga power into
-     * `res`; the decode step itself as a StepPlan.
+     * `res`; the decode step itself built into `plan` (fresh, or in
+     * rebuild mode under a PlanCache).
      */
-    StepPlan makePlan(const RunConfig &cfg, const FleetConditions &cond,
-                      RunResult &res) const;
+    void makePlan(const RunConfig &cfg, const FleetConditions &cond,
+                  RunResult &res, StepPlan &plan) const;
 
     /** Epoch-based degraded-mode execution of a non-empty FaultPlan. */
     RunResult runWithFaults(const RunConfig &cfg) const;

@@ -1,0 +1,22 @@
+#include "runtime/plan_cache.h"
+
+namespace hilos {
+
+std::uint64_t
+PlanCache::keyOf(std::string_view engine_name, std::string_view model_name)
+{
+    // FNV-1a, 64-bit. Collisions only cost a rebuild mismatch.
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](std::string_view s) {
+        for (const char c : s) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 1099511628211ull;
+        }
+    };
+    mix(engine_name);
+    mix("|");
+    mix(model_name);
+    return h;
+}
+
+}  // namespace hilos

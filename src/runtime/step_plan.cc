@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
 #include "common/logging.h"
 #include "sim/pipeline.h"
@@ -151,9 +150,220 @@ computeOp(ComputeUnit unit, std::string label, Seconds seconds)
     return op;
 }
 
+// --- StepOpArray -------------------------------------------------------
+
+namespace {
+
+constexpr std::uint8_t kFlagPrefetch = 1u << 0;
+constexpr std::uint8_t kFlagShadow = 1u << 1;
+constexpr std::uint8_t kFlagOffline = 1u << 2;
+
+std::uint8_t
+packFlags(const StepOp &op)
+{
+    return static_cast<std::uint8_t>((op.prefetch ? kFlagPrefetch : 0u) |
+                                     (op.shadow ? kFlagShadow : 0u) |
+                                     (op.offline ? kFlagOffline : 0u));
+}
+
+}  // namespace
+
+StepOpArray::Span
+StepOpArray::intern(std::string_view s)
+{
+    HILOS_ASSERT(arena_.size() + s.size() <= UINT32_MAX,
+                 "step-op string arena overflow");
+    const Span out{static_cast<std::uint32_t>(arena_.size()),
+                   static_cast<std::uint32_t>(s.size())};
+    arena_.append(s);
+    return out;
+}
+
+StepOpView
+StepOpArray::operator[](std::size_t i) const
+{
+    HILOS_ASSERT(i < size(), "step-op index out of range: ", i);
+    StepOpView v;
+    v.op_kind = static_cast<StepOp::Kind>(kind_[i]);
+    v.resource = static_cast<PlanResource>(resource_[i]);
+    v.unit = static_cast<ComputeUnit>(unit_[i]);
+    v.seconds = seconds_[i];
+    v.bytes = bytes_[i];
+    v.fanout = fanout_[i];
+    v.label = arenaView(label_[i]);
+    v.stage = arenaView(stage_[i]);
+    v.busy = busy_[i];
+    v.prefetch = (flags_[i] & kFlagPrefetch) != 0;
+    v.shadow = (flags_[i] & kFlagShadow) != 0;
+    v.offline = (flags_[i] & kFlagOffline) != 0;
+    v.deps = std::span<const std::uint32_t>(
+        dep_pool_.data() + deps_[i].pos, deps_[i].len);
+    v.traffic = std::span<const TrafficShare>(
+        traffic_pool_.data() + traffic_[i].pos, traffic_[i].len);
+    return v;
+}
+
+StepOp
+StepOpArray::get(std::size_t i) const
+{
+    const StepOpView v = (*this)[i];
+    StepOp op;
+    op.op_kind = v.op_kind;
+    op.resource = v.resource;
+    op.unit = v.unit;
+    op.seconds = v.seconds;
+    op.bytes = v.bytes;
+    op.fanout = v.fanout;
+    op.label = std::string(v.label);
+    op.stage = std::string(v.stage);
+    op.busy = v.busy;
+    op.prefetch = v.prefetch;
+    op.shadow = v.shadow;
+    op.offline = v.offline;
+    op.traffic.assign(v.traffic.begin(), v.traffic.end());
+    op.deps.assign(v.deps.begin(), v.deps.end());
+    return op;
+}
+
+void
+StepOpArray::push(const StepOp &op)
+{
+    kind_.push_back(static_cast<std::uint8_t>(op.op_kind));
+    resource_.push_back(static_cast<std::uint8_t>(op.resource));
+    unit_.push_back(static_cast<std::uint8_t>(op.unit));
+    flags_.push_back(packFlags(op));
+    busy_.push_back(op.busy);
+    seconds_.push_back(op.seconds);
+    bytes_.push_back(op.bytes);
+    fanout_.push_back(op.fanout);
+    label_.push_back(intern(op.label));
+    stage_.push_back(intern(op.stage));
+    Span d{static_cast<std::uint32_t>(dep_pool_.size()),
+           static_cast<std::uint32_t>(op.deps.size())};
+    for (const std::size_t dep : op.deps)
+        dep_pool_.push_back(static_cast<std::uint32_t>(dep));
+    deps_.push_back(d);
+    Span t{static_cast<std::uint32_t>(traffic_pool_.size()),
+           static_cast<std::uint32_t>(op.traffic.size())};
+    for (const TrafficShare &s : op.traffic)
+        traffic_pool_.push_back(s);
+    traffic_.push_back(t);
+}
+
+void
+StepOpArray::set(std::size_t i, const StepOp &op)
+{
+    HILOS_ASSERT(i < size(), "step-op index out of range: ", i);
+    kind_[i] = static_cast<std::uint8_t>(op.op_kind);
+    resource_[i] = static_cast<std::uint8_t>(op.resource);
+    unit_[i] = static_cast<std::uint8_t>(op.unit);
+    flags_[i] = packFlags(op);
+    busy_[i] = op.busy;
+    seconds_[i] = op.seconds;
+    bytes_[i] = op.bytes;
+    fanout_[i] = op.fanout;
+    if (arenaView(label_[i]) != op.label)
+        label_[i] = intern(op.label);
+    if (arenaView(stage_[i]) != op.stage)
+        stage_[i] = intern(op.stage);
+    if (deps_[i].len == op.deps.size()) {
+        for (std::size_t k = 0; k < op.deps.size(); ++k)
+            dep_pool_[deps_[i].pos + k] =
+                static_cast<std::uint32_t>(op.deps[k]);
+    } else {
+        Span d{static_cast<std::uint32_t>(dep_pool_.size()),
+               static_cast<std::uint32_t>(op.deps.size())};
+        for (const std::size_t dep : op.deps)
+            dep_pool_.push_back(static_cast<std::uint32_t>(dep));
+        deps_[i] = d;
+    }
+    if (traffic_[i].len == op.traffic.size()) {
+        for (std::size_t k = 0; k < op.traffic.size(); ++k)
+            traffic_pool_[traffic_[i].pos + k] = op.traffic[k];
+    } else {
+        Span t{static_cast<std::uint32_t>(traffic_pool_.size()),
+               static_cast<std::uint32_t>(op.traffic.size())};
+        for (const TrafficShare &s : op.traffic)
+            traffic_pool_.push_back(s);
+        traffic_[i] = t;
+    }
+}
+
+void
+StepOpArray::annotate(std::size_t i, const StepOp &op)
+{
+    HILOS_ASSERT(i < size(), "step-op index out of range: ", i);
+    HILOS_ASSERT(traffic_[i].len == op.traffic.size(),
+                 "annotate with mismatched traffic shape: ", op.label);
+    seconds_[i] = op.seconds;
+    bytes_[i] = op.bytes;
+    fanout_[i] = op.fanout;
+    for (std::size_t k = 0; k < op.traffic.size(); ++k)
+        traffic_pool_[traffic_[i].pos + k].bytes = op.traffic[k].bytes;
+}
+
+bool
+StepOpArray::structureMatches(std::size_t i, const StepOp &op) const
+{
+    if (i >= size())
+        return false;
+    if (kind_[i] != static_cast<std::uint8_t>(op.op_kind) ||
+        resource_[i] != static_cast<std::uint8_t>(op.resource) ||
+        unit_[i] != static_cast<std::uint8_t>(op.unit) ||
+        flags_[i] != packFlags(op) || busy_[i] != op.busy)
+        return false;
+    if (arenaView(label_[i]) != op.label ||
+        arenaView(stage_[i]) != op.stage)
+        return false;
+    if (deps_[i].len != op.deps.size() ||
+        traffic_[i].len != op.traffic.size())
+        return false;
+    for (std::size_t k = 0; k < op.deps.size(); ++k)
+        if (dep_pool_[deps_[i].pos + k] != op.deps[k])
+            return false;
+    for (std::size_t k = 0; k < op.traffic.size(); ++k)
+        if (traffic_pool_[traffic_[i].pos + k].field !=
+            op.traffic[k].field)
+            return false;
+    return true;
+}
+
+void
+StepOpArray::clear()
+{
+    kind_.clear();
+    resource_.clear();
+    unit_.clear();
+    flags_.clear();
+    busy_.clear();
+    seconds_.clear();
+    bytes_.clear();
+    fanout_.clear();
+    label_.clear();
+    stage_.clear();
+    deps_.clear();
+    traffic_.clear();
+    arena_.clear();
+    dep_pool_.clear();
+    traffic_pool_.clear();
+}
+
+// --- StepPlan builder --------------------------------------------------
+
 void
 StepPlan::declareStage(const std::string &name)
 {
+    if (mode_ == BuildMode::Rebuild) {
+        if (mismatch_)
+            return;
+        if (stage_cursor_ >= stage_order.size() ||
+            stage_order[stage_cursor_] != name) {
+            mismatch_ = true;
+            return;
+        }
+        stage_cursor_++;
+        return;
+    }
     for (const std::string &s : stage_order)
         HILOS_ASSERT(s != name, "stage declared twice: ", name);
     stage_order.push_back(name);
@@ -163,6 +373,18 @@ void
 StepPlan::declareResource(PlanResource kind, unsigned instances)
 {
     HILOS_ASSERT(instances >= 1, "resource needs >= 1 instance");
+    if (mode_ == BuildMode::Rebuild) {
+        if (mismatch_)
+            return;
+        if (resource_cursor_ >= resources.size() ||
+            resources[resource_cursor_].kind != kind) {
+            mismatch_ = true;
+            return;
+        }
+        resources[resource_cursor_].instances = instances;
+        resource_cursor_++;
+        return;
+    }
     for (const PlanResourceDecl &d : resources)
         HILOS_ASSERT(d.kind != kind, "resource declared twice: ",
                      planResourceName(kind));
@@ -216,38 +438,118 @@ stageDeclared(const StepPlan &plan, const std::string &name)
 std::size_t
 StepPlan::addOp(StepOp op)
 {
+    if (mode_ == BuildMode::Rebuild) {
+        const std::size_t id = op_cursor_++;
+        if (mismatch_)
+            return id;
+        validateOp(op, id);
+        HILOS_ASSERT(std::isfinite(op.bytes) && op.bytes >= 0.0,
+                     "op payload must be finite and non-negative: ",
+                     op.label);
+        if (!layer_ops.structureMatches(id, op)) {
+            mismatch_ = true;
+            return id;
+        }
+        layer_ops.annotate(id, op);
+        return id;
+    }
     const std::size_t id = layer_ops.size();
     validateOp(op, id);
     HILOS_ASSERT(op.stage.empty() || stageDeclared(*this, op.stage),
                  "op stage not declared: ", op.stage);
-    layer_ops.push_back(std::move(op));
+    layer_ops.push(op);
     return id;
 }
 
 std::size_t
 StepPlan::addTailOp(StepOp op)
 {
-    const std::size_t id = tail_ops.size();
     HILOS_ASSERT(op.deps.empty(), "tail ops are a serial chain: ",
                  op.label);
     validateOp(op, 0);
-    HILOS_ASSERT(op.stage.empty() || stageDeclared(*this, op.stage),
-                 "op stage not declared: ", op.stage);
     HILOS_ASSERT(!op.prefetch && !op.shadow && !op.offline,
                  "tail ops carry no role flags: ", op.label);
-    tail_ops.push_back(std::move(op));
+    if (mode_ == BuildMode::Rebuild) {
+        const std::size_t id = tail_cursor_++;
+        if (mismatch_)
+            return id;
+        HILOS_ASSERT(std::isfinite(op.bytes) && op.bytes >= 0.0,
+                     "op payload must be finite and non-negative: ",
+                     op.label);
+        if (!tail_ops.structureMatches(id, op)) {
+            mismatch_ = true;
+            return id;
+        }
+        tail_ops.annotate(id, op);
+        return id;
+    }
+    const std::size_t id = tail_ops.size();
+    HILOS_ASSERT(op.stage.empty() || stageDeclared(*this, op.stage),
+                 "op stage not declared: ", op.stage);
+    tail_ops.push(op);
     return id;
+}
+
+void
+StepPlan::clear()
+{
+    layers = 1;
+    layer_time_divisor = 1.0;
+    feasible = true;
+    note.clear();
+    stage_order.clear();
+    resources.clear();
+    layer_ops.clear();
+    tail_ops.clear();
+    busy_step_fraction = PlanBusyFractions{};
+    energy = PlanEnergySpec{};
+    structure_validated = false;
+    mode_ = BuildMode::Append;
+    mismatch_ = false;
+    stage_cursor_ = resource_cursor_ = op_cursor_ = tail_cursor_ = 0;
+}
+
+void
+StepPlan::beginRebuild()
+{
+    // Scalar state re-derives from the builder; reset to construction
+    // defaults so stale values from the previous grid point can never
+    // leak into a rebuilt plan.
+    layers = 1;
+    layer_time_divisor = 1.0;
+    feasible = true;
+    note.clear();
+    busy_step_fraction = PlanBusyFractions{};
+    energy = PlanEnergySpec{};
+    structure_validated = false;
+    mode_ = BuildMode::Rebuild;
+    mismatch_ = false;
+    stage_cursor_ = resource_cursor_ = op_cursor_ = tail_cursor_ = 0;
+}
+
+bool
+StepPlan::finishRebuild()
+{
+    HILOS_ASSERT(mode_ == BuildMode::Rebuild,
+                 "finishRebuild without beginRebuild");
+    const bool ok = !mismatch_ && stage_cursor_ == stage_order.size() &&
+                    resource_cursor_ == resources.size() &&
+                    op_cursor_ == layer_ops.size() &&
+                    tail_cursor_ == tail_ops.size();
+    mode_ = BuildMode::Append;
+    mismatch_ = false;
+    return ok;
 }
 
 namespace {
 
 /** "layer op #3 'kv_fetch'" — the prefix every diagnostic starts with. */
 std::string
-opRef(const char *kind, std::size_t id, const StepOp &op)
+opRef(const char *kind, std::size_t id, std::string_view label)
 {
     std::string s = std::string(kind) + " op #" + std::to_string(id);
-    if (!op.label.empty())
-        s += " '" + op.label + "'";
+    if (!label.empty())
+        s += " '" + std::string(label) + "'";
     return s;
 }
 
@@ -257,9 +559,9 @@ constexpr unsigned kBusyAll =
 /** Shared per-op checks; dependency checks differ per op class. */
 void
 validateOpStatic(const StepPlan &plan, const char *kind, std::size_t id,
-                 const StepOp &op, std::vector<std::string> &out)
+                 const StepOpView &op, std::vector<std::string> &out)
 {
-    const std::string ref = opRef(kind, id, op);
+    const std::string ref = opRef(kind, id, op.label);
     if (!(std::isfinite(op.seconds) && op.seconds >= Seconds(0.0)))
         out.push_back(ref + ": duration " + std::to_string(op.seconds) +
                       "s is not finite and non-negative");
@@ -285,8 +587,9 @@ validateOpStatic(const StepPlan &plan, const char *kind, std::size_t id,
     if ((op.busy & ~kBusyAll) != 0)
         out.push_back(ref + ": busy mask " + std::to_string(op.busy) +
                       " sets bits beyond the declared kBusy* tags");
-    if (!op.stage.empty() && !stageDeclared(plan, op.stage))
-        out.push_back(ref + ": stage '" + op.stage + "' is not declared");
+    if (!op.stage.empty() && !stageDeclared(plan, std::string(op.stage)))
+        out.push_back(ref + ": stage '" + std::string(op.stage) +
+                      "' is not declared");
     for (const TrafficShare &s : op.traffic) {
         if (static_cast<unsigned>(s.field) >
             static_cast<unsigned>(TrafficField::StorageWrite))
@@ -330,15 +633,15 @@ StepPlan::validate() const
     }
 
     for (std::size_t i = 0; i < layer_ops.size(); ++i) {
-        const StepOp &op = layer_ops[i];
+        const StepOpView op = layer_ops[i];
         validateOpStatic(*this, "layer", i, op, out);
         for (const std::size_t d : op.deps) {
             if (d >= layer_ops.size())
-                out.push_back(opRef("layer", i, op) + ": dep #" +
+                out.push_back(opRef("layer", i, op.label) + ": dep #" +
                               std::to_string(d) +
                               " references no op in the plan");
             else if (d >= i)
-                out.push_back(opRef("layer", i, op) + ": dep #" +
+                out.push_back(opRef("layer", i, op.label) + ": dep #" +
                               std::to_string(d) +
                               " references a later op (the evaluator "
                               "requires topological order)");
@@ -375,18 +678,18 @@ StepPlan::validate() const
     if (processed < layer_ops.size())
         for (std::size_t i = 0; i < layer_ops.size(); ++i)
             if (indegree[i] != 0)
-                out.push_back(opRef("layer", i, layer_ops[i]) +
+                out.push_back(opRef("layer", i, layer_ops[i].label) +
                               ": sits on a dependency cycle");
 
     for (std::size_t i = 0; i < tail_ops.size(); ++i) {
-        const StepOp &op = tail_ops[i];
+        const StepOpView op = tail_ops[i];
         validateOpStatic(*this, "tail", i, op, out);
         if (!op.deps.empty())
-            out.push_back(opRef("tail", i, op) +
+            out.push_back(opRef("tail", i, op.label) +
                           ": tail ops form a serial chain and carry no "
                           "dependency edges");
         if (op.prefetch || op.shadow || op.offline)
-            out.push_back(opRef("tail", i, op) +
+            out.push_back(opRef("tail", i, op.label) +
                           ": tail ops carry no role flags");
     }
     return out;
@@ -408,7 +711,7 @@ evaluatePlan(const StepPlan &plan)
     // max/sum compositions bit-for-bit. Offline ops never gate it.
     ev.op_finish.assign(plan.layer_ops.size(), 0.0);
     for (std::size_t i = 0; i < plan.layer_ops.size(); ++i) {
-        const StepOp &op = plan.layer_ops[i];
+        const StepOpView op = plan.layer_ops[i];
         if (op.offline)
             continue;
         Seconds ready = 0.0;
@@ -420,31 +723,28 @@ evaluatePlan(const StepPlan &plan)
 
     Seconds step =
         L * ev.layer_critical_path / plan.layer_time_divisor;
-    for (const StepOp &op : plan.tail_ops)
+    for (const StepOpView op : plan.tail_ops)
         step += op.seconds;
     ev.decode_step_time = step;
 
     // Stage breakdown: per-layer sums accumulate in op-insertion order
     // (the order engines historically summed their terms), scale by the
-    // layer count, and land in declared-stage order.
-    std::unordered_map<std::string, Seconds> layer_stage, tail_stage;
-    for (const StepOp &op : plan.layer_ops) {
-        if (op.shadow || op.stage.empty())
-            continue;
-        layer_stage[op.stage] += op.seconds;
-    }
-    for (const StepOp &op : plan.tail_ops) {
-        if (op.stage.empty())
-            continue;
-        tail_stage[op.stage] += op.seconds;
-    }
+    // layer count, and land in declared-stage order. The per-stage scan
+    // preserves each stage's historical addition sequence exactly while
+    // avoiding any hashed intermediate.
     for (const std::string &name : plan.stage_order) {
-        const auto lit = layer_stage.find(name);
-        const auto tit = tail_stage.find(name);
-        const Seconds lsum =
-            lit == layer_stage.end() ? Seconds(0.0) : lit->second;
-        const Seconds tsum =
-            tit == tail_stage.end() ? Seconds(0.0) : tit->second;
+        Seconds lsum = 0.0;
+        Seconds tsum = 0.0;
+        for (const StepOpView op : plan.layer_ops) {
+            if (op.shadow || op.stage.empty())
+                continue;
+            if (op.stage == name)
+                lsum += op.seconds;
+        }
+        for (const StepOpView op : plan.tail_ops) {
+            if (!op.stage.empty() && op.stage == name)
+                tsum += op.seconds;
+        }
         ev.breakdown.add(name, L * lsum + tsum);
     }
 
@@ -453,13 +753,13 @@ evaluatePlan(const StepPlan &plan)
     constexpr std::size_t kFields = 6;
     double layer_bytes[kFields] = {0, 0, 0, 0, 0, 0};
     double tail_bytes[kFields] = {0, 0, 0, 0, 0, 0};
-    for (const StepOp &op : plan.layer_ops) {
+    for (const StepOpView op : plan.layer_ops) {
         if (op.shadow)
             continue;
         for (const TrafficShare &s : op.traffic)
             layer_bytes[static_cast<std::size_t>(s.field)] += s.bytes;
     }
-    for (const StepOp &op : plan.tail_ops)
+    for (const StepOpView op : plan.tail_ops)
         for (const TrafficShare &s : op.traffic)
             tail_bytes[static_cast<std::size_t>(s.field)] += s.bytes;
     const auto field_total = [&](TrafficField f) {
@@ -498,7 +798,7 @@ evaluatePlan(const StepPlan &plan)
         std::fill(path.begin(), path.end(), 0.0);
         Seconds best = 0.0;
         for (std::size_t i = 0; i < plan.layer_ops.size(); ++i) {
-            const StepOp &op = plan.layer_ops[i];
+            const StepOpView op = plan.layer_ops[i];
             Seconds pre = 0.0;
             for (const std::size_t d : op.deps)
                 pre = std::max(pre, path[d]);
@@ -516,9 +816,11 @@ void
 applyPlan(const StepPlan &plan, const RunConfig &cfg, RunResult &res)
 {
     HILOS_ASSERT(plan.feasible, "applyPlan on an infeasible plan");
-    const std::vector<std::string> problems = plan.validate();
-    HILOS_ASSERT(problems.empty(), "invalid step plan: ",
-                 problems.empty() ? std::string() : problems.front());
+    if (!plan.structure_validated) {
+        const std::vector<std::string> problems = plan.validate();
+        HILOS_ASSERT(problems.empty(), "invalid step plan: ",
+                     problems.empty() ? std::string() : problems.front());
+    }
     const PlanEvaluation ev = evaluatePlan(plan);
     res.decode_step_time = ev.decode_step_time;
     res.breakdown = ev.breakdown;

@@ -35,13 +35,25 @@
  *    shared-uplink occupancy check); the replay skips them;
  *  - offline ops: accounted only — background occupancy that never
  *    gates the critical path (e.g. the CPU driving synchronous I/O).
+ *
+ * Storage layout: plans sit on the sweep driver's hottest path (one
+ * build → validate → apply per grid point), so ops live in a
+ * structure-of-arrays StepOpArray — parallel flat vectors for the
+ * scalar fields, one shared string arena for labels/stages, and flat
+ * pools for dependency edges and traffic shares addressed by (pos, len)
+ * spans. StepOp remains the addressable builder value (engines still
+ * emit transferOp()/computeOp() chains); reads go through the
+ * StepOpView proxy, which exposes the same field names over the flat
+ * storage without materialising per-op heap allocations.
  */
 
 #ifndef HILOS_RUNTIME_STEP_PLAN_H_
 #define HILOS_RUNTIME_STEP_PLAN_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/units.h"
@@ -100,8 +112,9 @@ struct TrafficShare {
 };
 
 /**
- * One typed op of a step plan. Build with transferOp()/computeOp() and
- * the fluent setters; add to a plan with StepPlan::addOp.
+ * One typed op of a step plan, as an addressable builder value. Build
+ * with transferOp()/computeOp() and the fluent setters; add to a plan
+ * with StepPlan::addOp (which flattens it into the plan's SoA storage).
  */
 struct StepOp {
     enum class Kind : std::uint8_t { Transfer, Compute };
@@ -149,6 +162,131 @@ StepOp transferOp(PlanResource resource, std::string label, Seconds seconds,
 /** A priced compute op on a unit. */
 StepOp computeOp(ComputeUnit unit, std::string label, Seconds seconds);
 
+/**
+ * Read-only proxy over one op of a StepOpArray: the same field names as
+ * StepOp, but labels/stages are views into the shared arena and
+ * deps/traffic are spans into the flat pools — no per-access
+ * allocation. Cheap to copy; valid until the owning array mutates.
+ */
+struct StepOpView {
+    StepOp::Kind op_kind = StepOp::Kind::Compute;
+    PlanResource resource = PlanResource::None;
+    ComputeUnit unit = ComputeUnit::None;
+    Seconds seconds = 0;
+    Bytes bytes = 0;
+    std::uint64_t fanout = 1;
+    std::string_view label;
+    std::string_view stage;
+    unsigned busy = 0;
+    bool prefetch = false;
+    bool shadow = false;
+    bool offline = false;
+    std::span<const std::uint32_t> deps;
+    std::span<const TrafficShare> traffic;
+};
+
+/**
+ * Structure-of-arrays op storage: parallel vectors per scalar field,
+ * one string arena for labels/stages, and flat dependency/traffic pools
+ * addressed by (pos, len) spans. Appending an op performs at most a few
+ * amortised vector growths instead of three per-op heap allocations,
+ * and iterating touches contiguous memory.
+ */
+class StepOpArray
+{
+  public:
+    std::size_t size() const { return kind_.size(); }
+    bool empty() const { return kind_.empty(); }
+
+    /** Proxy view of op `i`. */
+    StepOpView operator[](std::size_t i) const;
+
+    /** Materialise op `i` back into an addressable StepOp (for tests
+     *  and targeted mutation via set()). */
+    StepOp get(std::size_t i) const;
+
+    /**
+     * Overwrite op `i` with `op`, unchecked: no dependency or stage
+     * validation runs (tests use this to assemble deliberately broken
+     * plans for validate()). Variable-length fields that grow are
+     * re-appended to the pools; the abandoned spans stay as slack.
+     */
+    void set(std::size_t i, const StepOp &op);
+
+    /** Append `op`, flattening it into the parallel arrays. */
+    void push(const StepOp &op);
+
+    /** Overwrite only the priced annotations of op `i` (seconds, bytes,
+     *  fanout, traffic-share bytes). Traffic length must match. */
+    void annotate(std::size_t i, const StepOp &op);
+
+    /** True when `op` matches op `i` on every structural field (kind,
+     *  resource, unit, label, stage, busy, roles, dep sequence, traffic
+     *  field sequence). Annotations are not compared. */
+    bool structureMatches(std::size_t i, const StepOp &op) const;
+
+    /** Drop all ops; keeps capacity. */
+    void clear();
+
+    // Iteration yields StepOpView proxies by value.
+    class const_iterator
+    {
+      public:
+        const_iterator(const StepOpArray *a, std::size_t i)
+            : array_(a), index_(i)
+        {
+        }
+        StepOpView operator*() const { return (*array_)[index_]; }
+        const_iterator &operator++()
+        {
+            ++index_;
+            return *this;
+        }
+        bool operator==(const const_iterator &o) const
+        {
+            return index_ == o.index_;
+        }
+        bool operator!=(const const_iterator &o) const
+        {
+            return index_ != o.index_;
+        }
+
+      private:
+        const StepOpArray *array_;
+        std::size_t index_;
+    };
+    const_iterator begin() const { return const_iterator(this, 0); }
+    const_iterator end() const { return const_iterator(this, size()); }
+
+  private:
+    struct Span {
+        std::uint32_t pos = 0;
+        std::uint32_t len = 0;
+    };
+
+    std::string_view arenaView(Span s) const
+    {
+        return std::string_view(arena_).substr(s.pos, s.len);
+    }
+    Span intern(std::string_view s);
+
+    std::vector<std::uint8_t> kind_;
+    std::vector<std::uint8_t> resource_;
+    std::vector<std::uint8_t> unit_;
+    std::vector<std::uint8_t> flags_;  // bit 0 prefetch, 1 shadow, 2 offline
+    std::vector<unsigned> busy_;
+    std::vector<Seconds> seconds_;
+    std::vector<Bytes> bytes_;
+    std::vector<std::uint64_t> fanout_;
+    std::vector<Span> label_;
+    std::vector<Span> stage_;
+    std::vector<Span> deps_;
+    std::vector<Span> traffic_;
+    std::string arena_;
+    std::vector<std::uint32_t> dep_pool_;
+    std::vector<TrafficShare> traffic_pool_;
+};
+
 /** Resource instances available to the replay backend. */
 struct PlanResourceDecl {
     PlanResource kind = PlanResource::None;
@@ -189,6 +327,20 @@ struct PlanEnergySpec {
  * serial tail ops. Declared stage names fix the StageBreakdown entry
  * order independent of op order (engines keep their historical
  * presentation); every tagged stage must be declared.
+ *
+ * Two build protocols share the declareStage/declareResource/addOp
+ * surface:
+ *
+ *  - append (default): calls append fresh entries, as engines always
+ *    built plans;
+ *  - rebuild (between beginRebuild()/finishRebuild(), driven by
+ *    PlanCache): calls *verify* each structural field against the entry
+ *    already at the cursor and overwrite only the priced annotations.
+ *    Any structural divergence flips an internal mismatch flag (the
+ *    remaining builder calls become no-ops) and finishRebuild() returns
+ *    false, telling the cache to fall back to a cold build. A verified
+ *    rebuild therefore yields a plan bit-identical to the cold build it
+ *    shadows without re-validating or re-allocating its topology.
  */
 struct StepPlan {
     std::uint64_t layers = 1;
@@ -199,12 +351,20 @@ struct StepPlan {
 
     std::vector<std::string> stage_order;
     std::vector<PlanResourceDecl> resources;
-    std::vector<StepOp> layer_ops;
-    std::vector<StepOp> tail_ops;
+    StepOpArray layer_ops;
+    StepOpArray tail_ops;
 
     /** Per-step busy overhead as a fraction of the final step time. */
     PlanBusyFractions busy_step_fraction;
     PlanEnergySpec energy;
+
+    /**
+     * Set only by PlanCache after a cold validate() passes; lets
+     * applyPlan skip static validation on verified cache hits. Plain
+     * field mutation or StepOpArray::set never set it, so hand-built
+     * and fuzz-assembled plans always take the validated path.
+     */
+    bool structure_validated = false;
 
     /** Register a breakdown stage; entry order = declaration order. */
     void declareStage(const std::string &name);
@@ -217,6 +377,23 @@ struct StepPlan {
     std::size_t addOp(StepOp op);
     /** Append a once-per-step tail op (serial, dependency-free). */
     std::size_t addTailOp(StepOp op);
+
+    /** Reset to an empty plan, keeping allocated capacity. */
+    void clear();
+
+    /**
+     * Enter rebuild mode: scalar fields reset to their defaults (the
+     * builder re-derives them) and the builder cursors rewind to the
+     * start of the cached topology. Annotations are overwritten in
+     * place as the builder re-runs; see the class comment.
+     */
+    void beginRebuild();
+
+    /**
+     * Leave rebuild mode. True iff the builder re-traced the cached
+     * topology exactly (no structural mismatch, every cursor consumed).
+     */
+    bool finishRebuild();
 
     /**
      * Statically check the assembled plan and return one diagnostic per
@@ -232,6 +409,16 @@ struct StepPlan {
      * the fuzz oracles reject plans with diagnostics.
      */
     std::vector<std::string> validate() const;
+
+  private:
+    enum class BuildMode : std::uint8_t { Append, Rebuild };
+
+    BuildMode mode_ = BuildMode::Append;
+    bool mismatch_ = false;
+    std::size_t stage_cursor_ = 0;
+    std::size_t resource_cursor_ = 0;
+    std::size_t op_cursor_ = 0;
+    std::size_t tail_cursor_ = 0;
 };
 
 /** Everything the analytic backend derives from a plan. */

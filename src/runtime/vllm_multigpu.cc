@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "runtime/cost_model.h"
+#include "runtime/plan_cache.h"
 
 namespace hilos {
 
@@ -23,8 +24,9 @@ VllmMultiGpuEngine::totalGpuMemory() const
            static_cast<double>(cluster_.gpu.memory_capacity);
 }
 
-StepPlan
-VllmMultiGpuEngine::makePlan(const RunConfig &cfg, RunResult &res) const
+void
+VllmMultiGpuEngine::makePlan(const RunConfig &cfg, RunResult &res,
+                             StepPlan &plan) const
 {
     const ModelConfig &m = cfg.model;
     const Gpu gpu(cluster_.gpu);
@@ -32,7 +34,6 @@ VllmMultiGpuEngine::makePlan(const RunConfig &cfg, RunResult &res) const
     const unsigned pp = cluster_.nodes;
     const std::uint64_t total_seq = cfg.context_len + cfg.output_len;
 
-    StepPlan plan;
     // Everything (weights + paged KV + runtime overhead) must fit the
     // aggregated GPU memory.
     // Weights plus per-GPU runtime state: CUDA context, activation
@@ -45,7 +46,7 @@ VllmMultiGpuEngine::makePlan(const RunConfig &cfg, RunResult &res) const
         res.note = "model weights exceed aggregate GPU memory";
         plan.feasible = false;
         plan.note = res.note;
-        return plan;
+        return;
     }
     res.effective_batch = maxFittingBatch(m, cfg.batch, total_seq,
                                           capacity, weight_bytes);
@@ -165,14 +166,29 @@ VllmMultiGpuEngine::makePlan(const RunConfig &cfg, RunResult &res) const
     plan.energy.enabled = true;
     plan.energy.sys = cluster_sys;
     plan.energy.prefill_fraction.gpu = 0.9;
-    return plan;
 }
 
 RunResult
 VllmMultiGpuEngine::run(const RunConfig &cfg) const
 {
     RunResult res;
-    const StepPlan plan = makePlan(cfg, res);
+    StepPlan plan;
+    makePlan(cfg, res, plan);
+    if (!plan.feasible)
+        return res;
+    applyPlan(plan, cfg, res);
+    return res;
+}
+
+RunResult
+VllmMultiGpuEngine::runCached(const RunConfig &cfg, PlanCache &cache) const
+{
+    RunResult res;
+    const StepPlan &plan = cache.build(
+        PlanCache::keyOf(name(), cfg.model.name), [&](StepPlan &p) {
+            res = RunResult{};
+            makePlan(cfg, res, p);
+        });
     if (!plan.feasible)
         return res;
     applyPlan(plan, cfg, res);
@@ -183,7 +199,9 @@ StepPlan
 VllmMultiGpuEngine::decodeStepPlan(const RunConfig &cfg) const
 {
     RunResult scratch;
-    return makePlan(cfg, scratch);
+    StepPlan plan;
+    makePlan(cfg, scratch, plan);
+    return plan;
 }
 
 }  // namespace hilos

@@ -47,6 +47,8 @@ class VllmMultiGpuEngine : public InferenceEngine, public StepPlanSource
 
     std::string name() const override { return "vLLM(2x4xA6000)"; }
     RunResult run(const RunConfig &cfg) const override;
+    RunResult runCached(const RunConfig &cfg,
+                        PlanCache &cache) const override;
     StepPlan decodeStepPlan(const RunConfig &cfg) const override;
 
     /** Aggregate GPU memory of the cluster. */
@@ -55,8 +57,9 @@ class VllmMultiGpuEngine : public InferenceEngine, public StepPlanSource
     const VllmClusterConfig &cluster() const { return cluster_; }
 
   private:
-    /** Capacity decisions + prefill into `res`, decode step as a plan. */
-    StepPlan makePlan(const RunConfig &cfg, RunResult &res) const;
+    /** Capacity decisions + prefill into `res`, decode step into `plan`. */
+    void makePlan(const RunConfig &cfg, RunResult &res,
+                  StepPlan &plan) const;
 
     SystemConfig sys_;
     VllmClusterConfig cluster_;

@@ -1,33 +1,137 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+#include <limits>
 #include <utility>
-
-#include "common/logging.h"
 
 namespace hilos {
 
-void
-EventQueue::scheduleAt(Seconds when, Callback fn)
+std::uint64_t
+EventQueue::dayOf(Seconds when) const
 {
-    HILOS_ASSERT(when >= now_, "scheduling into the past: ", when, " < ",
-                 now_);
-    heap_.push(Entry{when, next_seq_++, std::move(fn)});
+    const double day = when / bucket_width_;
+    // Clamp far-future times to one shared terminal day so the index
+    // never overflows; both insert and findMin classify through this
+    // function, so clamped events still meet in the same bucket.
+    constexpr double kMaxDay = 9.0e18;
+    if (day >= kMaxDay)
+        return static_cast<std::uint64_t>(kMaxDay);
+    return day <= 0.0 ? 0ull : static_cast<std::uint64_t>(day);
 }
 
 void
-EventQueue::scheduleAfter(Seconds delay, Callback fn)
+EventQueue::insert(Seconds when, Callback fn)
 {
-    HILOS_ASSERT(delay >= 0.0, "negative delay: ", delay);
-    scheduleAt(now_ + delay, std::move(fn));
+    maybeGrow();
+    const std::uint64_t day = dayOf(when);
+    search_day_ = std::min(search_day_, day);
+    buckets_[day & (buckets_.size() - 1)].push_back(
+        Entry{when, next_seq_++, std::move(fn)});
+    count_++;
+}
+
+EventQueue::MinRef
+EventQueue::findMin() const
+{
+    MinRef best;
+    if (count_ == 0)
+        return best;
+    const std::size_t n = buckets_.size();
+    const std::uint64_t start = std::max(search_day_, dayOf(now_));
+    Seconds best_when = 0.0;
+    std::uint64_t best_seq = 0;
+
+    // One calendar lap: the first day with a resident event holds the
+    // global minimum, because earlier days are empty and later days
+    // start later. Entries in a bucket belonging to other days (the
+    // ring aliases day d and d + n) are filtered out.
+    for (std::uint64_t day = start; day < start + n; day++) {
+        const std::vector<Entry> &bucket = buckets_[day & (n - 1)];
+        for (std::size_t i = 0; i < bucket.size(); i++) {
+            const Entry &e = bucket[i];
+            if (dayOf(e.when) != day)
+                continue;
+            if (!best.found || e.when < best_when ||
+                (e.when == best_when && e.seq < best_seq)) {
+                best = MinRef{day & (n - 1), i, true};
+                best_when = e.when;
+                best_seq = e.seq;
+            }
+        }
+        if (best.found) {
+            search_day_ = day;
+            return best;
+        }
+    }
+
+    // Sparse tail: every pending event lies more than one lap ahead.
+    // Direct scan, then jump the search cursor to the day found.
+    for (std::size_t b = 0; b < n; b++) {
+        const std::vector<Entry> &bucket = buckets_[b];
+        for (std::size_t i = 0; i < bucket.size(); i++) {
+            const Entry &e = bucket[i];
+            if (!best.found || e.when < best_when ||
+                (e.when == best_when && e.seq < best_seq)) {
+                best = MinRef{b, i, true};
+                best_when = e.when;
+                best_seq = e.seq;
+            }
+        }
+    }
+    search_day_ = dayOf(best_when);
+    return best;
+}
+
+EventQueue::Entry
+EventQueue::extract(const MinRef &ref)
+{
+    std::vector<Entry> &bucket = buckets_[ref.bucket];
+    Entry out = std::move(bucket[ref.index]);
+    // Order within a bucket is irrelevant (findMin scans it), so fill
+    // the hole with the last entry instead of shifting.
+    if (ref.index + 1 != bucket.size())
+        bucket[ref.index] = std::move(bucket.back());
+    bucket.pop_back();
+    count_--;
+    return out;
+}
+
+void
+EventQueue::maybeGrow()
+{
+    if (count_ < buckets_.size() * kGrowLoad)
+        return;
+    // Double the ring and re-fit the day width to the observed event
+    // spacing (span / population), so a deep queue keeps roughly one
+    // event per day regardless of the caller's time scale.
+    Seconds lo = std::numeric_limits<Seconds>::infinity();
+    Seconds hi = -std::numeric_limits<Seconds>::infinity();
+    for (const std::vector<Entry> &bucket : buckets_) {
+        for (const Entry &e : bucket) {
+            lo = std::min(lo, e.when);
+            hi = std::max(hi, e.when);
+        }
+    }
+    std::vector<std::vector<Entry>> old = std::move(buckets_);
+    const std::size_t n = old.size() * 2;
+    buckets_ = std::vector<std::vector<Entry>>(n);
+    if (hi > lo)
+        bucket_width_ =
+            std::max(kMinWidth, (hi - lo) / static_cast<double>(count_));
+    for (std::vector<Entry> &bucket : old) {
+        for (Entry &e : bucket)
+            buckets_[dayOf(e.when) & (n - 1)].push_back(std::move(e));
+    }
+    search_day_ = 0;  // widths changed; findMin re-establishes the cursor
 }
 
 Seconds
 EventQueue::run()
 {
-    while (!heap_.empty()) {
-        // Copy out before pop: the callback may schedule new events.
-        Entry e = heap_.top();
-        heap_.pop();
+    while (count_ > 0) {
+        // Move the entry out of its bucket before invoking: the
+        // callback may schedule (or trigger growth of) new events.
+        Entry e = extract(findMin());
         now_ = e.when;
         e.fn();
     }
@@ -37,9 +141,11 @@ EventQueue::run()
 Seconds
 EventQueue::runUntil(Seconds limit)
 {
-    while (!heap_.empty() && heap_.top().when <= limit) {
-        Entry e = heap_.top();
-        heap_.pop();
+    while (count_ > 0) {
+        const MinRef head = findMin();
+        if (buckets_[head.bucket][head.index].when > limit)
+            break;
+        Entry e = extract(head);
         now_ = e.when;
         e.fn();
     }
@@ -51,16 +157,20 @@ EventQueue::runUntil(Seconds limit)
 Seconds
 EventQueue::peekNext() const
 {
-    HILOS_ASSERT(!heap_.empty(), "peekNext on an empty event queue");
-    return heap_.top().when;
+    HILOS_ASSERT(count_ > 0, "peekNext on an empty event queue");
+    const MinRef head = findMin();
+    return buckets_[head.bucket][head.index].when;
 }
 
 void
 EventQueue::reset()
 {
-    heap_ = {};
+    for (std::vector<Entry> &bucket : buckets_)
+        bucket.clear();
+    count_ = 0;
     now_ = 0.0;
     next_seq_ = 0;
+    search_day_ = 0;
 }
 
 }  // namespace hilos

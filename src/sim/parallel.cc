@@ -43,13 +43,20 @@ void
 ThreadPool::parallelFor(std::size_t n,
                         const std::function<void(std::size_t)> &fn)
 {
+    parallelForWorker(n, [&fn](unsigned, std::size_t i) { fn(i); });
+}
+
+void
+ThreadPool::parallelForWorker(
+    std::size_t n, const std::function<void(unsigned, std::size_t)> &fn)
+{
     if (n == 0)
         return;
     if (threads_.empty() || n == 1) {
         // Serial reference path: same code the workers run, same
         // index order a 1-wide deal would produce.
         for (std::size_t i = 0; i < n; i++)
-            fn(i);
+            fn(0, i);
         return;
     }
 
@@ -103,11 +110,11 @@ ThreadPool::workerLoop(unsigned self)
 void
 ThreadPool::runShare(unsigned self)
 {
-    const std::function<void(std::size_t)> &fn = *fn_;
+    const std::function<void(unsigned, std::size_t)> &fn = *fn_;
     std::size_t idx = 0;
     while (popOwn(self, idx) || stealFrom(self, idx)) {
         try {
-            fn(idx);
+            fn(self, idx);
         } catch (...) {
             {
                 std::lock_guard<std::mutex> lk(mu_);

@@ -74,6 +74,18 @@ class ThreadPool
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &fn);
 
+    /**
+     * Worker-aware form: run `fn(worker, i)` for every i in [0, n),
+     * where `worker` identifies the executing worker in [0, jobs()).
+     * Serial execution (jobs() == 1 or n == 1) uses worker 0. A worker
+     * id never runs two tasks concurrently, so callers can keep
+     * per-worker scratch state (engine instances, plan caches) in a
+     * jobs()-sized vector without locking.
+     */
+    void parallelForWorker(
+        std::size_t n,
+        const std::function<void(unsigned, std::size_t)> &fn);
+
     /** Default worker count for `jobs == 0`. */
     static unsigned defaultJobs();
 
@@ -100,7 +112,7 @@ class ThreadPool
     std::uint64_t generation_ = 0;
     unsigned running_ = 0;
     bool stop_ = false;
-    const std::function<void(std::size_t)> *fn_ = nullptr;
+    const std::function<void(unsigned, std::size_t)> *fn_ = nullptr;
     std::exception_ptr error_;
 };
 
@@ -147,6 +159,24 @@ class SweepDriver
         std::vector<decltype(fn(0u))> results(n);
         pool_.parallelFor(n,
                           [&](std::size_t i) { results[i] = fn(i); });
+        return results;
+    }
+
+    /**
+     * Worker-aware map: evaluate `fn(worker, task)` with the executing
+     * worker id as the first argument (see parallelForWorker), results
+     * still keyed by task index. Use when tasks want to reuse
+     * expensive per-worker state across the sweep.
+     */
+    template <typename Task, typename Fn>
+    auto mapWorker(const std::vector<Task> &tasks, Fn &&fn)
+        -> std::vector<decltype(fn(0u, tasks.front()))>
+    {
+        std::vector<decltype(fn(0u, tasks.front()))> results(tasks.size());
+        pool_.parallelForWorker(
+            tasks.size(), [&](unsigned worker, std::size_t i) {
+                results[i] = fn(worker, tasks[i]);
+            });
         return results;
     }
 

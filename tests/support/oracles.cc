@@ -454,13 +454,13 @@ runFlexGenPlanOracle(std::uint64_t seed, Perturbation perturb)
     // Structural per-op invariant: the replay adds only queueing, so a
     // replayed op can never finish before its analytic finish.
     for (std::size_t i = 0; i < plan.layer_ops.size(); ++i) {
-        const StepOp &op = plan.layer_ops[i];
+        const StepOpView op = plan.layer_ops[i];
         if (op.shadow || op.offline)
             continue;
         if (ps.first_layer_finish[i] <
             ev.op_finish[i] * (1.0 - kRelEps) - 1e-15) {
             out.ok = false;
-            out.detail = "plan structure: op '" + op.label +
+            out.detail = "plan structure: op '" + std::string(op.label) +
                          "' replays to " + fmt(ps.first_layer_finish[i]) +
                          "s, before its analytic finish " +
                          fmt(ev.op_finish[i]) + "s";

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * RAII pin for the kernel SIMD dispatch level, used by the differential
+ * lanes that compare the AVX2 kernels against their scalar references
+ * in one process.
+ */
+
+#ifndef HILOS_TESTS_SUPPORT_SCOPED_SIMD_H_
+#define HILOS_TESTS_SUPPORT_SCOPED_SIMD_H_
+
+#include "accel/simd.h"
+
+namespace hilos {
+namespace test {
+
+/** Pins activeSimdLevel() for a scope; restores the prior level. */
+class ScopedSimdLevel
+{
+  public:
+    explicit ScopedSimdLevel(SimdLevel level) : prev_(activeSimdLevel())
+    {
+        setSimdLevel(level);
+    }
+    ~ScopedSimdLevel() { setSimdLevel(prev_); }
+
+    ScopedSimdLevel(const ScopedSimdLevel &) = delete;
+    ScopedSimdLevel &operator=(const ScopedSimdLevel &) = delete;
+
+  private:
+    SimdLevel prev_;
+};
+
+}  // namespace test
+}  // namespace hilos
+
+#endif  // HILOS_TESTS_SUPPORT_SCOPED_SIMD_H_

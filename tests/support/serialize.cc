@@ -211,7 +211,7 @@ storageKindName(StorageKind k)
 
 void
 serializeOp(std::ostringstream &os, const std::string &key,
-            const StepOp &op)
+            const StepOpView &op)
 {
     os << key << " = ";
     os << (op.op_kind == StepOp::Kind::Transfer ? "transfer " : "compute ");
@@ -222,7 +222,11 @@ serializeOp(std::ostringstream &os, const std::string &key,
     os << " seconds=" << formatDouble(op.seconds);
     os << " bytes=" << formatDouble(op.bytes);
     os << " fanout=" << op.fanout;
-    os << " stage=" << (op.stage.empty() ? "<none>" : op.stage);
+    os << " stage=";
+    if (op.stage.empty())
+        os << "<none>";
+    else
+        os << op.stage;
     os << " busy=" << busyMaskName(op.busy);
     std::string flags;
     if (op.prefetch)

@@ -8,13 +8,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <tuple>
 #include <vector>
 
 #include "accel/attention_kernel.h"
+#include "accel/simd.h"
 #include "common/random.h"
 #include "llm/attention_ref.h"
 #include "llm/tensor.h"
+#include "support/scoped_simd.h"
 #include "support/tolerances.h"
 
 namespace hilos {
@@ -279,6 +282,44 @@ TEST(AttentionKernel, ShapeViolationsDie)
     cfg.d_group = 2;  // but fixture has 1 query row
     const AttentionKernel kernel(cfg);
     EXPECT_DEATH(kernel.run(fx.request(64, 32, 1)), "d_group");
+}
+
+TEST(SimdDifferential, KernelAvx2IsBitwiseEqualToScalar)
+{
+    if (!simdLevelSupported(SimdLevel::Avx2))
+        GTEST_SKIP() << "CPU lacks AVX2/F16C";
+    // End-to-end: QK GEMV, masked two-pass softmax, and SV GEMV all
+    // dispatch; every output element must match the scalar pipeline
+    // bit-for-bit (shapes with odd tails, GQA, window + sink masking).
+    const std::tuple<std::size_t, std::size_t, std::size_t> shapes[] = {
+        {64, 32, 1}, {129, 80, 4}, {300, 64, 2}};
+    std::uint64_t seed = 401;
+    for (const auto &[s, d, g] : shapes) {
+        const KernelFixture fx(s, d, g, seed++);
+        AttentionKernelConfig cfg;
+        cfg.d_group = g;
+        const AttentionKernel kernel(cfg);
+        AttentionRequest req = fx.request(s, d, g);
+        req.window_start = s / 3;
+        req.sink_tokens = 2;
+
+        AttentionResult scalar;
+        AttentionResult avx2;
+        {
+            test::ScopedSimdLevel lvl(SimdLevel::Scalar);
+            scalar = kernel.run(req);
+        }
+        {
+            test::ScopedSimdLevel lvl(SimdLevel::Avx2);
+            avx2 = kernel.run(req);
+        }
+        ASSERT_EQ(scalar.outputs.size(), avx2.outputs.size());
+        EXPECT_EQ(0, std::memcmp(scalar.outputs.data(),
+                                 avx2.outputs.data(),
+                                 scalar.outputs.size() * sizeof(float)))
+            << "s=" << s << " d=" << d << " g=" << g;
+        EXPECT_EQ(scalar.flops, avx2.flops);
+    }
 }
 
 TEST(AttentionKernel, EmptyContextDies)

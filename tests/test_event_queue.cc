@@ -1,13 +1,22 @@
 /**
  * @file
  * Tests for the discrete-event kernel: ordering, tie-breaking,
- * reentrant scheduling, and bounded runs.
+ * reentrant scheduling, and bounded runs — plus a differential check of
+ * the calendar queue against a reference binary heap on fuzzed
+ * schedules, and move/copy accounting for the InlineCallback store.
  */
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <utility>
 #include <vector>
 
+#include "common/random.h"
 #include "sim/event_queue.h"
 
 namespace hilos {
@@ -133,6 +142,217 @@ TEST(EventQueue, ResetClearsStateAndClock)
     EXPECT_EQ(eq.now(), 0.0);
     eq.scheduleAt(1.0, [] {});  // must not die after reset
     eq.run();
+}
+
+TEST(EventQueue, MoveOnlyCallablesAreSupported)
+{
+    // std::function required copyable callables; the InlineCallback
+    // store only ever relocates, so move-only captures are legal.
+    EventQueue eq;
+    auto box = std::make_unique<int>(41);
+    int got = 0;
+    eq.scheduleAt(1.0, [b = std::move(box), &got] { got = *b + 1; });
+    eq.run();
+    EXPECT_EQ(got, 42);
+}
+
+TEST(EventQueue, LargeCapturesSpillToTheHeapAndStillRun)
+{
+    EventQueue eq;
+    std::array<std::uint64_t, 16> payload{};  // 128 B > kInlineBytes
+    for (std::size_t i = 0; i < payload.size(); i++)
+        payload[i] = i + 1;
+    std::uint64_t sum = 0;
+    eq.scheduleAt(1.0, [payload, &sum] {
+        for (std::uint64_t v : payload)
+            sum += v;
+    });
+    eq.run();
+    EXPECT_EQ(sum, 136u);
+}
+
+/** Callable that tallies its own special-member traffic. */
+struct MoveCounter {
+    int *copies;
+    int *moves;
+    int *calls;
+
+    MoveCounter(int *copies, int *moves, int *calls)
+        : copies(copies), moves(moves), calls(calls)
+    {
+    }
+    MoveCounter(const MoveCounter &o)
+        : copies(o.copies), moves(o.moves), calls(o.calls)
+    {
+        ++*copies;
+    }
+    MoveCounter(MoveCounter &&o) noexcept
+        : copies(o.copies), moves(o.moves), calls(o.calls)
+    {
+        ++*moves;
+    }
+    void operator()() { ++*calls; }
+};
+
+TEST(EventQueue, SchedulingAnRvalueCallableNeverCopiesIt)
+{
+    // Regression for the std::function era: the by-value Callback
+    // parameters plus the copy-out-of-heap-top dispatch copied every
+    // callable at least twice. The forwarding schedule overloads and
+    // the relocate-only InlineCallback store must never copy; moves
+    // stay bounded by the fixed hop count through bucket storage.
+    int copies = 0;
+    int moves = 0;
+    int calls = 0;
+    EventQueue eq;
+    eq.scheduleAt(1.0, MoveCounter(&copies, &moves, &calls));
+    eq.scheduleAfter(2.0, MoveCounter(&copies, &moves, &calls));
+    eq.run();
+    EXPECT_EQ(calls, 2);
+    EXPECT_EQ(copies, 0);
+    EXPECT_GT(moves, 0);
+    EXPECT_LE(moves, 16);
+}
+
+// ---------------------------------------------------------------------------
+// Differential fuzz: the calendar queue against the binary heap it
+// replaced. The heap's dispatch order — time, then insertion order —
+// is ground truth; the calendar implementation must reproduce it
+// exactly on schedules with duplicate timestamps, mixed time scales
+// (which force ring growth and the sparse-tail scan), and callbacks
+// that reentrantly schedule more events.
+// ---------------------------------------------------------------------------
+
+/** The pre-calendar implementation, kept verbatim as the oracle. */
+class ReferenceEventQueue
+{
+  public:
+    Seconds now() const { return now_; }
+
+    template <typename Fn>
+    void
+    scheduleAt(Seconds when, Fn &&fn)
+    {
+        heap_.push(Entry{when, next_seq_++,
+                         std::function<void()>(std::forward<Fn>(fn))});
+    }
+
+    template <typename Fn>
+    void
+    scheduleAfter(Seconds delay, Fn &&fn)
+    {
+        scheduleAt(now_ + delay, std::forward<Fn>(fn));
+    }
+
+    Seconds
+    run()
+    {
+        while (!heap_.empty()) {
+            Entry e = heap_.top();
+            heap_.pop();
+            now_ = e.when;
+            e.fn();
+        }
+        return now_;
+    }
+
+  private:
+    struct Entry {
+        Seconds when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+    };
+    struct Later {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Seconds now_ = 0.0;
+    std::uint64_t next_seq_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+};
+
+struct FuzzEvent {
+    Seconds when = 0.0;
+    bool spawn = false;        ///< schedule a child when this event fires
+    Seconds child_delay = 0.0;
+};
+
+std::vector<FuzzEvent>
+fuzzSchedule(Rng &rng, int n)
+{
+    std::vector<FuzzEvent> evs(static_cast<std::size_t>(n));
+    for (FuzzEvent &e : evs) {
+        switch (rng.uniformInt(0, 3)) {
+          case 0:  // quantized: forces same-timestamp ties
+            e.when = Seconds(static_cast<double>(rng.uniformInt(0, 40)) *
+                             0.125);
+            break;
+          case 1:  // microsecond-scale cluster near the clock
+            e.when = Seconds(rng.uniform(0.0, 1e-3));
+            break;
+          case 2:  // mid-range spread
+            e.when = Seconds(rng.uniform(0.0, 5.0));
+            break;
+          default:  // far tail: exercises the sparse-scan fallback
+            e.when = Seconds(rng.uniform(100.0, 1000.0));
+            break;
+        }
+        e.spawn = rng.uniform() < 0.3;
+        e.child_delay =
+            Seconds(static_cast<double>(rng.uniformInt(0, 8)) * 0.25);
+    }
+    return evs;
+}
+
+/** Run one fuzzed schedule on `q`; returns (dispatch order, end time).
+ *  Event i logs i; its child (if any) logs n + i. */
+template <typename Queue>
+std::pair<std::vector<int>, Seconds>
+dispatchOrder(Queue &q, const std::vector<FuzzEvent> &evs)
+{
+    std::vector<int> order;
+    const int n = static_cast<int>(evs.size());
+    for (int i = 0; i < n; i++) {
+        q.scheduleAt(evs[static_cast<std::size_t>(i)].when,
+                     [&q, &order, &evs, i, n] {
+                         order.push_back(i);
+                         const FuzzEvent &e =
+                             evs[static_cast<std::size_t>(i)];
+                         if (e.spawn) {
+                             q.scheduleAfter(e.child_delay, [&order, i, n] {
+                                 order.push_back(n + i);
+                             });
+                         }
+                     });
+    }
+    const Seconds end = q.run();
+    return {order, end};
+}
+
+TEST(EventQueueDifferential, MatchesReferenceHeapOnFuzzedSchedules)
+{
+    for (std::uint64_t trial = 0; trial < 24; trial++) {
+        Rng rng(0x5eed0000ull + trial);
+        const int n = static_cast<int>(rng.uniformInt(3, 300));
+        const std::vector<FuzzEvent> evs = fuzzSchedule(rng, n);
+
+        EventQueue calendar;
+        ReferenceEventQueue heap;
+        const std::pair<std::vector<int>, Seconds> got =
+            dispatchOrder(calendar, evs);
+        const std::pair<std::vector<int>, Seconds> want =
+            dispatchOrder(heap, evs);
+
+        ASSERT_EQ(got.first, want.first) << "trial " << trial;
+        EXPECT_EQ(got.second, want.second) << "trial " << trial;
+        EXPECT_EQ(calendar.pending(), 0u);
+    }
 }
 
 }  // namespace

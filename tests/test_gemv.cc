@@ -7,12 +7,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
 #include <tuple>
 #include <vector>
 
 #include "accel/gemv.h"
+#include "accel/simd.h"
 #include "common/random.h"
 #include "llm/tensor.h"
+#include "support/scoped_simd.h"
 
 namespace hilos {
 namespace {
@@ -167,6 +171,123 @@ TEST(SvGemv, ProbabilityShapeMismatchDies)
     std::vector<Half> v(64);
     std::vector<float> probs(3);
     EXPECT_DEATH(svGemv(probs, 1, viewOf(v, 8, 8)), "mismatch");
+}
+
+// ---------------------------------------------------------------------------
+// SIMD differential lanes: the AVX2 MAC loops vectorise across output
+// lanes without FMA, so their FP32 results must be *bitwise* equal to
+// the scalar reference — not merely within tolerance (accel/simd.h).
+// ---------------------------------------------------------------------------
+
+bool
+bitwiseEqual(const std::vector<float> &a, const std::vector<float> &b)
+{
+    return a.size() == b.size() &&
+           std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+TEST(SimdDifferential, QkGemvAvx2IsBitwiseEqualToScalar)
+{
+    if (!simdLevelSupported(SimdLevel::Avx2))
+        GTEST_SKIP() << "CPU lacks AVX2/F16C";
+    // Shapes cover vector-width multiples, odd tails, multi-tile head
+    // dims (d > 128), and GQA groups.
+    const std::tuple<std::size_t, std::size_t, std::size_t> shapes[] = {
+        {1, 7, 5}, {4, 300, 64}, {8, 129, 80}, {2, 64, 200}, {1, 8, 8}};
+    std::uint64_t seed = 201;
+    for (const auto &[g, s, d] : shapes) {
+        Rng rng(seed++);
+        const std::vector<Half> qh = toHalf(Matrix::random(g, d, rng));
+        const std::vector<Half> kh = toHalf(Matrix::random(s, d, rng));
+        const float scale = 0.125f;
+
+        std::vector<float> scalar;
+        std::vector<float> avx2;
+        {
+            test::ScopedSimdLevel lvl(SimdLevel::Scalar);
+            scalar = qkGemv(viewOf(qh, g, d), viewOf(kh, s, d), scale);
+        }
+        {
+            test::ScopedSimdLevel lvl(SimdLevel::Avx2);
+            avx2 = qkGemv(viewOf(qh, g, d), viewOf(kh, s, d), scale);
+        }
+        EXPECT_TRUE(bitwiseEqual(scalar, avx2))
+            << "g=" << g << " s=" << s << " d=" << d;
+    }
+}
+
+TEST(SimdDifferential, SvGemvAvx2IsBitwiseEqualToScalar)
+{
+    if (!simdLevelSupported(SimdLevel::Avx2))
+        GTEST_SKIP() << "CPU lacks AVX2/F16C";
+    const std::tuple<std::size_t, std::size_t, std::size_t> shapes[] = {
+        {1, 8, 1}, {300, 64, 2}, {129, 80, 8}, {513, 13, 3}};
+    std::uint64_t seed = 301;
+    for (const auto &[s, d, g] : shapes) {
+        Rng rng(seed++);
+        const std::vector<Half> vh = toHalf(Matrix::random(s, d, rng));
+        std::vector<float> probs(g * s);
+        for (auto &p : probs)
+            p = static_cast<float>(rng.uniform(0.0, 1.0));
+
+        std::vector<float> scalar;
+        std::vector<float> avx2;
+        {
+            test::ScopedSimdLevel lvl(SimdLevel::Scalar);
+            scalar = svGemv(probs, g, viewOf(vh, s, d));
+        }
+        {
+            test::ScopedSimdLevel lvl(SimdLevel::Avx2);
+            avx2 = svGemv(probs, g, viewOf(vh, s, d));
+        }
+        EXPECT_TRUE(bitwiseEqual(scalar, avx2))
+            << "s=" << s << " d=" << d << " g=" << g;
+    }
+}
+
+TEST(SimdDifferential, F16cWideningMatchesHalfToFloatExhaustively)
+{
+    if (!simdLevelSupported(SimdLevel::Avx2))
+        GTEST_SKIP() << "CPU lacks AVX2/F16C";
+    // Every half pattern through VCVTPH2PS vs the software widening.
+    // Non-NaN values must agree bit-for-bit (this is what makes the
+    // AVX2 kernel lanes exact); signalling NaNs may be quietened by
+    // the instruction, so NaN payloads only need to stay NaN.
+    std::vector<Half> in(65536);
+    for (std::uint32_t i = 0; i < 65536; i++)
+        in[i] = Half::fromBits(static_cast<std::uint16_t>(i));
+    std::vector<float> out(in.size());
+    cvtHalfToFloatAvx2(in.data(), out.data(), in.size());
+
+    for (std::uint32_t i = 0; i < 65536; i++) {
+        const float ref =
+            Half::halfToFloat(static_cast<std::uint16_t>(i));
+        if (in[i].isNan()) {
+            ASSERT_TRUE(std::isnan(out[i])) << "bits=" << i;
+            continue;
+        }
+        std::uint32_t got_bits;
+        std::uint32_t ref_bits;
+        std::memcpy(&got_bits, &out[i], sizeof(got_bits));
+        std::memcpy(&ref_bits, &ref, sizeof(ref_bits));
+        ASSERT_EQ(got_bits, ref_bits) << "bits=" << i;
+    }
+}
+
+TEST(SimdDifferential, F16cWideningHandlesUnalignedTails)
+{
+    if (!simdLevelSupported(SimdLevel::Avx2))
+        GTEST_SKIP() << "CPU lacks AVX2/F16C";
+    Rng rng(77);
+    for (std::size_t n : {1u, 7u, 8u, 13u, 31u}) {
+        std::vector<Half> in(n);
+        for (auto &h : in)
+            h = Half(static_cast<float>(rng.uniform(-4.0, 4.0)));
+        std::vector<float> out(n, -1.0f);
+        cvtHalfToFloatAvx2(in.data(), out.data(), n);
+        for (std::size_t i = 0; i < n; i++)
+            EXPECT_EQ(out[i], in[i].toFloat()) << "n=" << n << " i=" << i;
+    }
 }
 
 }  // namespace

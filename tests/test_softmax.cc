@@ -8,12 +8,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <numeric>
 #include <vector>
 
+#include "accel/simd.h"
 #include "accel/softmax.h"
 #include "common/random.h"
+#include "support/scoped_simd.h"
 #include "support/tolerances.h"
 
 namespace hilos {
@@ -163,6 +166,51 @@ TEST_P(SoftmaxBlockSizes, ResultIndependentOfBlockSize)
 
 INSTANTIATE_TEST_SUITE_P(Blocks, SoftmaxBlockSizes,
                          ::testing::Values(1, 2, 7, 32, 128, 777, 4096));
+
+TEST(SimdDifferential, TwoPassSoftmaxAvx2IsBitwiseEqualToScalar)
+{
+    if (!simdLevelSupported(SimdLevel::Avx2))
+        GTEST_SKIP() << "CPU lacks AVX2/F16C";
+    // Only the block-max reduction is vectorised (max is the one
+    // order-invariant step; the exp sums stay scalar), so statistics
+    // and outputs must agree exactly — across mask shapes that leave
+    // blocks fully valid, partially masked, and fully masked.
+    const TwoPassSoftmax sm(128);
+    Rng rng(17);
+    for (std::size_t n : {1u, 5u, 127u, 128u, 129u, 1000u, 4096u}) {
+        const std::vector<float> base =
+            rng.normalVector(n, 0.0f, 4.0f);
+        const SoftmaxMask masks[] = {
+            SoftmaxMask{},
+            SoftmaxMask{n / 3, SIZE_MAX, -1.0e4f},
+            SoftmaxMask{0, (2 * n) / 3 + 1, -1.0e4f},
+            SoftmaxMask{n / 4, (3 * n) / 4 + 1, -1.0e4f},
+        };
+        for (const SoftmaxMask &mask : masks) {
+            std::vector<float> scalar = base;
+            std::vector<float> avx2 = base;
+            SoftmaxStats stats_scalar{};
+            SoftmaxStats stats_avx2{};
+            {
+                test::ScopedSimdLevel lvl(SimdLevel::Scalar);
+                stats_scalar = sm.computeStats(scalar, mask);
+                sm.apply(scalar, mask);
+            }
+            {
+                test::ScopedSimdLevel lvl(SimdLevel::Avx2);
+                stats_avx2 = sm.computeStats(avx2, mask);
+                sm.apply(avx2, mask);
+            }
+            EXPECT_EQ(stats_scalar.max, stats_avx2.max) << "n=" << n;
+            EXPECT_EQ(stats_scalar.sum, stats_avx2.sum) << "n=" << n;
+            ASSERT_EQ(scalar.size(), avx2.size());
+            EXPECT_EQ(0, std::memcmp(scalar.data(), avx2.data(),
+                                     scalar.size() * sizeof(float)))
+                << "n=" << n << " valid=[" << mask.valid_start << ","
+                << mask.valid_len << ")";
+        }
+    }
+}
 
 }  // namespace
 }  // namespace hilos

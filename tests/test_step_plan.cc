@@ -16,7 +16,9 @@
 
 #include "core/hilos.h"
 #include "runtime/event_sim.h"
+#include "runtime/plan_cache.h"
 #include "runtime/step_plan.h"
+#include "support/serialize.h"
 
 namespace hilos {
 namespace {
@@ -283,6 +285,16 @@ TEST(EngineContract, InfeasiblePlansSayWhy)
 // these tests assemble the defective plans field-by-field, the way a
 // fuzzer or deserialiser could.
 
+/** Materialise op `i`, apply `fn`, and write it back unchecked. */
+template <typename Fn>
+void
+mutateOp(StepOpArray &ops, std::size_t i, Fn fn)
+{
+    StepOp op = ops.get(i);
+    fn(op);
+    ops.set(i, op);
+}
+
 /** True when some diagnostic contains both fragments. */
 bool
 mentions(const std::vector<std::string> &problems,
@@ -304,7 +316,8 @@ TEST(PlanValidate, RejectsDependencyCycle)
 {
     StepPlan plan = smallPlan();
     // load <-> compute: a two-op cycle the builder cannot express.
-    plan.layer_ops[0].deps.push_back(1);
+    mutateOp(plan.layer_ops, 0,
+             [](StepOp &op) { op.deps.push_back(1); });
     const auto problems = plan.validate();
     ASSERT_FALSE(problems.empty());
     EXPECT_TRUE(mentions(problems, "dependency cycle", "'load'"));
@@ -314,21 +327,25 @@ TEST(PlanValidate, RejectsDependencyCycle)
 TEST(PlanValidate, RejectsSelfDependency)
 {
     StepPlan plan = smallPlan();
-    plan.layer_ops[2].deps.push_back(2);
+    mutateOp(plan.layer_ops, 2,
+             [](StepOp &op) { op.deps.push_back(2); });
     EXPECT_TRUE(mentions(plan.validate(), "dependency cycle", "'race'"));
 }
 
 TEST(PlanValidate, RejectsDanglingDepIndex)
 {
     StepPlan plan = smallPlan();
-    plan.layer_ops[1].deps.push_back(97);
+    mutateOp(plan.layer_ops, 1,
+             [](StepOp &op) { op.deps.push_back(97); });
     EXPECT_TRUE(mentions(plan.validate(), "references no op", "'compute'"));
 }
 
 TEST(PlanValidate, RejectsForwardReference)
 {
     StepPlan plan = smallPlan();
-    plan.layer_ops[0].deps.push_back(3);  // acyclic but out of order
+    mutateOp(plan.layer_ops, 0, [](StepOp &op) {
+        op.deps.push_back(3);  // acyclic but out of order
+    });
     EXPECT_TRUE(
         mentions(plan.validate(), "references a later op", "'load'"));
 }
@@ -336,14 +353,16 @@ TEST(PlanValidate, RejectsForwardReference)
 TEST(PlanValidate, RejectsUndeclaredStage)
 {
     StepPlan plan = smallPlan();
-    plan.layer_ops[1].stage = "mystery";
+    mutateOp(plan.layer_ops, 1, [](StepOp &op) { op.stage = "mystery"; });
     EXPECT_TRUE(mentions(plan.validate(), "not declared", "'mystery'"));
 }
 
 TEST(PlanValidate, RejectsDanglingResourceIndex)
 {
     StepPlan plan = smallPlan();
-    plan.layer_ops[0].resource = static_cast<PlanResource>(250);
+    mutateOp(plan.layer_ops, 0, [](StepOp &op) {
+        op.resource = static_cast<PlanResource>(250);
+    });
     EXPECT_TRUE(
         mentions(plan.validate(), "no known resource kind", "'load'"));
 }
@@ -351,7 +370,7 @@ TEST(PlanValidate, RejectsDanglingResourceIndex)
 TEST(PlanValidate, RejectsUndeclaredBusyBits)
 {
     StepPlan plan = smallPlan();
-    plan.layer_ops[1].busy |= 1u << 13;
+    mutateOp(plan.layer_ops, 1, [](StepOp &op) { op.busy |= 1u << 13; });
     EXPECT_TRUE(
         mentions(plan.validate(), "beyond the declared kBusy", "'compute'"));
 }
@@ -359,7 +378,7 @@ TEST(PlanValidate, RejectsUndeclaredBusyBits)
 TEST(PlanValidate, RejectsNegativeBytes)
 {
     StepPlan plan = smallPlan();
-    plan.layer_ops[0].bytes = -200.0;
+    mutateOp(plan.layer_ops, 0, [](StepOp &op) { op.bytes = -200.0; });
     EXPECT_TRUE(
         mentions(plan.validate(), "finite and non-negative", "'load'"));
 }
@@ -367,14 +386,16 @@ TEST(PlanValidate, RejectsNegativeBytes)
 TEST(PlanValidate, RejectsNegativeTrafficShare)
 {
     StepPlan plan = smallPlan();
-    plan.layer_ops[0].traffic[0].bytes = -1.0;
+    mutateOp(plan.layer_ops, 0,
+             [](StepOp &op) { op.traffic[0].bytes = -1.0; });
     EXPECT_TRUE(mentions(plan.validate(), "traffic share", "'load'"));
 }
 
 TEST(PlanValidate, RejectsNonFiniteDuration)
 {
     StepPlan plan = smallPlan();
-    plan.layer_ops[1].seconds = std::nan("");
+    mutateOp(plan.layer_ops, 1,
+             [](StepOp &op) { op.seconds = std::nan(""); });
     EXPECT_TRUE(
         mentions(plan.validate(), "finite and non-negative", "'compute'"));
 }
@@ -382,7 +403,8 @@ TEST(PlanValidate, RejectsNonFiniteDuration)
 TEST(PlanValidate, RejectsTailOpWithDeps)
 {
     StepPlan plan = smallPlan();
-    plan.tail_ops[0].deps.push_back(0);
+    mutateOp(plan.tail_ops, 0,
+             [](StepOp &op) { op.deps.push_back(0); });
     EXPECT_TRUE(mentions(plan.validate(), "serial chain", "'hop'"));
 }
 
@@ -407,6 +429,223 @@ TEST(PlanValidate, EveryEngineKindEmitsAValidPlan)
         EXPECT_TRUE(problems.empty())
             << "engine kind " << static_cast<int>(kind) << ": "
             << problems.front();
+    }
+}
+
+/** A parameterised toy builder: `scale` changes only annotations,
+ *  `extra_op` changes the topology. */
+void
+buildToy(StepPlan &plan, double scale, bool extra_op)
+{
+    plan.layers = 4;
+    plan.declareStage("alpha");
+    plan.declareStage("beta");
+    plan.declareResource(PlanResource::HostPcie, 2);
+    const std::size_t load = plan.addOp(
+        transferOp(PlanResource::HostPcie, "load", 1e-3 * scale,
+                   100.0 * scale)
+            .stageTag("alpha")
+            .busyTag(kBusyDram)
+            .share(TrafficField::HostRead, 100.0 * scale)
+            .asPrefetch());
+    const std::size_t work = plan.addOp(
+        computeOp(ComputeUnit::Gpu, "work", 2e-3 * scale)
+            .stageTag("beta")
+            .busyTag(kBusyGpu)
+            .dep(load));
+    if (extra_op)
+        plan.addOp(
+            computeOp(ComputeUnit::Cpu, "extra", 1e-4).dep(work));
+}
+
+TEST(PlanCache, VerifiedRebuildIsByteIdenticalToColdBuild)
+{
+    PlanCache cache;
+    const auto cached = [&cache](double scale) -> const StepPlan & {
+        return cache.build(1, [scale](StepPlan &p) {
+            buildToy(p, scale, false);
+        });
+    };
+
+    const StepPlan &cold = cached(1.0);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_TRUE(cold.structure_validated);
+    {
+        StepPlan fresh;
+        buildToy(fresh, 1.0, false);
+        EXPECT_EQ(test::serialize(cold), test::serialize(fresh));
+    }
+
+    // Scalar-parameter sweep: every rebuild is a verified hit and
+    // byte-identical to the equivalent cold build.
+    for (const double scale : {2.0, 0.5, 7.25, 1.0}) {
+        const StepPlan &hit = cached(scale);
+        StepPlan fresh;
+        buildToy(fresh, scale, false);
+        EXPECT_EQ(test::serialize(hit), test::serialize(fresh))
+            << "scale " << scale;
+        EXPECT_TRUE(hit.structure_validated);
+    }
+    EXPECT_EQ(cache.stats().hits, 4u);
+    EXPECT_EQ(cache.stats().mismatches, 0u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCache, TopologyChangeFallsBackToColdBuild)
+{
+    PlanCache cache;
+    cache.build(9, [](StepPlan &p) { buildToy(p, 1.0, false); });
+    ASSERT_EQ(cache.stats().misses, 1u);
+
+    // The extra op breaks the verified rebuild; the fallback cold
+    // build must still produce exactly the fresh-build plan.
+    const StepPlan &rebuilt =
+        cache.build(9, [](StepPlan &p) { buildToy(p, 3.0, true); });
+    EXPECT_EQ(cache.stats().mismatches, 1u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    StepPlan fresh;
+    buildToy(fresh, 3.0, true);
+    EXPECT_EQ(test::serialize(rebuilt), test::serialize(fresh));
+    EXPECT_TRUE(rebuilt.structure_validated);
+
+    // And the new topology becomes the cached one: same shape again
+    // is a hit, dropping back to two ops is a mismatch.
+    cache.build(9, [](StepPlan &p) { buildToy(p, 4.0, true); });
+    EXPECT_EQ(cache.stats().hits, 1u);
+    cache.build(9, [](StepPlan &p) { buildToy(p, 4.0, false); });
+    EXPECT_EQ(cache.stats().mismatches, 2u);
+}
+
+TEST(PlanCache, AnnotationOnlyDivergencePassesVerification)
+{
+    // Fanout and traffic-share bytes are annotations, not structure:
+    // a rebuild that changes them must hit, not miss.
+    PlanCache cache;
+    const auto build = [](StepPlan &p, std::uint64_t fanout,
+                          double bytes) {
+        p.declareStage("s");
+        p.declareResource(PlanResource::Storage, 4);
+        p.addOp(transferOp(PlanResource::Storage, "io", 1e-3, bytes)
+                    .stageTag("s")
+                    .withFanout(fanout)
+                    .share(TrafficField::Internal, bytes));
+    };
+    cache.build(5, [&](StepPlan &p) { build(p, 2, 64.0); });
+    const StepPlan &hit =
+        cache.build(5, [&](StepPlan &p) { build(p, 8, 1024.0); });
+    EXPECT_EQ(cache.stats().hits, 1u);
+    StepPlan fresh;
+    build(fresh, 8, 1024.0);
+    EXPECT_EQ(test::serialize(hit), test::serialize(fresh));
+}
+
+/** Engine x workload scalar grid, all feasible with a fixed topology. */
+std::vector<RunConfig>
+scalarGrid()
+{
+    std::vector<RunConfig> grid;
+    for (const std::uint64_t batch : {8ull, 16ull}) {
+        for (const std::uint64_t context : {4096ull, 8192ull}) {
+            for (const std::uint64_t output : {16ull, 64ull}) {
+                RunConfig run;
+                run.model = opt30b();
+                run.batch = batch;
+                run.context_len = context;
+                run.output_len = output;
+                grid.push_back(run);
+            }
+        }
+    }
+    return grid;
+}
+
+TEST(PlanCache, EveryEngineRunCachedMatchesRunAcrossScalarGrid)
+{
+    const SystemConfig sys = defaultSystem();
+    const EngineKind kinds[] = {
+        EngineKind::FlexDram,        EngineKind::FlexSsd,
+        EngineKind::FlexSmartSsdRaw, EngineKind::DeepSpeedUvm,
+        EngineKind::VllmMultiGpu,    EngineKind::Hilos,
+    };
+    for (const EngineKind kind : kinds) {
+        const auto engine = makeEngine(kind, sys);
+        PlanCache cache;
+        std::size_t points = 0;
+        for (const RunConfig &run : scalarGrid()) {
+            const RunResult uncached = engine->run(run);
+            const RunResult cached = engine->runCached(run, cache);
+            EXPECT_EQ(test::serialize(cached), test::serialize(uncached))
+                << engine->name() << " batch=" << run.batch
+                << " context=" << run.context_len
+                << " output=" << run.output_len;
+            points++;
+        }
+        // One cold build, every later point a verified rebuild.
+        EXPECT_EQ(cache.stats().misses, 1u) << engine->name();
+        EXPECT_EQ(cache.stats().hits, points - 1) << engine->name();
+        EXPECT_EQ(cache.stats().mismatches, 0u) << engine->name();
+    }
+}
+
+TEST(PlanCache, CapacityFlipIsATopologyMissNotACorruption)
+{
+    // A workload that exceeds the SmartSSD fleet capacity yields an
+    // empty infeasible plan; flipping between that and the feasible
+    // topology must round-trip through mismatches with results still
+    // identical to the uncached engine.
+    const SystemConfig sys = defaultSystem();
+    const auto engine = makeEngine(EngineKind::Hilos, sys);
+    PlanCache cache;
+
+    RunConfig ok;
+    ok.model = opt66b();
+    ok.batch = 16;
+    ok.context_len = 8192;
+    ok.output_len = 32;
+    RunConfig over = ok;
+    over.batch = 4096;
+    over.context_len = 1ull << 21;
+
+    for (const RunConfig *run : {&ok, &over, &ok}) {
+        const RunResult uncached = engine->run(*run);
+        const RunResult cached = engine->runCached(*run, cache);
+        EXPECT_EQ(test::serialize(cached), test::serialize(uncached));
+    }
+    EXPECT_FALSE(engine->runCached(over, cache).feasible);
+    EXPECT_GE(cache.stats().mismatches, 2u);
+}
+
+TEST(RunGridCached, BitIdenticalToRunGridForEveryJobCount)
+{
+    const SystemConfig sys = defaultSystem();
+    // Interleave kinds so cached workers switch engines mid-sweep.
+    std::vector<GridPoint> grid;
+    const EngineKind kinds[] = {
+        EngineKind::Hilos, EngineKind::FlexSsd, EngineKind::Hilos,
+        EngineKind::DeepSpeedUvm, EngineKind::FlexDram,
+        EngineKind::VllmMultiGpu, EngineKind::FlexSsd,
+        EngineKind::Hilos,
+    };
+    std::uint64_t batch = 4;
+    for (const EngineKind kind : kinds) {
+        GridPoint p;
+        p.kind = kind;
+        p.run.model = opt30b();
+        p.run.batch = batch;
+        p.run.context_len = 8192;
+        p.run.output_len = 32;
+        grid.push_back(p);
+        batch += 4;
+    }
+    const std::vector<RunResult> reference = runGrid(sys, grid, 1);
+    for (const unsigned jobs : {1u, 3u}) {
+        const std::vector<RunResult> cached =
+            runGridCached(sys, grid, jobs);
+        ASSERT_EQ(cached.size(), reference.size());
+        for (std::size_t i = 0; i < cached.size(); i++)
+            EXPECT_EQ(test::serialize(cached[i]),
+                      test::serialize(reference[i]))
+                << "grid point " << i << " jobs " << jobs;
     }
 }
 
