@@ -195,6 +195,71 @@ main(int argc, char **argv)
     check(high_depth >= low_depth,
           "queue depth must not shrink as offered load grows");
 
+    // --- chunked prefill at saturation ---------------------------------
+    // At the highest rate the decode flight is always populated, so a
+    // monolithic prefill stalls every in-flight request for the whole
+    // prompt. Splitting prefill into chunks lets decode steps run at
+    // priority between chunks (counted as preemptions), which shortens
+    // the TTFT tail for everyone waiting behind a long prompt.
+    //
+    // The comparison runs on the multi-GPU baseline, where decode steps
+    // and serving-length chunks are both short, so the interleave is
+    // nearly free and the decode-side relief wins. On HILOS a
+    // long-context chunk dwarfs the decode step, and every mid-prefill
+    // turn (costed at the slower of the two) slows the in-flight token
+    // cadence to chunk granularity — that is why the headline sweep
+    // above keeps prefill_chunks = 1 (see DESIGN.md section 14).
+    {
+        const std::size_t rate_index = rates.size() - 1;
+        const std::vector<Request> stream =
+            pointStream(rates.back(), rate_index, requests);
+        const auto vllm = makeEngine(EngineKind::VllmMultiGpu, sys);
+        ServingConfig mono_cfg = base;
+        mono_cfg.policy = ServingPolicy::Fcfs;
+        const ServingResult mono =
+            ServingSimulator(*vllm, mono_cfg).run(stream);
+        ServingConfig chunk_cfg = mono_cfg;
+        chunk_cfg.prefill_chunks = 4;
+        const ServingResult chunked =
+            ServingSimulator(*vllm, chunk_cfg).run(stream);
+        check(mono.feasible && chunked.feasible,
+              "chunked-prefill comparison point infeasible");
+        check(chunked.prefill_preemptions > 0,
+              "saturated chunked run must preempt prefill with decode");
+
+        printBanner(std::cout,
+                    "chunked prefill at saturation (rate " +
+                        std::to_string(rates.back()) + " req/s, FCFS)");
+        TextTable chunk_table({"prefill chunks", "ttft p50 s",
+                               "ttft p99 s", "e2e p99 s", "preemptions",
+                               "makespan s"});
+        const auto chunk_row = [&](const std::string &label,
+                                   const ServingResult &r) {
+            chunk_table.row()
+                .cell(label)
+                .num(r.ttft_p50, 2)
+                .num(r.ttft_p99, 2)
+                .num(r.latency_p99, 2)
+                .num(static_cast<double>(r.prefill_preemptions), 0)
+                .num(r.makespan, 2);
+            json.row()
+                .cell("rate", rates.back())
+                .cell("policy", "fcfs/chunks=" + label)
+                .cell("ttft_p50_s", double(r.ttft_p50))
+                .cell("ttft_p99_s", double(r.ttft_p99))
+                .cell("latency_p99_s", double(r.latency_p99))
+                .cell("prefill_chunks_run", r.prefill_chunks_run)
+                .cell("prefill_preemptions", r.prefill_preemptions)
+                .cell("makespan_s", double(r.makespan));
+        };
+        chunk_row("1", mono);
+        chunk_row("4", chunked);
+        chunk_table.print(std::cout);
+        check(chunked.ttft_p99 <= mono.ttft_p99,
+              "chunked prefill must not worsen the p99 TTFT at "
+              "saturation");
+    }
+
     if (!args.get("json-dir").empty())
         json.write(args.get("json-dir"));
     return 0;

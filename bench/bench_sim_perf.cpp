@@ -6,7 +6,9 @@
  *     build per point (exactly what runGrid does) against
  *     runCached()'s verified in-place rebuild;
  *  2. plan evaluation backends — analytic evaluatePlan and the
- *     event-driven simulatePlan over one HILOS decode plan;
+ *     event-driven simulatePlan over one HILOS decode plan, plus the
+ *     Prefill-phase plan's build/evaluate cost and the deterministic
+ *     chunked-prefill overhead ratio (4 chunks vs monolithic);
  *  3. event-queue throughput — the calendar queue against the binary
  *     heap it replaced (kept verbatim below), on a pre-filled drain
  *     and on a schedule-on-pop workload;
@@ -309,6 +311,49 @@ main(int argc, char **argv)
            1e6 * analytic / eval_plan_iters);
     report("simulate_plan_event", "us/op",
            1e6 * event_sim / eval_plan_iters);
+
+    // --- 2b. Prefill-phase plans: build/evaluate cost + chunk ratio ---
+    const double prefill_build = timeSeconds(
+        [&] {
+            for (int i = 0; i < eval_plan_iters; i++) {
+                const StepPlan p =
+                    prefillStepPlanFor(EngineKind::Hilos, sys, headline);
+                sink += static_cast<double>(p.layer_ops.size());
+            }
+        },
+        repeats);
+    const StepPlan prefill_plan =
+        prefillStepPlanFor(EngineKind::Hilos, sys, headline);
+    check(prefill_plan.feasible, "headline HILOS prefill plan infeasible");
+    const double prefill_eval = timeSeconds(
+        [&] {
+            for (int i = 0; i < eval_plan_iters; i++)
+                sink += evaluatePlan(prefill_plan).decode_step_time;
+        },
+        repeats);
+    report("prefill_plan_build", "us/op",
+           1e6 * prefill_build / eval_plan_iters);
+    report("prefill_plan_evaluate", "us/op",
+           1e6 * prefill_eval / eval_plan_iters);
+    // Deterministic model ratios: machine-portable, so enforced against
+    // the baseline like the speedups. Chunking re-streams weights per
+    // pass, so 4 chunks cost >= 1x the monolithic prefill.
+    const Seconds mono_prefill =
+        evaluatePlan(prefill_plan).decode_step_time;
+    Seconds chunk4_sum = 0.0;
+    for (std::uint64_t k = 0; k < 4; ++k)
+        chunk4_sum += evaluatePlan(prefillStepPlanFor(
+                                       EngineKind::Hilos, sys, headline,
+                                       k, 4))
+                          .decode_step_time;
+    check(chunk4_sum >= mono_prefill,
+          "chunked prefill cheaper than monolithic");
+    report("prefill_chunk4_overhead", "x", chunk4_sum / mono_prefill);
+    const RunResult headline_run =
+        makeEngine(EngineKind::Hilos, sys)->run(headline);
+    check(headline_run.feasible, "headline HILOS run infeasible");
+    report("prefill_share_of_total", "x",
+           headline_run.prefill_time / headline_run.total_time);
 
     // --- 3. event-queue throughput, calendar vs legacy heap ---
     std::uint64_t fired_calendar = 0;

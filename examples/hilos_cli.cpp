@@ -195,6 +195,11 @@ printServingReport(const std::string &engine_name,
     std::printf("decode steps         : %llu (%llu prefill batches)\n",
                 (unsigned long long)r.decode_steps,
                 (unsigned long long)r.prefill_batches);
+    std::printf("prefill chunking     : %llu chunk(s)/group, %llu run, "
+                "%llu decode preemptions\n",
+                (unsigned long long)cfg.prefill_chunks,
+                (unsigned long long)r.prefill_chunks_run,
+                (unsigned long long)r.prefill_preemptions);
     std::printf("step-cost cache      : %llu hits, %llu misses\n",
                 (unsigned long long)r.cost_cache_hits,
                 (unsigned long long)r.cost_cache_misses);
@@ -274,7 +279,11 @@ main(int argc, char **argv)
                    "(`<arrival_seconds> <input> <output>` per line) "
                    "instead of generating a Poisson stream")
         .addOption("slo-ms", "0",
-                   "end-to-end latency SLO in milliseconds (0 = none)");
+                   "end-to-end latency SLO in milliseconds (0 = none)")
+        .addOption("prefill-chunks", "1",
+                   "split each prefill into this many chunks (offline "
+                   "run and --serve; later chunks yield to the decode "
+                   "batch)");
 
     if (!args.parse(argc, argv) || args.helpRequested()) {
         std::cout << args.usage();
@@ -290,6 +299,12 @@ main(int argc, char **argv)
     run.batch = static_cast<std::uint64_t>(args.getInt("batch"));
     run.context_len = static_cast<std::uint64_t>(args.getInt("context"));
     run.output_len = static_cast<std::uint64_t>(args.getInt("output"));
+    run.prefill_chunks =
+        static_cast<std::uint64_t>(args.getInt("prefill-chunks"));
+    if (args.ok() && run.prefill_chunks < 1) {
+        std::cerr << "error: --prefill-chunks needs at least 1\n";
+        return 2;
+    }
 
     HilosOptions opts;
     opts.num_devices = static_cast<unsigned>(args.getInt("devices"));
@@ -398,6 +413,7 @@ main(int argc, char **argv)
             return 2;
         }
         scfg.slo = Seconds(args.getDouble("slo-ms") / 1e3);
+        scfg.prefill_chunks = run.prefill_chunks;
         std::vector<Request> stream;
         const std::string trace_file = args.get("arrival-trace");
         if (!trace_file.empty()) {

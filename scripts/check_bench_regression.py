@@ -17,8 +17,13 @@ WORSE than the baseline by more than --tolerance (default 0.25, i.e.
 Direction is inferred from the unit: us/* rows are lower-is-better,
 everything else (x, Mev/s, points/s, tokens/s) is higher-is-better.
 
+Rows must match in both directions: a baseline row missing from the
+current results fails (a benchmark silently disappeared), and a current
+row missing from the baseline fails too (a new benchmark landed without
+refreshing the baseline that guards it).
+
 Exit status: 0 when all enforced rows pass, 1 on any regression or a
-row missing from the current results, 2 on usage/IO errors.
+row missing from either side, 2 on usage/IO errors.
 """
 
 import argparse
@@ -84,6 +89,11 @@ def main():
                 f"{name}: {cur:.4g} {cur_unit} vs baseline {base:.4g} "
                 f"(worse by {worsening:.1%}, tolerance "
                 f"{args.tolerance:.0%})")
+
+    for name in sorted(set(current) - set(baseline)):
+        failures.append(
+            f"{name}: missing from baseline {args.baseline} "
+            f"(new benchmark row -- refresh the baseline to cover it)")
 
     if failures:
         print(f"\nREGRESSION: {len(failures)} enforced row(s) failed:",

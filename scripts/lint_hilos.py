@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-specific lint invariants for the HILOS simulator.
 
-Four checks, each guarding a convention the test suite cannot express
+Five checks, each guarding a convention the test suite cannot express
 as a compile error (those live in tests/compile_fail/):
 
  1. quantity-typed public APIs: headers under src/ must not declare
@@ -25,6 +25,12 @@ as a compile error (those live in tests/compile_fail/):
     member or parameter built from those words must be Seconds. Stricter
     than check 1: inside src/runtime/serving*.h the word may appear
     anywhere in the identifier, not just as a suffix.
+
+ 5. named prefill fractions: prefill busy/energy fractions once lived
+    as magic literals copied across engines; they now live in
+    runtime/prefill_constants.h. Any line in src/runtime/ that mentions
+    prefill and carries a bare 0.x literal regresses that — name the
+    constant instead.
 
 Exits non-zero listing file:line for every violation. No third-party
 imports; runs anywhere a python3 exists (CI and the ctest fast lane).
@@ -186,12 +192,38 @@ def check_serving_latency_types(violations):
                     )
 
 
+# --- check 5: prefill fractions are named constants ------------------------
+
+BARE_FRACTION = re.compile(r"(?<![0-9.\w])0\.\d+")
+
+
+def check_prefill_fractions(violations):
+    for path in sorted((ROOT / "src" / "runtime").glob("*")):
+        if path.suffix not in (".h", ".cc"):
+            continue
+        if path.name == "prefill_constants.h":
+            continue  # the one place the fractions are defined
+        rel = path.relative_to(ROOT)
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            code = line.split("//")[0]
+            if "prefill" not in code.lower():
+                continue
+            if BARE_FRACTION.search(code):
+                violations.append(
+                    f"{rel}:{lineno}: bare fraction literal on a "
+                    f"prefill line; name it in "
+                    f"runtime/prefill_constants.h so every engine "
+                    f"shares one definition"
+                )
+
+
 def main():
     violations = []
     check_quantity_types(violations)
     check_golden_format(violations)
     check_determinism(violations)
     check_serving_latency_types(violations)
+    check_prefill_fractions(violations)
     if violations:
         print(f"lint_hilos: {len(violations)} violation(s)")
         for v in violations:

@@ -55,6 +55,20 @@ decodeStepPlanFor(EngineKind kind, const SystemConfig &sys,
     return source->decodeStepPlan(run);
 }
 
+StepPlan
+prefillStepPlanFor(EngineKind kind, const SystemConfig &sys,
+                   const RunConfig &run, std::uint64_t chunk_index,
+                   std::uint64_t chunk_count,
+                   const HilosOptions &hilos_opts)
+{
+    const std::unique_ptr<InferenceEngine> engine =
+        makeEngine(kind, sys, hilos_opts);
+    const auto *source = dynamic_cast<const StepPlanSource *>(engine.get());
+    HILOS_ASSERT(source != nullptr, "engine '", engine->name(),
+                 "' does not emit step plans");
+    return source->prefillStepPlan(run, chunk_index, chunk_count);
+}
+
 std::vector<RunResult>
 runGrid(const SystemConfig &sys, const std::vector<GridPoint> &grid,
         unsigned jobs)

@@ -78,6 +78,19 @@ StepPlan decodeStepPlanFor(EngineKind kind, const SystemConfig &sys,
                            const HilosOptions &hilos_opts = HilosOptions{});
 
 /**
+ * The Prefill-phase plan a named engine emits for chunk `chunk_index`
+ * of `chunk_count` (the defaults name the monolithic prefill). Same
+ * conventions as decodeStepPlanFor: infeasible configurations come
+ * back with `feasible == false`, and EngineKind::Hilos describes the
+ * zero-fault ideal fleet.
+ */
+StepPlan prefillStepPlanFor(EngineKind kind, const SystemConfig &sys,
+                            const RunConfig &run,
+                            std::uint64_t chunk_index = 0,
+                            std::uint64_t chunk_count = 1,
+                            const HilosOptions &hilos_opts = HilosOptions{});
+
+/**
  * One point of an engine sweep grid: which system to model and the
  * workload to run it on (see runGrid).
  */

@@ -94,9 +94,12 @@ gpuAttentionTime(const Gpu &gpu, const ModelConfig &model,
     return gpu.kernelTime(flops, kv_bytes);
 }
 
-Seconds
-prefillComputeTime(const Gpu &gpu, const ModelConfig &model,
-                   std::uint64_t batch, std::uint64_t context)
+namespace {
+
+/** Total prefill flops of one layer over a `context`-token prefix. */
+double
+prefillFlopsAt(const ModelConfig &model, std::uint64_t batch,
+               std::uint64_t context)
 {
     const double tokens =
         static_cast<double>(batch) * static_cast<double>(context);
@@ -106,9 +109,35 @@ prefillComputeTime(const Gpu &gpu, const ModelConfig &model,
         static_cast<double>(batch) *
         model.attentionFlopsPerToken(context) *
         static_cast<double>(context) / 2.0;  // causal: half the pairs
+    return gemm_flops + attn_flops;
+}
+
+}  // namespace
+
+Seconds
+prefillComputeTime(const Gpu &gpu, const ModelConfig &model,
+                   std::uint64_t batch, std::uint64_t context)
+{
     const double weight_bytes =
         static_cast<double>(model.weightBytesPerLayer());
-    return gpu.kernelTime(gemm_flops + attn_flops, weight_bytes);
+    return gpu.kernelTime(prefillFlopsAt(model, batch, context),
+                          weight_bytes);
+}
+
+Seconds
+prefillChunkComputeTime(const Gpu &gpu, const ModelConfig &model,
+                        std::uint64_t batch, std::uint64_t start,
+                        std::uint64_t end)
+{
+    HILOS_ASSERT(start <= end, "prefill chunk range inverted");
+    // Causal attention means the [start, end) tokens attend to the whole
+    // 0..end prefix, so the chunk's work is the prefix difference; the
+    // layer weights stream again for every chunk's pass.
+    const double flops = prefillFlopsAt(model, batch, end) -
+                         prefillFlopsAt(model, batch, start);
+    const double weight_bytes =
+        static_cast<double>(model.weightBytesPerLayer());
+    return gpu.kernelTime(flops, weight_bytes);
 }
 
 Bytes

@@ -85,6 +85,18 @@ Seconds gpuAttentionTime(const Gpu &gpu, const ModelConfig &model,
 Seconds prefillComputeTime(const Gpu &gpu, const ModelConfig &model,
                            std::uint64_t batch, std::uint64_t context);
 
+/**
+ * GPU compute time of prefilling prompt tokens [start, end) of one
+ * layer: the incremental GEMM + causal-attention flops between the two
+ * prefix lengths, re-streaming the layer weights once (each chunk makes
+ * its own pass over the model). `start == 0, end == context` reproduces
+ * prefillComputeTime() bit-for-bit, so a single chunk is the monolithic
+ * prefill.
+ */
+Seconds prefillChunkComputeTime(const Gpu &gpu, const ModelConfig &model,
+                                std::uint64_t batch, std::uint64_t start,
+                                std::uint64_t end);
+
 /** KV bytes of one layer's full cache (batch x context). */
 Bytes kvLayerBytes(const ModelConfig &model, std::uint64_t batch,
                     std::uint64_t context);

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "runtime/cost_model.h"
 #include "runtime/plan_cache.h"
+#include "runtime/prefill_constants.h"
 
 namespace hilos {
 
@@ -13,37 +14,49 @@ DeepSpeedUvmEngine::DeepSpeedUvmEngine(const SystemConfig &sys)
 {
 }
 
+std::uint64_t
+DeepSpeedUvmEngine::effectiveBatch(const RunConfig &cfg,
+                                   std::string *note) const
+{
+    const ModelConfig &m = cfg.model;
+    const std::uint64_t total_seq = cfg.context_len + cfg.output_len;
+    const WeightHome home = chooseWeightHome(m, sys_.dram.capacity);
+    const double weight_bytes = static_cast<double>(m.weightBytesTotal());
+    const double resident =
+        (home == WeightHome::HostDram ? weight_bytes : 0.0) +
+        0.05 * static_cast<double>(sys_.dram.capacity);
+    const std::uint64_t b =
+        maxFittingBatch(m, cfg.batch, total_seq,
+                        static_cast<double>(sys_.dram.capacity), resident);
+    if (b == 0)
+        *note = "host DRAM exhausted even at batch 1";
+    return b;
+}
+
 void
 DeepSpeedUvmEngine::makePlan(const RunConfig &cfg, RunResult &res,
                              StepPlan &plan) const
 {
     const ModelConfig &m = cfg.model;
     const Gpu gpu(sys_.gpu);
-    const std::uint64_t total_seq = cfg.context_len + cfg.output_len;
 
-    const WeightHome home = chooseWeightHome(m, sys_.dram.capacity);
-    const double weight_bytes = static_cast<double>(m.weightBytesTotal());
-    const double resident =
-        (home == WeightHome::HostDram ? weight_bytes : 0.0) +
-        0.05 * static_cast<double>(sys_.dram.capacity);
-    res.effective_batch =
-        maxFittingBatch(m, cfg.batch, total_seq,
-                        static_cast<double>(sys_.dram.capacity), resident);
+    std::string cap_note;
+    res.effective_batch = effectiveBatch(cfg, &cap_note);
     if (res.effective_batch == 0) {
         res.feasible = false;
-        res.note = "host DRAM exhausted even at batch 1";
+        res.note = cap_note;
         plan.feasible = false;
         plan.note = res.note;
         return;
     }
     const std::uint64_t b = res.effective_batch;
     const std::uint64_t s_mid = midGenerationContext(cfg.context_len, cfg.output_len);
-    const double L = static_cast<double>(m.layers);
 
     // UVM page faults throttle the migrated-page path.
     const Bandwidth uvm_bw = sys_.host_pcie_bw / sys_.uvm_io_penalty;
 
     // ZeRO-Inference stages weights with a pinned prefetch pipeline.
+    const WeightHome home = chooseWeightHome(m, sys_.dram.capacity);
     const Seconds weight = weightLoadTime(
         m, b, home, sys_.host_pcie_bw * sys_.baseline_weight_efficiency,
         sys_.dram.bandwidth);
@@ -105,17 +118,72 @@ DeepSpeedUvmEngine::makePlan(const RunConfig &cfg, RunResult &res,
     // UVM fault servicing keeps a CPU core partially busy all step.
     plan.busy_step_fraction.cpu = 0.05;
 
-    // --- Prefill ---
-    const Seconds prefill_compute =
-        prefillComputeTime(gpu, m, b, cfg.context_len);
-    res.prefill_time =
-        L * (std::max(weight, prefill_compute) + act_uvm);
-
     // --- Energy spec ---
     plan.energy.enabled = true;
     plan.energy.sys = sys_;
-    plan.energy.prefill_fraction.gpu = 0.9;
-    plan.energy.prefill_fraction.dram = 0.5;
+}
+
+void
+DeepSpeedUvmEngine::makePrefillPlan(const RunConfig &cfg,
+                                    std::uint64_t chunk_index,
+                                    std::uint64_t chunk_count,
+                                    StepPlan &plan) const
+{
+    const ModelConfig &m = cfg.model;
+    const Gpu gpu(sys_.gpu);
+
+    plan.phase = PlanPhase::Prefill;
+    plan.chunk_index = chunk_index;
+    plan.chunk_count = chunk_count;
+
+    std::string cap_note;
+    const std::uint64_t b = effectiveBatch(cfg, &cap_note);
+    if (b == 0) {
+        plan.feasible = false;
+        plan.note = cap_note;
+        return;
+    }
+
+    const auto [start, end] =
+        prefillChunkRange(cfg.context_len, chunk_index, chunk_count);
+    plan.chunk_tokens = end - start;
+
+    const Bandwidth uvm_bw = sys_.host_pcie_bw / sys_.uvm_io_penalty;
+    const Seconds weight = weightLoadTime(
+        m, b, chooseWeightHome(m, sys_.dram.capacity),
+        sys_.host_pcie_bw * sys_.baseline_weight_efficiency,
+        sys_.dram.bandwidth);
+    const Seconds prefill_compute =
+        prefillChunkComputeTime(gpu, m, b, start, end);
+    // The activation working set spills through UVM once per layer of
+    // every chunk pass, at the decode-step spill size.
+    const Bytes act_bytes =
+        2.0 * static_cast<double>(b) *
+        static_cast<double>(m.hidden + m.intermediate) *
+        static_cast<double>(m.dtype_bytes);
+    const Seconds act_uvm = act_bytes / uvm_bw;
+
+    plan.layers = m.layers;
+    plan.declareStage("load_weight");
+    plan.declareStage("prefill_compute");
+    plan.declareStage("uvm_activations");
+    plan.declareResource(PlanResource::HostPcie, 1);
+
+    const std::size_t op_weight = plan.addOp(
+        transferOp(PlanResource::HostPcie, "weight_stage", weight,
+                   m.loadedWeightBytesPerLayer(b))
+            .stageTag("load_weight"));
+    const std::size_t op_compute = plan.addOp(
+        computeOp(ComputeUnit::Gpu, "prefill_compute", prefill_compute)
+            .stageTag("prefill_compute"));
+    plan.addOp(transferOp(PlanResource::HostPcie, "uvm_activation_spill",
+                          act_uvm, act_bytes)
+                   .stageTag("uvm_activations")
+                   .dep(op_weight)
+                   .dep(op_compute));
+
+    plan.busy_step_fraction.gpu = kPrefillGpuBusyFraction;
+    plan.busy_step_fraction.dram = kPrefillDramBusyFractionOffload;
 }
 
 RunResult
@@ -125,6 +193,8 @@ DeepSpeedUvmEngine::run(const RunConfig &cfg) const
     StepPlan plan;
     makePlan(cfg, res, plan);
     if (!plan.feasible)
+        return res;
+    if (!applyPrefillPhase(*this, cfg, res))
         return res;
     applyPlan(plan, cfg, res);
     return res;
@@ -141,6 +211,17 @@ DeepSpeedUvmEngine::runCached(const RunConfig &cfg, PlanCache &cache) const
         });
     if (!plan.feasible)
         return res;
+    const std::uint64_t prefill_key =
+        PlanCache::keyOf(name(), cfg.model.name, PlanPhase::Prefill);
+    for (std::uint64_t i = 0; i < cfg.prefill_chunks; ++i) {
+        const StepPlan &pre = cache.build(
+            prefill_key,
+            [&](StepPlan &p) {
+                makePrefillPlan(cfg, i, cfg.prefill_chunks, p);
+            });
+        if (!applyPrefillPlan(pre, res))
+            return res;
+    }
     applyPlan(plan, cfg, res);
     return res;
 }
@@ -151,6 +232,16 @@ DeepSpeedUvmEngine::decodeStepPlan(const RunConfig &cfg) const
     RunResult scratch;
     StepPlan plan;
     makePlan(cfg, scratch, plan);
+    return plan;
+}
+
+StepPlan
+DeepSpeedUvmEngine::prefillStepPlan(const RunConfig &cfg,
+                                    std::uint64_t chunk_index,
+                                    std::uint64_t chunk_count) const
+{
+    StepPlan plan;
+    makePrefillPlan(cfg, chunk_index, chunk_count, plan);
     return plan;
 }
 

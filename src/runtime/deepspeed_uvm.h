@@ -29,11 +29,22 @@ class DeepSpeedUvmEngine : public InferenceEngine, public StepPlanSource
     RunResult runCached(const RunConfig &cfg,
                         PlanCache &cache) const override;
     StepPlan decodeStepPlan(const RunConfig &cfg) const override;
+    StepPlan prefillStepPlan(const RunConfig &cfg,
+                             std::uint64_t chunk_index = 0,
+                             std::uint64_t chunk_count = 1) const override;
 
   private:
-    /** Capacity decisions + prefill into `res`, decode step into `plan`. */
+    /** Capacity decisions into `res`, decode step into `plan`. */
     void makePlan(const RunConfig &cfg, RunResult &res,
                   StepPlan &plan) const;
+
+    /** Prefill-phase plan for one chunk. */
+    void makePrefillPlan(const RunConfig &cfg, std::uint64_t chunk_index,
+                         std::uint64_t chunk_count, StepPlan &plan) const;
+
+    /** The capacity-shrunk batch (0 = infeasible, setting `note`). */
+    std::uint64_t effectiveBatch(const RunConfig &cfg,
+                                 std::string *note) const;
 
     SystemConfig sys_;
 };

@@ -25,6 +25,14 @@ struct RunConfig {
     std::uint64_t batch = 16;
     std::uint64_t context_len = 32768;  ///< prompt tokens s
     std::uint64_t output_len = 64;      ///< generated tokens n
+    /**
+     * Number of chunks the prefill phase is split into. 1 (the
+     * default) is the monolithic prefill and reproduces the closed-form
+     * numbers bit-for-bit; larger values pay the per-chunk weight
+     * re-streaming, so chunked prefill is never faster offline — its
+     * payoff is serving-side preemptability (see runtime/serving.h).
+     */
+    std::uint64_t prefill_chunks = 1;
 };
 
 /** Interconnect/storage traffic per decoding step (all layers). */
@@ -161,6 +169,14 @@ struct RunResult {
     StageBreakdown breakdown;  ///< per decode step
     TrafficCounters traffic;   ///< per decode step
     ComponentBusy busy;        ///< per decode step
+    /**
+     * Busy seconds of the whole prefill phase (all chunks), accumulated
+     * from the prefill plans' own busy accounting by applyPrefillPlan().
+     * Feeds the run-level energy integral in applyPlan(); not part of
+     * the canonical serialization (the per-step `busy` and whole-run
+     * `energy` fields remain the golden-pinned surface).
+     */
+    ComponentBusy prefill_busy;
     EnergyBreakdown energy;    ///< whole run
     Watts fpga_power_watts = 0;   ///< per-device, HILOS only
     FaultSummary faults;       ///< availability/retry accounting

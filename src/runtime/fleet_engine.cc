@@ -208,7 +208,7 @@ FleetEngine::run(const RunConfig &cfg) const
     // events, re-placed deterministically at every boundary.
     RunResult res;
     res.effective_batch = p0.placed_batch;
-    res.prefill_time = ideal_host.prefill_time;
+    propagatePrefill(ideal_host, res);
     res.fpga_power_watts = ideal_host.fpga_power_watts;
     res.faults = ideal_host.faults;
 

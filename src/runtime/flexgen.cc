@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "runtime/cost_model.h"
 #include "runtime/plan_cache.h"
+#include "runtime/prefill_constants.h"
 
 namespace hilos {
 
@@ -70,6 +71,35 @@ FlexGenEngine::storageWriteBw() const
     HILOS_PANIC("unknown tier");
 }
 
+std::uint64_t
+FlexGenEngine::effectiveBatch(const RunConfig &cfg, std::string *note) const
+{
+    // Capacity: the DRAM tier must fit the whole KV cache (plus the
+    // weights when they are DRAM-resident) in host memory.
+    if (tier_ != FlexTier::HostDram)
+        return cfg.batch;
+    const ModelConfig &m = cfg.model;
+    const std::uint64_t total_seq = cfg.context_len + cfg.output_len;
+    const WeightHome home = chooseWeightHome(m, sys_.dram.capacity);
+    const double weight_bytes =
+        static_cast<double>(m.weightBytesTotal());
+    const double resident =
+        (home == WeightHome::HostDram ? weight_bytes : 0.0) +
+        0.08 * static_cast<double>(sys_.dram.capacity);
+    // Pinned, double-buffered KV allocations inflate the effective
+    // per-sequence footprint (dram_kv_overhead).
+    const double budget =
+        (static_cast<double>(sys_.dram.capacity) - resident) /
+        sys_.dram_kv_overhead;
+    const std::uint64_t b =
+        maxFittingBatch(m, cfg.batch, total_seq, budget, 0.0);
+    if (b == 0)
+        *note = "host DRAM exhausted even at batch 1";
+    else if (b < cfg.batch)
+        *note = "batch shrunk to fit host DRAM";
+    return b;
+}
+
 void
 FlexGenEngine::makePlan(const RunConfig &cfg, RunResult &res,
                         StepPlan &plan) const
@@ -77,44 +107,27 @@ FlexGenEngine::makePlan(const RunConfig &cfg, RunResult &res,
     const ModelConfig &m = cfg.model;
     const Gpu gpu(sys_.gpu);
     const Cpu cpu(sys_.cpu);
-    const std::uint64_t total_seq = cfg.context_len + cfg.output_len;
 
     const WeightHome home =
         chooseWeightHome(m, sys_.dram.capacity);
-    const double weight_bytes =
-        static_cast<double>(m.weightBytesTotal());
 
-    // Capacity: the DRAM tier must fit the whole KV cache (plus the
-    // weights when they are DRAM-resident) in host memory.
-    res.effective_batch = cfg.batch;
-    if (tier_ == FlexTier::HostDram) {
-        const double resident =
-            (home == WeightHome::HostDram ? weight_bytes : 0.0) +
-            0.08 * static_cast<double>(sys_.dram.capacity);
-        // Pinned, double-buffered KV allocations inflate the effective
-        // per-sequence footprint (dram_kv_overhead).
-        const double budget =
-            (static_cast<double>(sys_.dram.capacity) - resident) /
-            sys_.dram_kv_overhead;
-        res.effective_batch =
-            maxFittingBatch(m, cfg.batch, total_seq, budget, 0.0);
-        if (res.effective_batch == 0) {
-            res.feasible = false;
-            res.note = "host DRAM exhausted even at batch 1";
-            plan.feasible = false;
-            plan.note = res.note;
-            return;
-        }
-        if (res.effective_batch < cfg.batch)
-            res.note = "batch shrunk to fit host DRAM";
+    std::string cap_note;
+    res.effective_batch = effectiveBatch(cfg, &cap_note);
+    if (res.effective_batch == 0) {
+        res.feasible = false;
+        res.note = cap_note;
+        plan.feasible = false;
+        plan.note = res.note;
+        return;
     }
+    if (!cap_note.empty())
+        res.note = cap_note;
     const std::uint64_t b = res.effective_batch;
     // Mid-generation context length drives decode-step costs.
     const std::uint64_t s_mid = midGenerationContext(cfg.context_len, cfg.output_len);
 
     const bool on_ssd = tier_ != FlexTier::HostDram;
     const Bandwidth read_bw = storageReadBw();
-    const Bandwidth write_bw = storageWriteBw();
     // Host-managed KV reads run far below raw sequential bandwidth.
     const Bandwidth kv_read_bw =
         on_ssd ? read_bw * sys_.host_kv_io_efficiency : read_bw;
@@ -229,17 +242,6 @@ FlexGenEngine::makePlan(const RunConfig &cfg, RunResult &res,
                    .busyTag(kBusyCpu)
                    .asOffline());
 
-    // --- Prefill (not part of the decode-step IR) ---
-    const double L = static_cast<double>(m.layers);
-    const Seconds prefill_compute =
-        prefillComputeTime(gpu, m, b, cfg.context_len);
-    const Bytes prefill_kv_bytes = kvLayerBytes(m, b, cfg.context_len);
-    const Seconds prefill_kv_write =
-        on_ssd ? prefill_kv_bytes / write_bw
-               : prefill_kv_bytes / sys_.dram.bandwidth;
-    res.prefill_time =
-        L * (std::max({weight, prefill_compute}) + prefill_kv_write);
-
     // --- Energy spec over the whole run ---
     plan.energy.enabled = true;
     plan.energy.sys = sys_;
@@ -250,10 +252,82 @@ FlexGenEngine::makePlan(const RunConfig &cfg, RunResult &res,
         plan.energy.kind = StorageKind::SmartSsds;  // powered, FPGAs idle
         plan.energy.devices = 16;
     }
-    plan.energy.prefill_fraction.gpu = 0.9;
-    plan.energy.prefill_fraction.dram = 0.5;
-    plan.energy.storage_prefill_extra =
-        on_ssd ? L * prefill_kv_write : Seconds(0.0);
+}
+
+void
+FlexGenEngine::makePrefillPlan(const RunConfig &cfg,
+                               std::uint64_t chunk_index,
+                               std::uint64_t chunk_count,
+                               StepPlan &plan) const
+{
+    const ModelConfig &m = cfg.model;
+    const Gpu gpu(sys_.gpu);
+
+    plan.phase = PlanPhase::Prefill;
+    plan.chunk_index = chunk_index;
+    plan.chunk_count = chunk_count;
+
+    std::string cap_note;
+    const std::uint64_t b = effectiveBatch(cfg, &cap_note);
+    if (b == 0) {
+        plan.feasible = false;
+        plan.note = cap_note;
+        return;
+    }
+
+    const auto [start, end] =
+        prefillChunkRange(cfg.context_len, chunk_index, chunk_count);
+    plan.chunk_tokens = end - start;
+
+    const bool on_ssd = tier_ != FlexTier::HostDram;
+    const WeightHome home = chooseWeightHome(m, sys_.dram.capacity);
+    const Bandwidth weight_storage_bw =
+        on_ssd ? storageReadBw()
+               : static_cast<double>(sys_.num_baseline_ssds) *
+                     sys_.baseline_ssd.seq_read_bw;
+
+    // Every chunk makes its own pass over the layers: weight staging is
+    // re-paid per chunk, the prompt GEMMs price incrementally, and the
+    // chunk's KV entries stream out to their tier.
+    const Seconds weight = weightLoadTime(
+        m, b, home, sys_.host_pcie_bw * sys_.baseline_weight_efficiency,
+        weight_storage_bw);
+    const Seconds prefill_compute =
+        prefillChunkComputeTime(gpu, m, b, start, end);
+    const Bytes chunk_kv_bytes = kvLayerBytes(m, b, end - start);
+    const Seconds prefill_kv_write =
+        on_ssd ? chunk_kv_bytes / storageWriteBw()
+               : chunk_kv_bytes / sys_.dram.bandwidth;
+
+    plan.layers = m.layers;
+    plan.declareStage("load_weight");
+    plan.declareStage("prefill_compute");
+    plan.declareStage("kv_writeback");
+    plan.declareResource(PlanResource::HostPcie, 1);
+    plan.declareResource(PlanResource::Storage, 1);
+
+    const std::size_t op_weight = plan.addOp(
+        transferOp(PlanResource::HostPcie, "weight_stage", weight,
+                   m.loadedWeightBytesPerLayer(b))
+            .stageTag("load_weight"));
+    const std::size_t op_compute = plan.addOp(
+        computeOp(ComputeUnit::Gpu, "prefill_compute", prefill_compute)
+            .stageTag("prefill_compute"));
+    StepOp kv_commit =
+        transferOp(on_ssd ? PlanResource::Storage : PlanResource::DramBus,
+                   "prefill_kv_write", prefill_kv_write, chunk_kv_bytes)
+            .stageTag("kv_writeback")
+            .dep(op_weight)
+            .dep(op_compute);
+    // Only SSD tiers charge the NAND-write occupancy; the DRAM tier's
+    // writeback rides the memory bus already covered by the DRAM busy
+    // fraction below.
+    if (on_ssd)
+        kv_commit.busyTag(kBusyStorage);
+    plan.addOp(kv_commit);
+
+    plan.busy_step_fraction.gpu = kPrefillGpuBusyFraction;
+    plan.busy_step_fraction.dram = kPrefillDramBusyFractionOffload;
 }
 
 RunResult
@@ -263,6 +337,8 @@ FlexGenEngine::run(const RunConfig &cfg) const
     StepPlan plan;
     makePlan(cfg, res, plan);
     if (!plan.feasible)
+        return res;
+    if (!applyPrefillPhase(*this, cfg, res))
         return res;
     applyPlan(plan, cfg, res);
     return res;
@@ -279,6 +355,17 @@ FlexGenEngine::runCached(const RunConfig &cfg, PlanCache &cache) const
         });
     if (!plan.feasible)
         return res;
+    const std::uint64_t prefill_key =
+        PlanCache::keyOf(name(), cfg.model.name, PlanPhase::Prefill);
+    for (std::uint64_t i = 0; i < cfg.prefill_chunks; ++i) {
+        const StepPlan &pre = cache.build(
+            prefill_key,
+            [&](StepPlan &p) {
+                makePrefillPlan(cfg, i, cfg.prefill_chunks, p);
+            });
+        if (!applyPrefillPlan(pre, res))
+            return res;
+    }
     applyPlan(plan, cfg, res);
     return res;
 }
@@ -289,6 +376,16 @@ FlexGenEngine::decodeStepPlan(const RunConfig &cfg) const
     RunResult scratch;
     StepPlan plan;
     makePlan(cfg, scratch, plan);
+    return plan;
+}
+
+StepPlan
+FlexGenEngine::prefillStepPlan(const RunConfig &cfg,
+                               std::uint64_t chunk_index,
+                               std::uint64_t chunk_count) const
+{
+    StepPlan plan;
+    makePrefillPlan(cfg, chunk_index, chunk_count, plan);
     return plan;
 }
 

@@ -39,6 +39,9 @@ class FlexGenEngine : public InferenceEngine, public StepPlanSource
     RunResult runCached(const RunConfig &cfg,
                         PlanCache &cache) const override;
     StepPlan decodeStepPlan(const RunConfig &cfg) const override;
+    StepPlan prefillStepPlan(const RunConfig &cfg,
+                             std::uint64_t chunk_index = 0,
+                             std::uint64_t chunk_count = 1) const override;
 
     /** Aggregate storage read bandwidth of this tier's fleet. */
     Bandwidth storageReadBw() const;
@@ -48,9 +51,19 @@ class FlexGenEngine : public InferenceEngine, public StepPlanSource
     FlexTier tier() const { return tier_; }
 
   private:
-    /** Capacity decisions + prefill into `res`, decode step into `plan`. */
+    /** Capacity decisions into `res`, decode step into `plan`. */
     void makePlan(const RunConfig &cfg, RunResult &res,
                   StepPlan &plan) const;
+
+    /** Prefill-phase plan for one chunk (shares makePlan's capacity
+     *  decision via effectiveBatch). */
+    void makePrefillPlan(const RunConfig &cfg, std::uint64_t chunk_index,
+                         std::uint64_t chunk_count, StepPlan &plan) const;
+
+    /** The capacity-shrunk batch (0 = infeasible); sets `note` when the
+     *  batch shrank or the config does not fit. */
+    std::uint64_t effectiveBatch(const RunConfig &cfg,
+                                 std::string *note) const;
 
     SystemConfig sys_;
     FlexTier tier_;

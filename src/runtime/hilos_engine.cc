@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "runtime/cost_model.h"
 #include "runtime/plan_cache.h"
+#include "runtime/prefill_constants.h"
 #include "runtime/writeback.h"
 
 namespace hilos {
@@ -102,6 +103,17 @@ HilosEngine::runCached(const RunConfig &cfg, PlanCache &cache) const
         });
     if (!plan.feasible)
         return res;
+    const std::uint64_t prefill_key =
+        PlanCache::keyOf(name(), cfg.model.name, PlanPhase::Prefill);
+    for (std::uint64_t i = 0; i < cfg.prefill_chunks; ++i) {
+        const StepPlan &pre = cache.build(
+            prefill_key,
+            [&](StepPlan &p) {
+                makePrefillPlan(cfg, cond, i, cfg.prefill_chunks, p);
+            });
+        if (!applyPrefillPlan(pre, res))
+            return res;
+    }
     applyPlan(plan, cfg, res);
     return res;
 }
@@ -110,11 +122,18 @@ RunResult
 HilosEngine::runConditioned(const RunConfig &cfg,
                             const FleetConditions &cond) const
 {
+    HILOS_ASSERT(cfg.prefill_chunks >= 1, "prefill_chunks must be >= 1");
     RunResult res;
     StepPlan plan;
     makePlan(cfg, cond, res, plan);
     if (!plan.feasible)
         return res;
+    for (std::uint64_t i = 0; i < cfg.prefill_chunks; ++i) {
+        StepPlan pre;
+        makePrefillPlan(cfg, cond, i, cfg.prefill_chunks, pre);
+        if (!applyPrefillPlan(pre, res))
+            return res;
+    }
     applyPlan(plan, cfg, res);
     return res;
 }
@@ -125,6 +144,17 @@ HilosEngine::decodeStepPlan(const RunConfig &cfg) const
     RunResult scratch;
     StepPlan plan;
     makePlan(cfg, idealConditions(), scratch, plan);
+    return plan;
+}
+
+StepPlan
+HilosEngine::prefillStepPlan(const RunConfig &cfg,
+                             std::uint64_t chunk_index,
+                             std::uint64_t chunk_count) const
+{
+    StepPlan plan;
+    makePrefillPlan(cfg, idealConditions(), chunk_index, chunk_count,
+                    plan);
     return plan;
 }
 
@@ -432,19 +462,6 @@ HilosEngine::makePlan(const RunConfig &cfg, const FleetConditions &cond,
 
     res.faults.retry_time = L * retry_extra;  // per decode step
 
-    // --- Prefill ---
-    const Seconds prefill_compute =
-        prefillComputeTime(gpu, m, b, cfg.context_len);
-    const double prefill_cache_bytes =
-        cache_bytes_per_tok_layer * static_cast<double>(b) *
-        static_cast<double>(cfg.context_len);
-    const Bandwidth prefill_write_bw =
-        std::min(uplink_bw, static_cast<double>(N) * p2p_write);
-    const Seconds prefill_write =
-        Bytes(prefill_cache_bytes) / prefill_write_bw;
-    res.prefill_time =
-        L * (std::max(weight, prefill_compute) + prefill_write);
-
     const ResourceModel rm;
     res.fpga_power_watts = rm.powerWatts(d_group);
 
@@ -454,9 +471,114 @@ HilosEngine::makePlan(const RunConfig &cfg, const FleetConditions &cond,
     plan.energy.kind = StorageKind::SmartSsds;
     plan.energy.devices = N;
     plan.energy.fpga_power = res.fpga_power_watts;
-    plan.energy.prefill_fraction.gpu = 0.9;
-    plan.energy.prefill_fraction.dram = 0.3;
-    plan.energy.storage_prefill_extra = L * prefill_write;
+}
+
+void
+HilosEngine::makePrefillPlan(const RunConfig &cfg,
+                             const FleetConditions &cond,
+                             std::uint64_t chunk_index,
+                             std::uint64_t chunk_count,
+                             StepPlan &plan) const
+{
+    HILOS_ASSERT(cond.devices >= 1, "fleet conditions need >= 1 device");
+    const ModelConfig &m = cfg.model;
+    const Gpu gpu(sys_.gpu);
+    const unsigned N = cond.devices;
+    const std::uint64_t total_seq = cfg.context_len + cfg.output_len;
+    const std::uint64_t d = m.headDim();
+    const std::uint64_t b = cfg.batch;
+
+    plan.phase = PlanPhase::Prefill;
+    plan.chunk_index = chunk_index;
+    plan.chunk_count = chunk_count;
+
+    const Bandwidth p2p_read = sys_.smartssd.p2p_read_bw * cond.p2p_derate;
+    const Bandwidth p2p_write =
+        sys_.smartssd.p2p_write_bw * cond.p2p_derate;
+    const Bandwidth uplink_bw =
+        sys_.chassis_uplink_bw * cond.uplink_derate;
+    const Bandwidth fleet_read = static_cast<double>(N) * p2p_read;
+    const Bandwidth gds = std::min(sys_.gds_effective_bw, fleet_read);
+
+    // Same fleet capacity check as the decode plan, so a standalone
+    // prefill plan reports infeasibility in exactly the same configs.
+    const WeightHome home = chooseWeightHome(m, sys_.dram.capacity);
+    const double alpha = alphaFor(cfg, fleet_read, gds);
+    const double kv_dim_bytes = static_cast<double>(
+        m.kv_heads * d * m.dtype_bytes);
+    const double cache_bytes_per_tok_layer =
+        alpha * static_cast<double>(m.xBytesPerTokenPerLayer()) +
+        (1.0 - alpha) * 2.0 * kv_dim_bytes;
+    const double fleet_capacity =
+        static_cast<double>(N) *
+        static_cast<double>(sys_.smartssd.nand.capacity);
+    const std::uint64_t kept_seq =
+        opts_.attention_window > 0
+            ? std::min(total_seq, opts_.attention_window)
+            : total_seq;
+    const double cache_total = cache_bytes_per_tok_layer *
+                               static_cast<double>(m.layers) *
+                               static_cast<double>(b) *
+                               static_cast<double>(kept_seq);
+    const double weights_on_fleet =
+        home == WeightHome::Storage
+            ? static_cast<double>(m.weightBytesTotal())
+            : 0.0;
+    if (cache_total + weights_on_fleet > fleet_capacity) {
+        plan.feasible = false;
+        plan.note = "SmartSSD fleet capacity exceeded";
+        return;
+    }
+
+    const auto [start, end] =
+        prefillChunkRange(cfg.context_len, chunk_index, chunk_count);
+    plan.chunk_tokens = end - start;
+
+    // Weights stripe over the installed fleet exactly as in decode.
+    const unsigned installed =
+        std::max(sys_.installed_smartssds - cond.failed_devices, N);
+    const Seconds weight = weightLoadTime(
+        m, b, home, sys_.host_pcie_bw,
+        std::min(uplink_bw,
+                 static_cast<double>(installed) *
+                     sys_.smartssd.nand.seq_read_bw));
+    const Seconds prefill_compute =
+        prefillChunkComputeTime(gpu, m, b, start, end);
+    // The chunk's share of the KV/X cache commits to the fleet over the
+    // narrower of the chassis uplink and the aggregate P2P write path.
+    const double chunk_cache_bytes =
+        cache_bytes_per_tok_layer * static_cast<double>(b) *
+        static_cast<double>(end - start);
+    const Bandwidth prefill_write_bw =
+        std::min(uplink_bw, static_cast<double>(N) * p2p_write);
+    const Seconds prefill_write =
+        Bytes(chunk_cache_bytes) / prefill_write_bw;
+
+    // Per layer: the weight stream races the GPU prefill compute, then
+    // the produced KV/X rows commit before the next layer starts.
+    plan.layers = m.layers;
+    plan.declareStage("load_weight");
+    plan.declareStage("prefill_compute");
+    plan.declareStage("kv_writeback");
+    plan.declareResource(PlanResource::Uplink, 1);
+    plan.declareResource(PlanResource::Storage, N);
+
+    const std::size_t op_weight = plan.addOp(
+        transferOp(PlanResource::Uplink, "weight_stage", weight,
+                   m.loadedWeightBytesPerLayer(b))
+            .stageTag("load_weight"));
+    const std::size_t op_compute = plan.addOp(
+        computeOp(ComputeUnit::Gpu, "prefill_compute", prefill_compute)
+            .stageTag("prefill_compute"));
+    plan.addOp(transferOp(PlanResource::Storage, "prefill_kv_write",
+                          prefill_write, chunk_cache_bytes)
+                   .stageTag("kv_writeback")
+                   .busyTag(kBusyStorage)
+                   .dep(op_weight)
+                   .dep(op_compute));
+
+    plan.busy_step_fraction.gpu = kPrefillGpuBusyFraction;
+    plan.busy_step_fraction.dram = kPrefillDramBusyFractionNsp;
 }
 
 RunResult
@@ -701,15 +823,19 @@ HilosEngine::runWithFaults(const RunConfig &cfg) const
         fs.requests_degraded = res.effective_batch;
     res.faults = fs;
 
-    // Whole-run energy from the token-weighted busy profile; devices
-    // that failed before the run started never power on.
+    // Whole-run energy from the token-weighted busy profile plus the
+    // prefill phase's plan-derived busy time; devices that failed
+    // before the run started never power on. The storage term formerly
+    // charged a flat 0.5 x prefill_time here while the zero-fault path
+    // charged the actual per-layer KV commit time — both paths now
+    // share the prefill plan's accounting.
     const double steps = out_tokens;
     ComponentBusy run_busy;
-    run_busy.gpu = res.busy.gpu * steps + res.prefill_time * 0.9;
-    run_busy.cpu = res.busy.cpu * steps;
-    run_busy.dram = res.busy.dram * steps + res.prefill_time * 0.3;
-    run_busy.storage = res.busy.storage * steps + res.prefill_time * 0.5;
-    run_busy.fpga = res.busy.fpga * steps;
+    run_busy.gpu = res.busy.gpu * steps + res.prefill_busy.gpu;
+    run_busy.cpu = res.busy.cpu * steps + res.prefill_busy.cpu;
+    run_busy.dram = res.busy.dram * steps + res.prefill_busy.dram;
+    run_busy.storage = res.busy.storage * steps + res.prefill_busy.storage;
+    run_busy.fpga = res.busy.fpga * steps + res.prefill_busy.fpga;
     res.energy = computeEnergy(sys_, StorageKind::SmartSsds, c0.devices,
                                res.total_time, run_busy,
                                res.fpga_power_watts);

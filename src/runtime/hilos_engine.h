@@ -66,6 +66,10 @@ class HilosEngine : public InferenceEngine, public StepPlanSource
                         PlanCache &cache) const override;
     /** The zero-fault (ideal-fleet) decode-step plan. */
     StepPlan decodeStepPlan(const RunConfig &cfg) const override;
+    /** The zero-fault (ideal-fleet) prefill plan for one chunk. */
+    StepPlan prefillStepPlan(const RunConfig &cfg,
+                             std::uint64_t chunk_index = 0,
+                             std::uint64_t chunk_count = 1) const override;
 
     /** Aggregate internal P2P read bandwidth of the fleet. */
     Bandwidth internalReadBw() const;
@@ -112,6 +116,16 @@ class HilosEngine : public InferenceEngine, public StepPlanSource
      */
     void makePlan(const RunConfig &cfg, const FleetConditions &cond,
                   RunResult &res, StepPlan &plan) const;
+
+    /**
+     * Prefill-phase plan for one chunk under the given fleet
+     * conditions: GPU prefill compute races the weight stream, then the
+     * chunk's KV/X cache commits to the fleet over the narrower of the
+     * uplink and the aggregate P2P write path.
+     */
+    void makePrefillPlan(const RunConfig &cfg, const FleetConditions &cond,
+                         std::uint64_t chunk_index,
+                         std::uint64_t chunk_count, StepPlan &plan) const;
 
     /** Epoch-based degraded-mode execution of a non-empty FaultPlan. */
     RunResult runWithFaults(const RunConfig &cfg) const;

@@ -3,7 +3,8 @@
 namespace hilos {
 
 std::uint64_t
-PlanCache::keyOf(std::string_view engine_name, std::string_view model_name)
+PlanCache::keyOf(std::string_view engine_name, std::string_view model_name,
+                 PlanPhase phase)
 {
     // FNV-1a, 64-bit. Collisions only cost a rebuild mismatch.
     std::uint64_t h = 1469598103934665603ull;
@@ -16,6 +17,8 @@ PlanCache::keyOf(std::string_view engine_name, std::string_view model_name)
     mix(engine_name);
     mix("|");
     mix(model_name);
+    mix("|");
+    mix(planPhaseName(phase));
     return h;
 }
 

@@ -94,9 +94,15 @@ class PlanCache
         stats_ = Stats{};
     }
 
-    /** FNV-1a key over "<engine>|<model>", the usual structural hint. */
+    /**
+     * FNV-1a key over "<engine>|<model>|<phase>", the usual structural
+     * hint. All chunks of a chunked prefill share the Prefill key: their
+     * topology is identical, so later chunks rebuild annotations in
+     * place just like later grid points do.
+     */
     static std::uint64_t keyOf(std::string_view engine_name,
-                               std::string_view model_name);
+                               std::string_view model_name,
+                               PlanPhase phase = PlanPhase::Decode);
 
   private:
     struct Entry {

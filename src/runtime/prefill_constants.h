@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Named prefill busy fractions shared by the engines' prefill-plan
+ * builders. These model the fraction of the prefill-phase wall clock a
+ * component is kept busy when no per-op accounting pins it down
+ * (compute saturation during the prompt GEMMs, host-DRAM staging
+ * traffic); they feed StepPlan::busy_step_fraction on Prefill-phase
+ * plans and from there the run-level energy integral.
+ *
+ * This header is the ONLY place a bare prefill busy fraction may be
+ * written: scripts/lint_hilos.py bans new bare fraction literals on
+ * prefill-related lines elsewhere in src/runtime/ (the historic 0.9 /
+ * 0.3 / 0.5 magic numbers were duplicated across engines and had
+ * already drifted apart once — the faulted HILOS path charged storage
+ * 0.5 while the zero-fault path charged the NAND-write integral).
+ */
+
+#ifndef HILOS_RUNTIME_PREFILL_CONSTANTS_H_
+#define HILOS_RUNTIME_PREFILL_CONSTANTS_H_
+
+namespace hilos {
+
+/** GPU busy fraction of prefill: prompt GEMMs keep the GPU near-saturated. */
+constexpr double kPrefillGpuBusyFraction = 0.9;
+
+/**
+ * Host-DRAM busy fraction of prefill for offload engines (FlexGen,
+ * DS+UVM): weights and activations stage through host memory.
+ */
+constexpr double kPrefillDramBusyFractionOffload = 0.5;
+
+/**
+ * Host-DRAM busy fraction of prefill for HILOS: only activations hop
+ * through the host; KV writes go over NSP-internal paths.
+ */
+constexpr double kPrefillDramBusyFractionNsp = 0.3;
+
+}  // namespace hilos
+
+#endif  // HILOS_RUNTIME_PREFILL_CONSTANTS_H_

@@ -1,8 +1,10 @@
 #include "runtime/serving.h"
 
 #include <algorithm>
+#include <deque>
 #include <map>
 #include <sstream>
+#include <tuple>
 #include <utility>
 
 #include "common/logging.h"
@@ -78,6 +80,40 @@ class StepCostModel
         return r.prefill_time;
     }
 
+    /**
+     * One prefill chunk (`index` of `count`) of a group of `batch`
+     * prompts at a padded prompt length. Monolithic groups charge the
+     * engine's whole-run prefill (bit-identical to the historical
+     * path); chunked groups evaluate the engine's Prefill-phase plans,
+     * with a proportional split for plan-less engines (the fleet).
+     */
+    Seconds
+    prefillChunkTime(std::uint64_t batch, std::uint64_t context,
+                     std::uint64_t index, std::uint64_t count)
+    {
+        if (count == 1)
+            return prefillTime(batch, context);
+        if (plans_ == nullptr)
+            return prefillTime(batch, context) /
+                   static_cast<double>(count);
+        const auto key = std::make_tuple(batch, context, index, count);
+        auto it = chunk_cache_.find(key);
+        if (it != chunk_cache_.end()) {
+            hits++;
+            return it->second;
+        }
+        misses++;
+        RunConfig run = runConfig(batch, context);
+        run.prefill_chunks = count;
+        const StepPlan plan = plans_->prefillStepPlan(run, index, count);
+        HILOS_ASSERT(plan.feasible,
+                     "prefill plan infeasible at admitted batch ", batch,
+                     " context ", context, ": ", plan.note);
+        const Seconds t = evaluatePlan(plan).decode_step_time;
+        chunk_cache_.emplace(key, t);
+        return t;
+    }
+
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
 
@@ -113,6 +149,10 @@ class StepCostModel
     const ServingConfig &cfg_;
     std::map<std::pair<std::uint64_t, std::uint64_t>, Seconds> step_cache_;
     std::map<std::pair<std::uint64_t, std::uint64_t>, RunResult> run_cache_;
+    std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t,
+                        std::uint64_t>,
+             Seconds>
+        chunk_cache_;
 };
 
 /** Queue-depth curve from per-request (arrival, admitted) intervals. */
@@ -161,6 +201,7 @@ ServingSimulator::ServingSimulator(const InferenceEngine &engine,
     HILOS_ASSERT(cfg_.max_batch >= 1, "batch capacity must be >= 1");
     HILOS_ASSERT(cfg_.bucket_quantum >= 1, "bucket quantum must be >= 1");
     HILOS_ASSERT(cfg_.slo >= 0.0, "negative SLO: ", cfg_.slo);
+    HILOS_ASSERT(cfg_.prefill_chunks >= 1, "prefill chunks must be >= 1");
 }
 
 ServingResult
@@ -218,10 +259,26 @@ ServingSimulator::run(const std::vector<Request> &requests) const
         std::uint64_t generated = 0;
     };
     std::vector<InFlight> flight;
+    // Admitted groups whose prefill has not finished: the first chunk
+    // was charged at admission; later chunks run one per loop turn,
+    // yielding to (and overlapping) the decode batch. Requests join
+    // the decode flight only after the last chunk.
+    struct PrefillGroup {
+        std::vector<std::size_t> ids;
+        std::uint64_t prompt_ctx = 0;   ///< padded longest prompt
+        std::uint64_t next_chunk = 1;   ///< chunk 0 ran at admission
+    };
+    std::deque<PrefillGroup> prefilling;
+    const auto prefillingCount = [&prefilling] {
+        std::size_t n = 0;
+        for (const PrefillGroup &g : prefilling)
+            n += g.ids.size();
+        return n;
+    };
     std::uint64_t completed = 0;
 
     while (completed < res.requests) {
-        if (flight.empty() && pending.empty()) {
+        if (flight.empty() && pending.empty() && prefilling.empty()) {
             // Idle: jump straight to the next arrival.
             eq.runUntil(eq.peekNext());
             continue;
@@ -230,8 +287,10 @@ ServingSimulator::run(const std::vector<Request> &requests) const
         // Admission at the step boundary: order the pending queue by
         // policy, then admit greedily without leapfrogging — the first
         // request that does not fit blocks the rest, so FCFS cannot
-        // starve anyone.
-        if (!pending.empty() && flight.size() < cfg_.max_batch) {
+        // starve anyone. Requests still mid-prefill hold their batch
+        // and capacity reservations (their KV is materializing).
+        if (!pending.empty() &&
+            flight.size() + prefillingCount() < cfg_.max_batch) {
             std::vector<AdmissionCandidate> cands;
             cands.reserve(pending.size());
             for (std::size_t id : pending) {
@@ -250,18 +309,23 @@ ServingSimulator::run(const std::vector<Request> &requests) const
             for (const InFlight &f : flight)
                 flight_ctx =
                     std::max(flight_ctx, lifetimeCtx(res.records[f.id]));
+            for (const PrefillGroup &g : prefilling)
+                for (const std::size_t id : g.ids)
+                    flight_ctx = std::max(flight_ctx,
+                                          lifetimeCtx(res.records[id]));
 
             std::vector<std::size_t> admitted;
             for (const AdmissionCandidate &c : cands) {
-                if (flight.size() >= cfg_.max_batch)
+                const std::size_t committed =
+                    flight.size() + prefillingCount() + admitted.size();
+                if (committed >= cfg_.max_batch)
                     break;
                 const std::uint64_t ctx = std::max(
                     flight_ctx, lifetimeCtx(res.records[c.id]));
-                if (cost.capacity(ctx) < flight.size() + 1)
+                if (cost.capacity(ctx) < committed + 1)
                     break;
                 flight_ctx = ctx;
                 res.records[c.id].admitted = eq.now();
-                flight.push_back(InFlight{c.id, 0});
                 admitted.push_back(c.id);
             }
             if (!admitted.empty()) {
@@ -274,55 +338,92 @@ ServingSimulator::run(const std::vector<Request> &requests) const
                                               admitted.end();
                                    }),
                     pending.end());
-                // One batched prefill for the newly admitted group,
-                // padded to its longest prompt.
+                // The newly admitted group's first prefill chunk runs
+                // at admission, padded to its longest prompt; at
+                // prefill_chunks == 1 that is the whole prefill and
+                // the group enters the decode flight immediately.
                 std::uint64_t prompt = 0;
                 for (std::size_t id : admitted)
                     prompt =
                         std::max(prompt, res.records[id].input_tokens);
-                const Seconds pt = cost.prefillTime(
-                    admitted.size(),
-                    roundUp(prompt, cfg_.bucket_quantum));
-                eq.runUntil(eq.now() + pt);
+                PrefillGroup g;
+                g.ids = admitted;
+                g.prompt_ctx = roundUp(prompt, cfg_.bucket_quantum);
+                const Seconds chunk0 = cost.prefillChunkTime(
+                    g.ids.size(), g.prompt_ctx, 0, cfg_.prefill_chunks);
+                eq.runUntil(eq.now() + chunk0);
                 res.prefill_batches++;
+                res.prefill_chunks_run++;
+                if (cfg_.prefill_chunks == 1) {
+                    for (const std::size_t id : g.ids)
+                        flight.push_back(InFlight{id, 0});
+                } else {
+                    prefilling.push_back(std::move(g));
+                }
             }
         }
-        if (flight.empty())
+        if (flight.empty() && prefilling.empty())
             continue;
-        res.peak_in_flight =
-            std::max<std::uint64_t>(res.peak_in_flight, flight.size());
 
         // One decode step for the whole in-flight batch, costed at the
-        // padded longest current context.
-        std::uint64_t ctx_now = 0;
-        for (const InFlight &f : flight) {
-            const RequestRecord &rec = res.records[f.id];
-            ctx_now = std::max(ctx_now, rec.input_tokens + f.generated);
-        }
-        const Seconds step =
-            cost.stepTime(flight.size(),
-                          roundUp(ctx_now, cfg_.bucket_quantum));
-        eq.runUntil(eq.now() + step);
-        res.decode_steps++;
-
-        for (InFlight &f : flight) {
-            f.generated++;
-            if (f.generated == 1)
-                res.records[f.id].first_token = eq.now();
-        }
-        for (const InFlight &f : flight) {
-            if (f.generated >= res.records[f.id].output_tokens) {
-                res.records[f.id].completed = eq.now();
-                completed++;
+        // padded longest current context. Decode runs at priority:
+        // when a group is mid-prefill, its next chunk is preempted
+        // onto the host GPU under this step (decode attention is
+        // fleet-bound, prefill compute host-bound), so the loop turn
+        // costs the slower of the two.
+        Seconds step = 0.0;
+        if (!flight.empty()) {
+            res.peak_in_flight = std::max<std::uint64_t>(
+                res.peak_in_flight, flight.size());
+            std::uint64_t ctx_now = 0;
+            for (const InFlight &f : flight) {
+                const RequestRecord &rec = res.records[f.id];
+                ctx_now =
+                    std::max(ctx_now, rec.input_tokens + f.generated);
             }
+            step = cost.stepTime(flight.size(),
+                                 roundUp(ctx_now, cfg_.bucket_quantum));
+            res.decode_steps++;
         }
-        flight.erase(std::remove_if(flight.begin(), flight.end(),
-                                    [&](const InFlight &f) {
-                                        return f.generated >=
-                                               res.records[f.id]
-                                                   .output_tokens;
-                                    }),
-                     flight.end());
+        Seconds chunk = 0.0;
+        if (!prefilling.empty()) {
+            PrefillGroup &g = prefilling.front();
+            chunk = cost.prefillChunkTime(g.ids.size(), g.prompt_ctx,
+                                          g.next_chunk,
+                                          cfg_.prefill_chunks);
+            g.next_chunk++;
+            res.prefill_chunks_run++;
+            if (!flight.empty())
+                res.prefill_preemptions++;
+        }
+        eq.runUntil(eq.now() + std::max(step, chunk));
+
+        if (!flight.empty()) {
+            for (InFlight &f : flight) {
+                f.generated++;
+                if (f.generated == 1)
+                    res.records[f.id].first_token = eq.now();
+            }
+            for (const InFlight &f : flight) {
+                if (f.generated >= res.records[f.id].output_tokens) {
+                    res.records[f.id].completed = eq.now();
+                    completed++;
+                }
+            }
+            flight.erase(
+                std::remove_if(flight.begin(), flight.end(),
+                               [&](const InFlight &f) {
+                                   return f.generated >=
+                                          res.records[f.id].output_tokens;
+                               }),
+                flight.end());
+        }
+        if (!prefilling.empty() &&
+            prefilling.front().next_chunk >= cfg_.prefill_chunks) {
+            for (const std::size_t id : prefilling.front().ids)
+                flight.push_back(InFlight{id, 0});
+            prefilling.pop_front();
+        }
     }
 
     // --- metrics ---------------------------------------------------

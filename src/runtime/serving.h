@@ -15,6 +15,17 @@
  * results. Time advances on a `sim/event_queue`, so arrivals interleave
  * with decode steps deterministically.
  *
+ * Prefill is admitted as chunked steps (`ServingConfig::prefill_chunks`)
+ * interleaved with decode: a newly admitted group's first chunk is
+ * charged at admission (at prefill_chunks == 1 that is the whole
+ * prefill, preserving the historical timeline bit-for-bit), and every
+ * later chunk yields to the in-flight decode batch — the decode step
+ * runs at priority and the chunk overlaps it, since decode attention is
+ * fleet-bound while prefill compute is host-GPU-bound. Each decode step
+ * taken while a group is mid-prefill counts as one prefill preemption.
+ * Requests join the decode flight only after their last chunk, so TTFT
+ * reflects the full (chunked) prefill honestly.
+ *
  * Reported metrics follow the serving literature: exact (sorted-sample)
  * p50/p99/p999 time-to-first-token and end-to-end latency, goodput
  * under an SLO, queue depth over time, and saturation indicators
@@ -46,6 +57,13 @@ struct ServingConfig {
     ServingPolicy policy = ServingPolicy::Fcfs;
     /** End-to-end latency SLO; 0 disables SLO accounting. */
     Seconds slo = 0.0;
+    /**
+     * Prefill chunks per admitted group (>= 1). 1 charges one
+     * monolithic prefill at admission (the historical behaviour);
+     * larger values split each group's prefill into equal token ranges
+     * whose later chunks run preemptably under the decode batch.
+     */
+    std::uint64_t prefill_chunks = 1;
 };
 
 /** Per-request lifecycle timestamps of one serving run. */
@@ -97,6 +115,10 @@ struct ServingResult {
 
     std::uint64_t decode_steps = 0;
     std::uint64_t prefill_batches = 0;
+    /** Prefill chunks charged (== prefill_batches at prefill_chunks=1). */
+    std::uint64_t prefill_chunks_run = 0;
+    /** Decode steps taken at priority while a group was mid-prefill. */
+    std::uint64_t prefill_preemptions = 0;
     /** Time-weighted mean in-flight batch (residency / makespan). */
     double mean_in_flight = 0.0;
     std::uint64_t peak_in_flight = 0;

@@ -70,6 +70,29 @@ trafficFieldName(TrafficField f)
     HILOS_PANIC("unknown traffic field");
 }
 
+const char *
+planPhaseName(PlanPhase p)
+{
+    switch (p) {
+      case PlanPhase::Decode:
+        return "decode";
+      case PlanPhase::Prefill:
+        return "prefill";
+    }
+    HILOS_PANIC("unknown plan phase");
+}
+
+std::pair<std::uint64_t, std::uint64_t>
+prefillChunkRange(std::uint64_t context, std::uint64_t index,
+                  std::uint64_t count)
+{
+    HILOS_ASSERT(count >= 1, "prefill needs at least one chunk");
+    HILOS_ASSERT(index < count, "prefill chunk index out of range");
+    // index * context cannot overflow for any realistic prompt/chunking
+    // (both well below 2^32).
+    return {index * context / count, (index + 1) * context / count};
+}
+
 StepOp &
 StepOp::dep(std::size_t id)
 {
@@ -493,6 +516,10 @@ StepPlan::addTailOp(StepOp op)
 void
 StepPlan::clear()
 {
+    phase = PlanPhase::Decode;
+    chunk_index = 0;
+    chunk_count = 1;
+    chunk_tokens = 0;
     layers = 1;
     layer_time_divisor = 1.0;
     feasible = true;
@@ -515,6 +542,10 @@ StepPlan::beginRebuild()
     // Scalar state re-derives from the builder; reset to construction
     // defaults so stale values from the previous grid point can never
     // leak into a rebuilt plan.
+    phase = PlanPhase::Decode;
+    chunk_index = 0;
+    chunk_count = 1;
+    chunk_tokens = 0;
     layers = 1;
     layer_time_divisor = 1.0;
     feasible = true;
@@ -611,6 +642,20 @@ std::vector<std::string>
 StepPlan::validate() const
 {
     std::vector<std::string> out;
+    if (static_cast<unsigned>(phase) >
+        static_cast<unsigned>(PlanPhase::Prefill))
+        out.push_back("phase index " +
+                      std::to_string(static_cast<unsigned>(phase)) +
+                      " names no known plan phase");
+    if (chunk_count < 1)
+        out.push_back("plan declares zero prefill chunks");
+    if (chunk_count >= 1 && chunk_index >= chunk_count)
+        out.push_back("chunk_index " + std::to_string(chunk_index) +
+                      " is out of range for chunk_count " +
+                      std::to_string(chunk_count));
+    if (phase == PlanPhase::Decode &&
+        (chunk_index != 0 || chunk_count != 1 || chunk_tokens != 0))
+        out.push_back("decode plans carry no prefill chunking");
     if (layers < 1)
         out.push_back("plan declares zero layers");
     if (!(std::isfinite(layer_time_divisor) && layer_time_divisor > 0.0))
@@ -705,63 +750,139 @@ evaluatePlan(const StepPlan &plan)
 
     PlanEvaluation ev;
 
-    // Critical path over the layer DAG: finish = max(dep finishes) +
-    // seconds, so serial chains accumulate left-to-right and parallel
-    // branches take an exact max — reproducing the engines' historical
-    // max/sum compositions bit-for-bit. Offline ops never gate it.
-    ev.op_finish.assign(plan.layer_ops.size(), 0.0);
-    for (std::size_t i = 0; i < plan.layer_ops.size(); ++i) {
+    const std::size_t n = plan.layer_ops.size();
+    const std::size_t n_stages = plan.stage_order.size();
+
+    // The evaluator runs twice per grid point on the cached sweep hot
+    // path (once per phase), so it fuses every consumer — critical
+    // path, per-stage sums, traffic totals, and all five busy
+    // components — into one traversal that materialises each op's SoA
+    // view exactly once. Every accumulator still sees the historical
+    // multi-pass addition/max sequence (per stage, per traffic field,
+    // and per busy lane the values arrive in op-insertion order), so
+    // the fusion is bit-identical.
+    //
+    // Stage sums index by declared position, which assigns an op to the
+    // first entry matching its name. A plan declaring the same stage
+    // twice (validate() rejects it, but evaluatePlan must not depend on
+    // that) takes the per-stage scan below instead, where a twice-
+    // declared name still collects the op into both entries.
+    bool stage_dup = false;
+    for (std::size_t i = 0; i + 1 < n_stages && !stage_dup; ++i)
+        for (std::size_t j = i + 1; j < n_stages; ++j)
+            if (plan.stage_order[i] == plan.stage_order[j]) {
+                stage_dup = true;
+                break;
+            }
+    const auto stageIndex = [&](std::string_view stage) {
+        std::size_t s = 0;
+        while (s < n_stages && plan.stage_order[s] != stage)
+            ++s;
+        return s;  // == n_stages when undeclared: contributes nowhere
+    };
+
+    constexpr std::size_t kLanes = 5;
+    constexpr unsigned kLaneMask[kLanes] = {kBusyGpu, kBusyCpu, kBusyDram,
+                                            kBusyStorage, kBusyFpga};
+    constexpr std::size_t kFields = 6;
+
+    ev.op_finish.assign(n, 0.0);
+    std::vector<Seconds> stage_layer(n_stages, 0.0);
+    std::vector<Seconds> stage_tail(n_stages, 0.0);
+    double layer_bytes[kFields] = {0, 0, 0, 0, 0, 0};
+    double tail_bytes[kFields] = {0, 0, 0, 0, 0, 0};
+    std::vector<Seconds> path(n * kLanes, 0.0);
+    Seconds lane_best[kLanes] = {0.0, 0.0, 0.0, 0.0, 0.0};
+
+    for (std::size_t i = 0; i < n; ++i) {
         const StepOpView op = plan.layer_ops[i];
-        if (op.offline)
-            continue;
-        Seconds ready = 0.0;
-        for (const std::size_t d : op.deps)
-            ready = std::max(ready, ev.op_finish[d]);
-        ev.op_finish[i] = ready + op.seconds;
+
+        // Critical path over the layer DAG: finish = max(dep finishes)
+        // + seconds, so serial chains accumulate left-to-right and
+        // parallel branches take an exact max — reproducing the
+        // engines' historical max/sum compositions bit-for-bit.
+        // Offline ops never gate it (their finish stays 0).
+        if (!op.offline) {
+            Seconds ready = 0.0;
+            for (const std::size_t d : op.deps)
+                ready = std::max(ready, ev.op_finish[d]);
+            ev.op_finish[i] = ready + op.seconds;
+        }
+
+        // Stage and traffic accounting skip shadow ops.
+        if (!op.shadow) {
+            if (!stage_dup && !op.stage.empty()) {
+                const std::size_t s = stageIndex(op.stage);
+                if (s < n_stages)
+                    stage_layer[s] += op.seconds;
+            }
+            for (const TrafficShare &t : op.traffic)
+                layer_bytes[static_cast<std::size_t>(t.field)] +=
+                    t.bytes;
+        }
+
+        // Busy time per component: the longest tagged path through the
+        // DAG (untagged ops on a path pass through without
+        // contributing), so a serial tagged chain sums and parallel
+        // tagged branches max — the same composition the engines
+        // hand-rolled.
+        Seconds pre[kLanes] = {0.0, 0.0, 0.0, 0.0, 0.0};
+        for (const std::size_t d : op.deps) {
+            const Seconds *dp = &path[d * kLanes];
+            for (std::size_t c = 0; c < kLanes; ++c)
+                pre[c] = std::max(pre[c], dp[c]);
+        }
+        Seconds *pp = &path[i * kLanes];
+        for (std::size_t c = 0; c < kLanes; ++c) {
+            const bool counts =
+                !op.shadow && (op.busy & kLaneMask[c]) != 0;
+            pp[c] = counts ? pre[c] + op.seconds : pre[c];
+            lane_best[c] = std::max(lane_best[c], pp[c]);
+        }
     }
     ev.layer_critical_path = overlapMax(ev.op_finish);
 
     Seconds step =
         L * ev.layer_critical_path / plan.layer_time_divisor;
-    for (const StepOpView op : plan.tail_ops)
+    for (const StepOpView op : plan.tail_ops) {
         step += op.seconds;
+        if (!stage_dup && !op.stage.empty()) {
+            const std::size_t s = stageIndex(op.stage);
+            if (s < n_stages)
+                stage_tail[s] += op.seconds;
+        }
+        for (const TrafficShare &t : op.traffic)
+            tail_bytes[static_cast<std::size_t>(t.field)] += t.bytes;
+    }
     ev.decode_step_time = step;
 
-    // Stage breakdown: per-layer sums accumulate in op-insertion order
-    // (the order engines historically summed their terms), scale by the
-    // layer count, and land in declared-stage order. The per-stage scan
-    // preserves each stage's historical addition sequence exactly while
-    // avoiding any hashed intermediate.
-    for (const std::string &name : plan.stage_order) {
-        Seconds lsum = 0.0;
-        Seconds tsum = 0.0;
-        for (const StepOpView op : plan.layer_ops) {
-            if (op.shadow || op.stage.empty())
-                continue;
-            if (op.stage == name)
-                lsum += op.seconds;
+    // Stage breakdown: per-layer sums accumulated in op-insertion order
+    // (the order engines historically summed their terms), scaled by
+    // the layer count, landing in declared-stage order.
+    if (stage_dup) {
+        for (const std::string &name : plan.stage_order) {
+            Seconds lsum = 0.0;
+            Seconds tsum = 0.0;
+            for (const StepOpView op : plan.layer_ops) {
+                if (op.shadow || op.stage.empty())
+                    continue;
+                if (op.stage == name)
+                    lsum += op.seconds;
+            }
+            for (const StepOpView op : plan.tail_ops) {
+                if (!op.stage.empty() && op.stage == name)
+                    tsum += op.seconds;
+            }
+            ev.breakdown.add(name, L * lsum + tsum);
         }
-        for (const StepOpView op : plan.tail_ops) {
-            if (!op.stage.empty() && op.stage == name)
-                tsum += op.seconds;
-        }
-        ev.breakdown.add(name, L * lsum + tsum);
+    } else {
+        for (std::size_t s = 0; s < n_stages; ++s)
+            ev.breakdown.add(plan.stage_order[s],
+                             L * stage_layer[s] + stage_tail[s]);
     }
 
     // Traffic counters: per-field sums in op-insertion order, per-layer
     // shares scaled by the layer count, tail shares once.
-    constexpr std::size_t kFields = 6;
-    double layer_bytes[kFields] = {0, 0, 0, 0, 0, 0};
-    double tail_bytes[kFields] = {0, 0, 0, 0, 0, 0};
-    for (const StepOpView op : plan.layer_ops) {
-        if (op.shadow)
-            continue;
-        for (const TrafficShare &s : op.traffic)
-            layer_bytes[static_cast<std::size_t>(s.field)] += s.bytes;
-    }
-    for (const StepOpView op : plan.tail_ops)
-        for (const TrafficShare &s : op.traffic)
-            tail_bytes[static_cast<std::size_t>(s.field)] += s.bytes;
     const auto field_total = [&](TrafficField f) {
         const auto i = static_cast<std::size_t>(f);
         return L * layer_bytes[i] + tail_bytes[i];
@@ -776,39 +897,22 @@ evaluatePlan(const StepPlan &plan)
     ev.traffic.storage_write_bytes =
         field_total(TrafficField::StorageWrite);
 
-    // Busy time per component: the longest tagged path through the DAG
-    // (untagged ops on a path pass through without contributing), so a
-    // serial tagged chain sums and parallel tagged branches max — the
-    // same composition the engines hand-rolled. The per-step fraction
-    // adds orchestration overhead proportional to the final step time.
+    // The per-step busy fraction adds orchestration overhead
+    // proportional to the final step time.
     const struct {
-        unsigned mask;
+        std::size_t lane;
         Seconds ComponentBusy::*comp;
         double PlanBusyFractions::*frac;
     } kComponents[] = {
-        {kBusyGpu, &ComponentBusy::gpu, &PlanBusyFractions::gpu},
-        {kBusyCpu, &ComponentBusy::cpu, &PlanBusyFractions::cpu},
-        {kBusyDram, &ComponentBusy::dram, &PlanBusyFractions::dram},
-        {kBusyStorage, &ComponentBusy::storage,
-         &PlanBusyFractions::storage},
-        {kBusyFpga, &ComponentBusy::fpga, &PlanBusyFractions::fpga},
+        {0, &ComponentBusy::gpu, &PlanBusyFractions::gpu},
+        {1, &ComponentBusy::cpu, &PlanBusyFractions::cpu},
+        {2, &ComponentBusy::dram, &PlanBusyFractions::dram},
+        {3, &ComponentBusy::storage, &PlanBusyFractions::storage},
+        {4, &ComponentBusy::fpga, &PlanBusyFractions::fpga},
     };
-    std::vector<Seconds> path(plan.layer_ops.size(), 0.0);
-    for (const auto &c : kComponents) {
-        std::fill(path.begin(), path.end(), 0.0);
-        Seconds best = 0.0;
-        for (std::size_t i = 0; i < plan.layer_ops.size(); ++i) {
-            const StepOpView op = plan.layer_ops[i];
-            Seconds pre = 0.0;
-            for (const std::size_t d : op.deps)
-                pre = std::max(pre, path[d]);
-            const bool counts = !op.shadow && (op.busy & c.mask) != 0;
-            path[i] = counts ? pre + op.seconds : pre;
-            best = std::max(best, path[i]);
-        }
-        ev.busy.*(c.comp) =
-            L * best + plan.busy_step_fraction.*(c.frac) * step;
-    }
+    for (const auto &c : kComponents)
+        ev.busy.*(c.comp) = L * lane_best[c.lane] +
+                            plan.busy_step_fraction.*(c.frac) * step;
     return ev;
 }
 
@@ -816,6 +920,9 @@ void
 applyPlan(const StepPlan &plan, const RunConfig &cfg, RunResult &res)
 {
     HILOS_ASSERT(plan.feasible, "applyPlan on an infeasible plan");
+    HILOS_ASSERT(plan.phase == PlanPhase::Decode,
+                 "applyPlan consumes Decode-phase plans (fold Prefill "
+                 "plans with applyPrefillPlan)");
     if (!plan.structure_validated) {
         const std::vector<std::string> problems = plan.validate();
         HILOS_ASSERT(problems.empty(), "invalid step plan: ",
@@ -831,22 +938,65 @@ applyPlan(const StepPlan &plan, const RunConfig &cfg, RunResult &res)
                          res.decode_step_time;
     if (!plan.energy.enabled)
         return;
+    // Run-level busy = decode busy integrated over the generated tokens
+    // plus the prefill phase's own plan-derived busy (already folded
+    // into res.prefill_busy by applyPrefillPlan).
     const PlanEnergySpec &e = plan.energy;
     const double steps = static_cast<double>(cfg.output_len);
     ComponentBusy rb;
-    rb.gpu = res.busy.gpu * steps +
-             res.prefill_time * e.prefill_fraction.gpu;
-    rb.cpu = res.busy.cpu * steps +
-             res.prefill_time * e.prefill_fraction.cpu;
-    rb.dram = res.busy.dram * steps +
-              res.prefill_time * e.prefill_fraction.dram;
-    rb.storage = res.busy.storage * steps +
-                 res.prefill_time * e.prefill_fraction.storage +
-                 e.storage_prefill_extra;
-    rb.fpga = res.busy.fpga * steps +
-              res.prefill_time * e.prefill_fraction.fpga;
+    rb.gpu = res.busy.gpu * steps + res.prefill_busy.gpu;
+    rb.cpu = res.busy.cpu * steps + res.prefill_busy.cpu;
+    rb.dram = res.busy.dram * steps + res.prefill_busy.dram;
+    rb.storage = res.busy.storage * steps + res.prefill_busy.storage;
+    rb.fpga = res.busy.fpga * steps + res.prefill_busy.fpga;
     res.energy = computeEnergy(e.sys, e.kind, e.devices, res.total_time,
                                rb, e.fpga_power);
+}
+
+bool
+applyPrefillPlan(const StepPlan &plan, RunResult &res)
+{
+    HILOS_ASSERT(plan.phase == PlanPhase::Prefill,
+                 "applyPrefillPlan consumes Prefill-phase plans");
+    if (!plan.feasible) {
+        res.feasible = false;
+        res.note = plan.note;
+        return false;
+    }
+    if (!plan.structure_validated) {
+        const std::vector<std::string> problems = plan.validate();
+        HILOS_ASSERT(problems.empty(), "invalid prefill plan: ",
+                     problems.empty() ? std::string() : problems.front());
+    }
+    const PlanEvaluation ev = evaluatePlan(plan);
+    res.prefill_time += ev.decode_step_time;
+    res.prefill_busy.gpu += ev.busy.gpu;
+    res.prefill_busy.cpu += ev.busy.cpu;
+    res.prefill_busy.dram += ev.busy.dram;
+    res.prefill_busy.storage += ev.busy.storage;
+    res.prefill_busy.fpga += ev.busy.fpga;
+    return true;
+}
+
+void
+propagatePrefill(const RunResult &from, RunResult &res)
+{
+    res.prefill_time = from.prefill_time;
+    res.prefill_busy = from.prefill_busy;
+}
+
+bool
+applyPrefillPhase(const StepPlanSource &source, const RunConfig &cfg,
+                  RunResult &res)
+{
+    HILOS_ASSERT(cfg.prefill_chunks >= 1,
+                 "a run needs at least one prefill chunk");
+    for (std::uint64_t i = 0; i < cfg.prefill_chunks; ++i) {
+        if (!applyPrefillPlan(
+                source.prefillStepPlan(cfg, i, cfg.prefill_chunks), res))
+            return false;
+    }
+    return true;
 }
 
 void

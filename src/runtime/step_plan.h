@@ -1,7 +1,11 @@
 /**
  * @file
- * The StepPlan IR: one declarative description of a decoding step that
- * every engine emits and every backend consumes.
+ * The StepPlan IR: one declarative description of a model pass that
+ * every engine emits and every backend consumes. Plans are phase-tagged
+ * (PlanPhase): a Decode plan describes one steady-state decoding step,
+ * a Prefill plan describes one chunk of the prompt phase (chunk_count
+ * == 1 being the monolithic prefill). Both phases share the same op
+ * vocabulary, builders, validator, evaluator, and replay backend.
  *
  * A plan is a per-layer DAG of typed ops — Transfer{resource, bytes} on
  * named resources (host PCIe, chassis uplink, GDS, per-device P2P,
@@ -54,6 +58,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/units.h"
@@ -104,6 +109,25 @@ enum class TrafficField : std::uint8_t {
 
 /** Stable field name for serialisation. */
 const char *trafficFieldName(TrafficField f);
+
+/** Which phase of a run a plan describes. */
+enum class PlanPhase : std::uint8_t {
+    Decode,   ///< one steady-state decoding step (repeated output_len times)
+    Prefill,  ///< one chunk of the prompt phase (run once per chunk)
+};
+
+/** Stable lower-case name for serialisation. */
+const char *planPhaseName(PlanPhase p);
+
+/**
+ * Token range [start, end) prefill chunk `index` of `count` covers in a
+ * `context`-token prompt: an even integer division with the remainder
+ * spread over the leading chunks. `index == 0, count == 1` yields the
+ * whole prompt.
+ */
+std::pair<std::uint64_t, std::uint64_t>
+prefillChunkRange(std::uint64_t context, std::uint64_t index,
+                  std::uint64_t count);
 
 /** One op's contribution to a traffic counter (per layer or per step). */
 struct TrafficShare {
@@ -303,12 +327,14 @@ struct PlanBusyFractions {
 };
 
 /**
- * Whole-run energy specification carried by a plan: the evaluator turns
- * per-step busy seconds into run-level busy via
- *   run_busy = busy * steps + prefill * prefill_fraction + extra
- * and calls computeEnergy. `sys` is a copy because some engines price
- * energy against a modified system (the vLLM cluster scales GPU TDP by
- * the fleet size).
+ * Whole-run energy specification carried by the decode plan: applyPlan
+ * turns per-step busy seconds into run-level busy via
+ *   run_busy = busy * steps + res.prefill_busy
+ * and calls computeEnergy. The prefill term is ordinary per-op (and
+ * busy-fraction) accounting folded from the Prefill-phase plans by
+ * applyPrefillPlan — there is no prefill side-channel in the spec
+ * itself. `sys` is a copy because some engines price energy against a
+ * modified system (the vLLM cluster scales GPU TDP by the fleet size).
  */
 struct PlanEnergySpec {
     bool enabled = false;
@@ -316,9 +342,6 @@ struct PlanEnergySpec {
     StorageKind kind = StorageKind::None;
     unsigned devices = 0;
     Watts fpga_power = 0;
-    PlanBusyFractions prefill_fraction;
-    /** Extra storage busy seconds charged once per run (prefill writes). */
-    Seconds storage_prefill_extra = 0;
 };
 
 /**
@@ -343,6 +366,18 @@ struct PlanEnergySpec {
  *    shadows without re-validating or re-allocating its topology.
  */
 struct StepPlan {
+    PlanPhase phase = PlanPhase::Decode;
+    /**
+     * Prefill chunking (Prefill phase only; Decode plans keep the
+     * defaults). A prefill of `chunk_count` chunks is `chunk_count`
+     * plans, chunk_index 0..chunk_count-1, each covering `chunk_tokens`
+     * prompt tokens; chunk_count == 1 is the monolithic prefill and
+     * reproduces the historical closed forms bit-for-bit.
+     */
+    std::uint64_t chunk_index = 0;
+    std::uint64_t chunk_count = 1;
+    std::uint64_t chunk_tokens = 0;  ///< prompt tokens this chunk covers
+
     std::uint64_t layers = 1;
     double layer_time_divisor = 1.0;
 
@@ -424,6 +459,8 @@ struct StepPlan {
 /** Everything the analytic backend derives from a plan. */
 struct PlanEvaluation {
     Seconds layer_critical_path = 0;
+    /** Wall clock of one pass over the plan: the decode step for
+     *  Decode-phase plans, the chunk's phase time for Prefill plans. */
     Seconds decode_step_time = 0;
     StageBreakdown breakdown;
     TrafficCounters traffic;
@@ -442,13 +479,31 @@ struct PlanEvaluation {
 PlanEvaluation evaluatePlan(const StepPlan &plan);
 
 /**
- * Fill the decode-step fields of `res` from the plan (decode step,
- * breakdown, traffic, busy), then derive total_time and — when the
- * plan's energy spec is enabled — the whole-run EnergyBreakdown.
- * `res.prefill_time` and `res.effective_batch` must already be set by
- * the engine (prefill is not part of the decode-step IR).
+ * Fill the decode-step fields of `res` from a Decode-phase plan (decode
+ * step, breakdown, traffic, busy), then derive total_time and — when
+ * the plan's energy spec is enabled — the whole-run EnergyBreakdown as
+ *   run_busy = busy * output_len + res.prefill_busy.
+ * The prefill phase must already be folded into `res` (prefill_time and
+ * prefill_busy) via applyPrefillPlan, and `res.effective_batch` set by
+ * the engine.
  */
 void applyPlan(const StepPlan &plan, const RunConfig &cfg, RunResult &res);
+
+/**
+ * Fold one Prefill-phase plan (one chunk) into `res`: the evaluated
+ * phase time adds to `res.prefill_time` and the plan's busy accounting
+ * (longest tagged paths plus busy_step_fraction of the chunk time) adds
+ * to `res.prefill_busy`. Returns false — marking `res` infeasible with
+ * the plan's note — when the plan is infeasible.
+ */
+bool applyPrefillPlan(const StepPlan &plan, RunResult &res);
+
+/**
+ * Copy the prefill-phase accounting (prefill_time, prefill_busy) of
+ * `from` into `res` — used by wrapper engines (FleetEngine) that adopt
+ * a host engine's plan-built prefill rather than building their own.
+ */
+void propagatePrefill(const RunResult &from, RunResult &res);
 
 /**
  * Accumulate `w`-weighted decode-step accounting of `r` into `acc`
@@ -458,10 +513,10 @@ void applyPlan(const StepPlan &plan, const RunConfig &cfg, RunResult &res);
 void accumulateWeighted(RunResult &acc, const RunResult &r, double w);
 
 /**
- * Interface of every engine that can emit its decoding step as a
- * StepPlan (all engines implement it alongside InferenceEngine).
- * The plan reflects the same capacity/batch-shrink decisions as run();
- * infeasible configurations yield a plan with feasible == false.
+ * Interface of every engine that can emit its phases as StepPlans (all
+ * engines implement it alongside InferenceEngine). Plans reflect the
+ * same capacity/batch-shrink decisions as run(); infeasible
+ * configurations yield a plan with feasible == false.
  */
 class StepPlanSource
 {
@@ -470,7 +525,25 @@ class StepPlanSource
 
     /** Emit the decode-step plan for one run configuration. */
     virtual StepPlan decodeStepPlan(const RunConfig &cfg) const = 0;
+
+    /**
+     * Emit the Prefill-phase plan for chunk `chunk_index` of
+     * `chunk_count`. The defaults emit the monolithic prefill, whose
+     * evaluation is bit-identical to the engine's historical
+     * closed-form prefill_time.
+     */
+    virtual StepPlan prefillStepPlan(const RunConfig &cfg,
+                                     std::uint64_t chunk_index = 0,
+                                     std::uint64_t chunk_count = 1) const = 0;
 };
+
+/**
+ * Build every prefill chunk of `cfg` (cfg.prefill_chunks of them) via
+ * `source` and fold them into `res` with applyPrefillPlan. Returns
+ * false as soon as a chunk is infeasible.
+ */
+bool applyPrefillPhase(const StepPlanSource &source, const RunConfig &cfg,
+                       RunResult &res);
 
 }  // namespace hilos
 

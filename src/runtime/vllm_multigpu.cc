@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "runtime/cost_model.h"
 #include "runtime/plan_cache.h"
+#include "runtime/prefill_constants.h"
 
 namespace hilos {
 
@@ -68,7 +69,6 @@ VllmMultiGpuEngine::makePlan(const RunConfig &cfg, RunResult &res,
     }
     const std::uint64_t b = res.effective_batch;
     const std::uint64_t s_mid = midGenerationContext(cfg.context_len, cfg.output_len);
-    const double L = static_cast<double>(m.layers);
 
     // --- Per-layer decode time on one pipeline stage ---
     // Weights are resident and shard across the TP group: the GEMMs are
@@ -147,12 +147,6 @@ VllmMultiGpuEngine::makePlan(const RunConfig &cfg, RunResult &res,
                    static_cast<double>(pp) * act_bytes)
             .stageTag("pp_comm"));
 
-    // --- Prefill ---
-    const Seconds prefill_compute =
-        prefillComputeTime(gpu, m, b, cfg.context_len) /
-        static_cast<double>(tp);
-    res.prefill_time = L * (prefill_compute + allreduce) + pp_comm;
-
     // --- Energy spec: all cluster GPUs, no storage fleet. Scale the
     // GPU busy power by the GPU count. ---
     const double gpus =
@@ -165,7 +159,75 @@ VllmMultiGpuEngine::makePlan(const RunConfig &cfg, RunResult &res,
     cluster_sys.cpu.idle_power = sys_.cpu.idle_power * cluster_.nodes;
     plan.energy.enabled = true;
     plan.energy.sys = cluster_sys;
-    plan.energy.prefill_fraction.gpu = 0.9;
+}
+
+void
+VllmMultiGpuEngine::makePrefillPlan(const RunConfig &cfg,
+                                    std::uint64_t chunk_index,
+                                    std::uint64_t chunk_count,
+                                    StepPlan &plan) const
+{
+    const ModelConfig &m = cfg.model;
+    const Gpu gpu(cluster_.gpu);
+    const unsigned tp = cluster_.gpus_per_node;
+    const unsigned pp = cluster_.nodes;
+
+    plan.phase = PlanPhase::Prefill;
+    plan.chunk_index = chunk_index;
+    plan.chunk_count = chunk_count;
+
+    const double weight_bytes =
+        static_cast<double>(m.weightBytesTotal()) * 1.12;
+    const double capacity = totalGpuMemory() * 0.92;  // allocator headroom
+    if (weight_bytes > capacity) {
+        plan.feasible = false;
+        plan.note = "model weights exceed aggregate GPU memory";
+        return;
+    }
+    // Decode falls back to host swap rather than shrinking the batch
+    // (see makePlan), so prefill always runs the requested batch.
+    const std::uint64_t b = cfg.batch;
+
+    const auto [start, end] =
+        prefillChunkRange(cfg.context_len, chunk_index, chunk_count);
+    plan.chunk_tokens = end - start;
+
+    const Seconds prefill_compute =
+        prefillChunkComputeTime(gpu, m, b, start, end) /
+        static_cast<double>(tp);
+    const Bytes act_bytes = static_cast<double>(b) *
+                            static_cast<double>(m.hidden) *
+                            static_cast<double>(m.dtype_bytes);
+    // The same two per-layer all-reduces and once-per-pass pipeline
+    // hops as decode, re-paid by every chunk's pass over the layers.
+    const Seconds allreduce =
+        2.0 * (2.0 * static_cast<double>(tp - 1) /
+                   static_cast<double>(tp) * act_bytes /
+                   cluster_.intra_node_bw +
+               cluster_.allreduce_latency);
+    const Seconds pp_comm =
+        static_cast<double>(pp) *
+        (act_bytes / cluster_.inter_node_bw + cluster_.pp_hop_latency);
+
+    plan.layers = m.layers;
+    plan.declareStage("prefill_compute");
+    plan.declareStage("tp_allreduce");
+    plan.declareStage("pp_comm");
+    plan.declareResource(PlanResource::IntraNode, 1);
+    plan.declareResource(PlanResource::InterNode, 1);
+
+    const std::size_t op_compute = plan.addOp(
+        computeOp(ComputeUnit::Gpu, "prefill_compute", prefill_compute)
+            .stageTag("prefill_compute"));
+    plan.addOp(transferOp(PlanResource::IntraNode, "tp_allreduce",
+                          allreduce, 2.0 * act_bytes)
+                   .stageTag("tp_allreduce")
+                   .dep(op_compute));
+    plan.addTailOp(transferOp(PlanResource::InterNode, "pp_hops", pp_comm,
+                              static_cast<double>(pp) * act_bytes)
+                       .stageTag("pp_comm"));
+
+    plan.busy_step_fraction.gpu = kPrefillGpuBusyFraction;
 }
 
 RunResult
@@ -175,6 +237,8 @@ VllmMultiGpuEngine::run(const RunConfig &cfg) const
     StepPlan plan;
     makePlan(cfg, res, plan);
     if (!plan.feasible)
+        return res;
+    if (!applyPrefillPhase(*this, cfg, res))
         return res;
     applyPlan(plan, cfg, res);
     return res;
@@ -191,6 +255,17 @@ VllmMultiGpuEngine::runCached(const RunConfig &cfg, PlanCache &cache) const
         });
     if (!plan.feasible)
         return res;
+    const std::uint64_t prefill_key =
+        PlanCache::keyOf(name(), cfg.model.name, PlanPhase::Prefill);
+    for (std::uint64_t i = 0; i < cfg.prefill_chunks; ++i) {
+        const StepPlan &pre = cache.build(
+            prefill_key,
+            [&](StepPlan &p) {
+                makePrefillPlan(cfg, i, cfg.prefill_chunks, p);
+            });
+        if (!applyPrefillPlan(pre, res))
+            return res;
+    }
     applyPlan(plan, cfg, res);
     return res;
 }
@@ -201,6 +276,16 @@ VllmMultiGpuEngine::decodeStepPlan(const RunConfig &cfg) const
     RunResult scratch;
     StepPlan plan;
     makePlan(cfg, scratch, plan);
+    return plan;
+}
+
+StepPlan
+VllmMultiGpuEngine::prefillStepPlan(const RunConfig &cfg,
+                                    std::uint64_t chunk_index,
+                                    std::uint64_t chunk_count) const
+{
+    StepPlan plan;
+    makePrefillPlan(cfg, chunk_index, chunk_count, plan);
     return plan;
 }
 

@@ -50,6 +50,9 @@ class VllmMultiGpuEngine : public InferenceEngine, public StepPlanSource
     RunResult runCached(const RunConfig &cfg,
                         PlanCache &cache) const override;
     StepPlan decodeStepPlan(const RunConfig &cfg) const override;
+    StepPlan prefillStepPlan(const RunConfig &cfg,
+                             std::uint64_t chunk_index = 0,
+                             std::uint64_t chunk_count = 1) const override;
 
     /** Aggregate GPU memory of the cluster. */
     double totalGpuMemory() const;
@@ -57,9 +60,13 @@ class VllmMultiGpuEngine : public InferenceEngine, public StepPlanSource
     const VllmClusterConfig &cluster() const { return cluster_; }
 
   private:
-    /** Capacity decisions + prefill into `res`, decode step into `plan`. */
+    /** Capacity decisions into `res`, decode step into `plan`. */
     void makePlan(const RunConfig &cfg, RunResult &res,
                   StepPlan &plan) const;
+
+    /** Prefill-phase plan for one chunk. */
+    void makePrefillPlan(const RunConfig &cfg, std::uint64_t chunk_index,
+                         std::uint64_t chunk_count, StepPlan &plan) const;
 
     SystemConfig sys_;
     VllmClusterConfig cluster_;

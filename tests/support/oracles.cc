@@ -486,6 +486,71 @@ runFlexGenPlanOracle(std::uint64_t seed, Perturbation perturb)
         out.detail = "agreement: " + chk.detail;
         return out;
     }
+
+    // Prefill phase: the same validate -> evaluate -> replay pipeline
+    // over the engine's Prefill plans, at a chunk count derived from
+    // the seed so monolithic and chunked shapes both get coverage.
+    const std::uint64_t chunks = 1ull << (seed % 3);  // 1, 2, 4
+    Seconds chunk_sum = 0.0;
+    for (std::uint64_t k = 0; k < chunks; ++k) {
+        const StepPlan pre = engine.prefillStepPlan(c.run, k, chunks);
+        if (!pre.feasible) {
+            out.ok = false;
+            out.detail = "prefill plan infeasible where the decode run "
+                         "was feasible: " +
+                         pre.note;
+            return out;
+        }
+        if (pre.phase != PlanPhase::Prefill ||
+            pre.chunk_index != k || pre.chunk_count != chunks) {
+            out.ok = false;
+            out.detail = "prefill plan phase/chunk tags wrong for chunk " +
+                         std::to_string(k) + " of " +
+                         std::to_string(chunks);
+            return out;
+        }
+        const std::vector<std::string> pre_problems = pre.validate();
+        if (!pre_problems.empty()) {
+            out.ok = false;
+            out.detail = "prefill plan validation: " + pre_problems.front();
+            return out;
+        }
+        const PlanEvaluation pe = evaluatePlan(pre);
+        const PlanSimResult pps = simulatePlan(pre);
+        for (std::size_t i = 0; i < pre.layer_ops.size(); ++i) {
+            const StepOpView op = pre.layer_ops[i];
+            if (op.shadow || op.offline)
+                continue;
+            if (pps.first_layer_finish[i] <
+                pe.op_finish[i] * (1.0 - kRelEps) - 1e-15) {
+                out.ok = false;
+                out.detail = "prefill plan structure: op '" +
+                             std::string(op.label) + "' replays to " +
+                             fmt(pps.first_layer_finish[i]) +
+                             "s, before its analytic finish " +
+                             fmt(pe.op_finish[i]) + "s";
+                return out;
+            }
+        }
+        chunk_sum += pe.decode_step_time;
+    }
+    // One chunk must reproduce run()'s prefill time bitwise; chunking
+    // re-pays per-pass costs (weight staging), so the sum only grows.
+    if (chunks == 1 && chunk_sum != r.prefill_time) {
+        out.ok = false;
+        out.detail = "prefill agreement: monolithic plan evaluates to " +
+                     fmt(chunk_sum) + "s, run() charged " +
+                     fmt(r.prefill_time) + "s";
+        return out;
+    }
+    if (chunk_sum < r.prefill_time * (1.0 - kRelEps)) {
+        out.ok = false;
+        out.detail = "prefill agreement: " + std::to_string(chunks) +
+                     " chunks sum to " + fmt(chunk_sum) +
+                     "s, below the monolithic " + fmt(r.prefill_time) +
+                     "s";
+        return out;
+    }
     return out;
 }
 
@@ -654,6 +719,28 @@ checkServingInvariants(const FuzzServingCase &c, const ServingResult &r)
     if (r.slo_attainment < 0.0 || r.slo_attainment > 1.0 + kRelEps)
         return "slo_attainment " + fmt(r.slo_attainment) +
                " outside [0, 1]";
+    if (r.prefill_chunks_run < r.prefill_batches)
+        return "prefill_chunks_run " +
+               std::to_string(r.prefill_chunks_run) +
+               " below prefill_batches " +
+               std::to_string(r.prefill_batches);
+    if (r.prefill_chunks_run >
+        r.prefill_batches * c.serving.prefill_chunks)
+        return "prefill_chunks_run " +
+               std::to_string(r.prefill_chunks_run) + " exceeds " +
+               std::to_string(r.prefill_batches) + " groups x " +
+               std::to_string(c.serving.prefill_chunks) + " chunks";
+    if (c.serving.prefill_chunks == 1) {
+        if (r.prefill_chunks_run != r.prefill_batches)
+            return "monolithic prefill ran " +
+                   std::to_string(r.prefill_chunks_run) +
+                   " chunks for " + std::to_string(r.prefill_batches) +
+                   " groups";
+        if (r.prefill_preemptions != 0)
+            return "monolithic prefill recorded " +
+                   std::to_string(r.prefill_preemptions) +
+                   " preemptions";
+    }
     return "";
 }
 
@@ -663,7 +750,11 @@ OracleOutcome
 runServingOracle(std::uint64_t seed, Perturbation perturb)
 {
     ConfigFuzzer fuzzer(seed);
-    const FuzzServingCase c = fuzzer.servingCase();
+    FuzzServingCase c = fuzzer.servingCase();
+    // Chunked prefill must hold every invariant the monolithic path
+    // does; a third of the seeds keep chunks == 1 so the historical
+    // shape stays covered too.
+    c.serving.prefill_chunks = 1ull << (seed % 3);  // 1, 2, 4
 
     OracleOutcome out;
     out.seed = seed;
@@ -712,6 +803,9 @@ runServingOracle(std::uint64_t seed, Perturbation perturb)
     }
     ServingConfig fcfs_cfg = c.serving;
     fcfs_cfg.policy = ServingPolicy::Fcfs;
+    // The offline batcher has no notion of chunked prefill, so the
+    // equivalence leg compares monolithic timelines on both sides.
+    fcfs_cfg.prefill_chunks = 1;
     const ServingSimulator fcfs_sim(*engine, fcfs_cfg);
     const ServingResult serving = fcfs_sim.run(at_zero);
     if (!serving.feasible) {

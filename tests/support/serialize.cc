@@ -271,6 +271,12 @@ std::string
 serialize(const StepPlan &plan)
 {
     std::ostringstream os;
+    kv(os, "phase", std::string(planPhaseName(plan.phase)));
+    if (plan.phase == PlanPhase::Prefill) {
+        kv(os, "chunk_index", plan.chunk_index);
+        kv(os, "chunk_count", plan.chunk_count);
+        kv(os, "chunk_tokens", plan.chunk_tokens);
+    }
     kv(os, "layers", static_cast<std::uint64_t>(plan.layers));
     kv(os, "layer_time_divisor", plan.layer_time_divisor);
     kv(os, "feasible", std::string(plan.feasible ? "true" : "false"));
@@ -295,10 +301,6 @@ serialize(const StepPlan &plan)
         kv(os, "energy.devices",
            static_cast<std::uint64_t>(plan.energy.devices));
         kv(os, "energy.fpga_power", plan.energy.fpga_power);
-        serializeFractions(os, "energy.prefill_fraction",
-                           plan.energy.prefill_fraction);
-        kv(os, "energy.storage_prefill_extra",
-           plan.energy.storage_prefill_extra);
     }
     return os.str();
 }
@@ -324,6 +326,8 @@ serialize(const ServingResult &r)
     kv(os, "tokens_per_second", r.tokens_per_second);
     kv(os, "decode_steps", r.decode_steps);
     kv(os, "prefill_batches", r.prefill_batches);
+    kv(os, "prefill_chunks_run", r.prefill_chunks_run);
+    kv(os, "prefill_preemptions", r.prefill_preemptions);
     kv(os, "mean_in_flight", r.mean_in_flight);
     kv(os, "peak_in_flight", r.peak_in_flight);
     kv(os, "mean_queue_depth", r.mean_queue_depth);

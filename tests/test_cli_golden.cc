@@ -54,6 +54,19 @@ TEST(CliGolden, DefaultRun)
                  capture(std::string(HILOS_CLI_PATH) + " 2>/dev/null"));
 }
 
+TEST(CliGolden, ChunkedServeRun)
+{
+    // The serving surface with chunked prefill: pins the report labels,
+    // the chunk/preemption counter line, and the chunked TTFT table on
+    // the weights-resident baseline where chunking pays off.
+    expectGolden(
+        "cli_chunked_serve.txt",
+        capture(std::string(HILOS_CLI_PATH) +
+                " --engine vllm --serve --prefill-chunks 4"
+                " --requests 12 --arrival-rate 0.25 --policy fcfs"
+                " 2>/dev/null"));
+}
+
 TEST(CliGolden, FaultPlanRun)
 {
     expectGolden(

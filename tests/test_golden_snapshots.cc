@@ -130,6 +130,33 @@ TEST(GoldenSnapshots, StepPlanAllEnginesOpt66b)
     expectGolden("step_plan_opt66b.txt", os.str());
 }
 
+TEST(GoldenSnapshots, PrefillPhaseOpt66b)
+{
+    // The Prefill-phase plans behind the chunked-prefill path: each
+    // plan-emitting engine's monolithic prefill plus chunk 1-of-4, so
+    // chunk-range pricing, phase/chunk tags and the per-op prefill
+    // energy accounting all pin here.
+    const SystemConfig sys = defaultSystem();
+    const RunConfig run = headlineRun();
+    const HilosEngine hilos(sys, HilosOptions{});
+    const FlexGenEngine flex_dram(sys, FlexTier::HostDram);
+    const FlexGenEngine flex_ssd(sys, FlexTier::BaselineSsds);
+    const DeepSpeedUvmEngine uvm(sys);
+    const VllmMultiGpuEngine vllm(sys, VllmClusterConfig{});
+    const std::pair<const char *, const StepPlanSource *> engines[] = {
+        {"HILOS", &hilos},          {"FlexGen(DRAM)", &flex_dram},
+        {"FlexGen(SSD)", &flex_ssd}, {"DeepSpeed-UVM", &uvm},
+        {"vLLM", &vllm},
+    };
+    std::ostringstream os;
+    for (const auto &[title, engine] : engines)
+        os << "==== " << title << " (monolithic) ====\n"
+           << serialize(engine->prefillStepPlan(run))
+           << "==== " << title << " (chunk 1/4) ====\n"
+           << serialize(engine->prefillStepPlan(run, 1, 4));
+    expectGolden("prefill_phase_opt66b.txt", os.str());
+}
+
 TEST(GoldenSnapshots, ServingPoissonStreamOpt66b)
 {
     // The whole serving surface: a seeded Poisson stream through the

@@ -79,6 +79,17 @@ TEST(ServingWorkload, ClassifiesByNearestCanonicalLength)
     EXPECT_EQ(classifyByInputLength(100000), RequestClass::Long);
 }
 
+TEST(ServingWorkload, ClassBoundariesSitAtTheMidpoints)
+{
+    // The class cut-points are the midpoints of the canonical lengths
+    // (256/1024 -> 640, 1024/8192 -> 4608); the boundary token count
+    // itself belongs to the longer class.
+    EXPECT_EQ(classifyByInputLength(639), RequestClass::Small);
+    EXPECT_EQ(classifyByInputLength(640), RequestClass::Medium);
+    EXPECT_EQ(classifyByInputLength(4607), RequestClass::Medium);
+    EXPECT_EQ(classifyByInputLength(4608), RequestClass::Long);
+}
+
 TEST(ServingWorkload, TraceRoundTripsThroughFormat)
 {
     const auto reqs = sampleStream(32, 3.0);
@@ -112,6 +123,18 @@ TEST(ServingWorkload, TraceParserHandlesCommentsAndSorts)
     EXPECT_EQ(reqs[1].arrival, 1.5);
     EXPECT_EQ(reqs[1].cls, RequestClass::Long);
     EXPECT_EQ(reqs[2].arrival, 2.5);
+}
+
+TEST(ServingWorkload, TraceParserAcceptsMissingTrailingNewline)
+{
+    // Hand-edited trace files often lose the final newline; the last
+    // request must still parse.
+    const auto reqs = parseArrivalTrace("0.5 256 100\n1.5 1024 350");
+    ASSERT_EQ(reqs.size(), 2u);
+    EXPECT_EQ(reqs[1].arrival, 1.5);
+    EXPECT_EQ(reqs[1].input_tokens, 1024u);
+    EXPECT_EQ(reqs[1].output_tokens, 350u);
+    EXPECT_EQ(reqs[1].cls, RequestClass::Medium);
 }
 
 TEST(ServingWorkload, TraceParserRejectsMalformedLines)
@@ -448,6 +471,45 @@ TEST_F(ServingSim, BitIdenticalAcrossRunsAndJobCounts)
         for (const std::string &r : results)
             EXPECT_EQ(r, baseline);
     }
+}
+
+TEST_F(ServingSim, ExplicitSingleChunkIsBitIdenticalToDefault)
+{
+    // prefill_chunks defaults to 1; asking for 1 explicitly must not
+    // move a bit of the timeline or the counters.
+    const HilosEngine eng = engine();
+    const std::vector<Request> reqs = sampleStream(24, 2.0);
+    const std::string base =
+        serialize(ServingSimulator(eng, config()).run(reqs));
+    ServingConfig cfg = config();
+    cfg.prefill_chunks = 1;
+    EXPECT_EQ(serialize(ServingSimulator(eng, cfg).run(reqs)), base);
+}
+
+TEST_F(ServingSim, ChunkedPrefillCountsChunksAndPreemptions)
+{
+    const HilosEngine eng = engine();
+    const std::vector<Request> reqs = sampleStream(24, 8.0);  // bursty
+
+    const ServingResult mono =
+        ServingSimulator(eng, config()).run(reqs);
+    ASSERT_TRUE(mono.feasible) << mono.note;
+    EXPECT_EQ(mono.prefill_chunks_run, mono.prefill_batches);
+    EXPECT_EQ(mono.prefill_preemptions, 0u);
+
+    ServingConfig cfg = config();
+    cfg.prefill_chunks = 4;
+    const ServingResult chunked = ServingSimulator(eng, cfg).run(reqs);
+    ASSERT_TRUE(chunked.feasible) << chunked.note;
+    // Same admission groups, four chunks each.
+    EXPECT_EQ(chunked.prefill_chunks_run, chunked.prefill_batches * 4);
+    // A bursty stream keeps a decode flight alive while later groups
+    // are still prefilling, so decode steps preempt chunks.
+    EXPECT_GT(chunked.prefill_preemptions, 0u);
+    // Every request still completes with an honest (chunked) TTFT.
+    ASSERT_EQ(chunked.records.size(), reqs.size());
+    for (const RequestRecord &r : chunked.records)
+        EXPECT_GT(r.first_token, r.admitted);
 }
 
 TEST_F(ServingSim, EmptyStreamDies)

@@ -15,6 +15,8 @@
 #include <cmath>
 
 #include "core/hilos.h"
+#include "device/gpu.h"
+#include "runtime/cost_model.h"
 #include "runtime/event_sim.h"
 #include "runtime/plan_cache.h"
 #include "runtime/step_plan.h"
@@ -408,6 +410,127 @@ TEST(PlanValidate, RejectsTailOpWithDeps)
     EXPECT_TRUE(mentions(plan.validate(), "serial chain", "'hop'"));
 }
 
+TEST(PlanValidate, RejectsZeroChunkCount)
+{
+    StepPlan plan = smallPlan();
+    plan.phase = PlanPhase::Prefill;
+    plan.chunk_count = 0;
+    const auto problems = plan.validate();
+    ASSERT_FALSE(problems.empty());
+    EXPECT_TRUE(mentions(problems, "zero prefill chunks", ""));
+}
+
+TEST(PlanValidate, RejectsChunkIndexOutOfRange)
+{
+    StepPlan plan = smallPlan();
+    plan.phase = PlanPhase::Prefill;
+    plan.chunk_count = 2;
+    plan.chunk_index = 2;
+    EXPECT_TRUE(mentions(plan.validate(), "out of range", "chunk_index 2"));
+}
+
+TEST(PlanValidate, RejectsChunkingOnDecodePlans)
+{
+    StepPlan plan = smallPlan();
+    plan.chunk_tokens = 5;  // Decode phase: chunk fields must stay default
+    EXPECT_TRUE(
+        mentions(plan.validate(), "decode plans carry no prefill", ""));
+}
+
+// --- Prefill phase: chunk ranges, compute identity, run composition -------
+
+TEST(PrefillPhase, ChunkRangeTilesThePromptExactly)
+{
+    // 10 tokens in 4 chunks: 3+3+2+2, remainder on the leading chunks.
+    std::uint64_t prev_end = 0;
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        const auto [start, end] = prefillChunkRange(10, i, 4);
+        EXPECT_EQ(start, prev_end) << "chunk " << i;
+        EXPECT_GE(end - start, 2u);
+        EXPECT_LE(end - start, 3u);
+        prev_end = end;
+    }
+    EXPECT_EQ(prev_end, 10u);
+    // Monolithic chunking is the whole prompt.
+    const auto [start, end] = prefillChunkRange(4096, 0, 1);
+    EXPECT_EQ(start, 0u);
+    EXPECT_EQ(end, 4096u);
+}
+
+TEST(PrefillPhase, SingleChunkComputeIsTheMonolithicPrefillBitwise)
+{
+    // The chunked cost model must collapse to the historical closed
+    // form at one chunk, bit for bit — this is what keeps every
+    // chunks=1 golden byte-identical across the IR refactor.
+    const SystemConfig sys = defaultSystem();
+    const Gpu gpu(sys.gpu);
+    const ModelConfig m = opt66b();
+    EXPECT_EQ(prefillChunkComputeTime(gpu, m, 16, 0, 32768),
+              prefillComputeTime(gpu, m, 16, 32768));
+    EXPECT_EQ(prefillChunkComputeTime(gpu, m, 4, 0, 8192),
+              prefillComputeTime(gpu, m, 4, 8192));
+}
+
+TEST(PrefillPhase, RunTotalsComposeAcrossEveryEngineKind)
+{
+    // total_time must be exactly prefill + output_len * decode-step for
+    // every engine; chunks == 1 must reproduce the default run bit for
+    // bit; chunking re-pays per-pass costs (weight re-streaming), so
+    // prefill time and totals can only grow.
+    const SystemConfig sys = defaultSystem();
+    RunConfig run;
+    run.model = opt66b();
+    run.batch = 16;
+    run.context_len = 32768;
+    run.output_len = 64;
+    for (EngineKind kind :
+         {EngineKind::FlexDram, EngineKind::FlexSsd,
+          EngineKind::FlexSmartSsdRaw, EngineKind::DeepSpeedUvm,
+          EngineKind::VllmMultiGpu, EngineKind::Hilos}) {
+        const auto engine = makeEngine(kind, sys);
+        const RunResult r = engine->run(run);
+        ASSERT_TRUE(r.feasible) << engine->name();
+        EXPECT_EQ(r.total_time,
+                  r.prefill_time +
+                      static_cast<double>(run.output_len) *
+                          r.decode_step_time)
+            << engine->name();
+
+        RunConfig chunked = run;
+        chunked.prefill_chunks = 1;
+        const RunResult r1 = engine->run(chunked);
+        EXPECT_EQ(test::serialize(r1), test::serialize(r))
+            << engine->name();
+
+        chunked.prefill_chunks = 4;
+        const RunResult r4 = engine->run(chunked);
+        ASSERT_TRUE(r4.feasible) << engine->name();
+        EXPECT_EQ(r4.decode_step_time, r.decode_step_time)
+            << engine->name();
+        EXPECT_GE(r4.prefill_time, r.prefill_time) << engine->name();
+        EXPECT_GE(r4.total_time, r.total_time) << engine->name();
+    }
+}
+
+TEST(PrefillPhase, FacadeHandsOutTaggedChunkPlans)
+{
+    const SystemConfig sys = defaultSystem();
+    RunConfig run;
+    run.model = opt66b();
+    run.batch = 16;
+    run.context_len = 32768;
+    run.output_len = 64;
+    const StepPlan pre =
+        prefillStepPlanFor(EngineKind::Hilos, sys, run, 1, 4);
+    ASSERT_TRUE(pre.feasible);
+    EXPECT_EQ(pre.phase, PlanPhase::Prefill);
+    EXPECT_EQ(pre.chunk_index, 1u);
+    EXPECT_EQ(pre.chunk_count, 4u);
+    const auto [start, end] = prefillChunkRange(run.context_len, 1, 4);
+    EXPECT_EQ(pre.chunk_tokens, end - start);
+    EXPECT_TRUE(pre.validate().empty());
+}
+
 TEST(PlanValidate, EveryEngineKindEmitsAValidPlan)
 {
     const SystemConfig sys = defaultSystem();
@@ -580,9 +703,10 @@ TEST(PlanCache, EveryEngineRunCachedMatchesRunAcrossScalarGrid)
                 << " output=" << run.output_len;
             points++;
         }
-        // One cold build, every later point a verified rebuild.
-        EXPECT_EQ(cache.stats().misses, 1u) << engine->name();
-        EXPECT_EQ(cache.stats().hits, points - 1) << engine->name();
+        // One cold build per phase (decode + prefill), every later
+        // point a verified rebuild of both.
+        EXPECT_EQ(cache.stats().misses, 2u) << engine->name();
+        EXPECT_EQ(cache.stats().hits, 2 * (points - 1)) << engine->name();
         EXPECT_EQ(cache.stats().mismatches, 0u) << engine->name();
     }
 }
