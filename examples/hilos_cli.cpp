@@ -20,6 +20,7 @@
 #include "common/table.h"
 #include "core/hilos.h"
 #include "runtime/event_sim.h"
+#include "runtime/plan_analyzer.h"
 #include "runtime/report.h"
 
 using namespace hilos;
@@ -283,7 +284,15 @@ main(int argc, char **argv)
         .addOption("prefill-chunks", "1",
                    "split each prefill into this many chunks (offline "
                    "run and --serve; later chunks yield to the decode "
-                   "batch)");
+                   "batch)")
+        .addFlag("analyze-plan",
+                 "run the semantic plan analyzer over every engine's "
+                 "decode and prefill plans for this workload and print "
+                 "the findings/slack report (exits 1 on unwaivered "
+                 "error findings)")
+        .addOption("plan-waivers", "",
+                   "waiver file for --analyze-plan (one 'PAnnn "
+                   "<op-label|*>' per line; see tests/plan_waivers.txt)");
 
     if (!args.parse(argc, argv) || args.helpRequested()) {
         std::cout << args.usage();
@@ -328,6 +337,55 @@ main(int argc, char **argv)
             std::cerr << "error: " << e.what() << "\n";
             return 2;
         }
+    }
+
+    if (args.getFlag("analyze-plan")) {
+        std::vector<PlanWaiver> waivers;
+        const std::string waiver_path = args.get("plan-waivers");
+        if (!waiver_path.empty()) {
+            std::ifstream in(waiver_path);
+            if (!in) {
+                std::cerr << "error: cannot read waiver file "
+                          << waiver_path << "\n";
+                return 2;
+            }
+            std::stringstream buf;
+            buf << in.rdbuf();
+            std::vector<std::string> problems;
+            waivers = parsePlanWaivers(buf.str(), &problems);
+            for (const std::string &p : problems)
+                std::cerr << "warning: " << waiver_path << ": " << p
+                          << "\n";
+        }
+        static const struct {
+            const char *name;
+            EngineKind kind;
+        } kAllEngines[] = {
+            {"flex-dram", EngineKind::FlexDram},
+            {"flex-ssd", EngineKind::FlexSsd},
+            {"flex-16p3", EngineKind::FlexSmartSsdRaw},
+            {"ds-uvm", EngineKind::DeepSpeedUvm},
+            {"vllm", EngineKind::VllmMultiGpu},
+            {"hilos", EngineKind::Hilos},
+        };
+        bool failed = false;
+        const auto report = [&](const std::string &header,
+                                const StepPlan &plan) {
+            std::cout << "==== " << header << " ====\n";
+            PlanAnalysis analysis = analyzePlan(plan);
+            applyPlanWaivers(analysis, waivers);
+            std::cout << serializeAnalysis(plan, analysis);
+            if (hasUnwaivedErrors(analysis))
+                failed = true;
+        };
+        for (const auto &e : kAllEngines) {
+            report(std::string(e.name) + " decode",
+                   decodeStepPlanFor(e.kind, sys, run, opts));
+            report(std::string(e.name) + " prefill",
+                   prefillStepPlanFor(e.kind, sys, run, 0,
+                                      run.prefill_chunks, opts));
+        }
+        return failed ? 1 : 0;
     }
 
     const unsigned hosts = static_cast<unsigned>(args.getInt("hosts"));

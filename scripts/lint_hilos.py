@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-specific lint invariants for the HILOS simulator.
 
-Five checks, each guarding a convention the test suite cannot express
+Seven checks, each guarding a convention the test suite cannot express
 as a compile error (those live in tests/compile_fail/):
 
  1. quantity-typed public APIs: headers under src/ must not declare
@@ -31,6 +31,17 @@ as a compile error (those live in tests/compile_fail/):
     runtime/prefill_constants.h. Any line in src/runtime/ that mentions
     prefill and carries a bare 0.x literal regresses that — name the
     constant instead.
+
+ 6. test/example determinism: check 3 covers src/; the serving and
+    fleet layers are exercised end-to-end from tests/, examples/, and
+    bench/, so raw rand()/srand(), time(), and
+    std::chrono::system_clock are banned there too. steady_clock stays
+    allowed (bench wall-timing measures the host, not the simulation).
+
+ 7. stable analyzer diagnostic IDs: every diagnostic the plan analyzer
+    (src/runtime/plan_analyzer.*) emits must carry a well-formed,
+    unique PAnnn ID, and every finding must flow through the single
+    ID-stamping emitter — no ad-hoc PlanFinding construction.
 
 Exits non-zero listing file:line for every violation. No third-party
 imports; runs anywhere a python3 exists (CI and the ctest fast lane).
@@ -217,6 +228,104 @@ def check_prefill_fractions(violations):
                 )
 
 
+# --- check 6: determinism in the test/example/bench layers -----------------
+
+STRING_LITERAL = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+EXTERNAL_BANNED_CALLS = [
+    (re.compile(r"(?<![A-Za-z0-9_])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"(?<![A-Za-z0-9_.:])time\s*\("), "time()"),
+    (re.compile(r"\bstd::chrono::system_clock\b"),
+     "std::chrono::system_clock"),
+]
+
+
+def check_external_determinism(violations):
+    scan_dirs = [ROOT / "tests", ROOT / "examples", ROOT / "bench"]
+    for base in scan_dirs:
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".h", ".cc", ".cpp"):
+                continue
+            rel = path.relative_to(ROOT)
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                if line.lstrip().startswith(("*", "/*")):
+                    continue  # block-comment line
+                code = STRING_LITERAL.sub('""', line.split("//")[0])
+                for pattern, label in EXTERNAL_BANNED_CALLS:
+                    if pattern.search(code):
+                        violations.append(
+                            f"{rel}:{lineno}: {label} breaks seeded "
+                            f"reproducibility of the test/example "
+                            f"layers; draw from common/random (or "
+                            f"steady_clock for bench wall-timing) "
+                            f"instead"
+                        )
+
+
+# --- check 7: stable PAnnn diagnostic IDs in the plan analyzer --------------
+
+PA_LITERAL = re.compile(r'"(PA[0-9A-Za-z_]*)"')
+PA_WELL_FORMED = re.compile(r"PA[0-9]{3}$")
+
+
+def check_analyzer_diag_ids(violations):
+    analyzer_files = sorted(
+        (ROOT / "src" / "runtime").glob("plan_analyzer.*"))
+    seen_ids = {}
+    emitter_pushes = 0
+    for path in analyzer_files:
+        rel = path.relative_to(ROOT)
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            code = line.split("//")[0]
+            for pa in PA_LITERAL.findall(code):
+                if not PA_WELL_FORMED.match(pa):
+                    violations.append(
+                        f"{rel}:{lineno}: diagnostic ID '{pa}' is not "
+                        f"a well-formed PAnnn ID"
+                    )
+                elif pa in seen_ids:
+                    violations.append(
+                        f"{rel}:{lineno}: diagnostic ID '{pa}' already "
+                        f"declared at {seen_ids[pa]}; IDs are stable "
+                        f"and unique"
+                    )
+                else:
+                    seen_ids[pa] = f"{rel}:{lineno}"
+            if path.suffix == ".cc" and "findings.push_back" in code:
+                emitter_pushes += 1
+    if analyzer_files:
+        if not seen_ids:
+            violations.append(
+                "src/runtime/plan_analyzer.cc: no PAnnn diagnostic IDs "
+                "found; analyzer diagnostics must carry stable IDs"
+            )
+        if emitter_pushes != 1:
+            violations.append(
+                f"src/runtime/plan_analyzer.cc: {emitter_pushes} "
+                f"findings.push_back sites (expected exactly 1); every "
+                f"finding must flow through the single ID-stamping "
+                f"emitter"
+            )
+    # No ad-hoc PlanFinding construction anywhere in src/: the emitter
+    # is the only place a finding is born, so no diagnostic can ship
+    # without a stable ID.
+    for path in sorted((ROOT / "src").rglob("*")):
+        if path.suffix not in (".h", ".cc"):
+            continue
+        rel = path.relative_to(ROOT)
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            code = line.split("//")[0]
+            if re.search(r"\bPlanFinding\s*\{", code) and not re.search(
+                    r"\bstruct\s+PlanFinding\b", code):
+                violations.append(
+                    f"{rel}:{lineno}: ad-hoc PlanFinding construction; "
+                    f"emit diagnostics through the plan analyzer's "
+                    f"ID-stamping emitter"
+                )
+
+
 def main():
     violations = []
     check_quantity_types(violations)
@@ -224,6 +333,8 @@ def main():
     check_determinism(violations)
     check_serving_latency_types(violations)
     check_prefill_fractions(violations)
+    check_external_determinism(violations)
+    check_analyzer_diag_ids(violations)
     if violations:
         print(f"lint_hilos: {len(violations)} violation(s)")
         for v in violations:

@@ -100,6 +100,10 @@ DeepSpeedUvmEngine::makePlan(const RunConfig &cfg, RunResult &res,
             .busyTag(kBusyDram)
             .share(TrafficField::HostRead, kv_bytes)
             .share(TrafficField::AttnHostRead, kv_bytes)
+            // The new token's KV entries migrate back through UVM: a
+            // host write, of which the attention share is a subset
+            // (plan-analyzer PA005 conservation).
+            .share(TrafficField::HostWrite, kvStepBytes(m, b))
             .share(TrafficField::AttnHostWrite, kvStepBytes(m, b))
             .asPrefetch());
     const std::size_t op_gpu = plan.addOp(

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "runtime/plan_analyzer.h"
 #include "sim/pipeline.h"
 
 namespace hilos {
@@ -928,6 +929,12 @@ applyPlan(const StepPlan &plan, const RunConfig &cfg, RunResult &res)
         HILOS_ASSERT(problems.empty(), "invalid step plan: ",
                      problems.empty() ? std::string() : problems.front());
     }
+    if (analyzePlansEnabled()) {
+        const PlanAnalysis analysis = analyzePlan(plan);
+        HILOS_ASSERT(!hasUnwaivedErrors(analysis),
+                     "plan analysis (HILOS_ANALYZE_PLANS) ",
+                     firstUnwaivedError(analysis));
+    }
     const PlanEvaluation ev = evaluatePlan(plan);
     res.decode_step_time = ev.decode_step_time;
     res.breakdown = ev.breakdown;
@@ -967,6 +974,12 @@ applyPrefillPlan(const StepPlan &plan, RunResult &res)
         const std::vector<std::string> problems = plan.validate();
         HILOS_ASSERT(problems.empty(), "invalid prefill plan: ",
                      problems.empty() ? std::string() : problems.front());
+    }
+    if (analyzePlansEnabled()) {
+        const PlanAnalysis analysis = analyzePlan(plan);
+        HILOS_ASSERT(!hasUnwaivedErrors(analysis),
+                     "prefill plan analysis (HILOS_ANALYZE_PLANS) ",
+                     firstUnwaivedError(analysis));
     }
     const PlanEvaluation ev = evaluatePlan(plan);
     res.prefill_time += ev.decode_step_time;

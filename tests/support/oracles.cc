@@ -1,5 +1,6 @@
 #include "support/oracles.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -16,6 +17,7 @@
 #include "support/serialize.h"
 #include "runtime/fleet_engine.h"
 #include "runtime/hilos_engine.h"
+#include "runtime/plan_analyzer.h"
 #include "runtime/step_plan.h"
 #include "runtime/system_config.h"
 #include "support/tolerances.h"
@@ -448,6 +450,15 @@ runFlexGenPlanOracle(std::uint64_t seed, Perturbation perturb)
         out.detail = "plan validation: " + problems.front();
         return out;
     }
+    // Semantic gate: zero error-severity analyzer findings on every
+    // fuzzed plan (warn-severity findings are modelling choices the
+    // waiver file pins; errors are builder bugs).
+    const PlanAnalysis analysis = analyzePlan(plan);
+    if (hasUnwaivedErrors(analysis)) {
+        out.ok = false;
+        out.detail = "plan analysis: " + firstUnwaivedError(analysis);
+        return out;
+    }
     const PlanEvaluation ev = evaluatePlan(plan);
     const PlanSimResult ps = simulatePlan(plan);
 
@@ -513,6 +524,13 @@ runFlexGenPlanOracle(std::uint64_t seed, Perturbation perturb)
         if (!pre_problems.empty()) {
             out.ok = false;
             out.detail = "prefill plan validation: " + pre_problems.front();
+            return out;
+        }
+        const PlanAnalysis pre_analysis = analyzePlan(pre);
+        if (hasUnwaivedErrors(pre_analysis)) {
+            out.ok = false;
+            out.detail =
+                "prefill plan analysis: " + firstUnwaivedError(pre_analysis);
             return out;
         }
         const PlanEvaluation pe = evaluatePlan(pre);
@@ -779,6 +797,34 @@ runServingOracle(std::uint64_t seed, Perturbation perturb)
         out.ok = false;
         out.detail = "serving invariant: " + violation;
         return out;
+    }
+
+    // Semantic gate on the plans the serving loop steps over: probe
+    // the engine's StepPlanSource at the stream's shape and require
+    // zero error-severity analyzer findings, decode and prefill both.
+    if (const auto *src =
+            dynamic_cast<const StepPlanSource *>(engine.get())) {
+        RunConfig probe;
+        probe.model = c.serving.model;
+        probe.batch = c.serving.max_batch;
+        probe.context_len = c.requests.front().input_tokens;
+        probe.output_len =
+            std::max<std::uint64_t>(1, c.requests.front().output_tokens);
+        const StepPlan dp = src->decodeStepPlan(probe);
+        if (dp.feasible && hasUnwaivedErrors(analyzePlan(dp))) {
+            out.ok = false;
+            out.detail = "serving plan analysis: " +
+                         firstUnwaivedError(analyzePlan(dp));
+            return out;
+        }
+        const StepPlan pp = src->prefillStepPlan(
+            probe, 0, c.serving.prefill_chunks);
+        if (pp.feasible && hasUnwaivedErrors(analyzePlan(pp))) {
+            out.ok = false;
+            out.detail = "serving prefill plan analysis: " +
+                         firstUnwaivedError(analyzePlan(pp));
+            return out;
+        }
     }
 
     // All-arrivals-at-zero equivalence: FCFS continuous batching and

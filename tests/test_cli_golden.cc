@@ -67,6 +67,18 @@ TEST(CliGolden, ChunkedServeRun)
                 " 2>/dev/null"));
 }
 
+TEST(CliGolden, AnalyzePlanRun)
+{
+    // The semantic plan analyzer's report over every engine x phase at
+    // the headline workload: pins the pass findings, the waiver
+    // matching, and the slack/bottleneck annotations end-to-end.
+    expectGolden(
+        "cli_analyze_plan_opt66b.txt",
+        capture(std::string(HILOS_CLI_PATH) +
+                " --analyze-plan --plan-waivers " + goldenDir() +
+                "/../plan_waivers.txt 2>/dev/null"));
+}
+
 TEST(CliGolden, FaultPlanRun)
 {
     expectGolden(
